@@ -1,0 +1,241 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 6), plus ablation micro-benchmarks for the design
+// choices catalogued in DESIGN.md.
+//
+// Each BenchmarkFig*/BenchmarkTable* regenerates the corresponding
+// artifact at a reduced-but-faithful scale (Repeats=1); run
+// cmd/experiments for the full sweeps and EXPERIMENTS.md for recorded
+// outputs.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/jq"
+	"repro/internal/multichoice"
+	"repro/internal/selection"
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+// benchConfig keeps one artifact regeneration per benchmark iteration.
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 1, Repeats: 1, Trials: 40, Questions: 10, NumBuckets: 50}
+}
+
+func benchmarkArtifact(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper artifact -------------------------------------
+
+func BenchmarkFig1BudgetQualityTable(b *testing.B)  { benchmarkArtifact(b, "fig1") }
+func BenchmarkFig6aSystemComparison(b *testing.B)   { benchmarkArtifact(b, "fig6a") }
+func BenchmarkFig6bSystemComparison(b *testing.B)   { benchmarkArtifact(b, "fig6b") }
+func BenchmarkFig6cSystemComparison(b *testing.B)   { benchmarkArtifact(b, "fig6c") }
+func BenchmarkFig6dSystemComparison(b *testing.B)   { benchmarkArtifact(b, "fig6d") }
+func BenchmarkFig7aAnnealingVsExact(b *testing.B)   { benchmarkArtifact(b, "fig7a") }
+func BenchmarkFig7bAnnealingScale(b *testing.B)     { benchmarkArtifact(b, "fig7b") }
+func BenchmarkTable3ErrorRanges(b *testing.B)       { benchmarkArtifact(b, "table3") }
+func BenchmarkFig8aStrategyComparison(b *testing.B) { benchmarkArtifact(b, "fig8a") }
+func BenchmarkFig8bStrategyComparison(b *testing.B) { benchmarkArtifact(b, "fig8b") }
+func BenchmarkFig9aVarianceSweep(b *testing.B)      { benchmarkArtifact(b, "fig9a") }
+func BenchmarkFig9bBucketSweep(b *testing.B)        { benchmarkArtifact(b, "fig9b") }
+func BenchmarkFig9cErrorHistogram(b *testing.B)     { benchmarkArtifact(b, "fig9c") }
+func BenchmarkFig9dPruning(b *testing.B)            { benchmarkArtifact(b, "fig9d") }
+func BenchmarkFig10aRealBudget(b *testing.B)        { benchmarkArtifact(b, "fig10a") }
+func BenchmarkFig10bRealN(b *testing.B)             { benchmarkArtifact(b, "fig10b") }
+func BenchmarkFig10cRealCostStd(b *testing.B)       { benchmarkArtifact(b, "fig10c") }
+func BenchmarkFig10dPrediction(b *testing.B)        { benchmarkArtifact(b, "fig10d") }
+
+// --- Worked-example micro-benchmarks ---------------------------------------
+
+// BenchmarkFig2ExactJQ measures the Figure 2 worked example: exact JQ of
+// MV and BV on the three-worker jury.
+func BenchmarkFig2ExactJQ(b *testing.B) {
+	pool := worker.UniformCost([]float64{0.9, 0.6, 0.6}, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := jq.Exact(pool, voting.Majority{}, 0.5); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := jq.ExactBV(pool, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks ----------------------------------------------------
+
+// BenchmarkAblationEstimateJQ measures the bucket-based approximation
+// (Algorithm 1) across jury sizes, with and without Algorithm 2 pruning —
+// the microscopic view of Figure 9(d).
+func BenchmarkAblationEstimateJQ(b *testing.B) {
+	for _, n := range []int{50, 100, 300, 500} {
+		gen := datagen.DefaultConfig()
+		gen.N = n
+		pool, err := gen.Pool(rand.New(rand.NewSource(1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pruning := range []bool{true, false} {
+			name := "n=" + itoa(n) + "/pruning=" + boolStr(pruning)
+			b.Run(name, func(b *testing.B) {
+				opts := jq.Options{NumBuckets: 50, DisablePruning: !pruning}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := jq.Estimate(pool, 0.5, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMVClosedForm compares the O(n²) closed-form MV JQ
+// against the exponential enumeration it replaces.
+func BenchmarkAblationMVClosedForm(b *testing.B) {
+	pool, err := func() (worker.Pool, error) {
+		gen := datagen.DefaultConfig()
+		gen.N = 15
+		return gen.Pool(rand.New(rand.NewSource(2)))
+	}()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("closed-form", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := jq.MajorityClosedForm(pool, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enumeration", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := jq.Exact(pool, voting.Majority{}, 0.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSelectors measures the JSP search algorithms on one
+// N=14 instance (where the exhaustive optimum is computable).
+func BenchmarkAblationSelectors(b *testing.B) {
+	gen := datagen.DefaultConfig()
+	gen.N = 14
+	pool, err := gen.Pool(rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	selectors := map[string]selection.Selector{
+		"exhaustive":     selection.Exhaustive{Objective: selection.BVExactObjective{}},
+		"annealing":      selection.Annealing{Objective: selection.BVExactObjective{}, Seed: 1},
+		"greedy-quality": selection.GreedyQuality{Objective: selection.BVExactObjective{}},
+		"greedy-ratio":   selection.GreedyRatio{Objective: selection.BVExactObjective{}},
+		"knapsack":       selection.KnapsackSurrogate{Objective: selection.BVExactObjective{}},
+	}
+	for name, sel := range selectors {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sel.Select(pool, 0.3, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAnnealingScale measures one JSP annealing solve as the
+// candidate pool grows (the raw operation behind Figure 7b).
+func BenchmarkAblationAnnealingScale(b *testing.B) {
+	for _, n := range []int{100, 300, 500} {
+		gen := datagen.DefaultConfig()
+		gen.N = n
+		pool, err := gen.Pool(rand.New(rand.NewSource(4)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("N="+itoa(n), func(b *testing.B) {
+			sel := selection.Annealing{Objective: selection.BVObjective{}, Seed: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sel.Select(pool, 0.5, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMultiChoiceJQ measures the Section 7 tuple-key JQ
+// estimation against the exact enumeration.
+func BenchmarkAblationMultiChoiceJQ(b *testing.B) {
+	pool := make(multichoice.Pool, 8)
+	for i := range pool {
+		m, err := multichoice.NewSymmetricConfusion(3, 0.6+0.03*float64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool[i] = multichoice.Worker{Confusion: m, Cost: 1}
+	}
+	prior := multichoice.UniformPrior(3)
+	b.Run("exact", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := multichoice.ExactBV(pool, prior); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bucketed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := multichoice.EstimateBV(pool, prior, 50); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationExperimentScale regenerates the two ablation artifacts.
+func BenchmarkAblationSelectorsArtifact(b *testing.B) {
+	benchmarkArtifact(b, "ablation-selectors")
+}
+
+func BenchmarkAblationBucketsArtifact(b *testing.B) {
+	benchmarkArtifact(b, "ablation-buckets")
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf []byte
+	for v > 0 {
+		buf = append([]byte{byte('0' + v%10)}, buf...)
+		v /= 10
+	}
+	return string(buf)
+}
+
+func boolStr(v bool) string {
+	if v {
+		return "on"
+	}
+	return "off"
+}

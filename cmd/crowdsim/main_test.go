@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStats(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"workers", "128", "600", "93.75"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunEstimate(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-estimate"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"empirical", "golden-10%", "em", "EM label accuracy"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("estimate output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "answers.csv")
+	var out strings.Builder
+	if err := run([]string{"-export", path, "-tasks", "40"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "task,truth,order,worker,vote" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+40*20 {
+		t.Fatalf("lines = %d, want %d", len(lines), 1+40*20)
+	}
+}
+
+func TestRunNothingToDo(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no error for empty invocation")
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-stats", "-tasks", "7"}, &out); err == nil {
+		t.Fatal("no error for tasks not divisible by HIT size")
+	}
+}
+
+func TestRunDeterministicSeed(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-stats", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-stats", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different stats")
+	}
+}

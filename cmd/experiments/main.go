@@ -1,0 +1,147 @@
+// Command experiments regenerates the paper's evaluation artifacts — every
+// figure panel and table of Section 6 plus this repository's ablations —
+// and prints them as text tables (or CSV).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig6a,fig8b
+//	experiments -run all -repeats 20
+//	experiments -run all -paper        # published scale (slow)
+//	experiments -run fig9b -csv
+//
+// See EXPERIMENTS.md for the paper-versus-measured record of a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runIDs    = fs.String("run", "", "comma-separated artifact IDs, or \"all\"")
+		list      = fs.Bool("list", false, "list available artifacts and exit")
+		paper     = fs.Bool("paper", false, "use the published experiment scale (slow)")
+		csvOut    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel  = fs.Bool("parallel", false, "run artifacts concurrently (output stays ordered)")
+		datDir    = fs.String("dat", "", "also write gnuplot-ready <id>.dat files into this directory")
+		seed      = fs.Int64("seed", 1, "random seed")
+		repeats   = fs.Int("repeats", 0, "override per-point repetitions")
+		trials    = fs.Int("trials", 0, "override Table 3 trial count")
+		questions = fs.Int("questions", 0, "override AMT question count (max 600)")
+		buckets   = fs.Int("buckets", 0, "override numBuckets for the JQ approximation")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+	if *runIDs == "" {
+		return fmt.Errorf("nothing to do: pass -run <ids>|all or -list")
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *paper {
+		cfg = experiments.PaperConfig()
+	}
+	cfg.Seed = *seed
+	if *repeats > 0 {
+		cfg.Repeats = *repeats
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *questions > 0 {
+		cfg.Questions = *questions
+	}
+	if *buckets > 0 {
+		cfg.NumBuckets = *buckets
+	}
+
+	ids := experiments.IDs()
+	if *runIDs != "all" {
+		ids = nil
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			if id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+
+	type outcome struct {
+		res     *experiments.Result
+		elapsed time.Duration
+		err     error
+	}
+	outcomes := make([]outcome, len(ids))
+	if *parallel {
+		var wg sync.WaitGroup
+		for i, id := range ids {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				start := time.Now()
+				res, err := experiments.Run(id, cfg)
+				outcomes[i] = outcome{res: res, elapsed: time.Since(start), err: err}
+			}(i, id)
+		}
+		wg.Wait()
+	} else {
+		for i, id := range ids {
+			start := time.Now()
+			res, err := experiments.Run(id, cfg)
+			outcomes[i] = outcome{res: res, elapsed: time.Since(start), err: err}
+		}
+	}
+	if *datDir != "" {
+		if err := os.MkdirAll(*datDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, oc := range outcomes {
+		if oc.err != nil {
+			return oc.err
+		}
+		if *datDir != "" {
+			path := filepath.Join(*datDir, oc.res.ID+".dat")
+			if err := os.WriteFile(path, []byte(oc.res.Dat()), 0o644); err != nil {
+				return err
+			}
+		}
+		tbl := oc.res.Table()
+		if *csvOut {
+			fmt.Fprint(out, tbl.CSV())
+		} else {
+			fmt.Fprint(out, tbl.String())
+			if oc.res.Notes != "" {
+				fmt.Fprintf(out, "note: %s\n", oc.res.Notes)
+			}
+			fmt.Fprintf(out, "elapsed: %v\n", oc.elapsed.Round(time.Millisecond))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, id := range []string{"fig1", "fig6a", "fig9d", "fig10d", "table3"} {
+		if !strings.Contains(got, id) {
+			t.Errorf("list output missing %q:\n%s", id, got)
+		}
+	}
+}
+
+func TestRunSingleArtifact(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-run", "fig1", "-repeats", "1", "-trials", "5", "-questions", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "fig1") || !strings.Contains(got, "0.845") {
+		t.Errorf("fig1 output unexpected:\n%s", got)
+	}
+	if !strings.Contains(got, "elapsed:") {
+		t.Errorf("missing elapsed line:\n%s", got)
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-run", "fig1", "-csv", "-repeats", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "budget,JQ,required") {
+		t.Errorf("CSV header missing:\n%s", got)
+	}
+}
+
+func TestRunMultipleArtifacts(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-run", "fig1, fig8b", "-repeats", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "fig1") || !strings.Contains(got, "fig8b") {
+		t.Errorf("multi-artifact output unexpected:\n%s", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"nothing to do": {},
+		"unknown id":    {"-run", "nonsense"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(args, &out); err == nil {
+				t.Errorf("no error for %v", args)
+			}
+		})
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-run", "fig1,fig8b,fig9b", "-parallel", "-repeats", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// Output must preserve the requested order despite concurrency.
+	i1 := strings.Index(got, "fig1 —")
+	i2 := strings.Index(got, "fig8b —")
+	i3 := strings.Index(got, "fig9b —")
+	if i1 < 0 || i2 < 0 || i3 < 0 || !(i1 < i2 && i2 < i3) {
+		t.Fatalf("parallel output unordered or incomplete:\n%s", got)
+	}
+}
+
+func TestRunDatExport(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{"-run", "fig1", "-repeats", "1", "-dat", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig1.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.HasPrefix(got, "# fig1") {
+		t.Fatalf("dat header:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 2+4 { // two comment lines + four budgets
+		t.Fatalf("dat lines = %d:\n%s", len(lines), got)
+	}
+}

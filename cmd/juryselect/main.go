@@ -1,0 +1,186 @@
+// Command juryselect is the Optimal Jury Selection System of the paper's
+// Figure 1 as a CLI: given a candidate worker file, a prior, and a list of
+// budgets, it prints the budget–quality table the task provider uses to
+// pick the best budget/quality trade-off.
+//
+// Usage:
+//
+//	juryselect -demo
+//	juryselect -workers workers.csv -budgets 5,10,15,20 -alpha 0.5
+//
+// The worker file is CSV with one worker per line: id,quality,cost
+// (a header line is detected and skipped). With -demo the paper's seven
+// example workers A–G are used instead.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/table"
+	"repro/jury"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "juryselect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("juryselect", flag.ContinueOnError)
+	var (
+		workersPath = fs.String("workers", "", "CSV file of candidate workers (id,quality,cost)")
+		budgetsStr  = fs.String("budgets", "5,10,15,20", "comma-separated budgets")
+		alpha       = fs.Float64("alpha", 0.5, "prior P(answer = no) in [0, 1]")
+		seed        = fs.Int64("seed", 1, "random seed for the annealing search")
+		demo        = fs.Bool("demo", false, "use the paper's Figure 1 example workers")
+		exact       = fs.Bool("exact", false, "score juries with the exact (exponential) JQ")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var pool jury.Pool
+	switch {
+	case *demo:
+		pool = experiments.Figure1Pool()
+	case *workersPath != "":
+		var err error
+		pool, err = loadWorkers(*workersPath)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("either -workers or -demo is required")
+	}
+	if err := pool.Validate(); err != nil {
+		return err
+	}
+	budgets, err := parseBudgets(*budgetsStr)
+	if err != nil {
+		return err
+	}
+
+	sys := jury.NewSystem(*alpha, *seed)
+	if *exact {
+		sys.Selector = jury.NewExhaustiveExact()
+	}
+	rows, err := sys.BudgetQualityTable(pool, budgets)
+	if err != nil {
+		return err
+	}
+
+	t := table.New(
+		fmt.Sprintf("Budget–quality table (%d candidates, alpha=%v)", len(pool), *alpha),
+		"budget", "jury", "quality", "required",
+	)
+	for _, row := range rows {
+		ids := make([]string, len(row.Jury))
+		for i, w := range row.Jury {
+			ids[i] = w.ID
+		}
+		t.AddRow(
+			table.Float(row.Budget),
+			"{"+strings.Join(ids, ",")+"}",
+			table.Percent(row.JQ),
+			table.Float(row.RequiredBudget),
+		)
+	}
+	_, err = fmt.Fprint(out, t.String())
+	return err
+}
+
+func parseBudgets(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	budgets := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		b, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad budget %q: %w", p, err)
+		}
+		budgets = append(budgets, b)
+	}
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("no budgets given")
+	}
+	return budgets, nil
+}
+
+func loadWorkers(path string) (jury.Pool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".json") {
+		return parseWorkersJSON(f)
+	}
+	return parseWorkers(f)
+}
+
+// parseWorkersJSON reads a JSON array of workers:
+// [{"ID":"A","Quality":0.77,"Cost":9}, ...].
+func parseWorkersJSON(r io.Reader) (jury.Pool, error) {
+	var pool jury.Pool
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pool); err != nil {
+		return nil, fmt.Errorf("json workers: %w", err)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("no workers in input")
+	}
+	return pool, nil
+}
+
+func parseWorkers(r io.Reader) (jury.Pool, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	cr.TrimLeadingSpace = true
+	var pool jury.Pool
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		if line == 1 && looksLikeHeader(rec) {
+			continue
+		}
+		q, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad quality %q: %w", line, rec[1], err)
+		}
+		c, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad cost %q: %w", line, rec[2], err)
+		}
+		pool = append(pool, jury.Worker{ID: rec[0], Quality: q, Cost: c})
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("no workers in input")
+	}
+	return pool, nil
+}
+
+func looksLikeHeader(rec []string) bool {
+	_, err := strconv.ParseFloat(rec[1], 64)
+	return err != nil
+}

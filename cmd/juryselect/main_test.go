@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDemo(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"budget", "quality", "84.50%", "{B,C,G}"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunDemoExact(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-demo", "-exact", "-budgets", "15"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "84.50%") {
+		t.Errorf("exact mode output:\n%s", out.String())
+	}
+}
+
+func TestRunWorkersFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "workers.csv")
+	content := "id,quality,cost\nalice,0.9,4\nbob,0.7,1\ncarol,0.65,1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-workers", path, "-budgets", "2,6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "alice") && !strings.Contains(got, "bob") {
+		t.Errorf("output mentions no workers:\n%s", got)
+	}
+}
+
+func TestRunWorkersJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "workers.json")
+	content := `[{"ID":"alice","Quality":0.9,"Cost":4},{"ID":"bob","Quality":0.7,"Cost":1}]`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-workers", path, "-budgets", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "alice") {
+		t.Errorf("JSON pool output:\n%s", out.String())
+	}
+}
+
+func TestParseWorkersJSONErrors(t *testing.T) {
+	for name, content := range map[string]string{
+		"not json":       "hello",
+		"empty array":    "[]",
+		"unknown fields": `[{"ID":"a","Quality":0.5,"Cost":1,"Bribe":7}]`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := parseWorkersJSON(strings.NewReader(content)); err == nil {
+				t.Errorf("no error for %q", content)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"no input":      {},
+		"missing file":  {"-workers", "/nonexistent/x.csv"},
+		"bad budgets":   {"-demo", "-budgets", "abc"},
+		"empty budgets": {"-demo", "-budgets", ","},
+		"bad prior":     {"-demo", "-alpha", "2"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(args, &out); err == nil {
+				t.Errorf("no error for args %v", args)
+			}
+		})
+	}
+}
+
+func TestParseWorkersRejectsBadRows(t *testing.T) {
+	cases := map[string]string{
+		"bad quality":  "a,notanumber,1\n",
+		"bad cost":     "a,0.5,zzz\n",
+		"empty":        "",
+		"header only":  "id,quality,cost\n",
+		"wrong fields": "a,0.5\n",
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := parseWorkers(strings.NewReader(content)); err == nil {
+				t.Errorf("no error for %q", content)
+			}
+		})
+	}
+}
+
+func TestParseWorkersNoHeader(t *testing.T) {
+	pool, err := parseWorkers(strings.NewReader("w1,0.8,2\nw2,0.6,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 2 || pool[0].ID != "w1" || pool[1].Cost != 1 {
+		t.Fatalf("pool = %v", pool)
+	}
+}
+
+func TestParseBudgets(t *testing.T) {
+	got, err := parseBudgets(" 1, 2.5 ,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != 2.5 {
+		t.Fatalf("budgets = %v", got)
+	}
+}

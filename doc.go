@@ -1,0 +1,10 @@
+// Package repro is the root of a reproduction of Zheng, Cheng, Maniu, Mo:
+// "On Optimality of Jury Selection in Crowdsourcing" (EDBT 2015).
+//
+// The public API lives in package repro/jury (binary decision-making
+// tasks) and repro/jury/multi (multiple-choice tasks with confusion-matrix
+// workers). The implementation lives under internal/: see DESIGN.md for
+// the system inventory and EXPERIMENTS.md for the paper-versus-measured
+// record. The benchmarks in bench_test.go regenerate every evaluation
+// artifact of the paper.
+package repro

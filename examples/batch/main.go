@@ -1,0 +1,71 @@
+// Batch allocation: one purse, many questions.
+//
+// The paper selects a jury per task under a per-task budget. In a real
+// deployment the provider holds one global budget for a whole batch of
+// questions, and the questions differ: some have strong candidate pools or
+// near-decided priors, others are genuinely hard. This example compares
+// three ways of splitting a global budget — evenly, by prior uncertainty,
+// and by greedy marginal gain — over a heterogeneous batch.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/internal/table"
+	"repro/jury"
+	"repro/jury/batch"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+
+	// A batch of six questions with uneven pools and priors.
+	var tasks []batch.Task
+	for i := 0; i < 6; i++ {
+		gen := datagen.DefaultConfig()
+		gen.N = 12
+		gen.MeanQuality = 0.55 + 0.07*float64(i) // pools improve across tasks
+		pool, err := gen.Pool(rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alpha := jury.UniformPrior
+		if i >= 4 {
+			alpha = 0.9 // the provider already leans strongly on two tasks
+		}
+		tasks = append(tasks, batch.Task{
+			Name: fmt.Sprintf("q%d", i), Pool: pool, Alpha: alpha,
+		})
+	}
+
+	const budget = 0.3
+	allocators := []batch.Allocator{
+		batch.Even(),
+		batch.WeightedByPrior(),
+		batch.GreedyMarginal(18),
+	}
+	t := table.New(fmt.Sprintf("Global budget %.2f over %d questions", budget, len(tasks)),
+		"allocator", "mean JQ", "spent", "per-task budgets")
+	for _, a := range allocators {
+		res, err := a.Allocate(tasks, budget, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perTask := ""
+		for i, alloc := range res.Allocations {
+			if i > 0 {
+				perTask += " "
+			}
+			perTask += fmt.Sprintf("%.3f", alloc.Budget)
+		}
+		t.AddRow(a.Name(), table.Percent(res.MeanJQ), fmt.Sprintf("%.3f", res.SpentBudget), perTask)
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nnote how the greedy allocator starves the near-decided questions")
+	fmt.Println("(q4, q5) and pours budget into the hardest pool (q0); which split")
+	fmt.Println("wins on mean JQ depends on how heterogeneous the batch is — see")
+	fmt.Println("the extension-batch experiment for a systematic sweep.")
+}

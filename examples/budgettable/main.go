@@ -1,0 +1,90 @@
+// Budget–quality table: the decision-support view of the Optimal Jury
+// Selection System (paper Figure 1).
+//
+// A task provider rarely knows the right budget in advance. This example
+// sweeps a range of budgets over a synthetic 30-worker marketplace and
+// prints, for each budget, the best jury, its estimated quality, and what
+// it actually costs — so the provider can see where extra money stops
+// buying meaningful quality.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro/internal/datagen"
+	"repro/internal/table"
+	"repro/jury"
+)
+
+func main() {
+	// A synthetic marketplace: 30 workers with quality ~ N(0.7, 0.05)
+	// (the paper's Section 6.1.1 distribution) and a realistic pricing
+	// model in which better workers charge more: cost grows with the
+	// worker's informativeness plus noise.
+	rng := rand.New(rand.NewSource(2024))
+	gen := datagen.DefaultConfig()
+	gen.N = 30
+	qs, err := gen.Qualities(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := make(jury.Pool, len(qs))
+	for i, q := range qs {
+		cost := 0.1 + 2*(q-0.5) + 0.1*rng.NormFloat64()
+		if cost < 0.05 {
+			cost = 0.05
+		}
+		pool[i] = jury.Worker{ID: fmt.Sprintf("w%d", i), Quality: q, Cost: cost}
+	}
+
+	sys := jury.NewSystem(jury.UniformPrior, 7)
+	budgets := []float64{0.3, 0.6, 1.0, 1.5, 2.5, 4.0, 6.0}
+	rows, err := sys.BudgetQualityTable(pool, budgets)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := table.New("Budget–quality table (30 synthetic workers)",
+		"budget", "jury size", "quality", "required", "marginal gain")
+	prev := 0.0
+	for i, row := range rows {
+		gain := "-"
+		if i > 0 {
+			gain = fmt.Sprintf("%+.2f pp", 100*(row.JQ-prev))
+		}
+		t.AddRow(
+			table.Float(row.Budget),
+			table.Int(len(row.Jury)),
+			table.Percent(row.JQ),
+			table.Float(row.RequiredBudget),
+			gain,
+		)
+		prev = row.JQ
+	}
+	fmt.Print(t.String())
+
+	// Point out the knee of the curve: the first budget whose marginal
+	// gain drops below one percentage point.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].JQ-rows[i-1].JQ < 0.01 {
+			fmt.Printf("\nbeyond a budget of %.2f the next step buys <1pp of quality —\n"+
+				"a provider would likely stop around there.\n", rows[i-1].Budget)
+			break
+		}
+	}
+
+	// Show the chosen jury at the knee in detail.
+	fmt.Println("\njury at budget 1.5:")
+	for _, row := range rows {
+		if row.Budget == 1.5 {
+			ids := make([]string, len(row.Jury))
+			for i, w := range row.Jury {
+				ids[i] = fmt.Sprintf("%s(q=%.2f,c=%.3f)", w.ID, w.Quality, w.Cost)
+			}
+			fmt.Println("  " + strings.Join(ids, " "))
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Enumerate: the paper's Figure 2 worked example, reproduced cell by cell.
+//
+// For the three-worker jury with qualities 0.9, 0.6, 0.6 and a uniform
+// prior, this prints every possible voting V ∈ {0,1}³ together with the
+// joint probabilities P(V, t=0) and P(V, t=1), the decision of Majority
+// Voting and of Bayesian Voting on that voting, and which probability mass
+// each strategy banks. Summing the banked mass yields the Jury Quality:
+// 79.2% for MV versus 90% for BV — the gap that motivates the whole paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/table"
+	"repro/jury"
+)
+
+func main() {
+	qualities := []float64{0.9, 0.6, 0.6}
+	const alpha = 0.5
+
+	t := table.New("Figure 2 — all votings of the jury (0.9, 0.6, 0.6), alpha = 0.5",
+		"V", "P(V,t=0)", "P(V,t=1)", "MV", "BV", "MV banks", "BV banks")
+
+	var jqMV, jqBV float64
+	for mask := 0; mask < 8; mask++ {
+		votes := make([]jury.Vote, 3)
+		p0, p1 := alpha, 1-alpha
+		for i := range votes {
+			if mask&(1<<i) != 0 {
+				votes[i] = jury.Yes
+				p0 *= 1 - qualities[i]
+				p1 *= qualities[i]
+			} else {
+				p0 *= qualities[i]
+				p1 *= 1 - qualities[i]
+			}
+		}
+		mv, err := jury.Decide(jury.Majority(), votes, qualities, alpha, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bv, err := jury.Decide(jury.Bayesian(), votes, qualities, alpha, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A strategy "banks" the joint probability of the truth value it
+		// picks: that is the mass that counts toward its JQ.
+		mvBank := pick(mv, p0, p1)
+		bvBank := pick(bv, p0, p1)
+		jqMV += mvBank
+		jqBV += bvBank
+		t.AddRow(
+			fmt.Sprintf("{%d,%d,%d}", bit(votes[0]), bit(votes[1]), bit(votes[2])),
+			fmt.Sprintf("%.3f", p0),
+			fmt.Sprintf("%.3f", p1),
+			mv.String(), bv.String(),
+			fmt.Sprintf("%.3f", mvBank),
+			fmt.Sprintf("%.3f", bvBank),
+		)
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\nJQ(MV) = %.1f%%   JQ(BV) = %.1f%%   (paper: 79.2%% vs 90%%)\n",
+		100*jqMV, 100*jqBV)
+
+	// The same numbers from the library's JQ evaluators.
+	pool := jury.UniformCostPool(qualities, 1)
+	exactMV, err := jury.JQ(pool, jury.Majority(), alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactBV, err := jury.JQ(pool, jury.Bayesian(), alpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("library:  JQ(MV) = %.1f%%   JQ(BV) = %.1f%%\n", 100*exactMV, 100*exactBV)
+}
+
+func bit(v jury.Vote) int {
+	if v == jury.Yes {
+		return 1
+	}
+	return 0
+}
+
+func pick(decision jury.Vote, p0, p1 float64) float64 {
+	if decision == jury.No {
+		return p0
+	}
+	return p1
+}

@@ -1,0 +1,107 @@
+// Multi-choice jury selection: the Section 7 extension in action.
+//
+// Tasks here have three answers (negative / neutral / positive sentiment)
+// and workers are modeled by confusion matrices — a worker may be great at
+// spotting negativity yet systematically confuse neutral with positive.
+// The example shows why that matters: Bayesian voting exploits the
+// *structure* of each worker's errors, which plurality voting cannot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/jury/multi"
+)
+
+func main() {
+	const (
+		negative = multi.Label(0)
+		neutral  = multi.Label(1)
+		positive = multi.Label(2)
+	)
+	names := []string{"negative", "neutral", "positive"}
+
+	// A worker who nails negativity but votes "positive" for most neutral
+	// texts — a systematic, exploitable bias.
+	biased := multi.ConfusionMatrix{
+		{0.90, 0.05, 0.05}, // truth negative
+		{0.10, 0.20, 0.70}, // truth neutral → usually votes positive!
+		{0.05, 0.15, 0.80}, // truth positive
+	}
+	// Two ordinary workers, decent across the board.
+	balanced1, err := multi.NewSymmetricConfusion(3, 0.70)
+	if err != nil {
+		log.Fatal(err)
+	}
+	balanced2, err := multi.NewSymmetricConfusion(3, 0.65)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := multi.Pool{
+		{ID: "biased", Confusion: biased, Cost: 2},
+		{ID: "bal1", Confusion: balanced1, Cost: 3},
+		{ID: "bal2", Confusion: balanced2, Cost: 2},
+	}
+	prior := multi.UniformPrior(3)
+
+	// Quality of the full jury under both strategies.
+	bv, err := multi.JQ(pool, multi.Bayesian(), prior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := multi.JQ(pool, multi.Plurality(), prior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("three-worker jury quality: Bayesian %.2f%%  vs  plurality %.2f%%\n\n", 100*bv, 100*pl)
+
+	// A concrete voting: the biased worker says "positive", the balanced
+	// workers split between neutral and positive. Plurality says positive;
+	// Bayesian knows the biased worker's "positive" is weak evidence
+	// against "neutral".
+	votes := []multi.Label{positive, neutral, positive}
+	bvProbs, err := multi.Bayesian().Probabilities(votes, pool, prior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plProbs, err := multi.Plurality().Probabilities(votes, pool, prior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("votes: biased=positive, bal1=neutral, bal2=positive\n")
+	fmt.Printf("  plurality decides: %s\n", names[argmax(plProbs)])
+	fmt.Printf("  Bayesian decides:  %s\n\n", names[argmax(bvProbs)])
+
+	// Jury selection under a budget: the annealing solver treats the
+	// multi-choice JQ as a black box.
+	bigger := append(multi.Pool{}, pool...)
+	for i, q := range []float64{0.85, 0.75, 0.6, 0.55} {
+		m, err := multi.NewSymmetricConfusion(3, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bigger = append(bigger, multi.Worker{
+			ID: fmt.Sprintf("extra%d", i), Confusion: m, Cost: float64(i + 1),
+		})
+	}
+	res, err := multi.Select(bigger, 6, prior, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget 6: selected %d workers (cost %.0f) with estimated JQ %.2f%%\n",
+		len(res.Jury), res.Cost, 100*res.JQ)
+	for _, w := range res.Jury {
+		fmt.Printf("  %s (cost %.0f)\n", w.ID, w.Cost)
+	}
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,92 @@
+// Online collection: stop paying as soon as you are sure.
+//
+// Offline jury selection commits a budget before seeing any vote. The
+// online collector instead asks workers one at a time and stops the moment
+// the Bayesian posterior clears a confidence threshold — on easy tasks
+// after one or two votes, on contested tasks only after many. This example
+// runs both modes over the same simulated tasks and compares accuracy and
+// spend, then shows a single collection trace.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/jury"
+	"repro/jury/online"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	gen := datagen.DefaultConfig()
+	gen.N = 20
+	const budget = 0.5
+	const trials = 500
+
+	var onCorrect, offCorrect int
+	var onSpend, offSpend float64
+	for trial := 0; trial < trials; trial++ {
+		pool, err := gen.Pool(rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := datagen.Truth(0.5, rng)
+
+		// Online: sequential votes until 97% posterior confidence.
+		res, err := online.Collect(pool,
+			online.SimulatedSource{Pool: pool, Truth: truth, Rng: rng},
+			online.EvidencePerCost(),
+			online.Config{Alpha: 0.5, Confidence: 0.97, Budget: budget}, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Decision == truth {
+			onCorrect++
+		}
+		onSpend += res.Cost
+
+		// Offline: the optimal jury for the full budget, all votes bought.
+		sel, err := jury.Select(pool, budget, jury.UniformPrior, int64(trial))
+		if err != nil {
+			log.Fatal(err)
+		}
+		votes := datagen.Votes(sel.Jury, truth, rng)
+		dec, err := jury.Decide(jury.Bayesian(), votes, sel.Jury.Qualities(), 0.5, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dec == truth {
+			offCorrect++
+		}
+		offSpend += sel.Cost
+	}
+	fmt.Printf("over %d tasks (budget cap %.2f):\n", trials, budget)
+	fmt.Printf("  online  (stop at 97%% confidence): accuracy %.1f%%, mean spend %.4f\n",
+		100*float64(onCorrect)/trials, onSpend/trials)
+	fmt.Printf("  offline (full jury up front):      accuracy %.1f%%, mean spend %.4f\n\n",
+		100*float64(offCorrect)/trials, offSpend/trials)
+
+	// One collection trace in detail.
+	pool, err := gen.Pool(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := datagen.Truth(0.5, rng)
+	res, err := online.Collect(pool,
+		online.SimulatedSource{Pool: pool, Truth: truth, Rng: rng},
+		online.EvidencePerCost(),
+		online.Config{Alpha: 0.5, Confidence: 0.97, Budget: budget}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace of one task (truth = %v):\n", truth)
+	for i, idx := range res.Asked {
+		w := pool[idx]
+		fmt.Printf("  vote %d: worker %s (q=%.2f, c=%.3f) says %v\n",
+			i+1, w.ID, w.Quality, w.Cost, res.Votes[i])
+	}
+	fmt.Printf("stopped: %v after %d votes, decision %v at %.1f%% confidence, spend %.4f\n",
+		res.Stopped, len(res.Asked), res.Decision, 100*res.Confidence, res.Cost)
+}

@@ -1,0 +1,69 @@
+// Quickstart: select the best jury for a budget, collect their votes, and
+// aggregate them with the optimal (Bayesian) voting strategy.
+//
+// This walks the paper's running example (Figure 1): seven candidate
+// workers A–G, a decision-making task ("Is Bill Gates now the CEO of
+// Microsoft?"), and a budget of 15 units.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/jury"
+)
+
+func main() {
+	// Seven candidate workers with (quality, cost): the probability of
+	// answering correctly, and the payment they require per vote.
+	pool := jury.Pool{
+		{ID: "A", Quality: 0.77, Cost: 9},
+		{ID: "B", Quality: 0.70, Cost: 5},
+		{ID: "C", Quality: 0.80, Cost: 6},
+		{ID: "D", Quality: 0.65, Cost: 7},
+		{ID: "E", Quality: 0.60, Cost: 5},
+		{ID: "F", Quality: 0.60, Cost: 2},
+		{ID: "G", Quality: 0.75, Cost: 3},
+	}
+
+	// 1. Solve the Jury Selection Problem for a budget of 15 units.
+	res, err := jury.Select(pool, 15, jury.UniformPrior, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected jury: %v\n", res.Jury)
+	fmt.Printf("estimated quality: %.2f%%, cost: %.0f units\n\n", 100*res.JQ, res.Cost)
+
+	// 2. The jury votes. Suppose B and G vote "yes", C votes "no".
+	votes := []jury.Vote{jury.Yes, jury.No, jury.Yes}
+	qualities := res.Jury.Qualities()
+
+	// 3. Aggregate with Bayesian Voting — the provably optimal strategy.
+	decision, err := jury.Decide(jury.Bayesian(), votes, qualities, jury.UniformPrior, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	confidence, err := jury.Confidence(votes, qualities, jury.UniformPrior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decision: %v (posterior confidence %.1f%%)\n\n", decision, 100*confidence)
+
+	// 4. Compare: majority voting on the same votes ignores qualities.
+	mvDecision, err := jury.Decide(jury.Majority(), votes, qualities, jury.UniformPrior, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("majority voting would have said: %v\n", mvDecision)
+
+	// 5. Quantify the gap: exact JQ of both strategies on this jury.
+	bvJQ, err := jury.JQ(res.Jury, jury.Bayesian(), jury.UniformPrior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mvJQ, err := jury.JQ(res.Jury, jury.Majority(), jury.UniformPrior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JQ under BV: %.2f%%  |  JQ under MV: %.2f%%\n", 100*bvJQ, 100*mvJQ)
+}

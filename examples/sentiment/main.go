@@ -1,0 +1,104 @@
+// Sentiment-analysis pipeline: the paper's real-data scenario end to end
+// (Section 6.2), on the simulated AMT corpus.
+//
+// The pipeline mirrors a production crowdsourcing deployment:
+//
+//  1. a batch of binary sentiment questions is answered by a crowd
+//     (simulated here with the published dataset statistics);
+//  2. every worker's quality is estimated empirically from their answers;
+//  3. for each new question, a jury is selected within a budget from the
+//     workers available for it;
+//  4. the jury's votes are aggregated with Bayesian Voting;
+//  5. predictions are scored against the ground truth — and compared with
+//     what majority voting over the same budget would have achieved.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/amt"
+	"repro/jury"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// 1. Simulate the crowd corpus: 128 workers, 600 questions, 20 votes
+	// each (the shape of the paper's AMT collection).
+	ds, err := amt.Generate(amt.DefaultConfig(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ds.Stats()
+	fmt.Printf("corpus: %d workers, %d questions; mean empirical quality %.2f\n",
+		st.NumWorkers, st.NumTasks, st.MeanEmpiricalQuality)
+	fmt.Printf("workers above 0.8: %d, below 0.6: %d\n\n", st.WorkersAbove80, st.WorkersBelow60)
+
+	// 2–5. For a sample of questions: select a jury within the budget from
+	// the 20 workers who answered it, aggregate their actual votes, score.
+	const budget = 0.4
+	const questions = 200
+	bvCorrect, mvCorrect := 0, 0
+	var jurySizes int
+	for q := 0; q < questions; q++ {
+		pool, err := ds.TaskPool(q, 0.05, 0.2, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sel, err := jury.Select(pool, budget, jury.UniformPrior, int64(q))
+		if err != nil {
+			log.Fatal(err)
+		}
+		jurySizes += len(sel.Jury)
+
+		// Look up the selected workers' actual votes on this question.
+		votes, quals := actualVotes(ds, q, sel)
+		if len(votes) == 0 {
+			continue
+		}
+		decision, err := jury.Decide(jury.Bayesian(), votes, quals, jury.UniformPrior, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if decision == ds.Tasks[q].Truth {
+			bvCorrect++
+		}
+		// Baseline: same budget, jury chosen and aggregated under MV.
+		mvSel, err := jury.SelectMajority(pool, budget, jury.UniformPrior, int64(q))
+		if err != nil {
+			log.Fatal(err)
+		}
+		mvVotes, mvQuals := actualVotes(ds, q, mvSel)
+		mvDecision, err := jury.Decide(jury.Majority(), mvVotes, mvQuals, jury.UniformPrior, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if mvDecision == ds.Tasks[q].Truth {
+			mvCorrect++
+		}
+	}
+	fmt.Printf("budget %.2f, %d questions, mean jury size %.1f\n",
+		budget, questions, float64(jurySizes)/questions)
+	fmt.Printf("optimal system accuracy (BV):   %.1f%%\n", 100*float64(bvCorrect)/questions)
+	fmt.Printf("majority baseline accuracy (MV): %.1f%%\n", 100*float64(mvCorrect)/questions)
+}
+
+// actualVotes returns the recorded votes of the selected jury members on
+// question q, with their empirical qualities.
+func actualVotes(ds *amt.Dataset, q int, sel jury.Selection) ([]jury.Vote, []float64) {
+	byID := map[string]jury.Vote{}
+	for _, ans := range ds.Tasks[q].Answers {
+		byID[fmt.Sprintf("w%d", ans.WorkerID)] = ans.Vote
+	}
+	var votes []jury.Vote
+	var quals []float64
+	for _, w := range sel.Jury {
+		if v, ok := byID[w.ID]; ok {
+			votes = append(votes, v)
+			quals = append(quals, w.Quality)
+		}
+	}
+	return votes, quals
+}

@@ -1,0 +1,245 @@
+// Cross-module integration tests: each exercises a full pipeline the way a
+// production deployment would compose the packages, rather than a single
+// module in isolation.
+package repro_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/amt"
+	"repro/internal/datagen"
+	"repro/internal/jq"
+	"repro/internal/multichoice"
+	"repro/internal/quality"
+	"repro/internal/selection"
+	"repro/internal/voting"
+	"repro/internal/worker"
+	"repro/jury"
+	jonline "repro/jury/online"
+)
+
+// TestIntegrationColdStartPipeline runs the full cold-start story: a crowd
+// answers a batch with NO known ground truth; Dawid–Skene EM recovers
+// worker qualities and labels; jury selection then uses those qualities on
+// fresh tasks, and the selected juries beat majority-selected ones.
+func TestIntegrationColdStartPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds, err := amt.Generate(amt.DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: estimate qualities without any ground truth.
+	em, err := quality.EM(ds.QualityDataset(), quality.EMOptions{FixedPrior: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !em.Converged {
+		t.Fatal("EM did not converge on the corpus")
+	}
+	// EM labels should agree with the hidden truth almost always.
+	correct := 0
+	for i, task := range ds.Tasks {
+		if em.Labels[i] == task.Truth {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(ds.Tasks)); acc < 0.95 {
+		t.Fatalf("EM label accuracy = %v, want ≥ 0.95", acc)
+	}
+
+	// Phase 2: use EM qualities for selection + aggregation per task.
+	const budget = 0.05
+	bvCorrect := 0
+	const sample = 150
+	for q := 0; q < sample; q++ {
+		task := ds.Tasks[q]
+		pool := make(worker.Pool, len(task.Answers))
+		for i, ans := range task.Answers {
+			cost := rng.NormFloat64()*0.2 + 0.05
+			if cost < 0.01 {
+				cost = 0.01
+			}
+			pool[i] = worker.Worker{Quality: em.Qualities[ans.WorkerID], Cost: cost}
+		}
+		sel, err := selection.OPTJS(int64(q)).Select(pool, budget, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		votes := make([]voting.Vote, len(sel.Indices))
+		quals := make([]float64, len(sel.Indices))
+		for i, idx := range sel.Indices {
+			votes[i] = task.Answers[idx].Vote
+			quals[i] = pool[idx].Quality
+		}
+		if len(votes) == 0 {
+			continue
+		}
+		dec, err := voting.Decide(voting.Bayesian{}, votes, quals, 0.5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec == task.Truth {
+			bvCorrect++
+		}
+	}
+	if acc := float64(bvCorrect) / sample; acc < 0.85 {
+		t.Fatalf("cold-start pipeline accuracy = %v, want ≥ 0.85", acc)
+	}
+}
+
+// TestIntegrationOnlineVsOfflineSpend verifies the online collector reaches
+// comparable accuracy to a committed jury while paying less on average.
+func TestIntegrationOnlineVsOfflineSpend(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	gen := datagen.DefaultConfig()
+	gen.N = 20
+	const budget = 0.5
+	const trials = 150
+
+	var onCorrect, offCorrect int
+	var onSpend, offSpend float64
+	for trial := 0; trial < trials; trial++ {
+		pool, err := gen.Pool(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := datagen.Truth(0.5, rng)
+
+		res, err := jonline.Collect(pool,
+			jonline.SimulatedSource{Pool: pool, Truth: truth, Rng: rng},
+			jonline.EvidencePerCost(),
+			jonline.Config{Alpha: 0.5, Confidence: 0.97, Budget: budget}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Decision == truth {
+			onCorrect++
+		}
+		onSpend += res.Cost
+
+		sel, err := jury.Select(pool, budget, jury.UniformPrior, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		votes := datagen.Votes(sel.Jury, truth, rng)
+		dec, err := jury.Decide(jury.Bayesian(), votes, sel.Jury.Qualities(), 0.5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec == truth {
+			offCorrect++
+		}
+		offSpend += sel.Cost
+	}
+	onAcc := float64(onCorrect) / trials
+	offAcc := float64(offCorrect) / trials
+	if onSpend >= offSpend {
+		t.Fatalf("online spend %v not below offline %v", onSpend/trials, offSpend/trials)
+	}
+	if onAcc < offAcc-0.08 {
+		t.Fatalf("online accuracy %v too far below offline %v", onAcc, offAcc)
+	}
+}
+
+// TestIntegrationMultiChoiceLearnedModels runs the Section 7 pipeline with
+// learned confusion matrices: simulate ℓ-ary answers, estimate matrices
+// with EM, select a jury with the learned models, and verify the learned
+// JQ estimate tracks the true-model JQ.
+func TestIntegrationMultiChoiceLearnedModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const labels = 3
+	trueMatrices := make([]multichoice.ConfusionMatrix, 10)
+	for i := range trueMatrices {
+		m, err := multichoice.NewSymmetricConfusion(labels, 0.55+0.04*float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueMatrices[i] = m
+	}
+	// Simulate 300 tasks answered by all workers.
+	d := quality.DatasetL{NumTasks: 300, NumWorkers: len(trueMatrices), Labels: labels}
+	truths := make([]multichoice.Label, d.NumTasks)
+	for task := range truths {
+		truths[task] = multichoice.Label(rng.Intn(labels))
+		for w, m := range trueMatrices {
+			u := rng.Float64()
+			var cum float64
+			vote := multichoice.Label(labels - 1)
+			for k, p := range m[truths[task]] {
+				cum += p
+				if u < cum {
+					vote = multichoice.Label(k)
+					break
+				}
+			}
+			d.Responses = append(d.Responses, quality.ResponseL{Task: task, Worker: w, Vote: vote})
+		}
+	}
+	em, err := quality.EMConfusion(d, quality.EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := make(multichoice.Pool, len(em.Confusions))
+	truePool := make(multichoice.Pool, len(trueMatrices))
+	for i := range em.Confusions {
+		learned[i] = multichoice.Worker{Confusion: em.Confusions[i], Cost: float64(i + 1)}
+		truePool[i] = multichoice.Worker{Confusion: trueMatrices[i], Cost: float64(i + 1)}
+	}
+	prior := multichoice.UniformPrior(labels)
+	sel, err := multichoice.SelectAnnealing(learned, 15, prior, multichoice.EstimateObjective(200), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Cost > 15 {
+		t.Fatalf("budget violated: %v", sel.Cost)
+	}
+	// Score the selected jury under the TRUE models: the learned-model
+	// selection should still produce a good jury.
+	trueJQ, err := multichoice.ExactBV(truePool.Subset(sel.Indices), prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestJQ, err := multichoice.SelectExhaustive(truePool, 15, prior, multichoice.ExactObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestJQ.JQ-trueJQ > 0.06 {
+		t.Fatalf("learned-model jury scores %v under true models; optimum %v", trueJQ, bestJQ.JQ)
+	}
+}
+
+// TestIntegrationEstimateConsistency cross-checks the three JQ evaluation
+// paths — exact enumeration, bucket approximation, and Monte Carlo — on
+// the same juries.
+func TestIntegrationEstimateConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	gen := datagen.DefaultConfig()
+	gen.N = 12
+	for trial := 0; trial < 5; trial++ {
+		pool, err := gen.Pool(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := jq.ExactBV(pool, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := jq.Estimate(pool, 0.5, jq.Options{NumBuckets: 200 * len(pool)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := jq.MonteCarlo(pool, voting.Bayesian{}, 0.5, 100000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-est.JQ) > 0.0063 {
+			t.Fatalf("estimate %v vs exact %v", est.JQ, exact)
+		}
+		if math.Abs(exact-mc) > 0.01 {
+			t.Fatalf("monte carlo %v vs exact %v", mc, exact)
+		}
+	}
+}

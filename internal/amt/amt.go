@@ -1,0 +1,379 @@
+// Package amt simulates the Amazon Mechanical Turk crowd dataset of the
+// paper's real-data evaluation (Section 6.2).
+//
+// The original study batched 600 sentiment-analysis tweets into HITs of 20
+// questions, collected m=20 assignments per HIT from 128 distinct workers,
+// and then *re-estimated every worker's quality empirically* as the
+// fraction of their answers matching the ground truth. This repository is
+// offline, so the crowd is simulated instead — but with the paper's
+// published statistics:
+//
+//   - 128 workers, 600 binary tasks, 20 votes per task;
+//   - 30 HITs of 20 questions, 20 worker assignments per HIT;
+//   - two workers answering every HIT, 67 answering exactly one
+//     (the paper's "only two workers answered all questions and 67 workers
+//     answered only 20 questions");
+//   - mean worker quality ≈ 0.71, 40 workers above 0.8, ~10% below 0.6.
+//
+// Everything downstream of data collection is the paper's real pipeline:
+// empirical qualities feed jury selection, and the recorded answering
+// sequences drive the JQ-versus-accuracy experiment (Figure 10d).
+package amt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+// Paper-published dataset shape (Section 6.2.1).
+const (
+	DefaultNumWorkers    = 128
+	DefaultNumTasks      = 600
+	DefaultVotesPerTask  = 20
+	DefaultTasksPerHIT   = 20
+	DefaultHeavyWorkers  = 2
+	DefaultOneHITWorkers = 67
+)
+
+// Config shapes the simulated crowd.
+type Config struct {
+	NumWorkers   int
+	NumTasks     int
+	VotesPerTask int
+	TasksPerHIT  int
+	// HeavyWorkers answer every HIT; OneHITWorkers answer exactly one.
+	// The remaining workers share the leftover assignments evenly.
+	HeavyWorkers  int
+	OneHITWorkers int
+}
+
+// DefaultConfig reproduces the published dataset shape.
+func DefaultConfig() Config {
+	return Config{
+		NumWorkers:    DefaultNumWorkers,
+		NumTasks:      DefaultNumTasks,
+		VotesPerTask:  DefaultVotesPerTask,
+		TasksPerHIT:   DefaultTasksPerHIT,
+		HeavyWorkers:  DefaultHeavyWorkers,
+		OneHITWorkers: DefaultOneHITWorkers,
+	}
+}
+
+// Validate checks structural feasibility of the configuration.
+func (c Config) Validate() error {
+	if c.NumWorkers < 1 || c.NumTasks < 1 || c.VotesPerTask < 1 || c.TasksPerHIT < 1 {
+		return fmt.Errorf("amt: non-positive size in %+v", c)
+	}
+	if c.NumTasks%c.TasksPerHIT != 0 {
+		return fmt.Errorf("amt: NumTasks %d not divisible by TasksPerHIT %d", c.NumTasks, c.TasksPerHIT)
+	}
+	if c.VotesPerTask > c.NumWorkers {
+		return fmt.Errorf("amt: VotesPerTask %d exceeds NumWorkers %d", c.VotesPerTask, c.NumWorkers)
+	}
+	if c.HeavyWorkers < 0 || c.OneHITWorkers < 0 ||
+		c.HeavyWorkers+c.OneHITWorkers > c.NumWorkers {
+		return fmt.Errorf("amt: worker class sizes inconsistent in %+v", c)
+	}
+	hits := c.NumTasks / c.TasksPerHIT
+	slots := hits * (c.VotesPerTask - c.HeavyWorkers)
+	if slots < c.OneHITWorkers {
+		return fmt.Errorf("amt: not enough assignment slots (%d) for %d one-HIT workers", slots, c.OneHITWorkers)
+	}
+	regulars := c.NumWorkers - c.HeavyWorkers - c.OneHITWorkers
+	remaining := slots - c.OneHITWorkers
+	if regulars == 0 && remaining > 0 {
+		return fmt.Errorf("amt: %d leftover assignments but no regular workers", remaining)
+	}
+	if regulars > 0 && (remaining+regulars-1)/regulars > hits {
+		return fmt.Errorf("amt: regular workers would need more than %d HITs each", hits)
+	}
+	if c.VotesPerTask-c.HeavyWorkers < 0 {
+		return fmt.Errorf("amt: more heavy workers than assignments per HIT")
+	}
+	return nil
+}
+
+// CrowdWorker is one simulated crowd member.
+type CrowdWorker struct {
+	// ID indexes the worker within the dataset.
+	ID int
+	// TrueQuality is the latent per-vote correctness probability used by
+	// the simulator. Real deployments never observe it; experiments use
+	// EmpiricalQuality, exactly as the paper does.
+	TrueQuality float64
+	// Answered and Correct count the worker's votes and correct votes.
+	Answered int
+	Correct  int
+}
+
+// EmpiricalQuality is the paper's quality estimate: the proportion of
+// correctly answered questions among all the worker's answers.
+func (w CrowdWorker) EmpiricalQuality() float64 {
+	if w.Answered == 0 {
+		return 0.5 // uninformed default; cannot happen in generated data
+	}
+	return float64(w.Correct) / float64(w.Answered)
+}
+
+// Answer is a single worker vote on a task, in answering-sequence order.
+type Answer struct {
+	WorkerID int
+	Vote     voting.Vote
+}
+
+// Task is a binary decision-making task with its collected answers.
+type Task struct {
+	ID    int
+	Truth voting.Vote
+	// Answers lists the task's votes in arrival order (the "answering
+	// sequence" used by Figure 10d).
+	Answers []Answer
+}
+
+// Dataset is the simulated crowdsourcing corpus.
+type Dataset struct {
+	Workers []CrowdWorker
+	Tasks   []Task
+}
+
+// ErrNilRNG is returned when Generate is called without a random source.
+var ErrNilRNG = errors.New("amt: nil rng")
+
+// Generate simulates the crowd: draws latent worker qualities matching the
+// published distribution, schedules HIT assignments (heavy workers on every
+// HIT, one-HIT workers once, regulars evenly), simulates every vote, and
+// tallies empirical qualities.
+func Generate(cfg Config, rng *rand.Rand) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, ErrNilRNG
+	}
+	ds := &Dataset{
+		Workers: make([]CrowdWorker, cfg.NumWorkers),
+		Tasks:   make([]Task, cfg.NumTasks),
+	}
+	qualities := latentQualities(cfg.NumWorkers, rng)
+	for i := range ds.Workers {
+		ds.Workers[i] = CrowdWorker{ID: i, TrueQuality: qualities[i]}
+	}
+
+	hits := cfg.NumTasks / cfg.TasksPerHIT
+	assignments := scheduleAssignments(cfg, hits, rng)
+
+	for t := range ds.Tasks {
+		ds.Tasks[t] = Task{ID: t, Truth: voting.Vote(rng.Intn(2))}
+	}
+	for h := 0; h < hits; h++ {
+		crew := assignments[h]
+		// Arrival order of the crew within this HIT.
+		order := append([]int(nil), crew...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for q := 0; q < cfg.TasksPerHIT; q++ {
+			taskID := h*cfg.TasksPerHIT + q
+			task := &ds.Tasks[taskID]
+			task.Answers = make([]Answer, 0, len(order))
+			for _, wid := range order {
+				w := &ds.Workers[wid]
+				vote := task.Truth
+				if rng.Float64() >= w.TrueQuality {
+					vote = task.Truth.Opposite()
+				}
+				task.Answers = append(task.Answers, Answer{WorkerID: wid, Vote: vote})
+				w.Answered++
+				if vote == task.Truth {
+					w.Correct++
+				}
+			}
+		}
+	}
+	return ds, nil
+}
+
+// latentQualities draws worker qualities matching the published profile:
+// 40/128 high (0.80–0.92), 13/128 low (0.50–0.60), the rest mid
+// (0.60–0.715), giving a mean near 0.71. Group sizes scale with n.
+func latentQualities(n int, rng *rand.Rand) []float64 {
+	high := (n*40 + 64) / 128
+	low := (n*13 + 64) / 128
+	if high+low > n {
+		low = n - high
+	}
+	qs := make([]float64, 0, n)
+	for i := 0; i < high; i++ {
+		qs = append(qs, 0.80+0.12*rng.Float64())
+	}
+	for i := 0; i < low; i++ {
+		qs = append(qs, 0.50+0.10*rng.Float64())
+	}
+	for len(qs) < n {
+		qs = append(qs, 0.60+0.115*rng.Float64())
+	}
+	rng.Shuffle(len(qs), func(i, j int) { qs[i], qs[j] = qs[j], qs[i] })
+	return qs
+}
+
+// scheduleAssignments builds, per HIT, the crew of VotesPerTask distinct
+// workers: all heavy workers plus a greedy most-remaining-first fill from
+// the one-HIT and regular workers.
+func scheduleAssignments(cfg Config, hits int, rng *rand.Rand) [][]int {
+	type budgetWorker struct {
+		id        int
+		remaining int
+	}
+	heavyEnd := cfg.HeavyWorkers
+	oneEnd := heavyEnd + cfg.OneHITWorkers
+	slotsPerHIT := cfg.VotesPerTask - cfg.HeavyWorkers
+	totalSlots := hits * slotsPerHIT
+
+	var pool []budgetWorker
+	for id := heavyEnd; id < oneEnd; id++ {
+		pool = append(pool, budgetWorker{id: id, remaining: 1})
+	}
+	regulars := cfg.NumWorkers - oneEnd
+	remaining := totalSlots - cfg.OneHITWorkers
+	for i := 0; i < regulars; i++ {
+		share := remaining / regulars
+		if i < remaining%regulars {
+			share++
+		}
+		pool = append(pool, budgetWorker{id: oneEnd + i, remaining: share})
+	}
+
+	assignments := make([][]int, hits)
+	for h := 0; h < hits; h++ {
+		crew := make([]int, 0, cfg.VotesPerTask)
+		for id := 0; id < heavyEnd; id++ {
+			crew = append(crew, id)
+		}
+		// Most-remaining-first keeps the schedule feasible (no worker can
+		// be needed twice in one HIT); random shuffle breaks ties fairly.
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		sort.SliceStable(pool, func(i, j int) bool { return pool[i].remaining > pool[j].remaining })
+		picked := 0
+		for i := range pool {
+			if picked == slotsPerHIT {
+				break
+			}
+			if pool[i].remaining > 0 {
+				crew = append(crew, pool[i].id)
+				pool[i].remaining--
+				picked++
+			}
+		}
+		assignments[h] = crew
+	}
+	return assignments
+}
+
+// TaskPool builds the candidate worker pool of a task for jury selection:
+// the workers who answered it, with their *empirical* qualities and costs
+// drawn from the given cost distribution (mean, std), clamped to a small
+// positive floor — matching the paper's real-data JSP setup (Section 6.2.2).
+func (ds *Dataset) TaskPool(taskID int, costMean, costStd float64, rng *rand.Rand) (worker.Pool, error) {
+	if taskID < 0 || taskID >= len(ds.Tasks) {
+		return nil, fmt.Errorf("amt: task %d out of range [0, %d)", taskID, len(ds.Tasks))
+	}
+	task := ds.Tasks[taskID]
+	pool := make(worker.Pool, len(task.Answers))
+	for i, ans := range task.Answers {
+		cost := stats.Normal(rng, costMean, costStd)
+		if cost < 0.001 {
+			cost = 0.001
+		}
+		pool[i] = worker.Worker{
+			ID:      fmt.Sprintf("w%d", ans.WorkerID),
+			Quality: ds.Workers[ans.WorkerID].EmpiricalQuality(),
+			Cost:    cost,
+		}
+	}
+	return pool, nil
+}
+
+// Prefix returns the first z answers of a task (its answering sequence
+// prefix) together with the voters' empirical qualities — the inputs of the
+// Figure 10(d) JQ-versus-accuracy experiment.
+func (ds *Dataset) Prefix(taskID, z int) (votes []voting.Vote, qualities []float64, err error) {
+	if taskID < 0 || taskID >= len(ds.Tasks) {
+		return nil, nil, fmt.Errorf("amt: task %d out of range [0, %d)", taskID, len(ds.Tasks))
+	}
+	task := ds.Tasks[taskID]
+	if z < 0 || z > len(task.Answers) {
+		return nil, nil, fmt.Errorf("amt: prefix %d out of range [0, %d]", z, len(task.Answers))
+	}
+	votes = make([]voting.Vote, z)
+	qualities = make([]float64, z)
+	for i := 0; i < z; i++ {
+		votes[i] = task.Answers[i].Vote
+		qualities[i] = ds.Workers[task.Answers[i].WorkerID].EmpiricalQuality()
+	}
+	return votes, qualities, nil
+}
+
+// Stats summarizes the dataset against the published profile.
+type Stats struct {
+	NumWorkers, NumTasks   int
+	MeanEmpiricalQuality   float64
+	MeanTrueQuality        float64
+	WorkersAbove80         int
+	WorkersBelow60         int
+	AnswersPerWorkerMean   float64
+	WorkersAnsweringAll    int
+	WorkersAnsweringOneHIT int
+}
+
+// Stats computes the dataset summary.
+func (ds *Dataset) Stats() Stats {
+	s := Stats{NumWorkers: len(ds.Workers), NumTasks: len(ds.Tasks)}
+	var sumEmp, sumTrue, sumAns float64
+	maxAnswered := 0
+	for _, w := range ds.Workers {
+		if w.Answered > maxAnswered {
+			maxAnswered = w.Answered
+		}
+	}
+	for _, w := range ds.Workers {
+		emp := w.EmpiricalQuality()
+		sumEmp += emp
+		sumTrue += w.TrueQuality
+		sumAns += float64(w.Answered)
+		if emp > 0.8 {
+			s.WorkersAbove80++
+		}
+		if emp < 0.6 {
+			s.WorkersBelow60++
+		}
+		if w.Answered == maxAnswered && maxAnswered == len(ds.Tasks) {
+			s.WorkersAnsweringAll++
+		}
+	}
+	// One-HIT workers answered exactly TasksPerHIT questions; infer the
+	// HIT size from the most common minimal answer count.
+	if len(ds.Workers) > 0 {
+		minAns := ds.Workers[0].Answered
+		for _, w := range ds.Workers {
+			if w.Answered < minAns && w.Answered > 0 {
+				minAns = w.Answered
+			}
+		}
+		for _, w := range ds.Workers {
+			if w.Answered == minAns {
+				s.WorkersAnsweringOneHIT++
+			}
+		}
+	}
+	n := float64(len(ds.Workers))
+	if n > 0 {
+		s.MeanEmpiricalQuality = sumEmp / n
+		s.MeanTrueQuality = sumTrue / n
+		s.AnswersPerWorkerMean = sumAns / n
+	}
+	return s
+}

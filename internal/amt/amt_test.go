@@ -1,0 +1,245 @@
+package amt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/voting"
+)
+
+func generateDefault(t *testing.T, seed int64) *Dataset {
+	t.Helper()
+	ds, err := Generate(DefaultConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{}, // all zero
+		{NumWorkers: 10, NumTasks: 25, VotesPerTask: 5, TasksPerHIT: 20},                                    // not divisible
+		{NumWorkers: 4, NumTasks: 20, VotesPerTask: 5, TasksPerHIT: 20},                                     // votes > workers
+		{NumWorkers: 10, NumTasks: 20, VotesPerTask: 5, TasksPerHIT: 20, HeavyWorkers: 8, OneHITWorkers: 8}, // classes overflow
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d (%+v): expected validation error", i, c)
+		}
+	}
+}
+
+func TestGenerateRequiresRNG(t *testing.T) {
+	if _, err := Generate(DefaultConfig(), nil); !errors.Is(err, ErrNilRNG) {
+		t.Fatalf("err = %v, want ErrNilRNG", err)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := generateDefault(t, 1)
+	if len(ds.Workers) != 128 {
+		t.Fatalf("workers = %d, want 128", len(ds.Workers))
+	}
+	if len(ds.Tasks) != 600 {
+		t.Fatalf("tasks = %d, want 600", len(ds.Tasks))
+	}
+	for _, task := range ds.Tasks {
+		if len(task.Answers) != 20 {
+			t.Fatalf("task %d has %d answers, want 20", task.ID, len(task.Answers))
+		}
+		seen := map[int]bool{}
+		for _, a := range task.Answers {
+			if seen[a.WorkerID] {
+				t.Fatalf("task %d: worker %d answered twice", task.ID, a.WorkerID)
+			}
+			seen[a.WorkerID] = true
+		}
+	}
+}
+
+func TestGenerateMatchesPublishedProfile(t *testing.T) {
+	ds := generateDefault(t, 2)
+	s := ds.Stats()
+	// Paper: average quality 0.71; tolerate the simulator's sampling noise.
+	if s.MeanEmpiricalQuality < 0.66 || s.MeanEmpiricalQuality > 0.76 {
+		t.Errorf("mean empirical quality = %v, want ≈0.71", s.MeanEmpiricalQuality)
+	}
+	// Paper: 40 workers above 0.8. Empirical estimates are noisy; accept a
+	// generous band.
+	if s.WorkersAbove80 < 25 || s.WorkersAbove80 > 60 {
+		t.Errorf("workers above 0.8 = %d, want ≈40", s.WorkersAbove80)
+	}
+	// Paper: about 10% below 0.6.
+	if s.WorkersBelow60 < 5 || s.WorkersBelow60 > 30 {
+		t.Errorf("workers below 0.6 = %d, want ≈13", s.WorkersBelow60)
+	}
+	// Paper: 600·20/128 = 93.75 answers per worker on average.
+	if math.Abs(s.AnswersPerWorkerMean-93.75) > 1e-9 {
+		t.Errorf("answers per worker = %v, want 93.75", s.AnswersPerWorkerMean)
+	}
+	// Two heavy workers answer all 600 questions.
+	if s.WorkersAnsweringAll != 2 {
+		t.Errorf("workers answering everything = %d, want 2", s.WorkersAnsweringAll)
+	}
+	// 67 workers answer exactly one 20-question HIT.
+	if s.WorkersAnsweringOneHIT != 67 {
+		t.Errorf("one-HIT workers = %d, want 67", s.WorkersAnsweringOneHIT)
+	}
+}
+
+func TestEveryWorkerAnswersSomething(t *testing.T) {
+	ds := generateDefault(t, 3)
+	for _, w := range ds.Workers {
+		if w.Answered == 0 {
+			t.Fatalf("worker %d never answered", w.ID)
+		}
+		if w.Correct > w.Answered {
+			t.Fatalf("worker %d: correct %d > answered %d", w.ID, w.Correct, w.Answered)
+		}
+	}
+}
+
+func TestEmpiricalQualityTracksTrueQuality(t *testing.T) {
+	ds := generateDefault(t, 4)
+	// Heavy workers have 600 answers; their empirical quality should be
+	// within a few points of the latent one.
+	for _, w := range ds.Workers {
+		if w.Answered == len(ds.Tasks) {
+			if math.Abs(w.EmpiricalQuality()-w.TrueQuality) > 0.06 {
+				t.Errorf("heavy worker %d: empirical %v vs true %v",
+					w.ID, w.EmpiricalQuality(), w.TrueQuality)
+			}
+		}
+	}
+}
+
+func TestEmpiricalQualityNoAnswers(t *testing.T) {
+	w := CrowdWorker{}
+	if got := w.EmpiricalQuality(); got != 0.5 {
+		t.Fatalf("EmpiricalQuality with no answers = %v, want 0.5", got)
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	a := generateDefault(t, 42)
+	b := generateDefault(t, 42)
+	for i := range a.Tasks {
+		if a.Tasks[i].Truth != b.Tasks[i].Truth {
+			t.Fatalf("task %d truth differs", i)
+		}
+		for j := range a.Tasks[i].Answers {
+			if a.Tasks[i].Answers[j] != b.Tasks[i].Answers[j] {
+				t.Fatalf("task %d answer %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestTaskPool(t *testing.T) {
+	ds := generateDefault(t, 5)
+	rng := rand.New(rand.NewSource(6))
+	pool, err := ds.TaskPool(0, 0.05, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 20 {
+		t.Fatalf("pool size = %d, want 20", len(pool))
+	}
+	if err := pool.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range pool {
+		if w.Cost < 0.001 {
+			t.Fatalf("cost %v below floor", w.Cost)
+		}
+	}
+	if _, err := ds.TaskPool(-1, 0.05, 0.2, rng); err == nil {
+		t.Fatal("no error for negative task id")
+	}
+	if _, err := ds.TaskPool(len(ds.Tasks), 0.05, 0.2, rng); err == nil {
+		t.Fatal("no error for out-of-range task id")
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	ds := generateDefault(t, 7)
+	votes, quals, err := ds.Prefix(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(votes) != 5 || len(quals) != 5 {
+		t.Fatalf("prefix sizes = %d/%d, want 5/5", len(votes), len(quals))
+	}
+	task := ds.Tasks[3]
+	for i := 0; i < 5; i++ {
+		if votes[i] != task.Answers[i].Vote {
+			t.Fatalf("vote %d mismatch", i)
+		}
+		want := ds.Workers[task.Answers[i].WorkerID].EmpiricalQuality()
+		if quals[i] != want {
+			t.Fatalf("quality %d = %v, want %v", i, quals[i], want)
+		}
+	}
+	if _, _, err := ds.Prefix(3, 21); err == nil {
+		t.Fatal("no error for oversized prefix")
+	}
+	if _, _, err := ds.Prefix(999, 5); err == nil {
+		t.Fatal("no error for bad task id")
+	}
+	if _, _, err := ds.Prefix(3, -1); err == nil {
+		t.Fatal("no error for negative prefix")
+	}
+}
+
+func TestBVAccuracyBeatsIndividualWorkers(t *testing.T) {
+	// End-to-end sanity: aggregating all 20 votes with BV should label
+	// tasks more accurately than the mean single worker does.
+	ds := generateDefault(t, 8)
+	correct := 0
+	for taskID := range ds.Tasks {
+		votes, quals, err := ds.Prefix(taskID, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := voting.Decide(voting.Bayesian{}, votes, quals, 0.5, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec == ds.Tasks[taskID].Truth {
+			correct++
+		}
+	}
+	accuracy := float64(correct) / float64(len(ds.Tasks))
+	if accuracy < 0.9 {
+		t.Fatalf("BV accuracy over the corpus = %v, want > 0.9", accuracy)
+	}
+}
+
+func TestSmallConfig(t *testing.T) {
+	cfg := Config{
+		NumWorkers:    16,
+		NumTasks:      40,
+		VotesPerTask:  8,
+		TasksPerHIT:   10,
+		HeavyWorkers:  1,
+		OneHITWorkers: 5,
+	}
+	ds, err := Generate(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Workers) != 16 || len(ds.Tasks) != 40 {
+		t.Fatalf("shape = %d workers / %d tasks", len(ds.Workers), len(ds.Tasks))
+	}
+	for _, task := range ds.Tasks {
+		if len(task.Answers) != 8 {
+			t.Fatalf("task %d: %d answers, want 8", task.ID, len(task.Answers))
+		}
+	}
+}

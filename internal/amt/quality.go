@@ -1,0 +1,34 @@
+package amt
+
+import (
+	"repro/internal/quality"
+	"repro/internal/voting"
+)
+
+// QualityDataset converts the corpus into the sparse response matrix
+// consumed by the quality-estimation package, enabling golden-question and
+// Dawid–Skene EM estimation on the simulated crowd.
+func (ds *Dataset) QualityDataset() quality.Dataset {
+	out := quality.Dataset{NumTasks: len(ds.Tasks), NumWorkers: len(ds.Workers)}
+	for _, task := range ds.Tasks {
+		for _, ans := range task.Answers {
+			out.Responses = append(out.Responses, quality.Response{
+				Task: task.ID, Worker: ans.WorkerID, Vote: ans.Vote,
+			})
+		}
+	}
+	return out
+}
+
+// GoldenTruths returns the ground truth of the first n tasks, as a golden
+// set for quality estimation. n is clamped to the corpus size.
+func (ds *Dataset) GoldenTruths(n int) map[int]voting.Vote {
+	if n > len(ds.Tasks) {
+		n = len(ds.Tasks)
+	}
+	out := make(map[int]voting.Vote, n)
+	for i := 0; i < n; i++ {
+		out[ds.Tasks[i].ID] = ds.Tasks[i].Truth
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultScheduleLevels(t *testing.T) {
+	s := DefaultSchedule()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1.0 halves to below 1e-8 after 27 halvings; level count includes T=1.
+	if got := s.Levels(); got != 27 {
+		t.Fatalf("Levels = %d, want 27", got)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	bad := []Schedule{
+		{InitialTemp: 0, Cooling: 0.5, Epsilon: 1e-8},
+		{InitialTemp: 1, Cooling: 1, Epsilon: 1e-8},
+		{InitialTemp: 1, Cooling: 0, Epsilon: 1e-8},
+		{InitialTemp: 1, Cooling: 0.5, Epsilon: 0},
+		{InitialTemp: math.NaN(), Cooling: 0.5, Epsilon: 1e-8},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schedule %d: no validation error for %+v", i, s)
+		}
+		if s.Levels() != 0 {
+			t.Errorf("schedule %d: Levels() = %d for invalid schedule", i, s.Levels())
+		}
+	}
+}
+
+func TestRunVisitsDescendingTemperatures(t *testing.T) {
+	var temps []float64
+	n, err := Run(Schedule{InitialTemp: 1, Cooling: 0.5, Epsilon: 0.2}, func(t float64) {
+		temps = append(temps, t)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.5, 0.25}
+	if n != len(want) || len(temps) != len(want) {
+		t.Fatalf("levels = %d, temps = %v, want %v", n, temps, want)
+	}
+	for i := range want {
+		if math.Abs(temps[i]-want[i]) > 1e-15 {
+			t.Fatalf("temps = %v, want %v", temps, want)
+		}
+	}
+}
+
+func TestRunRejectsInvalidSchedule(t *testing.T) {
+	if _, err := Run(Schedule{}, func(float64) {}); err == nil {
+		t.Fatal("no error for zero-value schedule")
+	}
+}
+
+func TestAcceptImprovingAlways(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if !Accept(rng.Float64(), 1e-12, rng) {
+			t.Fatal("improving move rejected")
+		}
+	}
+	if !Accept(0, 1e-12, rng) {
+		t.Fatal("neutral move rejected")
+	}
+}
+
+func TestAcceptWorseningFrequency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	delta, temp := -0.5, 1.0
+	want := math.Exp(delta / temp)
+	accepted := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if Accept(delta, temp, rng) {
+			accepted++
+		}
+	}
+	got := float64(accepted) / trials
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("acceptance rate = %v, want ~%v", got, want)
+	}
+}
+
+func TestAcceptFrozenRejectsWorsening(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if Accept(-0.01, 0, rng) {
+		t.Fatal("worsening move accepted at T=0")
+	}
+}
+
+// Property: acceptance probability of worsening moves is monotone in
+// temperature — colder never accepts more often (statistically).
+func TestAcceptMonotoneInTemperatureProperty(t *testing.T) {
+	f := func(seed int64, dRaw, tRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		delta := -(float64(dRaw%100) + 1) / 100 // in [-1.01, -0.01]
+		hot := (float64(tRaw%50) + 51) / 100    // in (0.5, 1.01]
+		cold := hot / 4
+		const trials = 4000
+		hotAcc, coldAcc := 0, 0
+		for i := 0; i < trials; i++ {
+			if Accept(delta, hot, rng) {
+				hotAcc++
+			}
+			if Accept(delta, cold, rng) {
+				coldAcc++
+			}
+		}
+		// Allow statistical slack: 4 sigma ≈ 4·sqrt(0.25/4000) ≈ 0.032.
+		return float64(hotAcc-coldAcc)/trials > -0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// SA on a toy problem: maximize -(x-7)² over integers 0..15 starting at 0.
+// With enough moves the engine should land on the optimum.
+func TestAnnealingSolvesToyProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	obj := func(x int) float64 { return -float64((x - 7) * (x - 7)) }
+	x := 0
+	best := x
+	_, err := Run(DefaultSchedule(), func(temp float64) {
+		for i := 0; i < 20; i++ {
+			step := 1
+			if rng.Intn(2) == 0 {
+				step = -1
+			}
+			cand := x + step
+			if cand < 0 || cand > 15 {
+				continue
+			}
+			if Accept(obj(cand)-obj(x), temp, rng) {
+				x = cand
+				if obj(x) > obj(best) {
+					best = x
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 7 {
+		t.Fatalf("best = %d, want 7", best)
+	}
+}

@@ -1,0 +1,248 @@
+// Package batch allocates one global budget across many decision-making
+// tasks. The paper solves the Jury Selection Problem per task with a
+// per-task budget; a production deployment (600 questions, one purse)
+// must first decide how much each task deserves. Three allocators are
+// provided:
+//
+//   - Even: split the budget equally — the implicit baseline of the
+//     paper's per-question experiments;
+//   - WeightedByPrior: give uncertain tasks (prior near ½) more budget
+//     than near-decided ones, proportional to prior entropy;
+//   - GreedyMarginal: spend the budget in small increments, always on the
+//     task whose optimal jury improves the most per unit of spend — a
+//     submodular-style greedy over the budget–quality frontiers.
+//
+// Each allocator returns per-task selections under the paper's OPTJS
+// machinery; the quality of an allocation is the mean JQ across tasks.
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/selection"
+	"repro/internal/worker"
+)
+
+// Task is one decision-making task in a batch: its candidate pool and the
+// provider's prior on its answer.
+type Task struct {
+	// Name is an optional identifier for reporting.
+	Name string
+	// Pool is the task's candidate worker set.
+	Pool worker.Pool
+	// Alpha is the prior P(t = 0) for this task.
+	Alpha float64
+}
+
+// Validate checks the task.
+func (t Task) Validate() error {
+	if err := t.Pool.Validate(); err != nil {
+		return fmt.Errorf("batch: task %q: %w", t.Name, err)
+	}
+	if t.Alpha < 0 || t.Alpha > 1 || t.Alpha != t.Alpha {
+		return fmt.Errorf("batch: task %q: prior %v outside [0, 1]", t.Name, t.Alpha)
+	}
+	return nil
+}
+
+// Allocation is the outcome for one task.
+type Allocation struct {
+	Task      Task
+	Budget    float64
+	Selection selection.Result
+}
+
+// Result is a full batch allocation.
+type Result struct {
+	Allocations []Allocation
+	// MeanJQ is the average selected-jury quality across tasks.
+	MeanJQ float64
+	// SpentBudget is the total cost of all selected juries.
+	SpentBudget float64
+}
+
+// Errors returned by the allocators.
+var (
+	ErrNoTasks   = errors.New("batch: no tasks")
+	ErrBadBudget = errors.New("batch: negative budget")
+)
+
+// Allocator distributes a global budget over a batch of tasks.
+type Allocator interface {
+	Name() string
+	Allocate(tasks []Task, budget float64, seed int64) (Result, error)
+}
+
+func checkBatch(tasks []Task, budget float64) error {
+	if len(tasks) == 0 {
+		return ErrNoTasks
+	}
+	if budget < 0 || budget != budget {
+		return fmt.Errorf("%w: %v", ErrBadBudget, budget)
+	}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// selector builds the per-task OPTJS search used by all allocators.
+func selector(seed int64) selection.Selector {
+	return selection.Auto{Objective: selection.BVObjective{}, Seed: seed}
+}
+
+// solve runs per-task selection for the given per-task budgets.
+func solve(tasks []Task, budgets []float64, seed int64) (Result, error) {
+	res := Result{Allocations: make([]Allocation, len(tasks))}
+	var sumJQ float64
+	for i, t := range tasks {
+		sel, err := selector(seed+int64(i)).Select(t.Pool, budgets[i], t.Alpha)
+		if err != nil {
+			return Result{}, fmt.Errorf("batch: task %q: %w", t.Name, err)
+		}
+		res.Allocations[i] = Allocation{Task: t, Budget: budgets[i], Selection: sel}
+		sumJQ += sel.JQ
+		res.SpentBudget += sel.Cost
+	}
+	res.MeanJQ = sumJQ / float64(len(tasks))
+	return res, nil
+}
+
+// Even splits the budget equally across tasks.
+type Even struct{}
+
+// Name implements Allocator.
+func (Even) Name() string { return "even" }
+
+// Allocate implements Allocator.
+func (Even) Allocate(tasks []Task, budget float64, seed int64) (Result, error) {
+	if err := checkBatch(tasks, budget); err != nil {
+		return Result{}, err
+	}
+	per := budget / float64(len(tasks))
+	budgets := make([]float64, len(tasks))
+	for i := range budgets {
+		budgets[i] = per
+	}
+	return solve(tasks, budgets, seed)
+}
+
+// WeightedByPrior splits the budget proportionally to each task's prior
+// entropy: a task the provider already believes at 95% needs less crowd
+// evidence than a 50/50 one.
+type WeightedByPrior struct{}
+
+// Name implements Allocator.
+func (WeightedByPrior) Name() string { return "prior-weighted" }
+
+// Allocate implements Allocator.
+func (WeightedByPrior) Allocate(tasks []Task, budget float64, seed int64) (Result, error) {
+	if err := checkBatch(tasks, budget); err != nil {
+		return Result{}, err
+	}
+	weights := make([]float64, len(tasks))
+	var total float64
+	for i, t := range tasks {
+		weights[i] = entropy(t.Alpha)
+		total += weights[i]
+	}
+	budgets := make([]float64, len(tasks))
+	if total == 0 {
+		// Every task is already decided by its prior; split evenly.
+		for i := range budgets {
+			budgets[i] = budget / float64(len(tasks))
+		}
+	} else {
+		for i := range budgets {
+			budgets[i] = budget * weights[i] / total
+		}
+	}
+	return solve(tasks, budgets, seed)
+}
+
+func entropy(alpha float64) float64 {
+	if alpha <= 0 || alpha >= 1 {
+		return 0
+	}
+	return -alpha*math.Log2(alpha) - (1-alpha)*math.Log2(1-alpha)
+}
+
+// GreedyMarginal spends the budget in Steps equal increments, each going
+// to the task with the best JQ improvement per increment. It evaluates
+// candidate selections lazily and reuses the monotone budget–quality
+// frontier: an increment can only help, never hurt.
+type GreedyMarginal struct {
+	// Steps is the number of budget increments; 0 selects 20.
+	Steps int
+}
+
+// Name implements Allocator.
+func (GreedyMarginal) Name() string { return "greedy-marginal" }
+
+// Allocate implements Allocator.
+func (g GreedyMarginal) Allocate(tasks []Task, budget float64, seed int64) (Result, error) {
+	if err := checkBatch(tasks, budget); err != nil {
+		return Result{}, err
+	}
+	steps := g.Steps
+	if steps == 0 {
+		steps = 20
+	}
+	increment := budget / float64(steps)
+
+	budgets := make([]float64, len(tasks))
+	current := make([]selection.Result, len(tasks))
+	for i, t := range tasks {
+		sel, err := selector(seed+int64(i)).Select(t.Pool, 0, t.Alpha)
+		if err != nil {
+			return Result{}, err
+		}
+		current[i] = sel
+	}
+	// Cache of the candidate "one more increment" selection per task.
+	next := make([]*selection.Result, len(tasks))
+	for step := 0; step < steps; step++ {
+		bestTask, bestGain := -1, -1.0
+		for i, t := range tasks {
+			if next[i] == nil {
+				sel, err := selector(seed+int64(i)).Select(t.Pool, budgets[i]+increment, t.Alpha)
+				if err != nil {
+					return Result{}, err
+				}
+				next[i] = &sel
+			}
+			if gain := next[i].JQ - current[i].JQ; gain > bestGain {
+				bestGain = gain
+				bestTask = i
+			}
+		}
+		if bestGain <= 1e-12 {
+			// One increment moved no frontier (it is smaller than any
+			// task's next affordable worker). Bank it on the task with
+			// the most room to improve, so its budget accumulates until
+			// the next worker becomes affordable.
+			for i := range tasks {
+				if bestTask == -1 || current[i].JQ < current[bestTask].JQ {
+					bestTask = i
+				}
+			}
+		}
+		budgets[bestTask] += increment
+		current[bestTask] = *next[bestTask]
+		next[bestTask] = nil // its frontier moved; recompute lazily
+	}
+
+	res := Result{Allocations: make([]Allocation, len(tasks))}
+	var sumJQ float64
+	for i, t := range tasks {
+		res.Allocations[i] = Allocation{Task: t, Budget: budgets[i], Selection: current[i]}
+		sumJQ += current[i].JQ
+		res.SpentBudget += current[i].Cost
+	}
+	res.MeanJQ = sumJQ / float64(len(tasks))
+	return res, nil
+}

@@ -1,0 +1,193 @@
+package batch
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/worker"
+)
+
+func makeTasks(t *testing.T, n int, seed int64) []Task {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	gen := datagen.DefaultConfig()
+	gen.N = 12
+	tasks := make([]Task, n)
+	for i := range tasks {
+		pool, err := gen.Pool(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks[i] = Task{Name: string(rune('a' + i)), Pool: pool, Alpha: 0.5}
+	}
+	return tasks
+}
+
+func allAllocators() []Allocator {
+	return []Allocator{Even{}, WeightedByPrior{}, GreedyMarginal{Steps: 10}}
+}
+
+func TestAllocatorsValidation(t *testing.T) {
+	tasks := makeTasks(t, 2, 1)
+	for _, a := range allAllocators() {
+		t.Run(a.Name(), func(t *testing.T) {
+			if _, err := a.Allocate(nil, 1, 1); !errors.Is(err, ErrNoTasks) {
+				t.Errorf("no tasks: err = %v", err)
+			}
+			if _, err := a.Allocate(tasks, -1, 1); !errors.Is(err, ErrBadBudget) {
+				t.Errorf("bad budget: err = %v", err)
+			}
+			bad := []Task{{Pool: nil, Alpha: 0.5}}
+			if _, err := a.Allocate(bad, 1, 1); err == nil {
+				t.Error("no error for invalid task")
+			}
+			badPrior := []Task{{Pool: tasks[0].Pool, Alpha: 1.5}}
+			if _, err := a.Allocate(badPrior, 1, 1); err == nil {
+				t.Error("no error for bad prior")
+			}
+		})
+	}
+}
+
+func TestAllocatorsSpendWithinBudget(t *testing.T) {
+	tasks := makeTasks(t, 4, 2)
+	const budget = 0.4
+	for _, a := range allAllocators() {
+		res, err := a.Allocate(tasks, budget, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if res.SpentBudget > budget+1e-9 {
+			t.Errorf("%s: spent %v over budget %v", a.Name(), res.SpentBudget, budget)
+		}
+		var perTask float64
+		for _, alloc := range res.Allocations {
+			if alloc.Selection.Cost > alloc.Budget+1e-9 {
+				t.Errorf("%s: task %s cost %v over its allocation %v",
+					a.Name(), alloc.Task.Name, alloc.Selection.Cost, alloc.Budget)
+			}
+			perTask += alloc.Budget
+		}
+		if perTask > budget+1e-9 {
+			t.Errorf("%s: allocated %v over budget %v", a.Name(), perTask, budget)
+		}
+		if res.MeanJQ < 0.5 || res.MeanJQ > 1 {
+			t.Errorf("%s: MeanJQ = %v", a.Name(), res.MeanJQ)
+		}
+	}
+}
+
+func TestEvenSplitsEqually(t *testing.T) {
+	tasks := makeTasks(t, 4, 3)
+	res, err := Even{}.Allocate(tasks, 0.8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alloc := range res.Allocations {
+		if math.Abs(alloc.Budget-0.2) > 1e-12 {
+			t.Fatalf("allocation = %v, want 0.2", alloc.Budget)
+		}
+	}
+}
+
+func TestWeightedByPriorFavoursUncertainTasks(t *testing.T) {
+	tasks := makeTasks(t, 2, 4)
+	tasks[0].Alpha = 0.5  // maximum uncertainty
+	tasks[1].Alpha = 0.99 // nearly decided
+	res, err := WeightedByPrior{}.Allocate(tasks, 0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allocations[0].Budget <= res.Allocations[1].Budget {
+		t.Fatalf("uncertain task got %v, decided task %v",
+			res.Allocations[0].Budget, res.Allocations[1].Budget)
+	}
+}
+
+func TestWeightedByPriorAllDecidedFallsBackToEven(t *testing.T) {
+	tasks := makeTasks(t, 2, 5)
+	tasks[0].Alpha = 1
+	tasks[1].Alpha = 0
+	res, err := WeightedByPrior{}.Allocate(tasks, 0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Allocations[0].Budget-0.2) > 1e-12 {
+		t.Fatalf("allocation = %v, want even 0.2", res.Allocations[0].Budget)
+	}
+}
+
+// Greedy marginal allocation should beat (or match) the even split when
+// tasks differ sharply in how much budget they need.
+func TestGreedyMarginalBeatsEvenOnHeterogeneousTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Task "easy" has one superb cheap worker: tiny budget suffices.
+	easy := Task{Name: "easy", Alpha: 0.5, Pool: worker.Pool{
+		{ID: "star", Quality: 0.97, Cost: 0.02},
+		{ID: "x", Quality: 0.6, Cost: 0.05},
+	}}
+	// Task "hard" has only mediocre workers: JQ grows slowly with spend.
+	hardPool := make(worker.Pool, 14)
+	for i := range hardPool {
+		hardPool[i] = worker.Worker{
+			Quality: 0.55 + 0.05*rng.Float64(),
+			Cost:    0.03,
+		}
+	}
+	hard := Task{Name: "hard", Alpha: 0.5, Pool: hardPool}
+	tasks := []Task{easy, hard}
+
+	const budget = 0.3
+	even, err := Even{}.Allocate(tasks, budget, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := GreedyMarginal{Steps: 15}.Allocate(tasks, budget, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.MeanJQ < even.MeanJQ-1e-9 {
+		t.Fatalf("greedy MeanJQ %v below even %v", greedy.MeanJQ, even.MeanJQ)
+	}
+	// The greedy allocator should shift budget toward the hard task once
+	// the easy one is saturated.
+	var easyBudget, hardBudget float64
+	for _, alloc := range greedy.Allocations {
+		if alloc.Task.Name == "easy" {
+			easyBudget = alloc.Budget
+		} else {
+			hardBudget = alloc.Budget
+		}
+	}
+	if hardBudget <= easyBudget {
+		t.Fatalf("greedy gave hard task %v, easy task %v; expected hard > easy",
+			hardBudget, easyBudget)
+	}
+}
+
+func TestGreedyMarginalDefaultSteps(t *testing.T) {
+	tasks := makeTasks(t, 2, 7)
+	res, err := GreedyMarginal{}.Allocate(tasks, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, alloc := range res.Allocations {
+		total += alloc.Budget
+	}
+	if math.Abs(total-0.2) > 1e-9 {
+		t.Fatalf("allocated %v, want the full 0.2", total)
+	}
+}
+
+func TestAllocatorNames(t *testing.T) {
+	want := map[string]bool{"even": true, "prior-weighted": true, "greedy-marginal": true}
+	for _, a := range allAllocators() {
+		if !want[a.Name()] {
+			t.Errorf("unexpected allocator name %q", a.Name())
+		}
+	}
+}

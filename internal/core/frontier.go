@@ -1,0 +1,57 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/worker"
+)
+
+// ErrUnreachableQuality is returned by MinBudget when even the full pool
+// cannot reach the target quality.
+var ErrUnreachableQuality = errors.New("core: target quality unreachable with this pool")
+
+// MinBudget finds (approximately) the smallest budget whose optimal jury
+// reaches the target JQ, by bisection over the budget axis. It exploits
+// the monotonicity of the budget–quality frontier: a larger budget never
+// yields a worse optimal jury.
+//
+// tol is the budget resolution of the answer (e.g. 0.01 monetary units);
+// the returned row's RequiredBudget is the jury's actual cost, which is
+// what the provider would pay.
+func (s *System) MinBudget(pool worker.Pool, targetJQ, tol float64) (TableRow, error) {
+	if err := pool.Validate(); err != nil {
+		return TableRow{}, err
+	}
+	if targetJQ <= 0 || targetJQ > 1 {
+		return TableRow{}, fmt.Errorf("core: target JQ %v outside (0, 1]", targetJQ)
+	}
+	if tol <= 0 {
+		return TableRow{}, fmt.Errorf("core: non-positive tolerance %v", tol)
+	}
+	hi := pool.TotalCost()
+	best, err := s.SelectJury(pool, hi)
+	if err != nil {
+		return TableRow{}, err
+	}
+	if best.JQ < targetJQ {
+		return TableRow{}, fmt.Errorf("%w: best JQ %.4f < target %.4f",
+			ErrUnreachableQuality, best.JQ, targetJQ)
+	}
+	lo := 0.0
+	result := TableRow{Budget: hi, Jury: best.Jury, Indices: best.Indices, JQ: best.JQ, RequiredBudget: best.Cost}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		res, err := s.SelectJury(pool, mid)
+		if err != nil {
+			return TableRow{}, err
+		}
+		if res.JQ >= targetJQ {
+			hi = mid
+			result = TableRow{Budget: mid, Jury: res.Jury, Indices: res.Indices, JQ: res.JQ, RequiredBudget: res.Cost}
+		} else {
+			lo = mid
+		}
+	}
+	return result, nil
+}

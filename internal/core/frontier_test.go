@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/selection"
+)
+
+func exactSystem() *System {
+	return &System{
+		Selector: selection.Exhaustive{Objective: selection.BVExactObjective{}},
+		Alpha:    0.5,
+	}
+}
+
+func TestMinBudgetFindsKnownThresholds(t *testing.T) {
+	sys := exactSystem()
+	// From Figure 1: JQ 0.845 first becomes reachable at jury {B,C,G},
+	// cost 14. MinBudget should land within tolerance of 14.
+	row, err := sys.MinBudget(figure1Pool(), 0.845, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.JQ < 0.845 {
+		t.Fatalf("JQ = %v, below target", row.JQ)
+	}
+	if row.RequiredBudget < 13.9 || row.RequiredBudget > 14.1 {
+		t.Fatalf("required budget = %v, want ≈14", row.RequiredBudget)
+	}
+	// JQ 0.75 is reachable with {G} alone at cost 3.
+	row, err = sys.MinBudget(figure1Pool(), 0.75, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.RequiredBudget < 2.9 || row.RequiredBudget > 3.1 {
+		t.Fatalf("required budget = %v, want ≈3", row.RequiredBudget)
+	}
+}
+
+func TestMinBudgetUnreachable(t *testing.T) {
+	sys := exactSystem()
+	if _, err := sys.MinBudget(figure1Pool(), 0.9999, 0.01); !errors.Is(err, ErrUnreachableQuality) {
+		t.Fatalf("err = %v, want ErrUnreachableQuality", err)
+	}
+}
+
+func TestMinBudgetValidation(t *testing.T) {
+	sys := exactSystem()
+	if _, err := sys.MinBudget(nil, 0.8, 0.01); err == nil {
+		t.Error("no error for empty pool")
+	}
+	if _, err := sys.MinBudget(figure1Pool(), 0, 0.01); err == nil {
+		t.Error("no error for target 0")
+	}
+	if _, err := sys.MinBudget(figure1Pool(), 1.5, 0.01); err == nil {
+		t.Error("no error for target > 1")
+	}
+	if _, err := sys.MinBudget(figure1Pool(), 0.8, 0); err == nil {
+		t.Error("no error for zero tolerance")
+	}
+}
+
+func TestMinBudgetTrivialTarget(t *testing.T) {
+	sys := exactSystem()
+	// Target 0.6 is reachable by any single decent worker; the cheapest is
+	// F at cost 2... but F alone has JQ 0.6; G (cost 3) has 0.75. F's 0.6
+	// meets the target exactly.
+	row, err := sys.MinBudget(figure1Pool(), 0.6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.JQ < 0.6 {
+		t.Fatalf("JQ = %v below target", row.JQ)
+	}
+	if row.RequiredBudget > 2.1 {
+		t.Fatalf("required budget = %v, want ≤ 2 (worker F suffices)", row.RequiredBudget)
+	}
+}

@@ -1,0 +1,134 @@
+// Package datagen generates the synthetic worker pools and vote streams
+// used by the paper's experiments (Section 6.1.1): worker qualities and
+// costs are drawn from Gaussian distributions q_i ~ N(µ, σ²) and
+// c_i ~ N(µ̂, σ̂²), with the paper's defaults µ=0.7, σ²=0.05, µ̂=0.05,
+// σ̂=0.2.
+//
+// Qualities are truncated into [0.5, 0.99]: the paper assumes q ≥ 0.5
+// without loss of generality (Section 3.3) and bounds φ(q) via q ≤ 0.99
+// (Section 4.4). Costs are clamped to a small positive floor; the paper
+// does not state its treatment of negative cost draws, and a zero/negative
+// cost would make a worker unconditionally free.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/stats"
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+// Paper defaults (Section 6.1.1).
+const (
+	DefaultMeanQuality     = 0.7
+	DefaultQualityVariance = 0.05
+	DefaultMeanCost        = 0.05
+	DefaultCostStd         = 0.2
+	DefaultPoolSize        = 50
+
+	// Quality truncation bounds (see the package comment).
+	QualityLo = 0.5
+	QualityHi = 0.99
+
+	// CostFloor is the minimum worker cost after clamping. The paper does
+	// not state its handling of negative draws from N(0.05, 0.2²) (≈40% of
+	// the mass); clamping to a small positive floor keeps every worker
+	// purchasable while preventing unboundedly large free juries.
+	CostFloor = 0.01
+)
+
+// Config describes a synthetic pool distribution.
+type Config struct {
+	// N is the number of candidate workers.
+	N int
+	// MeanQuality and QualityVariance parameterize q_i ~ N(µ, σ²).
+	// Note the paper reports the variance σ², not the deviation.
+	MeanQuality     float64
+	QualityVariance float64
+	// MeanCost and CostStd parameterize c_i ~ N(µ̂, σ̂²); the paper
+	// reports the deviation σ̂ here.
+	MeanCost float64
+	CostStd  float64
+}
+
+// DefaultConfig returns the paper's default synthetic setting.
+func DefaultConfig() Config {
+	return Config{
+		N:               DefaultPoolSize,
+		MeanQuality:     DefaultMeanQuality,
+		QualityVariance: DefaultQualityVariance,
+		MeanCost:        DefaultMeanCost,
+		CostStd:         DefaultCostStd,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("datagen: N must be positive, got %d", c.N)
+	}
+	if c.QualityVariance < 0 {
+		return fmt.Errorf("datagen: negative quality variance %v", c.QualityVariance)
+	}
+	if c.CostStd < 0 {
+		return fmt.Errorf("datagen: negative cost deviation %v", c.CostStd)
+	}
+	return nil
+}
+
+// Pool draws a candidate pool from the configured distributions.
+func (c Config) Pool(rng *rand.Rand) (worker.Pool, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	sigma := math.Sqrt(c.QualityVariance)
+	pool := make(worker.Pool, c.N)
+	for i := range pool {
+		q := stats.TruncatedNormal(rng, c.MeanQuality, sigma, QualityLo, QualityHi)
+		cost := stats.Normal(rng, c.MeanCost, c.CostStd)
+		if cost < CostFloor {
+			cost = CostFloor
+		}
+		pool[i] = worker.Worker{ID: fmt.Sprintf("w%d", i), Quality: q, Cost: cost}
+	}
+	return pool, nil
+}
+
+// Qualities draws just the quality values (for experiments with uniform or
+// irrelevant costs, e.g. the strategy comparisons of Figure 8).
+func (c Config) Qualities(rng *rand.Rand) ([]float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	sigma := math.Sqrt(c.QualityVariance)
+	qs := make([]float64, c.N)
+	for i := range qs {
+		qs[i] = stats.TruncatedNormal(rng, c.MeanQuality, sigma, QualityLo, QualityHi)
+	}
+	return qs, nil
+}
+
+// Votes simulates one voting: every worker votes for truth with probability
+// equal to their quality.
+func Votes(pool worker.Pool, truth voting.Vote, rng *rand.Rand) []voting.Vote {
+	votes := make([]voting.Vote, len(pool))
+	for i, w := range pool {
+		if rng.Float64() < w.Quality {
+			votes[i] = truth
+		} else {
+			votes[i] = truth.Opposite()
+		}
+	}
+	return votes
+}
+
+// Truth draws a ground-truth answer from the prior α = P(t = 0).
+func Truth(alpha float64, rng *rand.Rand) voting.Vote {
+	if rng.Float64() < alpha {
+		return voting.No
+	}
+	return voting.Yes
+}

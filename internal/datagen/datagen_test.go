@@ -1,0 +1,170 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	if c.N != 50 || c.MeanQuality != 0.7 || c.QualityVariance != 0.05 ||
+		c.MeanCost != 0.05 || c.CostStd != 0.2 {
+		t.Fatalf("DefaultConfig = %+v, want the Section 6.1.1 parameters", c)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{N: 0, MeanQuality: 0.7},
+		{N: 5, QualityVariance: -1},
+		{N: 5, CostStd: -0.1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d: no validation error for %+v", i, c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestPoolRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pool, err := DefaultConfig().Pool(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool) != 50 {
+		t.Fatalf("len = %d, want 50", len(pool))
+	}
+	for _, w := range pool {
+		if w.Quality < QualityLo || w.Quality > QualityHi {
+			t.Fatalf("quality %v outside [%v, %v]", w.Quality, QualityLo, QualityHi)
+		}
+		if w.Cost < CostFloor {
+			t.Fatalf("cost %v below floor", w.Cost)
+		}
+	}
+	if err := pool.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolMomentsApproximateConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig()
+	cfg.N = 20000
+	pool, err := cfg.Pool(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.Summarize(pool.Qualities())
+	// Truncation to [0.5, 0.99] shifts the mean of N(0.7, 0.05) up a bit.
+	if s.Mean < 0.7 || s.Mean > 0.78 {
+		t.Errorf("mean quality = %v, want within [0.70, 0.78]", s.Mean)
+	}
+}
+
+func TestQualitiesOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := Config{N: 100, MeanQuality: 0.8, QualityVariance: 0.01}
+	qs, err := cfg.Qualities(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 100 {
+		t.Fatalf("len = %d, want 100", len(qs))
+	}
+	for _, q := range qs {
+		if q < QualityLo || q > QualityHi {
+			t.Fatalf("quality %v out of range", q)
+		}
+	}
+	if _, err := (Config{N: -1}).Qualities(rng); err == nil {
+		t.Fatal("no error for invalid config")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	p1, err := cfg.Pool(rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cfg.Pool(rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("worker %d differs under identical seeds", i)
+		}
+	}
+}
+
+func TestVotesMatchQualities(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pool := worker.UniformCost([]float64{0.9, 0.5}, 1)
+	correct := [2]int{}
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		vs := Votes(pool, voting.Yes, rng)
+		for j, v := range vs {
+			if v == voting.Yes {
+				correct[j]++
+			}
+		}
+	}
+	got0 := float64(correct[0]) / trials
+	got1 := float64(correct[1]) / trials
+	if math.Abs(got0-0.9) > 0.01 {
+		t.Errorf("worker 0 correct rate = %v, want ~0.9", got0)
+	}
+	if math.Abs(got1-0.5) > 0.01 {
+		t.Errorf("worker 1 correct rate = %v, want ~0.5", got1)
+	}
+}
+
+func TestTruthFollowsPrior(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	zeros := 0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		if Truth(0.3, rng) == voting.No {
+			zeros++
+		}
+	}
+	got := float64(zeros) / trials
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("P(t=0) = %v, want ~0.3", got)
+	}
+}
+
+// Property: generated pools always validate, regardless of configuration
+// corner cases within the legal parameter space.
+func TestGeneratedPoolsAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64, nRaw, muRaw, varRaw uint8) bool {
+		cfg := Config{
+			N:               int(nRaw%100) + 1,
+			MeanQuality:     float64(muRaw) / 255, // may be far outside [0.5, 0.99]
+			QualityVariance: float64(varRaw) / 255,
+			MeanCost:        0.05,
+			CostStd:         0.2,
+		}
+		pool, err := cfg.Pool(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		return pool.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

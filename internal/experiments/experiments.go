@@ -1,0 +1,180 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6). Each experiment is a pure function from a Config
+// to a Result holding the same x-axis and series the paper plots; the
+// cmd/experiments binary renders them as text tables, and bench_test.go
+// wraps each one in a testing.B benchmark.
+//
+// The registry maps the paper's artifact identifiers (fig6a … fig10d,
+// table3) to their implementations; see DESIGN.md for the per-experiment
+// index.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// Config scales the experiments. The paper repeats synthetic measurements
+// 1,000 times and uses all 600 real questions; DefaultConfig uses smaller
+// counts so a full run stays interactive, and PaperConfig restores the
+// published scale.
+type Config struct {
+	// Seed drives every random draw; equal seeds give equal results.
+	Seed int64
+	// Repeats is the per-point repetition count for synthetic experiments.
+	Repeats int
+	// Trials is the number of JSP instances for Table 3.
+	Trials int
+	// Questions is how many simulated AMT questions the real-data
+	// experiments use (max 600).
+	Questions int
+	// NumBuckets configures the JQ approximation (paper default: 50).
+	NumBuckets int
+}
+
+// DefaultConfig returns fast defaults for interactive runs.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Repeats: 5, Trials: 300, Questions: 60, NumBuckets: 50}
+}
+
+// PaperConfig returns the published experiment scale.
+func PaperConfig() Config {
+	return Config{Seed: 1, Repeats: 1000, Trials: 10000, Questions: 600, NumBuckets: 50}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Repeats < 1 || c.Trials < 1 || c.Questions < 1 {
+		return fmt.Errorf("experiments: non-positive scale in %+v", c)
+	}
+	if c.NumBuckets < 1 {
+		return fmt.Errorf("experiments: NumBuckets must be positive, got %d", c.NumBuckets)
+	}
+	return nil
+}
+
+// Result is one regenerated artifact: an x-axis plus named series, exactly
+// the data behind one figure panel or table.
+type Result struct {
+	// ID is the artifact identifier, e.g. "fig6a".
+	ID string
+	// Title describes the artifact.
+	Title string
+	// XLabel names the x-axis; Columns name the series.
+	XLabel  string
+	Columns []string
+	// X holds the x-axis values; Y[i][j] is series j at X[i].
+	X []float64
+	Y [][]float64
+	// YErr, when non-nil, holds the standard error of each Y cell (same
+	// shape as Y); Table renders cells as "mean±err".
+	YErr [][]float64
+	// Notes carries free-form context (units, caveats).
+	Notes string
+}
+
+// Table renders the result as an aligned text table.
+func (r *Result) Table() *table.Table {
+	headers := append([]string{r.XLabel}, r.Columns...)
+	t := table.New(fmt.Sprintf("%s — %s", r.ID, r.Title), headers...)
+	for i, x := range r.X {
+		cells := make([]string, 0, len(headers))
+		cells = append(cells, table.Float(x))
+		for j, y := range r.Y[i] {
+			cell := table.Float(y)
+			if r.YErr != nil && r.YErr[i][j] > 0 {
+				cell += "±" + fmt.Sprintf("%.2g", r.YErr[i][j])
+			}
+			cells = append(cells, cell)
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Dat renders the result as a gnuplot-ready whitespace-separated data
+// block: a comment header, then one line per x with all series (and their
+// standard errors when available).
+func (r *Result) Dat() string {
+	out := fmt.Sprintf("# %s — %s\n# %s", r.ID, r.Title, r.XLabel)
+	for _, c := range r.Columns {
+		out += " " + c
+		if r.YErr != nil {
+			out += " " + c + "_err"
+		}
+	}
+	out += "\n"
+	for i, x := range r.X {
+		out += table.Float(x)
+		for j, y := range r.Y[i] {
+			out += " " + table.Float(y)
+			if r.YErr != nil {
+				out += " " + table.Float(r.YErr[i][j])
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Runner regenerates one artifact.
+type Runner func(Config) (*Result, error)
+
+// registry maps artifact IDs to runners; populated by the fig*.go files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate artifact " + id)
+	}
+	registry[id] = r
+}
+
+// IDs lists the registered artifact identifiers in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run regenerates one artifact by ID.
+func Run(id string, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown artifact %q (have %v)", id, IDs())
+	}
+	return r(cfg)
+}
+
+// RunAll regenerates every artifact, in ID order.
+func RunAll(cfg Config) ([]*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, id := range IDs() {
+		res, err := registry[id](cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// sweep returns an inclusive arithmetic progression from lo to hi.
+func sweep(lo, hi, step float64) []float64 {
+	var xs []float64
+	for x := lo; x <= hi+1e-9; x += step {
+		xs = append(xs, x)
+	}
+	return xs
+}

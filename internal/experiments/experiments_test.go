@@ -1,0 +1,444 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps every experiment fast enough for the unit-test suite.
+func tinyConfig() Config {
+	return Config{Seed: 7, Repeats: 2, Trials: 20, Questions: 8, NumBuckets: 50}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablation-buckets", "ablation-selectors",
+		"extension-batch",
+		"extension-multichoice", "extension-online", "extension-quality-sources",
+		"extension-robustness", "extension-strategies",
+		"fig1", "fig10a", "fig10b", "fig10c", "fig10d",
+		"fig6a", "fig6b", "fig6c", "fig6d",
+		"fig7a", "fig7b",
+		"fig8a", "fig8b",
+		"fig9a", "fig9b", "fig9c", "fig9d",
+		"table3",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", tinyConfig()); err == nil {
+		t.Fatal("no error for unknown artifact")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Repeats: 0, Trials: 1, Questions: 1, NumBuckets: 1},
+		{Repeats: 1, Trials: 0, Questions: 1, NumBuckets: 1},
+		{Repeats: 1, Trials: 1, Questions: 0, NumBuckets: 1},
+		{Repeats: 1, Trials: 1, Questions: 1, NumBuckets: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Run("fig1", cfg); err == nil {
+			t.Errorf("config %d: no validation error", i)
+		}
+	}
+}
+
+// Shape invariants every experiment must satisfy.
+func TestAllExperimentsShape(t *testing.T) {
+	cfg := tinyConfig()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != id {
+				t.Errorf("ID = %q, want %q", res.ID, id)
+			}
+			if len(res.X) == 0 || len(res.Y) != len(res.X) {
+				t.Fatalf("X/Y shape: %d/%d", len(res.X), len(res.Y))
+			}
+			for i, row := range res.Y {
+				if len(row) != len(res.Columns) {
+					t.Fatalf("row %d has %d cells for %d columns", i, len(row), len(res.Columns))
+				}
+			}
+			tbl := res.Table()
+			if !strings.Contains(tbl.String(), id) {
+				t.Error("rendered table does not mention the artifact ID")
+			}
+		})
+	}
+}
+
+func TestFig1ReproducesPaperQualities(t *testing.T) {
+	res, err := Run("fig1", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJQ := []float64{0.75, 0.80, 0.845, 0.8695}
+	for i, want := range wantJQ {
+		if diff := res.Y[i][0] - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("budget %v: JQ = %v, want %v", res.X[i], res.Y[i][0], want)
+		}
+	}
+}
+
+func TestFig6aOPTJSDominates(t *testing.T) {
+	res, err := Run("fig6a", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		mvjs, optjs := res.Y[i][0], res.Y[i][1]
+		if optjs < mvjs-0.01 { // small slack: independent SA searches
+			t.Errorf("mu=%v: OPTJS %v below MVJS %v", res.X[i], optjs, mvjs)
+		}
+	}
+}
+
+func TestFig7aHeuristicBounded(t *testing.T) {
+	res, err := Run("fig7a", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		opt, heur := res.Y[i][0], res.Y[i][1]
+		if heur > opt+1e-9 {
+			t.Errorf("B=%v: heuristic %v beats the optimum %v", res.X[i], heur, opt)
+		}
+		if opt-heur > 0.05 {
+			t.Errorf("B=%v: gap %v too large", res.X[i], opt-heur)
+		}
+	}
+}
+
+func TestFig8BVDominatesAndRBVIsHalf(t *testing.T) {
+	res, err := Run("fig8a", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: MV, BV, RBV, RMV.
+	for i := range res.X {
+		mv, bv, rbv, rmv := res.Y[i][0], res.Y[i][1], res.Y[i][2], res.Y[i][3]
+		if bv < mv-1e-9 || bv < rmv-1e-9 || bv < rbv-1e-9 {
+			t.Errorf("mu=%v: BV %v not dominant (MV %v, RBV %v, RMV %v)", res.X[i], bv, mv, rbv, rmv)
+		}
+		if rbv > 0.5+1e-9 || rbv < 0.5-1e-9 {
+			t.Errorf("mu=%v: RBV = %v, want 0.5", res.X[i], rbv)
+		}
+		if rmv > mv+1e-9 {
+			t.Errorf("mu=%v: RMV %v beats MV %v (paper: never for mu>=0.5)", res.X[i], rmv, mv)
+		}
+	}
+}
+
+func TestFig8bBVGrowsWithJurySize(t *testing.T) {
+	res, err := Run("fig8b", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Y[0][1], res.Y[len(res.Y)-1][1]
+	if last < first {
+		t.Fatalf("BV JQ at n=11 (%v) below n=1 (%v)", last, first)
+	}
+}
+
+func TestFig9bErrorShrinksWithBuckets(t *testing.T) {
+	res, err := Run("fig9b", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Y[0][0], res.Y[len(res.Y)-1][0]
+	if last > first+1e-12 {
+		t.Fatalf("error grew with buckets: %v -> %v", first, last)
+	}
+	for i, row := range res.Y {
+		if row[0] < -1e-9 {
+			t.Errorf("numBuckets=%v: negative error %v (estimate exceeded exact)", res.X[i], row[0])
+		}
+	}
+}
+
+func TestFig9cErrorsTiny(t *testing.T) {
+	res, err := Run("fig9c", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Notes, "no error exceeded") {
+		t.Errorf("Notes = %q, expected all errors below 0.01%%", res.Notes)
+	}
+}
+
+func TestTable3MassInLowestRange(t *testing.T) {
+	res, err := Run("table3", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, lowest float64
+	for i, row := range res.Y {
+		total += row[0]
+		if i == 0 {
+			lowest = row[0]
+		}
+	}
+	if total == 0 {
+		t.Fatal("no trials recorded")
+	}
+	if lowest/total < 0.5 {
+		t.Fatalf("only %v of %v gaps in [0, 0.01]%%; paper reports >90%%", lowest, total)
+	}
+	// Paper: zero gaps above 3 percentage points; tolerate at most 1% of
+	// trials there for these unsmoothed small-sample runs.
+	if over := res.Y[len(res.Y)-1][0]; over > 0.01*total {
+		t.Fatalf("%v of %v gaps above 3 percentage points", over, total)
+	}
+}
+
+func TestFig10dPredictionTracksAccuracy(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Questions = 60
+	res, err := Run("fig10d", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		accuracy, avgJQ := res.Y[i][0], res.Y[i][1]
+		if diff := accuracy - avgJQ; diff > 0.15 || diff < -0.15 {
+			t.Errorf("z=%v: accuracy %v vs JQ %v diverge", res.X[i], accuracy, avgJQ)
+		}
+	}
+}
+
+func TestFig10aOPTJSDominates(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := Run("fig10a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		if res.Y[i][1] < res.Y[i][0]-0.02 {
+			t.Errorf("B=%v: OPTJS %v well below MVJS %v", res.X[i], res.Y[i][1], res.Y[i][0])
+		}
+	}
+}
+
+func TestAblationSelectorsOrdering(t *testing.T) {
+	res, err := Run("ablation-selectors", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		exhaustive := res.Y[i][0]
+		for j := 1; j < len(res.Columns); j++ {
+			if res.Y[i][j] > exhaustive+1e-9 {
+				t.Errorf("B=%v: %s (%v) beats exhaustive (%v)",
+					res.X[i], res.Columns[j], res.Y[i][j], exhaustive)
+			}
+		}
+	}
+}
+
+func TestExtensionQualitySourcesOrdering(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Questions = 60
+	res, err := Run("extension-quality-sources", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: oracle, empirical, golden-10%, em. The oracle should not be
+	// substantially beaten by any estimated source.
+	for i := range res.X {
+		oracle := res.Y[i][0]
+		for j := 1; j < len(res.Columns); j++ {
+			if res.Y[i][j] > oracle+0.08 {
+				t.Errorf("B=%v: %s (%v) beats oracle (%v) by too much",
+					res.X[i], res.Columns[j], res.Y[i][j], oracle)
+			}
+		}
+		// Everything should be far above coin-flipping.
+		for j := range res.Columns {
+			if res.Y[i][j] < 0.6 {
+				t.Errorf("B=%v: %s accuracy %v below 0.6", res.X[i], res.Columns[j], res.Y[i][j])
+			}
+		}
+	}
+}
+
+func TestExtensionMultichoiceBVDominates(t *testing.T) {
+	res, err := Run("extension-multichoice", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: BV sym, plurality sym, BV biased, plurality biased.
+	for i := range res.X {
+		if res.Y[i][0] < res.Y[i][1]-1e-9 {
+			t.Errorf("n=%v: symmetric BV %v below plurality %v", res.X[i], res.Y[i][0], res.Y[i][1])
+		}
+		if res.Y[i][2] < res.Y[i][3]-1e-9 {
+			t.Errorf("n=%v: biased BV %v below plurality %v", res.X[i], res.Y[i][2], res.Y[i][3])
+		}
+	}
+	// The BV-over-plurality gap should be wider on biased workers than on
+	// symmetric ones by the largest jury size.
+	last := len(res.X) - 1
+	symGap := res.Y[last][0] - res.Y[last][1]
+	biasGap := res.Y[last][2] - res.Y[last][3]
+	if biasGap < symGap-0.01 {
+		t.Errorf("biased-worker gap %v not wider than symmetric gap %v", biasGap, symGap)
+	}
+}
+
+func TestExtensionStrategiesOrdering(t *testing.T) {
+	res, err := Run("extension-strategies", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := map[string]int{}
+	for j, name := range res.Columns {
+		col[name] = j
+	}
+	for i := range res.X {
+		row := res.Y[i]
+		bv, wmv := row[col["BV"]], row[col["WMV"]]
+		mv, half := row[col["MV"]], row[col["HALF"]]
+		rbv, triadic, rmv := row[col["RBV"]], row[col["TRIADIC"]], row[col["RMV"]]
+		if diff := bv - wmv; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("mu=%v: BV %v != canonical WMV %v", res.X[i], bv, wmv)
+		}
+		if diff := mv - half; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("mu=%v: MV %v != HALF %v on odd juries", res.X[i], mv, half)
+		}
+		if rbv > 0.5+1e-9 || rbv < 0.5-1e-9 {
+			t.Errorf("mu=%v: RBV = %v", res.X[i], rbv)
+		}
+		if triadic < rmv-1e-9 || triadic > mv+1e-9 {
+			t.Errorf("mu=%v: triadic %v outside [RMV %v, MV %v]", res.X[i], triadic, rmv, mv)
+		}
+		for _, j := range col {
+			if row[j] > bv+1e-9 {
+				t.Errorf("mu=%v: %s (%v) beats BV (%v)", res.X[i], res.Columns[j], row[j], bv)
+			}
+		}
+	}
+}
+
+func TestExtensionBatchGreedyCompetitive(t *testing.T) {
+	res, err := Run("extension-batch", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns: even, prior-weighted, greedy-marginal. Greedy should never
+	// be substantially worse than the even split.
+	for i := range res.X {
+		even, greedy := res.Y[i][0], res.Y[i][2]
+		if greedy < even-0.03 {
+			t.Errorf("B=%v: greedy %v well below even %v", res.X[i], greedy, even)
+		}
+	}
+	// Mean JQ grows with the global budget under every allocator.
+	for j := range res.Columns {
+		if res.Y[len(res.Y)-1][j] < res.Y[0][j]-0.01 {
+			t.Errorf("%s: JQ fell with budget: %v -> %v",
+				res.Columns[j], res.Y[0][j], res.Y[len(res.Y)-1][j])
+		}
+	}
+}
+
+func TestExtensionRobustnessLossGrowsWithNoise(t *testing.T) {
+	res, err := Run("extension-robustness", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero noise ⇒ (near-)zero loss; the largest noise should lose more
+	// than the smallest.
+	if loss0 := res.Y[0][2]; loss0 > 0.005 {
+		t.Errorf("loss at eps=0 is %v, want ≈0", loss0)
+	}
+	first, last := res.Y[0][2], res.Y[len(res.Y)-1][2]
+	if last < first {
+		t.Errorf("loss fell with noise: %v -> %v", first, last)
+	}
+	for i := range res.X {
+		if res.Y[i][1] > res.Y[i][0]+0.005 {
+			t.Errorf("eps=%v: noisy selection (%v) beats oracle (%v)",
+				res.X[i], res.Y[i][1], res.Y[i][0])
+		}
+	}
+}
+
+func TestExtensionOnlineSavesBudget(t *testing.T) {
+	res, err := Run("extension-online", tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.X {
+		onAcc, onCost, offAcc, offCost := res.Y[i][0], res.Y[i][1], res.Y[i][2], res.Y[i][3]
+		if onCost > offCost+1e-9 {
+			t.Errorf("threshold %v: online cost %v above offline %v", res.X[i], onCost, offCost)
+		}
+		if onAcc < 0.6 || offAcc < 0.6 {
+			t.Errorf("threshold %v: accuracies %v/%v too low", res.X[i], onAcc, offAcc)
+		}
+	}
+	// Higher thresholds should not reduce online accuracy drastically, and
+	// cost should grow with the threshold.
+	firstCost, lastCost := res.Y[0][1], res.Y[len(res.Y)-1][1]
+	if lastCost < firstCost {
+		t.Errorf("online cost fell as threshold rose: %v -> %v", firstCost, lastCost)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is covered per-artifact above")
+	}
+	results, err := RunAll(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("results = %d, want %d", len(results), len(IDs()))
+	}
+}
+
+func TestResultTableRendersErrorBars(t *testing.T) {
+	r := &Result{
+		ID: "demo", Title: "t", XLabel: "x", Columns: []string{"a"},
+		X: []float64{1}, Y: [][]float64{{0.5}}, YErr: [][]float64{{0.01}},
+	}
+	out := r.Table().String()
+	if !strings.Contains(out, "0.5±0.01") {
+		t.Fatalf("table output missing error bar:\n%s", out)
+	}
+}
+
+func TestResultDat(t *testing.T) {
+	r := &Result{
+		ID: "demo", Title: "t", XLabel: "x", Columns: []string{"a", "b"},
+		X: []float64{1, 2}, Y: [][]float64{{0.5, 0.6}, {0.7, 0.8}},
+	}
+	got := r.Dat()
+	want := "# demo — t\n# x a b\n1 0.5 0.6\n2 0.7 0.8\n"
+	if got != want {
+		t.Fatalf("Dat = %q, want %q", got, want)
+	}
+	// With error columns.
+	r.YErr = [][]float64{{0.1, 0.1}, {0.2, 0.2}}
+	got = r.Dat()
+	if !strings.Contains(got, "a a_err b b_err") || !strings.Contains(got, "1 0.5 0.1 0.6 0.1") {
+		t.Fatalf("Dat with errors = %q", got)
+	}
+}

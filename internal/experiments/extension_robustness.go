@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/internal/jq"
+	"repro/internal/selection"
+	"repro/internal/stats"
+	"repro/internal/worker"
+)
+
+// Extension experiment: sensitivity of jury selection to quality
+// misestimation. The paper assumes qualities are known exactly; in
+// practice they are estimates (see internal/quality). Here every worker's
+// quality is perturbed by N(0, ε²) before selection, the selected jury is
+// re-scored under the TRUE qualities, and the loss against
+// oracle-knowledge selection is reported as ε grows.
+
+func init() {
+	register("extension-robustness", extensionRobustness)
+}
+
+func extensionRobustness(cfg Config) (*Result, error) {
+	epsilons := []float64{0, 0.02, 0.05, 0.10, 0.15, 0.20}
+	gen := datagen.DefaultConfig()
+	gen.N = 20
+	const budget = 0.1 // tight: selection mistakes must matter
+
+	rows := make([][]float64, len(epsilons))
+	for ei, eps := range epsilons {
+		var oracleSum, noisySum float64
+		trials := cfg.Repeats * 10
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*70117))
+			pool, err := gen.Pool(rng)
+			if err != nil {
+				return nil, err
+			}
+			perturbed := pool.Clone()
+			// The perturbation RNG must differ per epsilon but the pool
+			// must not, so oracle columns are comparable.
+			prng := rand.New(rand.NewSource(cfg.Seed + int64(ei)*33391 + int64(trial)*70117))
+			for i := range perturbed {
+				q := perturbed[i].Quality + prng.NormFloat64()*eps
+				perturbed[i].Quality = stats.Clamp(q, 0.5, 0.99)
+			}
+			oracle, err := selectTrueJQ(pool, pool, budget, cfg, int64(trial))
+			if err != nil {
+				return nil, err
+			}
+			noisy, err := selectTrueJQ(perturbed, pool, budget, cfg, int64(trial))
+			if err != nil {
+				return nil, err
+			}
+			oracleSum += oracle
+			noisySum += noisy
+		}
+		n := float64(cfg.Repeats * 10)
+		rows[ei] = []float64{oracleSum / n, noisySum / n, (oracleSum - noisySum) / n}
+	}
+	return &Result{
+		ID: "extension-robustness", Title: "JSP sensitivity to worker-quality misestimation",
+		XLabel:  "quality_noise_std",
+		Columns: []string{"oracle JQ", "noisy-selection JQ", "JQ loss"},
+		X:       epsilons, Y: rows,
+		Notes: "N=20, B=0.1; juries selected with perturbed qualities, " +
+			"re-scored under the true ones",
+	}, nil
+}
+
+// selectTrueJQ selects a jury using believedPool's qualities and scores the
+// chosen members under truePool's qualities.
+func selectTrueJQ(believedPool, truePool worker.Pool, budget float64, cfg Config, seed int64) (float64, error) {
+	sel := selection.Auto{
+		Objective: selection.BVObjective{NumBuckets: cfg.NumBuckets},
+		Seed:      cfg.Seed + seed,
+	}
+	res, err := sel.Select(believedPool, budget, 0.5)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Indices) == 0 {
+		return 0.5, nil
+	}
+	est, err := jq.Estimate(truePool.Subset(res.Indices), 0.5, jq.Options{NumBuckets: cfg.NumBuckets})
+	if err != nil {
+		return 0, err
+	}
+	return est.JQ, nil
+}

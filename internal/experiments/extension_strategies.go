@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/internal/jq"
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+// Extension experiment: Figure 8(a) widened to the paper's full Table 2
+// taxonomy — every built-in strategy, deterministic and randomized,
+// evaluated exactly on n=9 juries as the mean worker quality sweeps. The
+// ordering the theory predicts: BV ≡ WMV(canonical) on top, MV ≡ HALF for
+// odd n next, triadic consensus between RMV and MV, RBV pinned at ½.
+
+func init() {
+	register("extension-strategies", extensionStrategies)
+}
+
+func extensionStrategies(cfg Config) (*Result, error) {
+	strategies := voting.All()
+	cols := make([]string, len(strategies))
+	for i, s := range strategies {
+		cols[i] = s.Name()
+	}
+	xs := sweep(0.5, 0.95, 0.05)
+	gen := datagen.DefaultConfig()
+	gen.N = 9
+
+	rows := make([][]float64, len(xs))
+	for i, mu := range xs {
+		gen.MeanQuality = mu
+		sums := make([]float64, len(strategies))
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*9241 + int64(rep)*120011))
+			qs, err := gen.Qualities(rng)
+			if err != nil {
+				return nil, err
+			}
+			pool := worker.UniformCost(qs, 1)
+			for j, s := range strategies {
+				v, err := jq.Exact(pool, s, 0.5)
+				if err != nil {
+					return nil, err
+				}
+				sums[j] += v
+			}
+		}
+		row := make([]float64, len(strategies))
+		for j, s := range sums {
+			row[j] = s / float64(cfg.Repeats)
+		}
+		rows[i] = row
+	}
+	return &Result{
+		ID: "extension-strategies", Title: "full Table 2 strategy taxonomy, exact JQ vs mean quality",
+		XLabel: "mu", Columns: cols, X: xs, Y: rows,
+		Notes: "n=9 (odd), uniform prior; BV/WMV coincide, MV/HALF coincide, RBV = 0.5",
+	}, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/selection"
+	"repro/internal/worker"
+)
+
+// Figure 1: the running example — the budget–quality table the Optimal
+// Jury Selection System presents to the task provider for the seven-worker
+// pool A–G.
+
+func init() {
+	register("fig1", fig1)
+}
+
+// Figure1Pool returns the paper's seven example workers.
+func Figure1Pool() worker.Pool {
+	return worker.Pool{
+		{ID: "A", Quality: 0.77, Cost: 9},
+		{ID: "B", Quality: 0.70, Cost: 5},
+		{ID: "C", Quality: 0.80, Cost: 6},
+		{ID: "D", Quality: 0.65, Cost: 7},
+		{ID: "E", Quality: 0.60, Cost: 5},
+		{ID: "F", Quality: 0.60, Cost: 2},
+		{ID: "G", Quality: 0.75, Cost: 3},
+	}
+}
+
+func fig1(cfg Config) (*Result, error) {
+	sys := &core.System{
+		Selector: selection.Exhaustive{Objective: selection.BVExactObjective{}},
+		Alpha:    0.5,
+	}
+	budgets := []float64{5, 10, 15, 20}
+	rows, err := sys.BudgetQualityTable(Figure1Pool(), budgets)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(rows))
+	ys := make([][]float64, len(rows))
+	juries := ""
+	for i, row := range rows {
+		xs[i] = row.Budget
+		ys[i] = []float64{row.JQ, row.RequiredBudget}
+		if i > 0 {
+			juries += "; "
+		}
+		juries += table1Jury(row.Jury)
+	}
+	return &Result{
+		ID: "fig1", Title: "budget–quality table for the example pool A–G",
+		XLabel: "budget", Columns: []string{"JQ", "required"}, X: xs, Y: ys,
+		Notes: "juries: " + juries +
+			" (paper: {F,G} 75%, {C,G} 80%, {B,C,G} 84.5%, {A,C,F,G} 86.95%; " +
+			"JQ-equal cheaper juries are returned where BV ties)",
+	}, nil
+}
+
+func table1Jury(jury worker.Pool) string {
+	out := "{"
+	for i, w := range jury {
+		if i > 0 {
+			out += ","
+		}
+		out += w.ID
+	}
+	return out + "}"
+}

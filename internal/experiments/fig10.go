@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/amt"
+	"repro/internal/jq"
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+// Figure 10: the real-data evaluation on the (simulated) AMT sentiment
+// corpus. Panels (a)–(c) repeat the OPTJS-vs-MVJS comparison per question
+// with empirically estimated worker qualities, sweeping budget, candidate
+// count, and cost deviation; panel (d) compares the predicted JQ of the
+// first z voters against the realized accuracy of Bayesian voting on their
+// actual votes.
+
+func init() {
+	register("fig10a", fig10a)
+	register("fig10b", fig10b)
+	register("fig10c", fig10c)
+	register("fig10d", fig10d)
+}
+
+// amtDataset caches the simulated corpus per seed: the generation is
+// deterministic, all four panels share it, and experiments may run
+// concurrently (cmd/experiments -parallel), so access is mutex-guarded.
+var (
+	amtCacheMu sync.Mutex
+	amtCache   = map[int64]*amt.Dataset{}
+)
+
+func amtDataset(seed int64) (*amt.Dataset, error) {
+	amtCacheMu.Lock()
+	defer amtCacheMu.Unlock()
+	if ds, ok := amtCache[seed]; ok {
+		return ds, nil
+	}
+	ds, err := amt.Generate(amt.DefaultConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	amtCache[seed] = ds
+	return ds, nil
+}
+
+// fig10Sweep runs the per-question system comparison over xs; prepare
+// builds the candidate pool and budget of one (question, x) pair. Returned
+// rows hold per-point means over the questions, errs their standard error.
+func fig10Sweep(cfg Config, xs []float64, prepare func(x float64, ds *amt.Dataset, q int, rng *rand.Rand) (worker.Pool, float64, error)) (rows, errs [][]float64, err error) {
+	ds, err := amtDataset(cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	questions := cfg.Questions
+	if questions > len(ds.Tasks) {
+		questions = len(ds.Tasks)
+	}
+	rows = make([][]float64, len(xs))
+	errs = make([][]float64, len(xs))
+	for i, x := range xs {
+		mvs := make([]float64, 0, questions)
+		bvs := make([]float64, 0, questions)
+		for q := 0; q < questions; q++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*100003 + int64(q)*17389))
+			pool, budget, err := prepare(x, ds, q, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			mv, bv, err := systemPair(pool, budget, cfg.NumBuckets, cfg.Seed+int64(q))
+			if err != nil {
+				return nil, nil, err
+			}
+			mvs = append(mvs, mv)
+			bvs = append(bvs, bv)
+		}
+		rows[i] = []float64{mean(mvs), mean(bvs)}
+		errs[i] = []float64{stdErr(mvs), stdErr(bvs)}
+	}
+	return rows, errs, nil
+}
+
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func fig10a(cfg Config) (*Result, error) {
+	xs := sweep(0.1, 1.0, 0.1)
+	rows, errs, err := fig10Sweep(cfg, xs, func(x float64, ds *amt.Dataset, q int, rng *rand.Rand) (worker.Pool, float64, error) {
+		pool, err := ds.TaskPool(q, 0.05, 0.2, rng)
+		return pool, x, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID: "fig10a", Title: "real data: OPTJS vs MVJS, varying budget",
+		XLabel: "budget", Columns: []string{"MVJS", "OPTJS"}, X: xs, Y: rows, YErr: errs,
+		Notes: "N=20 per question; empirical worker qualities",
+	}, nil
+}
+
+func fig10b(cfg Config) (*Result, error) {
+	xs := sweep(3, 20, 1)
+	rows, errs, err := fig10Sweep(cfg, xs, func(x float64, ds *amt.Dataset, q int, rng *rand.Rand) (worker.Pool, float64, error) {
+		pool, err := ds.TaskPool(q, 0.05, 0.2, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		n := int(x)
+		if n > len(pool) {
+			n = len(pool)
+		}
+		return pool[:n], 0.5, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID: "fig10b", Title: "real data: OPTJS vs MVJS, varying candidate count",
+		XLabel: "N", Columns: []string{"MVJS", "OPTJS"}, X: xs, Y: rows, YErr: errs,
+		Notes: "B=0.5; first N answerers of each question",
+	}, nil
+}
+
+func fig10c(cfg Config) (*Result, error) {
+	xs := sweep(0.1, 1.0, 0.1)
+	rows, errs, err := fig10Sweep(cfg, xs, func(x float64, ds *amt.Dataset, q int, rng *rand.Rand) (worker.Pool, float64, error) {
+		pool, err := ds.TaskPool(q, 0.05, x, rng)
+		return pool, 0.5, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID: "fig10c", Title: "real data: OPTJS vs MVJS, varying cost standard deviation",
+		XLabel: "cost_std", Columns: []string{"MVJS", "OPTJS"}, X: xs, Y: rows, YErr: errs,
+		Notes: "B=0.5, N=20 per question",
+	}, nil
+}
+
+func fig10d(cfg Config) (*Result, error) {
+	ds, err := amtDataset(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	questions := cfg.Questions
+	if questions > len(ds.Tasks) {
+		questions = len(ds.Tasks)
+	}
+	xs := sweep(3, 20, 1)
+	rows := make([][]float64, len(xs))
+	for i, zRaw := range xs {
+		z := int(zRaw)
+		var sumJQ float64
+		correct := 0
+		for q := 0; q < questions; q++ {
+			votes, quals, err := ds.Prefix(q, z)
+			if err != nil {
+				return nil, err
+			}
+			// (i) predicted JQ of the first-z jury.
+			est, err := jq.Estimate(worker.UniformCost(quals, 0), 0.5, jq.Options{NumBuckets: cfg.NumBuckets})
+			if err != nil {
+				return nil, err
+			}
+			sumJQ += est.JQ
+			// (ii) realized BV decision on their actual votes.
+			dec, err := voting.Decide(voting.Bayesian{}, votes, quals, 0.5, nil)
+			if err != nil {
+				return nil, err
+			}
+			if dec == ds.Tasks[q].Truth {
+				correct++
+			}
+		}
+		rows[i] = []float64{
+			float64(correct) / float64(questions),
+			sumJQ / float64(questions),
+		}
+	}
+	return &Result{
+		ID: "fig10d", Title: "is JQ a good prediction? accuracy vs average JQ by vote count",
+		XLabel: "z", Columns: []string{"accuracy", "avg JQ"}, X: xs, Y: rows,
+		Notes: "first z votes per question; the two curves should nearly coincide",
+	}, nil
+}

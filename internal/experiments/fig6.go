@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/internal/jq"
+	"repro/internal/selection"
+	"repro/internal/stats"
+	"repro/internal/worker"
+)
+
+// Figure 6: end-to-end comparison of OPTJS against the MVJS baseline on
+// synthetic pools. Each panel sweeps one parameter of the Section 6.1.1
+// setting (µ, B, N, σ̂) and reports the mean jury quality of the jury each
+// system returns, scored under that system's own voting strategy — MV for
+// MVJS, BV for OPTJS — i.e. each system's end-to-end probability of
+// answering correctly.
+
+func init() {
+	register("fig6a", fig6a)
+	register("fig6b", fig6b)
+	register("fig6c", fig6c)
+	register("fig6d", fig6d)
+}
+
+// systemPair runs both systems on one pool and returns their scores.
+func systemPair(pool worker.Pool, budget float64, numBuckets int, seed int64) (mvjs, optjs float64, err error) {
+	mvSel := selection.Auto{Objective: selection.MVObjective{}, Seed: seed}
+	bvSel := selection.Auto{Objective: selection.BVObjective{NumBuckets: numBuckets}, Seed: seed}
+
+	mvRes, err := mvSel.Select(pool, budget, 0.5)
+	if err != nil {
+		return 0, 0, fmt.Errorf("MVJS: %w", err)
+	}
+	bvRes, err := bvSel.Select(pool, budget, 0.5)
+	if err != nil {
+		return 0, 0, fmt.Errorf("OPTJS: %w", err)
+	}
+	mvjs, err = scoreMV(mvRes.Jury)
+	if err != nil {
+		return 0, 0, err
+	}
+	optjs, err = scoreBV(bvRes.Jury, numBuckets)
+	if err != nil {
+		return 0, 0, err
+	}
+	return mvjs, optjs, nil
+}
+
+func scoreMV(jury worker.Pool) (float64, error) {
+	if len(jury) == 0 {
+		return 0.5, nil
+	}
+	return jq.MajorityClosedForm(jury, 0.5)
+}
+
+func scoreBV(jury worker.Pool, numBuckets int) (float64, error) {
+	if len(jury) == 0 {
+		return 0.5, nil
+	}
+	res, err := jq.Estimate(jury, 0.5, jq.Options{NumBuckets: numBuckets})
+	if err != nil {
+		return 0, err
+	}
+	return res.JQ, nil
+}
+
+// fig6Sweep runs the two systems over a sequence of configurations,
+// returning per-point means and standard errors across the repeats.
+func fig6Sweep(cfg Config, xs []float64, configure func(x float64, base *datagen.Config, budget *float64)) (rows, errs [][]float64, err error) {
+	rows = make([][]float64, len(xs))
+	errs = make([][]float64, len(xs))
+	for i, x := range xs {
+		gen := datagen.DefaultConfig()
+		budget := 0.5
+		configure(x, &gen, &budget)
+		mvs := make([]float64, 0, cfg.Repeats)
+		bvs := make([]float64, 0, cfg.Repeats)
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1009 + int64(rep)*7919))
+			pool, err := gen.Pool(rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			mv, bv, err := systemPair(pool, budget, cfg.NumBuckets, cfg.Seed+int64(rep))
+			if err != nil {
+				return nil, nil, err
+			}
+			mvs = append(mvs, mv)
+			bvs = append(bvs, bv)
+		}
+		rows[i] = []float64{stats.Mean(mvs), stats.Mean(bvs)}
+		errs[i] = []float64{stdErr(mvs), stdErr(bvs)}
+	}
+	return rows, errs, nil
+}
+
+// stdErr is the standard error of the mean; 0 for fewer than two samples.
+func stdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	s := stats.Summarize(xs)
+	return math.Sqrt(s.SampleVariance / float64(len(xs)))
+}
+
+func fig6a(cfg Config) (*Result, error) {
+	xs := sweep(0.5, 1.0, 0.05)
+	rows, errs, err := fig6Sweep(cfg, xs, func(x float64, gen *datagen.Config, _ *float64) {
+		gen.MeanQuality = x
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID: "fig6a", Title: "OPTJS vs MVJS, varying mean worker quality µ",
+		XLabel: "mu", Columns: []string{"MVJS", "OPTJS"}, X: xs, Y: rows, YErr: errs,
+		Notes: "N=50, B=0.5, sigma^2=0.05, cost~N(0.05,0.2^2)",
+	}, nil
+}
+
+func fig6b(cfg Config) (*Result, error) {
+	xs := sweep(0.1, 1.0, 0.1)
+	rows, errs, err := fig6Sweep(cfg, xs, func(x float64, _ *datagen.Config, budget *float64) {
+		*budget = x
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID: "fig6b", Title: "OPTJS vs MVJS, varying budget B",
+		XLabel: "budget", Columns: []string{"MVJS", "OPTJS"}, X: xs, Y: rows, YErr: errs,
+		Notes: "N=50, mu=0.7",
+	}, nil
+}
+
+func fig6c(cfg Config) (*Result, error) {
+	xs := sweep(10, 100, 10)
+	rows, errs, err := fig6Sweep(cfg, xs, func(x float64, gen *datagen.Config, _ *float64) {
+		gen.N = int(x)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID: "fig6c", Title: "OPTJS vs MVJS, varying candidate pool size N",
+		XLabel: "N", Columns: []string{"MVJS", "OPTJS"}, X: xs, Y: rows, YErr: errs,
+		Notes: "mu=0.7, B=0.5",
+	}, nil
+}
+
+func fig6d(cfg Config) (*Result, error) {
+	xs := sweep(0.1, 1.0, 0.1)
+	rows, errs, err := fig6Sweep(cfg, xs, func(x float64, gen *datagen.Config, _ *float64) {
+		gen.CostStd = x
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID: "fig6d", Title: "OPTJS vs MVJS, varying cost standard deviation",
+		XLabel: "cost_std", Columns: []string{"MVJS", "OPTJS"}, X: xs, Y: rows, YErr: errs,
+		Notes: "N=50, mu=0.7, B=0.5",
+	}, nil
+}

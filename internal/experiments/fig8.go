@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/datagen"
+	"repro/internal/jq"
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+// Figure 8: jury quality of four voting strategies — MV, BV, RBV, RMV —
+// computed exactly by enumeration on juries of up to 11 workers. Panel (a)
+// sweeps the mean worker quality µ at n=11; panel (b) sweeps the jury size
+// n at µ=0.7. The paper's finding: BV dominates everywhere, RBV is pinned
+// at 50%, and RMV never beats MV.
+
+func init() {
+	register("fig8a", fig8a)
+	register("fig8b", fig8b)
+}
+
+var fig8Strategies = []voting.Strategy{
+	voting.Majority{},
+	voting.Bayesian{},
+	voting.RandomBallot{},
+	voting.RandomizedMajority{},
+}
+
+func fig8Columns() []string {
+	cols := make([]string, len(fig8Strategies))
+	for i, s := range fig8Strategies {
+		cols[i] = s.Name()
+	}
+	return cols
+}
+
+// strategyJQs computes the exact JQ of each Figure 8 strategy on a jury.
+func strategyJQs(jury worker.Pool) ([]float64, error) {
+	out := make([]float64, len(fig8Strategies))
+	for i, s := range fig8Strategies {
+		v, err := jq.Exact(jury, s, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fig8a(cfg Config) (*Result, error) {
+	xs := sweep(0.5, 1.0, 0.05)
+	rows := make([][]float64, len(xs))
+	for i, mu := range xs {
+		gen := datagen.DefaultConfig()
+		gen.N = 11
+		gen.MeanQuality = mu
+		sums := make([]float64, len(fig8Strategies))
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7793 + int64(rep)*104003))
+			qs, err := gen.Qualities(rng)
+			if err != nil {
+				return nil, err
+			}
+			vals, err := strategyJQs(worker.UniformCost(qs, 1))
+			if err != nil {
+				return nil, err
+			}
+			for j, v := range vals {
+				sums[j] += v
+			}
+		}
+		row := make([]float64, len(sums))
+		for j, s := range sums {
+			row[j] = s / float64(cfg.Repeats)
+		}
+		rows[i] = row
+	}
+	return &Result{
+		ID: "fig8a", Title: "JQ of voting strategies, varying mean quality µ",
+		XLabel: "mu", Columns: fig8Columns(), X: xs, Y: rows,
+		Notes: "n=11; exact JQ by enumeration",
+	}, nil
+}
+
+func fig8b(cfg Config) (*Result, error) {
+	xs := sweep(1, 11, 1)
+	// Draw one 11-worker pool per repeat and evaluate its size-n prefixes,
+	// so each curve grows a fixed jury exactly as the paper's panel does.
+	gen := datagen.DefaultConfig()
+	gen.N = 11
+	sums := make([][]float64, len(xs))
+	for i := range sums {
+		sums[i] = make([]float64, len(fig8Strategies))
+	}
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*101117))
+		qs, err := gen.Qualities(rng)
+		if err != nil {
+			return nil, err
+		}
+		for i, nRaw := range xs {
+			vals, err := strategyJQs(worker.UniformCost(qs[:int(nRaw)], 1))
+			if err != nil {
+				return nil, err
+			}
+			for j, v := range vals {
+				sums[i][j] += v
+			}
+		}
+	}
+	rows := make([][]float64, len(xs))
+	for i := range xs {
+		row := make([]float64, len(fig8Strategies))
+		for j, s := range sums[i] {
+			row[j] = s / float64(cfg.Repeats)
+		}
+		rows[i] = row
+	}
+	return &Result{
+		ID: "fig8b", Title: "JQ of voting strategies, varying jury size n",
+		XLabel: "n", Columns: fig8Columns(), X: xs, Y: rows,
+		Notes: "mu=0.7; exact JQ by enumeration",
+	}, nil
+}

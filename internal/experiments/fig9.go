@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/jq"
+	"repro/internal/stats"
+	"repro/internal/worker"
+)
+
+// Figure 9: the JQ(J, BV, 0.5) computation itself. Panel (a) sweeps µ for
+// several quality variances; (b) sweeps the bucket count and reports the
+// approximation error against the exact JQ; (c) is the error histogram at
+// numBuckets=50; (d) measures the estimator's runtime with and without the
+// Algorithm 2 pruning as the jury grows to 500 workers.
+
+func init() {
+	register("fig9a", fig9a)
+	register("fig9b", fig9b)
+	register("fig9c", fig9c)
+	register("fig9d", fig9d)
+}
+
+func fig9a(cfg Config) (*Result, error) {
+	xs := sweep(0.5, 1.0, 0.05)
+	variances := []float64{0.01, 0.03, 0.05, 0.10}
+	cols := []string{"var=0.01", "var=0.03", "var=0.05", "var=0.10"}
+	rows := make([][]float64, len(xs))
+	for i, mu := range xs {
+		row := make([]float64, len(variances))
+		for j, variance := range variances {
+			gen := datagen.Config{N: 11, MeanQuality: mu, QualityVariance: variance}
+			var sum float64
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*5501 + int64(j)*911 + int64(rep)*77347))
+				qs, err := gen.Qualities(rng)
+				if err != nil {
+					return nil, err
+				}
+				v, err := jq.ExactBV(worker.UniformCost(qs, 1), 0.5)
+				if err != nil {
+					return nil, err
+				}
+				sum += v
+			}
+			row[j] = sum / float64(cfg.Repeats)
+		}
+		rows[i] = row
+	}
+	return &Result{
+		ID: "fig9a", Title: "JQ(J, BV, 0.5) varying µ for several quality variances",
+		XLabel: "mu", Columns: cols, X: xs, Y: rows,
+		Notes: "n=11; exact JQ",
+	}, nil
+}
+
+func fig9b(cfg Config) (*Result, error) {
+	xs := sweep(10, 200, 10)
+	gen := datagen.DefaultConfig()
+	gen.N = 11
+	rows := make([][]float64, len(xs))
+	for i, nb := range xs {
+		var sumErr float64
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*40013))
+			pool, err := gen.Pool(rng)
+			if err != nil {
+				return nil, err
+			}
+			exact, err := jq.ExactBV(pool, 0.5)
+			if err != nil {
+				return nil, err
+			}
+			approx, err := jq.Estimate(pool, 0.5, jq.Options{NumBuckets: int(nb)})
+			if err != nil {
+				return nil, err
+			}
+			sumErr += exact - approx.JQ
+		}
+		rows[i] = []float64{sumErr / float64(cfg.Repeats)}
+	}
+	return &Result{
+		ID: "fig9b", Title: "approximation error JQ − JQ_hat, varying numBuckets",
+		XLabel: "numBuckets", Columns: []string{"error"}, X: xs, Y: rows,
+		Notes: "n=11; identical pools per bucket setting (same seeds)",
+	}, nil
+}
+
+func fig9c(cfg Config) (*Result, error) {
+	gen := datagen.DefaultConfig()
+	gen.N = 11
+	hist := stats.NewHistogram(0, 0.0001, 10) // errors in [0, 0.01%)
+	trials := cfg.Repeats * 20
+	for rep := 0; rep < trials; rep++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*65537))
+		pool, err := gen.Pool(rng)
+		if err != nil {
+			return nil, err
+		}
+		exact, err := jq.ExactBV(pool, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		approx, err := jq.Estimate(pool, 0.5, jq.Options{NumBuckets: cfg.NumBuckets})
+		if err != nil {
+			return nil, err
+		}
+		hist.Add(exact - approx.JQ)
+	}
+	xs := make([]float64, len(hist.Counts))
+	rows := make([][]float64, len(hist.Counts))
+	for i, c := range hist.Counts {
+		xs[i] = hist.BinCenter(i)
+		rows[i] = []float64{float64(c)}
+	}
+	return &Result{
+		ID: "fig9c", Title: "histogram of JQ − JQ_hat at numBuckets=50",
+		XLabel: "error_bin_center", Columns: []string{"frequency"}, X: xs, Y: rows,
+		Notes: "n=11; " + fig9cOverflowNote(hist.Over, hist.Total()),
+	}, nil
+}
+
+func fig9cOverflowNote(over, total int) string {
+	if over == 0 {
+		return "no error exceeded 0.01% (matches the paper's maximal error)"
+	}
+	return fmt.Sprintf("errors above 0.01%%: %d of %d", over, total)
+}
+
+func fig9d(cfg Config) (*Result, error) {
+	xs := sweep(100, 500, 100)
+	rows := make([][]float64, len(xs))
+	for i, nRaw := range xs {
+		gen := datagen.DefaultConfig()
+		gen.N = int(nRaw)
+		var withP, withoutP time.Duration
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*2221 + int64(rep)*13007))
+			pool, err := gen.Pool(rng)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := jq.Estimate(pool, 0.5, jq.Options{NumBuckets: cfg.NumBuckets}); err != nil {
+				return nil, err
+			}
+			withP += time.Since(start)
+
+			start = time.Now()
+			if _, err := jq.Estimate(pool, 0.5, jq.Options{NumBuckets: cfg.NumBuckets, DisablePruning: true}); err != nil {
+				return nil, err
+			}
+			withoutP += time.Since(start)
+		}
+		rows[i] = []float64{
+			withP.Seconds() / float64(cfg.Repeats),
+			withoutP.Seconds() / float64(cfg.Repeats),
+		}
+	}
+	return &Result{
+		ID: "fig9d", Title: "JQ estimation runtime with and without pruning, varying jury size",
+		XLabel: "n", Columns: []string{"with pruning (s)", "without pruning (s)"}, X: xs, Y: rows,
+		Notes: "numBuckets=50; the paper reports ~1s vs ~2.5s at n=500 in Python",
+	}, nil
+}

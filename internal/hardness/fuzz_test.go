@@ -1,0 +1,32 @@
+package hardness
+
+import "testing"
+
+// FuzzReductionEquivalence hammers the Theorem 2 reduction: on every
+// instance the subset-sum DP and the jury tie-mass detection must agree.
+func FuzzReductionEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{2, 2, 3})
+	f.Add([]byte{7, 7})
+	f.Add([]byte{1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 14 {
+			t.Skip()
+		}
+		items := make([]int, len(raw))
+		for i, b := range raw {
+			items[i] = int(b%16) + 1 // 1..16 keeps the tie DP tight
+		}
+		direct, err := PerfectPartitionExists(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaJury, err := DecideViaJury(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct != viaJury {
+			t.Fatalf("items %v: DP says %v, jury reduction says %v", items, direct, viaJury)
+		}
+	})
+}

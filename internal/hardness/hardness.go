@@ -1,0 +1,151 @@
+// Package hardness makes Theorem 2 of the paper executable: computing
+// JQ(J, BV, 0.5) exactly is NP-hard, by reduction from the PARTITION
+// problem.
+//
+// The reduction maps a multiset of positive integers {a_1, …, a_n} to a
+// jury whose log-odds are proportional to the integers:
+// φ(q_i) = ln(q_i/(1−q_i)) = s·a_i, i.e. q_i = σ(s·a_i). A voting V then
+// has log-likelihood ratio R(V) = s·Σ(±a_i), so R(V) = 0 — the tie states
+// that the exact JQ computation must account for with weight ½ — occurs
+// exactly when some subset of the integers sums to half the total. The
+// probability mass on the tie states is therefore positive if and only if
+// the PARTITION instance is solvable: an exact JQ oracle decides an
+// NP-complete problem.
+package hardness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/worker"
+)
+
+// Errors returned by the reduction.
+var (
+	ErrEmptyInstance   = errors.New("hardness: empty instance")
+	ErrNonPositiveItem = errors.New("hardness: instance items must be positive")
+)
+
+func checkInstance(items []int) error {
+	if len(items) == 0 {
+		return ErrEmptyInstance
+	}
+	for i, a := range items {
+		if a <= 0 {
+			return fmt.Errorf("%w: item %d = %d", ErrNonPositiveItem, i, a)
+		}
+	}
+	return nil
+}
+
+// Reduce maps a PARTITION instance to a jury: worker i has quality
+// σ(scale·a_i) = e^{scale·a_i}/(1+e^{scale·a_i}) and zero cost, so
+// φ(q_i) = scale·a_i exactly. scale must be positive; small scales keep
+// the qualities away from 1 (e.g. 0.1 for single-digit items).
+func Reduce(items []int, scale float64) (worker.Pool, error) {
+	if err := checkInstance(items); err != nil {
+		return nil, err
+	}
+	if !(scale > 0) {
+		return nil, fmt.Errorf("hardness: scale must be positive, got %v", scale)
+	}
+	pool := make(worker.Pool, len(items))
+	for i, a := range items {
+		x := math.Exp(scale * float64(a))
+		pool[i] = worker.Worker{
+			ID:      fmt.Sprintf("a%d", i),
+			Quality: x / (1 + x),
+			Cost:    0,
+		}
+	}
+	return pool, nil
+}
+
+// PerfectPartitionExists decides PARTITION directly by the classic
+// pseudo-polynomial subset-sum dynamic program: can the items be split
+// into two halves of equal sum?
+func PerfectPartitionExists(items []int) (bool, error) {
+	if err := checkInstance(items); err != nil {
+		return false, err
+	}
+	total := 0
+	for _, a := range items {
+		total += a
+	}
+	if total%2 != 0 {
+		return false, nil
+	}
+	half := total / 2
+	reachable := make([]bool, half+1)
+	reachable[0] = true
+	for _, a := range items {
+		for s := half; s >= a; s-- {
+			if reachable[s-a] {
+				reachable[s] = true
+			}
+		}
+	}
+	return reachable[half], nil
+}
+
+// TieProbability computes the exact probability mass of the tie states
+// R(V) = 0 for the reduced jury — the quantity whose presence an exact JQ
+// oracle must detect. It runs the same (key, prob) dynamic program as the
+// paper's Algorithm 1, but with the integers themselves as exact bucket
+// values, so no approximation is involved: keys are Σ(±a_i).
+func TieProbability(items []int, scale float64) (float64, error) {
+	pool, err := Reduce(items, scale)
+	if err != nil {
+		return 0, err
+	}
+	span := 0
+	for _, a := range items {
+		span += a
+	}
+	cur := make([]float64, 2*span+1)
+	next := make([]float64, 2*span+1)
+	cur[span] = 1
+	lo, hi := span, span
+	for i, a := range items {
+		q := pool[i].Quality
+		newLo, newHi := len(next), -1
+		for k := lo; k <= hi; k++ {
+			prob := cur[k]
+			if prob == 0 {
+				continue
+			}
+			cur[k] = 0
+			up, down := k+a, k-a
+			next[up] += prob * q
+			next[down] += prob * (1 - q)
+			if down < newLo {
+				newLo = down
+			}
+			if up > newHi {
+				newHi = up
+			}
+		}
+		cur, next = next, cur
+		lo, hi = newLo, newHi
+	}
+	tie := cur[span]
+	for k := lo; k <= hi; k++ {
+		cur[k] = 0
+	}
+	return tie, nil
+}
+
+// DecideViaJury decides PARTITION through the jury reduction: the tie mass
+// is positive iff the instance has a perfect partition. This is the
+// executable form of the Theorem 2 argument (with the caveat that it runs
+// the pseudo-polynomial DP — the hardness statement is about oracles that
+// compute JQ on arbitrary real qualities, where no integer structure is
+// available to exploit).
+func DecideViaJury(items []int) (bool, error) {
+	tie, err := TieProbability(items, 0.05)
+	if err != nil {
+		return false, err
+	}
+	return tie > 0, nil
+}

@@ -1,0 +1,185 @@
+package hardness
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/jq"
+)
+
+func TestReduceLogOddsProportionalToItems(t *testing.T) {
+	items := []int{1, 3, 7}
+	const scale = 0.1
+	pool, err := Reduce(items, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range pool {
+		phi := math.Log(w.Quality / (1 - w.Quality))
+		want := scale * float64(items[i])
+		if math.Abs(phi-want) > 1e-12 {
+			t.Errorf("worker %d: φ = %v, want %v", i, phi, want)
+		}
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	if _, err := Reduce(nil, 0.1); !errors.Is(err, ErrEmptyInstance) {
+		t.Errorf("empty: err = %v", err)
+	}
+	if _, err := Reduce([]int{1, -2}, 0.1); !errors.Is(err, ErrNonPositiveItem) {
+		t.Errorf("negative: err = %v", err)
+	}
+	if _, err := Reduce([]int{1}, 0); err == nil {
+		t.Error("no error for zero scale")
+	}
+}
+
+func TestPerfectPartitionKnownInstances(t *testing.T) {
+	tests := []struct {
+		items []int
+		want  bool
+	}{
+		{[]int{1, 1}, true},
+		{[]int{3, 1, 1, 2, 2, 1}, true},   // {3,1,1} vs {2,2,1}
+		{[]int{1, 2, 3, 4}, true},         // {1,4} vs {2,3}
+		{[]int{2, 2, 3}, false},           // odd total
+		{[]int{1, 5}, false},              // even total, no split
+		{[]int{4, 5, 11, 17, 1}, false},   // total 38, no subset sums 19
+		{[]int{4, 5, 11, 17, 1, 2}, true}, // total 40; {4,5,11}=20
+		{[]int{7}, false},
+	}
+	for _, tt := range tests {
+		got, err := PerfectPartitionExists(tt.items)
+		if err != nil {
+			t.Fatalf("%v: %v", tt.items, err)
+		}
+		if got != tt.want {
+			t.Errorf("PerfectPartitionExists(%v) = %v, want %v", tt.items, got, tt.want)
+		}
+	}
+}
+
+func TestDecideViaJuryMatchesDirectDP(t *testing.T) {
+	tests := [][]int{
+		{1, 1}, {3, 1, 1, 2, 2, 1}, {1, 2, 3, 4}, {2, 2, 3}, {1, 5},
+		{4, 5, 11, 17, 1}, {4, 5, 11, 17, 1, 2}, {7}, {6, 6}, {2, 4, 6, 8, 10},
+	}
+	for _, items := range tests {
+		direct, err := PerfectPartitionExists(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaJury, err := DecideViaJury(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct != viaJury {
+			t.Errorf("%v: direct DP %v, jury reduction %v", items, direct, viaJury)
+		}
+	}
+}
+
+// Property: on random instances the jury tie-mass detection always agrees
+// with the subset-sum DP — the heart of the Theorem 2 reduction.
+func TestReductionEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		items := make([]int, n)
+		for i := range items {
+			items[i] = rng.Intn(12) + 1
+		}
+		direct, err := PerfectPartitionExists(items)
+		if err != nil {
+			return false
+		}
+		viaJury, err := DecideViaJury(items)
+		if err != nil {
+			return false
+		}
+		return direct == viaJury
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The tie mass is exactly the weight the exact JQ assigns at R(V)=0: when
+// a partition exists, the exact JQ must account for the half-weighted tie
+// term, and the value differs measurably from any computation that drops
+// ties. This pins the quantitative link between JQ and PARTITION.
+func TestTieMassEntersExactJQ(t *testing.T) {
+	items := []int{1, 2, 3} // {1,2} vs {3}: partition exists
+	const scale = 0.2
+	pool, err := Reduce(items, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tie, err := TieProbability(items, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tie <= 0 {
+		t.Fatal("expected positive tie mass")
+	}
+	exact, err := jq.ExactBV(pool, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct JQ from the DP decomposition: Σ_{R>0} P(V|0) + tie/2
+	// must equal the exact JQ (tie states contribute P0 = P1 mass once).
+	var above float64
+	span := 0
+	for _, a := range items {
+		span += a
+	}
+	// Recompute the key distribution as in TieProbability.
+	cur := make([]float64, 2*span+1)
+	next := make([]float64, 2*span+1)
+	cur[span] = 1
+	lo, hi := span, span
+	for i, a := range items {
+		q := pool[i].Quality
+		newLo, newHi := len(next), -1
+		for k := lo; k <= hi; k++ {
+			p := cur[k]
+			if p == 0 {
+				continue
+			}
+			cur[k] = 0
+			next[k+a] += p * q
+			next[k-a] += p * (1 - q)
+			if k-a < newLo {
+				newLo = k - a
+			}
+			if k+a > newHi {
+				newHi = k + a
+			}
+		}
+		cur, next = next, cur
+		lo, hi = newLo, newHi
+	}
+	for k := lo; k <= hi; k++ {
+		if k-span > 0 {
+			above += cur[k]
+		}
+	}
+	reconstructed := above + tie/2
+	if math.Abs(reconstructed-exact) > 1e-12 {
+		t.Fatalf("reconstructed JQ %v != exact %v (tie=%v)", reconstructed, exact, tie)
+	}
+}
+
+func TestNonPartitionableInstanceHasNoTieMass(t *testing.T) {
+	tie, err := TieProbability([]int{2, 2, 3}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tie != 0 {
+		t.Fatalf("tie mass = %v, want 0 for non-partitionable instance", tie)
+	}
+}

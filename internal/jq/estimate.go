@@ -1,0 +1,234 @@
+package jq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/worker"
+)
+
+// dpBuffers recycles the dense DP arrays across Estimate calls: the
+// annealing search evaluates thousands of juries, and the two O(n·buckets)
+// slices dominated its allocation profile. Buffers are returned all-zero
+// (the DP zeroes every slot it consumes), so acquisition never needs to
+// clear them.
+var dpBuffers = sync.Pool{New: func() any { b := make([]float64, 0); return &b }}
+
+func acquireBuffer(size int) *[]float64 {
+	b := dpBuffers.Get().(*[]float64)
+	if cap(*b) < size {
+		*b = make([]float64, size)
+	}
+	*b = (*b)[:size]
+	return b
+}
+
+// DefaultNumBuckets is the bucket count used by the paper's experiments
+// (Section 6.1.1). The analytic error bound below 1% needs numBuckets ≥
+// 200·n; in practice 50 buckets already yields errors under 0.01% (Figure
+// 9c), which this reproduction confirms.
+const DefaultNumBuckets = 50
+
+// HighQualityCutoff is the quality above which Estimate short-circuits: a
+// single worker with q > 0.99 already pins JQ into (0.99, 1] (Lemma 1), so
+// the estimate returns that quality directly, keeping the error below 1%
+// and φ(q) = ln(q/(1−q)) bounded by φ(0.99) < 5 (Section 4.4).
+const HighQualityCutoff = 0.99
+
+// Options configures Estimate.
+type Options struct {
+	// NumBuckets is the number of equal-width buckets dividing
+	// [0, max φ(q_i)]. Zero selects DefaultNumBuckets.
+	NumBuckets int
+	// DisablePruning turns off the Algorithm 2 pruning; results are
+	// identical, only slower. Used by the Figure 9(d) experiment.
+	DisablePruning bool
+}
+
+// Result carries the estimate and the work counters used by the pruning
+// experiments.
+type Result struct {
+	// JQ is the estimated jury quality. It never exceeds the true
+	// JQ(J, BV, α) (the bucketed decision rule is itself a deterministic
+	// voting strategy, and BV is optimal).
+	JQ float64
+	// Bound is the analytic additive error bound e^{n·Δ/4} − 1 for this
+	// run's bucket width Δ; the true JQ lies in [JQ, JQ+Bound].
+	Bound float64
+	// KeysVisited counts (key, prob) pairs expanded across iterations.
+	KeysVisited int
+	// KeysPruned counts pairs resolved early by the pruning rule.
+	KeysPruned int
+	// ShortCircuited reports that a worker above HighQualityCutoff (or a
+	// degenerate all-q=0.5 jury) resolved the estimate without running the
+	// bucket DP.
+	ShortCircuited bool
+}
+
+// Estimate approximates JQ(J, BV, α) with the paper's Algorithm 1:
+//
+//  1. reduce the prior to a pseudo-worker (Theorem 3) and reinterpret
+//     workers with q < 0.5 as quality 1−q (Section 3.3);
+//  2. map each worker's log-odds φ(q_i) = ln(q_i/(1−q_i)) to an integer
+//     bucket b_i = ⌈φ(q_i)/Δ − ½⌉ with Δ = upper/numBuckets;
+//  3. run the iterative (key, prob) dynamic program over the bucketed
+//     log-likelihood-ratio R(V), pruning keys whose sign can no longer
+//     change (Algorithm 2);
+//  4. sum the probability mass of keys > 0 plus half the mass at key = 0.
+//
+// The returned estimate is a lower bound on the true JQ with additive error
+// below Result.Bound, which is < 1% when numBuckets ≥ 200·n (Section 4.4).
+// Time is O(numBuckets · n²) and memory O(numBuckets · n).
+func Estimate(pool worker.Pool, alpha float64, opts Options) (Result, error) {
+	if err := pool.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := checkPrior(alpha); err != nil {
+		return Result{}, err
+	}
+	if opts.NumBuckets == 0 {
+		opts.NumBuckets = DefaultNumBuckets
+	}
+	if opts.NumBuckets < 1 {
+		return Result{}, fmt.Errorf("jq: NumBuckets must be positive, got %d", opts.NumBuckets)
+	}
+	withPrior := WithPrior(pool, alpha)
+	normalized, _ := withPrior.Normalize()
+	qs := normalized.Qualities()
+
+	// High-quality short-circuit (Section 4.4): JQ ≥ max q_i by Lemma 1,
+	// so with q > 0.99 returning q keeps the error under 1% while keeping
+	// φ bounded for everyone else.
+	maxQ := 0.0
+	for _, q := range qs {
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	if maxQ > HighQualityCutoff {
+		return Result{JQ: maxQ, Bound: 1 - maxQ, ShortCircuited: true}, nil
+	}
+
+	// Bucketize. upper = max φ(q_i); all-q=0.5 juries have upper = 0 and
+	// JQ exactly 0.5.
+	n := len(qs)
+	phis := make([]float64, n)
+	upper := 0.0
+	for i, q := range qs {
+		phis[i] = math.Log(q / (1 - q)) // q ∈ [0.5, 0.99] ⇒ φ ∈ [0, ~4.6]
+		if phis[i] > upper {
+			upper = phis[i]
+		}
+	}
+	if upper == 0 {
+		return Result{JQ: 0.5, ShortCircuited: true}, nil
+	}
+	delta := upper / float64(opts.NumBuckets)
+	type bq struct {
+		b int
+		q float64
+	}
+	workers := make([]bq, n)
+	for i := range qs {
+		workers[i] = bq{b: int(math.Ceil(phis[i]/delta - 0.5)), q: qs[i]}
+	}
+	// Sort by decreasing bucket so the largest keys appear first, making
+	// the pruning suffix-bound as tight as possible as early as possible.
+	sort.Slice(workers, func(i, j int) bool { return workers[i].b > workers[j].b })
+
+	// aggregate[i] = Σ_{j ≥ i} b_j: the largest swing the remaining
+	// workers can still apply to a key (Algorithm 2's AggregateBucket).
+	aggregate := make([]int, n+1)
+	for i := n - 1; i >= 0; i-- {
+		aggregate[i] = aggregate[i+1] + workers[i].b
+	}
+	span := aggregate[0] // Σ b_i bounds |key| over the whole run
+
+	res := Result{Bound: ErrorBound(n, upper, opts.NumBuckets)}
+
+	// Dense DP over keys in [−span, span], stored at offset +span. Two
+	// recycled buffers are swapped each iteration; [lo, hi] tracks the
+	// live window. Every consumed slot is zeroed, so the buffers go back
+	// to the pool clean.
+	curBuf, nextBuf := acquireBuffer(2*span+1), acquireBuffer(2*span+1)
+	defer dpBuffers.Put(curBuf)
+	defer dpBuffers.Put(nextBuf)
+	cur, next := *curBuf, *nextBuf
+	cur[span] = 1 // SM[0] = 1
+	lo, hi := span, span
+	var estimate float64
+	for i := 0; i < n; i++ {
+		b, q := workers[i].b, workers[i].q
+		remaining := aggregate[i]
+		newLo, newHi := len(next), -1
+		for k := lo; k <= hi; k++ {
+			prob := cur[k]
+			if prob == 0 {
+				continue
+			}
+			cur[k] = 0
+			res.KeysVisited++
+			key := k - span
+			if !opts.DisablePruning {
+				// Algorithm 2: once |key| exceeds the remaining swing the
+				// final sign is fixed; positive keys contribute their full
+				// descendant mass (the vote-probability factors sum to 1),
+				// negative keys contribute nothing.
+				if key > 0 && key-remaining > 0 {
+					estimate += prob
+					res.KeysPruned++
+					continue
+				}
+				if key < 0 && key+remaining < 0 {
+					res.KeysPruned++
+					continue
+				}
+			}
+			up, down := k+b, k-b
+			next[up] += prob * q // v_i = 0: key + b_i, weight q_i
+			next[down] += prob * (1 - q)
+			if down < newLo {
+				newLo = down
+			}
+			if up > newHi {
+				newHi = up
+			}
+		}
+		cur, next = next, cur
+		if newHi < newLo { // everything pruned
+			lo, hi = span, span
+			cur[span] = 0
+			break
+		}
+		lo, hi = newLo, newHi
+	}
+	// Final evaluation: keys > 0 contribute fully, key = 0 half.
+	for k := lo; k <= hi; k++ {
+		prob := cur[k]
+		if prob == 0 {
+			continue
+		}
+		cur[k] = 0
+		switch key := k - span; {
+		case key > 0:
+			estimate += prob
+		case key == 0:
+			estimate += 0.5 * prob
+		}
+	}
+	res.JQ = estimate
+	return res, nil
+}
+
+// ErrorBound returns the additive approximation bound of Section 4.4,
+// e^{n·Δ/4} − 1 with bucket width Δ = upper/numBuckets. Setting
+// numBuckets = d·n with d ≥ 200 and upper < 5 keeps it under 0.627%.
+func ErrorBound(n int, upper float64, numBuckets int) float64 {
+	if numBuckets < 1 || n < 1 || upper <= 0 {
+		return 0
+	}
+	delta := upper / float64(numBuckets)
+	return math.Exp(float64(n)*delta/4) - 1
+}

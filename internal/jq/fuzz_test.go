@@ -1,0 +1,89 @@
+package jq
+
+import (
+	"testing"
+
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+// FuzzEstimateBounds drives arbitrary byte strings into jury
+// configurations and checks the approximation invariants of Section 4.4:
+// the estimate never exceeds the exact JQ and the gap respects the
+// analytic bound. Run with `go test -fuzz FuzzEstimateBounds ./internal/jq`
+// for exploration; the seed corpus runs on every `go test`.
+func FuzzEstimateBounds(f *testing.F) {
+	f.Add([]byte{128, 150, 200}, byte(128), uint16(50))
+	f.Add([]byte{255, 0, 128, 64, 192}, byte(0), uint16(10))
+	f.Add([]byte{130, 131, 132, 133, 134, 135, 136, 137}, byte(255), uint16(400))
+	f.Add([]byte{128}, byte(127), uint16(1))
+	f.Fuzz(func(t *testing.T, qualityBytes []byte, alphaByte byte, bucketsRaw uint16) {
+		if len(qualityBytes) == 0 || len(qualityBytes) > 14 {
+			t.Skip()
+		}
+		qs := make([]float64, len(qualityBytes))
+		for i, b := range qualityBytes {
+			qs[i] = float64(b) / 255 // [0, 1]
+		}
+		alpha := float64(alphaByte) / 255
+		buckets := int(bucketsRaw%2000) + 1
+		pool := worker.UniformCost(qs, 1)
+
+		exact, err := ExactBV(pool, alpha)
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		res, err := Estimate(pool, alpha, Options{NumBuckets: buckets})
+		if err != nil {
+			t.Fatalf("estimate: %v", err)
+		}
+		if res.JQ < 0.5-1e-9 || res.JQ > 1+1e-9 {
+			t.Fatalf("estimate %v outside [0.5, 1]", res.JQ)
+		}
+		if res.JQ > exact+1e-9 {
+			t.Fatalf("estimate %v exceeds exact %v (qs=%v alpha=%v buckets=%d)",
+				res.JQ, exact, qs, alpha, buckets)
+		}
+		if !res.ShortCircuited && exact-res.JQ > res.Bound+1e-9 {
+			t.Fatalf("gap %v exceeds bound %v (qs=%v alpha=%v buckets=%d)",
+				exact-res.JQ, res.Bound, qs, alpha, buckets)
+		}
+		// Pruning must be behaviour-preserving on every input.
+		noPrune, err := Estimate(pool, alpha, Options{NumBuckets: buckets, DisablePruning: true})
+		if err != nil {
+			t.Fatalf("estimate (no pruning): %v", err)
+		}
+		if diff := res.JQ - noPrune.JQ; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("pruning changed the estimate: %v vs %v", res.JQ, noPrune.JQ)
+		}
+	})
+}
+
+// FuzzExactConsistency checks that the generic Definition 3 evaluator and
+// the BV fast path agree on arbitrary juries and priors.
+func FuzzExactConsistency(f *testing.F) {
+	f.Add([]byte{200, 150, 150}, byte(128))
+	f.Add([]byte{10, 240}, byte(64))
+	f.Fuzz(func(t *testing.T, qualityBytes []byte, alphaByte byte) {
+		if len(qualityBytes) == 0 || len(qualityBytes) > 10 {
+			t.Skip()
+		}
+		qs := make([]float64, len(qualityBytes))
+		for i, b := range qualityBytes {
+			qs[i] = float64(b) / 255
+		}
+		alpha := float64(alphaByte) / 255
+		pool := worker.UniformCost(qs, 1)
+		fast, err := ExactBV(pool, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		generic, err := Exact(pool, voting.Bayesian{}, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := fast - generic; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("fast %v != generic %v (qs=%v alpha=%v)", fast, generic, qs, alpha)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package jq
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/worker"
+)
+
+// MaxIterativeStates bounds the state map of ExactIterative. The state
+// count is the number of distinct likelihood-ratio values over all
+// votings: worst case 2^n, but only n+1 for homogeneous juries and
+// Π(m_i+1) when qualities repeat with multiplicities m_i.
+const MaxIterativeStates = 1 << 20
+
+// Errors specific to the iterative exact computation.
+var (
+	ErrStateExplosion    = errors.New("jq: iterative computation exceeded the state budget")
+	ErrDegenerateQuality = errors.New("jq: iterative computation requires qualities strictly inside (0, 1)")
+)
+
+// ExactIterative computes JQ(J, BV, α) exactly with the paper's iterative
+// (key, prob) construction (Figure 4), using exact rational arithmetic for
+// the keys: the key of a voting V is the likelihood ratio
+// R(V) = P(V|t=0)/P(V|t=1) as a big.Rat, so votings with equal evidence
+// merge into one state with no floating-point collisions or misses.
+//
+// Unlike ExactBV (always 2^n work), the cost is proportional to the number
+// of *distinct* ratio values: juries whose qualities repeat — homogeneous
+// pools, or pools drawn from a few quality levels — are handled exactly at
+// sizes far beyond MaxExactJurySize. The computation fails with
+// ErrStateExplosion if the state map would exceed MaxIterativeStates, and
+// with ErrDegenerateQuality for workers of quality exactly 0 or 1 (whose
+// ratio is 0 or infinite; such workers decide the task alone).
+func ExactIterative(pool worker.Pool, alpha float64) (float64, error) {
+	if err := pool.Validate(); err != nil {
+		return 0, err
+	}
+	if err := checkPrior(alpha); err != nil {
+		return 0, err
+	}
+	qs := pool.Qualities()
+	for _, q := range qs {
+		if q <= 0 || q >= 1 {
+			return 0, fmt.Errorf("%w: got %v", ErrDegenerateQuality, q)
+		}
+	}
+
+	type state struct {
+		ratio *big.Rat // R(V) = P(V|0)/P(V|1), exact
+		p0    float64  // Σ P(V|0) over votings in this state
+	}
+	states := map[string]*state{"1": {ratio: big.NewRat(1, 1), p0: 1}}
+	for _, q := range qs {
+		qRat := new(big.Rat).SetFloat64(q)
+		oneMinus := new(big.Rat).Sub(big.NewRat(1, 1), qRat)
+		up := new(big.Rat).Quo(qRat, oneMinus) // vote 0 multiplies R by q/(1−q)
+		down := new(big.Rat).Inv(up)           // vote 1 multiplies R by (1−q)/q
+		qF, _ := qRat.Float64()                // exact: q is a binary rational
+		next := make(map[string]*state, 2*len(states))
+		add := func(r *big.Rat, p0 float64) {
+			key := r.RatString()
+			if s, ok := next[key]; ok {
+				s.p0 += p0
+				return
+			}
+			next[key] = &state{ratio: r, p0: p0}
+		}
+		for _, s := range states {
+			add(new(big.Rat).Mul(s.ratio, up), s.p0*qF)
+			add(new(big.Rat).Mul(s.ratio, down), s.p0*(1-qF))
+		}
+		if len(next) > MaxIterativeStates {
+			return 0, fmt.Errorf("%w: %d states", ErrStateExplosion, len(next))
+		}
+		states = next
+	}
+
+	// BV answers 0 on a state iff α·P(V|0) ≥ (1−α)·P(V|1), i.e.
+	// R(V) ≥ (1−α)/α; each state contributes the larger posterior mass.
+	var jqv float64
+	switch alpha {
+	case 0:
+		return 1, nil // truth is certainly 1; BV says 1 always
+	case 1:
+		return 1, nil
+	}
+	// Build (1−α)/α exactly from α's binary representation rather than
+	// from the rounded float quotient.
+	aRat := new(big.Rat).SetFloat64(alpha)
+	threshold := new(big.Rat).Quo(new(big.Rat).Sub(big.NewRat(1, 1), aRat), aRat)
+	for _, s := range states {
+		rF, _ := s.ratio.Float64()
+		p1 := s.p0 / rF // P(V|1) mass of the state
+		if s.ratio.Cmp(threshold) >= 0 {
+			jqv += alpha * s.p0
+		} else {
+			jqv += (1 - alpha) * p1
+		}
+	}
+	return jqv, nil
+}
+
+// DistinctEvidenceStates reports how many distinct likelihood-ratio states
+// the iterative computation would traverse for this jury — a cheap
+// feasibility probe before calling ExactIterative. It stops counting (and
+// returns MaxIterativeStates+1) once the budget is exceeded.
+func DistinctEvidenceStates(pool worker.Pool) int {
+	ratios := map[string]bool{"1": true}
+	for _, w := range pool {
+		q := w.Quality
+		if q <= 0 || q >= 1 {
+			return MaxIterativeStates + 1
+		}
+		qRat := new(big.Rat).SetFloat64(q)
+		oneMinus := new(big.Rat).Sub(big.NewRat(1, 1), qRat)
+		up := new(big.Rat).Quo(qRat, oneMinus)
+		down := new(big.Rat).Inv(up)
+		next := make(map[string]bool, 2*len(ratios))
+		for key := range ratios {
+			r, _ := new(big.Rat).SetString(key)
+			next[new(big.Rat).Mul(r, up).RatString()] = true
+			next[new(big.Rat).Mul(r, down).RatString()] = true
+		}
+		if len(next) > MaxIterativeStates {
+			return MaxIterativeStates + 1
+		}
+		ratios = next
+	}
+	return len(ratios)
+}

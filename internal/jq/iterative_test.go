@@ -1,0 +1,163 @@
+package jq
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/worker"
+)
+
+func TestExactIterativeMatchesEnumerationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 1
+		qs := make([]float64, n)
+		for i := range qs {
+			qs[i] = 0.02 + 0.96*rng.Float64()
+		}
+		alpha := 0.02 + 0.96*rng.Float64()
+		pool := worker.UniformCost(qs, 1)
+		want, err := ExactBV(pool, alpha)
+		if err != nil {
+			return false
+		}
+		got, err := ExactIterative(pool, alpha)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactIterativeFigure2(t *testing.T) {
+	got, err := ExactIterative(worker.UniformCost([]float64{0.9, 0.6, 0.6}, 1), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("JQ = %v, want 0.90", got)
+	}
+}
+
+func TestExactIterativeHomogeneousLargeJury(t *testing.T) {
+	// 201 identical workers: only 202 evidence states, exact at a size
+	// hopeless for the 2^n enumeration. For odd homogeneous juries BV
+	// equals MV, so the binomial closed form is the reference.
+	const n = 201
+	const q = 0.55
+	pool := homogeneous(n, q)
+	if states := DistinctEvidenceStates(pool); states != n+1 {
+		t.Fatalf("DistinctEvidenceStates = %d, want %d", states, n+1)
+	}
+	got, err := ExactIterative(pool, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MajorityClosedForm(pool, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("iterative %v != binomial closed form %v", got, want)
+	}
+}
+
+func TestExactIterativeTwoLevelJury(t *testing.T) {
+	// 30 workers from two quality levels: states ≤ 16·16 = 256.
+	qs := make([]float64, 30)
+	for i := range qs {
+		if i%2 == 0 {
+			qs[i] = 0.7
+		} else {
+			qs[i] = 0.8
+		}
+	}
+	pool := worker.UniformCost(qs, 1)
+	if states := DistinctEvidenceStates(pool); states > 256 {
+		t.Fatalf("DistinctEvidenceStates = %d, want ≤ 256", states)
+	}
+	got, err := ExactIterative(pool, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against the bucket estimate with its bound.
+	est, err := Estimate(pool, 0.5, Options{NumBuckets: 200 * len(pool)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < est.JQ-1e-9 {
+		t.Fatalf("exact %v below lower-bound estimate %v", got, est.JQ)
+	}
+	if got-est.JQ > est.Bound+1e-9 {
+		t.Fatalf("exact %v exceeds estimate %v + bound %v", got, est.JQ, est.Bound)
+	}
+}
+
+func TestExactIterativeDegenerateQuality(t *testing.T) {
+	if _, err := ExactIterative(worker.UniformCost([]float64{1, 0.7}, 1), 0.5); !errors.Is(err, ErrDegenerateQuality) {
+		t.Fatalf("q=1: err = %v", err)
+	}
+	if _, err := ExactIterative(worker.UniformCost([]float64{0, 0.7}, 1), 0.5); !errors.Is(err, ErrDegenerateQuality) {
+		t.Fatalf("q=0: err = %v", err)
+	}
+}
+
+func TestExactIterativeExtremePriors(t *testing.T) {
+	pool := worker.UniformCost([]float64{0.7, 0.8}, 1)
+	for _, alpha := range []float64{0, 1} {
+		got, err := ExactIterative(pool, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
+			t.Fatalf("alpha=%v: JQ = %v, want 1", alpha, got)
+		}
+	}
+}
+
+func TestExactIterativeValidation(t *testing.T) {
+	if _, err := ExactIterative(nil, 0.5); !errors.Is(err, worker.ErrEmptyPool) {
+		t.Fatalf("empty: err = %v", err)
+	}
+	if _, err := ExactIterative(worker.UniformCost([]float64{0.7}, 1), 1.2); !errors.Is(err, ErrPriorRange) {
+		t.Fatalf("prior: err = %v", err)
+	}
+}
+
+func TestDistinctEvidenceStatesDegenerate(t *testing.T) {
+	if got := DistinctEvidenceStates(worker.UniformCost([]float64{1}, 1)); got != MaxIterativeStates+1 {
+		t.Fatalf("q=1 probe = %d, want budget-exceeded sentinel", got)
+	}
+}
+
+// Agreement with the Theorem 3 prior reduction.
+func TestExactIterativePriorReductionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 1
+		qs := make([]float64, n)
+		for i := range qs {
+			qs[i] = 0.05 + 0.9*rng.Float64()
+		}
+		alpha := 0.05 + 0.9*rng.Float64()
+		pool := worker.UniformCost(qs, 1)
+		direct, err := ExactIterative(pool, alpha)
+		if err != nil {
+			return false
+		}
+		viaPseudo, err := ExactIterative(WithPrior(pool, alpha), 0.5)
+		if err != nil {
+			return false
+		}
+		return math.Abs(direct-viaPseudo) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package jq computes the Jury Quality (JQ) of Zheng et al. (EDBT 2015):
+// the probability that a voting strategy aggregates a jury's votes into the
+// task's true answer (Definition 3).
+//
+// The package provides:
+//
+//   - Exact: generic O(2^n) evaluation of Definition 3 for any strategy;
+//   - ExactBV: the fast-path exact JQ for Bayesian Voting,
+//     JQ = Σ_V max(α·P(V|t=0), (1−α)·P(V|t=1));
+//   - closed forms for MV (Poisson-binomial DP), Half, RMV and RBV;
+//   - MonteCarlo: simulation-based JQ for very large juries;
+//   - Estimate: the paper's bucket-based polynomial-time approximation of
+//     JQ under BV (Algorithm 1) with the pruning of Algorithm 2, plus its
+//     analytic additive error bound (Section 4.4);
+//   - WithPrior: the Theorem 3 reduction of a general prior α to a uniform
+//     prior via a pseudo-worker of quality α.
+//
+// Computing JQ under BV exactly is NP-hard (Theorem 2), so Exact/ExactBV
+// refuse juries beyond MaxExactJurySize.
+package jq
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+// MaxExactJurySize bounds the jury size accepted by the exact, exponential
+// JQ computations. 2^24 vote patterns is the largest enumeration that stays
+// interactive on commodity hardware.
+const MaxExactJurySize = 24
+
+// Errors returned by the computations in this package.
+var (
+	ErrJuryTooLarge = errors.New("jq: jury too large for exact computation")
+	ErrPriorRange   = errors.New("jq: prior outside [0, 1]")
+	ErrNoTrials     = errors.New("jq: Monte Carlo needs at least one trial")
+)
+
+func checkPrior(alpha float64) error {
+	if alpha < 0 || alpha > 1 || alpha != alpha {
+		return fmt.Errorf("%w: %v", ErrPriorRange, alpha)
+	}
+	return nil
+}
+
+// Exact evaluates Definition 3 directly:
+//
+//	JQ(J, S, α) = Σ_V [ α·P(V|t=0)·h(V) + (1−α)·P(V|t=1)·(1−h(V)) ]
+//
+// where h(V) = P(S returns 0 on V). It enumerates all 2^n votings and works
+// for every Strategy, deterministic or randomized. The jury must not exceed
+// MaxExactJurySize workers.
+func Exact(pool worker.Pool, s voting.Strategy, alpha float64) (float64, error) {
+	if err := pool.Validate(); err != nil {
+		return 0, err
+	}
+	if err := checkPrior(alpha); err != nil {
+		return 0, err
+	}
+	n := len(pool)
+	if n > MaxExactJurySize {
+		return 0, fmt.Errorf("%w: n=%d > %d", ErrJuryTooLarge, n, MaxExactJurySize)
+	}
+	qs := pool.Qualities()
+	votes := make([]voting.Vote, n)
+	var jq float64
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		p0, p1 := 1.0, 1.0 // P(V | t=0), P(V | t=1)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				votes[i] = voting.No
+				p0 *= qs[i]
+				p1 *= 1 - qs[i]
+			} else {
+				votes[i] = voting.Yes
+				p0 *= 1 - qs[i]
+				p1 *= qs[i]
+			}
+		}
+		h, err := s.ProbZero(votes, qs, alpha)
+		if err != nil {
+			return 0, fmt.Errorf("jq: strategy %s: %w", s.Name(), err)
+		}
+		jq += alpha*p0*h + (1-alpha)*p1*(1-h)
+	}
+	return jq, nil
+}
+
+// ExactBV computes the exact JQ of Bayesian Voting,
+// JQ(J, BV, α) = Σ_V max(α·P(V|t=0), (1−α)·P(V|t=1)), by direct enumeration.
+// It is the reference the approximation algorithm is validated against.
+// The jury must not exceed MaxExactJurySize workers.
+func ExactBV(pool worker.Pool, alpha float64) (float64, error) {
+	if err := pool.Validate(); err != nil {
+		return 0, err
+	}
+	if err := checkPrior(alpha); err != nil {
+		return 0, err
+	}
+	n := len(pool)
+	if n > MaxExactJurySize {
+		return 0, fmt.Errorf("%w: n=%d > %d", ErrJuryTooLarge, n, MaxExactJurySize)
+	}
+	qs := pool.Qualities()
+	var jq float64
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		p0, p1 := alpha, 1-alpha
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				p0 *= qs[i]
+				p1 *= 1 - qs[i]
+			} else {
+				p0 *= 1 - qs[i]
+				p1 *= qs[i]
+			}
+		}
+		if p0 >= p1 {
+			jq += p0
+		} else {
+			jq += p1
+		}
+	}
+	return jq, nil
+}
+
+// correctCountDistribution returns dp where dp[k] = P(exactly k of the
+// workers vote for the true answer) — the Poisson-binomial distribution of
+// the qualities. O(n²) time, O(n) space.
+func correctCountDistribution(qs []float64) []float64 {
+	dp := make([]float64, len(qs)+1)
+	dp[0] = 1
+	for i, q := range qs {
+		for k := i + 1; k >= 1; k-- {
+			dp[k] = dp[k]*(1-q) + dp[k-1]*q
+		}
+		dp[0] *= 1 - q
+	}
+	return dp
+}
+
+// MajorityClosedForm computes JQ(J, MV, α) in O(n²) via the
+// Poisson-binomial distribution of the number of correct votes, replacing
+// the exponential enumeration. MV answers 0 iff Σ(1−v_i) ≥ (n+1)/2, so:
+//
+//   - given t=0 the result is correct iff #correct ≥ ⌈(n+1)/2⌉;
+//   - given t=1 the result is correct iff #correct ≥ ⌈n/2⌉ (the even-n tie
+//     resolves to answer 1, which is correct in this branch).
+//
+// This matches the O(n log n) computation referenced from Cao et al. [7] up
+// to the DP's complexity; the value is identical.
+func MajorityClosedForm(pool worker.Pool, alpha float64) (float64, error) {
+	if err := pool.Validate(); err != nil {
+		return 0, err
+	}
+	if err := checkPrior(alpha); err != nil {
+		return 0, err
+	}
+	n := len(pool)
+	dp := correctCountDistribution(pool.Qualities())
+	var pCorrect0, pCorrect1 float64
+	for k := 0; k <= n; k++ {
+		if 2*k >= n+1 {
+			pCorrect0 += dp[k]
+		}
+		if 2*k >= n {
+			pCorrect1 += dp[k]
+		}
+	}
+	return alpha*pCorrect0 + (1-alpha)*pCorrect1, nil
+}
+
+// HalfClosedForm computes JQ(J, HALF, α) in O(n²). Half voting answers 0 on
+// even-n ties, mirroring MajorityClosedForm with the branches swapped.
+func HalfClosedForm(pool worker.Pool, alpha float64) (float64, error) {
+	if err := pool.Validate(); err != nil {
+		return 0, err
+	}
+	if err := checkPrior(alpha); err != nil {
+		return 0, err
+	}
+	n := len(pool)
+	dp := correctCountDistribution(pool.Qualities())
+	var pCorrect0, pCorrect1 float64
+	for k := 0; k <= n; k++ {
+		if 2*k >= n {
+			pCorrect0 += dp[k]
+		}
+		if 2*k >= n+1 {
+			pCorrect1 += dp[k]
+		}
+	}
+	return alpha*pCorrect0 + (1-alpha)*pCorrect1, nil
+}
+
+// RandomizedMajorityClosedForm computes JQ(J, RMV, α), which reduces to the
+// mean worker quality: conditioned on either truth value, the probability
+// that RMV picks the true answer equals the expected fraction of correct
+// votes, E[#correct]/n = mean(q_i), independent of α.
+func RandomizedMajorityClosedForm(pool worker.Pool, alpha float64) (float64, error) {
+	if err := pool.Validate(); err != nil {
+		return 0, err
+	}
+	if err := checkPrior(alpha); err != nil {
+		return 0, err
+	}
+	return pool.MeanQuality(), nil
+}
+
+// RandomBallotClosedForm is the JQ of Random Ballot Voting: always 1/2.
+func RandomBallotClosedForm() float64 { return 0.5 }
+
+// MonteCarlo estimates JQ(J, S, α) by simulation: draw the truth from the
+// prior, draw each worker's vote from their quality, run the strategy, and
+// count correct outcomes. Unlike the exact computations it scales to any
+// jury size; the standard error is about 0.5/sqrt(trials).
+func MonteCarlo(pool worker.Pool, s voting.Strategy, alpha float64, trials int, rng *rand.Rand) (float64, error) {
+	if err := pool.Validate(); err != nil {
+		return 0, err
+	}
+	if err := checkPrior(alpha); err != nil {
+		return 0, err
+	}
+	if trials < 1 {
+		return 0, ErrNoTrials
+	}
+	qs := pool.Qualities()
+	votes := make([]voting.Vote, len(pool))
+	correct := 0
+	for trial := 0; trial < trials; trial++ {
+		truth := voting.Yes
+		if rng.Float64() < alpha {
+			truth = voting.No
+		}
+		for i, q := range qs {
+			if rng.Float64() < q {
+				votes[i] = truth
+			} else {
+				votes[i] = truth.Opposite()
+			}
+		}
+		result, err := voting.Decide(s, votes, qs, alpha, rng)
+		if err != nil {
+			return 0, fmt.Errorf("jq: strategy %s: %w", s.Name(), err)
+		}
+		if result == truth {
+			correct++
+		}
+	}
+	return float64(correct) / float64(trials), nil
+}
+
+// WithPrior implements Theorem 3: JQ(J, BV, α) = JQ(J ∪ {pseudo}, BV, 0.5)
+// where the pseudo-worker has quality α and zero cost. For α = 0.5 the pool
+// is returned unchanged (a q=0.5 worker carries no information, but keeping
+// the jury size minimal is cheaper).
+func WithPrior(pool worker.Pool, alpha float64) worker.Pool {
+	if alpha == 0.5 {
+		return pool.Clone()
+	}
+	out := make(worker.Pool, len(pool)+1)
+	copy(out, pool)
+	out[len(pool)] = worker.Worker{ID: "prior", Quality: alpha, Cost: 0}
+	return out
+}

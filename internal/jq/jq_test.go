@@ -1,0 +1,445 @@
+package jq
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+func pool(qs ...float64) worker.Pool {
+	return worker.UniformCost(qs, 1)
+}
+
+// figure2Pool is the worked example of Figure 2 / Examples 2–3: three
+// workers with qualities 0.9, 0.6, 0.6 and a uniform prior.
+func figure2Pool() worker.Pool { return pool(0.9, 0.6, 0.6) }
+
+func TestExampleFigure2MajorityJQ(t *testing.T) {
+	got, err := Exact(figure2Pool(), voting.Majority{}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.792) > 1e-12 {
+		t.Fatalf("JQ(J, MV, 0.5) = %v, want 0.792 (paper Example 2)", got)
+	}
+}
+
+func TestExampleFigure2BayesianJQ(t *testing.T) {
+	got, err := ExactBV(figure2Pool(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("JQ(J, BV, 0.5) = %v, want 0.90 (paper Example 3)", got)
+	}
+	// The generic evaluator must agree with the fast path.
+	generic, err := Exact(figure2Pool(), voting.Bayesian{}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(generic-got) > 1e-12 {
+		t.Fatalf("generic JQ(BV) = %v, fast path = %v", generic, got)
+	}
+}
+
+func TestIntroductionJuryBEF(t *testing.T) {
+	// Section 1: jury {B, E, F} with qualities 0.7, 0.6, 0.6 has
+	// JQ under MV of 69.6%.
+	got, err := Exact(pool(0.7, 0.6, 0.6), voting.Majority{}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.696) > 1e-12 {
+		t.Fatalf("JQ = %v, want 0.696 (paper Section 1)", got)
+	}
+}
+
+func TestSingleWorkerJQ(t *testing.T) {
+	// A single worker's BV JQ at uniform prior is max(q, 1−q).
+	for _, q := range []float64{0.5, 0.6, 0.8, 0.3} {
+		got, err := ExactBV(pool(q), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Max(q, 1-q)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("q=%v: JQ = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestExactInputValidation(t *testing.T) {
+	if _, err := ExactBV(nil, 0.5); !errors.Is(err, worker.ErrEmptyPool) {
+		t.Errorf("empty pool: err = %v", err)
+	}
+	if _, err := ExactBV(pool(0.7), 1.2); !errors.Is(err, ErrPriorRange) {
+		t.Errorf("bad prior: err = %v", err)
+	}
+	big := make(worker.Pool, MaxExactJurySize+1)
+	for i := range big {
+		big[i] = worker.Worker{Quality: 0.7, Cost: 1}
+	}
+	if _, err := ExactBV(big, 0.5); !errors.Is(err, ErrJuryTooLarge) {
+		t.Errorf("oversized jury: err = %v", err)
+	}
+	if _, err := Exact(big, voting.Majority{}, 0.5); !errors.Is(err, ErrJuryTooLarge) {
+		t.Errorf("oversized jury (generic): err = %v", err)
+	}
+}
+
+func TestMajorityClosedFormMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(9) + 1
+		qs := make([]float64, n)
+		for i := range qs {
+			qs[i] = 0.5 + rng.Float64()/2
+		}
+		alpha := rng.Float64()
+		p := pool(qs...)
+		want, err := Exact(p, voting.Majority{}, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MajorityClosedForm(p, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("n=%d α=%v: closed form %v != enumeration %v (qs=%v)", n, alpha, got, want, qs)
+		}
+	}
+}
+
+func TestHalfClosedFormMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(8) + 1
+		qs := make([]float64, n)
+		for i := range qs {
+			qs[i] = 0.5 + rng.Float64()/2
+		}
+		alpha := rng.Float64()
+		p := pool(qs...)
+		want, err := Exact(p, voting.Half{}, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := HalfClosedForm(p, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("n=%d α=%v: closed form %v != enumeration %v", n, alpha, got, want)
+		}
+	}
+}
+
+func TestRandomizedMajorityClosedFormMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(8) + 1
+		qs := make([]float64, n)
+		for i := range qs {
+			qs[i] = rng.Float64()
+		}
+		alpha := rng.Float64()
+		p := pool(qs...)
+		want, err := Exact(p, voting.RandomizedMajority{}, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RandomizedMajorityClosedForm(p, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("closed form %v != enumeration %v", got, want)
+		}
+	}
+}
+
+func TestRandomBallotJQIsHalf(t *testing.T) {
+	got, err := Exact(pool(0.9, 0.95, 0.99), voting.RandomBallot{}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("JQ(RBV) = %v, want 0.5", got)
+	}
+	if RandomBallotClosedForm() != 0.5 {
+		t.Fatal("RandomBallotClosedForm() != 0.5")
+	}
+}
+
+// Theorem 1 / Corollary 1: BV maximizes JQ over every strategy.
+func TestBVOptimalityProperty(t *testing.T) {
+	strategies := voting.All()
+	f := func(seed int64, n uint8, alphaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%8) + 1
+		qs := make([]float64, size)
+		for i := range qs {
+			qs[i] = 0.05 + 0.9*rng.Float64()
+		}
+		alpha := float64(alphaRaw) / 255
+		p := pool(qs...)
+		best, err := ExactBV(p, alpha)
+		if err != nil {
+			return false
+		}
+		for _, s := range strategies {
+			jqS, err := Exact(p, s, alpha)
+			if err != nil {
+				return false
+			}
+			if jqS > best+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BV is also optimal against arbitrary randomized strategies, not just the
+// built-ins: any h(V) ∈ [0,1] yields JQ ≤ JQ(BV).
+func TestBVBeatsArbitraryRandomizedStrategiesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(6) + 1
+		qs := make([]float64, size)
+		for i := range qs {
+			qs[i] = rng.Float64()
+		}
+		alpha := rng.Float64()
+		p := pool(qs...)
+		best, err := ExactBV(p, alpha)
+		if err != nil {
+			return false
+		}
+		s := randomizedTableStrategy{h: make(map[uint32]float64), rng: rng}
+		got, err := Exact(p, s, alpha)
+		if err != nil {
+			return false
+		}
+		return got <= best+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomizedTableStrategy returns an arbitrary (but fixed per pattern)
+// probability for each vote pattern — a random point in strategy space Θ.
+type randomizedTableStrategy struct {
+	h   map[uint32]float64
+	rng *rand.Rand
+}
+
+func (randomizedTableStrategy) Name() string        { return "RANDTABLE" }
+func (randomizedTableStrategy) Deterministic() bool { return false }
+
+func (s randomizedTableStrategy) ProbZero(votes []voting.Vote, qualities []float64, alpha float64) (float64, error) {
+	var key uint32
+	for i, v := range votes {
+		if v == voting.Yes {
+			key |= 1 << uint(i)
+		}
+	}
+	if p, ok := s.h[key]; ok {
+		return p, nil
+	}
+	p := s.rng.Float64()
+	s.h[key] = p
+	return p, nil
+}
+
+// Lemma 1: adding a worker never decreases JQ under BV.
+func TestLemma1MonotoneJurySizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(7) + 1
+		qs := make([]float64, size)
+		for i := range qs {
+			qs[i] = 0.5 + rng.Float64()/2
+		}
+		alpha := rng.Float64()
+		base, err := ExactBV(pool(qs...), alpha)
+		if err != nil {
+			return false
+		}
+		extended, err := ExactBV(pool(append(qs, 0.5+rng.Float64()/2)...), alpha)
+		if err != nil {
+			return false
+		}
+		return extended >= base-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lemma 2: raising one worker's quality (≥ 0.5) never decreases JQ.
+func TestLemma2MonotoneQualityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(7) + 1
+		qs := make([]float64, size)
+		for i := range qs {
+			qs[i] = 0.5 + 0.49*rng.Float64()
+		}
+		alpha := rng.Float64()
+		base, err := ExactBV(pool(qs...), alpha)
+		if err != nil {
+			return false
+		}
+		i := rng.Intn(size)
+		raised := append([]float64(nil), qs...)
+		raised[i] = qs[i] + (0.999-qs[i])*rng.Float64()
+		higher, err := ExactBV(pool(raised...), alpha)
+		if err != nil {
+			return false
+		}
+		return higher >= base-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorem 3: a prior α is equivalent to a pseudo-worker of quality α.
+func TestTheorem3PriorPseudoWorkerProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(7) + 1
+		qs := make([]float64, size)
+		for i := range qs {
+			qs[i] = rng.Float64()
+		}
+		alpha := rng.Float64()
+		p := pool(qs...)
+		direct, err := ExactBV(p, alpha)
+		if err != nil {
+			return false
+		}
+		viaPseudo, err := ExactBV(WithPrior(p, alpha), 0.5)
+		if err != nil {
+			return false
+		}
+		return math.Abs(direct-viaPseudo) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithPriorUniformIsNoop(t *testing.T) {
+	p := pool(0.7, 0.8)
+	got := WithPrior(p, 0.5)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2 (no pseudo-worker at α=0.5)", len(got))
+	}
+	got[0].Quality = 0.1
+	if p[0].Quality != 0.7 {
+		t.Fatal("WithPrior(0.5) aliases the input pool")
+	}
+}
+
+func TestWithPriorAppendsZeroCostWorker(t *testing.T) {
+	p := pool(0.7)
+	got := WithPrior(p, 0.8)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	pseudo := got[1]
+	if pseudo.Quality != 0.8 || pseudo.Cost != 0 || pseudo.ID != "prior" {
+		t.Fatalf("pseudo-worker = %v", pseudo)
+	}
+}
+
+// JQ under BV is invariant under the q → 1−q reinterpretation.
+func TestNormalizeInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := rng.Intn(7) + 1
+		qs := make([]float64, size)
+		for i := range qs {
+			qs[i] = rng.Float64()
+		}
+		p := pool(qs...)
+		direct, err := ExactBV(p, 0.5)
+		if err != nil {
+			return false
+		}
+		normalized, _ := p.Normalize()
+		viaNorm, err := ExactBV(normalized, 0.5)
+		if err != nil {
+			return false
+		}
+		return math.Abs(direct-viaNorm) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonteCarloConvergesToExact(t *testing.T) {
+	p := figure2Pool()
+	rng := rand.New(rand.NewSource(42))
+	got, err := MonteCarlo(p, voting.Bayesian{}, 0.5, 200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.9) > 0.01 {
+		t.Fatalf("Monte Carlo JQ = %v, want ~0.90", got)
+	}
+	gotMV, err := MonteCarlo(p, voting.Majority{}, 0.5, 200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotMV-0.792) > 0.01 {
+		t.Fatalf("Monte Carlo JQ(MV) = %v, want ~0.792", gotMV)
+	}
+}
+
+func TestMonteCarloHandlesRandomizedStrategies(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	got, err := MonteCarlo(pool(0.8, 0.7, 0.6), voting.RandomBallot{}, 0.5, 100000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("Monte Carlo JQ(RBV) = %v, want ~0.5", got)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := MonteCarlo(pool(0.7), voting.Bayesian{}, 0.5, 0, rng); !errors.Is(err, ErrNoTrials) {
+		t.Fatalf("zero trials: err = %v", err)
+	}
+}
+
+func TestMonteCarloRespectsPrior(t *testing.T) {
+	// With α=0.9 and weak workers, BV should lean heavily on the prior.
+	rng := rand.New(rand.NewSource(44))
+	got, err := MonteCarlo(pool(0.55), voting.Bayesian{}, 0.9, 100000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactBV(pool(0.55), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-exact) > 0.01 {
+		t.Fatalf("Monte Carlo %v vs exact %v", got, exact)
+	}
+}

@@ -1,0 +1,222 @@
+package jq
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+// homogeneous returns a jury of n identical-quality workers.
+func homogeneous(n int, q float64) worker.Pool {
+	qs := make([]float64, n)
+	for i := range qs {
+		qs[i] = q
+	}
+	return worker.UniformCost(qs, 1)
+}
+
+// For identical qualities q ≥ 0.5, odd jury sizes, and a uniform prior,
+// Bayesian voting degenerates to majority voting (all log-odds weights are
+// equal and ties are impossible), so their JQs must coincide exactly.
+func TestBVEqualsMVForHomogeneousOddJuriesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2*rng.Intn(5) + 1 // odd in [1, 9]
+		q := 0.5 + 0.49*rng.Float64()
+		pool := homogeneous(n, q)
+		bv, err := ExactBV(pool, 0.5)
+		if err != nil {
+			return false
+		}
+		mv, err := MajorityClosedForm(pool, 0.5)
+		if err != nil {
+			return false
+		}
+		return math.Abs(bv-mv) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Binomial closed form: for identical q and odd n,
+// JQ(MV) = Σ_{k ≥ (n+1)/2} C(n,k) q^k (1−q)^{n−k}.
+func TestMajorityBinomialClosedForm(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 7, 9, 11} {
+		for _, q := range []float64{0.5, 0.6, 0.7, 0.85, 0.99} {
+			got, err := MajorityClosedForm(homogeneous(n, q), 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want float64
+			for k := (n + 1) / 2; k <= n; k++ {
+				want += binomial(n, k) * math.Pow(q, float64(k)) * math.Pow(1-q, float64(n-k))
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("n=%d q=%v: JQ = %v, binomial formula = %v", n, q, got, want)
+			}
+		}
+	}
+}
+
+func binomial(n, k int) float64 {
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res *= float64(n-i) / float64(k-i)
+	}
+	return res
+}
+
+// Condorcet Jury Theorem: with identical q > 0.5, JQ grows monotonically
+// over odd jury sizes and tends to 1.
+func TestCondorcetJuryTheorem(t *testing.T) {
+	const q = 0.6
+	prev := 0.0
+	for n := 1; n <= 21; n += 2 {
+		jqv, err := ExactBV(homogeneous(n, q), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jqv < prev-1e-12 {
+			t.Fatalf("JQ decreased at n=%d: %v -> %v", n, prev, jqv)
+		}
+		prev = jqv
+	}
+	if prev < 0.82 {
+		t.Fatalf("JQ at n=21, q=0.6 is %v; Condorcet convergence too slow", prev)
+	}
+	// And the reverse for q < 0.5 under MV (not BV, which reinterprets):
+	// majority of bad voters is worse than one bad voter.
+	bad1, err := MajorityClosedForm(homogeneous(1, 0.4), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad9, err := MajorityClosedForm(homogeneous(9, 0.4), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad9 >= bad1 {
+		t.Fatalf("MV with 9 bad voters (%v) not worse than 1 (%v)", bad9, bad1)
+	}
+	// BV is immune: it flips their votes.
+	bv9, err := ExactBV(homogeneous(9, 0.4), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv9good, err := ExactBV(homogeneous(9, 0.6), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bv9-bv9good) > 1e-12 {
+		t.Fatalf("BV with q=0.4 jurors (%v) != with q=0.6 jurors (%v)", bv9, bv9good)
+	}
+}
+
+// Adding a q=0.5 worker never changes the BV JQ: a coin flip carries no
+// evidence.
+func TestCoinFlipWorkerIsNeutralProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(7) + 1
+		qs := make([]float64, n)
+		for i := range qs {
+			qs[i] = rng.Float64()
+		}
+		alpha := rng.Float64()
+		base, err := ExactBV(worker.UniformCost(qs, 1), alpha)
+		if err != nil {
+			return false
+		}
+		extended, err := ExactBV(worker.UniformCost(append(qs, 0.5), 1), alpha)
+		if err != nil {
+			return false
+		}
+		return math.Abs(base-extended) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The JQ computations are pure; concurrent use from many goroutines must
+// be safe (run with -race).
+func TestEstimateConcurrentUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	qs := make([]float64, 40)
+	for i := range qs {
+		qs[i] = 0.5 + 0.45*rng.Float64()
+	}
+	pool := worker.UniformCost(qs, 1)
+	want, err := Estimate(pool, 0.5, Options{NumBuckets: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := Estimate(pool, 0.5, Options{NumBuckets: 50})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.JQ != want.JQ {
+					errs <- errMismatch{res.JQ, want.JQ}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch struct{ got, want float64 }
+
+func (e errMismatch) Error() string { return "concurrent estimate mismatch" }
+
+// Exact JQ of every built-in strategy is invariant under jury permutation.
+func TestJQPermutationInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 2
+		qs := make([]float64, n)
+		for i := range qs {
+			qs[i] = 0.05 + 0.9*rng.Float64()
+		}
+		alpha := rng.Float64()
+		perm := rng.Perm(n)
+		shuffled := make([]float64, n)
+		for i, p := range perm {
+			shuffled[i] = qs[p]
+		}
+		for _, s := range []voting.Strategy{voting.Majority{}, voting.Bayesian{}, voting.RandomizedMajority{}} {
+			a, err := Exact(worker.UniformCost(qs, 1), s, alpha)
+			if err != nil {
+				return false
+			}
+			b, err := Exact(worker.UniformCost(shuffled, 1), s, alpha)
+			if err != nil {
+				return false
+			}
+			if math.Abs(a-b) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,262 @@
+package multichoice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MaxExactStates bounds the ℓ^n enumeration of the exact JQ computations.
+const MaxExactStates = 1 << 24
+
+// ExactJQ evaluates the generalized Definition 3 (Equation 9) for any
+// strategy by enumerating all ℓ^n votings:
+//
+//	JQ = Σ_V Σ_t prior[t]·P(V|t)·P(S(V) = t).
+func ExactJQ(pool Pool, s Strategy, prior Prior) (float64, error) {
+	if err := checkVoting(pool, prior, nil); err != nil {
+		return 0, err
+	}
+	l, n := pool.Labels(), len(pool)
+	if err := checkExactSize(l, n); err != nil {
+		return 0, err
+	}
+	votes := make([]Label, n)
+	var jq float64
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == n {
+			probs, err := s.Probabilities(votes, pool, prior)
+			if err != nil {
+				return err
+			}
+			for t := 0; t < l; t++ {
+				p := prior[t]
+				for j, w := range pool {
+					p *= w.Confusion[t][votes[j]]
+				}
+				jq += p * probs[t]
+			}
+			return nil
+		}
+		for v := 0; v < l; v++ {
+			votes[i] = Label(v)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return 0, err
+	}
+	return jq, nil
+}
+
+// ExactBV computes the exact JQ of the optimal (Bayesian) strategy:
+// JQ = Σ_V max_t prior[t]·P(V|t).
+func ExactBV(pool Pool, prior Prior) (float64, error) {
+	if err := checkVoting(pool, prior, nil); err != nil {
+		return 0, err
+	}
+	l, n := pool.Labels(), len(pool)
+	if err := checkExactSize(l, n); err != nil {
+		return 0, err
+	}
+	votes := make([]Label, n)
+	var jq float64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			best := 0.0
+			for t := 0; t < l; t++ {
+				p := prior[t]
+				for j, w := range pool {
+					p *= w.Confusion[t][votes[j]]
+				}
+				if p > best {
+					best = p
+				}
+			}
+			jq += best
+			return
+		}
+		for v := 0; v < l; v++ {
+			votes[i] = Label(v)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return jq, nil
+}
+
+func checkExactSize(l, n int) error {
+	states := 1.0
+	for i := 0; i < n; i++ {
+		states *= float64(l)
+		if states > MaxExactStates {
+			return fmt.Errorf("%w: %d^%d votings", ErrJuryTooLarge, l, n)
+		}
+	}
+	return nil
+}
+
+// logFloor guards against −Inf from zero confusion entries in the bucketed
+// DP: probabilities are clamped to this floor before taking logs.
+const logFloor = 1e-12
+
+// EstimateBV approximates JQ(J, BV, prior) with the Section 7 bucketed
+// dynamic program. For each candidate label t' it accumulates
+//
+//	H(t') = Σ_{V : BV(V) = t'} P(V | t')
+//
+// with a map from bucketed (ℓ−1)-tuples of log-posterior margins
+// ln(prior[t']·P(V|t')) − ln(prior[j]·P(V|j)) (j ≠ t') to probability
+// mass, expanding one worker per iteration; JQ = Σ_{t'} prior[t']·H(t').
+// BV(V) = t' corresponds to all margins ≥ 0, with ties broken toward the
+// smaller label (strict margin required against j < t').
+//
+// numBuckets controls the margin resolution per unit of the largest
+// absolute per-worker log-ratio; 0 selects 50. Accuracy improves with more
+// buckets, matching the binary Algorithm 1.
+func EstimateBV(pool Pool, prior Prior, numBuckets int) (float64, error) {
+	if err := checkVoting(pool, prior, nil); err != nil {
+		return 0, err
+	}
+	if numBuckets == 0 {
+		numBuckets = 50
+	}
+	if numBuckets < 1 {
+		return 0, fmt.Errorf("multichoice: numBuckets must be positive, got %d", numBuckets)
+	}
+	l, n := pool.Labels(), len(pool)
+
+	// Pre-compute the per-worker log-ratio increments and the global
+	// bucket width: Δ = (max |increment|)/numBuckets.
+	logC := make([][][]float64, n) // [worker][truth][vote]
+	var upper float64
+	for i, w := range pool {
+		logC[i] = make([][]float64, l)
+		for t := 0; t < l; t++ {
+			logC[i][t] = make([]float64, l)
+			for v := 0; v < l; v++ {
+				logC[i][t][v] = math.Log(math.Max(w.Confusion[t][v], logFloor))
+			}
+		}
+		for t1 := 0; t1 < l; t1++ {
+			for t2 := 0; t2 < l; t2++ {
+				for v := 0; v < l; v++ {
+					d := math.Abs(logC[i][t1][v] - logC[i][t2][v])
+					if d > upper {
+						upper = d
+					}
+				}
+			}
+		}
+	}
+	if upper == 0 {
+		// Every worker is label-blind: BV follows the prior alone.
+		best := 0.0
+		for _, p := range prior {
+			if p > best {
+				best = p
+			}
+		}
+		return best, nil
+	}
+	delta := upper / float64(numBuckets)
+	bucket := func(x float64) int32 { return int32(math.Round(x / delta)) }
+
+	var jq float64
+	for tPrime := 0; tPrime < l; tPrime++ {
+		// margin dimensions: every label j ≠ t'.
+		others := make([]int, 0, l-1)
+		for j := 0; j < l; j++ {
+			if j != tPrime {
+				others = append(others, j)
+			}
+		}
+		base := make([]int32, len(others))
+		for d, j := range others {
+			base[d] = bucket(math.Log(math.Max(prior[tPrime], logFloor)) -
+				math.Log(math.Max(prior[j], logFloor)))
+		}
+		states := map[string]float64{encodeKey(base): 1}
+		for i := 0; i < n; i++ {
+			next := make(map[string]float64, len(states)*l)
+			for key, prob := range states {
+				margins := decodeKey(key, len(others))
+				for v := 0; v < l; v++ {
+					newMargins := make([]int32, len(others))
+					for d, j := range others {
+						newMargins[d] = margins[d] + bucket(logC[i][tPrime][v]-logC[i][j][v])
+					}
+					next[encodeKey(newMargins)] += prob * math.Exp(logC[i][tPrime][v])
+				}
+			}
+			states = next
+		}
+		var h float64
+		for key, prob := range states {
+			margins := decodeKey(key, len(others))
+			wins := true
+			for d, j := range others {
+				if j < tPrime {
+					if margins[d] <= 0 { // strict: smaller label wins ties
+						wins = false
+						break
+					}
+				} else if margins[d] < 0 {
+					wins = false
+					break
+				}
+			}
+			if wins {
+				h += prob
+			}
+		}
+		jq += prior[tPrime] * h
+	}
+	return jq, nil
+}
+
+// encodeKey packs a margin tuple into a map key.
+func encodeKey(margins []int32) string {
+	buf := make([]byte, 4*len(margins))
+	for i, m := range margins {
+		u := uint32(m)
+		buf[4*i] = byte(u)
+		buf[4*i+1] = byte(u >> 8)
+		buf[4*i+2] = byte(u >> 16)
+		buf[4*i+3] = byte(u >> 24)
+	}
+	return string(buf)
+}
+
+// decodeKey unpacks a map key into a margin tuple.
+func decodeKey(key string, n int) []int32 {
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = int32(uint32(key[4*i]) | uint32(key[4*i+1])<<8 |
+			uint32(key[4*i+2])<<16 | uint32(key[4*i+3])<<24)
+	}
+	return out
+}
+
+// Accuracy of the symmetric single-parameter model: a convenience for
+// building test pools ordered by informativeness.
+func sortByDiagonalDesc(pool Pool) Pool {
+	out := append(Pool(nil), pool...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return diagMean(out[i].Confusion) > diagMean(out[j].Confusion)
+	})
+	return out
+}
+
+func diagMean(m ConfusionMatrix) float64 {
+	var sum float64
+	for i := range m {
+		sum += m[i][i]
+	}
+	return sum / float64(len(m))
+}

@@ -1,0 +1,153 @@
+package multichoice
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInformativenessScoreEndpoints(t *testing.T) {
+	// A spammer: identical rows.
+	spammer := ConfusionMatrix{
+		{0.5, 0.3, 0.2},
+		{0.5, 0.3, 0.2},
+		{0.5, 0.3, 0.2},
+	}
+	if got := InformativenessScore(spammer); got != 0 {
+		t.Fatalf("spammer score = %v, want 0", got)
+	}
+	// A perfect worker: identity matrix.
+	perfect := ConfusionMatrix{
+		{1, 0, 0},
+		{0, 1, 0},
+		{0, 0, 1},
+	}
+	if got := InformativenessScore(perfect); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect score = %v, want 1", got)
+	}
+}
+
+func TestInformativenessBinaryReducesToEvidence(t *testing.T) {
+	for _, q := range []float64{0.5, 0.6, 0.8, 0.3, 1} {
+		m, err := NewSymmetricConfusion(2, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Abs(2*q - 1)
+		if got := InformativenessScore(m); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("q=%v: score = %v, want |2q−1| = %v", q, got, want)
+		}
+	}
+}
+
+func TestInformativenessMonotoneInDiagonalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := rng.Intn(3) + 2
+		q1 := 1.0/float64(l) + rng.Float64()*(1-1.0/float64(l))
+		q2 := q1 + (1-q1)*rng.Float64()
+		m1, err := NewSymmetricConfusion(l, q1)
+		if err != nil {
+			return false
+		}
+		m2, err := NewSymmetricConfusion(l, q2)
+		if err != nil {
+			return false
+		}
+		return InformativenessScore(m2) >= InformativenessScore(m1)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankWorkers(t *testing.T) {
+	pool := Pool{
+		symWorker(3, 0.5, 2),   // some information
+		symWorker(3, 0.9, 5),   // most informative
+		symWorker(3, 1.0/3, 1), // spammer (uniform rows)
+	}
+	order := RankWorkers(pool)
+	if order[0] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v, want best first, spammer last", order)
+	}
+}
+
+func TestRankWorkersTieBreaksByCost(t *testing.T) {
+	pool := Pool{symWorker(3, 0.7, 5), symWorker(3, 0.7, 1)}
+	order := RankWorkers(pool)
+	if order[0] != 1 {
+		t.Fatalf("order = %v, want cheaper first on equal scores", order)
+	}
+}
+
+func TestGreedyByInformativenessRespectsBudget(t *testing.T) {
+	pool := Pool{
+		symWorker(3, 0.9, 5),
+		symWorker(3, 0.8, 3),
+		symWorker(3, 0.7, 1),
+	}
+	prior := UniformPrior(3)
+	res, err := GreedyByInformativeness(pool, 4, prior, ExactObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 4 {
+		t.Fatalf("cost %v over budget", res.Cost)
+	}
+	// Ranking walks best-first: the 0.9 worker doesn't fit after... it is
+	// first (cost 5 > 4, skipped), then 0.8 (3 ≤ 4), then 0.7 (3+1 = 4).
+	if len(res.Indices) != 2 || res.Indices[0] != 1 || res.Indices[1] != 2 {
+		t.Fatalf("indices = %v, want [1 2]", res.Indices)
+	}
+}
+
+func TestGreedyByInformativenessEmptyBudget(t *testing.T) {
+	pool := symPool(3, 0.8)
+	prior := Prior{0.6, 0.2, 0.2}
+	res, err := GreedyByInformativeness(pool, 0, prior, ExactObjective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Indices) != 0 || res.JQ != 0.6 {
+		t.Fatalf("res = %+v, want empty jury at prior JQ 0.6", res)
+	}
+}
+
+func TestGreedyByInformativenessValidation(t *testing.T) {
+	pool := symPool(3, 0.8)
+	if _, err := GreedyByInformativeness(pool, -1, UniformPrior(3), ExactObjective); !errors.Is(err, ErrBadBudget) {
+		t.Fatalf("err = %v, want ErrBadBudget", err)
+	}
+	if _, err := GreedyByInformativeness(nil, 1, UniformPrior(3), ExactObjective); err == nil {
+		t.Fatal("no error for empty pool")
+	}
+}
+
+// The greedy ranking selector should be competitive with annealing on
+// pools where informativeness-per-cost is roughly uniform.
+func TestGreedyByInformativenessCompetitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 6; trial++ {
+		n := rng.Intn(4) + 5
+		pool := make(Pool, n)
+		for i := range pool {
+			pool[i] = symWorker(3, 0.55+0.35*rng.Float64(), 1)
+		}
+		prior := UniformPrior(3)
+		budget := float64(rng.Intn(n) + 1)
+		greedy, err := GreedyByInformativeness(pool, budget, prior, ExactObjective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := SelectExhaustive(pool, budget, prior, ExactObjective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.JQ-greedy.JQ > 0.02 {
+			t.Fatalf("greedy %v too far below optimal %v (uniform costs)", greedy.JQ, exact.JQ)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package multichoice
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/anneal"
+)
+
+// SelectionResult is the outcome of multi-choice jury selection.
+type SelectionResult struct {
+	Jury        Pool
+	Indices     []int
+	JQ          float64
+	Cost        float64
+	Evaluations int
+}
+
+// Objective scores a candidate multi-choice jury; the prior's maximum is
+// used for the empty jury.
+type Objective func(jury Pool, prior Prior) (float64, error)
+
+// EstimateObjective returns an Objective backed by EstimateBV.
+func EstimateObjective(numBuckets int) Objective {
+	return func(jury Pool, prior Prior) (float64, error) {
+		return EstimateBV(jury, prior, numBuckets)
+	}
+}
+
+// ExactObjective is an Objective backed by ExactBV (small juries only).
+func ExactObjective(jury Pool, prior Prior) (float64, error) {
+	return ExactBV(jury, prior)
+}
+
+// SelectAnnealing solves the multi-choice JSP with the same Algorithm 3/4
+// annealing as the binary case, treating the JQ computation as a black box
+// (Section 7, "Jury Selection Problem Extension").
+func SelectAnnealing(pool Pool, budget float64, prior Prior, obj Objective, seed int64) (SelectionResult, error) {
+	if err := checkVoting(pool, prior, nil); err != nil {
+		return SelectionResult{}, err
+	}
+	if budget < 0 || budget != budget {
+		return SelectionResult{}, fmt.Errorf("multichoice: negative budget %v", budget)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := len(pool)
+
+	priorOnly := 0.0
+	for _, p := range prior {
+		if p > priorOnly {
+			priorOnly = p
+		}
+	}
+	evals := 0
+	score := func(members []int) (float64, error) {
+		if len(members) == 0 {
+			return priorOnly, nil
+		}
+		evals++
+		return obj(pool.Subset(members), prior)
+	}
+
+	selected := make([]bool, n)
+	var members []int
+	var cost float64
+	curJQ := priorOnly
+	bestJQ, bestMembers, bestCost := curJQ, []int(nil), 0.0
+
+	var loopErr error
+	_, err := anneal.Run(anneal.DefaultSchedule(), func(temp float64) {
+		if loopErr != nil {
+			return
+		}
+		for step := 0; step < n; step++ {
+			r := rng.Intn(n)
+			if !selected[r] && cost+pool[r].Cost <= budget {
+				selected[r] = true
+				members = append(members, r)
+				cost += pool[r].Cost
+				newJQ, err := score(members)
+				if err != nil {
+					loopErr = err
+					return
+				}
+				curJQ = newJQ
+			} else if len(members) > 0 {
+				// Swap a random member against a random non-member.
+				var out, in int
+				if !selected[r] {
+					out, in = members[rng.Intn(len(members))], r
+				} else {
+					free := n - len(members)
+					if free == 0 {
+						continue
+					}
+					pick := rng.Intn(free)
+					in = -1
+					for i := 0; i < n; i++ {
+						if !selected[i] {
+							if pick == 0 {
+								in = i
+								break
+							}
+							pick--
+						}
+					}
+					out = r
+				}
+				newCost := cost - pool[out].Cost + pool[in].Cost
+				if newCost > budget {
+					continue
+				}
+				candidate := make([]int, 0, len(members))
+				for _, m := range members {
+					if m != out {
+						candidate = append(candidate, m)
+					}
+				}
+				candidate = append(candidate, in)
+				newJQ, err := score(candidate)
+				if err != nil {
+					loopErr = err
+					return
+				}
+				if anneal.Accept(newJQ-curJQ, temp, rng) {
+					selected[out] = false
+					selected[in] = true
+					members = candidate
+					cost = newCost
+					curJQ = newJQ
+				}
+			}
+			if curJQ > bestJQ {
+				bestJQ = curJQ
+				bestMembers = append([]int(nil), members...)
+				bestCost = cost
+			}
+		}
+	})
+	if err != nil {
+		return SelectionResult{}, err
+	}
+	if loopErr != nil {
+		return SelectionResult{}, loopErr
+	}
+	sort.Ints(bestMembers)
+	return SelectionResult{
+		Jury:        pool.Subset(bestMembers),
+		Indices:     bestMembers,
+		JQ:          bestJQ,
+		Cost:        bestCost,
+		Evaluations: evals,
+	}, nil
+}
+
+// SelectExhaustive enumerates every feasible multi-choice jury; ground
+// truth for small pools.
+func SelectExhaustive(pool Pool, budget float64, prior Prior, obj Objective) (SelectionResult, error) {
+	if err := checkVoting(pool, prior, nil); err != nil {
+		return SelectionResult{}, err
+	}
+	if budget < 0 || budget != budget {
+		return SelectionResult{}, fmt.Errorf("multichoice: negative budget %v", budget)
+	}
+	n := len(pool)
+	if n > 20 {
+		return SelectionResult{}, fmt.Errorf("%w: N=%d", ErrJuryTooLarge, n)
+	}
+	priorOnly := 0.0
+	for _, p := range prior {
+		if p > priorOnly {
+			priorOnly = p
+		}
+	}
+	best := SelectionResult{JQ: priorOnly, Indices: []int{}}
+	evals := 0
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		var cost float64
+		var indices []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				cost += pool[i].Cost
+				indices = append(indices, i)
+			}
+		}
+		if cost > budget {
+			continue
+		}
+		score, err := obj(pool.Subset(indices), prior)
+		if err != nil {
+			return SelectionResult{}, err
+		}
+		evals++
+		if score > best.JQ+1e-12 || (score > best.JQ-1e-12 && cost < best.Cost-1e-12) {
+			best = SelectionResult{
+				Jury:    pool.Subset(indices),
+				Indices: indices,
+				JQ:      score,
+				Cost:    cost,
+			}
+		}
+	}
+	best.Evaluations = evals
+	return best, nil
+}

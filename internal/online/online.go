@@ -1,0 +1,335 @@
+// Package online implements sequential (quality-sensitive) vote
+// collection, the online-processing counterpart of the paper's offline
+// jury selection (Section 8, "Online Processing", CDAS [25]): instead of
+// committing to a jury up front, votes are requested one worker at a time
+// and collection stops as soon as the Bayesian posterior is confident
+// enough — or the budget runs out.
+//
+// The offline JSP answers "what is the best jury for budget B before any
+// vote is seen"; the online collector answers "how few votes do I need on
+// *this* task". Figure 10(d) of the paper — JQ of the first z voters
+// versus realized accuracy — is the static view of exactly this process.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+// Config controls the stopping rule.
+type Config struct {
+	// Alpha is the prior P(t = 0).
+	Alpha float64
+	// Confidence stops collection once the posterior probability of the
+	// leading answer reaches this threshold (e.g. 0.95).
+	Confidence float64
+	// Budget bounds the total cost of requested votes; 0 means unlimited.
+	Budget float64
+	// MaxVotes bounds the number of requested votes; 0 means all workers.
+	MaxVotes int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Alpha < 0 || c.Alpha > 1 || c.Alpha != c.Alpha {
+		return fmt.Errorf("online: prior %v outside [0, 1]", c.Alpha)
+	}
+	if c.Confidence < 0.5 || c.Confidence > 1 || c.Confidence != c.Confidence {
+		return fmt.Errorf("online: confidence %v outside [0.5, 1]", c.Confidence)
+	}
+	if c.Budget < 0 || c.Budget != c.Budget {
+		return fmt.Errorf("online: negative budget %v", c.Budget)
+	}
+	if c.MaxVotes < 0 {
+		return fmt.Errorf("online: negative MaxVotes %d", c.MaxVotes)
+	}
+	return nil
+}
+
+// VoteSource produces the vote of a pool worker when asked. Production
+// systems back this with a crowdsourcing platform; tests and experiments
+// use SimulatedSource.
+type VoteSource interface {
+	Vote(workerIndex int) (voting.Vote, error)
+}
+
+// SimulatedSource draws votes from the workers' qualities given a fixed
+// latent truth.
+type SimulatedSource struct {
+	Pool  worker.Pool
+	Truth voting.Vote
+	Rng   *rand.Rand
+}
+
+// Vote implements VoteSource.
+func (s SimulatedSource) Vote(i int) (voting.Vote, error) {
+	if i < 0 || i >= len(s.Pool) {
+		return 0, fmt.Errorf("online: worker %d out of range", i)
+	}
+	if s.Rng.Float64() < s.Pool[i].Quality {
+		return s.Truth, nil
+	}
+	return s.Truth.Opposite(), nil
+}
+
+// RecordedSource replays pre-collected votes (e.g. from the AMT corpus).
+type RecordedSource struct {
+	Votes []voting.Vote
+}
+
+// Vote implements VoteSource.
+func (s RecordedSource) Vote(i int) (voting.Vote, error) {
+	if i < 0 || i >= len(s.Votes) {
+		return 0, fmt.Errorf("online: no recorded vote for worker %d", i)
+	}
+	return s.Votes[i], nil
+}
+
+// Policy chooses the order in which workers are asked.
+type Policy interface {
+	// Name identifies the policy.
+	Name() string
+	// Order returns the indices of pool in asking order.
+	Order(pool worker.Pool, rng *rand.Rand) []int
+}
+
+// QualityFirst asks the highest-quality workers first — maximal evidence
+// per vote, ignoring cost.
+type QualityFirst struct{}
+
+// Name implements Policy.
+func (QualityFirst) Name() string { return "quality-first" }
+
+// Order implements Policy.
+func (QualityFirst) Order(pool worker.Pool, _ *rand.Rand) []int {
+	return orderBy(pool, func(a, b worker.Worker) bool {
+		qa, qb := informativeness(a.Quality), informativeness(b.Quality)
+		if qa != qb {
+			return qa > qb
+		}
+		return a.Cost < b.Cost
+	})
+}
+
+// CheapestFirst asks the cheapest workers first — maximal votes per unit
+// of budget.
+type CheapestFirst struct{}
+
+// Name implements Policy.
+func (CheapestFirst) Name() string { return "cheapest-first" }
+
+// Order implements Policy.
+func (CheapestFirst) Order(pool worker.Pool, _ *rand.Rand) []int {
+	return orderBy(pool, func(a, b worker.Worker) bool {
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		return informativeness(a.Quality) > informativeness(b.Quality)
+	})
+}
+
+// EvidencePerCost asks workers in decreasing log-odds-per-cost order — the
+// knapsack-density heuristic applied to sequential evidence gathering.
+type EvidencePerCost struct{}
+
+// Name implements Policy.
+func (EvidencePerCost) Name() string { return "evidence-per-cost" }
+
+// Order implements Policy.
+func (EvidencePerCost) Order(pool worker.Pool, _ *rand.Rand) []int {
+	density := func(w worker.Worker) float64 {
+		info := informativeness(w.Quality)
+		if w.Cost == 0 {
+			return math.Inf(1)
+		}
+		return info / w.Cost
+	}
+	return orderBy(pool, func(a, b worker.Worker) bool {
+		da, db := density(a), density(b)
+		if da != db {
+			return da > db
+		}
+		return a.Cost < b.Cost
+	})
+}
+
+// RandomOrder asks workers uniformly at random — the arrival-order
+// baseline matching the paper's Figure 10(d) prefixes.
+type RandomOrder struct{}
+
+// Name implements Policy.
+func (RandomOrder) Name() string { return "random" }
+
+// Order implements Policy.
+func (RandomOrder) Order(pool worker.Pool, rng *rand.Rand) []int {
+	order := make([]int, len(pool))
+	for i := range order {
+		order[i] = i
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// informativeness is |φ(q)|: the absolute Bayesian log-odds weight, so
+// sub-0.5 workers count by their reinterpreted strength.
+func informativeness(q float64) float64 {
+	if q < 0.5 {
+		q = 1 - q
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return math.Log(q / (1 - q))
+}
+
+func orderBy(pool worker.Pool, less func(a, b worker.Worker) bool) []int {
+	order := make([]int, len(pool))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return less(pool[order[i]], pool[order[j]]) })
+	return order
+}
+
+// Result reports one collection run.
+type Result struct {
+	// Decision is the Bayesian decision on the collected votes.
+	Decision voting.Vote
+	// Confidence is the posterior probability of the decision.
+	Confidence float64
+	// Asked lists the workers queried, in order; Votes their answers.
+	Asked []int
+	Votes []voting.Vote
+	// Cost is the total paid.
+	Cost float64
+	// Stopped explains why collection ended.
+	Stopped StopReason
+}
+
+// StopReason enumerates why a collection run ended.
+type StopReason int
+
+// The collection stopping reasons.
+const (
+	// StopConfident: the posterior reached the confidence threshold.
+	StopConfident StopReason = iota
+	// StopBudget: no affordable worker remained.
+	StopBudget
+	// StopExhausted: every worker was asked (or MaxVotes reached).
+	StopExhausted
+)
+
+// String implements fmt.Stringer.
+func (r StopReason) String() string {
+	switch r {
+	case StopConfident:
+		return "confident"
+	case StopBudget:
+		return "budget"
+	case StopExhausted:
+		return "exhausted"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrNilSource is returned when Collect is called without a vote source.
+var ErrNilSource = errors.New("online: nil vote source")
+
+// Collect runs sequential vote collection: workers are asked in policy
+// order, skipping anyone who no longer fits the remaining budget, and the
+// posterior log-odds are updated after every vote. Collection stops as
+// soon as the posterior confidence reaches cfg.Confidence (StopConfident),
+// when no affordable worker remains (StopBudget), or when the pool or
+// MaxVotes is exhausted (StopExhausted).
+func Collect(pool worker.Pool, src VoteSource, policy Policy, cfg Config, rng *rand.Rand) (Result, error) {
+	if err := pool.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if src == nil {
+		return Result{}, ErrNilSource
+	}
+	maxVotes := cfg.MaxVotes
+	if maxVotes == 0 || maxVotes > len(pool) {
+		maxVotes = len(pool)
+	}
+
+	res := Result{Stopped: StopExhausted}
+	// Log posterior odds of answer 0, seeded by the prior.
+	logOdds := priorLogOdds(cfg.Alpha)
+	updateDecision := func() {
+		res.Decision = voting.No
+		if logOdds < 0 {
+			res.Decision = voting.Yes
+		}
+		res.Confidence = 1 / (1 + math.Exp(-math.Abs(logOdds)))
+	}
+	updateDecision()
+	if res.Confidence >= cfg.Confidence {
+		res.Stopped = StopConfident
+		return res, nil
+	}
+
+	skippedForBudget := false
+	for _, idx := range policy.Order(pool, rng) {
+		if len(res.Asked) >= maxVotes {
+			break
+		}
+		w := pool[idx]
+		if cfg.Budget > 0 && res.Cost+w.Cost > cfg.Budget {
+			skippedForBudget = true
+			continue
+		}
+		v, err := src.Vote(idx)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Asked = append(res.Asked, idx)
+		res.Votes = append(res.Votes, v)
+		res.Cost += w.Cost
+		logOdds += voteLogOdds(w.Quality, v)
+		updateDecision()
+		if res.Confidence >= cfg.Confidence {
+			res.Stopped = StopConfident
+			return res, nil
+		}
+	}
+	if skippedForBudget {
+		res.Stopped = StopBudget
+	}
+	return res, nil
+}
+
+func priorLogOdds(alpha float64) float64 {
+	switch {
+	case alpha == 0:
+		return math.Inf(-1)
+	case alpha == 1:
+		return math.Inf(1)
+	default:
+		return math.Log(alpha) - math.Log(1-alpha)
+	}
+}
+
+// voteLogOdds is the evidence a vote contributes toward answer 0.
+func voteLogOdds(q float64, v voting.Vote) float64 {
+	switch q {
+	case 0:
+		q = 1e-12
+	case 1:
+		q = 1 - 1e-12
+	}
+	if v == voting.No {
+		return math.Log(q) - math.Log(1-q)
+	}
+	return math.Log(1-q) - math.Log(q)
+}

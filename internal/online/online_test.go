@@ -1,0 +1,277 @@
+package online
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+func pool(qs ...float64) worker.Pool {
+	return worker.UniformCost(qs, 1)
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Alpha: -0.1, Confidence: 0.9},
+		{Alpha: 0.5, Confidence: 0.4},
+		{Alpha: 0.5, Confidence: 1.01},
+		{Alpha: 0.5, Confidence: 0.9, Budget: -1},
+		{Alpha: 0.5, Confidence: 0.9, MaxVotes: -1},
+		{Alpha: math.NaN(), Confidence: 0.9},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d (%+v): no validation error", i, c)
+		}
+	}
+	if err := (Config{Alpha: 0.5, Confidence: 0.95}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	p := pool(0.8)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Collect(nil, RecordedSource{}, QualityFirst{}, Config{Alpha: 0.5, Confidence: 0.9}, rng); err == nil {
+		t.Error("no error for empty pool")
+	}
+	if _, err := Collect(p, nil, QualityFirst{}, Config{Alpha: 0.5, Confidence: 0.9}, rng); !errors.Is(err, ErrNilSource) {
+		t.Errorf("nil source: err = %v", err)
+	}
+	if _, err := Collect(p, RecordedSource{}, QualityFirst{}, Config{Alpha: 2, Confidence: 0.9}, rng); err == nil {
+		t.Error("no error for bad config")
+	}
+}
+
+func TestCollectStopsWhenConfident(t *testing.T) {
+	// One 0.95-quality worker voting "no" pushes the posterior to 0.95.
+	p := pool(0.95, 0.6, 0.6)
+	src := RecordedSource{Votes: []voting.Vote{voting.No, voting.No, voting.No}}
+	res, err := Collect(p, src, QualityFirst{}, Config{Alpha: 0.5, Confidence: 0.94}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StopConfident {
+		t.Fatalf("Stopped = %v, want confident", res.Stopped)
+	}
+	if len(res.Asked) != 1 || res.Asked[0] != 0 {
+		t.Fatalf("Asked = %v, want just the expert", res.Asked)
+	}
+	if res.Decision != voting.No {
+		t.Fatalf("Decision = %v, want no", res.Decision)
+	}
+	if math.Abs(res.Confidence-0.95) > 1e-9 {
+		t.Fatalf("Confidence = %v, want 0.95", res.Confidence)
+	}
+}
+
+func TestCollectConfidentPriorNeedsNoVotes(t *testing.T) {
+	p := pool(0.7)
+	res, err := Collect(p, RecordedSource{Votes: []voting.Vote{voting.No}}, QualityFirst{},
+		Config{Alpha: 0.99, Confidence: 0.95}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StopConfident || len(res.Asked) != 0 {
+		t.Fatalf("res = %+v, want immediate confident stop", res)
+	}
+	if res.Decision != voting.No {
+		t.Fatalf("Decision = %v, want no (prior)", res.Decision)
+	}
+}
+
+func TestCollectRespectsBudget(t *testing.T) {
+	p := worker.NewPool([]float64{0.6, 0.6, 0.6}, []float64{1, 1, 5})
+	src := RecordedSource{Votes: []voting.Vote{voting.No, voting.Yes, voting.No}}
+	res, err := Collect(p, src, CheapestFirst{}, Config{Alpha: 0.5, Confidence: 0.999, Budget: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 2 {
+		t.Fatalf("cost %v over budget", res.Cost)
+	}
+	if res.Stopped != StopBudget {
+		t.Fatalf("Stopped = %v, want budget", res.Stopped)
+	}
+	if len(res.Asked) != 2 {
+		t.Fatalf("Asked = %v, want the two affordable workers", res.Asked)
+	}
+}
+
+func TestCollectMaxVotes(t *testing.T) {
+	p := pool(0.55, 0.55, 0.55, 0.55)
+	src := RecordedSource{Votes: []voting.Vote{voting.No, voting.No, voting.No, voting.No}}
+	res, err := Collect(p, src, QualityFirst{}, Config{Alpha: 0.5, Confidence: 0.9999, MaxVotes: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Asked) != 2 {
+		t.Fatalf("Asked %d workers, want 2", len(res.Asked))
+	}
+	if res.Stopped != StopExhausted {
+		t.Fatalf("Stopped = %v, want exhausted", res.Stopped)
+	}
+}
+
+func TestPolicyOrders(t *testing.T) {
+	p := worker.Pool{
+		{ID: "cheap-weak", Quality: 0.55, Cost: 0.1},
+		{ID: "dear-strong", Quality: 0.95, Cost: 5},
+		{ID: "balanced", Quality: 0.8, Cost: 1},
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := (QualityFirst{}).Order(p, rng); got[0] != 1 {
+		t.Errorf("QualityFirst order = %v, want expert first", got)
+	}
+	if got := (CheapestFirst{}).Order(p, rng); got[0] != 0 {
+		t.Errorf("CheapestFirst order = %v, want cheap first", got)
+	}
+	if got := (EvidencePerCost{}).Order(p, rng); got[0] != 0 {
+		// φ(0.55)/0.1 ≈ 2.0 > φ(0.8)/1 ≈ 1.39 > φ(0.95)/5 ≈ 0.59.
+		t.Errorf("EvidencePerCost order = %v, want cheap-weak first", got)
+	}
+	order := (RandomOrder{}).Order(p, rng)
+	if len(order) != 3 {
+		t.Fatalf("RandomOrder length = %d", len(order))
+	}
+}
+
+func TestLowQualityWorkerEvidenceFlips(t *testing.T) {
+	// A q=0.1 worker voting "yes" is strong evidence for "no".
+	p := pool(0.1)
+	src := RecordedSource{Votes: []voting.Vote{voting.Yes}}
+	res, err := Collect(p, src, QualityFirst{}, Config{Alpha: 0.5, Confidence: 0.85}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != voting.No {
+		t.Fatalf("Decision = %v, want no (flipped evidence)", res.Decision)
+	}
+	if res.Stopped != StopConfident {
+		t.Fatalf("Stopped = %v, want confident (q=0.1 carries φ(0.9))", res.Stopped)
+	}
+}
+
+// Property: the realized accuracy of confident stops is at least roughly
+// the confidence threshold (calibration of the posterior).
+func TestConfidenceCalibrationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const trials = 2000
+	confident, correct := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		n := rng.Intn(10) + 5
+		qs := make([]float64, n)
+		for i := range qs {
+			qs[i] = 0.55 + 0.4*rng.Float64()
+		}
+		p := pool(qs...)
+		truth := voting.Vote(rng.Intn(2))
+		src := SimulatedSource{Pool: p, Truth: truth, Rng: rng}
+		res, err := Collect(p, src, RandomOrder{}, Config{Alpha: 0.5, Confidence: 0.9}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stopped == StopConfident {
+			confident++
+			if res.Decision == truth {
+				correct++
+			}
+		}
+	}
+	if confident == 0 {
+		t.Fatal("no confident stops at all")
+	}
+	acc := float64(correct) / float64(confident)
+	if acc < 0.88 {
+		t.Fatalf("confident-stop accuracy = %v, want ≥ ~0.9 (calibration)", acc)
+	}
+}
+
+// Property: collection never exceeds budget or MaxVotes and the reported
+// cost matches the asked workers.
+func TestCollectInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		p := make(worker.Pool, n)
+		for i := range p {
+			p[i] = worker.Worker{Quality: rng.Float64(), Cost: rng.Float64()}
+		}
+		budget := rng.Float64() * 3
+		maxVotes := rng.Intn(n + 1)
+		truth := voting.Vote(rng.Intn(2))
+		src := SimulatedSource{Pool: p, Truth: truth, Rng: rng}
+		res, err := Collect(p, src, EvidencePerCost{}, Config{
+			Alpha: 0.5, Confidence: 0.99, Budget: budget, MaxVotes: maxVotes,
+		}, rng)
+		if err != nil {
+			return false
+		}
+		if budget > 0 && res.Cost > budget+1e-12 {
+			return false
+		}
+		limit := maxVotes
+		if limit == 0 {
+			limit = n
+		}
+		if len(res.Asked) > limit {
+			return false
+		}
+		var cost float64
+		for _, idx := range res.Asked {
+			cost += p[idx].Cost
+		}
+		return math.Abs(cost-res.Cost) < 1e-9 && len(res.Asked) == len(res.Votes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sequential collection should need far fewer votes than the full jury
+// when an expert answers early.
+func TestOnlineSavesVotes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	qs := []float64{0.97, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6}
+	p := pool(qs...)
+	var totalAsked int
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		src := SimulatedSource{Pool: p, Truth: voting.Vote(rng.Intn(2)), Rng: rng}
+		res, err := Collect(p, src, QualityFirst{}, Config{Alpha: 0.5, Confidence: 0.95}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalAsked += len(res.Asked)
+	}
+	mean := float64(totalAsked) / trials
+	if mean > 3 {
+		t.Fatalf("mean votes used = %v, want ≤ 3 with an early expert", mean)
+	}
+}
+
+func TestStopReasonString(t *testing.T) {
+	if StopConfident.String() != "confident" || StopBudget.String() != "budget" ||
+		StopExhausted.String() != "exhausted" || StopReason(99).String() != "unknown" {
+		t.Fatal("StopReason.String mismatch")
+	}
+}
+
+func TestSimulatedSourceRange(t *testing.T) {
+	src := SimulatedSource{Pool: pool(0.8), Truth: voting.No, Rng: rand.New(rand.NewSource(1))}
+	if _, err := src.Vote(5); err == nil {
+		t.Fatal("no error for out-of-range worker")
+	}
+}
+
+func TestRecordedSourceRange(t *testing.T) {
+	src := RecordedSource{Votes: []voting.Vote{voting.No}}
+	if _, err := src.Vote(1); err == nil {
+		t.Fatal("no error for missing recorded vote")
+	}
+}

@@ -1,0 +1,208 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/multichoice"
+)
+
+// ResponseL is one worker's answer to one ℓ-ary task.
+type ResponseL struct {
+	Task   int
+	Worker int
+	Vote   multichoice.Label
+}
+
+// DatasetL is a sparse matrix of crowd answers to multi-choice tasks.
+type DatasetL struct {
+	NumTasks   int
+	NumWorkers int
+	Labels     int
+	Responses  []ResponseL
+}
+
+// Validate checks index ranges.
+func (d DatasetL) Validate() error {
+	if d.NumTasks < 1 || d.NumWorkers < 1 || len(d.Responses) == 0 {
+		return ErrEmptyDataset
+	}
+	if d.Labels < 2 {
+		return fmt.Errorf("%w: %d labels", ErrBadResponse, d.Labels)
+	}
+	for i, r := range d.Responses {
+		if r.Task < 0 || r.Task >= d.NumTasks || r.Worker < 0 || r.Worker >= d.NumWorkers {
+			return fmt.Errorf("%w: response %d = %+v", ErrBadResponse, i, r)
+		}
+		if r.Vote < 0 || int(r.Vote) >= d.Labels {
+			return fmt.Errorf("%w: response %d has label %d", ErrBadResponse, i, r.Vote)
+		}
+	}
+	return nil
+}
+
+// EMConfusionResult is the output of the full Dawid–Skene estimator.
+type EMConfusionResult struct {
+	// Confusions[w] is worker w's estimated ℓ×ℓ confusion matrix.
+	Confusions []multichoice.ConfusionMatrix
+	// Prior is the estimated class prior over the ℓ labels.
+	Prior multichoice.Prior
+	// Posteriors[t][j] is the posterior probability that task t's truth
+	// is label j; Labels[t] is the MAP estimate.
+	Posteriors [][]float64
+	Labels     []multichoice.Label
+	Iterations int
+	Converged  bool
+}
+
+// EMConfusion runs the classic Dawid–Skene algorithm [1]: jointly estimate
+// per-worker confusion matrices, the class prior, and task truths for
+// ℓ-ary tasks. Initialization is by vote frequencies (soft plurality);
+// rows are Laplace-smoothed.
+func EMConfusion(d DatasetL, opts EMOptions) (EMConfusionResult, error) {
+	if err := d.Validate(); err != nil {
+		return EMConfusionResult{}, err
+	}
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 100
+	}
+	if opts.Tolerance == 0 {
+		opts.Tolerance = 1e-6
+	}
+	l := d.Labels
+
+	byTask := make([][]ResponseL, d.NumTasks)
+	for _, r := range d.Responses {
+		byTask[r.Task] = append(byTask[r.Task], r)
+	}
+
+	// Initialization: posterior = vote frequency per task.
+	post := make([][]float64, d.NumTasks)
+	for t, rs := range byTask {
+		post[t] = make([]float64, l)
+		if len(rs) == 0 {
+			for j := range post[t] {
+				post[t][j] = 1 / float64(l)
+			}
+			continue
+		}
+		for _, r := range rs {
+			post[t][r.Vote]++
+		}
+		for j := range post[t] {
+			post[t][j] /= float64(len(rs))
+		}
+	}
+
+	confusions := make([]multichoice.ConfusionMatrix, d.NumWorkers)
+	prior := make(multichoice.Prior, l)
+	res := EMConfusionResult{}
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		// M-step: confusion rows from soft labels, Laplace-smoothed.
+		counts := make([][][]float64, d.NumWorkers) // [worker][truth][vote]
+		for w := range counts {
+			counts[w] = make([][]float64, l)
+			for j := range counts[w] {
+				counts[w][j] = make([]float64, l)
+				for k := range counts[w][j] {
+					counts[w][j][k] = smoothing / float64(l)
+				}
+			}
+		}
+		for _, r := range d.Responses {
+			for j := 0; j < l; j++ {
+				counts[r.Worker][j][r.Vote] += post[r.Task][j]
+			}
+		}
+		maxDelta := 0.0
+		for w := range counts {
+			m := make(multichoice.ConfusionMatrix, l)
+			for j := 0; j < l; j++ {
+				m[j] = make([]float64, l)
+				var rowSum float64
+				for k := 0; k < l; k++ {
+					rowSum += counts[w][j][k]
+				}
+				for k := 0; k < l; k++ {
+					m[j][k] = counts[w][j][k] / rowSum
+					if confusions[w] != nil {
+						if delta := math.Abs(m[j][k] - confusions[w][j][k]); delta > maxDelta {
+							maxDelta = delta
+						}
+					} else {
+						maxDelta = 1
+					}
+				}
+			}
+			confusions[w] = m
+		}
+		// Prior from posteriors.
+		for j := range prior {
+			prior[j] = 0
+		}
+		for _, p := range post {
+			for j, v := range p {
+				prior[j] += v
+			}
+		}
+		for j := range prior {
+			prior[j] = math.Max(prior[j]/float64(d.NumTasks), 1e-9)
+		}
+		normalize(prior)
+
+		// E-step: posteriors from confusion matrices.
+		for t, rs := range byTask {
+			logp := make([]float64, l)
+			for j := 0; j < l; j++ {
+				logp[j] = math.Log(prior[j])
+				for _, r := range rs {
+					logp[j] += math.Log(math.Max(confusions[r.Worker][j][r.Vote], 1e-12))
+				}
+			}
+			m := logp[0]
+			for _, v := range logp[1:] {
+				if v > m {
+					m = v
+				}
+			}
+			var sum float64
+			for j := range logp {
+				post[t][j] = math.Exp(logp[j] - m)
+				sum += post[t][j]
+			}
+			for j := range logp {
+				post[t][j] /= sum
+			}
+		}
+		res.Iterations = iter + 1
+		if maxDelta < opts.Tolerance && iter > 0 {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Confusions = confusions
+	res.Prior = prior
+	res.Posteriors = post
+	res.Labels = make([]multichoice.Label, d.NumTasks)
+	for t, p := range post {
+		best := 0
+		for j := 1; j < l; j++ {
+			if p[j] > p[best] {
+				best = j
+			}
+		}
+		res.Labels[t] = multichoice.Label(best)
+	}
+	return res, nil
+}
+
+func normalize(p multichoice.Prior) {
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+}

@@ -1,0 +1,191 @@
+package quality
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/multichoice"
+)
+
+// synthL builds ℓ-ary responses from known confusion matrices.
+func synthL(rng *rand.Rand, confusions []multichoice.ConfusionMatrix, numTasks int) (DatasetL, []multichoice.Label) {
+	l := confusions[0].Labels()
+	truths := make([]multichoice.Label, numTasks)
+	for t := range truths {
+		truths[t] = multichoice.Label(rng.Intn(l))
+	}
+	d := DatasetL{NumTasks: numTasks, NumWorkers: len(confusions), Labels: l}
+	for t := 0; t < numTasks; t++ {
+		for w, m := range confusions {
+			d.Responses = append(d.Responses, ResponseL{
+				Task: t, Worker: w, Vote: sampleRow(rng, m[truths[t]]),
+			})
+		}
+	}
+	return d, truths
+}
+
+func sampleRow(rng *rand.Rand, row []float64) multichoice.Label {
+	u := rng.Float64()
+	var cum float64
+	for k, p := range row {
+		cum += p
+		if u < cum {
+			return multichoice.Label(k)
+		}
+	}
+	return multichoice.Label(len(row) - 1)
+}
+
+func mustSym(t *testing.T, l int, q float64) multichoice.ConfusionMatrix {
+	t.Helper()
+	m, err := multichoice.NewSymmetricConfusion(l, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDatasetLValidate(t *testing.T) {
+	if err := (DatasetL{}).Validate(); !errors.Is(err, ErrEmptyDataset) {
+		t.Errorf("empty: err = %v", err)
+	}
+	bad := DatasetL{NumTasks: 1, NumWorkers: 1, Labels: 1, Responses: []ResponseL{{}}}
+	if err := bad.Validate(); !errors.Is(err, ErrBadResponse) {
+		t.Errorf("labels: err = %v", err)
+	}
+	badVote := DatasetL{NumTasks: 1, NumWorkers: 1, Labels: 3, Responses: []ResponseL{{Vote: 5}}}
+	if err := badVote.Validate(); !errors.Is(err, ErrBadResponse) {
+		t.Errorf("vote: err = %v", err)
+	}
+}
+
+func TestEMConfusionRecoversMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	confusions := []multichoice.ConfusionMatrix{
+		mustSym(t, 3, 0.9),
+		mustSym(t, 3, 0.75),
+		mustSym(t, 3, 0.6),
+		mustSym(t, 3, 0.8),
+		mustSym(t, 3, 0.7),
+	}
+	d, truths := synthL(rng, confusions, 400)
+	res, err := EMConfusion(d, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal entries should be recovered within sampling noise.
+	for w, want := range confusions {
+		for j := 0; j < 3; j++ {
+			if math.Abs(res.Confusions[w][j][j]-want[j][j]) > 0.12 {
+				t.Errorf("worker %d row %d: diagonal %v, want ≈%v",
+					w, j, res.Confusions[w][j][j], want[j][j])
+			}
+		}
+	}
+	// Label recovery accuracy.
+	correct := 0
+	for t2, truth := range truths {
+		if res.Labels[t2] == truth {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(truths)); acc < 0.95 {
+		t.Errorf("label accuracy = %v, want ≥ 0.95", acc)
+	}
+	// Uniform truths ⇒ roughly uniform estimated prior.
+	for j, p := range res.Prior {
+		if p < 0.2 || p > 0.5 {
+			t.Errorf("prior[%d] = %v, want ≈1/3", j, p)
+		}
+	}
+}
+
+func TestEMConfusionLearnsAsymmetricBias(t *testing.T) {
+	// A worker who systematically votes 2 when the truth is 1: EM should
+	// discover that row structure, not just a diagonal score.
+	biased := multichoice.ConfusionMatrix{
+		{0.9, 0.05, 0.05},
+		{0.05, 0.15, 0.80},
+		{0.05, 0.05, 0.90},
+	}
+	helpers := []multichoice.ConfusionMatrix{biased}
+	for i := 0; i < 4; i++ {
+		helpers = append(helpers, mustSym(t, 3, 0.8))
+	}
+	rng := rand.New(rand.NewSource(8))
+	d, _ := synthL(rng, helpers, 600)
+	res, err := EMConfusion(d, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Confusions[0]
+	if got[1][2] < 0.6 {
+		t.Fatalf("biased worker row 1 = %v, want [1][2] ≈ 0.8", got[1])
+	}
+	if got[0][0] < 0.75 {
+		t.Fatalf("biased worker row 0 = %v, want strong diagonal", got[0])
+	}
+}
+
+func TestEMConfusionRowsAreStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d, _ := synthL(rng, []multichoice.ConfusionMatrix{mustSym(t, 3, 0.7), mustSym(t, 3, 0.6)}, 60)
+	res, err := EMConfusion(d, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, m := range res.Confusions {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("worker %d: invalid estimated matrix: %v", w, err)
+		}
+	}
+	var priorSum float64
+	for _, p := range res.Prior {
+		priorSum += p
+	}
+	if math.Abs(priorSum-1) > 1e-9 {
+		t.Fatalf("prior sums to %v", priorSum)
+	}
+}
+
+func TestEMConfusionValidation(t *testing.T) {
+	if _, err := EMConfusion(DatasetL{}, EMOptions{}); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEMConfusionFeedsJQPipeline(t *testing.T) {
+	// End-to-end: estimate confusion matrices, then compute the JQ of a
+	// jury built from them — the Section 7 workflow with learned models.
+	rng := rand.New(rand.NewSource(10))
+	confusions := []multichoice.ConfusionMatrix{
+		mustSym(t, 3, 0.85), mustSym(t, 3, 0.7), mustSym(t, 3, 0.65),
+	}
+	d, _ := synthL(rng, confusions, 300)
+	res, err := EMConfusion(d, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := make(multichoice.Pool, len(res.Confusions))
+	for w, m := range res.Confusions {
+		pool[w] = multichoice.Worker{Confusion: m, Cost: 1}
+	}
+	jqv, err := multichoice.ExactBV(pool, multichoice.UniformPrior(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := multichoice.ExactBV(multichoice.Pool{
+		{Confusion: confusions[0], Cost: 1},
+		{Confusion: confusions[1], Cost: 1},
+		{Confusion: confusions[2], Cost: 1},
+	}, multichoice.UniformPrior(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(jqv-want) > 0.05 {
+		t.Fatalf("JQ from learned matrices %v vs true %v", jqv, want)
+	}
+}

@@ -1,0 +1,266 @@
+// Package quality estimates worker qualities from crowdsourced answers —
+// the substrate the paper assumes as given ("a few works [7,25,37] have
+// recently addressed how to derive the quality and the cost of a worker…
+// we assume that they are known in advance", Section 2.1).
+//
+// Three estimators are provided:
+//
+//   - Golden: the CDAS-style golden-question approach [25] — qualities are
+//     the fraction of correct answers on tasks with known ground truth;
+//   - EM: the Dawid–Skene expectation–maximization algorithm [1,18] for
+//     the binary single-quality model, which jointly infers task truths
+//     and worker qualities with no ground truth at all;
+//   - EMConfusion: full Dawid–Skene for ℓ-ary tasks, estimating each
+//     worker's confusion matrix (feeding the Section 7 extension).
+//
+// All estimators apply Laplace smoothing so that no worker is ever
+// assigned a quality of exactly 0 or 1 from finite data.
+package quality
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/voting"
+)
+
+// Response is one worker's answer to one task.
+type Response struct {
+	Task   int
+	Worker int
+	Vote   voting.Vote
+}
+
+// Dataset is a sparse matrix of crowd answers to binary tasks.
+type Dataset struct {
+	NumTasks   int
+	NumWorkers int
+	Responses  []Response
+}
+
+// Errors returned by the estimators.
+var (
+	ErrEmptyDataset = errors.New("quality: empty dataset")
+	ErrBadResponse  = errors.New("quality: response out of range")
+)
+
+// Validate checks index ranges.
+func (d Dataset) Validate() error {
+	if d.NumTasks < 1 || d.NumWorkers < 1 || len(d.Responses) == 0 {
+		return ErrEmptyDataset
+	}
+	for i, r := range d.Responses {
+		if r.Task < 0 || r.Task >= d.NumTasks || r.Worker < 0 || r.Worker >= d.NumWorkers {
+			return fmt.Errorf("%w: response %d = %+v", ErrBadResponse, i, r)
+		}
+		if r.Vote != voting.No && r.Vote != voting.Yes {
+			return fmt.Errorf("%w: response %d has vote %d", ErrBadResponse, i, r.Vote)
+		}
+	}
+	return nil
+}
+
+// smoothing is the Laplace pseudo-count applied to correct/incorrect
+// tallies, keeping estimated qualities strictly inside (0, 1).
+const smoothing = 1.0
+
+// Golden estimates qualities from the tasks whose ground truth is known
+// (the golden questions). Workers with no golden answers get quality 0.5.
+func Golden(d Dataset, truths map[int]voting.Vote) ([]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	correct := make([]float64, d.NumWorkers)
+	answered := make([]float64, d.NumWorkers)
+	for _, r := range d.Responses {
+		t, ok := truths[r.Task]
+		if !ok {
+			continue
+		}
+		answered[r.Worker]++
+		if r.Vote == t {
+			correct[r.Worker]++
+		}
+	}
+	qs := make([]float64, d.NumWorkers)
+	for w := range qs {
+		if answered[w] == 0 {
+			qs[w] = 0.5
+			continue
+		}
+		qs[w] = (correct[w] + smoothing) / (answered[w] + 2*smoothing)
+	}
+	return qs, nil
+}
+
+// EMOptions configures the Dawid–Skene estimator.
+type EMOptions struct {
+	// MaxIterations bounds the EM loop; 0 selects 100.
+	MaxIterations int
+	// Tolerance is the convergence threshold on the maximum quality
+	// change between iterations; 0 selects 1e-6.
+	Tolerance float64
+	// FixedPrior, when in (0, 1), pins the class prior P(t=0) instead of
+	// re-estimating it each M-step.
+	FixedPrior float64
+}
+
+// EMResult is the output of the binary Dawid–Skene estimator.
+type EMResult struct {
+	// Qualities are the estimated per-worker correctness probabilities.
+	Qualities []float64
+	// PriorAlpha is the estimated (or fixed) class prior P(t=0).
+	PriorAlpha float64
+	// Posteriors[t] is the posterior probability that task t's truth is 0.
+	Posteriors []float64
+	// Labels[t] is the maximum-a-posteriori truth estimate of task t.
+	Labels []voting.Vote
+	// Iterations is the number of EM rounds executed; Converged reports
+	// whether the tolerance was reached before MaxIterations.
+	Iterations int
+	Converged  bool
+}
+
+// EM runs Dawid–Skene for the binary single-quality worker model: it
+// alternates task-truth posteriors (E-step) with quality and prior
+// re-estimation (M-step), initialized from majority voting. If the run
+// converges to the label-flipped mode (mean quality below 0.5), the
+// solution is flipped back — the two modes are equivalent likelihood
+// optima.
+func EM(d Dataset, opts EMOptions) (EMResult, error) {
+	if err := d.Validate(); err != nil {
+		return EMResult{}, err
+	}
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 100
+	}
+	if opts.Tolerance == 0 {
+		opts.Tolerance = 1e-6
+	}
+
+	// Group responses by task for the E-step.
+	byTask := make([][]Response, d.NumTasks)
+	for _, r := range d.Responses {
+		byTask[r.Task] = append(byTask[r.Task], r)
+	}
+
+	// Initialization: posterior = fraction of 0-votes per task (majority
+	// signal), qualities from those soft labels.
+	post := make([]float64, d.NumTasks)
+	for t, rs := range byTask {
+		if len(rs) == 0 {
+			post[t] = 0.5
+			continue
+		}
+		zeros := 0
+		for _, r := range rs {
+			if r.Vote == voting.No {
+				zeros++
+			}
+		}
+		post[t] = float64(zeros) / float64(len(rs))
+	}
+
+	qs := make([]float64, d.NumWorkers)
+	res := EMResult{}
+	alpha := 0.5
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		// M-step: qualities from soft labels.
+		correct := make([]float64, d.NumWorkers)
+		answered := make([]float64, d.NumWorkers)
+		for _, r := range d.Responses {
+			p0 := post[r.Task]
+			answered[r.Worker]++
+			if r.Vote == voting.No {
+				correct[r.Worker] += p0
+			} else {
+				correct[r.Worker] += 1 - p0
+			}
+		}
+		maxDelta := 0.0
+		for w := range qs {
+			var q float64
+			if answered[w] == 0 {
+				q = 0.5
+			} else {
+				q = (correct[w] + smoothing) / (answered[w] + 2*smoothing)
+			}
+			if delta := math.Abs(q - qs[w]); delta > maxDelta {
+				maxDelta = delta
+			}
+			qs[w] = q
+		}
+		// Prior update.
+		if opts.FixedPrior > 0 && opts.FixedPrior < 1 {
+			alpha = opts.FixedPrior
+		} else {
+			var sum float64
+			for _, p := range post {
+				sum += p
+			}
+			alpha = sum / float64(d.NumTasks)
+			// Keep the prior off the degenerate boundary.
+			alpha = math.Min(math.Max(alpha, 1e-6), 1-1e-6)
+		}
+		// E-step: task posteriors from qualities.
+		for t, rs := range byTask {
+			if len(rs) == 0 {
+				post[t] = alpha
+				continue
+			}
+			log0 := math.Log(alpha)
+			log1 := math.Log(1 - alpha)
+			for _, r := range rs {
+				q := qs[r.Worker]
+				if r.Vote == voting.No {
+					log0 += math.Log(q)
+					log1 += math.Log(1 - q)
+				} else {
+					log0 += math.Log(1 - q)
+					log1 += math.Log(q)
+				}
+			}
+			// Normalize in log space.
+			m := math.Max(log0, log1)
+			p0 := math.Exp(log0 - m)
+			p1 := math.Exp(log1 - m)
+			post[t] = p0 / (p0 + p1)
+		}
+		res.Iterations = iter + 1
+		if maxDelta < opts.Tolerance && iter > 0 {
+			res.Converged = true
+			break
+		}
+	}
+
+	// Resolve the label-flip ambiguity: prefer the mode where workers are
+	// better than chance on average.
+	var meanQ float64
+	for _, q := range qs {
+		meanQ += q
+	}
+	meanQ /= float64(len(qs))
+	if meanQ < 0.5 {
+		for w := range qs {
+			qs[w] = 1 - qs[w]
+		}
+		for t := range post {
+			post[t] = 1 - post[t]
+		}
+		alpha = 1 - alpha
+	}
+
+	res.Qualities = qs
+	res.PriorAlpha = alpha
+	res.Posteriors = post
+	res.Labels = make([]voting.Vote, d.NumTasks)
+	for t, p := range post {
+		if p >= 0.5 {
+			res.Labels[t] = voting.No
+		} else {
+			res.Labels[t] = voting.Yes
+		}
+	}
+	return res, nil
+}

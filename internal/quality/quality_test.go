@@ -1,0 +1,230 @@
+package quality
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/voting"
+)
+
+// synth builds a synthetic response dataset with known worker qualities
+// and truths: every worker answers every task.
+func synth(rng *rand.Rand, qualities []float64, numTasks int) (Dataset, []voting.Vote) {
+	truths := make([]voting.Vote, numTasks)
+	for t := range truths {
+		truths[t] = voting.Vote(rng.Intn(2))
+	}
+	d := Dataset{NumTasks: numTasks, NumWorkers: len(qualities)}
+	for t := 0; t < numTasks; t++ {
+		for w, q := range qualities {
+			v := truths[t]
+			if rng.Float64() >= q {
+				v = v.Opposite()
+			}
+			d.Responses = append(d.Responses, Response{Task: t, Worker: w, Vote: v})
+		}
+	}
+	return d, truths
+}
+
+func TestDatasetValidate(t *testing.T) {
+	if err := (Dataset{}).Validate(); !errors.Is(err, ErrEmptyDataset) {
+		t.Errorf("empty: err = %v", err)
+	}
+	bad := Dataset{NumTasks: 1, NumWorkers: 1, Responses: []Response{{Task: 2, Worker: 0}}}
+	if err := bad.Validate(); !errors.Is(err, ErrBadResponse) {
+		t.Errorf("range: err = %v", err)
+	}
+	badVote := Dataset{NumTasks: 1, NumWorkers: 1, Responses: []Response{{Vote: 3}}}
+	if err := badVote.Validate(); !errors.Is(err, ErrBadResponse) {
+		t.Errorf("vote: err = %v", err)
+	}
+}
+
+func TestGoldenRecoverQualities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trueQ := []float64{0.9, 0.7, 0.55}
+	d, truths := synth(rng, trueQ, 400)
+	goldens := map[int]voting.Vote{}
+	for t := 0; t < 200; t++ { // half the tasks are golden
+		goldens[t] = truths[t]
+	}
+	qs, err := Golden(d, goldens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, want := range trueQ {
+		if math.Abs(qs[w]-want) > 0.08 {
+			t.Errorf("worker %d: estimated %v, want ≈%v", w, qs[w], want)
+		}
+	}
+}
+
+func TestGoldenUnseenWorkerDefaults(t *testing.T) {
+	d := Dataset{NumTasks: 2, NumWorkers: 2, Responses: []Response{
+		{Task: 0, Worker: 0, Vote: voting.No},
+	}}
+	qs, err := Golden(d, map[int]voting.Vote{0: voting.No})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[1] != 0.5 {
+		t.Fatalf("unseen worker quality = %v, want 0.5", qs[1])
+	}
+	// Smoothing: a single correct answer must not yield quality 1.
+	if qs[0] >= 1 || qs[0] <= 0.5 {
+		t.Fatalf("one-answer worker quality = %v, want in (0.5, 1)", qs[0])
+	}
+}
+
+func TestGoldenNoGoldens(t *testing.T) {
+	d := Dataset{NumTasks: 1, NumWorkers: 1, Responses: []Response{{}}}
+	qs, err := Golden(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[0] != 0.5 {
+		t.Fatalf("quality = %v, want 0.5 with no golden tasks", qs[0])
+	}
+}
+
+func TestEMRecoversQualitiesWithoutGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trueQ := []float64{0.95, 0.85, 0.75, 0.7, 0.65, 0.6, 0.8, 0.9}
+	d, truths := synth(rng, trueQ, 300)
+	res, err := EM(d, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("EM did not converge")
+	}
+	for w, want := range trueQ {
+		if math.Abs(res.Qualities[w]-want) > 0.08 {
+			t.Errorf("worker %d: EM estimated %v, want ≈%v", w, res.Qualities[w], want)
+		}
+	}
+	// Label recovery should be near-perfect with 8 decent workers.
+	correct := 0
+	for t2, truth := range truths {
+		if res.Labels[t2] == truth {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(truths)); acc < 0.97 {
+		t.Errorf("EM label accuracy = %v, want ≥ 0.97", acc)
+	}
+}
+
+func TestEMBeatsMajorityLabels(t *testing.T) {
+	// One expert among noisy workers: EM should outperform per-task
+	// majority because it learns whom to trust.
+	rng := rand.New(rand.NewSource(3))
+	trueQ := []float64{0.98, 0.55, 0.55, 0.55, 0.55}
+	d, truths := synth(rng, trueQ, 400)
+	res, err := EM(d, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emCorrect, mvCorrect := 0, 0
+	perTask := make([][]Response, len(truths))
+	for _, r := range d.Responses {
+		perTask[r.Task] = append(perTask[r.Task], r)
+	}
+	for t2, truth := range truths {
+		if res.Labels[t2] == truth {
+			emCorrect++
+		}
+		zeros := 0
+		for _, r := range perTask[t2] {
+			if r.Vote == voting.No {
+				zeros++
+			}
+		}
+		mvLabel := voting.Yes
+		if 2*zeros >= len(perTask[t2])+1 {
+			mvLabel = voting.No
+		}
+		if mvLabel == truth {
+			mvCorrect++
+		}
+	}
+	if emCorrect <= mvCorrect {
+		t.Fatalf("EM labels (%d) not better than majority (%d)", emCorrect, mvCorrect)
+	}
+}
+
+func TestEMEstimatesPrior(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Skewed truth distribution: 80% of tasks are "no".
+	trueQ := []float64{0.9, 0.85, 0.8, 0.75}
+	numTasks := 500
+	truths := make([]voting.Vote, numTasks)
+	for t2 := range truths {
+		if rng.Float64() < 0.8 {
+			truths[t2] = voting.No
+		} else {
+			truths[t2] = voting.Yes
+		}
+	}
+	d := Dataset{NumTasks: numTasks, NumWorkers: len(trueQ)}
+	for t2 := 0; t2 < numTasks; t2++ {
+		for w, q := range trueQ {
+			v := truths[t2]
+			if rng.Float64() >= q {
+				v = v.Opposite()
+			}
+			d.Responses = append(d.Responses, Response{Task: t2, Worker: w, Vote: v})
+		}
+	}
+	res, err := EM(d, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PriorAlpha-0.8) > 0.06 {
+		t.Fatalf("estimated prior = %v, want ≈0.8", res.PriorAlpha)
+	}
+	// Fixed prior must be respected.
+	fixed, err := EM(d, EMOptions{FixedPrior: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.PriorAlpha != 0.5 {
+		t.Fatalf("fixed prior = %v, want 0.5", fixed.PriorAlpha)
+	}
+}
+
+func TestEMQualitiesStayInOpenInterval(t *testing.T) {
+	// A worker who is always right must still get q < 1 (smoothing).
+	rng := rand.New(rand.NewSource(5))
+	d, _ := synth(rng, []float64{1.0, 0.7, 0.7}, 100)
+	res, err := EM(d, EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, q := range res.Qualities {
+		if q <= 0 || q >= 1 {
+			t.Fatalf("worker %d: quality %v outside (0, 1)", w, q)
+		}
+	}
+}
+
+func TestEMValidation(t *testing.T) {
+	if _, err := EM(Dataset{}, EMOptions{}); !errors.Is(err, ErrEmptyDataset) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEMIterationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d, _ := synth(rng, []float64{0.8, 0.7}, 50)
+	res, err := EM(d, EMOptions{MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("iterations = %d, want ≤ 2", res.Iterations)
+	}
+}

@@ -1,0 +1,216 @@
+package selection
+
+import (
+	"math/rand"
+
+	"repro/internal/anneal"
+	"repro/internal/worker"
+)
+
+// Annealing is the simulated-annealing JSP heuristic of Algorithm 3, with
+// the add-or-swap local search of Algorithm 4. The state is the selection
+// vector X over the N candidates; at each of the N local searches per
+// temperature level a random candidate r is drawn and either added (when it
+// fits the remaining budget) or swapped against a random member/non-member,
+// accepting worsening swaps with Boltzmann probability exp(Δ/T).
+//
+// Unlike the paper's pseudo-code, the best jury seen across the whole run
+// is returned rather than the final state; this never hurts and makes the
+// returned quality monotone in the number of iterations.
+type Annealing struct {
+	Objective Objective
+	// Schedule defaults to anneal.DefaultSchedule() when zero.
+	Schedule anneal.Schedule
+	// Seed makes runs reproducible. Two selectors with equal seeds and
+	// inputs return identical juries.
+	Seed int64
+	// Restarts runs the annealing loop multiple times (fresh random state,
+	// derived seeds) and keeps the best jury. Zero means 1.
+	Restarts int
+	// AllowRemoval extends Algorithm 4 with a pure removal move: when the
+	// chosen swap is infeasible (it would exceed the budget), the member
+	// that would have left the jury may be removed outright, accepted by
+	// the same Boltzmann rule. Removals typically lower JQ (Lemma 1), so
+	// they fire mostly at high temperature — but they let the search
+	// escape juries packed with cheap workers that block every single
+	// swap toward an expensive high-quality worker. This is an extension
+	// over the paper's algorithm and is off by default.
+	AllowRemoval bool
+}
+
+// Name implements Selector.
+func (a Annealing) Name() string { return "anneal(" + a.Objective.Name() + ")" }
+
+// Select implements Selector.
+func (a Annealing) Select(pool worker.Pool, budget, alpha float64) (Result, error) {
+	if err := checkSelectInput(pool, budget, alpha); err != nil {
+		return Result{}, err
+	}
+	schedule := a.Schedule
+	if schedule == (anneal.Schedule{}) {
+		schedule = anneal.DefaultSchedule()
+	}
+	if err := schedule.Validate(); err != nil {
+		return Result{}, err
+	}
+	restarts := a.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	var best Result
+	bestSet := false
+	evals := 0
+	for r := 0; r < restarts; r++ {
+		rng := rand.New(rand.NewSource(a.Seed + int64(r)*0x9E3779B9))
+		res, err := a.run(pool, budget, alpha, schedule, rng)
+		if err != nil {
+			return Result{}, err
+		}
+		evals += res.Evaluations
+		if !bestSet || res.JQ > best.JQ {
+			best = res
+			bestSet = true
+		}
+	}
+	best.Evaluations = evals
+	return best, nil
+}
+
+// run executes one annealing pass (Algorithm 3).
+func (a Annealing) run(pool worker.Pool, budget, alpha float64, schedule anneal.Schedule, rng *rand.Rand) (Result, error) {
+	n := len(pool)
+	costs := pool.Costs()
+
+	selected := make([]bool, n) // X
+	members := make([]int, 0, n)
+	var cost float64 // M
+	evals := 0
+
+	objective := func(indices []int) (float64, error) {
+		evals++
+		return a.Objective.JQ(pool.Subset(indices), alpha)
+	}
+
+	curJQ, err := objective(members)
+	if err != nil {
+		return Result{}, err
+	}
+	bestJQ := curJQ
+	bestMembers := append([]int(nil), members...)
+	bestCost := cost
+
+	var loopErr error
+	_, err = anneal.Run(schedule, func(temp float64) {
+		if loopErr != nil {
+			return
+		}
+		for step := 0; step < n; step++ {
+			r := rng.Intn(n)
+			if !selected[r] && cost+costs[r] <= budget {
+				// Add r (Algorithm 3, steps 9–11).
+				selected[r] = true
+				members = append(members, r)
+				cost += costs[r]
+				newJQ, err := objective(members)
+				if err != nil {
+					loopErr = err
+					return
+				}
+				curJQ = newJQ
+			} else if err := a.swap(pool, budget, alpha, selected, &members, &cost, &curJQ, r, temp, rng, &evals); err != nil {
+				loopErr = err
+				return
+			}
+			if curJQ > bestJQ {
+				bestJQ = curJQ
+				bestMembers = append(bestMembers[:0], members...)
+				bestCost = cost
+			}
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if loopErr != nil {
+		return Result{}, loopErr
+	}
+	indices := sortedCopy(bestMembers)
+	return Result{
+		Jury:        pool.Subset(indices),
+		Indices:     indices,
+		JQ:          bestJQ,
+		Cost:        bestCost,
+		Evaluations: evals,
+	}, nil
+}
+
+// swap implements Algorithm 4: exchange one selected worker against one
+// unselected worker, accepting by the Boltzmann rule.
+func (a Annealing) swap(pool worker.Pool, budget, alpha float64, selected []bool, members *[]int, cost, curJQ *float64, r int, temp float64, rng *rand.Rand, evals *int) error {
+	n := len(pool)
+	var out, in int // out leaves the jury, in enters
+	if !selected[r] {
+		if len(*members) == 0 {
+			return nil // nothing to swap against
+		}
+		out = (*members)[rng.Intn(len(*members))]
+		in = r
+	} else {
+		free := n - len(*members)
+		if free == 0 {
+			return nil // everyone is already selected
+		}
+		pick := rng.Intn(free)
+		in = -1
+		for i := 0; i < n; i++ {
+			if !selected[i] {
+				if pick == 0 {
+					in = i
+					break
+				}
+				pick--
+			}
+		}
+		out = r
+	}
+	costs := pool.Costs()
+	newCost := *cost - costs[out] + costs[in]
+	candidate := make([]int, 0, len(*members))
+	for _, m := range *members {
+		if m != out {
+			candidate = append(candidate, m)
+		}
+	}
+	if newCost > budget {
+		if !a.AllowRemoval || !selected[out] {
+			return nil
+		}
+		// Extension: fall back to removing `out` alone.
+		*evals++
+		newJQ, err := a.Objective.JQ(pool.Subset(candidate), alpha)
+		if err != nil {
+			return err
+		}
+		if anneal.Accept(newJQ-*curJQ, temp, rng) {
+			selected[out] = false
+			*members = candidate
+			*cost -= costs[out]
+			*curJQ = newJQ
+		}
+		return nil
+	}
+	candidate = append(candidate, in)
+	*evals++
+	newJQ, err := a.Objective.JQ(pool.Subset(candidate), alpha)
+	if err != nil {
+		return err
+	}
+	if anneal.Accept(newJQ-*curJQ, temp, rng) {
+		selected[out] = false
+		selected[in] = true
+		*members = candidate
+		*cost = newCost
+		*curJQ = newJQ
+	}
+	return nil
+}

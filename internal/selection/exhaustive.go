@@ -1,0 +1,110 @@
+package selection
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/worker"
+)
+
+// MaxExhaustiveN is the largest candidate pool the exhaustive selector
+// accepts: 2^22 subsets is the practical ceiling for an interactive search.
+const MaxExhaustiveN = 22
+
+// ErrPoolTooLarge is returned when the exhaustive selector is given more
+// candidates than MaxExhaustiveN.
+var ErrPoolTooLarge = errors.New("selection: candidate pool too large for exhaustive search")
+
+// Exhaustive enumerates every feasible jury and returns the one with the
+// highest objective value. JSP is NP-hard (Theorem 4), so this is only
+// viable for small pools; it serves as the ground truth the heuristics are
+// measured against (Figure 7a, Table 3).
+type Exhaustive struct {
+	Objective Objective
+}
+
+// Name implements Selector.
+func (e Exhaustive) Name() string { return "exhaustive(" + e.Objective.Name() + ")" }
+
+// Select implements Selector. Ties between equal-JQ juries are broken
+// toward the cheaper jury, then the lexicographically smallest index set,
+// so results are deterministic.
+func (e Exhaustive) Select(pool worker.Pool, budget, alpha float64) (Result, error) {
+	if err := checkSelectInput(pool, budget, alpha); err != nil {
+		return Result{}, err
+	}
+	n := len(pool)
+	if n > MaxExhaustiveN {
+		return Result{}, fmt.Errorf("%w: N=%d > %d", ErrPoolTooLarge, n, MaxExhaustiveN)
+	}
+	costs := pool.Costs()
+	best := Result{JQ: -1, Indices: []int{}}
+	evals := 0
+	indices := make([]int, 0, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var cost float64
+		indices = indices[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				cost += costs[i]
+				indices = append(indices, i)
+			}
+		}
+		if cost > budget {
+			continue
+		}
+		score, err := e.Objective.JQ(pool.Subset(indices), alpha)
+		if err != nil {
+			return Result{}, err
+		}
+		evals++
+		if better(score, cost, indices, best) {
+			best = Result{
+				Jury:    pool.Subset(indices),
+				Indices: append([]int(nil), indices...),
+				JQ:      score,
+				Cost:    cost,
+			}
+		}
+	}
+	best.Evaluations = evals
+	return best, nil
+}
+
+// better reports whether (score, cost, indices) improves on best, with the
+// deterministic tie-break described on Select.
+func better(score, cost float64, indices []int, best Result) bool {
+	const eps = 1e-12
+	switch {
+	case score > best.JQ+eps:
+		return true
+	case score < best.JQ-eps:
+		return false
+	case cost < best.Cost-eps:
+		return true
+	case cost > best.Cost+eps:
+		return false
+	}
+	return lexLess(indices, best.Indices)
+}
+
+// lexLess orders index sets lexicographically with shorter prefixes first.
+func lexLess(a, b []int) bool {
+	if b == nil {
+		return true
+	}
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// sortedCopy returns a sorted copy of indices.
+func sortedCopy(indices []int) []int {
+	out := append([]int(nil), indices...)
+	sort.Ints(out)
+	return out
+}

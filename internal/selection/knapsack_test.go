@@ -1,0 +1,121 @@
+package selection
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/worker"
+)
+
+func TestKnapsackSurrogateRespectsBudget(t *testing.T) {
+	pool := figure1Pool()
+	for _, budget := range []float64{0, 3, 7.5, 14, 20, 100} {
+		res, err := KnapsackSurrogate{Objective: BVExactObjective{}}.Select(pool, budget, 0.5)
+		if err != nil {
+			t.Fatalf("budget %v: %v", budget, err)
+		}
+		if res.Cost > budget+1e-12 {
+			t.Fatalf("budget %v: cost %v exceeds it", budget, res.Cost)
+		}
+	}
+}
+
+func TestKnapsackSurrogateZeroBudgetTakesFreeWorkers(t *testing.T) {
+	pool := worker.Pool{
+		{ID: "free", Quality: 0.8, Cost: 0},
+		{ID: "paid", Quality: 0.9, Cost: 1},
+	}
+	res, err := KnapsackSurrogate{Objective: BVExactObjective{}}.Select(pool, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jury) != 1 || res.Jury[0].ID != "free" {
+		t.Fatalf("jury = %v, want just the free worker", res.Jury)
+	}
+}
+
+func TestKnapsackSurrogateNearOptimalOnFigure1(t *testing.T) {
+	pool := figure1Pool()
+	exact, err := Exhaustive{Objective: BVExactObjective{}}.Select(pool, 15, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heur, err := KnapsackSurrogate{Objective: BVExactObjective{}}.Select(pool, 15, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.JQ-heur.JQ > 0.02 {
+		t.Fatalf("knapsack JQ %v too far below optimal %v", heur.JQ, exact.JQ)
+	}
+}
+
+// Property: the surrogate never beats the exhaustive optimum, never busts
+// the budget, and is deterministic.
+func TestKnapsackSurrogateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 3
+		pool := make(worker.Pool, n)
+		for i := range pool {
+			cost := math.Abs(rng.NormFloat64()*0.2 + 0.05)
+			if cost < 0.01 {
+				cost = 0.01
+			}
+			pool[i] = worker.Worker{Quality: 0.5 + 0.45*rng.Float64(), Cost: cost}
+		}
+		budget := 0.05 + 0.45*rng.Float64()
+		exact, err := Exhaustive{Objective: BVExactObjective{}}.Select(pool, budget, 0.5)
+		if err != nil {
+			return false
+		}
+		k := KnapsackSurrogate{Objective: BVExactObjective{}}
+		a, err := k.Select(pool, budget, 0.5)
+		if err != nil {
+			return false
+		}
+		b, err := k.Select(pool, budget, 0.5)
+		if err != nil {
+			return false
+		}
+		if a.Cost > budget+1e-12 {
+			return false
+		}
+		if a.JQ > exact.JQ+1e-9 {
+			return false
+		}
+		if a.JQ != b.JQ || len(a.Indices) != len(b.Indices) {
+			return false // determinism
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnapsackSurrogateValidation(t *testing.T) {
+	if _, err := (KnapsackSurrogate{Objective: MVObjective{}}).Select(nil, 1, 0.5); err == nil {
+		t.Error("no error for empty pool")
+	}
+	if _, err := (KnapsackSurrogate{Objective: MVObjective{}}).Select(figure1Pool(), -1, 0.5); err == nil {
+		t.Error("no error for negative budget")
+	}
+}
+
+func TestKnapsackSurrogateLowQualityWorkersCountByEvidence(t *testing.T) {
+	// A q=0.1 worker carries φ(0.9) of evidence — the surrogate should
+	// prefer them over a q=0.6 worker at equal cost.
+	pool := worker.Pool{
+		{ID: "inverse-expert", Quality: 0.1, Cost: 1},
+		{ID: "mediocre", Quality: 0.6, Cost: 1},
+	}
+	res, err := KnapsackSurrogate{Objective: BVExactObjective{}}.Select(pool, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jury) != 1 || res.Jury[0].ID != "inverse-expert" {
+		t.Fatalf("jury = %v, want the inverse expert", res.Jury)
+	}
+}

@@ -1,0 +1,126 @@
+// Package selection solves the Jury Selection Problem (JSP) of Zheng et al.
+// (EDBT 2015, Section 5): given a candidate pool, a budget B, and a prior α,
+// find the jury J with ΣcostJ ≤ B maximizing JQ(J, S, α).
+//
+// The package separates the search (Selector) from the quality model
+// (Objective), so the paper's OPTJS system (Bayesian-Voting objective) and
+// the MVJS baseline of Cao et al. [7] (Majority-Voting objective) share the
+// same search machinery — which is exactly how the paper's end-to-end
+// comparison (Figures 6 and 10) is defined.
+package selection
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/jq"
+	"repro/internal/worker"
+)
+
+// Objective scores a candidate jury. Implementations must be deterministic:
+// the annealing search evaluates juries repeatedly and compares the scores.
+type Objective interface {
+	// Name identifies the objective ("BV", "BV-exact", "MV", ...).
+	Name() string
+	// JQ returns the jury quality of jury under the objective's voting
+	// strategy and the given prior. An empty jury is legal: the task
+	// provider answers from the prior alone, so its quality is
+	// max(α, 1−α).
+	JQ(jury worker.Pool, alpha float64) (float64, error)
+}
+
+// priorOnlyJQ is the quality of an empty jury: the Bayesian answer from the
+// prior alone is correct with probability max(α, 1−α); MV has no votes to
+// count and degenerates the same way.
+func priorOnlyJQ(alpha float64) float64 { return math.Max(alpha, 1-alpha) }
+
+// BVObjective scores juries with the bucket-approximated JQ under Bayesian
+// Voting (Algorithm 1). This is the OPTJS objective.
+type BVObjective struct {
+	// NumBuckets configures jq.Estimate; zero means jq.DefaultNumBuckets.
+	NumBuckets int
+}
+
+// Name implements Objective.
+func (o BVObjective) Name() string { return "BV" }
+
+// JQ implements Objective.
+func (o BVObjective) JQ(jury worker.Pool, alpha float64) (float64, error) {
+	if len(jury) == 0 {
+		return priorOnlyJQ(alpha), nil
+	}
+	res, err := jq.Estimate(jury, alpha, jq.Options{NumBuckets: o.NumBuckets})
+	if err != nil {
+		return 0, err
+	}
+	return res.JQ, nil
+}
+
+// BVExactObjective scores juries with the exact (exponential) JQ under
+// Bayesian Voting. Only usable for juries up to jq.MaxExactJurySize; it is
+// the reference objective for the Figure 7(a) optimality-gap experiment.
+type BVExactObjective struct{}
+
+// Name implements Objective.
+func (BVExactObjective) Name() string { return "BV-exact" }
+
+// JQ implements Objective.
+func (BVExactObjective) JQ(jury worker.Pool, alpha float64) (float64, error) {
+	if len(jury) == 0 {
+		return priorOnlyJQ(alpha), nil
+	}
+	return jq.ExactBV(jury, alpha)
+}
+
+// MVObjective scores juries with the closed-form JQ under Majority Voting —
+// the objective of the MVJS baseline (Cao et al. [7]), which solves
+// argmax JQ(J, MV, 0.5). Following the baseline, the prior passed to Select
+// is used only for the empty jury; MV itself ignores it, and the paper's
+// baseline fixes α = 0.5.
+type MVObjective struct{}
+
+// Name implements Objective.
+func (MVObjective) Name() string { return "MV" }
+
+// JQ implements Objective.
+func (MVObjective) JQ(jury worker.Pool, alpha float64) (float64, error) {
+	if len(jury) == 0 {
+		return priorOnlyJQ(alpha), nil
+	}
+	return jq.MajorityClosedForm(jury, 0.5)
+}
+
+// Result is the outcome of a jury selection.
+type Result struct {
+	// Jury is the selected jury (a subset of the candidate pool).
+	Jury worker.Pool
+	// Indices locates the jury members in the candidate pool, ascending.
+	Indices []int
+	// JQ is the selected jury's score under the selector's objective.
+	JQ float64
+	// Cost is the jury cost Σ c_i.
+	Cost float64
+	// Evaluations counts objective evaluations performed by the search.
+	Evaluations int
+}
+
+// Selector searches the feasible juries for the best objective value.
+type Selector interface {
+	// Name identifies the selector, e.g. "exhaustive(BV)".
+	Name() string
+	// Select returns the best jury found within the budget.
+	Select(pool worker.Pool, budget, alpha float64) (Result, error)
+}
+
+func checkSelectInput(pool worker.Pool, budget, alpha float64) error {
+	if err := pool.Validate(); err != nil {
+		return err
+	}
+	if budget < 0 || budget != budget {
+		return fmt.Errorf("selection: negative budget %v", budget)
+	}
+	if alpha < 0 || alpha > 1 || alpha != alpha {
+		return fmt.Errorf("selection: prior %v outside [0, 1]", alpha)
+	}
+	return nil
+}

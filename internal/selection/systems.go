@@ -1,0 +1,68 @@
+package selection
+
+import (
+	"repro/internal/anneal"
+	"repro/internal/worker"
+)
+
+// AutoExhaustiveMaxN is the pool size at or below which the Auto selector
+// uses exhaustive search instead of annealing. 2^15 subsets with a cheap
+// objective still completes in milliseconds.
+const AutoExhaustiveMaxN = 15
+
+// Auto picks the search automatically: exhaustive enumeration for pools of
+// at most MaxN candidates (exact answer), simulated annealing beyond that.
+// This mirrors how the paper evaluates: exact where tractable, Algorithm 3
+// elsewhere.
+type Auto struct {
+	Objective Objective
+	// MaxN defaults to AutoExhaustiveMaxN when zero.
+	MaxN int
+	// Seed drives the annealing path.
+	Seed int64
+	// Schedule configures annealing; zero uses the paper's schedule.
+	Schedule anneal.Schedule
+	// Restarts configures annealing restarts; zero means 1.
+	Restarts int
+	// AllowRemoval enables the removal-move extension of the annealing
+	// search (see Annealing.AllowRemoval).
+	AllowRemoval bool
+}
+
+// Name implements Selector.
+func (a Auto) Name() string { return "auto(" + a.Objective.Name() + ")" }
+
+// Select implements Selector.
+func (a Auto) Select(pool worker.Pool, budget, alpha float64) (Result, error) {
+	maxN := a.MaxN
+	if maxN == 0 {
+		maxN = AutoExhaustiveMaxN
+	}
+	if len(pool) <= maxN {
+		return Exhaustive{Objective: a.Objective}.Select(pool, budget, alpha)
+	}
+	return Annealing{
+		Objective:    a.Objective,
+		Seed:         a.Seed,
+		Schedule:     a.Schedule,
+		Restarts:     a.Restarts,
+		AllowRemoval: a.AllowRemoval,
+	}.Select(pool, budget, alpha)
+}
+
+// OPTJS is the paper's Optimal Jury Selection System: JSP under the
+// (approximated) Bayesian-Voting objective, exact search for small pools
+// and Algorithm 3 annealing beyond. The production configuration runs two
+// annealing restarts with the removal-move extension, which smooths the
+// rare search traps of the plain algorithm; use Annealing directly for the
+// paper-faithful single pass.
+func OPTJS(seed int64) Selector {
+	return Auto{Objective: BVObjective{}, Seed: seed, Restarts: 2, AllowRemoval: true}
+}
+
+// MVJS is the baseline system of Cao et al. [7]: JSP under the
+// Majority-Voting objective at uniform prior, with the same search
+// configuration as OPTJS so comparisons isolate the voting strategy.
+func MVJS(seed int64) Selector {
+	return Auto{Objective: MVObjective{}, Seed: seed, Restarts: 2, AllowRemoval: true}
+}

@@ -1,0 +1,247 @@
+// Package stats is a small statistics substrate for the reproduction: seeded
+// random distributions (Gaussian, truncated Gaussian), summary statistics,
+// fixed-width histograms, and the error-range counters used to regenerate
+// Table 3 of the paper. Only the standard library is used.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Normal draws one sample from N(mu, sigma²) using rng.
+func Normal(rng *rand.Rand, mu, sigma float64) float64 {
+	return rng.NormFloat64()*sigma + mu
+}
+
+// TruncatedNormal draws from N(mu, sigma²) conditioned on [lo, hi] by
+// rejection sampling, falling back to clamping after maxTries rejections
+// (which only happens when [lo, hi] lies far in the tail). It panics when
+// lo > hi: that is a programming error.
+func TruncatedNormal(rng *rand.Rand, mu, sigma, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("stats: TruncatedNormal bounds inverted: [%v, %v]", lo, hi))
+	}
+	if sigma <= 0 {
+		return clamp(mu, lo, hi)
+	}
+	const maxTries = 256
+	for i := 0; i < maxTries; i++ {
+		x := Normal(rng, mu, sigma)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return clamp(Normal(rng, mu, sigma), lo, hi)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Clamp restricts x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 { return clamp(x, lo, hi) }
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Std      float64
+	Min, Max       float64
+	Median         float64
+	P90, P99       float64
+	Sum            float64
+	SampleVariance float64
+}
+
+// Summarize computes descriptive statistics. It returns a zero Summary for
+// an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.SampleVariance = ss / float64(s.N-1)
+	}
+	s.Std = math.Sqrt(ss / float64(s.N))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an already sorted sample
+// using linear interpolation. It panics on an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi). Values outside the
+// range are counted in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given number of equal-width bins
+// over [lo, hi). It panics when bins < 1 or lo >= hi.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: NewHistogram needs at least one bin")
+	}
+	if lo >= hi {
+		panic(fmt.Sprintf("stats: NewHistogram invalid range [%v, %v)", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		width := (h.Hi - h.Lo) / float64(len(h.Counts))
+		idx := int((x - h.Lo) / width)
+		if idx >= len(h.Counts) { // floating point edge at Hi
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Total returns the number of observations recorded, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// BinLow returns the inclusive lower edge of bin i.
+func (h *Histogram) BinLow(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*width
+}
+
+// RangeCounter counts observations into caller-defined half-open ranges
+// (lo, hi]; the first range is closed: [lo, hi]. This matches Table 3 of the
+// paper, which reports counts in [0, 0.01], (0.01, 0.1], (0.1, 1], (1, 3],
+// (3, +inf) — in percentage points.
+type RangeCounter struct {
+	// Edges are the ascending boundaries e0 < e1 < ... < ek. Observations
+	// fall into [e0, e1], (e1, e2], ..., (e_{k-1}, ek], and (ek, +inf).
+	Edges  []float64
+	Counts []int // len(Edges) buckets: k interior ranges plus overflow
+}
+
+// NewRangeCounter builds a counter for the given ascending edges. It panics
+// when fewer than two edges are given or they are not strictly ascending.
+func NewRangeCounter(edges ...float64) *RangeCounter {
+	if len(edges) < 2 {
+		panic("stats: NewRangeCounter needs at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("stats: NewRangeCounter edges must be strictly ascending")
+		}
+	}
+	return &RangeCounter{Edges: edges, Counts: make([]int, len(edges))}
+}
+
+// Add records one observation. Values below the first edge are counted in
+// the first range (the paper's error differences are non-negative by
+// construction, but floating point can produce tiny negatives).
+func (rc *RangeCounter) Add(x float64) {
+	if x <= rc.Edges[1] {
+		rc.Counts[0]++
+		return
+	}
+	for i := 2; i < len(rc.Edges); i++ {
+		if x <= rc.Edges[i] {
+			rc.Counts[i-1]++
+			return
+		}
+	}
+	rc.Counts[len(rc.Counts)-1]++
+}
+
+// Total returns the number of recorded observations.
+func (rc *RangeCounter) Total() int {
+	var sum int
+	for _, c := range rc.Counts {
+		sum += c
+	}
+	return sum
+}
+
+// Labels renders the range labels, e.g. "[0,0.01]", "(0.01,0.1]", "(3,+inf)".
+func (rc *RangeCounter) Labels() []string {
+	labels := make([]string, len(rc.Counts))
+	labels[0] = fmt.Sprintf("[%v,%v]", rc.Edges[0], rc.Edges[1])
+	for i := 2; i < len(rc.Edges); i++ {
+		labels[i-1] = fmt.Sprintf("(%v,%v]", rc.Edges[i-1], rc.Edges[i])
+	}
+	labels[len(labels)-1] = fmt.Sprintf("(%v,+inf)", rc.Edges[len(rc.Edges)-1])
+	return labels
+}

@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = Normal(rng, 0.7, 0.2)
+	}
+	s := Summarize(xs)
+	if math.Abs(s.Mean-0.7) > 0.005 {
+		t.Errorf("mean = %v, want ~0.7", s.Mean)
+	}
+	if math.Abs(s.Std-0.2) > 0.005 {
+		t.Errorf("std = %v, want ~0.2", s.Std)
+	}
+}
+
+func TestTruncatedNormalBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		x := TruncatedNormal(rng, 0.7, 0.3, 0.5, 0.99)
+		if x < 0.5 || x > 0.99 {
+			t.Fatalf("sample %v outside [0.5, 0.99]", x)
+		}
+	}
+}
+
+func TestTruncatedNormalDegenerateSigma(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if got := TruncatedNormal(rng, 0.7, 0, 0.5, 0.99); got != 0.7 {
+		t.Fatalf("sigma=0: got %v, want 0.7", got)
+	}
+	if got := TruncatedNormal(rng, 2.0, 0, 0.5, 0.99); got != 0.99 {
+		t.Fatalf("sigma=0 clamp: got %v, want 0.99", got)
+	}
+}
+
+func TestTruncatedNormalFarTailFallsBackToClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Interval 40 sigmas away: rejection will never hit; must clamp into range.
+	x := TruncatedNormal(rng, 0, 0.01, 0.4, 0.41)
+	if x < 0.4 || x > 0.41 {
+		t.Fatalf("far-tail sample %v outside [0.4, 0.41]", x)
+	}
+}
+
+func TestTruncatedNormalPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on inverted bounds")
+		}
+	}()
+	TruncatedNormal(rand.New(rand.NewSource(1)), 0, 1, 1, 0)
+}
+
+func TestSummarizeKnownSample(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Sum != 15 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.Median != 3 {
+		t.Errorf("median = %v, want 3", s.Median)
+	}
+	if math.Abs(s.SampleVariance-2.5) > 1e-12 {
+		t.Errorf("sample variance = %v, want 2.5", s.SampleVariance)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("std = %v, want sqrt(2)", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("Summary of empty = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20}, {0.25, 17.5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestQuantilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 3}); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	h.Add(-0.5) // under
+	h.Add(0)    // bin 0
+	h.Add(0.05) // bin 0
+	h.Add(0.95) // bin 9
+	h.Add(1)    // over (range is half-open)
+	h.Add(2)    // over
+	if h.Under != 1 {
+		t.Errorf("Under = %d, want 1", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("Over = %d, want 2", h.Over)
+	}
+	if h.Counts[0] != 2 {
+		t.Errorf("Counts[0] = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[9] != 1 {
+		t.Errorf("Counts[9] = %d, want 1", h.Counts[9])
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+}
+
+func TestHistogramBinGeometry(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if got := h.BinCenter(0); math.Abs(got-0.125) > 1e-15 {
+		t.Errorf("BinCenter(0) = %v, want 0.125", got)
+	}
+	if got := h.BinLow(2); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("BinLow(2) = %v, want 0.5", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero bins":      func() { NewHistogram(0, 1, 0) },
+		"inverted range": func() { NewHistogram(1, 0, 4) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestRangeCounterTable3Layout(t *testing.T) {
+	// The paper's Table 3 ranges, in percentage points.
+	rc := NewRangeCounter(0, 0.01, 0.1, 1, 3)
+	rc.Add(0)     // [0, 0.01]
+	rc.Add(0.01)  // [0, 0.01] (closed right edge of first range)
+	rc.Add(0.05)  // (0.01, 0.1]
+	rc.Add(0.1)   // (0.01, 0.1]
+	rc.Add(0.5)   // (0.1, 1]
+	rc.Add(2)     // (1, 3]
+	rc.Add(10)    // (3, +inf)
+	rc.Add(-1e-9) // tiny negative rounds into the first range
+	want := []int{3, 2, 1, 1, 1}
+	for i, c := range rc.Counts {
+		if c != want[i] {
+			t.Fatalf("Counts = %v, want %v", rc.Counts, want)
+		}
+	}
+	if rc.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", rc.Total())
+	}
+	labels := rc.Labels()
+	wantLabels := []string{"[0,0.01]", "(0.01,0.1]", "(0.1,1]", "(1,3]", "(3,+inf)"}
+	for i := range labels {
+		if labels[i] != wantLabels[i] {
+			t.Fatalf("Labels = %v, want %v", labels, wantLabels)
+		}
+	}
+}
+
+func TestRangeCounterPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"one edge":      func() { NewRangeCounter(0) },
+		"non-ascending": func() { NewRangeCounter(0, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Property: histogram conserves observations across bins + under/over.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(-1, 1, 7)
+		count := int(n%500) + 1
+		for i := 0; i < count; i++ {
+			h.Add(rng.NormFloat64())
+		}
+		sum := h.Under + h.Over
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == count && h.Total() == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bracketed by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%50) + 1
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Package table renders experiment results as aligned text tables and CSV,
+// the output format of the benchmark harness (cmd/experiments).
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells, long rows
+// are truncated to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddFloats appends a row of floating-point cells formatted with %.6g.
+func (t *Table) AddFloats(values ...float64) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprintf("%.6g", v)
+	}
+	t.AddRow(cells...)
+}
+
+// String renders the aligned table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header line.
+// Cells containing commas or quotes are quoted per RFC 4180.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeLine := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(escapeCSV(cell))
+		}
+		b.WriteByte('\n')
+	}
+	writeLine(t.Headers)
+	for _, row := range t.Rows {
+		writeLine(row)
+	}
+	return b.String()
+}
+
+func escapeCSV(cell string) string {
+	if !strings.ContainsAny(cell, ",\"\n") {
+		return cell
+	}
+	return `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+}
+
+// Percent formats a probability as a percentage with two decimals.
+func Percent(p float64) string { return fmt.Sprintf("%.2f%%", 100*p) }
+
+// Float formats a float compactly.
+func Float(v float64) string { return fmt.Sprintf("%.6g", v) }
+
+// Int formats an integer.
+func Int(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,77 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tb := New("Demo", "budget", "jq")
+	tb.AddRow("5", "75.00%")
+	tb.AddRow("10", "80.00%")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "budget") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("1")           // short: padded
+	tb.AddRow("1", "2", "3") // long: truncated
+	if len(tb.Rows[0]) != 2 || tb.Rows[0][1] != "" {
+		t.Fatalf("short row = %v", tb.Rows[0])
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Fatalf("long row = %v", tb.Rows[1])
+	}
+}
+
+func TestAddFloats(t *testing.T) {
+	tb := New("", "x", "y")
+	tb.AddFloats(0.5, 1.25)
+	if tb.Rows[0][0] != "0.5" || tb.Rows[0][1] != "1.25" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", `with"quote`)
+	got := tb.CSV()
+	want := "name,value\nplain,1\n\"with,comma\",\"with\"\"quote\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Percent(0.8451); got != "84.51%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Float(1.5); got != "1.5" {
+		t.Errorf("Float = %q", got)
+	}
+	if got := Int(42); got != "42" {
+		t.Errorf("Int = %q", got)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("empty title produced leading newline")
+	}
+}

@@ -1,0 +1,49 @@
+package voting
+
+import (
+	"fmt"
+)
+
+// TriadicConsensus is an adaptation of the triadic-consensus procedure of
+// Goel & Lee [2] (the last entry of the paper's Table 2) to binary
+// aggregated voting: the collected votes are repeatedly re-sampled in
+// triads, each triad emitting its majority, which concentrates the vote
+// distribution toward the initial majority over successive rounds.
+//
+// For a voting with zero-vote fraction p, one triad round maps
+// p → p³ + 3p²(1−p) (the probability a uniformly drawn triad has a
+// 0-majority). TriadicConsensus runs Rounds such rounds and returns 0 with
+// the resulting probability — a randomized strategy whose randomness
+// vanishes as Rounds grows: it converges to majority voting (and keeps
+// exact ties at ½ forever).
+type TriadicConsensus struct {
+	// Rounds is the number of concentration rounds; 0 selects 3 (the
+	// depth used in the original construction's analysis for small
+	// electorates).
+	Rounds int
+}
+
+// Name implements Strategy.
+func (TriadicConsensus) Name() string { return "TRIADIC" }
+
+// Deterministic implements Strategy.
+func (TriadicConsensus) Deterministic() bool { return false }
+
+// ProbZero implements Strategy.
+func (s TriadicConsensus) ProbZero(votes []Vote, qualities []float64, alpha float64) (float64, error) {
+	if err := checkInput(votes, qualities, alpha); err != nil {
+		return 0, err
+	}
+	rounds := s.Rounds
+	if rounds == 0 {
+		rounds = 3
+	}
+	if rounds < 0 {
+		return 0, fmt.Errorf("voting: negative triadic rounds %d", rounds)
+	}
+	p := float64(countZeros(votes)) / float64(len(votes))
+	for i := 0; i < rounds; i++ {
+		p = p*p*p + 3*p*p*(1-p)
+	}
+	return p, nil
+}

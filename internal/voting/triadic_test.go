@@ -1,0 +1,99 @@
+package voting
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriadicDeterministicFlag(t *testing.T) {
+	if (TriadicConsensus{}).Deterministic() {
+		t.Fatal("triadic consensus must be classified as randomized")
+	}
+}
+
+func TestTriadicZeroRoundsIsRMV(t *testing.T) {
+	// With explicit Rounds < default... rounds=0 maps to the default 3;
+	// verify the algebra instead at rounds=1 against the closed form.
+	qs := []float64{0.7, 0.7, 0.7, 0.7, 0.7}
+	v := votes(0, 0, 0, 1, 1) // p = 0.6
+	got, err := TriadicConsensus{Rounds: 1}.ProbZero(v, qs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 0.6
+	want := p*p*p + 3*p*p*(1-p)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ProbZero = %v, want %v", got, want)
+	}
+}
+
+func TestTriadicConcentratesTowardMajority(t *testing.T) {
+	qs := []float64{0.7, 0.7, 0.7, 0.7, 0.7}
+	v := votes(0, 0, 0, 1, 1)
+	prev := 0.6
+	for rounds := 1; rounds <= 8; rounds++ {
+		got, err := TriadicConsensus{Rounds: rounds}.ProbZero(v, qs, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev-1e-12 {
+			t.Fatalf("rounds=%d: probability fell from %v to %v", rounds, prev, got)
+		}
+		prev = got
+	}
+	if prev < 0.99 {
+		t.Fatalf("after 8 rounds P(majority answer) = %v, want ≈1", prev)
+	}
+}
+
+func TestTriadicTieStaysHalf(t *testing.T) {
+	qs := []float64{0.7, 0.7}
+	got, err := TriadicConsensus{Rounds: 50}.ProbZero(votes(0, 1), qs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tie: ProbZero = %v, want 0.5 forever", got)
+	}
+}
+
+func TestTriadicRejectsNegativeRounds(t *testing.T) {
+	if _, err := (TriadicConsensus{Rounds: -1}).ProbZero(votes(0), []float64{0.7}, 0.5); err == nil {
+		t.Fatal("no error for negative rounds")
+	}
+}
+
+// Property: the triadic probability is monotone in the zero-vote count and
+// bounded by [0, 1].
+func TestTriadicMonotoneProperty(t *testing.T) {
+	f := func(seed int64, roundsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(9) + 2
+		rounds := int(roundsRaw%6) + 1
+		qs := make([]float64, n)
+		for i := range qs {
+			qs[i] = 0.5 + rng.Float64()/2
+		}
+		prev := -1.0
+		for zeros := 0; zeros <= n; zeros++ {
+			v := make([]Vote, n)
+			for i := zeros; i < n; i++ {
+				v[i] = Yes
+			}
+			p, err := TriadicConsensus{Rounds: rounds}.ProbZero(v, qs, 0.5)
+			if err != nil {
+				return false
+			}
+			if p < 0 || p > 1 || p < prev-1e-12 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,417 @@
+// Package voting implements the voting strategies studied in Zheng et al.
+// (EDBT 2015), Section 3: given a prior α on the true answer, a jury's
+// qualities, and the jury's votes, a strategy estimates the task's true
+// answer.
+//
+// Strategies fall into two categories (Definitions 1 and 2 of the paper):
+//
+//   - deterministic: the result is a function of (V, J, α);
+//   - randomized: the result is 0 with some probability p(V, J, α) and 1
+//     with probability 1−p.
+//
+// Both categories are captured by one interface: ProbZero returns
+// h(V) = E[1{S(V)=0}] ∈ [0, 1], which is 0 or 1 exactly for deterministic
+// strategies. This is the quantity the Jury Quality definition integrates
+// (Definition 3), so a single generic JQ computation covers every strategy.
+package voting
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vote is a single binary answer: 0 ("no") or 1 ("yes").
+type Vote uint8
+
+// The two possible votes / answers of a decision-making task.
+const (
+	No  Vote = 0
+	Yes Vote = 1
+)
+
+// Opposite returns the flipped vote.
+func (v Vote) Opposite() Vote { return 1 - v }
+
+// String implements fmt.Stringer.
+func (v Vote) String() string {
+	if v == No {
+		return "no"
+	}
+	return "yes"
+}
+
+// Errors returned by strategy evaluation.
+var (
+	ErrArityMismatch = errors.New("voting: votes and qualities have different lengths")
+	ErrEmptyVoting   = errors.New("voting: empty voting")
+	ErrPriorRange    = errors.New("voting: prior outside [0, 1]")
+)
+
+// Strategy estimates the true answer of a binary task from a voting.
+type Strategy interface {
+	// Name is a short identifier such as "BV" or "MV".
+	Name() string
+	// Deterministic reports whether the strategy involves no randomness.
+	Deterministic() bool
+	// ProbZero returns h(V) = P(S returns 0 | votes, qualities, alpha).
+	// For deterministic strategies the result is exactly 0 or 1.
+	ProbZero(votes []Vote, qualities []float64, alpha float64) (float64, error)
+}
+
+// Decide draws a concrete answer from the strategy. For deterministic
+// strategies rng may be nil; randomized strategies require it.
+func Decide(s Strategy, votes []Vote, qualities []float64, alpha float64, rng *rand.Rand) (Vote, error) {
+	p, err := s.ProbZero(votes, qualities, alpha)
+	if err != nil {
+		return No, err
+	}
+	switch {
+	case p >= 1:
+		return No, nil
+	case p <= 0:
+		return Yes, nil
+	}
+	if rng == nil {
+		return No, fmt.Errorf("voting: strategy %s is randomized (p=%v) but rng is nil", s.Name(), p)
+	}
+	if rng.Float64() < p {
+		return No, nil
+	}
+	return Yes, nil
+}
+
+func checkInput(votes []Vote, qualities []float64, alpha float64) error {
+	if len(votes) == 0 {
+		return ErrEmptyVoting
+	}
+	if len(votes) != len(qualities) {
+		return fmt.Errorf("%w: %d votes, %d qualities", ErrArityMismatch, len(votes), len(qualities))
+	}
+	if alpha < 0 || alpha > 1 || alpha != alpha {
+		return fmt.Errorf("%w: %v", ErrPriorRange, alpha)
+	}
+	return nil
+}
+
+// countZeros returns the number of votes equal to 0.
+func countZeros(votes []Vote) int {
+	var zeros int
+	for _, v := range votes {
+		if v == No {
+			zeros++
+		}
+	}
+	return zeros
+}
+
+// ---------------------------------------------------------------------------
+// Majority Voting (MV) — deterministic.
+
+// Majority is the majority voting strategy of Cao et al. [7]: the result is
+// 0 when at least (n+1)/2 of the votes are 0 (i.e. Σ(1−v_i) ≥ (n+1)/2), and
+// 1 otherwise. For even n this breaks exact ties in favour of answer 1,
+// matching Example 1 of the paper. MV ignores both the prior and the
+// workers' qualities.
+type Majority struct{}
+
+// Name implements Strategy.
+func (Majority) Name() string { return "MV" }
+
+// Deterministic implements Strategy.
+func (Majority) Deterministic() bool { return true }
+
+// ProbZero implements Strategy.
+func (Majority) ProbZero(votes []Vote, qualities []float64, alpha float64) (float64, error) {
+	if err := checkInput(votes, qualities, alpha); err != nil {
+		return 0, err
+	}
+	n := len(votes)
+	if 2*countZeros(votes) >= n+1 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// ---------------------------------------------------------------------------
+// Bayesian Voting (BV) — deterministic, and optimal w.r.t. JQ (Theorem 1).
+
+// Bayesian returns the answer with the larger posterior probability:
+// 0 when α·P(V|t=0) ≥ (1−α)·P(V|t=1), 1 otherwise (Definition 4 / Theorem 1;
+// ties go to 0). Computation is carried out in log space for numerical
+// stability; workers with quality exactly 0 or 1 are handled by treating
+// their vote as infinitely informative.
+type Bayesian struct{}
+
+// Name implements Strategy.
+func (Bayesian) Name() string { return "BV" }
+
+// Deterministic implements Strategy.
+func (Bayesian) Deterministic() bool { return true }
+
+// ProbZero implements Strategy.
+func (Bayesian) ProbZero(votes []Vote, qualities []float64, alpha float64) (float64, error) {
+	if err := checkInput(votes, qualities, alpha); err != nil {
+		return 0, err
+	}
+	d, err := PosteriorLogOdds(votes, qualities, alpha)
+	if err != nil {
+		return 0, err
+	}
+	if d >= 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// PosteriorLogOdds returns ln(α·P(V|t=0)) − ln((1−α)·P(V|t=1)), i.e. the log
+// posterior odds of answer 0 versus answer 1. +Inf/−Inf are returned when a
+// deterministic worker (quality 0 or 1) forces the answer; when two such
+// workers conflict the evidence cancels and the contribution is 0.
+func PosteriorLogOdds(votes []Vote, qualities []float64, alpha float64) (float64, error) {
+	if err := checkInput(votes, qualities, alpha); err != nil {
+		return 0, err
+	}
+	// Infinite evidence is tallied separately so that conflicting certain
+	// votes cancel rather than producing NaN from (+Inf) + (−Inf).
+	var logOdds float64
+	var infVotes int // +1 per certain vote for 0, −1 per certain vote for 1
+	for i, v := range votes {
+		q := qualities[i]
+		if q < 0 || q > 1 {
+			return 0, fmt.Errorf("voting: quality %v of worker %d outside [0, 1]", q, i)
+		}
+		switch {
+		case q == 1:
+			if v == No {
+				infVotes++
+			} else {
+				infVotes--
+			}
+		case q == 0:
+			// A always-wrong worker's vote is certain evidence for the
+			// opposite answer.
+			if v == No {
+				infVotes--
+			} else {
+				infVotes++
+			}
+		default:
+			if v == No {
+				logOdds += math.Log(q) - math.Log(1-q)
+			} else {
+				logOdds += math.Log(1-q) - math.Log(q)
+			}
+		}
+	}
+	switch {
+	case alpha == 0:
+		infVotes--
+	case alpha == 1:
+		infVotes++
+	default:
+		logOdds += math.Log(alpha) - math.Log(1-alpha)
+	}
+	if infVotes > 0 {
+		return math.Inf(1), nil
+	}
+	if infVotes < 0 {
+		return math.Inf(-1), nil
+	}
+	return logOdds, nil
+}
+
+// ---------------------------------------------------------------------------
+// Randomized Majority Voting (RMV) — randomized.
+
+// RandomizedMajority returns 0 with probability equal to the fraction of
+// votes for 0 (Example 1 of the paper; Lacasse et al. [20]).
+type RandomizedMajority struct{}
+
+// Name implements Strategy.
+func (RandomizedMajority) Name() string { return "RMV" }
+
+// Deterministic implements Strategy.
+func (RandomizedMajority) Deterministic() bool { return false }
+
+// ProbZero implements Strategy.
+func (RandomizedMajority) ProbZero(votes []Vote, qualities []float64, alpha float64) (float64, error) {
+	if err := checkInput(votes, qualities, alpha); err != nil {
+		return 0, err
+	}
+	return float64(countZeros(votes)) / float64(len(votes)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Random Ballot Voting (RBV) — randomized.
+
+// RandomBallot ignores the votes entirely and returns 0 or 1 with equal
+// probability ([33]). Its JQ is always 50%, making it the floor in the
+// paper's strategy comparison (Figure 8).
+type RandomBallot struct{}
+
+// Name implements Strategy.
+func (RandomBallot) Name() string { return "RBV" }
+
+// Deterministic implements Strategy.
+func (RandomBallot) Deterministic() bool { return false }
+
+// ProbZero implements Strategy.
+func (RandomBallot) ProbZero(votes []Vote, qualities []float64, alpha float64) (float64, error) {
+	if err := checkInput(votes, qualities, alpha); err != nil {
+		return 0, err
+	}
+	return 0.5, nil
+}
+
+// ---------------------------------------------------------------------------
+// Half Voting — deterministic.
+
+// Half returns 0 when at least half of the votes (n/2, not the strict
+// majority) are for 0, and 1 otherwise ([28]). It differs from Majority only
+// on even jury sizes, where an exact tie yields 0 instead of 1.
+type Half struct{}
+
+// Name implements Strategy.
+func (Half) Name() string { return "HALF" }
+
+// Deterministic implements Strategy.
+func (Half) Deterministic() bool { return true }
+
+// ProbZero implements Strategy.
+func (Half) ProbZero(votes []Vote, qualities []float64, alpha float64) (float64, error) {
+	if err := checkInput(votes, qualities, alpha); err != nil {
+		return 0, err
+	}
+	if 2*countZeros(votes) >= len(votes) {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// ---------------------------------------------------------------------------
+// Weighted Majority Voting (WMV) — deterministic.
+
+// WeightedMajority aggregates votes with per-worker weights and returns the
+// answer with the larger total weight (ties to 0), following Littlestone &
+// Warmuth [23]. With the canonical log-odds weights w_i = ln(q_i/(1−q_i))
+// and a uniform prior it coincides with Bayesian voting; custom weights
+// (e.g. uniform weights = MV) make it a family of strategies.
+type WeightedMajority struct {
+	// Weights are per-worker vote weights. When nil, the canonical
+	// log-odds weights derived from the qualities are used.
+	Weights []float64
+}
+
+// Name implements Strategy.
+func (WeightedMajority) Name() string { return "WMV" }
+
+// Deterministic implements Strategy.
+func (WeightedMajority) Deterministic() bool { return true }
+
+// ProbZero implements Strategy.
+func (s WeightedMajority) ProbZero(votes []Vote, qualities []float64, alpha float64) (float64, error) {
+	score, err := s.score(votes, qualities, alpha)
+	if err != nil {
+		return 0, err
+	}
+	if score >= 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// score is the weighted tally: positive favours answer 0.
+func (s WeightedMajority) score(votes []Vote, qualities []float64, alpha float64) (float64, error) {
+	if err := checkInput(votes, qualities, alpha); err != nil {
+		return 0, err
+	}
+	if s.Weights != nil && len(s.Weights) != len(votes) {
+		return 0, fmt.Errorf("%w: %d votes, %d weights", ErrArityMismatch, len(votes), len(s.Weights))
+	}
+	var score float64
+	for i, v := range votes {
+		w, err := s.weight(i, qualities[i])
+		if err != nil {
+			return 0, err
+		}
+		if v == No {
+			score += w
+		} else {
+			score -= w
+		}
+	}
+	return score, nil
+}
+
+func (s WeightedMajority) weight(i int, q float64) (float64, error) {
+	if s.Weights != nil {
+		return s.Weights[i], nil
+	}
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("voting: canonical WMV weight undefined for quality %v (worker %d)", q, i)
+	}
+	return math.Log(q / (1 - q)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Randomized Weighted Majority Voting (RWMV) — randomized.
+
+// RandomizedWeightedMajority returns 0 with probability proportional to the
+// weighted mass of the 0-votes (the randomized counterpart of WMV [23]).
+// Weights must be non-negative; when nil, weights q_i are used.
+type RandomizedWeightedMajority struct {
+	Weights []float64
+}
+
+// Name implements Strategy.
+func (RandomizedWeightedMajority) Name() string { return "RWMV" }
+
+// Deterministic implements Strategy.
+func (RandomizedWeightedMajority) Deterministic() bool { return false }
+
+// ProbZero implements Strategy.
+func (s RandomizedWeightedMajority) ProbZero(votes []Vote, qualities []float64, alpha float64) (float64, error) {
+	if err := checkInput(votes, qualities, alpha); err != nil {
+		return 0, err
+	}
+	if s.Weights != nil && len(s.Weights) != len(votes) {
+		return 0, fmt.Errorf("%w: %d votes, %d weights", ErrArityMismatch, len(votes), len(s.Weights))
+	}
+	var zeroMass, total float64
+	for i, v := range votes {
+		w := qualities[i]
+		if s.Weights != nil {
+			w = s.Weights[i]
+		}
+		if w < 0 {
+			return 0, fmt.Errorf("voting: negative RWMV weight %v for worker %d", w, i)
+		}
+		total += w
+		if v == No {
+			zeroMass += w
+		}
+	}
+	if total == 0 {
+		return 0.5, nil
+	}
+	return zeroMass / total, nil
+}
+
+// ---------------------------------------------------------------------------
+
+// All returns one instance of every built-in strategy, in the order the
+// paper's Table 2 presents them (deterministic first).
+func All() []Strategy {
+	return []Strategy{
+		Majority{},
+		Half{},
+		Bayesian{},
+		WeightedMajority{},
+		RandomizedMajority{},
+		RandomBallot{},
+		RandomizedWeightedMajority{},
+		TriadicConsensus{},
+	}
+}

@@ -1,0 +1,461 @@
+package voting
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func votes(vs ...int) []Vote {
+	out := make([]Vote, len(vs))
+	for i, v := range vs {
+		out[i] = Vote(v)
+	}
+	return out
+}
+
+func TestVoteBasics(t *testing.T) {
+	if No.Opposite() != Yes || Yes.Opposite() != No {
+		t.Fatal("Opposite is wrong")
+	}
+	if No.String() != "no" || Yes.String() != "yes" {
+		t.Fatal("String is wrong")
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	qs := []float64{0.7, 0.8}
+	for _, s := range All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			if _, err := s.ProbZero(nil, nil, 0.5); !errors.Is(err, ErrEmptyVoting) {
+				t.Errorf("empty voting: err = %v, want ErrEmptyVoting", err)
+			}
+			if _, err := s.ProbZero(votes(0), qs, 0.5); !errors.Is(err, ErrArityMismatch) {
+				t.Errorf("arity: err = %v, want ErrArityMismatch", err)
+			}
+			if _, err := s.ProbZero(votes(0, 1), qs, 1.5); !errors.Is(err, ErrPriorRange) {
+				t.Errorf("prior: err = %v, want ErrPriorRange", err)
+			}
+			if _, err := s.ProbZero(votes(0, 1), qs, math.NaN()); !errors.Is(err, ErrPriorRange) {
+				t.Errorf("NaN prior: err = %v, want ErrPriorRange", err)
+			}
+		})
+	}
+}
+
+func TestDeterministicFlag(t *testing.T) {
+	want := map[string]bool{
+		"MV": true, "HALF": true, "BV": true, "WMV": true,
+		"RMV": false, "RBV": false, "RWMV": false, "TRIADIC": false,
+	}
+	for _, s := range All() {
+		if s.Deterministic() != want[s.Name()] {
+			t.Errorf("%s.Deterministic() = %v, want %v", s.Name(), s.Deterministic(), want[s.Name()])
+		}
+	}
+}
+
+func TestMajority(t *testing.T) {
+	qs3 := []float64{0.9, 0.6, 0.6}
+	tests := []struct {
+		name string
+		v    []Vote
+		want float64
+	}{
+		{"all zeros", votes(0, 0, 0), 1},
+		{"two zeros", votes(0, 0, 1), 1},
+		{"one zero", votes(0, 1, 1), 0},
+		{"no zeros", votes(1, 1, 1), 0},
+	}
+	for _, tt := range tests {
+		got, err := Majority{}.ProbZero(tt.v, qs3, 0.5)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.name, err)
+		}
+		if got != tt.want {
+			t.Errorf("%s: ProbZero = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestMajorityEvenTieGoesToOne(t *testing.T) {
+	// Paper Example 1: result is 0 only when Σ(1−v_i) ≥ (n+1)/2. For n=4 a
+	// 2–2 tie gives Σ = 2 < 2.5, so the answer is 1.
+	qs := []float64{0.7, 0.7, 0.7, 0.7}
+	got, err := Majority{}.ProbZero(votes(0, 0, 1, 1), qs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("even tie: ProbZero = %v, want 0 (answer 1)", got)
+	}
+}
+
+func TestHalfEvenTieGoesToZero(t *testing.T) {
+	qs := []float64{0.7, 0.7, 0.7, 0.7}
+	got, err := Half{}.ProbZero(votes(0, 0, 1, 1), qs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("even tie: ProbZero = %v, want 1 (answer 0)", got)
+	}
+}
+
+func TestHalfAndMajorityAgreeOnOddJuries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2*rng.Intn(5) + 1 // odd n in [1, 9]
+		v := make([]Vote, n)
+		qs := make([]float64, n)
+		for i := range v {
+			v[i] = Vote(rng.Intn(2))
+			qs[i] = 0.5 + rng.Float64()/2
+		}
+		mv, _ := Majority{}.ProbZero(v, qs, 0.5)
+		hv, _ := Half{}.ProbZero(v, qs, 0.5)
+		if mv != hv {
+			t.Fatalf("odd jury n=%d votes=%v: MV=%v HALF=%v", n, v, mv, hv)
+		}
+	}
+}
+
+func TestBayesianPaperExample(t *testing.T) {
+	// Section 3.3: α=0.5, qualities .9/.6/.6, votes {0,1,1}. BV returns 0
+	// because 0.5·0.9·0.4·0.4 > 0.5·0.1·0.6·0.6, while MV returns 1.
+	qs := []float64{0.9, 0.6, 0.6}
+	v := votes(0, 1, 1)
+	bv, err := Bayesian{}.ProbZero(v, qs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv != 1 {
+		t.Errorf("BV ProbZero = %v, want 1 (answer 0)", bv)
+	}
+	mv, _ := Majority{}.ProbZero(v, qs, 0.5)
+	if mv != 0 {
+		t.Errorf("MV ProbZero = %v, want 0 (answer 1)", mv)
+	}
+}
+
+func TestBayesianFigure2Row(t *testing.T) {
+	// Figure 2 / Example 3: V={1,0,0}: P0 = 0.5·0.1·0.6·0.6 = 0.018 <
+	// P1 = 0.5·0.9·0.4·0.4 = 0.072, so BV(V) = 1.
+	qs := []float64{0.9, 0.6, 0.6}
+	got, err := Bayesian{}.ProbZero(votes(1, 0, 0), qs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("BV({1,0,0}) ProbZero = %v, want 0 (answer 1)", got)
+	}
+}
+
+func TestBayesianRespectsPrior(t *testing.T) {
+	// A single 0.6-quality worker votes 1, but a strong prior for 0 wins:
+	// α·(1−q) = 0.9·0.4 = 0.36 vs (1−α)·q = 0.1·0.6 = 0.06.
+	got, err := Bayesian{}.ProbZero(votes(1), []float64{0.6}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("strong prior: ProbZero = %v, want 1 (answer 0)", got)
+	}
+	// With a weak prior the vote wins.
+	got, err = Bayesian{}.ProbZero(votes(1), []float64{0.6}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("uniform prior: ProbZero = %v, want 0 (answer 1)", got)
+	}
+}
+
+func TestBayesianTieGoesToZero(t *testing.T) {
+	// One q=0.7 worker votes 0, another votes 1: posterior is exactly tied.
+	got, err := Bayesian{}.ProbZero(votes(0, 1), []float64{0.7, 0.7}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("tie: ProbZero = %v, want 1 (answer 0)", got)
+	}
+}
+
+func TestBayesianLowQualityWorkerFlipsEvidence(t *testing.T) {
+	// A q=0.2 worker voting 1 is evidence FOR 0 (paper §3.3 footnote).
+	got, err := Bayesian{}.ProbZero(votes(1), []float64{0.2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("q<0.5 vote 1: ProbZero = %v, want 1 (answer 0)", got)
+	}
+}
+
+func TestBayesianCertainWorkers(t *testing.T) {
+	// q=1 worker forces the answer.
+	got, err := Bayesian{}.ProbZero(votes(1, 0, 0), []float64{1, 0.6, 0.6}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("certain worker: ProbZero = %v, want 0 (answer 1)", got)
+	}
+	// Two conflicting certain workers cancel; the remaining evidence decides.
+	got, err = Bayesian{}.ProbZero(votes(1, 0, 0), []float64{1, 1, 0.8}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("cancelled certainty: ProbZero = %v, want 1 (answer 0)", got)
+	}
+	// q=0 worker voting 1 is certain evidence for 0.
+	got, err = Bayesian{}.ProbZero(votes(1), []float64{0}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("q=0 worker: ProbZero = %v, want 1 (answer 0)", got)
+	}
+}
+
+func TestBayesianExtremePriors(t *testing.T) {
+	qs := []float64{0.9}
+	got, err := Bayesian{}.ProbZero(votes(1), qs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("alpha=1: ProbZero = %v, want 1", got)
+	}
+	got, err = Bayesian{}.ProbZero(votes(0), qs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("alpha=0: ProbZero = %v, want 0", got)
+	}
+}
+
+func TestPosteriorLogOddsFinite(t *testing.T) {
+	d, err := PosteriorLogOdds(votes(0, 0), []float64{0.8, 0.7}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(0.8/0.2) + math.Log(0.7/0.3)
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("log odds = %v, want %v", d, want)
+	}
+}
+
+func TestPosteriorLogOddsRejectsBadQuality(t *testing.T) {
+	if _, err := PosteriorLogOdds(votes(0), []float64{1.5}, 0.5); err == nil {
+		t.Fatal("no error for quality 1.5")
+	}
+}
+
+func TestRandomizedMajority(t *testing.T) {
+	qs := []float64{0.7, 0.7, 0.7, 0.7}
+	got, err := RandomizedMajority{}.ProbZero(votes(0, 0, 0, 1), qs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.75 {
+		t.Fatalf("ProbZero = %v, want 0.75", got)
+	}
+}
+
+func TestRandomBallotIsAlwaysHalf(t *testing.T) {
+	got, err := RandomBallot{}.ProbZero(votes(0, 0, 0), []float64{0.9, 0.9, 0.9}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Fatalf("ProbZero = %v, want 0.5", got)
+	}
+}
+
+func TestWeightedMajorityCanonicalMatchesBayesianAtUniformPrior(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(7) + 1
+		v := make([]Vote, n)
+		qs := make([]float64, n)
+		for i := range v {
+			v[i] = Vote(rng.Intn(2))
+			qs[i] = 0.05 + 0.9*rng.Float64() // avoid 0/1 (undefined weight)
+		}
+		wmv, err := WeightedMajority{}.ProbZero(v, qs, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bv, err := Bayesian{}.ProbZero(v, qs, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wmv != bv {
+			t.Fatalf("WMV=%v BV=%v for votes=%v quals=%v", wmv, bv, v, qs)
+		}
+	}
+}
+
+func TestWeightedMajorityUniformWeightsMatchHalf(t *testing.T) {
+	// Unit weights reduce WMV's tally to (#zeros − #ones); score ≥ 0 iff
+	// #zeros ≥ n/2, which is exactly the Half strategy's rule.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(8) + 1
+		v := make([]Vote, n)
+		qs := make([]float64, n)
+		ws := make([]float64, n)
+		for i := range v {
+			v[i] = Vote(rng.Intn(2))
+			qs[i] = 0.5 + rng.Float64()/2
+			ws[i] = 1
+		}
+		wmv, err := WeightedMajority{Weights: ws}.ProbZero(v, qs, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hv, _ := Half{}.ProbZero(v, qs, 0.5)
+		if wmv != hv {
+			t.Fatalf("n=%d votes=%v: WMV(unit)=%v HALF=%v", n, v, wmv, hv)
+		}
+	}
+}
+
+func TestWeightedMajorityErrors(t *testing.T) {
+	if _, err := (WeightedMajority{Weights: []float64{1}}).ProbZero(votes(0, 1), []float64{0.7, 0.7}, 0.5); !errors.Is(err, ErrArityMismatch) {
+		t.Errorf("weight arity: err = %v", err)
+	}
+	if _, err := (WeightedMajority{}).ProbZero(votes(0), []float64{1}, 0.5); err == nil {
+		t.Error("no error for canonical weight at q=1")
+	}
+}
+
+func TestRandomizedWeightedMajority(t *testing.T) {
+	qs := []float64{0.9, 0.1}
+	got, err := RandomizedWeightedMajority{}.ProbZero(votes(0, 1), qs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.9) > 1e-15 {
+		t.Fatalf("ProbZero = %v, want 0.9", got)
+	}
+	// Zero total weight degenerates to a coin flip.
+	got, err = RandomizedWeightedMajority{Weights: []float64{0, 0}}.ProbZero(votes(0, 1), qs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Fatalf("zero weights: ProbZero = %v, want 0.5", got)
+	}
+	if _, err := (RandomizedWeightedMajority{Weights: []float64{-1, 1}}).ProbZero(votes(0, 1), qs, 0.5); err == nil {
+		t.Fatal("no error for negative weight")
+	}
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	qs := []float64{0.9, 0.6, 0.6}
+	got, err := Decide(Bayesian{}, votes(0, 1, 1), qs, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != No {
+		t.Fatalf("Decide = %v, want no", got)
+	}
+}
+
+func TestDecideRandomizedNeedsRNG(t *testing.T) {
+	qs := []float64{0.7, 0.7}
+	if _, err := Decide(RandomBallot{}, votes(0, 1), qs, 0.5, nil); err == nil {
+		t.Fatal("no error for randomized strategy without rng")
+	}
+}
+
+func TestDecideRandomizedFrequency(t *testing.T) {
+	qs := []float64{0.7, 0.7, 0.7, 0.7}
+	v := votes(0, 0, 0, 1) // ProbZero = 0.75 under RMV
+	rng := rand.New(rand.NewSource(5))
+	zeros := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		d, err := Decide(RandomizedMajority{}, v, qs, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == No {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / trials
+	if math.Abs(frac-0.75) > 0.02 {
+		t.Fatalf("empirical P(0) = %v, want ~0.75", frac)
+	}
+}
+
+// Property: every strategy's ProbZero stays in [0, 1] on valid input, and
+// deterministic strategies return exactly 0 or 1.
+func TestProbZeroRangeProperty(t *testing.T) {
+	strategies := All()
+	f := func(seed int64, n uint8, alphaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%10) + 1
+		v := make([]Vote, size)
+		qs := make([]float64, size)
+		for i := range v {
+			v[i] = Vote(rng.Intn(2))
+			qs[i] = 0.05 + 0.9*rng.Float64()
+		}
+		alpha := float64(alphaRaw) / 255
+		for _, s := range strategies {
+			p, err := s.ProbZero(v, qs, alpha)
+			if err != nil {
+				return false
+			}
+			if p < 0 || p > 1 {
+				return false
+			}
+			if s.Deterministic() && p != 0 && p != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BV is symmetric — flipping all votes and the prior flips the
+// answer, except on posterior ties (where the 0-tie-break wins both ways).
+func TestBayesianSymmetryProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%8) + 1
+		v := make([]Vote, size)
+		flipped := make([]Vote, size)
+		qs := make([]float64, size)
+		for i := range v {
+			v[i] = Vote(rng.Intn(2))
+			flipped[i] = v[i].Opposite()
+			qs[i] = 0.05 + 0.9*rng.Float64()
+		}
+		alpha := rng.Float64()
+		d1, err := PosteriorLogOdds(v, qs, alpha)
+		if err != nil {
+			return false
+		}
+		d2, err := PosteriorLogOdds(flipped, qs, 1-alpha)
+		if err != nil {
+			return false
+		}
+		return math.Abs(d1+d2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package worker defines the crowdsourcing worker model used throughout the
+// repository: a worker answering a binary decision-making task is described by
+// a quality q ∈ [0, 1] (the probability of voting for the task's latent true
+// answer) and a non-negative monetary cost (the incentive required per vote).
+//
+// The model follows Section 2.1 of Zheng et al., "On Optimality of Jury
+// Selection in Crowdsourcing" (EDBT 2015). Worker votes are assumed
+// independent given the true answer.
+package worker
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Quality bounds used by validation. Qualities strictly above MaxQuality are
+// still legal inputs for JQ estimation, but the estimator short-circuits them
+// (see the jq package); the synthetic generators clamp into this range.
+const (
+	MinQuality = 0.0
+	MaxQuality = 1.0
+)
+
+// Errors returned by validation.
+var (
+	ErrQualityRange = errors.New("worker: quality outside [0, 1]")
+	ErrNegativeCost = errors.New("worker: negative cost")
+	ErrEmptyPool    = errors.New("worker: empty pool")
+)
+
+// Worker is a single crowd worker.
+type Worker struct {
+	// ID is an optional human-readable identifier ("A", "w17", ...).
+	ID string
+	// Quality is the probability the worker votes for the true answer.
+	Quality float64
+	// Cost is the monetary incentive required for one vote.
+	Cost float64
+}
+
+// Validate reports whether the worker's parameters are in range.
+func (w Worker) Validate() error {
+	if w.Quality < MinQuality || w.Quality > MaxQuality ||
+		w.Quality != w.Quality { // NaN
+		return fmt.Errorf("%w: worker %q has quality %v", ErrQualityRange, w.ID, w.Quality)
+	}
+	if w.Cost < 0 || w.Cost != w.Cost {
+		return fmt.Errorf("%w: worker %q has cost %v", ErrNegativeCost, w.ID, w.Cost)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (w Worker) String() string {
+	if w.ID != "" {
+		return fmt.Sprintf("%s(q=%.3f,c=%.3f)", w.ID, w.Quality, w.Cost)
+	}
+	return fmt.Sprintf("(q=%.3f,c=%.3f)", w.Quality, w.Cost)
+}
+
+// Pool is an ordered collection of candidate workers. A jury is itself a
+// Pool: the subset of candidates chosen to vote.
+type Pool []Worker
+
+// NewPool builds a pool from parallel quality and cost slices, assigning
+// sequential IDs w0, w1, ... It panics if the slices have different lengths;
+// this is a programming error, not an input error.
+func NewPool(qualities, costs []float64) Pool {
+	if len(qualities) != len(costs) {
+		panic(fmt.Sprintf("worker: NewPool length mismatch: %d qualities, %d costs",
+			len(qualities), len(costs)))
+	}
+	p := make(Pool, len(qualities))
+	for i := range qualities {
+		p[i] = Worker{ID: fmt.Sprintf("w%d", i), Quality: qualities[i], Cost: costs[i]}
+	}
+	return p
+}
+
+// UniformCost builds a pool in which every worker has the same cost.
+func UniformCost(qualities []float64, cost float64) Pool {
+	p := make(Pool, len(qualities))
+	for i, q := range qualities {
+		p[i] = Worker{ID: fmt.Sprintf("w%d", i), Quality: q, Cost: cost}
+	}
+	return p
+}
+
+// Validate checks every worker in the pool.
+func (p Pool) Validate() error {
+	if len(p) == 0 {
+		return ErrEmptyPool
+	}
+	for i, w := range p {
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Qualities returns the workers' qualities in pool order.
+func (p Pool) Qualities() []float64 {
+	qs := make([]float64, len(p))
+	for i, w := range p {
+		qs[i] = w.Quality
+	}
+	return qs
+}
+
+// Costs returns the workers' costs in pool order.
+func (p Pool) Costs() []float64 {
+	cs := make([]float64, len(p))
+	for i, w := range p {
+		cs[i] = w.Cost
+	}
+	return cs
+}
+
+// TotalCost is the jury cost: the sum of the members' costs.
+func (p Pool) TotalCost() float64 {
+	var sum float64
+	for _, w := range p {
+		sum += w.Cost
+	}
+	return sum
+}
+
+// MeanQuality returns the average quality, or 0 for an empty pool.
+func (p Pool) MeanQuality() float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, w := range p {
+		sum += w.Quality
+	}
+	return sum / float64(len(p))
+}
+
+// MaxQuality returns the highest quality in the pool, or 0 if empty.
+func (p Pool) MaxQuality() float64 {
+	var best float64
+	for _, w := range p {
+		if w.Quality > best {
+			best = w.Quality
+		}
+	}
+	return best
+}
+
+// Clone returns a deep copy of the pool.
+func (p Pool) Clone() Pool {
+	out := make(Pool, len(p))
+	copy(out, p)
+	return out
+}
+
+// Subset returns the pool restricted to the given indices, in the given
+// order. It panics on out-of-range indices.
+func (p Pool) Subset(indices []int) Pool {
+	out := make(Pool, len(indices))
+	for i, idx := range indices {
+		out[i] = p[idx]
+	}
+	return out
+}
+
+// SortByQualityDesc returns a copy sorted by decreasing quality, breaking
+// ties by increasing cost (cheaper first) and then by pool order so the sort
+// is deterministic.
+func (p Pool) SortByQualityDesc() Pool {
+	out := p.Clone()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Quality != out[j].Quality {
+			return out[i].Quality > out[j].Quality
+		}
+		return out[i].Cost < out[j].Cost
+	})
+	return out
+}
+
+// SortByCostAsc returns a copy sorted by increasing cost, breaking ties by
+// decreasing quality.
+func (p Pool) SortByCostAsc() Pool {
+	out := p.Clone()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		return out[i].Quality > out[j].Quality
+	})
+	return out
+}
+
+// Affordable reports whether the pool's total cost fits within budget.
+func (p Pool) Affordable(budget float64) bool {
+	return p.TotalCost() <= budget
+}
+
+// String renders the pool compactly, e.g. "[A(q=0.770,c=9.000) ...]".
+func (p Pool) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, w := range p {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(w.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Normalize maps every worker with quality below 0.5 to its reinterpreted
+// counterpart with quality 1−q (Section 3.3 of the paper: a vote by a worker
+// with q < 0.5 carries the same information as the opposite vote by a worker
+// with quality 1−q). The returned flipped slice marks which workers were
+// reinterpreted so vote streams can be adjusted consistently.
+//
+// Jury Quality under Bayesian Voting is invariant under this transformation,
+// which is exploited by the approximation algorithm in package jq.
+func (p Pool) Normalize() (normalized Pool, flipped []bool) {
+	normalized = p.Clone()
+	flipped = make([]bool, len(p))
+	for i, w := range normalized {
+		if w.Quality < 0.5 {
+			normalized[i].Quality = 1 - w.Quality
+			flipped[i] = true
+		}
+	}
+	return normalized, flipped
+}

@@ -1,0 +1,273 @@
+package worker
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkerValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		w    Worker
+		want error
+	}{
+		{"valid", Worker{ID: "a", Quality: 0.7, Cost: 1}, nil},
+		{"boundary low quality", Worker{Quality: 0, Cost: 0}, nil},
+		{"boundary high quality", Worker{Quality: 1, Cost: 0}, nil},
+		{"quality too high", Worker{Quality: 1.01, Cost: 1}, ErrQualityRange},
+		{"quality negative", Worker{Quality: -0.1, Cost: 1}, ErrQualityRange},
+		{"quality NaN", Worker{Quality: math.NaN(), Cost: 1}, ErrQualityRange},
+		{"negative cost", Worker{Quality: 0.5, Cost: -1}, ErrNegativeCost},
+		{"NaN cost", Worker{Quality: 0.5, Cost: math.NaN()}, ErrNegativeCost},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.w.Validate()
+			if tt.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(%v)", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestPoolValidateEmpty(t *testing.T) {
+	var p Pool
+	if err := p.Validate(); !errors.Is(err, ErrEmptyPool) {
+		t.Fatalf("Validate() = %v, want ErrEmptyPool", err)
+	}
+}
+
+func TestPoolValidateReportsIndex(t *testing.T) {
+	p := Pool{{Quality: 0.5, Cost: 1}, {Quality: 2, Cost: 1}}
+	err := p.Validate()
+	if !errors.Is(err, ErrQualityRange) {
+		t.Fatalf("Validate() = %v, want ErrQualityRange", err)
+	}
+}
+
+func TestNewPool(t *testing.T) {
+	p := NewPool([]float64{0.7, 0.8}, []float64{1, 2})
+	if len(p) != 2 {
+		t.Fatalf("len = %d, want 2", len(p))
+	}
+	if p[0].ID != "w0" || p[1].ID != "w1" {
+		t.Errorf("IDs = %q, %q, want w0, w1", p[0].ID, p[1].ID)
+	}
+	if p[1].Quality != 0.8 || p[1].Cost != 2 {
+		t.Errorf("p[1] = %v, want q=0.8 c=2", p[1])
+	}
+}
+
+func TestNewPoolPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool did not panic on length mismatch")
+		}
+	}()
+	NewPool([]float64{0.7}, []float64{1, 2})
+}
+
+func TestUniformCost(t *testing.T) {
+	p := UniformCost([]float64{0.6, 0.7, 0.8}, 3)
+	for i, w := range p {
+		if w.Cost != 3 {
+			t.Errorf("worker %d cost = %v, want 3", i, w.Cost)
+		}
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	p := NewPool([]float64{0.7, 0.8, 0.9}, []float64{5, 5, 2})
+	if got := p.TotalCost(); got != 12 {
+		t.Fatalf("TotalCost = %v, want 12", got)
+	}
+	if !p.Affordable(12) {
+		t.Error("Affordable(12) = false, want true")
+	}
+	if p.Affordable(11.999) {
+		t.Error("Affordable(11.999) = true, want false")
+	}
+}
+
+func TestMeanQuality(t *testing.T) {
+	p := UniformCost([]float64{0.6, 0.8}, 1)
+	if got := p.MeanQuality(); math.Abs(got-0.7) > 1e-15 {
+		t.Fatalf("MeanQuality = %v, want 0.7", got)
+	}
+	var empty Pool
+	if got := empty.MeanQuality(); got != 0 {
+		t.Fatalf("empty MeanQuality = %v, want 0", got)
+	}
+}
+
+func TestMaxQuality(t *testing.T) {
+	p := UniformCost([]float64{0.6, 0.93, 0.8}, 1)
+	if got := p.MaxQuality(); got != 0.93 {
+		t.Fatalf("MaxQuality = %v, want 0.93", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := NewPool([]float64{0.7}, []float64{1})
+	c := p.Clone()
+	c[0].Quality = 0.9
+	if p[0].Quality != 0.7 {
+		t.Fatal("Clone shares backing storage with original")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	p := NewPool([]float64{0.5, 0.6, 0.7, 0.8}, []float64{1, 2, 3, 4})
+	s := p.Subset([]int{3, 1})
+	if len(s) != 2 || s[0].Quality != 0.8 || s[1].Quality != 0.6 {
+		t.Fatalf("Subset = %v", s)
+	}
+}
+
+func TestSortByQualityDesc(t *testing.T) {
+	p := NewPool([]float64{0.6, 0.9, 0.7, 0.9}, []float64{1, 5, 2, 3})
+	s := p.SortByQualityDesc()
+	wantQ := []float64{0.9, 0.9, 0.7, 0.6}
+	for i, w := range s {
+		if w.Quality != wantQ[i] {
+			t.Fatalf("sorted qualities = %v, want %v", s.Qualities(), wantQ)
+		}
+	}
+	// Tie between the two 0.9 workers: cheaper first.
+	if s[0].Cost != 3 || s[1].Cost != 5 {
+		t.Fatalf("tie-break by cost failed: %v", s)
+	}
+	// Original untouched.
+	if p[0].Quality != 0.6 {
+		t.Fatal("SortByQualityDesc mutated the receiver")
+	}
+}
+
+func TestSortByCostAsc(t *testing.T) {
+	p := NewPool([]float64{0.6, 0.9, 0.7}, []float64{3, 1, 1})
+	s := p.SortByCostAsc()
+	if s[0].Cost != 1 || s[1].Cost != 1 || s[2].Cost != 3 {
+		t.Fatalf("sorted costs = %v", s.Costs())
+	}
+	// Tie at cost 1: higher quality first.
+	if s[0].Quality != 0.9 {
+		t.Fatalf("tie-break by quality failed: %v", s)
+	}
+}
+
+func TestQualitiesCostsRoundTrip(t *testing.T) {
+	qs := []float64{0.55, 0.66, 0.77}
+	cs := []float64{1, 2, 3}
+	p := NewPool(qs, cs)
+	gotQ, gotC := p.Qualities(), p.Costs()
+	for i := range qs {
+		if gotQ[i] != qs[i] || gotC[i] != cs[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestNormalizeFlipsLowQuality(t *testing.T) {
+	p := NewPool([]float64{0.3, 0.5, 0.8}, []float64{1, 1, 1})
+	n, flipped := p.Normalize()
+	if n[0].Quality != 0.7 || !flipped[0] {
+		t.Errorf("worker 0: quality=%v flipped=%v, want 0.7/true", n[0].Quality, flipped[0])
+	}
+	if n[1].Quality != 0.5 || flipped[1] {
+		t.Errorf("worker 1: quality=%v flipped=%v, want 0.5/false", n[1].Quality, flipped[1])
+	}
+	if n[2].Quality != 0.8 || flipped[2] {
+		t.Errorf("worker 2: quality=%v flipped=%v, want 0.8/false", n[2].Quality, flipped[2])
+	}
+	if p[0].Quality != 0.3 {
+		t.Error("Normalize mutated the receiver")
+	}
+}
+
+func TestStringContainsID(t *testing.T) {
+	w := Worker{ID: "A", Quality: 0.77, Cost: 9}
+	if got := w.String(); got != "A(q=0.770,c=9.000)" {
+		t.Fatalf("String = %q", got)
+	}
+	anon := Worker{Quality: 0.5, Cost: 1}
+	if got := anon.String(); got != "(q=0.500,c=1.000)" {
+		t.Fatalf("anonymous String = %q", got)
+	}
+}
+
+func TestPoolString(t *testing.T) {
+	p := Pool{{ID: "A", Quality: 0.7, Cost: 5}, {ID: "B", Quality: 0.8, Cost: 6}}
+	want := "[A(q=0.700,c=5.000) B(q=0.800,c=6.000)]"
+	if got := p.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+// Property: sorting never changes the multiset of workers.
+func TestSortPreservesMultisetProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%20) + 1
+		p := make(Pool, size)
+		for i := range p {
+			p[i] = Worker{Quality: rng.Float64(), Cost: rng.Float64() * 10}
+		}
+		s := p.SortByQualityDesc()
+		a, b := p.Qualities(), s.Qualities()
+		sort.Float64s(a)
+		sort.Float64s(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		// Must be non-increasing.
+		for i := 1; i < len(s); i++ {
+			if s[i].Quality > s[i-1].Quality {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Normalize is idempotent and never yields quality < 0.5.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%20) + 1
+		p := make(Pool, size)
+		for i := range p {
+			p[i] = Worker{Quality: rng.Float64(), Cost: 1}
+		}
+		n1, _ := p.Normalize()
+		for _, w := range n1 {
+			if w.Quality < 0.5 {
+				return false
+			}
+		}
+		n2, flipped2 := n1.Normalize()
+		for i := range n2 {
+			if n2[i].Quality != n1[i].Quality || flipped2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+// Package batch allocates one global budget across many tasks, running
+// the optimal jury selection per task under the allocated share. It is
+// the deployment-level layer above jury.Select: a provider with 600
+// questions and one purse first decides how much each question deserves.
+package batch
+
+import (
+	"repro/internal/batch"
+)
+
+// Task is one decision-making task: its candidate pool and prior.
+type Task = batch.Task
+
+// Allocation is the per-task outcome; Result the whole batch.
+type (
+	Allocation = batch.Allocation
+	Result     = batch.Result
+)
+
+// Allocator distributes a global budget over tasks.
+type Allocator = batch.Allocator
+
+// Even splits the budget equally across tasks.
+func Even() Allocator { return batch.Even{} }
+
+// WeightedByPrior gives uncertain tasks (prior near ½) more budget,
+// proportional to prior entropy.
+func WeightedByPrior() Allocator { return batch.WeightedByPrior{} }
+
+// GreedyMarginal spends the budget in increments, each on the task whose
+// jury improves the most — usually the strongest allocator on
+// heterogeneous batches. steps 0 selects 20 increments.
+func GreedyMarginal(steps int) Allocator { return batch.GreedyMarginal{Steps: steps} }

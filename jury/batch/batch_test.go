@@ -1,0 +1,34 @@
+package batch_test
+
+import (
+	"testing"
+
+	"repro/jury"
+	"repro/jury/batch"
+)
+
+func TestPublicBatchAllocation(t *testing.T) {
+	mk := func(qs ...float64) jury.Pool {
+		return jury.UniformCostPool(qs, 0.05)
+	}
+	tasks := []batch.Task{
+		{Name: "t1", Pool: mk(0.9, 0.7, 0.6), Alpha: 0.5},
+		{Name: "t2", Pool: mk(0.6, 0.6, 0.55), Alpha: 0.5},
+		{Name: "t3", Pool: mk(0.8, 0.75), Alpha: 0.9},
+	}
+	for _, a := range []batch.Allocator{batch.Even(), batch.WeightedByPrior(), batch.GreedyMarginal(0)} {
+		res, err := a.Allocate(tasks, 0.3, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if res.SpentBudget > 0.3+1e-9 {
+			t.Errorf("%s: spent %v over budget", a.Name(), res.SpentBudget)
+		}
+		if len(res.Allocations) != 3 {
+			t.Errorf("%s: %d allocations", a.Name(), len(res.Allocations))
+		}
+		if res.MeanJQ < 0.5 {
+			t.Errorf("%s: MeanJQ = %v", a.Name(), res.MeanJQ)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package jury_test
+
+import (
+	"fmt"
+
+	"repro/jury"
+)
+
+// The paper's Figure 1 pool: seven workers with (quality, cost).
+func examplePool() jury.Pool {
+	return jury.Pool{
+		{ID: "A", Quality: 0.77, Cost: 9},
+		{ID: "B", Quality: 0.70, Cost: 5},
+		{ID: "C", Quality: 0.80, Cost: 6},
+		{ID: "D", Quality: 0.65, Cost: 7},
+		{ID: "E", Quality: 0.60, Cost: 5},
+		{ID: "F", Quality: 0.60, Cost: 2},
+		{ID: "G", Quality: 0.75, Cost: 3},
+	}
+}
+
+func ExampleSelect() {
+	res, err := jury.Select(examplePool(), 15, jury.UniformPrior, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, w := range res.Jury {
+		fmt.Printf("%s ", w.ID)
+	}
+	fmt.Printf("JQ=%.3f cost=%.0f\n", res.JQ, res.Cost)
+	// Output: B C G JQ=0.845 cost=14
+}
+
+func ExampleJQ() {
+	// The Figure 2 jury: majority voting versus the optimal strategy.
+	j := jury.UniformCostPool([]float64{0.9, 0.6, 0.6}, 1)
+	mv, _ := jury.JQ(j, jury.Majority(), jury.UniformPrior)
+	bv, _ := jury.JQ(j, jury.Bayesian(), jury.UniformPrior)
+	fmt.Printf("MV=%.3f BV=%.3f\n", mv, bv)
+	// Output: MV=0.792 BV=0.900
+}
+
+func ExampleEstimateJQ() {
+	j := jury.UniformCostPool([]float64{0.9, 0.6, 0.6}, 1)
+	est, _ := jury.EstimateJQ(j, jury.UniformPrior, 600) // 200 buckets per worker
+	fmt.Printf("JQ=%.3f (error < %.4f)\n", est.JQ, est.Bound)
+	// Output: JQ=0.900 (error < 0.0028)
+}
+
+func ExampleDecide() {
+	// A strong worker votes "no"; two weak workers vote "yes".
+	votes := []jury.Vote{jury.No, jury.Yes, jury.Yes}
+	qualities := []float64{0.9, 0.6, 0.6}
+	decision, _ := jury.Decide(jury.Bayesian(), votes, qualities, jury.UniformPrior, nil)
+	confidence, _ := jury.Confidence(votes, qualities, jury.UniformPrior)
+	fmt.Printf("%v (%.0f%%)\n", decision, 100*confidence)
+	// Output: no (80%)
+}
+
+func ExampleSystem_budgetQualityTable() {
+	sys := jury.NewSystem(jury.UniformPrior, 1)
+	rows, err := sys.BudgetQualityTable(examplePool(), []float64{5, 15})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, row := range rows {
+		fmt.Printf("B=%.0f JQ=%.3f pays=%.0f\n", row.Budget, row.JQ, row.RequiredBudget)
+	}
+	// Output:
+	// B=5 JQ=0.750 pays=3
+	// B=15 JQ=0.845 pays=14
+}
+
+func ExampleSystem_minBudget() {
+	sys := jury.NewSystem(jury.UniformPrior, 1)
+	row, err := sys.MinBudget(examplePool(), 0.84, 0.05)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("JQ=%.3f pays=%.0f\n", row.JQ, row.RequiredBudget)
+	// Output: JQ=0.845 pays=14
+}

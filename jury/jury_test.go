@@ -1,0 +1,173 @@
+package jury_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/jury"
+)
+
+func figure1Pool() jury.Pool {
+	return jury.NewPool(
+		[]float64{0.77, 0.70, 0.80, 0.65, 0.60, 0.60, 0.75},
+		[]float64{9, 5, 6, 7, 5, 2, 3},
+	)
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	pool := figure1Pool()
+	res, err := jury.Select(pool, 15, jury.UniformPrior, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 15 {
+		t.Fatalf("cost %v exceeds budget", res.Cost)
+	}
+	if math.Abs(res.JQ-0.845) > 0.005 {
+		t.Fatalf("JQ = %v, want ≈0.845", res.JQ)
+	}
+	// Aggregate some votes with the optimal strategy.
+	votes := []jury.Vote{jury.No, jury.Yes, jury.No}
+	quals := res.Jury.Qualities()
+	decision, err := jury.Decide(jury.Bayesian(), votes, quals, jury.UniformPrior, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := jury.Confidence(votes, quals, jury.UniformPrior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decision != jury.No && decision != jury.Yes {
+		t.Fatalf("decision = %v", decision)
+	}
+	if conf < 0.5 || conf > 1 {
+		t.Fatalf("confidence = %v, want in [0.5, 1]", conf)
+	}
+}
+
+func TestPublicJQMatchesPaperExample(t *testing.T) {
+	j := jury.UniformCostPool([]float64{0.9, 0.6, 0.6}, 1)
+	bv, err := jury.JQ(j, jury.Bayesian(), jury.UniformPrior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := jury.JQ(j, jury.Majority(), jury.UniformPrior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bv-0.9) > 1e-12 || math.Abs(mv-0.792) > 1e-12 {
+		t.Fatalf("JQ(BV) = %v, JQ(MV) = %v; want 0.90 / 0.792", bv, mv)
+	}
+}
+
+func TestPublicEstimateJQ(t *testing.T) {
+	j := jury.UniformCostPool([]float64{0.9, 0.6, 0.6}, 1)
+	est, err := jury.EstimateJQ(j, jury.UniformPrior, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.JQ-0.9) > 0.005 {
+		t.Fatalf("estimate = %v, want ≈0.90", est.JQ)
+	}
+	if est.JQ > 0.9+1e-9 {
+		t.Fatalf("estimate %v exceeds the true JQ", est.JQ)
+	}
+}
+
+func TestPublicSelectDominatesMajorityBaseline(t *testing.T) {
+	pool := figure1Pool()
+	opt, err := jury.Select(pool, 15, jury.UniformPrior, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, err := jury.SelectMajority(pool, 15, jury.UniformPrior, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optTrue, err := jury.JQ(opt.Jury, jury.Bayesian(), jury.UniformPrior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvTrue, err := jury.JQ(mv.Jury, jury.Bayesian(), jury.UniformPrior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optTrue < mvTrue-1e-9 {
+		t.Fatalf("Select (%v) below SelectMajority (%v) under BV", optTrue, mvTrue)
+	}
+}
+
+func TestPublicSelectors(t *testing.T) {
+	pool := figure1Pool()
+	for _, sel := range []jury.Selector{
+		jury.NewExhaustive(),
+		jury.NewExhaustiveExact(),
+		jury.NewAnnealing(3),
+		jury.NewGreedyQuality(),
+	} {
+		res, err := sel.Select(pool, 12, jury.UniformPrior)
+		if err != nil {
+			t.Fatalf("%s: %v", sel.Name(), err)
+		}
+		if res.Cost > 12 {
+			t.Fatalf("%s: cost %v over budget", sel.Name(), res.Cost)
+		}
+	}
+}
+
+func TestPublicSystemBudgetQualityTable(t *testing.T) {
+	sys := jury.NewSystem(jury.UniformPrior, 1)
+	rows, err := sys.BudgetQualityTable(figure1Pool(), []float64{5, 10, 15, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].JQ < rows[i-1].JQ-1e-9 {
+			t.Fatal("budget–quality table not monotone")
+		}
+	}
+}
+
+func TestPublicStrategiesList(t *testing.T) {
+	if len(jury.Strategies()) < 6 {
+		t.Fatalf("Strategies() returned %d entries", len(jury.Strategies()))
+	}
+}
+
+func TestPublicRandomizedDecide(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	votes := []jury.Vote{jury.No, jury.Yes}
+	quals := []float64{0.7, 0.7}
+	if _, err := jury.Decide(jury.RandomBallot(), votes, quals, 0.5, rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jury.Decide(jury.RandomizedMajority(), votes, quals, 0.5, rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jury.Decide(jury.TriadicConsensus(0), votes, quals, 0.5, rng); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicExactJQIterative(t *testing.T) {
+	// A 101-worker homogeneous jury: exact at a size the 2^n path refuses.
+	qs := make([]float64, 101)
+	for i := range qs {
+		qs[i] = 0.6
+	}
+	j := jury.UniformCostPool(qs, 1)
+	got, err := jury.ExactJQIterative(j, jury.UniformPrior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.97 || got > 1 {
+		t.Fatalf("JQ = %v, want ≈0.98 (Condorcet at n=101, q=0.6)", got)
+	}
+	if _, err := jury.JQ(j, jury.Bayesian(), jury.UniformPrior); err == nil {
+		t.Fatal("the exponential path should refuse n=101")
+	}
+}

@@ -1,0 +1,79 @@
+package multi_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/jury/multi"
+)
+
+func pool3(t *testing.T, qs ...float64) multi.Pool {
+	t.Helper()
+	p := make(multi.Pool, len(qs))
+	for i, q := range qs {
+		m, err := multi.NewSymmetricConfusion(3, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p[i] = multi.Worker{Confusion: m, Cost: 1}
+	}
+	return p
+}
+
+func TestPublicMultiJQ(t *testing.T) {
+	p := pool3(t, 0.8, 0.6, 0.7)
+	prior := multi.UniformPrior(3)
+	bv, err := multi.JQ(p, multi.Bayesian(), prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := multi.JQ(p, multi.Plurality(), prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv < pl-1e-9 {
+		t.Fatalf("BV (%v) below plurality (%v)", bv, pl)
+	}
+	est, err := multi.EstimateJQ(p, prior, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-bv) > 0.01 {
+		t.Fatalf("estimate %v far from exact %v", est, bv)
+	}
+}
+
+func TestPublicRankingAndGreedy(t *testing.T) {
+	p := pool3(t, 0.9, 0.5, 0.34)
+	order := multi.RankWorkers(p)
+	if order[0] != 0 {
+		t.Fatalf("order = %v, want the 0.9 worker first", order)
+	}
+	if s := multi.InformativenessScore(p[2].Confusion); s > 0.05 {
+		t.Fatalf("near-uniform worker score = %v, want ≈0", s)
+	}
+	res, err := multi.GreedySelect(p, 2, multi.UniformPrior(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 2 {
+		t.Fatalf("cost %v over budget", res.Cost)
+	}
+}
+
+func TestPublicMultiSelect(t *testing.T) {
+	p := pool3(t, 0.9, 0.8, 0.7, 0.6, 0.55)
+	for i := range p {
+		p[i].Cost = float64(5 - i) // better workers cost more
+	}
+	res, err := multi.Select(p, 6, multi.UniformPrior(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 6 {
+		t.Fatalf("cost %v over budget", res.Cost)
+	}
+	if len(res.Jury) == 0 {
+		t.Fatal("empty jury selected with ample budget")
+	}
+}

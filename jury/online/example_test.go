@@ -1,0 +1,23 @@
+package online_test
+
+import (
+	"fmt"
+
+	"repro/jury"
+	"repro/jury/online"
+)
+
+func ExampleCollect() {
+	// Three workers; their votes are already recorded. Collection stops
+	// after the expert's vote pushes the posterior past 94%.
+	pool := jury.NewPool([]float64{0.95, 0.7, 0.6}, []float64{2, 1, 1})
+	src := online.RecordedSource{Votes: []jury.Vote{jury.No, jury.Yes, jury.No}}
+	res, err := online.Collect(pool, src, online.QualityFirst(),
+		online.Config{Alpha: 0.5, Confidence: 0.94}, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("decision=%v votes=%d stopped=%v\n", res.Decision, len(res.Asked), res.Stopped)
+	// Output: decision=no votes=1 stopped=confident
+}

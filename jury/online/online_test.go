@@ -1,0 +1,41 @@
+package online_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/voting"
+	"repro/jury"
+	"repro/jury/online"
+)
+
+func TestPublicOnlineCollect(t *testing.T) {
+	pool := jury.NewPool([]float64{0.95, 0.7, 0.6}, []float64{2, 1, 0.5})
+	rng := rand.New(rand.NewSource(1))
+	src := online.SimulatedSource{Pool: pool, Truth: voting.No, Rng: rng}
+	res, err := online.Collect(pool, src, online.EvidencePerCost(),
+		online.Config{Alpha: 0.5, Confidence: 0.9, Budget: 3.5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 3.5 {
+		t.Fatalf("cost %v over budget", res.Cost)
+	}
+	if len(res.Asked) == 0 && res.Stopped != online.StopConfident {
+		t.Fatalf("no votes collected but not confident: %+v", res)
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	pool := jury.NewPool([]float64{0.9, 0.6}, []float64{3, 1})
+	rng := rand.New(rand.NewSource(2))
+	for _, p := range []online.Policy{
+		online.QualityFirst(), online.CheapestFirst(),
+		online.EvidencePerCost(), online.RandomOrder(),
+	} {
+		order := p.Order(pool, rng)
+		if len(order) != 2 {
+			t.Fatalf("%s: order = %v", p.Name(), order)
+		}
+	}
+}

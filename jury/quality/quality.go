@@ -1,0 +1,53 @@
+// Package quality exposes worker-quality estimation: the inputs the
+// jury-selection machinery assumes known (paper Section 2.1). It provides
+// the golden-question estimator and the Dawid–Skene EM algorithm for both
+// the binary single-quality model and ℓ-ary confusion matrices — so a
+// deployment can bootstrap qualities from raw crowd answers with or
+// without ground truth, then feed them into jury.Select.
+package quality
+
+import (
+	"repro/internal/quality"
+	"repro/internal/voting"
+)
+
+// Response is one worker's answer to one binary task.
+type Response = quality.Response
+
+// Dataset is a sparse matrix of crowd answers.
+type Dataset = quality.Dataset
+
+// EMOptions configures the EM estimators.
+type EMOptions = quality.EMOptions
+
+// EMResult is the output of the binary Dawid–Skene estimator: qualities,
+// estimated prior, per-task posteriors and MAP labels.
+type EMResult = quality.EMResult
+
+// Golden estimates qualities from tasks with known ground truth: the
+// fraction of correct answers, Laplace-smoothed.
+func Golden(d Dataset, truths map[int]voting.Vote) ([]float64, error) {
+	return quality.Golden(d, truths)
+}
+
+// EM jointly infers task truths and worker qualities with no ground truth
+// at all (Dawid–Skene for the binary model).
+func EM(d Dataset, opts EMOptions) (EMResult, error) {
+	return quality.EM(d, opts)
+}
+
+// ResponseL is one worker's answer to one ℓ-ary task.
+type ResponseL = quality.ResponseL
+
+// DatasetL is a sparse matrix of multi-choice crowd answers.
+type DatasetL = quality.DatasetL
+
+// EMConfusionResult is the output of the full Dawid–Skene estimator:
+// per-worker confusion matrices, the class prior, posteriors and labels.
+type EMConfusionResult = quality.EMConfusionResult
+
+// EMConfusion estimates per-worker confusion matrices for ℓ-ary tasks,
+// feeding the jury/multi extension.
+func EMConfusion(d DatasetL, opts EMOptions) (EMConfusionResult, error) {
+	return quality.EMConfusion(d, opts)
+}

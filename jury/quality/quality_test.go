@@ -1,0 +1,96 @@
+package quality_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/jury"
+	"repro/jury/multi"
+	"repro/jury/quality"
+)
+
+// TestPublicBootstrapFlow exercises the documented deployment flow: raw
+// answers → EM qualities → jury selection.
+func TestPublicBootstrapFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trueQ := []float64{0.92, 0.85, 0.7, 0.65, 0.6}
+	const tasks = 200
+	d := quality.Dataset{NumTasks: tasks, NumWorkers: len(trueQ)}
+	for task := 0; task < tasks; task++ {
+		truth := jury.Vote(rng.Intn(2))
+		for w, q := range trueQ {
+			v := truth
+			if rng.Float64() >= q {
+				v = v.Opposite()
+			}
+			d.Responses = append(d.Responses, quality.Response{Task: task, Worker: w, Vote: v})
+		}
+	}
+	res, err := quality.EM(d, quality.EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, want := range trueQ {
+		if math.Abs(res.Qualities[w]-want) > 0.1 {
+			t.Errorf("worker %d: EM quality %v, want ≈%v", w, res.Qualities[w], want)
+		}
+	}
+	// Feed the estimated qualities into jury selection.
+	pool := jury.NewPool(res.Qualities, []float64{5, 4, 2, 2, 1})
+	sel, err := jury.Select(pool, 7, jury.UniformPrior, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Cost > 7 || len(sel.Jury) == 0 {
+		t.Fatalf("selection = %+v", sel)
+	}
+}
+
+func TestPublicEMConfusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const labels, tasks, workers = 3, 150, 4
+	d := quality.DatasetL{NumTasks: tasks, NumWorkers: workers, Labels: labels}
+	for task := 0; task < tasks; task++ {
+		truth := rng.Intn(labels)
+		for w := 0; w < workers; w++ {
+			vote := truth
+			if rng.Float64() > 0.75 { // 75% accurate workers
+				vote = rng.Intn(labels)
+			}
+			d.Responses = append(d.Responses, quality.ResponseL{
+				Task: task, Worker: w, Vote: multiLabel(vote),
+			})
+		}
+	}
+	res, err := quality.EMConfusion(d, quality.EMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Confusions) != workers || len(res.Labels) != tasks {
+		t.Fatalf("shape: %d confusions, %d labels", len(res.Confusions), len(res.Labels))
+	}
+	for w, m := range res.Confusions {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}
+
+func TestPublicGolden(t *testing.T) {
+	d := quality.Dataset{NumTasks: 2, NumWorkers: 1, Responses: []quality.Response{
+		{Task: 0, Worker: 0, Vote: jury.No},
+		{Task: 1, Worker: 0, Vote: jury.No},
+	}}
+	qs, err := quality.Golden(d, map[int]jury.Vote{0: jury.No, 1: jury.Yes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 correct of 2, smoothed: (1+1)/(2+2) = 0.5.
+	if qs[0] != 0.5 {
+		t.Fatalf("quality = %v, want 0.5", qs[0])
+	}
+}
+
+// multiLabel converts an int vote to the public multi-choice label type.
+func multiLabel(v int) multi.Label { return multi.Label(v) }
