@@ -10,6 +10,7 @@ package repro_test
 
 import (
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"repro/internal/datagen"
@@ -89,7 +90,7 @@ func BenchmarkAblationEstimateJQ(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, pruning := range []bool{true, false} {
-			name := "n=" + itoa(n) + "/pruning=" + boolStr(pruning)
+			name := "n=" + strconv.Itoa(n) + "/pruning=" + strconv.FormatBool(pruning)
 			b.Run(name, func(b *testing.B) {
 				opts := jq.Options{NumBuckets: 50, DisablePruning: !pruning}
 				b.ReportAllocs()
@@ -170,7 +171,7 @@ func BenchmarkAblationAnnealingScale(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.Run("N="+itoa(n), func(b *testing.B) {
+		b.Run("N="+strconv.Itoa(n), func(b *testing.B) {
 			sel := selection.Annealing{Objective: selection.BVObjective{}, Seed: 1}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -221,21 +222,136 @@ func BenchmarkAblationBucketsArtifact(b *testing.B) {
 	benchmarkArtifact(b, "ablation-buckets")
 }
 
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
+// --- Estimator and parallel-sweep ablations ---------------------------------
+
+// BenchmarkAblationEstimatorJQ compares three ways of scoring the
+// annealing search's jury stream: the one-shot jq.Estimate (per-call
+// setup and allocation), the jq.Estimator engine without memoization
+// (precomputed pool state, zero steady-state allocation), and the full
+// engine with memoization (revisited juries are answered from the memo).
+// The workload replays a fixed sequence of overlapping subsets with
+// revisits, the shape Algorithm 3 produces.
+func BenchmarkAblationEstimatorJQ(b *testing.B) {
+	gen := datagen.DefaultConfig()
+	gen.N = 120
+	pool, err := gen.Pool(rand.New(rand.NewSource(7)))
+	if err != nil {
+		b.Fatal(err)
 	}
-	var buf []byte
-	for v > 0 {
-		buf = append([]byte{byte('0' + v%10)}, buf...)
-		v /= 10
+	rng := rand.New(rand.NewSource(8))
+	subsets := make([][]int, 64)
+	for i := range subsets {
+		if i%4 == 3 {
+			subsets[i] = subsets[rng.Intn(i)] // revisit an earlier jury
+			continue
+		}
+		perm := rng.Perm(gen.N)
+		subsets[i] = perm[:8+rng.Intn(9)]
 	}
-	return string(buf)
+	opts := jq.Options{NumBuckets: 50}
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range subsets {
+				if _, err := jq.Estimate(pool.Subset(s), 0.5, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("estimator", func(b *testing.B) {
+		est, err := jq.NewEstimator(pool, 0.5, jq.Options{NumBuckets: 50, DisableMemo: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range subsets {
+				if _, err := est.Eval(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("estimator-memo", func(b *testing.B) {
+		est, err := jq.NewEstimator(pool, 0.5, jq.Options{NumBuckets: 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range subsets {
+				if _, err := est.Eval(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
-func boolStr(v bool) string {
-	if v {
-		return "on"
+// BenchmarkAblationMVDeltaJQ compares the one-shot closed-form MV JQ
+// against the delta-updating MVEvaluator on a tail-swap workload.
+func BenchmarkAblationMVDeltaJQ(b *testing.B) {
+	gen := datagen.DefaultConfig()
+	gen.N = 120
+	pool, err := gen.Pool(rand.New(rand.NewSource(9)))
+	if err != nil {
+		b.Fatal(err)
 	}
-	return "off"
+	rng := rand.New(rand.NewSource(10))
+	subsets := make([][]int, 64)
+	base := rng.Perm(gen.N)[:20]
+	for i := range subsets {
+		jury := append([]int(nil), base...)
+		jury[len(jury)-1-rng.Intn(4)] = rng.Intn(gen.N) // swap near the tail
+		subsets[i] = jury
+	}
+	b.Run("closed-form", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range subsets {
+				if _, err := jq.MajorityClosedForm(pool.Subset(s), 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		eval, err := jq.NewMVEvaluator(pool, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range subsets {
+				if _, err := eval.Eval(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSweepParallel regenerates one repeat-heavy artifact
+// sequentially and with the full goroutine pool; the artifacts are
+// byte-identical (TestParallelSweepsMatchSequential), only the wall
+// clock differs.
+func BenchmarkAblationSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "workers=seq"
+		if workers == 0 {
+			name = "workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Repeats = 4
+			cfg.Parallel = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run("fig9b", cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -41,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		paper     = fs.Bool("paper", false, "use the published experiment scale (slow)")
 		csvOut    = fs.Bool("csv", false, "emit CSV instead of aligned tables")
 		parallel  = fs.Bool("parallel", false, "run artifacts concurrently (output stays ordered)")
+		workers   = fs.Int("workers", 0, "goroutines per artifact's repeat loops (0 = all CPUs, or sequential when combined with -parallel; 1 = sequential; results are identical either way)")
 		datDir    = fs.String("dat", "", "also write gnuplot-ready <id>.dat files into this directory")
 		seed      = fs.Int64("seed", 1, "random seed")
 		repeats   = fs.Int("repeats", 0, "override per-point repetitions")
@@ -79,6 +80,17 @@ func run(args []string, out io.Writer) error {
 	if *buckets > 0 {
 		cfg.NumBuckets = *buckets
 	}
+	if *workers != 0 {
+		cfg.Parallel = *workers // negative values are rejected by Validate
+	} else if *parallel {
+		// Artifacts already run concurrently; letting each also fan its
+		// repeat loops out over every CPU would oversubscribe the
+		// machine by the artifact count.
+		cfg.Parallel = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 
 	ids := experiments.IDs()
 	if *runIDs != "all" {
@@ -98,8 +110,16 @@ func run(args []string, out io.Writer) error {
 	}
 	outcomes := make([]outcome, len(ids))
 	if *parallel {
+		// Wall-clock artifacts report seconds, so they must not share
+		// the machine with other artifacts; run them after the
+		// concurrent batch, one at a time.
 		var wg sync.WaitGroup
+		var timed []int
 		for i, id := range ids {
+			if experiments.IsWallClock(id) {
+				timed = append(timed, i)
+				continue
+			}
 			wg.Add(1)
 			go func(i int, id string) {
 				defer wg.Done()
@@ -109,6 +129,11 @@ func run(args []string, out io.Writer) error {
 			}(i, id)
 		}
 		wg.Wait()
+		for _, i := range timed {
+			start := time.Now()
+			res, err := experiments.Run(ids[i], cfg)
+			outcomes[i] = outcome{res: res, elapsed: time.Since(start), err: err}
+		}
 	} else {
 		for i, id := range ids {
 			start := time.Now()

@@ -7,4 +7,61 @@
 // the system inventory and EXPERIMENTS.md for the paper-versus-measured
 // record. The benchmarks in bench_test.go regenerate every evaluation
 // artifact of the paper.
+//
+// # Performance
+//
+// The hot path of the whole system is jury-quality evaluation inside the
+// Algorithm 3 annealing search: thousands of juries per solve, each
+// differing from the previous one by a single add/swap/remove. Three
+// evaluation engines in internal/jq serve this workload; each is built
+// once per (candidate pool, prior, options) and then scores arbitrary
+// subsets — passed as index slices (any order; they are treated as sets)
+// or bitmasks — without re-validating, re-normalizing, recomputing
+// log-odds, or allocating:
+//
+//   - jq.NewEstimator: the Algorithm 1 bucket approximation of JQ under
+//     Bayesian Voting. Per-worker log-odds are precomputed, the bucket DP
+//     runs in reusable scratch buffers, and results are memoized on the
+//     jury's canonical (sorted-index) signature, so juries revisited
+//     during a search are answered from the table. Eval results are
+//     bit-identical to the one-shot jq.Estimate on the same subset; the
+//     memo is capped (Options.MemoLimit, default jq.DefaultMemoLimit)
+//     and its effectiveness is observable via Stats().Hits/Misses,
+//     alongside the per-call KeysVisited/KeysPruned counters.
+//   - jq.NewMVEvaluator: the Majority Voting closed form with
+//     O(n)-update delta evaluation. A stack of Poisson-binomial DP
+//     snapshots (one per jury prefix) makes adding a worker one O(n) row
+//     and removing one a rollback to the divergence point, while staying
+//     bit-identical to jq.MajorityClosedForm on the canonical subset.
+//   - jq.NewExactBVEvaluator: the exponential exact-BV enumeration
+//     without per-subset allocation, for small-jury reference runs.
+//
+// The selection layer picks these up automatically: objectives that
+// implement selection.EvaluatorProvider (BV, MV, BV-exact) hand the
+// searches a per-pool selection.Evaluator, and Annealing and Exhaustive
+// score every jury through it — the annealing swap loop allocates
+// nothing per move. The greedy selectors score one jury exactly once,
+// so they deliberately use the generic subset adapter instead of
+// building a per-pool engine. Evaluators are single-goroutine;
+// parallel searches build one each. Annealing restarts fan out across a
+// bounded goroutine pool with per-restart RNGs derived from the seed, and
+// the repeat/trial loops of internal/experiments do the same
+// (Config.Parallel; 0 = all CPUs, 1 = sequential), folding results in
+// index order so parallel sweeps stay byte-identical to sequential runs —
+// the wall-clock-measuring panels (fig7b, fig9d) always time their inner
+// region sequentially.
+//
+// To record before/after numbers for a performance change, benchmark the
+// ablation suite at both revisions and compare with benchstat:
+//
+//	go test -bench 'BenchmarkAblation' -benchmem -count 10 -run '^$' . > BENCH_old.txt
+//	<apply change>
+//	go test -bench 'BenchmarkAblation' -benchmem -count 10 -run '^$' . > BENCH_new.txt
+//	benchstat BENCH_old.txt BENCH_new.txt
+//
+// and keep machine-readable artifacts next to the text files with
+// `go test -bench ... -json > BENCH_<rev>.json`. The engines themselves
+// are covered by BenchmarkAblationEstimatorJQ (direct vs estimator vs
+// estimator+memo), BenchmarkAblationMVDeltaJQ (closed form vs delta),
+// and BenchmarkAblationSweepParallel (sequential vs parallel sweeps).
 package repro

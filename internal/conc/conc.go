@@ -1,0 +1,42 @@
+// Package conc provides the bounded fan-out primitive shared by the
+// search and experiments layers: a fixed number of worker goroutines
+// draining an atomic index counter. Callers write results into
+// index-addressed slots and reduce them in index order afterwards,
+// which keeps parallel runs byte-identical to sequential ones.
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls out over
+// at most `workers` goroutines (inline when workers <= 1 or n <= 1).
+// fn must confine its writes to state owned by index i.
+func ForEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

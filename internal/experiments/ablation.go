@@ -28,34 +28,46 @@ func ablationSelectors(cfg Config) (*Result, error) {
 	gen.N = 14 // small enough for the exhaustive reference
 	budgets := sweep(0.1, 0.5, 0.1)
 	cols := []string{"exhaustive", "annealing", "greedy-quality", "greedy-ratio", "topk-5", "knapsack"}
-	rows := make([][]float64, len(budgets))
-	for i, budget := range budgets {
-		sums := make([]float64, len(cols))
-		for rep := 0; rep < cfg.Repeats; rep++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*4409 + int64(rep)*9601))
-			pool, err := gen.Pool(rng)
+	reps := cfg.Repeats
+	vals := make([][]float64, len(budgets)*reps)
+	if err := forEach(cfg.workers(), len(vals), func(j int) error {
+		i, rep := j/reps, j%reps
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*4409 + int64(rep)*9601))
+		pool, err := gen.Pool(rng)
+		if err != nil {
+			return err
+		}
+		selectors := []selection.Selector{
+			selection.Exhaustive{Objective: selection.BVExactObjective{}},
+			selection.Annealing{Objective: selection.BVExactObjective{}, Seed: cfg.Seed + int64(rep)},
+			selection.GreedyQuality{Objective: selection.BVExactObjective{}},
+			selection.GreedyRatio{Objective: selection.BVExactObjective{}},
+			selection.TopK{Objective: selection.BVExactObjective{}, K: 5},
+			selection.KnapsackSurrogate{Objective: selection.BVExactObjective{}},
+		}
+		jqs := make([]float64, len(selectors))
+		for k, sel := range selectors {
+			res, err := sel.Select(pool, budgets[i], 0.5)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			selectors := []selection.Selector{
-				selection.Exhaustive{Objective: selection.BVExactObjective{}},
-				selection.Annealing{Objective: selection.BVExactObjective{}, Seed: cfg.Seed + int64(rep)},
-				selection.GreedyQuality{Objective: selection.BVExactObjective{}},
-				selection.GreedyRatio{Objective: selection.BVExactObjective{}},
-				selection.TopK{Objective: selection.BVExactObjective{}, K: 5},
-				selection.KnapsackSurrogate{Objective: selection.BVExactObjective{}},
-			}
-			for j, sel := range selectors {
-				res, err := sel.Select(pool, budget, 0.5)
-				if err != nil {
-					return nil, err
-				}
-				sums[j] += res.JQ
+			jqs[k] = res.JQ
+		}
+		vals[j] = jqs
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rows := make([][]float64, len(budgets))
+	for i := range budgets {
+		row := make([]float64, len(cols))
+		for rep := 0; rep < reps; rep++ {
+			for k, v := range vals[i*reps+rep] {
+				row[k] += v
 			}
 		}
-		row := make([]float64, len(sums))
-		for j, s := range sums {
-			row[j] = s / float64(cfg.Repeats)
+		for k := range row {
+			row[k] /= float64(reps)
 		}
 		rows[i] = row
 	}
@@ -70,32 +82,41 @@ func ablationBuckets(cfg Config) (*Result, error) {
 	gen := datagen.DefaultConfig()
 	gen.N = 30
 	bucketSettings := []float64{5, 10, 25, 50, 100, 200}
-	rows := make([][]float64, len(bucketSettings))
-	for i, nb := range bucketSettings {
-		var sum float64
-		for rep := 0; rep < cfg.Repeats; rep++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*20021))
-			pool, err := gen.Pool(rng)
-			if err != nil {
-				return nil, err
-			}
-			sel := selection.Annealing{
-				Objective: selection.BVObjective{NumBuckets: int(nb)},
-				Seed:      cfg.Seed + int64(rep),
-			}
-			res, err := sel.Select(pool, 0.3, 0.5)
-			if err != nil {
-				return nil, err
-			}
-			// Re-score the returned jury at high resolution so settings
-			// are comparable.
-			final, err := jq.Estimate(res.Jury, 0.5, jq.Options{NumBuckets: 400})
-			if err != nil {
-				return nil, err
-			}
-			sum += final.JQ
+	reps := cfg.Repeats
+	vals := make([]float64, len(bucketSettings)*reps)
+	if err := forEach(cfg.workers(), len(vals), func(j int) error {
+		i, rep := j/reps, j%reps
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*20021))
+		pool, err := gen.Pool(rng)
+		if err != nil {
+			return err
 		}
-		rows[i] = []float64{sum / float64(cfg.Repeats)}
+		sel := selection.Annealing{
+			Objective: selection.BVObjective{NumBuckets: int(bucketSettings[i])},
+			Seed:      cfg.Seed + int64(rep),
+		}
+		res, err := sel.Select(pool, 0.3, 0.5)
+		if err != nil {
+			return err
+		}
+		// Re-score the returned jury at high resolution so settings
+		// are comparable.
+		final, err := jq.Estimate(res.Jury, 0.5, jq.Options{NumBuckets: 400})
+		if err != nil {
+			return err
+		}
+		vals[j] = final.JQ
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rows := make([][]float64, len(bucketSettings))
+	for i := range bucketSettings {
+		var sum float64
+		for rep := 0; rep < reps; rep++ {
+			sum += vals[i*reps+rep]
+		}
+		rows[i] = []float64{sum / float64(reps)}
 	}
 	return &Result{
 		ID: "ablation-buckets", Title: "bucket-resolution ablation: JSP quality when searching on coarse estimates",

@@ -32,6 +32,17 @@ type Config struct {
 	Questions int
 	// NumBuckets configures the JQ approximation (paper default: 50).
 	NumBuckets int
+	// Parallel bounds the goroutine pool the repeat/trial loops fan out
+	// over: 0 uses one worker per logical CPU, 1 runs the repeats
+	// sequentially (a search inside one repeat may still use its own
+	// internal parallelism, e.g. selection.Annealing restarts). Because
+	// every repeat derives its RNG deterministically from the seed and
+	// results are reduced in index order, artifacts are byte-identical
+	// at every setting. Wall-clock measuring experiments (IsWallClock)
+	// run their timed region sequentially so their own repeats cannot
+	// contend; callers must also avoid running other artifacts
+	// concurrently with them for the seconds to mean anything.
+	Parallel int
 }
 
 // DefaultConfig returns fast defaults for interactive runs.
@@ -51,6 +62,9 @@ func (c Config) Validate() error {
 	}
 	if c.NumBuckets < 1 {
 		return fmt.Errorf("experiments: NumBuckets must be positive, got %d", c.NumBuckets)
+	}
+	if c.Parallel < 0 {
+		return fmt.Errorf("experiments: Parallel must be non-negative, got %d", c.Parallel)
 	}
 	return nil
 }
@@ -131,6 +145,17 @@ func register(id string, r Runner) {
 	}
 	registry[id] = r
 }
+
+// wallClock marks artifacts whose values are wall-clock measurements;
+// they must not run concurrently with other work (see IsWallClock).
+var wallClock = map[string]bool{"fig7b": true, "fig9d": true}
+
+// IsWallClock reports whether the artifact measures wall-clock time.
+// Such artifacts keep their timed region sequential internally, and
+// callers batching artifacts concurrently (cmd/experiments -parallel)
+// should run them on their own so contention from other artifacts
+// cannot inflate the reported seconds.
+func IsWallClock(id string) bool { return wallClock[id] }
 
 // IDs lists the registered artifact identifiers in sorted order.
 func IDs() []string {

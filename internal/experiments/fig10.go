@@ -47,8 +47,10 @@ func amtDataset(seed int64) (*amt.Dataset, error) {
 }
 
 // fig10Sweep runs the per-question system comparison over xs; prepare
-// builds the candidate pool and budget of one (question, x) pair. Returned
-// rows hold per-point means over the questions, errs their standard error.
+// builds the candidate pool and budget of one (question, x) pair. The
+// (point, question) pairs fan out over the configured goroutine pool.
+// Returned rows hold per-point means over the questions, errs their
+// standard error.
 func fig10Sweep(cfg Config, xs []float64, prepare func(x float64, ds *amt.Dataset, q int, rng *rand.Rand) (worker.Pool, float64, error)) (rows, errs [][]float64, err error) {
 	ds, err := amtDataset(cfg.Seed)
 	if err != nil {
@@ -58,24 +60,24 @@ func fig10Sweep(cfg Config, xs []float64, prepare func(x float64, ds *amt.Datase
 	if questions > len(ds.Tasks) {
 		questions = len(ds.Tasks)
 	}
+	mv := make([]float64, len(xs)*questions)
+	bv := make([]float64, len(xs)*questions)
+	if err := forEach(cfg.workers(), len(mv), func(j int) error {
+		i, q := j/questions, j%questions
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*100003 + int64(q)*17389))
+		pool, budget, err := prepare(xs[i], ds, q, rng)
+		if err != nil {
+			return err
+		}
+		mv[j], bv[j], err = systemPair(pool, budget, cfg.NumBuckets, cfg.Seed+int64(q))
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
 	rows = make([][]float64, len(xs))
 	errs = make([][]float64, len(xs))
-	for i, x := range xs {
-		mvs := make([]float64, 0, questions)
-		bvs := make([]float64, 0, questions)
-		for q := 0; q < questions; q++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*100003 + int64(q)*17389))
-			pool, budget, err := prepare(x, ds, q, rng)
-			if err != nil {
-				return nil, nil, err
-			}
-			mv, bv, err := systemPair(pool, budget, cfg.NumBuckets, cfg.Seed+int64(q))
-			if err != nil {
-				return nil, nil, err
-			}
-			mvs = append(mvs, mv)
-			bvs = append(bvs, bv)
-		}
+	for i := range xs {
+		mvs, bvs := mv[i*questions:(i+1)*questions], bv[i*questions:(i+1)*questions]
 		rows[i] = []float64{mean(mvs), mean(bvs)}
 		errs[i] = []float64{stdErr(mvs), stdErr(bvs)}
 	}
@@ -155,28 +157,37 @@ func fig10d(cfg Config) (*Result, error) {
 		questions = len(ds.Tasks)
 	}
 	xs := sweep(3, 20, 1)
+	jqs := make([]float64, len(xs)*questions)
+	hits := make([]bool, len(xs)*questions)
+	if err := forEach(cfg.workers(), len(jqs), func(j int) error {
+		i, q := j/questions, j%questions
+		votes, quals, err := ds.Prefix(q, int(xs[i]))
+		if err != nil {
+			return err
+		}
+		// (i) predicted JQ of the first-z jury.
+		est, err := jq.Estimate(worker.UniformCost(quals, 0), 0.5, jq.Options{NumBuckets: cfg.NumBuckets})
+		if err != nil {
+			return err
+		}
+		jqs[j] = est.JQ
+		// (ii) realized BV decision on their actual votes.
+		dec, err := voting.Decide(voting.Bayesian{}, votes, quals, 0.5, nil)
+		if err != nil {
+			return err
+		}
+		hits[j] = dec == ds.Tasks[q].Truth
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	rows := make([][]float64, len(xs))
-	for i, zRaw := range xs {
-		z := int(zRaw)
+	for i := range xs {
 		var sumJQ float64
 		correct := 0
 		for q := 0; q < questions; q++ {
-			votes, quals, err := ds.Prefix(q, z)
-			if err != nil {
-				return nil, err
-			}
-			// (i) predicted JQ of the first-z jury.
-			est, err := jq.Estimate(worker.UniformCost(quals, 0), 0.5, jq.Options{NumBuckets: cfg.NumBuckets})
-			if err != nil {
-				return nil, err
-			}
-			sumJQ += est.JQ
-			// (ii) realized BV decision on their actual votes.
-			dec, err := voting.Decide(voting.Bayesian{}, votes, quals, 0.5, nil)
-			if err != nil {
-				return nil, err
-			}
-			if dec == ds.Tasks[q].Truth {
+			sumJQ += jqs[i*questions+q]
+			if hits[i*questions+q] {
 				correct++
 			}
 		}

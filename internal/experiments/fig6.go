@@ -69,29 +69,33 @@ func scoreBV(jury worker.Pool, numBuckets int) (float64, error) {
 }
 
 // fig6Sweep runs the two systems over a sequence of configurations,
-// returning per-point means and standard errors across the repeats.
+// returning per-point means and standard errors across the repeats. The
+// (point, repeat) pairs fan out over the configured goroutine pool; each
+// derives its RNG from its own indices, so the artifact is byte-identical
+// to a sequential run.
 func fig6Sweep(cfg Config, xs []float64, configure func(x float64, base *datagen.Config, budget *float64)) (rows, errs [][]float64, err error) {
-	rows = make([][]float64, len(xs))
-	errs = make([][]float64, len(xs))
-	for i, x := range xs {
+	reps := cfg.Repeats
+	mv := make([]float64, len(xs)*reps)
+	bv := make([]float64, len(xs)*reps)
+	if err := forEach(cfg.workers(), len(mv), func(j int) error {
+		i, rep := j/reps, j%reps
 		gen := datagen.DefaultConfig()
 		budget := 0.5
-		configure(x, &gen, &budget)
-		mvs := make([]float64, 0, cfg.Repeats)
-		bvs := make([]float64, 0, cfg.Repeats)
-		for rep := 0; rep < cfg.Repeats; rep++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1009 + int64(rep)*7919))
-			pool, err := gen.Pool(rng)
-			if err != nil {
-				return nil, nil, err
-			}
-			mv, bv, err := systemPair(pool, budget, cfg.NumBuckets, cfg.Seed+int64(rep))
-			if err != nil {
-				return nil, nil, err
-			}
-			mvs = append(mvs, mv)
-			bvs = append(bvs, bv)
+		configure(xs[i], &gen, &budget)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1009 + int64(rep)*7919))
+		pool, err := gen.Pool(rng)
+		if err != nil {
+			return err
 		}
+		mv[j], bv[j], err = systemPair(pool, budget, cfg.NumBuckets, cfg.Seed+int64(rep))
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+	rows = make([][]float64, len(xs))
+	errs = make([][]float64, len(xs))
+	for i := range xs {
+		mvs, bvs := mv[i*reps:(i+1)*reps], bv[i*reps:(i+1)*reps]
 		rows[i] = []float64{stats.Mean(mvs), stats.Mean(bvs)}
 		errs[i] = []float64{stdErr(mvs), stdErr(bvs)}
 	}

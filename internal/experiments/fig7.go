@@ -20,31 +20,41 @@ func init() {
 
 func fig7a(cfg Config) (*Result, error) {
 	xs := sweep(0.05, 0.5, 0.05)
-	gen := datagen.DefaultConfig()
-	gen.N = 11
-	rows := make([][]float64, len(xs))
-	for i, budget := range xs {
-		var sumOpt, sumHeur float64
-		for rep := 0; rep < cfg.Repeats; rep++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*104729 + int64(rep)*31337))
-			pool, err := gen.Pool(rng)
-			if err != nil {
-				return nil, err
-			}
-			exact, err := selection.Exhaustive{Objective: selection.BVExactObjective{}}.
-				Select(pool, budget, 0.5)
-			if err != nil {
-				return nil, err
-			}
-			heur, err := selection.Annealing{Objective: selection.BVExactObjective{}, Seed: cfg.Seed + int64(rep)}.
-				Select(pool, budget, 0.5)
-			if err != nil {
-				return nil, err
-			}
-			sumOpt += exact.JQ
-			sumHeur += heur.JQ
+	reps := cfg.Repeats
+	opts := make([]float64, len(xs)*reps)
+	heurs := make([]float64, len(xs)*reps)
+	if err := forEach(cfg.workers(), len(opts), func(j int) error {
+		i, rep := j/reps, j%reps
+		gen := datagen.DefaultConfig()
+		gen.N = 11
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*104729 + int64(rep)*31337))
+		pool, err := gen.Pool(rng)
+		if err != nil {
+			return err
 		}
-		rows[i] = []float64{sumOpt / float64(cfg.Repeats), sumHeur / float64(cfg.Repeats)}
+		exact, err := selection.Exhaustive{Objective: selection.BVExactObjective{}}.
+			Select(pool, xs[i], 0.5)
+		if err != nil {
+			return err
+		}
+		heur, err := selection.Annealing{Objective: selection.BVExactObjective{}, Seed: cfg.Seed + int64(rep)}.
+			Select(pool, xs[i], 0.5)
+		if err != nil {
+			return err
+		}
+		opts[j], heurs[j] = exact.JQ, heur.JQ
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rows := make([][]float64, len(xs))
+	for i := range xs {
+		var sumOpt, sumHeur float64
+		for rep := 0; rep < reps; rep++ {
+			sumOpt += opts[i*reps+rep]
+			sumHeur += heurs[i*reps+rep]
+		}
+		rows[i] = []float64{sumOpt / float64(reps), sumHeur / float64(reps)}
 	}
 	return &Result{
 		ID: "fig7a", Title: "annealing vs optimal jury quality, varying budget",
@@ -53,6 +63,9 @@ func fig7a(cfg Config) (*Result, error) {
 	}, nil
 }
 
+// fig7b measures wall-clock seconds per solve, so its repeats stay
+// sequential regardless of Config.Parallel: concurrent solves would
+// contend for cores and inflate every measured duration.
 func fig7b(cfg Config) (*Result, error) {
 	ns := sweep(100, 500, 100)
 	budgets := []float64{0.05, 0.20, 0.35, 0.50}

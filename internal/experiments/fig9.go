@@ -28,25 +28,32 @@ func fig9a(cfg Config) (*Result, error) {
 	xs := sweep(0.5, 1.0, 0.05)
 	variances := []float64{0.01, 0.03, 0.05, 0.10}
 	cols := []string{"var=0.01", "var=0.03", "var=0.05", "var=0.10"}
+	reps := cfg.Repeats
+	vals := make([]float64, len(xs)*len(variances)*reps)
+	if err := forEach(cfg.workers(), len(vals), func(idx int) error {
+		rep := idx % reps
+		j := (idx / reps) % len(variances)
+		i := idx / (reps * len(variances))
+		gen := datagen.Config{N: 11, MeanQuality: xs[i], QualityVariance: variances[j]}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*5501 + int64(j)*911 + int64(rep)*77347))
+		qs, err := gen.Qualities(rng)
+		if err != nil {
+			return err
+		}
+		vals[idx], err = jq.ExactBV(worker.UniformCost(qs, 1), 0.5)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	rows := make([][]float64, len(xs))
-	for i, mu := range xs {
+	for i := range xs {
 		row := make([]float64, len(variances))
-		for j, variance := range variances {
-			gen := datagen.Config{N: 11, MeanQuality: mu, QualityVariance: variance}
+		for j := range variances {
 			var sum float64
-			for rep := 0; rep < cfg.Repeats; rep++ {
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*5501 + int64(j)*911 + int64(rep)*77347))
-				qs, err := gen.Qualities(rng)
-				if err != nil {
-					return nil, err
-				}
-				v, err := jq.ExactBV(worker.UniformCost(qs, 1), 0.5)
-				if err != nil {
-					return nil, err
-				}
-				sum += v
+			for rep := 0; rep < reps; rep++ {
+				sum += vals[(i*len(variances)+j)*reps+rep]
 			}
-			row[j] = sum / float64(cfg.Repeats)
+			row[j] = sum / float64(reps)
 		}
 		rows[i] = row
 	}
@@ -59,28 +66,37 @@ func fig9a(cfg Config) (*Result, error) {
 
 func fig9b(cfg Config) (*Result, error) {
 	xs := sweep(10, 200, 10)
-	gen := datagen.DefaultConfig()
-	gen.N = 11
-	rows := make([][]float64, len(xs))
-	for i, nb := range xs {
-		var sumErr float64
-		for rep := 0; rep < cfg.Repeats; rep++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*40013))
-			pool, err := gen.Pool(rng)
-			if err != nil {
-				return nil, err
-			}
-			exact, err := jq.ExactBV(pool, 0.5)
-			if err != nil {
-				return nil, err
-			}
-			approx, err := jq.Estimate(pool, 0.5, jq.Options{NumBuckets: int(nb)})
-			if err != nil {
-				return nil, err
-			}
-			sumErr += exact - approx.JQ
+	reps := cfg.Repeats
+	gaps := make([]float64, len(xs)*reps)
+	if err := forEach(cfg.workers(), len(gaps), func(j int) error {
+		i, rep := j/reps, j%reps
+		gen := datagen.DefaultConfig()
+		gen.N = 11
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*40013))
+		pool, err := gen.Pool(rng)
+		if err != nil {
+			return err
 		}
-		rows[i] = []float64{sumErr / float64(cfg.Repeats)}
+		exact, err := jq.ExactBV(pool, 0.5)
+		if err != nil {
+			return err
+		}
+		approx, err := jq.Estimate(pool, 0.5, jq.Options{NumBuckets: int(xs[i])})
+		if err != nil {
+			return err
+		}
+		gaps[j] = exact - approx.JQ
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	rows := make([][]float64, len(xs))
+	for i := range xs {
+		var sumErr float64
+		for rep := 0; rep < reps; rep++ {
+			sumErr += gaps[i*reps+rep]
+		}
+		rows[i] = []float64{sumErr / float64(reps)}
 	}
 	return &Result{
 		ID: "fig9b", Title: "approximation error JQ − JQ_hat, varying numBuckets",
@@ -90,25 +106,32 @@ func fig9b(cfg Config) (*Result, error) {
 }
 
 func fig9c(cfg Config) (*Result, error) {
-	gen := datagen.DefaultConfig()
-	gen.N = 11
 	hist := stats.NewHistogram(0, 0.0001, 10) // errors in [0, 0.01%)
 	trials := cfg.Repeats * 20
-	for rep := 0; rep < trials; rep++ {
+	gaps := make([]float64, trials)
+	if err := forEach(cfg.workers(), trials, func(rep int) error {
+		gen := datagen.DefaultConfig()
+		gen.N = 11
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(rep)*65537))
 		pool, err := gen.Pool(rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		exact, err := jq.ExactBV(pool, 0.5)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		approx, err := jq.Estimate(pool, 0.5, jq.Options{NumBuckets: cfg.NumBuckets})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		hist.Add(exact - approx.JQ)
+		gaps[rep] = exact - approx.JQ
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, gap := range gaps {
+		hist.Add(gap)
 	}
 	xs := make([]float64, len(hist.Counts))
 	rows := make([][]float64, len(hist.Counts))
@@ -130,6 +153,9 @@ func fig9cOverflowNote(over, total int) string {
 	return fmt.Sprintf("errors above 0.01%%: %d of %d", over, total)
 }
 
+// fig9d measures wall-clock seconds per estimate, so its repeats stay
+// sequential regardless of Config.Parallel: concurrent estimates would
+// contend for cores and inflate every measured duration.
 func fig9d(cfg Config) (*Result, error) {
 	xs := sweep(100, 500, 100)
 	rows := make([][]float64, len(xs))

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"runtime"
+
+	"repro/internal/conc"
+)
+
+// workers resolves Config.Parallel: 0 means one worker per logical CPU,
+// 1 forces a sequential run, anything else caps the goroutine count.
+func (c Config) workers() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for every i in [0, n), fanning the calls out over at
+// most `workers` goroutines. Every experiment repeat already derives its
+// RNG deterministically from (seed, index), so the jobs are independent;
+// each writes only its own index-addressed result slot and the caller
+// reduces the slots in index order afterwards, which keeps parallel runs
+// byte-identical to sequential ones. On failure the error of the lowest
+// index wins, matching a sequential loop's first-error semantics.
+func forEach(workers, n int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	conc.ForEach(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

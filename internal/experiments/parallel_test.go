@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		hits := make([]int32, 100)
+		if err := forEach(workers, len(hits), func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := forEach(8, 50, func(i int) error {
+		switch i {
+		case 7:
+			return errLow
+		case 30:
+			return errHigh
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Fatalf("got %v, want the error of the lowest failing index", err)
+	}
+}
+
+func TestConfigValidationRejectsNegativeParallel(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Parallel = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative Parallel accepted")
+	}
+}
+
+// Parallel sweeps must be byte-identical to sequential ones: every
+// repeat derives its RNG from the seed and its own index, and results
+// are reduced in index order. fig7b/fig9d are excluded — they measure
+// wall-clock time, which no scheduler reproduces.
+func TestParallelSweepsMatchSequential(t *testing.T) {
+	ids := []string{"fig6b", "fig7a", "fig9a", "fig9b", "fig9c", "fig10a", "fig10d", "ablation-selectors", "ablation-buckets", "table3"}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			seq := tinyConfig()
+			seq.Parallel = 1
+			par := tinyConfig()
+			par.Parallel = 8
+			want, err := Run(id, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(id, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("parallel artifact diverges from sequential:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}

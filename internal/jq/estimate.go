@@ -3,7 +3,7 @@ package jq
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/worker"
@@ -37,7 +37,7 @@ const DefaultNumBuckets = 50
 // and φ(q) = ln(q/(1−q)) bounded by φ(0.99) < 5 (Section 4.4).
 const HighQualityCutoff = 0.99
 
-// Options configures Estimate.
+// Options configures Estimate and NewEstimator.
 type Options struct {
 	// NumBuckets is the number of equal-width buckets dividing
 	// [0, max φ(q_i)]. Zero selects DefaultNumBuckets.
@@ -45,6 +45,12 @@ type Options struct {
 	// DisablePruning turns off the Algorithm 2 pruning; results are
 	// identical, only slower. Used by the Figure 9(d) experiment.
 	DisablePruning bool
+	// DisableMemo turns off the Estimator's result memoization. Ignored
+	// by the one-shot Estimate, which never memoizes.
+	DisableMemo bool
+	// MemoLimit caps the number of juries the Estimator memoizes; zero
+	// selects DefaultMemoLimit. Ignored by Estimate.
+	MemoLimit int
 }
 
 // Result carries the estimate and the work counters used by the pruning
@@ -126,36 +132,60 @@ func Estimate(pool worker.Pool, alpha float64, opts Options) (Result, error) {
 		return Result{JQ: 0.5, ShortCircuited: true}, nil
 	}
 	delta := upper / float64(opts.NumBuckets)
-	type bq struct {
-		b int
-		q float64
-	}
-	workers := make([]bq, n)
+	workers := make([]bucketedWorker, n)
+	span := 0
 	for i := range qs {
-		workers[i] = bq{b: int(math.Ceil(phis[i]/delta - 0.5)), q: qs[i]}
+		workers[i] = bucketedWorker{b: bucketOf(phis[i], delta), q: qs[i]}
+		span += workers[i].b
 	}
+
+	res := Result{Bound: ErrorBound(n, upper, opts.NumBuckets)}
+	curBuf, nextBuf := acquireBuffer(2*span+1), acquireBuffer(2*span+1)
+	defer dpBuffers.Put(curBuf)
+	defer dpBuffers.Put(nextBuf)
+	bucketDP(workers, make([]int, n+1), *curBuf, *nextBuf, opts.DisablePruning, &res)
+	return res, nil
+}
+
+// bucketedWorker is one jury member after bucketization: the integer
+// log-odds bucket b and the (normalized) quality q.
+type bucketedWorker struct {
+	b int
+	q float64
+}
+
+// bucketOf maps a log-odds value to its integer bucket, b = ⌈φ/Δ − ½⌉.
+func bucketOf(phi, delta float64) int {
+	return int(math.Ceil(phi/delta - 0.5))
+}
+
+// bucketDP runs the sorted (key, prob) dynamic program of Algorithms 1–2
+// over the bucketized jury, accumulating the estimate and work counters
+// into res. It is the single shared core of Estimate and Estimator, which
+// keeps the two paths bit-identical by construction.
+//
+// workers holds the jury in evaluation order and is sorted in place by
+// decreasing bucket. aggregate must have length len(workers)+1; cur and
+// next must both be all-zero with length 2·span+1 where span = Σ b_i, and
+// are returned all-zero (every consumed slot is re-zeroed).
+func bucketDP(workers []bucketedWorker, aggregate []int, cur, next []float64, disablePruning bool, res *Result) {
+	n := len(workers)
 	// Sort by decreasing bucket so the largest keys appear first, making
 	// the pruning suffix-bound as tight as possible as early as possible.
-	sort.Slice(workers, func(i, j int) bool { return workers[i].b > workers[j].b })
+	// slices.SortFunc (unlike sort.Slice) does not box its argument, which
+	// keeps steady-state Estimator evaluations allocation-free.
+	slices.SortFunc(workers, func(a, b bucketedWorker) int { return b.b - a.b })
 
 	// aggregate[i] = Σ_{j ≥ i} b_j: the largest swing the remaining
 	// workers can still apply to a key (Algorithm 2's AggregateBucket).
-	aggregate := make([]int, n+1)
+	aggregate[n] = 0
 	for i := n - 1; i >= 0; i-- {
 		aggregate[i] = aggregate[i+1] + workers[i].b
 	}
 	span := aggregate[0] // Σ b_i bounds |key| over the whole run
 
-	res := Result{Bound: ErrorBound(n, upper, opts.NumBuckets)}
-
-	// Dense DP over keys in [−span, span], stored at offset +span. Two
-	// recycled buffers are swapped each iteration; [lo, hi] tracks the
-	// live window. Every consumed slot is zeroed, so the buffers go back
-	// to the pool clean.
-	curBuf, nextBuf := acquireBuffer(2*span+1), acquireBuffer(2*span+1)
-	defer dpBuffers.Put(curBuf)
-	defer dpBuffers.Put(nextBuf)
-	cur, next := *curBuf, *nextBuf
+	// Dense DP over keys in [−span, span], stored at offset +span. The two
+	// buffers are swapped each iteration; [lo, hi] tracks the live window.
 	cur[span] = 1 // SM[0] = 1
 	lo, hi := span, span
 	var estimate float64
@@ -171,7 +201,7 @@ func Estimate(pool worker.Pool, alpha float64, opts Options) (Result, error) {
 			cur[k] = 0
 			res.KeysVisited++
 			key := k - span
-			if !opts.DisablePruning {
+			if !disablePruning {
 				// Algorithm 2: once |key| exceeds the remaining swing the
 				// final sign is fixed; positive keys contribute their full
 				// descendant mass (the vote-probability factors sum to 1),
@@ -219,7 +249,6 @@ func Estimate(pool worker.Pool, alpha float64, opts Options) (Result, error) {
 		}
 	}
 	res.JQ = estimate
-	return res, nil
 }
 
 // ErrorBound returns the additive approximation bound of Section 4.4,

@@ -105,7 +105,13 @@ func ExactBV(pool worker.Pool, alpha float64) (float64, error) {
 	if n > MaxExactJurySize {
 		return 0, fmt.Errorf("%w: n=%d > %d", ErrJuryTooLarge, n, MaxExactJurySize)
 	}
-	qs := pool.Qualities()
+	return exactBVOf(pool.Qualities(), alpha), nil
+}
+
+// exactBVOf is the enumeration core of ExactBV, shared with the
+// ExactBVEvaluator fast path so both produce bit-identical results.
+func exactBVOf(qs []float64, alpha float64) float64 {
+	n := len(qs)
 	var jq float64
 	for mask := 0; mask < 1<<uint(n); mask++ {
 		p0, p1 := alpha, 1-alpha
@@ -124,7 +130,7 @@ func ExactBV(pool worker.Pool, alpha float64) (float64, error) {
 			jq += p1
 		}
 	}
-	return jq, nil
+	return jq
 }
 
 // correctCountDistribution returns dp where dp[k] = P(exactly k of the

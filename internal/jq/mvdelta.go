@@ -1,0 +1,133 @@
+package jq
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/worker"
+)
+
+// MVStats reports the incremental work an MVEvaluator has performed.
+type MVStats struct {
+	// Evals counts Eval calls.
+	Evals int
+	// Appended counts single-worker O(n) DP extensions; a fully
+	// incremental workload (add/swap/remove of one worker per Eval, as
+	// the annealing search produces) keeps Appended close to Evals.
+	Appended int
+	// Rollbacks counts evaluations that had to rewind the snapshot stack
+	// because a worker left the jury.
+	Rollbacks int
+}
+
+// MVEvaluator evaluates JQ(J, MV, α) for arbitrary subsets of a fixed
+// candidate pool with O(n)-update delta evaluation of the
+// Poisson-binomial dynamic program.
+//
+// The evaluator keeps the current jury in canonical (ascending index)
+// order together with a stack of DP snapshots, one per prefix: snapshot
+// j is the correct-vote-count distribution over the first j members.
+// Adding a worker at the end extends the DP by one O(n) row; removing a
+// worker rolls back to the snapshot before its position and re-applies
+// the survivors — the same multiply-accumulate sequence a from-scratch
+// forward DP would run, which keeps every result bit-identical to
+// MajorityClosedForm on the canonical subset. Consecutive juries that
+// differ by one add/swap/remove (the annealing workload) therefore cost
+// O(n·distance-from-divergence) instead of a fresh O(n²) DP, with zero
+// allocation in steady state.
+//
+// Not safe for concurrent use.
+type MVEvaluator struct {
+	alpha   float64
+	qs      []float64
+	members []int
+	// dps[j] is the Poisson-binomial DP over members[:j] (len j+1).
+	// Slices are allocated once per depth and overwritten on reuse.
+	dps   [][]float64
+	idx   []int
+	stats MVStats
+}
+
+// NewMVEvaluator validates the pool and prior once.
+func NewMVEvaluator(pool worker.Pool, alpha float64) (*MVEvaluator, error) {
+	if err := pool.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkPrior(alpha); err != nil {
+		return nil, err
+	}
+	return &MVEvaluator{
+		alpha: alpha,
+		qs:    pool.Qualities(),
+		dps:   [][]float64{{1}}, // DP over the empty jury
+	}, nil
+}
+
+// Stats returns the delta-evaluation counters.
+func (e *MVEvaluator) Stats() MVStats { return e.stats }
+
+// Eval returns JQ(J, MV, α) of the jury given by candidate-pool indices
+// (any order, duplicates allowed). The result is bit-identical to
+// MajorityClosedForm(pool.Subset(sortedIndices), alpha). An empty subset
+// returns worker.ErrEmptyPool, matching the direct computation.
+func (e *MVEvaluator) Eval(indices []int) (float64, error) {
+	if len(indices) == 0 {
+		return 0, worker.ErrEmptyPool
+	}
+	e.idx = append(e.idx[:0], indices...)
+	slices.Sort(e.idx)
+	if e.idx[0] < 0 || e.idx[len(e.idx)-1] >= len(e.qs) {
+		return 0, fmt.Errorf("%w: n=%d, indices %v", ErrIndexRange, len(e.qs), e.idx)
+	}
+	e.stats.Evals++
+
+	// Keep the longest common prefix of the current jury, rewind past
+	// the first divergence, and extend with the remaining members.
+	lcp := 0
+	for lcp < len(e.members) && lcp < len(e.idx) && e.members[lcp] == e.idx[lcp] {
+		lcp++
+	}
+	if lcp < len(e.members) {
+		e.stats.Rollbacks++
+		e.members = e.members[:lcp]
+	}
+	for _, i := range e.idx[lcp:] {
+		e.push(e.qs[i])
+		e.members = append(e.members, i)
+	}
+
+	// Tail evaluation, mirroring MajorityClosedForm expression for
+	// expression so the float result is identical.
+	n := len(e.members)
+	dp := e.dps[n]
+	var pCorrect0, pCorrect1 float64
+	for k := 0; k <= n; k++ {
+		if 2*k >= n+1 {
+			pCorrect0 += dp[k]
+		}
+		if 2*k >= n {
+			pCorrect1 += dp[k]
+		}
+	}
+	return e.alpha*pCorrect0 + (1-e.alpha)*pCorrect1, nil
+}
+
+// push extends the DP stack by one worker of quality q. The recurrence
+// matches correctCountDistribution slot for slot: the in-place descending
+// update there reads only pre-update values, which is exactly the
+// prev-snapshot read here, and its dp[i+1] slot holds zero before the
+// update, so 0·(1−q) + dp[i]·q reduces to the dp[i]·q written here.
+func (e *MVEvaluator) push(q float64) {
+	j := len(e.members)
+	prev := e.dps[j]
+	if len(e.dps) == j+1 {
+		e.dps = append(e.dps, make([]float64, j+2))
+	}
+	next := e.dps[j+1]
+	next[0] = prev[0] * (1 - q)
+	for k := 1; k <= j; k++ {
+		next[k] = prev[k]*(1-q) + prev[k-1]*q
+	}
+	next[j+1] = prev[j] * q
+	e.stats.Appended++
+}

@@ -2,10 +2,16 @@ package selection
 
 import (
 	"math/rand"
+	"runtime"
 
 	"repro/internal/anneal"
+	"repro/internal/conc"
 	"repro/internal/worker"
 )
+
+// restartSeedStride separates the derived RNG seeds of annealing
+// restarts; restart r runs on Seed + r·restartSeedStride.
+const restartSeedStride = 0x9E3779B9
 
 // Annealing is the simulated-annealing JSP heuristic of Algorithm 3, with
 // the add-or-swap local search of Algorithm 4. The state is the selection
@@ -17,6 +23,10 @@ import (
 // Unlike the paper's pseudo-code, the best jury seen across the whole run
 // is returned rather than the final state; this never hurts and makes the
 // returned quality monotone in the number of iterations.
+//
+// Objective evaluations go through the objective's Evaluator fast path
+// (see EvaluatorProvider): the per-pool setup runs once per restart, and
+// each move is scored from precomputed state with no per-move allocation.
 type Annealing struct {
 	Objective Objective
 	// Schedule defaults to anneal.DefaultSchedule() when zero.
@@ -25,7 +35,11 @@ type Annealing struct {
 	// inputs return identical juries.
 	Seed int64
 	// Restarts runs the annealing loop multiple times (fresh random state,
-	// derived seeds) and keeps the best jury. Zero means 1.
+	// derived seeds) and keeps the best jury. Zero means 1. Restarts fan
+	// out across a bounded goroutine pool; because every restart derives
+	// its RNG and evaluator independently and the results are folded in
+	// restart order, the outcome is identical to running them
+	// sequentially.
 	Restarts int
 	// AllowRemoval extends Algorithm 4 with a pure removal move: when the
 	// chosen swap is infeasible (it would exceed the budget), the member
@@ -57,18 +71,24 @@ func (a Annealing) Select(pool worker.Pool, budget, alpha float64) (Result, erro
 	if restarts < 1 {
 		restarts = 1
 	}
+	results := make([]Result, restarts)
+	errs := make([]error, restarts)
+	conc.ForEach(runtime.GOMAXPROCS(0), restarts, func(r int) {
+		rng := rand.New(rand.NewSource(a.Seed + int64(r)*restartSeedStride))
+		results[r], errs[r] = a.run(pool, budget, alpha, schedule, rng)
+	})
+	// Fold in restart order so the result matches a sequential run
+	// bit for bit: the first error wins, ties keep the earlier restart.
 	var best Result
 	bestSet := false
 	evals := 0
 	for r := 0; r < restarts; r++ {
-		rng := rand.New(rand.NewSource(a.Seed + int64(r)*0x9E3779B9))
-		res, err := a.run(pool, budget, alpha, schedule, rng)
-		if err != nil {
-			return Result{}, err
+		if errs[r] != nil {
+			return Result{}, errs[r]
 		}
-		evals += res.Evaluations
-		if !bestSet || res.JQ > best.JQ {
-			best = res
+		evals += results[r].Evaluations
+		if !bestSet || results[r].JQ > best.JQ {
+			best = results[r]
 			bestSet = true
 		}
 	}
@@ -76,28 +96,56 @@ func (a Annealing) Select(pool worker.Pool, budget, alpha float64) (Result, erro
 	return best, nil
 }
 
+// annealSearch is the mutable state of one annealing pass: the selection
+// vector, the member list, and the scratch buffer the swap move builds
+// candidate juries in. members and spare are two fixed backing arrays
+// that trade roles when a move is accepted, so the whole search allocates
+// nothing per move.
+type annealSearch struct {
+	costs        []float64
+	eval         Evaluator
+	budget       float64
+	rng          *rand.Rand
+	allowRemoval bool
+
+	selected []bool // X
+	members  []int
+	spare    []int
+	cost     float64 // M
+	curJQ    float64
+	evals    int
+}
+
+func (s *annealSearch) objective(indices []int) (float64, error) {
+	s.evals++
+	return s.eval.Eval(indices)
+}
+
 // run executes one annealing pass (Algorithm 3).
 func (a Annealing) run(pool worker.Pool, budget, alpha float64, schedule anneal.Schedule, rng *rand.Rand) (Result, error) {
 	n := len(pool)
-	costs := pool.Costs()
-
-	selected := make([]bool, n) // X
-	members := make([]int, 0, n)
-	var cost float64 // M
-	evals := 0
-
-	objective := func(indices []int) (float64, error) {
-		evals++
-		return a.Objective.JQ(pool.Subset(indices), alpha)
-	}
-
-	curJQ, err := objective(members)
+	eval, err := newEvaluator(a.Objective, pool, alpha)
 	if err != nil {
 		return Result{}, err
 	}
-	bestJQ := curJQ
-	bestMembers := append([]int(nil), members...)
-	bestCost := cost
+	s := &annealSearch{
+		costs:        pool.Costs(),
+		eval:         eval,
+		budget:       budget,
+		rng:          rng,
+		allowRemoval: a.AllowRemoval,
+		selected:     make([]bool, n),
+		members:      make([]int, 0, n),
+		spare:        make([]int, 0, n),
+	}
+
+	s.curJQ, err = s.objective(s.members)
+	if err != nil {
+		return Result{}, err
+	}
+	bestJQ := s.curJQ
+	bestMembers := append([]int(nil), s.members...)
+	bestCost := s.cost
 
 	var loopErr error
 	_, err = anneal.Run(schedule, func(temp float64) {
@@ -105,26 +153,26 @@ func (a Annealing) run(pool worker.Pool, budget, alpha float64, schedule anneal.
 			return
 		}
 		for step := 0; step < n; step++ {
-			r := rng.Intn(n)
-			if !selected[r] && cost+costs[r] <= budget {
+			r := s.rng.Intn(n)
+			if !s.selected[r] && s.cost+s.costs[r] <= s.budget {
 				// Add r (Algorithm 3, steps 9–11).
-				selected[r] = true
-				members = append(members, r)
-				cost += costs[r]
-				newJQ, err := objective(members)
+				s.selected[r] = true
+				s.members = append(s.members, r)
+				s.cost += s.costs[r]
+				newJQ, err := s.objective(s.members)
 				if err != nil {
 					loopErr = err
 					return
 				}
-				curJQ = newJQ
-			} else if err := a.swap(pool, budget, alpha, selected, &members, &cost, &curJQ, r, temp, rng, &evals); err != nil {
+				s.curJQ = newJQ
+			} else if err := s.swap(r, temp); err != nil {
 				loopErr = err
 				return
 			}
-			if curJQ > bestJQ {
-				bestJQ = curJQ
-				bestMembers = append(bestMembers[:0], members...)
-				bestCost = cost
+			if s.curJQ > bestJQ {
+				bestJQ = s.curJQ
+				bestMembers = append(bestMembers[:0], s.members...)
+				bestCost = s.cost
 			}
 		}
 	})
@@ -140,30 +188,30 @@ func (a Annealing) run(pool worker.Pool, budget, alpha float64, schedule anneal.
 		Indices:     indices,
 		JQ:          bestJQ,
 		Cost:        bestCost,
-		Evaluations: evals,
+		Evaluations: s.evals,
 	}, nil
 }
 
 // swap implements Algorithm 4: exchange one selected worker against one
 // unselected worker, accepting by the Boltzmann rule.
-func (a Annealing) swap(pool worker.Pool, budget, alpha float64, selected []bool, members *[]int, cost, curJQ *float64, r int, temp float64, rng *rand.Rand, evals *int) error {
-	n := len(pool)
+func (s *annealSearch) swap(r int, temp float64) error {
+	n := len(s.selected)
 	var out, in int // out leaves the jury, in enters
-	if !selected[r] {
-		if len(*members) == 0 {
+	if !s.selected[r] {
+		if len(s.members) == 0 {
 			return nil // nothing to swap against
 		}
-		out = (*members)[rng.Intn(len(*members))]
+		out = s.members[s.rng.Intn(len(s.members))]
 		in = r
 	} else {
-		free := n - len(*members)
+		free := n - len(s.members)
 		if free == 0 {
 			return nil // everyone is already selected
 		}
-		pick := rng.Intn(free)
+		pick := s.rng.Intn(free)
 		in = -1
 		for i := 0; i < n; i++ {
-			if !selected[i] {
+			if !s.selected[i] {
 				if pick == 0 {
 					in = i
 					break
@@ -173,44 +221,41 @@ func (a Annealing) swap(pool worker.Pool, budget, alpha float64, selected []bool
 		}
 		out = r
 	}
-	costs := pool.Costs()
-	newCost := *cost - costs[out] + costs[in]
-	candidate := make([]int, 0, len(*members))
-	for _, m := range *members {
+	newCost := s.cost - s.costs[out] + s.costs[in]
+	candidate := s.spare[:0]
+	for _, m := range s.members {
 		if m != out {
 			candidate = append(candidate, m)
 		}
 	}
-	if newCost > budget {
-		if !a.AllowRemoval || !selected[out] {
+	if newCost > s.budget {
+		if !s.allowRemoval || !s.selected[out] {
 			return nil
 		}
 		// Extension: fall back to removing `out` alone.
-		*evals++
-		newJQ, err := a.Objective.JQ(pool.Subset(candidate), alpha)
+		newJQ, err := s.objective(candidate)
 		if err != nil {
 			return err
 		}
-		if anneal.Accept(newJQ-*curJQ, temp, rng) {
-			selected[out] = false
-			*members = candidate
-			*cost -= costs[out]
-			*curJQ = newJQ
+		if anneal.Accept(newJQ-s.curJQ, temp, s.rng) {
+			s.selected[out] = false
+			s.members, s.spare = candidate, s.members
+			s.cost -= s.costs[out]
+			s.curJQ = newJQ
 		}
 		return nil
 	}
 	candidate = append(candidate, in)
-	*evals++
-	newJQ, err := a.Objective.JQ(pool.Subset(candidate), alpha)
+	newJQ, err := s.objective(candidate)
 	if err != nil {
 		return err
 	}
-	if anneal.Accept(newJQ-*curJQ, temp, rng) {
-		selected[out] = false
-		selected[in] = true
-		*members = candidate
-		*cost = newCost
-		*curJQ = newJQ
+	if anneal.Accept(newJQ-s.curJQ, temp, s.rng) {
+		s.selected[out] = false
+		s.selected[in] = true
+		s.members, s.spare = candidate, s.members
+		s.cost = newCost
+		s.curJQ = newJQ
 	}
 	return nil
 }

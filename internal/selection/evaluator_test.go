@@ -1,0 +1,184 @@
+package selection
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/jq"
+	"repro/internal/worker"
+)
+
+func evalTestPool(t *testing.T, seed int64, n int) worker.Pool {
+	t.Helper()
+	gen := datagen.DefaultConfig()
+	gen.N = n
+	pool, err := gen.Pool(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+// The evaluator-based exhaustive search must return exactly the jury a
+// direct enumeration with the plain objective picks: both evaluate
+// canonical ascending subsets, so even the tie-breaks coincide.
+func TestExhaustiveEvaluatorMatchesDirectEnumeration(t *testing.T) {
+	pool := evalTestPool(t, 51, 10)
+	for _, obj := range []Objective{BVExactObjective{}, MVObjective{}, BVObjective{}} {
+		got, err := Exhaustive{Objective: obj}.Select(pool, 0.3, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := pool.Costs()
+		best := Result{JQ: -1, Indices: []int{}}
+		for mask := 0; mask < 1<<len(pool); mask++ {
+			var cost float64
+			var indices []int
+			for i := 0; i < len(pool); i++ {
+				if mask&(1<<i) != 0 {
+					cost += costs[i]
+					indices = append(indices, i)
+				}
+			}
+			if cost > 0.3 {
+				continue
+			}
+			var score float64
+			var err error
+			if len(indices) == 0 {
+				score = 0.5
+			} else {
+				score, err = obj.JQ(pool.Subset(indices), 0.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if better(score, cost, indices, best) {
+				best = Result{Indices: append([]int(nil), indices...), JQ: score, Cost: cost}
+			}
+		}
+		if got.JQ != best.JQ || !reflect.DeepEqual(got.Indices, best.Indices) {
+			t.Fatalf("%s: evaluator path picked %v (JQ=%v), direct enumeration %v (JQ=%v)",
+				obj.Name(), got.Indices, got.JQ, best.Indices, best.JQ)
+		}
+	}
+}
+
+// plainObjective hides the EvaluatorProvider of an objective (interface
+// embedding promotes only Name and JQ), forcing the search down the
+// generic fallback adapter.
+type plainObjective struct{ Objective }
+
+// The fast path and the fallback adapter must drive the annealing search
+// to the same jury: evaluations are bit-identical on canonical subsets,
+// and the MV/BV-exact objectives are order-invariant, so the whole
+// random trajectory coincides.
+func TestAnnealingEvaluatorMatchesFallback(t *testing.T) {
+	pool := evalTestPool(t, 52, 24)
+	for _, obj := range []Objective{MVObjective{}, BVExactObjective{}} {
+		fast, err := Annealing{Objective: obj, Seed: 9}.Select(pool, 0.3, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := Annealing{Objective: plainObjective{obj}, Seed: 9}.Select(pool, 0.3, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fast.Indices, slow.Indices) || math.Abs(fast.JQ-slow.JQ) > 1e-12 {
+			t.Fatalf("%s: fast path %v (JQ=%v) != fallback %v (JQ=%v)",
+				obj.Name(), fast.Indices, fast.JQ, slow.Indices, slow.JQ)
+		}
+		if fast.Evaluations != slow.Evaluations {
+			t.Fatalf("%s: evaluation counts diverged: %d vs %d",
+				obj.Name(), fast.Evaluations, slow.Evaluations)
+		}
+	}
+}
+
+// Parallel restarts must be invisible: the folded result equals running
+// each restart as its own single-pass selector and keeping the first
+// best, bit for bit, and repeated Selects are identical.
+func TestAnnealingParallelRestartsDeterministic(t *testing.T) {
+	pool := evalTestPool(t, 53, 30)
+	const restarts = 4
+	sel := Annealing{Objective: BVObjective{}, Seed: 17, Restarts: restarts, AllowRemoval: true}
+	got, err := sel.Select(pool, 0.4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := sel.Select(pool, 0.4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Fatalf("repeated Select differs:\n%+v\n%+v", got, again)
+	}
+	// Reference: sequential fold over single-restart runs on the derived
+	// seeds.
+	var want Result
+	wantSet := false
+	evals := 0
+	for r := 0; r < restarts; r++ {
+		single := Annealing{
+			Objective:    BVObjective{},
+			Seed:         17 + int64(r)*restartSeedStride,
+			AllowRemoval: true,
+		}
+		res, err := single.Select(pool, 0.4, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evals += res.Evaluations
+		if !wantSet || res.JQ > want.JQ {
+			want = res
+			wantSet = true
+		}
+	}
+	want.Evaluations = evals
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parallel restarts diverge from sequential fold:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// The BV estimator's memo must be exercised by a real annealing run —
+// the whole point of the engine is that revisited juries are free.
+func TestAnnealingHitsEstimatorMemo(t *testing.T) {
+	pool := evalTestPool(t, 54, 30)
+	est, err := jq.NewEstimator(pool, 0.5, jq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := &bvEvaluator{est: est, alpha: 0.5}
+	s := &annealSearch{
+		costs:    pool.Costs(),
+		eval:     eval,
+		budget:   0.4,
+		rng:      rand.New(rand.NewSource(3)),
+		selected: make([]bool, len(pool)),
+		members:  make([]int, 0, len(pool)),
+		spare:    make([]int, 0, len(pool)),
+	}
+	if s.curJQ, err = s.objective(s.members); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 4000; step++ {
+		r := s.rng.Intn(len(pool))
+		if !s.selected[r] && s.cost+s.costs[r] <= s.budget {
+			s.selected[r] = true
+			s.members = append(s.members, r)
+			s.cost += s.costs[r]
+			if s.curJQ, err = s.objective(s.members); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := s.swap(r, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := est.Stats()
+	if stats.Hits == 0 {
+		t.Fatalf("annealing-shaped workload produced no memo hits: %+v", stats)
+	}
+}

@@ -38,6 +38,10 @@ func (e Exhaustive) Select(pool worker.Pool, budget, alpha float64) (Result, err
 	if n > MaxExhaustiveN {
 		return Result{}, fmt.Errorf("%w: N=%d > %d", ErrPoolTooLarge, n, MaxExhaustiveN)
 	}
+	eval, err := newEvaluator(e.Objective, pool, alpha)
+	if err != nil {
+		return Result{}, err
+	}
 	costs := pool.Costs()
 	best := Result{JQ: -1, Indices: []int{}}
 	evals := 0
@@ -54,20 +58,20 @@ func (e Exhaustive) Select(pool worker.Pool, budget, alpha float64) (Result, err
 		if cost > budget {
 			continue
 		}
-		score, err := e.Objective.JQ(pool.Subset(indices), alpha)
+		score, err := eval.Eval(indices)
 		if err != nil {
 			return Result{}, err
 		}
 		evals++
 		if better(score, cost, indices, best) {
 			best = Result{
-				Jury:    pool.Subset(indices),
 				Indices: append([]int(nil), indices...),
 				JQ:      score,
 				Cost:    cost,
 			}
 		}
 	}
+	best.Jury = pool.Subset(best.Indices)
 	best.Evaluations = evals
 	return best, nil
 }

@@ -112,7 +112,9 @@ func rankedIndices(pool worker.Pool, less func(a, b worker.Worker) bool) []int {
 }
 
 // greedyFill walks the ranked indices, adding every worker that still fits
-// the budget, then scores the resulting jury once.
+// the budget, then scores the resulting jury once through the generic
+// subset adapter (a per-pool evaluator engine would not amortize over a
+// single evaluation).
 func greedyFill(pool worker.Pool, order []int, budget, alpha float64, obj Objective) (Result, error) {
 	var cost float64
 	var chosen []int
@@ -124,7 +126,11 @@ func greedyFill(pool worker.Pool, order []int, budget, alpha float64, obj Object
 		}
 	}
 	indices := sortedCopy(chosen)
-	score, err := obj.JQ(pool.Subset(indices), alpha)
+	// One jury is scored exactly once, so the generic adapter is the
+	// right evaluator here: a per-pool engine (EvaluatorProvider) pays
+	// O(N) precompute that only amortizes over repeated evaluations.
+	eval := &fallbackEvaluator{obj: obj, pool: pool, alpha: alpha}
+	score, err := eval.Eval(indices)
 	if err != nil {
 		return Result{}, err
 	}

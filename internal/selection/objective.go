@@ -34,6 +34,106 @@ type Objective interface {
 // count and degenerates the same way.
 func priorOnlyJQ(alpha float64) float64 { return math.Max(alpha, 1-alpha) }
 
+// Evaluator is the index-based fast path of an Objective: built once per
+// (candidate pool, prior), it scores juries given as index slices into
+// that pool without materializing worker.Pool subsets or redoing the
+// per-pool setup (validation, normalization, log-odds) on every call.
+// Indices may arrive in any order; a duplicated index counts as two
+// jury members, exactly as Pool.Subset would materialize it. An empty
+// slice scores the empty jury, max(α, 1−α).
+//
+// Evaluators own scratch state and are NOT safe for concurrent use; a
+// search running in parallel must build one evaluator per goroutine.
+type Evaluator interface {
+	// Name identifies the underlying objective.
+	Name() string
+	// Eval scores the jury identified by indices into the candidate pool.
+	Eval(indices []int) (float64, error)
+}
+
+// EvaluatorProvider is implemented by objectives that can build such an
+// engine. Objectives without it fall back to a generic adapter that
+// materializes each subset (into a reused buffer) and calls JQ.
+type EvaluatorProvider interface {
+	NewEvaluator(pool worker.Pool, alpha float64) (Evaluator, error)
+}
+
+// newEvaluator returns the objective's fast evaluator when it provides
+// one, and the generic adapter otherwise.
+func newEvaluator(obj Objective, pool worker.Pool, alpha float64) (Evaluator, error) {
+	if p, ok := obj.(EvaluatorProvider); ok {
+		return p.NewEvaluator(pool, alpha)
+	}
+	return &fallbackEvaluator{obj: obj, pool: pool, alpha: alpha}, nil
+}
+
+// fallbackEvaluator adapts a plain Objective: each call materializes the
+// subset into a reused buffer, which the objective must not retain.
+type fallbackEvaluator struct {
+	obj     Objective
+	pool    worker.Pool
+	alpha   float64
+	scratch worker.Pool
+}
+
+func (f *fallbackEvaluator) Name() string { return f.obj.Name() }
+
+func (f *fallbackEvaluator) Eval(indices []int) (float64, error) {
+	f.scratch = f.pool.SubsetInto(f.scratch[:0], indices)
+	return f.obj.JQ(f.scratch, f.alpha)
+}
+
+// bvEvaluator wraps the jq.Estimator engine as a selection Evaluator.
+type bvEvaluator struct {
+	est   *jq.Estimator
+	alpha float64
+}
+
+func (e *bvEvaluator) Name() string { return "BV" }
+
+func (e *bvEvaluator) Eval(indices []int) (float64, error) {
+	if len(indices) == 0 {
+		return priorOnlyJQ(e.alpha), nil
+	}
+	res, err := e.est.Eval(indices)
+	if err != nil {
+		return 0, err
+	}
+	return res.JQ, nil
+}
+
+// bvExactEvaluator wraps jq.ExactBVEvaluator.
+type bvExactEvaluator struct {
+	eval  *jq.ExactBVEvaluator
+	alpha float64
+}
+
+func (e *bvExactEvaluator) Name() string { return "BV-exact" }
+
+func (e *bvExactEvaluator) Eval(indices []int) (float64, error) {
+	if len(indices) == 0 {
+		return priorOnlyJQ(e.alpha), nil
+	}
+	return e.eval.Eval(indices)
+}
+
+// mvEvaluator wraps jq.MVEvaluator. Like MVObjective it scores non-empty
+// juries at the baseline's fixed uniform prior and uses the caller's
+// prior only for the empty jury.
+type mvEvaluator struct {
+	eval  *jq.MVEvaluator
+	alpha float64
+}
+
+func (e *mvEvaluator) Name() string { return "MV" }
+
+func (e *mvEvaluator) Eval(indices []int) (float64, error) {
+	if len(indices) == 0 {
+		return priorOnlyJQ(e.alpha), nil
+	}
+	return e.eval.Eval(indices)
+}
+
 // BVObjective scores juries with the bucket-approximated JQ under Bayesian
 // Voting (Algorithm 1). This is the OPTJS objective.
 type BVObjective struct {
@@ -56,6 +156,16 @@ func (o BVObjective) JQ(jury worker.Pool, alpha float64) (float64, error) {
 	return res.JQ, nil
 }
 
+// NewEvaluator implements EvaluatorProvider with a memoizing
+// jq.Estimator built once for the pool.
+func (o BVObjective) NewEvaluator(pool worker.Pool, alpha float64) (Evaluator, error) {
+	est, err := jq.NewEstimator(pool, alpha, jq.Options{NumBuckets: o.NumBuckets})
+	if err != nil {
+		return nil, err
+	}
+	return &bvEvaluator{est: est, alpha: alpha}, nil
+}
+
 // BVExactObjective scores juries with the exact (exponential) JQ under
 // Bayesian Voting. Only usable for juries up to jq.MaxExactJurySize; it is
 // the reference objective for the Figure 7(a) optimality-gap experiment.
@@ -70,6 +180,15 @@ func (BVExactObjective) JQ(jury worker.Pool, alpha float64) (float64, error) {
 		return priorOnlyJQ(alpha), nil
 	}
 	return jq.ExactBV(jury, alpha)
+}
+
+// NewEvaluator implements EvaluatorProvider.
+func (BVExactObjective) NewEvaluator(pool worker.Pool, alpha float64) (Evaluator, error) {
+	eval, err := jq.NewExactBVEvaluator(pool, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &bvExactEvaluator{eval: eval, alpha: alpha}, nil
 }
 
 // MVObjective scores juries with the closed-form JQ under Majority Voting —
@@ -88,6 +207,16 @@ func (MVObjective) JQ(jury worker.Pool, alpha float64) (float64, error) {
 		return priorOnlyJQ(alpha), nil
 	}
 	return jq.MajorityClosedForm(jury, 0.5)
+}
+
+// NewEvaluator implements EvaluatorProvider with the delta-updating
+// Poisson-binomial engine.
+func (MVObjective) NewEvaluator(pool worker.Pool, alpha float64) (Evaluator, error) {
+	eval, err := jq.NewMVEvaluator(pool, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	return &mvEvaluator{eval: eval, alpha: alpha}, nil
 }
 
 // Result is the outcome of a jury selection.

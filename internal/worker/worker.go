@@ -168,6 +168,17 @@ func (p Pool) Subset(indices []int) Pool {
 	return out
 }
 
+// SubsetInto appends the workers at the given indices to dst and returns
+// it, letting hot paths reuse one backing array across many subset
+// evaluations instead of allocating with Subset. dst may be nil. It
+// panics on out-of-range indices.
+func (p Pool) SubsetInto(dst Pool, indices []int) Pool {
+	for _, idx := range indices {
+		dst = append(dst, p[idx])
+	}
+	return dst
+}
+
 // SortByQualityDesc returns a copy sorted by decreasing quality, breaking
 // ties by increasing cost (cheaper first) and then by pool order so the sort
 // is deterministic.
