@@ -9,7 +9,10 @@
 package repro_test
 
 import (
+	"bytes"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"testing"
 
@@ -18,6 +21,7 @@ import (
 	"repro/internal/jq"
 	"repro/internal/multichoice"
 	"repro/internal/selection"
+	"repro/internal/server"
 	"repro/internal/voting"
 	"repro/internal/worker"
 )
@@ -354,4 +358,42 @@ func BenchmarkAblationSweepParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServerSelect measures the juryd serving path end to end
+// (request decode → registry snapshot → selection → response encode) with
+// the selection cache on and off. The cached variant answers every
+// repeated request from the signature-keyed cache; the uncached variant
+// re-runs the annealing search per request — the gap is the amortization
+// the serving subsystem exists to provide.
+func BenchmarkServerSelect(b *testing.B) {
+	run := func(b *testing.B, cacheSize int) {
+		srv := server.New(server.Config{Alpha: 0.5, Seed: 1, CacheSize: cacheSize})
+		rng := rand.New(rand.NewSource(42))
+		specs := make([]server.WorkerSpec, 60)
+		for i := range specs {
+			specs[i] = server.WorkerSpec{
+				ID:      "w" + strconv.Itoa(i),
+				Quality: 0.55 + 0.4*rng.Float64(),
+				Cost:    1 + 9*rng.Float64(),
+			}
+		}
+		if _, err := srv.Registry().Register(specs, 0); err != nil {
+			b.Fatal(err)
+		}
+		h := srv.Handler()
+		body := []byte(`{"budget":40}`)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/select", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("select: %d %s", w.Code, w.Body)
+			}
+		}
+	}
+	b.Run("cached", func(b *testing.B) { run(b, 0) })
+	b.Run("uncached", func(b *testing.B) { run(b, -1) })
 }

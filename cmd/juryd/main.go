@@ -1,0 +1,138 @@
+// Command juryd is the long-running jury-selection daemon: it keeps a
+// worker registry resident, ingests graded vote events (Bayesian posterior
+// updates on worker qualities), and serves the Jury Selection Problem over
+// HTTP with a signature-keyed selection cache.
+//
+// Usage:
+//
+//	juryd [-addr :8700] [-alpha 0.5] [-seed 1] [-cache 4096]
+//	      [-workers 0] [-prior-strength 8] [-pool pool.json]
+//
+// The optional -pool file preloads the registry:
+//
+//	{"workers": [{"id": "w0", "quality": 0.8, "cost": 2}, ...]}
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz                 liveness + pool/session counts
+//	GET  /metrics                 Prometheus-style counters
+//	POST /v1/workers              register workers
+//	GET  /v1/workers[/{id}]       inspect the registry
+//	PUT  /v1/workers/{id}         operator override of quality/cost
+//	DELETE /v1/workers/{id}       deregister
+//	POST /v1/votes[/batch]        ingest graded vote events
+//	POST /v1/select               solve the JSP (cached)
+//	POST /v1/select/batch         budget sweep, fanned out in parallel
+//	POST /v1/sessions             open an online collection session
+//	POST /v1/sessions/{id}/votes  feed a session one vote
+//	GET  /v1/sessions/{id}        session state
+//	DELETE /v1/sessions/{id}      close a session
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "juryd:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds and serves the daemon until ctx is cancelled or a signal
+// arrives. It prints the bound address to out once listening, so callers
+// (and the smoke test) can pass ":0" and discover the port.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("juryd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8700", "listen address")
+	alpha := fs.Float64("alpha", 0.5, "default prior P(t=0)")
+	seed := fs.Int64("seed", 1, "default annealing seed")
+	cacheSize := fs.Int("cache", 0, "selection cache capacity (0 = default, negative = disabled)")
+	workers := fs.Int("workers", 0, "batch fan-out width (0 = all CPUs)")
+	priorStrength := fs.Float64("prior-strength", server.DefaultPriorStrength,
+		"pseudo-count weight of registered qualities")
+	poolFile := fs.String("pool", "", "JSON file preloading the worker registry")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Alpha:         *alpha,
+		Seed:          *seed,
+		Workers:       *workers,
+		CacheSize:     *cacheSize,
+		PriorStrength: *priorStrength,
+	})
+	if *poolFile != "" {
+		specs, err := loadPool(*poolFile)
+		if err != nil {
+			return err
+		}
+		if err := srv.Preload(specs); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "juryd: preloaded %d workers from %s\n", len(specs), *poolFile)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(out, "juryd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "juryd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// loadPool reads a RegisterRequest-shaped JSON file.
+func loadPool(path string) ([]server.WorkerSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var req server.RegisterRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("pool file %s: %w", path, err)
+	}
+	if len(req.Workers) == 0 {
+		return nil, fmt.Errorf("pool file %s: no workers", path)
+	}
+	return req.Workers, nil
+}

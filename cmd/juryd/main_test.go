@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lineWriter hands each written line to a channel, so the test can watch
+// for the "listening on" banner.
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	lines chan string
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	for {
+		line, err := w.buf.ReadString('\n')
+		if err != nil {
+			w.buf.WriteString(line) // incomplete line: push back
+			break
+		}
+		select {
+		case w.lines <- strings.TrimSpace(line):
+		default:
+		}
+	}
+	return len(p), nil
+}
+
+// startDaemon runs the daemon on a random port and returns its base URL
+// and a cancel that triggers graceful shutdown.
+func startDaemon(t *testing.T, args ...string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &lineWriter{lines: make(chan string, 16)}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out) }()
+
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case line := <-out.lines:
+			if addr, ok := strings.CutPrefix(line, "juryd: listening on "); ok {
+				return "http://" + addr, cancel, done
+			}
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v", err)
+		case <-deadline:
+			t.Fatal("daemon never announced its address")
+		}
+	}
+}
+
+func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
+	base, cancel, done := startDaemon(t)
+	defer cancel()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status":"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	// Register a worker and select over HTTP end to end.
+	resp, err = http.Post(base+"/v1/workers", "application/json",
+		strings.NewReader(`{"workers":[{"id":"a","quality":0.8,"cost":1},{"id":"b","quality":0.7,"cost":1},{"id":"c","quality":0.6,"cost":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/select", "application/json", strings.NewReader(`{"budget":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"jq"`) {
+		t.Fatalf("select: %d %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestDaemonPreloadsPoolFile(t *testing.T) {
+	dir := t.TempDir()
+	pool := filepath.Join(dir, "pool.json")
+	var b strings.Builder
+	b.WriteString(`{"workers":[`)
+	for i := 0; i < 5; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"id":"w%d","quality":0.6,"cost":1}`, i)
+	}
+	b.WriteString(`]}`)
+	if err := os.WriteFile(pool, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base, cancel, done := startDaemon(t, "-pool", pool)
+	defer func() { cancel(); <-done }()
+
+	resp, err := http.Get(base + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := strings.Count(string(body), `"id"`); got != 5 {
+		t.Fatalf("preloaded %d workers, want 5: %s", got, body)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-addr"}, io.Discard); err == nil {
+		t.Fatal("bad flags accepted")
+	}
+	if err := run(context.Background(), []string{"-pool", "/does/not/exist.json"}, io.Discard); err == nil {
+		t.Fatal("missing pool file accepted")
+	}
+}

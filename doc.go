@@ -64,4 +64,44 @@
 // are covered by BenchmarkAblationEstimatorJQ (direct vs estimator vs
 // estimator+memo), BenchmarkAblationMVDeltaJQ (closed form vs delta),
 // and BenchmarkAblationSweepParallel (sequential vs parallel sweeps).
+//
+// # Serving
+//
+// The paper frames jury selection as a query a requester asks repeatedly;
+// cmd/juryd serves that query as a long-running HTTP daemon built on
+// internal/server, with jury/serve as the matching client. Three pieces
+// make it a system rather than a CLI in a loop:
+//
+//   - Worker registry (server.Registry): the candidate pool lives in
+//     memory behind an RWMutex. Each worker carries a Beta posterior over
+//     its correctness probability, seeded from the registered quality as
+//     pseudo-counts (Config.PriorStrength votes' worth). Ingesting a
+//     graded vote event is one posterior step; the worker's quality is
+//     always the posterior mean, so quality drifts continuously as
+//     evidence accumulates — the online-processing view of Section 8.
+//   - Selection cache (server.SelectionCache): selections are memoized
+//     under a key that includes the pool signature — a hash of the exact
+//     (id, quality, cost) triples of the candidate set — plus budget,
+//     prior, strategy, and annealing seed.
+//   - Online sessions: sequential vote collection (internal/online) is
+//     exposed as a stateful resource; each posted vote advances an
+//     online.Session (the incremental engine Collect itself drives) and
+//     reports decision, confidence, and the stopping rule's verdict.
+//
+// Consistency model: a cached jury can never be served stale. The cache
+// key derives from the exact worker states the selection was computed
+// against, and every selector is deterministic given that key, so a
+// lookup either finds a bit-identical answer or misses. A vote ingest
+// that moves any posterior mean changes the pool signature, making every
+// prior key for that pool unconstructible — invalidation is structural,
+// not event-driven, and needs no cross-request coordination. The cost of
+// this design is garbage, not wrongness: superseded entries linger until
+// LRU eviction (bounded by Config.CacheSize). Selections run on immutable
+// pool snapshots outside all locks, so a long annealing search never
+// blocks ingestion; a selection raced by an ingest returns the jury that
+// was optimal for the snapshot it was asked about, tagged with that
+// snapshot's signature. Batch budget sweeps fan out over the bounded
+// internal/conc pool. BenchmarkServerSelect records the cached-versus-
+// uncached throughput gap; /metrics exposes request counts, cache hit
+// rate, and cumulative selection latency at runtime.
 package repro

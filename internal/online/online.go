@@ -247,45 +247,41 @@ var ErrNilSource = errors.New("online: nil vote source")
 // posterior log-odds are updated after every vote. Collection stops as
 // soon as the posterior confidence reaches cfg.Confidence (StopConfident),
 // when no affordable worker remains (StopBudget), or when the pool or
-// MaxVotes is exhausted (StopExhausted).
+// MaxVotes is exhausted (StopExhausted). Reaching MaxVotes reports
+// StopExhausted even if an unaffordable worker was skipped along the way:
+// the vote cap, not the budget, is what ended collection.
 func Collect(pool worker.Pool, src VoteSource, policy Policy, cfg Config, rng *rand.Rand) (Result, error) {
 	if err := pool.Validate(); err != nil {
-		return Result{}, err
-	}
-	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	if src == nil {
 		return Result{}, ErrNilSource
 	}
-	maxVotes := cfg.MaxVotes
-	if maxVotes == 0 || maxVotes > len(pool) {
-		maxVotes = len(pool)
+	sessCfg := cfg
+	if sessCfg.MaxVotes == 0 || sessCfg.MaxVotes > len(pool) {
+		sessCfg.MaxVotes = len(pool)
+	}
+	sess, err := NewSession(sessCfg)
+	if err != nil {
+		return Result{}, err
 	}
 
 	res := Result{Stopped: StopExhausted}
-	// Log posterior odds of answer 0, seeded by the prior.
-	logOdds := priorLogOdds(cfg.Alpha)
-	updateDecision := func() {
-		res.Decision = voting.No
-		if logOdds < 0 {
-			res.Decision = voting.Yes
-		}
-		res.Confidence = 1 / (1 + math.Exp(-math.Abs(logOdds)))
+	sync := func(st State) {
+		res.Decision = st.Decision
+		res.Confidence = st.Confidence
+		res.Cost = st.Cost
 	}
-	updateDecision()
-	if res.Confidence >= cfg.Confidence {
-		res.Stopped = StopConfident
+	sync(sess.State())
+	if st := sess.State(); st.Done {
+		res.Stopped = st.Stopped
 		return res, nil
 	}
 
 	skippedForBudget := false
 	for _, idx := range policy.Order(pool, rng) {
-		if len(res.Asked) >= maxVotes {
-			break
-		}
 		w := pool[idx]
-		if cfg.Budget > 0 && res.Cost+w.Cost > cfg.Budget {
+		if !sess.Affordable(w.Cost) {
 			skippedForBudget = true
 			continue
 		}
@@ -293,13 +289,15 @@ func Collect(pool worker.Pool, src VoteSource, policy Policy, cfg Config, rng *r
 		if err != nil {
 			return Result{}, err
 		}
+		st, err := sess.Observe(w.Quality, w.Cost, v)
+		if err != nil {
+			return Result{}, err
+		}
 		res.Asked = append(res.Asked, idx)
 		res.Votes = append(res.Votes, v)
-		res.Cost += w.Cost
-		logOdds += voteLogOdds(w.Quality, v)
-		updateDecision()
-		if res.Confidence >= cfg.Confidence {
-			res.Stopped = StopConfident
+		sync(st)
+		if st.Done {
+			res.Stopped = st.Stopped
 			return res, nil
 		}
 	}

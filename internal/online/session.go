@@ -1,0 +1,126 @@
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/voting"
+)
+
+// Session is the incremental core of sequential vote collection: a Bayesian
+// posterior over the task's answer that is updated one observed vote at a
+// time and reports when the stopping rule fires. Collect drives a Session
+// over a pool in policy order; a serving layer can instead keep a Session
+// alive across requests and feed it votes as they arrive from a real crowd.
+//
+// A Session is not safe for concurrent use; callers serialize access.
+type Session struct {
+	cfg     Config
+	logOdds float64
+	state   State
+}
+
+// State is a Session's externally visible progress.
+type State struct {
+	// Decision is the Bayesian decision on the votes observed so far.
+	Decision voting.Vote
+	// Confidence is the posterior probability of the decision.
+	Confidence float64
+	// Votes is the number of observed votes; Cost their total cost.
+	Votes int
+	Cost  float64
+	// Done reports whether the stopping rule has fired; Stopped says why
+	// (meaningful only when Done is true).
+	Done    bool
+	Stopped StopReason
+}
+
+// Errors returned by Session.Observe.
+var (
+	ErrSessionDone   = errors.New("online: session already stopped")
+	ErrOverBudget    = errors.New("online: vote cost exceeds remaining budget")
+	ErrObservedRange = errors.New("online: observed quality outside [0, 1]")
+)
+
+// NewSession starts a collection session under cfg. The initial state is
+// the prior alone: if the prior already clears the confidence threshold the
+// session starts Done with StopConfident and zero votes.
+func NewSession(cfg Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{cfg: cfg, logOdds: priorLogOdds(cfg.Alpha)}
+	s.refresh()
+	if s.state.Confidence >= cfg.Confidence {
+		s.state.Done = true
+		s.state.Stopped = StopConfident
+	}
+	return s, nil
+}
+
+// Config returns the session's stopping rule.
+func (s *Session) Config() Config { return s.cfg }
+
+// State returns the current progress.
+func (s *Session) State() State { return s.state }
+
+// Affordable reports whether a vote of the given cost still fits the
+// session budget (always true when the budget is unlimited).
+func (s *Session) Affordable(cost float64) bool {
+	return s.cfg.Budget == 0 || s.state.Cost+cost <= s.cfg.Budget
+}
+
+// Observe folds one vote by a worker of the given quality and cost into the
+// posterior and re-evaluates the stopping rule. It fails without changing
+// state when the session is already Done, when the vote does not fit the
+// remaining budget, or when quality is outside [0, 1].
+func (s *Session) Observe(quality, cost float64, v voting.Vote) (State, error) {
+	if s.state.Done {
+		return s.state, ErrSessionDone
+	}
+	if quality < 0 || quality > 1 || quality != quality {
+		return s.state, fmt.Errorf("%w: %v", ErrObservedRange, quality)
+	}
+	if cost < 0 || cost != cost {
+		return s.state, fmt.Errorf("online: negative vote cost %v", cost)
+	}
+	if !s.Affordable(cost) {
+		return s.state, fmt.Errorf("%w: cost %v with %v of %v spent",
+			ErrOverBudget, cost, s.state.Cost, s.cfg.Budget)
+	}
+	s.logOdds += voteLogOdds(quality, v)
+	s.state.Votes++
+	s.state.Cost += cost
+	s.refresh()
+	switch {
+	case s.state.Confidence >= s.cfg.Confidence:
+		s.state.Done = true
+		s.state.Stopped = StopConfident
+	case s.cfg.MaxVotes > 0 && s.state.Votes >= s.cfg.MaxVotes:
+		s.state.Done = true
+		s.state.Stopped = StopExhausted
+	}
+	return s.state, nil
+}
+
+// MarkBudgetExhausted finalizes the session with StopBudget: the caller
+// has determined that no affordable vote source fits the remaining
+// budget (the Session itself cannot know what votes could still be
+// offered). It is a no-op on an already-Done session.
+func (s *Session) MarkBudgetExhausted() State {
+	if !s.state.Done {
+		s.state.Done = true
+		s.state.Stopped = StopBudget
+	}
+	return s.state
+}
+
+// refresh recomputes the decision and confidence from the log odds.
+func (s *Session) refresh() {
+	s.state.Decision = voting.No
+	if s.logOdds < 0 {
+		s.state.Decision = voting.Yes
+	}
+	s.state.Confidence = 1 / (1 + math.Exp(-math.Abs(s.logOdds)))
+}

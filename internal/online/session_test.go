@@ -1,0 +1,166 @@
+package online
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/voting"
+	"repro/internal/worker"
+)
+
+func TestSessionConfidentStop(t *testing.T) {
+	s, err := NewSession(Config{Alpha: 0.5, Confidence: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.State(); st.Done || st.Confidence != 0.5 {
+		t.Fatalf("initial state = %+v", st)
+	}
+	// Two agreeing 0.8-votes: posterior odds 16:1 → confidence 16/17.
+	if _, err := s.Observe(0.8, 1, voting.No); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Observe(0.8, 1, voting.No)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Stopped != StopConfident || st.Decision != voting.No {
+		t.Fatalf("state = %+v", st)
+	}
+	if want := 16.0 / 17.0; math.Abs(st.Confidence-want) > 1e-12 {
+		t.Fatalf("confidence = %v, want %v", st.Confidence, want)
+	}
+	if st.Votes != 2 || st.Cost != 2 {
+		t.Fatalf("tallies = %+v", st)
+	}
+	if _, err := s.Observe(0.8, 1, voting.No); !errors.Is(err, ErrSessionDone) {
+		t.Fatalf("observe after done: %v", err)
+	}
+}
+
+func TestSessionPriorAlreadyConfident(t *testing.T) {
+	s, err := NewSession(Config{Alpha: 0.99, Confidence: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.State()
+	if !st.Done || st.Stopped != StopConfident || st.Votes != 0 || st.Decision != voting.No {
+		t.Fatalf("state = %+v", st)
+	}
+}
+
+func TestSessionBudgetAndMaxVotes(t *testing.T) {
+	s, err := NewSession(Config{Alpha: 0.5, Confidence: 0.999999, Budget: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Affordable(3) || s.Affordable(3.5) {
+		t.Fatal("Affordable wrong before any vote")
+	}
+	if _, err := s.Observe(0.6, 2, voting.Yes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(0.6, 2, voting.Yes); !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("over budget: %v", err)
+	}
+	if st := s.State(); st.Votes != 1 || st.Cost != 2 {
+		t.Fatalf("failed observe mutated state: %+v", st)
+	}
+
+	s2, err := NewSession(Config{Alpha: 0.5, Confidence: 0.999999, MaxVotes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Observe(0.6, 1, voting.Yes)
+	st, err := s2.Observe(0.6, 1, voting.No)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Stopped != StopExhausted {
+		t.Fatalf("MaxVotes stop = %+v", st)
+	}
+}
+
+func TestSessionRejectsBadObservations(t *testing.T) {
+	s, err := NewSession(Config{Alpha: 0.5, Confidence: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Observe(1.5, 1, voting.No); !errors.Is(err, ErrObservedRange) {
+		t.Fatalf("quality 1.5: %v", err)
+	}
+	if _, err := s.Observe(0.6, -1, voting.No); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	if _, err := NewSession(Config{Alpha: 2, Confidence: 0.9}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+// TestCollectMatchesManualSession cross-checks that Collect's posterior
+// agrees with driving a Session by hand over the same vote sequence.
+func TestCollectMatchesManualSession(t *testing.T) {
+	pool := worker.NewPool(
+		[]float64{0.9, 0.8, 0.7, 0.6},
+		[]float64{4, 3, 2, 1},
+	)
+	cfg := Config{Alpha: 0.5, Confidence: 0.99}
+	src := SimulatedSource{Pool: pool, Truth: voting.No, Rng: rand.New(rand.NewSource(7))}
+	res, err := Collect(pool, src, QualityFirst{}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last State
+	for i, idx := range res.Asked {
+		last, err = sess.Observe(pool[idx].Quality, pool[idx].Cost, res.Votes[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.Decision != res.Decision || math.Abs(last.Confidence-res.Confidence) > 1e-15 ||
+		last.Cost != res.Cost {
+		t.Fatalf("session %+v != collect %+v", last, res)
+	}
+}
+
+// Regression test: reaching MaxVotes must report StopExhausted even when
+// an unaffordable worker was skipped earlier — previously the budget skip
+// overrode the vote cap and Collect reported StopBudget.
+func TestCollectMaxVotesBeatsBudgetSkip(t *testing.T) {
+	pool := worker.NewPool(
+		[]float64{0.9, 0.6, 0.6, 0.6},
+		[]float64{100, 1, 1, 1}, // the best worker never fits the budget
+	)
+	// QualityFirst tries (and skips) the unaffordable worker first, then
+	// asks two cheap ones, exhausting MaxVotes.
+	cfg := Config{Alpha: 0.5, Confidence: 0.999999, Budget: 10, MaxVotes: 2}
+	src := SimulatedSource{Pool: pool, Truth: voting.No, Rng: rand.New(rand.NewSource(1))}
+	res, err := Collect(pool, src, QualityFirst{}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Asked) != 2 {
+		t.Fatalf("asked %d workers, want 2", len(res.Asked))
+	}
+	if res.Stopped != StopExhausted {
+		t.Fatalf("Stopped = %v, want %v (MaxVotes reached)", res.Stopped, StopExhausted)
+	}
+
+	// Without a vote cap the same run must still report StopBudget when
+	// only the unaffordable worker remains.
+	cfg.MaxVotes = 0
+	src = SimulatedSource{Pool: pool, Truth: voting.No, Rng: rand.New(rand.NewSource(1))}
+	res, err = Collect(pool, src, QualityFirst{}, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StopBudget {
+		t.Fatalf("Stopped = %v, want %v", res.Stopped, StopBudget)
+	}
+}

@@ -1,0 +1,178 @@
+package server
+
+import "repro/internal/voting"
+
+// The JSON wire types of the juryd HTTP API, shared with the public client
+// in repro/jury/serve. All endpoints speak JSON; errors are returned as
+// ErrorResponse with a non-2xx status.
+
+// WorkerSpec registers or updates one worker. Quality is the initial
+// estimate of the worker's correctness probability; PriorStrength is the
+// pseudo-count weight behind it (how many past votes the initial quality
+// is worth when posterior updates fold in new evidence; 0 selects the
+// server default).
+type WorkerSpec struct {
+	ID            string  `json:"id"`
+	Quality       float64 `json:"quality"`
+	Cost          float64 `json:"cost"`
+	PriorStrength float64 `json:"prior_strength,omitempty"`
+}
+
+// WorkerInfo reports one registered worker's current state.
+type WorkerInfo struct {
+	ID string `json:"id"`
+	// Quality is the posterior-mean correctness probability.
+	Quality float64 `json:"quality"`
+	Cost    float64 `json:"cost"`
+	// Votes is the number of ingested vote events; Correct how many of
+	// them agreed with the ground truth.
+	Votes   int `json:"votes"`
+	Correct int `json:"correct"`
+	// Version increments on every state change of this worker.
+	Version int64 `json:"version"`
+}
+
+// RegisterRequest registers a batch of new workers. Registration is
+// create-only and atomic: a batch containing any already-registered id is
+// rejected whole with a 409. Use PUT /v1/workers/{id} to change an
+// existing worker.
+type RegisterRequest struct {
+	Workers []WorkerSpec `json:"workers"`
+}
+
+// RegisterResponse confirms a registration.
+type RegisterResponse struct {
+	Registered int    `json:"registered"`
+	PoolSize   int    `json:"pool_size"`
+	Signature  string `json:"signature"`
+}
+
+// ListResponse lists the registry in registration order.
+type ListResponse struct {
+	Workers   []WorkerInfo `json:"workers"`
+	Signature string       `json:"signature"`
+}
+
+// VoteEvent is one graded vote: worker w answered a task and the answer
+// was or was not correct. Ingesting it updates the worker's Bayesian
+// posterior (Beta pseudo-counts), which is what drifts qualities and
+// invalidates cached selections.
+type VoteEvent struct {
+	WorkerID string `json:"worker_id"`
+	Correct  bool   `json:"correct"`
+}
+
+// IngestRequest carries a batch of vote events.
+type IngestRequest struct {
+	Events []VoteEvent `json:"events"`
+}
+
+// IngestResponse reports the ingestion outcome.
+type IngestResponse struct {
+	Ingested int `json:"ingested"`
+	// Updated lists the new state of every touched worker.
+	Updated []WorkerInfo `json:"updated"`
+	// Signature is the pool signature after ingestion.
+	Signature string `json:"signature"`
+}
+
+// SelectRequest asks for the best jury within a budget.
+type SelectRequest struct {
+	Budget float64 `json:"budget"`
+	// Alpha is the prior P(t=0); nil selects the server default.
+	Alpha *float64 `json:"alpha,omitempty"`
+	// Strategy picks the objective/search pair: "bv" (default; OPTJS),
+	// "mv" (MVJS baseline), "bv-exact" (exact small-pool reference),
+	// "greedy" (quality-descending greedy).
+	Strategy string `json:"strategy,omitempty"`
+	// WorkerIDs restricts the candidate pool to these workers; empty
+	// selects over the whole registry.
+	WorkerIDs []string `json:"worker_ids,omitempty"`
+	// Seed overrides the server's annealing seed (it is part of the
+	// cache key: different seeds may anneal to different juries).
+	Seed *int64 `json:"seed,omitempty"`
+}
+
+// JuryMember is one selected worker as of the selection's pool snapshot.
+type JuryMember struct {
+	ID      string  `json:"id"`
+	Quality float64 `json:"quality"`
+	Cost    float64 `json:"cost"`
+}
+
+// SelectResponse is the selected jury.
+type SelectResponse struct {
+	Jury        []JuryMember `json:"jury"`
+	JQ          float64      `json:"jq"`
+	Cost        float64      `json:"cost"`
+	Budget      float64      `json:"budget"`
+	Alpha       float64      `json:"alpha"`
+	Strategy    string       `json:"strategy"`
+	Evaluations int          `json:"evaluations"`
+	// Cached reports whether the selection was served from the cache.
+	Cached bool `json:"cached"`
+	// Signature identifies the exact candidate-pool state the jury was
+	// computed against.
+	Signature string `json:"signature"`
+}
+
+// BatchSelectRequest solves one selection per budget (a budget–quality
+// table); the server fans the budgets out over its worker pool. The
+// response's Selections[i] answers Budgets[i].
+type BatchSelectRequest struct {
+	Budgets   []float64 `json:"budgets"`
+	Alpha     *float64  `json:"alpha,omitempty"`
+	Strategy  string    `json:"strategy,omitempty"`
+	WorkerIDs []string  `json:"worker_ids,omitempty"`
+	Seed      *int64    `json:"seed,omitempty"`
+}
+
+// BatchSelectResponse carries one SelectResponse per requested budget, in
+// request order.
+type BatchSelectResponse struct {
+	Selections []SelectResponse `json:"selections"`
+}
+
+// SessionRequest opens an online collection session (sequential vote
+// collection with a Bayesian stopping rule).
+type SessionRequest struct {
+	// Alpha is the prior; nil selects the server default.
+	Alpha *float64 `json:"alpha,omitempty"`
+	// Confidence is the posterior threshold that stops collection.
+	Confidence float64 `json:"confidence"`
+	// Budget bounds the total vote cost; 0 means unlimited.
+	Budget float64 `json:"budget,omitempty"`
+	// MaxVotes bounds the number of votes; 0 means unlimited.
+	MaxVotes int `json:"max_votes,omitempty"`
+}
+
+// SessionVoteRequest feeds one observed vote into a session. The vote's
+// evidence weight is the worker's current registry quality. A vote whose
+// cost exceeds the session's remaining budget is rejected with a 409 —
+// unless no registered worker is affordable anymore, in which case the
+// session finalizes with Stopped = "budget" (the rejected vote is not
+// folded in) and the final state is returned. The affordability check is
+// time-of-rejection: a worker registered concurrently with the rejected
+// vote may or may not avert finalization, exactly as a worker hired a
+// moment after a collection run ends would not reopen it.
+type SessionVoteRequest struct {
+	WorkerID string      `json:"worker_id"`
+	Vote     voting.Vote `json:"vote"`
+}
+
+// SessionState reports a session's progress.
+type SessionState struct {
+	ID         string  `json:"id"`
+	Decision   int     `json:"decision"`
+	Confidence float64 `json:"confidence"`
+	Votes      int     `json:"votes"`
+	Cost       float64 `json:"cost"`
+	Done       bool    `json:"done"`
+	// Stopped is "confident", "budget" or "exhausted" when Done.
+	Stopped string `json:"stopped,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics collects the daemon's operational counters. All methods are safe
+// for concurrent use; rendering is Prometheus-style text exposition so the
+// /metrics endpoint can be scraped or eyeballed with curl.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]uint64 // per-route completed request counts
+	errors   uint64            // non-2xx replies
+
+	votesIngested    atomic.Uint64
+	selections       atomic.Uint64 // selections computed (cache misses)
+	selectionLatency atomic.Int64  // cumulative compute time, nanoseconds
+	sessionsOpened   atomic.Uint64
+	sessionsFinished atomic.Uint64
+}
+
+// NewMetrics returns zeroed metrics.
+func NewMetrics() *Metrics {
+	return &Metrics{requests: make(map[string]uint64)}
+}
+
+// Request records one completed request for a route pattern.
+func (m *Metrics) Request(route string, status int) {
+	m.mu.Lock()
+	m.requests[route]++
+	if status >= 400 {
+		m.errors++
+	}
+	m.mu.Unlock()
+}
+
+// VoteIngested adds n ingested vote events.
+func (m *Metrics) VotesIngested(n int) { m.votesIngested.Add(uint64(n)) }
+
+// SelectionComputed records one cache-missing selection and its latency.
+func (m *Metrics) SelectionComputed(d time.Duration) {
+	m.selections.Add(1)
+	m.selectionLatency.Add(int64(d))
+}
+
+// SessionOpened / SessionFinished track online-session lifecycle.
+func (m *Metrics) SessionOpened()   { m.sessionsOpened.Add(1) }
+func (m *Metrics) SessionFinished() { m.sessionsFinished.Add(1) }
+
+// WriteText renders the metrics (plus the given cache and registry state)
+// in Prometheus text exposition format.
+func (m *Metrics) WriteText(w io.Writer, cache CacheStats, poolSize int, generation uint64) {
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.requests))
+	for r := range m.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	counts := make([]uint64, len(routes))
+	for i, r := range routes {
+		counts[i] = m.requests[r]
+	}
+	errs := m.errors
+	m.mu.Unlock()
+
+	for i, r := range routes {
+		fmt.Fprintf(w, "juryd_requests_total{route=%q} %d\n", r, counts[i])
+	}
+	fmt.Fprintf(w, "juryd_request_errors_total %d\n", errs)
+	fmt.Fprintf(w, "juryd_votes_ingested_total %d\n", m.votesIngested.Load())
+	fmt.Fprintf(w, "juryd_selections_computed_total %d\n", m.selections.Load())
+	fmt.Fprintf(w, "juryd_selection_seconds_total %g\n",
+		time.Duration(m.selectionLatency.Load()).Seconds())
+	fmt.Fprintf(w, "juryd_sessions_opened_total %d\n", m.sessionsOpened.Load())
+	fmt.Fprintf(w, "juryd_sessions_finished_total %d\n", m.sessionsFinished.Load())
+	fmt.Fprintf(w, "juryd_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(w, "juryd_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(w, "juryd_cache_evictions_total %d\n", cache.Evictions)
+	fmt.Fprintf(w, "juryd_cache_entries %d\n", cache.Entries)
+	fmt.Fprintf(w, "juryd_cache_hit_rate %g\n", cache.HitRate())
+	fmt.Fprintf(w, "juryd_pool_size %d\n", poolSize)
+	fmt.Fprintf(w, "juryd_pool_generation %d\n", generation)
+}
+
+// Snapshot returns the counters used by tests.
+func (m *Metrics) Snapshot() (requests map[string]uint64, errors, votes, selections uint64) {
+	m.mu.Lock()
+	requests = make(map[string]uint64, len(m.requests))
+	for r, c := range m.requests {
+		requests[r] = c
+	}
+	errors = m.errors
+	m.mu.Unlock()
+	return requests, errors, m.votesIngested.Load(), m.selections.Load()
+}

@@ -1,0 +1,374 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/worker"
+)
+
+// DefaultPriorStrength is the pseudo-count weight given to a worker's
+// registered quality: registering quality q is treated as q·s past correct
+// votes out of s, so early vote events move the posterior quickly without
+// discarding the prior outright.
+const DefaultPriorStrength = 8.0
+
+// Errors returned by the registry.
+var (
+	ErrWorkerExists   = errors.New("server: worker already registered")
+	ErrWorkerUnknown  = errors.New("server: unknown worker")
+	ErrEmptyID        = errors.New("server: empty worker id")
+	ErrEmptyRegistry  = errors.New("server: no workers registered")
+	ErrBadPrior       = errors.New("server: negative prior strength")
+	ErrDuplicateBatch = errors.New("server: duplicate worker id in batch")
+)
+
+// workerState is the registry's record of one worker: the public Worker
+// parameters plus the Beta posterior over its correctness probability.
+// Quality is kept equal to the posterior mean a/(a+b).
+type workerState struct {
+	id      string
+	quality float64
+	cost    float64
+	// a and b are the Beta pseudo-counts: evidence for voting correctly
+	// and incorrectly, seeded from the registered quality.
+	a, b float64
+	// votes and correct tally ingested events.
+	votes   int
+	correct int
+	// version increments on every state change.
+	version int64
+}
+
+func (w *workerState) info() WorkerInfo {
+	return WorkerInfo{
+		ID:      w.id,
+		Quality: w.quality,
+		Cost:    w.cost,
+		Votes:   w.votes,
+		Correct: w.correct,
+		Version: w.version,
+	}
+}
+
+// Registry is the concurrency-safe resident worker pool: registration,
+// updates, and Bayesian posterior re-estimation from ingested vote events.
+// Every observable state is identified by a Signature — a hash over the
+// ordered (id, quality, cost) triples — which selection caching uses as
+// its consistency token: any quality drift changes the signature.
+type Registry struct {
+	mu      sync.RWMutex
+	workers map[string]*workerState
+	order   []string // registration order, the pool order of snapshots
+	gen     uint64   // bumps on every mutation, for observability
+	// fullSig is the signature of the whole pool, refreshed by every
+	// mutating method under the write lock, so the hot read paths
+	// (selection cache lookups, listings) never re-hash the pool.
+	fullSig string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{workers: make(map[string]*workerState)}
+}
+
+// validateSpec checks one registration spec.
+func validateSpec(spec WorkerSpec) error {
+	if spec.ID == "" {
+		return ErrEmptyID
+	}
+	if spec.PriorStrength < 0 || spec.PriorStrength != spec.PriorStrength {
+		return fmt.Errorf("%w: %v (worker %q)", ErrBadPrior, spec.PriorStrength, spec.ID)
+	}
+	w := worker.Worker{ID: spec.ID, Quality: spec.Quality, Cost: spec.Cost}
+	return w.Validate()
+}
+
+// newState builds the posterior-seeded state for a spec.
+func newState(spec WorkerSpec, defaultStrength float64) *workerState {
+	s := spec.PriorStrength
+	if s == 0 {
+		s = defaultStrength
+	}
+	return &workerState{
+		id:      spec.ID,
+		quality: spec.Quality,
+		cost:    spec.Cost,
+		a:       spec.Quality * s,
+		b:       (1 - spec.Quality) * s,
+		version: 1,
+	}
+}
+
+// Register adds a batch of new workers atomically: either every spec is
+// registered or none is. defaultStrength seeds the posterior of specs
+// without an explicit PriorStrength. The returned signature identifies
+// the pool state after registration, computed under the same lock.
+func (r *Registry) Register(specs []WorkerSpec, defaultStrength float64) (string, error) {
+	if defaultStrength <= 0 {
+		defaultStrength = DefaultPriorStrength
+	}
+	seen := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		if err := validateSpec(spec); err != nil {
+			return "", err
+		}
+		if seen[spec.ID] {
+			return "", fmt.Errorf("%w: %q", ErrDuplicateBatch, spec.ID)
+		}
+		seen[spec.ID] = true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, spec := range specs {
+		if _, ok := r.workers[spec.ID]; ok {
+			return "", fmt.Errorf("%w: %q", ErrWorkerExists, spec.ID)
+		}
+	}
+	for _, spec := range specs {
+		r.workers[spec.ID] = newState(spec, defaultStrength)
+		r.order = append(r.order, spec.ID)
+	}
+	r.gen++
+	return r.refreshFullSigLocked(), nil
+}
+
+// refreshFullSigLocked recomputes the memoized full-pool signature; every
+// mutating method calls it before releasing the write lock.
+func (r *Registry) refreshFullSigLocked() string {
+	if len(r.order) == 0 {
+		r.fullSig = ""
+	} else {
+		r.fullSig = r.signatureLocked(r.order)
+	}
+	return r.fullSig
+}
+
+// Update replaces a worker's quality and cost, re-seeding its posterior
+// from the new quality (an operator override discards accumulated vote
+// evidence by design).
+func (r *Registry) Update(spec WorkerSpec, defaultStrength float64) (WorkerInfo, error) {
+	if defaultStrength <= 0 {
+		defaultStrength = DefaultPriorStrength
+	}
+	if err := validateSpec(spec); err != nil {
+		return WorkerInfo{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[spec.ID]
+	if !ok {
+		return WorkerInfo{}, fmt.Errorf("%w: %q", ErrWorkerUnknown, spec.ID)
+	}
+	fresh := newState(spec, defaultStrength)
+	fresh.version = w.version + 1
+	*w = *fresh
+	r.gen++
+	r.refreshFullSigLocked()
+	return w.info(), nil
+}
+
+// Remove deletes a worker.
+func (r *Registry) Remove(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.workers[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrWorkerUnknown, id)
+	}
+	delete(r.workers, id)
+	for i, oid := range r.order {
+		if oid == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.gen++
+	r.refreshFullSigLocked()
+	return nil
+}
+
+// Get returns one worker's state.
+func (r *Registry) Get(id string) (WorkerInfo, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	w, ok := r.workers[id]
+	if !ok {
+		return WorkerInfo{}, fmt.Errorf("%w: %q", ErrWorkerUnknown, id)
+	}
+	return w.info(), nil
+}
+
+// List returns every worker in registration order together with the pool
+// signature of exactly that state (both read under one lock, so they are
+// mutually consistent). The signature is "" for an empty registry.
+func (r *Registry) List() ([]WorkerInfo, string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]WorkerInfo, len(r.order))
+	for i, id := range r.order {
+		out[i] = r.workers[id].info()
+	}
+	return out, r.fullSig
+}
+
+// Len returns the number of registered workers.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.order)
+}
+
+// Generation returns the mutation counter.
+func (r *Registry) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
+}
+
+// Ingest applies a batch of vote events atomically: every referenced
+// worker must exist or nothing is applied. Each event is one Bayesian
+// posterior step — a correct vote adds one pseudo-count of correctness
+// evidence, an incorrect one the opposite — and the worker's quality
+// becomes the new posterior mean. It returns the updated states of the
+// touched workers, in first-touch order, and the post-ingest pool
+// signature (computed under the same lock, so it matches the returned
+// states exactly).
+func (r *Registry) Ingest(events []VoteEvent) ([]WorkerInfo, string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ev := range events {
+		if _, ok := r.workers[ev.WorkerID]; !ok {
+			return nil, "", fmt.Errorf("%w: %q", ErrWorkerUnknown, ev.WorkerID)
+		}
+	}
+	touched := make(map[string]bool, len(events))
+	var touchOrder []string
+	for _, ev := range events {
+		w := r.workers[ev.WorkerID]
+		if ev.Correct {
+			w.a++
+			w.correct++
+		} else {
+			w.b++
+		}
+		w.votes++
+		w.quality = w.a / (w.a + w.b)
+		w.version++
+		if !touched[ev.WorkerID] {
+			touched[ev.WorkerID] = true
+			touchOrder = append(touchOrder, ev.WorkerID)
+		}
+	}
+	if len(events) > 0 {
+		r.gen++
+		r.refreshFullSigLocked()
+	}
+	out := make([]WorkerInfo, len(touchOrder))
+	for i, id := range touchOrder {
+		out[i] = r.workers[id].info()
+	}
+	return out, r.fullSig, nil
+}
+
+// AnyAffordable reports whether some registered worker costs at most
+// budget — the "can collection possibly continue" check behind the
+// online sessions' budget stop.
+func (r *Registry) AnyAffordable(budget float64) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, w := range r.workers {
+		if w.cost <= budget {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot materializes an immutable candidate pool for selection: the
+// workers (all of them, or the given subset) as a worker.Pool in stable
+// order, their ids, and the state signature. The returned pool shares
+// nothing with the registry, so selection can run without holding locks.
+// Full-pool snapshots reuse the memoized signature; subset snapshots hash
+// their canonicalized members.
+func (r *Registry) Snapshot(ids []string) (worker.Pool, []string, string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sig := ""
+	if len(ids) == 0 {
+		if len(r.order) == 0 {
+			return nil, nil, "", ErrEmptyRegistry
+		}
+		ids = r.order
+		sig = r.fullSig
+	} else {
+		for _, id := range ids {
+			if _, ok := r.workers[id]; !ok {
+				return nil, nil, "", fmt.Errorf("%w: %q", ErrWorkerUnknown, id)
+			}
+		}
+		// Canonicalize: selection treats the pool as a set, so a subset
+		// request is ordered by id and deduplicated to make equivalent
+		// requests share one signature (and one cache entry).
+		uniq := make([]string, 0, len(ids))
+		seen := make(map[string]bool, len(ids))
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				uniq = append(uniq, id)
+			}
+		}
+		sort.Strings(uniq)
+		ids = uniq
+	}
+	pool := make(worker.Pool, len(ids))
+	outIDs := make([]string, len(ids))
+	for i, id := range ids {
+		w := r.workers[id]
+		pool[i] = worker.Worker{ID: w.id, Quality: w.quality, Cost: w.cost}
+		outIDs[i] = id
+	}
+	if sig == "" {
+		sig = r.signatureLocked(ids)
+	}
+	return pool, outIDs, sig, nil
+}
+
+// Signature returns the memoized full-pool signature.
+func (r *Registry) Signature() (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.order) == 0 {
+		return "", ErrEmptyRegistry
+	}
+	return r.fullSig, nil
+}
+
+// signatureLocked hashes the (id, quality, cost) triples of the given
+// workers, in order, into the pool signature. Each id is length-prefixed
+// so the byte stream parses unambiguously regardless of the bytes ids
+// contain; with SHA-256 truncated to 128 bits, that keeps accidental and
+// adversarially crafted collisions out of reach — which is what lets the
+// selection cache treat "same signature" as "same pool state". Callers
+// must hold r.mu (either mode).
+func (r *Registry) signatureLocked(ids []string) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, id := range ids {
+		w := r.workers[id]
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(id)))
+		h.Write(buf[:])
+		h.Write([]byte(id))
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w.quality))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w.cost))
+		h.Write(buf[:])
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,515 @@
+// Package server is the serving subsystem behind the juryd daemon: a
+// long-running jury-selection service over the paper's machinery. It keeps
+// a concurrency-safe worker registry resident, ingests graded vote events
+// online (each one a Bayesian posterior step on the voting worker's
+// quality, in the spirit of the paper's Section 8 / CDAS sequential
+// processing), and serves the Jury Selection Problem over HTTP with a
+// selection cache that amortizes search cost across requests.
+//
+// Consistency model: cached selections are keyed by a signature hashing
+// the exact (id, quality, cost) state of the candidate pool, so a cached
+// jury can never be served stale — any quality drift changes the key and
+// forces a recompute; superseded entries age out of the LRU. See the
+// package documentation of repro (doc.go) for the full serving notes.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/online"
+	"repro/internal/selection"
+	"repro/internal/voting"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Alpha is the default prior P(t=0) for selections and sessions that
+	// do not specify one. The zero value selects the uniform prior 0.5
+	// (a certain-"no" server-wide default would be a silent foot-gun;
+	// requests that genuinely want a degenerate prior pass it
+	// explicitly per request).
+	Alpha float64
+	// Seed drives the annealing search path of selections that do not
+	// carry their own seed.
+	Seed int64
+	// Workers bounds the fan-out of batch selection requests; 0 selects
+	// GOMAXPROCS-many.
+	Workers int
+	// CacheSize is the selection cache capacity; 0 selects
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// PriorStrength is the default pseudo-count weight behind registered
+	// qualities; 0 selects DefaultPriorStrength.
+	PriorStrength float64
+}
+
+// NewConfig returns the production defaults: uniform prior, seed 1.
+func NewConfig() Config {
+	return Config{Alpha: 0.5, Seed: 1}
+}
+
+// Server is the juryd HTTP service. Create with New, mount via Handler.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	cache    *SelectionCache
+	sessions *sessionStore
+	metrics  *Metrics
+	mux      *http.ServeMux
+}
+
+// New builds a Server from the config.
+func New(cfg Config) *Server {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.5
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.PriorStrength <= 0 {
+		cfg.PriorStrength = DefaultPriorStrength
+	}
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(),
+		cache:    NewSelectionCache(cfg.CacheSize),
+		sessions: newSessionStore(),
+		metrics:  NewMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	s.route("GET /healthz", s.handleHealth)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("POST /v1/workers", s.handleRegister)
+	s.route("GET /v1/workers", s.handleListWorkers)
+	s.route("GET /v1/workers/{id}", s.handleGetWorker)
+	s.route("PUT /v1/workers/{id}", s.handleUpdateWorker)
+	s.route("DELETE /v1/workers/{id}", s.handleRemoveWorker)
+	s.route("POST /v1/votes", s.handleIngestOne)
+	s.route("POST /v1/votes/batch", s.handleIngestBatch)
+	s.route("POST /v1/select", s.handleSelect)
+	s.route("POST /v1/select/batch", s.handleSelectBatch)
+	s.route("POST /v1/sessions", s.handleOpenSession)
+	s.route("GET /v1/sessions/{id}", s.handleGetSession)
+	s.route("POST /v1/sessions/{id}/votes", s.handleSessionVote)
+	s.route("DELETE /v1/sessions/{id}", s.handleCloseSession)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the worker registry (used by the daemon for preloading
+// and by tests).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// CacheStats exposes the selection-cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Metrics exposes the operational counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// route registers a handler wrapped with per-route metrics.
+func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.Request(pattern, sw.status)
+	})
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// maxBodyBytes bounds request bodies (1 MiB covers thousands of workers).
+const maxBodyBytes = 1 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("server: bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// writeError maps a service error onto an HTTP status and JSON body.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrWorkerUnknown), errors.Is(err, ErrSessionUnknown):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrWorkerExists), errors.Is(err, ErrDuplicateBatch):
+		status = http.StatusConflict
+	case errors.Is(err, online.ErrSessionDone), errors.Is(err, online.ErrOverBudget):
+		status = http.StatusConflict
+	case errors.Is(err, ErrEmptyRegistry):
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// ---------------------------------------------------------------------------
+// Health and metrics.
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"pool":     s.registry.Len(),
+		"sessions": s.sessions.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteText(w, s.cache.Stats(), s.registry.Len(), s.registry.Generation())
+}
+
+// ---------------------------------------------------------------------------
+// Worker registry.
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Workers) == 0 {
+		writeError(w, errors.New("server: no workers in request"))
+		return
+	}
+	sig, err := s.registry.Register(req.Workers, s.cfg.PriorStrength)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, RegisterResponse{
+		Registered: len(req.Workers),
+		PoolSize:   s.registry.Len(),
+		Signature:  sig,
+	})
+}
+
+func (s *Server) handleListWorkers(w http.ResponseWriter, r *http.Request) {
+	list, sig := s.registry.List()
+	writeJSON(w, http.StatusOK, ListResponse{Workers: list, Signature: sig})
+}
+
+func (s *Server) handleGetWorker(w http.ResponseWriter, r *http.Request) {
+	info, err := s.registry.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleUpdateWorker(w http.ResponseWriter, r *http.Request) {
+	var spec WorkerSpec
+	if err := decodeJSON(w, r, &spec); err != nil {
+		writeError(w, err)
+		return
+	}
+	id := r.PathValue("id")
+	if spec.ID != "" && spec.ID != id {
+		writeError(w, fmt.Errorf("server: body id %q does not match path id %q", spec.ID, id))
+		return
+	}
+	spec.ID = id
+	info, err := s.registry.Update(spec, s.cfg.PriorStrength)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
+	if err := s.registry.Remove(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": true})
+}
+
+// ---------------------------------------------------------------------------
+// Vote ingestion.
+
+func (s *Server) handleIngestOne(w http.ResponseWriter, r *http.Request) {
+	var ev VoteEvent
+	if err := decodeJSON(w, r, &ev); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.ingest(w, []VoteEvent{ev})
+}
+
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Events) == 0 {
+		writeError(w, errors.New("server: no events in request"))
+		return
+	}
+	s.ingest(w, req.Events)
+}
+
+func (s *Server) ingest(w http.ResponseWriter, events []VoteEvent) {
+	updated, sig, err := s.registry.Ingest(events)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.VotesIngested(len(events))
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Ingested:  len(events),
+		Updated:   updated,
+		Signature: sig,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Jury selection.
+
+// strategySelector maps a wire strategy name to the selection machinery.
+// Every selector here is deterministic given (pool, budget, alpha, seed),
+// which is what makes the cache sound. seeded reports whether the search
+// actually consumes the seed — the cache key zeroes it otherwise, so the
+// seed-independent strategies share one entry across request seeds.
+func strategySelector(strategy string, seed int64) (sel selection.Selector, name string, seeded bool, err error) {
+	switch strategy {
+	case "", "bv":
+		return selection.OPTJS(seed), "bv", true, nil
+	case "mv":
+		return selection.MVJS(seed), "mv", true, nil
+	case "bv-exact":
+		return selection.Exhaustive{Objective: selection.BVExactObjective{}}, "bv-exact", false, nil
+	case "greedy":
+		return selection.GreedyQuality{Objective: selection.BVObjective{}}, "greedy", false, nil
+	default:
+		return nil, "", false, fmt.Errorf("server: unknown strategy %q (want bv, mv, bv-exact or greedy)", strategy)
+	}
+}
+
+// selectOne serves one selection request: cache lookup on the snapshot
+// signature, then compute-and-fill on miss. The selection itself runs on
+// the immutable snapshot, outside any lock.
+func (s *Server) selectOne(req SelectRequest) (SelectResponse, error) {
+	if req.Budget < 0 || req.Budget != req.Budget {
+		return SelectResponse{}, fmt.Errorf("server: bad budget %v", req.Budget)
+	}
+	alpha := s.cfg.Alpha
+	if req.Alpha != nil {
+		alpha = *req.Alpha
+	}
+	if alpha < 0 || alpha > 1 || alpha != alpha {
+		return SelectResponse{}, fmt.Errorf("server: prior %v outside [0, 1]", alpha)
+	}
+	seed := s.cfg.Seed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	sel, strategyName, seeded, err := strategySelector(req.Strategy, seed)
+	if err != nil {
+		return SelectResponse{}, err
+	}
+	pool, ids, sig, err := s.registry.Snapshot(req.WorkerIDs)
+	if err != nil {
+		return SelectResponse{}, err
+	}
+	keySeed := seed
+	if !seeded {
+		keySeed = 0
+	}
+	key := SelectionKey{Signature: sig, Strategy: strategyName, Budget: req.Budget, Alpha: alpha, Seed: keySeed}
+	if res, ok := s.cache.Get(key); ok {
+		res.Cached = true
+		return res, nil
+	}
+	start := time.Now()
+	result, err := sel.Select(pool, req.Budget, alpha)
+	if err != nil {
+		return SelectResponse{}, err
+	}
+	s.metrics.SelectionComputed(time.Since(start))
+	res := SelectResponse{
+		Jury:        make([]JuryMember, len(result.Indices)),
+		JQ:          result.JQ,
+		Cost:        result.Cost,
+		Budget:      req.Budget,
+		Alpha:       alpha,
+		Strategy:    strategyName,
+		Evaluations: result.Evaluations,
+		Signature:   sig,
+	}
+	for i, idx := range result.Indices {
+		res.Jury[i] = JuryMember{ID: ids[idx], Quality: pool[idx].Quality, Cost: pool[idx].Cost}
+	}
+	s.cache.Put(key, res)
+	return res, nil
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SelectRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.selectOne(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleSelectBatch answers one selection per budget, fanning the budgets
+// out over the server's conc pool. Results come back in request order —
+// Selections[i] answers Budgets[i] — regardless of completion order.
+func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSelectRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Budgets) == 0 {
+		writeError(w, errors.New("server: no budgets in request"))
+		return
+	}
+	results := make([]SelectResponse, len(req.Budgets))
+	errs := make([]error, len(req.Budgets))
+	conc.ForEach(s.cfg.Workers, len(req.Budgets), func(i int) {
+		results[i], errs[i] = s.selectOne(SelectRequest{
+			Budget:    req.Budgets[i],
+			Alpha:     req.Alpha,
+			Strategy:  req.Strategy,
+			WorkerIDs: req.WorkerIDs,
+			Seed:      req.Seed,
+		})
+	})
+	for _, err := range errs {
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchSelectResponse{Selections: results})
+}
+
+// ---------------------------------------------------------------------------
+// Online collection sessions.
+
+func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	alpha := s.cfg.Alpha
+	if req.Alpha != nil {
+		alpha = *req.Alpha
+	}
+	state, err := s.sessions.Open(online.Config{
+		Alpha:      alpha,
+		Confidence: req.Confidence,
+		Budget:     req.Budget,
+		MaxVotes:   req.MaxVotes,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.SessionOpened()
+	writeJSON(w, http.StatusCreated, state)
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	state, err := s.sessions.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, state)
+}
+
+func (s *Server) handleSessionVote(w http.ResponseWriter, r *http.Request) {
+	var req SessionVoteRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Vote != voting.No && req.Vote != voting.Yes {
+		writeError(w, fmt.Errorf("server: bad vote %d (want 0 or 1)", req.Vote))
+		return
+	}
+	info, err := s.registry.Get(req.WorkerID)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	id := r.PathValue("id")
+	state, err := s.sessions.Observe(id, info.Quality, info.Cost, req.Vote)
+	if errors.Is(err, online.ErrOverBudget) {
+		// The vote does not fit. If no registered worker fits the
+		// remaining budget either, collection cannot continue at all:
+		// finalize the session with the "budget" stop reason (the
+		// rejected vote is not folded in) instead of erroring.
+		if remaining, bounded, rerr := s.sessions.BudgetRemaining(id); rerr == nil &&
+			bounded && !s.registry.AnyAffordable(remaining) {
+			state, err = s.sessions.MarkBudgetExhausted(id)
+			if err == nil {
+				s.metrics.SessionFinished()
+				writeJSON(w, http.StatusOK, state)
+				return
+			}
+		}
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if state.Done {
+		s.metrics.SessionFinished()
+	}
+	writeJSON(w, http.StatusOK, state)
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.sessions.Close(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"closed": true})
+}
+
+// Preload registers an initial worker pool, for daemon startup (-pool).
+func (s *Server) Preload(specs []WorkerSpec) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	_, err := s.registry.Register(specs, s.cfg.PriorStrength)
+	return err
+}

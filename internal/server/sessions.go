@@ -1,0 +1,182 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/online"
+	"repro/internal/voting"
+)
+
+// ErrSessionUnknown is returned for requests against a missing session id.
+var ErrSessionUnknown = errors.New("server: unknown session")
+
+// defaultMaxSessions bounds resident sessions. When the cap is hit, Open
+// first reaps finished and long-idle sessions; only if every resident
+// session is live does opening another one fail.
+const defaultMaxSessions = 10000
+
+// sessionIdleTTL is how long an unfinished session may sit untouched
+// before the reaper may reclaim it under cap pressure.
+const sessionIdleTTL = time.Hour
+
+// sessionStore holds the live online-collection sessions. Each session
+// wraps an online.Session (the incremental Bayesian stopping rule) behind
+// its own lock so votes for different sessions never contend.
+type sessionStore struct {
+	mu   sync.RWMutex
+	next uint64
+	cap  int
+	now  func() time.Time // injectable clock for tests
+	live map[string]*liveSession
+}
+
+type liveSession struct {
+	mu        sync.Mutex
+	id        string
+	sess      *online.Session
+	lastTouch time.Time
+}
+
+func newSessionStore() *sessionStore {
+	return &sessionStore{
+		cap:  defaultMaxSessions,
+		now:  time.Now,
+		live: make(map[string]*liveSession),
+	}
+}
+
+// Open starts a session and returns its id and initial state.
+func (st *sessionStore) Open(cfg online.Config) (SessionState, error) {
+	sess, err := online.NewSession(cfg)
+	if err != nil {
+		return SessionState{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.live) >= st.cap {
+		st.reapLocked()
+	}
+	if len(st.live) >= st.cap {
+		return SessionState{}, fmt.Errorf("server: session limit (%d) reached", st.cap)
+	}
+	st.next++
+	id := "s" + strconv.FormatUint(st.next, 10)
+	ls := &liveSession{id: id, sess: sess, lastTouch: st.now()}
+	st.live[id] = ls
+	return sessionState(id, sess.State()), nil
+}
+
+// reapLocked drops sessions that are Done (their result has been
+// delivered to the caller that finished them) or idle past
+// sessionIdleTTL (abandoned by their client). Callers hold st.mu.
+func (st *sessionStore) reapLocked() {
+	cutoff := st.now().Add(-sessionIdleTTL)
+	for id, ls := range st.live {
+		ls.mu.Lock()
+		dead := ls.sess.State().Done || ls.lastTouch.Before(cutoff)
+		ls.mu.Unlock()
+		if dead {
+			delete(st.live, id)
+		}
+	}
+}
+
+// Get returns a session's current state.
+func (st *sessionStore) Get(id string) (SessionState, error) {
+	ls, err := st.lookup(id)
+	if err != nil {
+		return SessionState{}, err
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.lastTouch = st.now()
+	return sessionState(id, ls.sess.State()), nil
+}
+
+// Observe feeds one vote (weighted by the worker's quality and cost) into
+// a session.
+func (st *sessionStore) Observe(id string, quality, cost float64, v voting.Vote) (SessionState, error) {
+	ls, err := st.lookup(id)
+	if err != nil {
+		return SessionState{}, err
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.lastTouch = st.now()
+	state, err := ls.sess.Observe(quality, cost, v)
+	return sessionState(id, state), err
+}
+
+// BudgetRemaining returns how much of the session's budget is unspent,
+// and whether the session is budget-bounded at all.
+func (st *sessionStore) BudgetRemaining(id string) (float64, bool, error) {
+	ls, err := st.lookup(id)
+	if err != nil {
+		return 0, false, err
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	cfg := ls.sess.Config()
+	if cfg.Budget == 0 {
+		return 0, false, nil
+	}
+	return cfg.Budget - ls.sess.State().Cost, true, nil
+}
+
+// MarkBudgetExhausted finalizes a session with the "budget" stop reason.
+func (st *sessionStore) MarkBudgetExhausted(id string) (SessionState, error) {
+	ls, err := st.lookup(id)
+	if err != nil {
+		return SessionState{}, err
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return sessionState(id, ls.sess.MarkBudgetExhausted()), nil
+}
+
+// Close removes a session.
+func (st *sessionStore) Close(id string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.live[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrSessionUnknown, id)
+	}
+	delete(st.live, id)
+	return nil
+}
+
+// Len returns the number of live sessions.
+func (st *sessionStore) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.live)
+}
+
+func (st *sessionStore) lookup(id string) (*liveSession, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ls, ok := st.live[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrSessionUnknown, id)
+	}
+	return ls, nil
+}
+
+func sessionState(id string, s online.State) SessionState {
+	out := SessionState{
+		ID:         id,
+		Decision:   int(s.Decision),
+		Confidence: s.Confidence,
+		Votes:      s.Votes,
+		Cost:       s.Cost,
+		Done:       s.Done,
+	}
+	if s.Done {
+		out.Stopped = s.Stopped.String()
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/online"
+	"repro/internal/voting"
+)
+
+func TestSessionStoreReapsUnderCapPressure(t *testing.T) {
+	st := newSessionStore()
+	st.cap = 2
+	now := time.Unix(1000, 0)
+	st.now = func() time.Time { return now }
+	cfg := online.Config{Alpha: 0.5, Confidence: 0.95}
+
+	s1, err := st.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Open(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Open(cfg); err == nil {
+		t.Fatal("cap not enforced with two live sessions")
+	}
+
+	// Finishing s1 makes it reapable: the next Open succeeds.
+	if state, err := st.Observe(s1.ID, 0.99, 0, voting.No); err != nil || !state.Done {
+		t.Fatalf("observe: %+v, %v", state, err)
+	}
+	s3, err := st.Open(cfg)
+	if err != nil {
+		t.Fatalf("open after finishing a session: %v", err)
+	}
+	if _, err := st.Get(s1.ID); !errors.Is(err, ErrSessionUnknown) {
+		t.Fatalf("finished session not reaped: %v", err)
+	}
+
+	// Sessions idle past the TTL are reapable too.
+	now = now.Add(sessionIdleTTL + time.Minute)
+	if _, err := st.Open(cfg); err != nil {
+		t.Fatalf("open after idle TTL: %v", err)
+	}
+	if _, err := st.Get(s3.ID); !errors.Is(err, ErrSessionUnknown) {
+		t.Fatalf("idle session not reaped: %v", err)
+	}
+}
+
+func TestSessionStoreBudgetRemaining(t *testing.T) {
+	st := newSessionStore()
+	unbounded, err := st.Open(online.Config{Alpha: 0.5, Confidence: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, bounded, err := st.BudgetRemaining(unbounded.ID); err != nil || bounded {
+		t.Fatalf("unbounded session reported a budget: %v, %v", bounded, err)
+	}
+	s, err := st.Open(online.Config{Alpha: 0.5, Confidence: 0.999999, Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Observe(s.ID, 0.6, 4, voting.No); err != nil {
+		t.Fatal(err)
+	}
+	remaining, bounded, err := st.BudgetRemaining(s.ID)
+	if err != nil || !bounded || remaining != 6 {
+		t.Fatalf("remaining = %v, %v, %v; want 6, true, nil", remaining, bounded, err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package serve is the client side of the juryd serving subsystem: a thin
+// HTTP client over the daemon's JSON API, sharing one set of wire types
+// with the server so the library and the service expose the same surface.
+//
+// A deployment registers its worker pool once, streams graded vote events
+// as tasks resolve (each event refines the worker's quality via a Bayesian
+// posterior update on the server), and asks for juries whenever a new task
+// needs one — repeated selections on an unchanged pool are answered from
+// the daemon's selection cache.
+//
+//	c := serve.NewClient("http://localhost:8700")
+//	c.RegisterWorkers(ctx, []serve.WorkerSpec{{ID: "ann", Quality: 0.8, Cost: 3}, ...})
+//	res, err := c.Select(ctx, serve.SelectRequest{Budget: 15})
+//	// res.Jury, res.JQ, res.Cached
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/server"
+	"repro/internal/voting"
+)
+
+// voteOf converts a 0/1 answer to the wire vote type; out-of-range values
+// are passed through and rejected by the daemon.
+func voteOf(v int) voting.Vote { return voting.Vote(v) }
+
+// The wire types, shared verbatim with the daemon.
+type (
+	// WorkerSpec registers or updates one worker.
+	WorkerSpec = server.WorkerSpec
+	// WorkerInfo is one registered worker's current state.
+	WorkerInfo = server.WorkerInfo
+	// VoteEvent is one graded vote: the worker answered and was (in)correct.
+	VoteEvent = server.VoteEvent
+	// SelectRequest asks for the best jury within a budget.
+	SelectRequest = server.SelectRequest
+	// SelectResponse is the selected jury, with Cached provenance.
+	SelectResponse = server.SelectResponse
+	// BatchSelectRequest asks for one selection per budget.
+	BatchSelectRequest = server.BatchSelectRequest
+	// JuryMember is one selected worker.
+	JuryMember = server.JuryMember
+	// SessionRequest opens an online collection session.
+	SessionRequest = server.SessionRequest
+	// SessionState reports a session's progress.
+	SessionState = server.SessionState
+	// IngestResponse reports a vote-ingestion outcome.
+	IngestResponse = server.IngestResponse
+	// ListResponse lists the registry.
+	ListResponse = server.ListResponse
+)
+
+// Client talks to one juryd daemon. The zero value is not usable; create
+// with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8700"). The default http.Client is used; use
+// WithHTTPClient for custom transports or timeouts.
+func NewClient(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: http.DefaultClient}
+}
+
+// WithHTTPClient substitutes the underlying HTTP client and returns c.
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	c.http = hc
+	return c
+}
+
+// APIError is a non-2xx reply from the daemon.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("juryd: %d: %s", e.Status, e.Message)
+}
+
+// do runs one JSON request. in may be nil (no body); out may be nil
+// (discard body).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr server.ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// RegisterWorkers registers a batch of new workers.
+func (c *Client) RegisterWorkers(ctx context.Context, specs []WorkerSpec) error {
+	return c.do(ctx, http.MethodPost, "/v1/workers", server.RegisterRequest{Workers: specs}, nil)
+}
+
+// Workers lists the registry in registration order.
+func (c *Client) Workers(ctx context.Context) (ListResponse, error) {
+	var out ListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/workers", nil, &out)
+	return out, err
+}
+
+// Worker fetches one worker's state.
+func (c *Client) Worker(ctx context.Context, id string) (WorkerInfo, error) {
+	var out WorkerInfo
+	err := c.do(ctx, http.MethodGet, "/v1/workers/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// UpdateWorker replaces a worker's quality and cost (resets its posterior).
+func (c *Client) UpdateWorker(ctx context.Context, spec WorkerSpec) (WorkerInfo, error) {
+	var out WorkerInfo
+	err := c.do(ctx, http.MethodPut, "/v1/workers/"+url.PathEscape(spec.ID), spec, &out)
+	return out, err
+}
+
+// RemoveWorker deregisters a worker.
+func (c *Client) RemoveWorker(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/workers/"+url.PathEscape(id), nil, nil)
+}
+
+// IngestVote feeds one graded vote event into the daemon.
+func (c *Client) IngestVote(ctx context.Context, ev VoteEvent) (IngestResponse, error) {
+	var out IngestResponse
+	err := c.do(ctx, http.MethodPost, "/v1/votes", ev, &out)
+	return out, err
+}
+
+// IngestVotes feeds a batch of graded vote events atomically.
+func (c *Client) IngestVotes(ctx context.Context, events []VoteEvent) (IngestResponse, error) {
+	var out IngestResponse
+	err := c.do(ctx, http.MethodPost, "/v1/votes/batch", server.IngestRequest{Events: events}, &out)
+	return out, err
+}
+
+// Select solves the Jury Selection Problem on the daemon's current pool.
+func (c *Client) Select(ctx context.Context, req SelectRequest) (SelectResponse, error) {
+	var out SelectResponse
+	err := c.do(ctx, http.MethodPost, "/v1/select", req, &out)
+	return out, err
+}
+
+// SelectBatch solves one selection per budget; result i answers
+// req.Budgets[i].
+func (c *Client) SelectBatch(ctx context.Context, req BatchSelectRequest) ([]SelectResponse, error) {
+	var out server.BatchSelectResponse
+	err := c.do(ctx, http.MethodPost, "/v1/select/batch", req, &out)
+	return out.Selections, err
+}
+
+// OpenSession starts an online collection session.
+func (c *Client) OpenSession(ctx context.Context, req SessionRequest) (SessionState, error) {
+	var out SessionState
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &out)
+	return out, err
+}
+
+// SessionVote feeds one vote into a session; the evidence weight is the
+// worker's current registry quality.
+func (c *Client) SessionVote(ctx context.Context, sessionID, workerID string, vote int) (SessionState, error) {
+	var out SessionState
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(sessionID)+"/votes",
+		server.SessionVoteRequest{WorkerID: workerID, Vote: voteOf(vote)}, &out)
+	return out, err
+}
+
+// Session fetches a session's state.
+func (c *Client) Session(ctx context.Context, id string) (SessionState, error) {
+	var out SessionState
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &out)
+	return out, err
+}
+
+// CloseSession removes a session.
+func (c *Client) CloseSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// Health checks daemon liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics returns the raw Prometheus-style metrics text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 400 {
+		return "", &APIError{Status: resp.StatusCode, Message: string(data)}
+	}
+	return string(data), nil
+}

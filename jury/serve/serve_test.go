@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func newClient(t *testing.T) *Client {
+	t.Helper()
+	s := server.New(server.Config{Alpha: 0.5, Seed: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL + "/") // trailing slash is trimmed
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	c := newClient(t)
+	if err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	specs := []WorkerSpec{
+		{ID: "ann", Quality: 0.77, Cost: 9},
+		{ID: "bob", Quality: 0.70, Cost: 5},
+		{ID: "cy", Quality: 0.80, Cost: 6},
+		{ID: "dee", Quality: 0.65, Cost: 7},
+		{ID: "eve", Quality: 0.60, Cost: 5},
+		{ID: "fay", Quality: 0.60, Cost: 2},
+		{ID: "gil", Quality: 0.75, Cost: 3},
+	}
+	if err := c.RegisterWorkers(ctx, specs); err != nil {
+		t.Fatal(err)
+	}
+	list, err := c.Workers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Workers) != 7 {
+		t.Fatalf("workers = %+v", list)
+	}
+
+	// Selection, then the cached repeat.
+	res, err := c.Select(ctx, SelectRequest{Budget: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached || res.JQ <= 0.5 || res.Cost > 15 {
+		t.Fatalf("select = %+v", res)
+	}
+	res2, err := c.Select(ctx, SelectRequest{Budget: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Cached || res2.JQ != res.JQ {
+		t.Fatalf("repeat select = %+v", res2)
+	}
+
+	// Vote ingestion drifts quality and invalidates.
+	ing, err := c.IngestVotes(ctx, []VoteEvent{
+		{WorkerID: "fay", Correct: true},
+		{WorkerID: "fay", Correct: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ing.Ingested != 2 || len(ing.Updated) != 1 || ing.Updated[0].Quality <= 0.60 {
+		t.Fatalf("ingest = %+v", ing)
+	}
+	res3, err := c.Select(ctx, SelectRequest{Budget: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Cached {
+		t.Fatal("stale cache served after ingest")
+	}
+
+	// Budget sweep.
+	sweep, err := c.SelectBatch(ctx, BatchSelectRequest{Budgets: []float64{5, 10, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != 3 || sweep[0].Budget != 5 || sweep[2].Budget != 20 {
+		t.Fatalf("sweep = %+v", sweep)
+	}
+
+	// Worker CRUD.
+	w, err := c.Worker(ctx, "gil")
+	if err != nil || w.Quality != 0.75 {
+		t.Fatalf("Worker(gil) = %+v, %v", w, err)
+	}
+	w, err = c.UpdateWorker(ctx, WorkerSpec{ID: "gil", Quality: 0.9, Cost: 4})
+	if err != nil || w.Quality != 0.9 {
+		t.Fatalf("UpdateWorker = %+v, %v", w, err)
+	}
+	if err := c.RemoveWorker(ctx, "dee"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Worker(ctx, "dee"); err == nil {
+		t.Fatal("removed worker still readable")
+	}
+
+	// Metrics text is scrapeable.
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "juryd_cache_hits_total 1") {
+		t.Fatalf("metrics missing hit counter:\n%s", text)
+	}
+}
+
+func TestClientSessions(t *testing.T) {
+	ctx := context.Background()
+	c := newClient(t)
+	if err := c.RegisterWorkers(ctx, []WorkerSpec{
+		{ID: "a", Quality: 0.9, Cost: 1},
+		{ID: "b", Quality: 0.9, Cost: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.OpenSession(ctx, SessionRequest{Confidence: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.SessionVote(ctx, st.ID, "a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done {
+		t.Fatalf("one 0.9 vote already confident: %+v", st)
+	}
+	st, err = c.SessionVote(ctx, st.ID, "b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.Stopped != "confident" || st.Decision != 1 {
+		t.Fatalf("session = %+v", st)
+	}
+	got, err := c.Session(ctx, st.ID)
+	if err != nil || !got.Done {
+		t.Fatalf("Session(%s) = %+v, %v", st.ID, got, err)
+	}
+	if err := c.CloseSession(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Session(ctx, st.ID); err == nil {
+		t.Fatal("closed session still readable")
+	}
+}
+
+func TestClientAPIError(t *testing.T) {
+	ctx := context.Background()
+	c := newClient(t)
+	err := c.RegisterWorkers(ctx, []WorkerSpec{{ID: "", Quality: 0.5, Cost: 1}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 400 || apiErr.Message == "" {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Select(ctx, SelectRequest{Budget: 1}); err == nil {
+		t.Fatal("select on empty registry succeeded")
+	}
+}
