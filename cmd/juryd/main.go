@@ -7,15 +7,25 @@
 //
 //	juryd [-addr :8700] [-alpha 0.5] [-seed 1] [-cache 4096]
 //	      [-workers 0] [-prior-strength 8] [-pool pool.json]
+//	      [-data-dir dir] [-snapshot-interval 1m] [-fsync]
 //
 // The optional -pool file preloads the registry:
 //
 //	{"workers": [{"id": "w0", "quality": 0.8, "cost": 2}, ...]}
 //
+// With -data-dir the daemon is durable: every mutation is journaled to a
+// write-ahead log before it is acknowledged, snapshots are taken every
+// -snapshot-interval (and on graceful shutdown), and boot recovers the
+// latest snapshot plus the WAL tail, truncating a torn trailing record
+// left by a crash. -fsync flushes the WAL per record (survives power
+// loss, slower); without it writes survive a process kill but ride the
+// OS page cache. GET /debug/persistence reports recovery and LSN state.
+//
 // Endpoints (all JSON):
 //
 //	GET  /healthz                 liveness + pool/session counts
 //	GET  /metrics                 Prometheus-style counters
+//	GET  /debug/persistence       durability/recovery status and LSNs
 //	POST /v1/workers              register workers
 //	GET  /v1/workers[/{id}]       inspect the registry
 //	PUT  /v1/workers/{id}         operator override of quality/cost
@@ -70,17 +80,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"pseudo-count weight of registered qualities")
 	poolFile := fs.String("pool", "", "JSON file preloading the worker registry")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	dataDir := fs.String("data-dir", "", "WAL+snapshot directory; empty = in-memory only")
+	snapshotInterval := fs.Duration("snapshot-interval", time.Minute,
+		"how often to checkpoint state and truncate the WAL (0 disables periodic snapshots)")
+	fsync := fs.Bool("fsync", false,
+		"fsync the WAL after every record (survives power loss; slower)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.Open(server.Config{
 		Alpha:         *alpha,
 		Seed:          *seed,
 		Workers:       *workers,
 		CacheSize:     *cacheSize,
 		PriorStrength: *priorStrength,
+		DataDir:       *dataDir,
+		Fsync:         *fsync,
 	})
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		st := srv.PersistenceStatus()
+		fmt.Fprintf(out, "juryd: recovered %d workers, %d sessions from %s (snapshot lsn %d, %d records replayed, %d torn bytes truncated)\n",
+			st.Recovery.WorkersRestored, st.Recovery.SessionsRestored, *dataDir,
+			st.Recovery.SnapshotLSN, st.Recovery.RecordsReplayed, st.Recovery.TornBytesTruncated)
+	}
 	if *poolFile != "" {
 		specs, err := loadPool(*poolFile)
 		if err != nil {
@@ -104,6 +130,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// Periodic checkpoint: snapshot the state and truncate the WAL
+	// behind it, bounding both recovery time and disk usage.
+	snapDone := make(chan struct{})
+	if *dataDir != "" && *snapshotInterval > 0 {
+		go func() {
+			defer close(snapDone)
+			ticker := time.NewTicker(*snapshotInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := srv.SnapshotNow(); err != nil {
+						fmt.Fprintln(out, "juryd: snapshot:", err)
+					}
+				}
+			}
+		}()
+	} else {
+		close(snapDone)
+	}
+
 	select {
 	case err := <-serveErr:
 		return err
@@ -117,6 +166,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	<-snapDone
+	if *dataDir != "" {
+		// A final checkpoint makes the next boot replay an empty tail.
+		if err := srv.SnapshotNow(); err != nil {
+			fmt.Fprintln(out, "juryd: final snapshot:", err)
+		}
+		if err := srv.ClosePersistence(); err != nil {
+			return fmt.Errorf("close wal: %w", err)
+		}
 	}
 	return nil
 }

@@ -104,4 +104,48 @@
 // internal/conc pool. BenchmarkServerSelect records the cached-versus-
 // uncached throughput gap; /metrics exposes request counts, cache hit
 // rate, and cumulative selection latency at runtime.
+//
+// # Durability
+//
+// juryd started with -data-dir is durable: the registry's Beta
+// posteriors and the live collection sessions survive restarts and
+// crashes. The design is write-ahead logging plus snapshots
+// (internal/wal, internal/server):
+//
+//   - WAL format: append-only segments of length-prefixed,
+//     CRC32-C-checksummed records; segments rotate at a size threshold
+//     and are named by the LSN of their first record, so record position
+//     is the index. Decoding arbitrary bytes never panics (fuzzed), and
+//     only the final segment's tail can legitimately be torn — recovery
+//     truncates it; a bad checksum anywhere else fails loudly as
+//     corruption rather than silently skipping records.
+//   - Journal-then-apply: every mutation (worker register/update/remove,
+//     graded vote ingests, session open/vote/finalize/close, and even
+//     the session reaper's evictions) is validated, appended to the WAL
+//     under the same lock that orders it, and only then applied in
+//     memory. Log order therefore equals application order, a failed
+//     append aborts with memory untouched, and a record carries every
+//     input replay needs — the resolved prior strength, the voting
+//     worker's quality at ingest time, the session id counter — so
+//     replay depends on nothing but the log.
+//   - Snapshots: every -snapshot-interval (and on graceful shutdown) the
+//     full state is serialized to JSON and installed by atomic rename;
+//     WAL segments the snapshot covers are deleted. Session log odds are
+//     stored as IEEE-754 bit patterns so ±Inf posteriors survive JSON.
+//     Recovery = newest snapshot + tail replay; the snapshot(state) +
+//     replay(tail) == replay(all) property is tested, along with
+//     torn-write, empty-segment and repeated-crash cases, by the
+//     internal/walltest harness.
+//   - Fsync policy: by default appends ride the OS page cache — they
+//     survive kill -9 but not power loss; -fsync flushes per record,
+//     trading one disk flush per mutation for full durability. This is
+//     the standard WAL tradeoff; pick per deployment.
+//
+// Because replay is deterministic, a recovered registry is bit-identical
+// to the pre-crash one — including its pool signatures, so the selection
+// cache (rebuilt empty on boot) refills under exactly the keys the
+// pre-crash process used, and cached-selection consistency carries over
+// restarts unchanged. GET /debug/persistence reports the recovery
+// summary (snapshot LSN, records replayed, torn bytes truncated) and
+// current log position; jury/serve exposes it as Client.Persistence.
 package repro

@@ -1,0 +1,49 @@
+package online
+
+import "math"
+
+// SessionSnapshot is the complete serializable state of a Session, used
+// by the durable serving layer to checkpoint live sessions. Restoring a
+// snapshot reproduces the session bit-for-bit: the posterior log odds are
+// carried as their IEEE-754 bit pattern, which survives JSON exactly even
+// when the odds are ±Inf (a degenerate prior or a quality-0/1 vote).
+type SessionSnapshot struct {
+	Config Config `json:"config"`
+	// LogOddsBits is math.Float64bits of the posterior log odds.
+	LogOddsBits uint64  `json:"log_odds_bits"`
+	Votes       int     `json:"votes"`
+	Cost        float64 `json:"cost"`
+	Done        bool    `json:"done"`
+	// Stopped is meaningful only when Done is true. It must be persisted
+	// rather than rederived: StopBudget is a caller-side verdict the
+	// session state alone cannot reconstruct.
+	Stopped StopReason `json:"stopped"`
+}
+
+// Snapshot captures the session's full state.
+func (s *Session) Snapshot() SessionSnapshot {
+	return SessionSnapshot{
+		Config:      s.cfg,
+		LogOddsBits: math.Float64bits(s.logOdds),
+		Votes:       s.state.Votes,
+		Cost:        s.state.Cost,
+		Done:        s.state.Done,
+		Stopped:     s.state.Stopped,
+	}
+}
+
+// RestoreSession rebuilds a Session from a snapshot. Decision and
+// Confidence are recomputed from the restored log odds, so a restored
+// session reports byte-identical state to the one snapshotted.
+func RestoreSession(snap SessionSnapshot) (*Session, error) {
+	if err := snap.Config.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{cfg: snap.Config, logOdds: math.Float64frombits(snap.LogOddsBits)}
+	s.refresh()
+	s.state.Votes = snap.Votes
+	s.state.Cost = snap.Cost
+	s.state.Done = snap.Done
+	s.state.Stopped = snap.Stopped
+	return s, nil
+}

@@ -71,23 +71,35 @@ func (s *Session) Affordable(cost float64) bool {
 	return s.cfg.Budget == 0 || s.state.Cost+cost <= s.cfg.Budget
 }
 
+// Check reports whether a vote of the given quality and cost would be
+// accepted by Observe, without changing any state. It returns exactly the
+// error Observe would: callers that must do work between validation and
+// application (the durable server journals the vote in between) rely on
+// Observe being infallible after a nil Check.
+func (s *Session) Check(quality, cost float64) error {
+	if s.state.Done {
+		return ErrSessionDone
+	}
+	if quality < 0 || quality > 1 || quality != quality {
+		return fmt.Errorf("%w: %v", ErrObservedRange, quality)
+	}
+	if cost < 0 || cost != cost {
+		return fmt.Errorf("online: negative vote cost %v", cost)
+	}
+	if !s.Affordable(cost) {
+		return fmt.Errorf("%w: cost %v with %v of %v spent",
+			ErrOverBudget, cost, s.state.Cost, s.cfg.Budget)
+	}
+	return nil
+}
+
 // Observe folds one vote by a worker of the given quality and cost into the
 // posterior and re-evaluates the stopping rule. It fails without changing
 // state when the session is already Done, when the vote does not fit the
 // remaining budget, or when quality is outside [0, 1].
 func (s *Session) Observe(quality, cost float64, v voting.Vote) (State, error) {
-	if s.state.Done {
-		return s.state, ErrSessionDone
-	}
-	if quality < 0 || quality > 1 || quality != quality {
-		return s.state, fmt.Errorf("%w: %v", ErrObservedRange, quality)
-	}
-	if cost < 0 || cost != cost {
-		return s.state, fmt.Errorf("online: negative vote cost %v", cost)
-	}
-	if !s.Affordable(cost) {
-		return s.state, fmt.Errorf("%w: cost %v with %v of %v spent",
-			ErrOverBudget, cost, s.state.Cost, s.cfg.Budget)
+	if err := s.Check(quality, cost); err != nil {
+		return s.state, err
 	}
 	s.logOdds += voteLogOdds(quality, v)
 	s.state.Votes++

@@ -172,6 +172,44 @@ type SessionState struct {
 	Stopped string `json:"stopped,omitempty"`
 }
 
+// PersistenceStatus is the GET /debug/persistence body: the durability
+// state of the daemon. Enabled is false (and every other field zero) for
+// an in-memory server.
+type PersistenceStatus struct {
+	Enabled bool   `json:"enabled"`
+	DataDir string `json:"data_dir,omitempty"`
+	// Fsync reports whether the WAL flushes to stable storage per record.
+	Fsync bool `json:"fsync,omitempty"`
+	// NextLSN is the log sequence number the next mutation will get;
+	// NextLSN-1 identifies the last journaled mutation.
+	NextLSN uint64 `json:"next_lsn,omitempty"`
+	// Segments is the number of live WAL segment files.
+	Segments int `json:"segments,omitempty"`
+	// LastSnapshotLSN is the WAL position the newest snapshot covers.
+	LastSnapshotLSN uint64 `json:"last_snapshot_lsn,omitempty"`
+	// SnapshotsWritten counts snapshots taken by this process.
+	SnapshotsWritten uint64 `json:"snapshots_written,omitempty"`
+	// RecoveredAt is when this process finished recovery (RFC 3339).
+	RecoveredAt string `json:"recovered_at,omitempty"`
+	// Recovery describes what boot-time recovery found.
+	Recovery *RecoveryStatus `json:"recovery,omitempty"`
+}
+
+// RecoveryStatus reports what boot-time recovery reconstructed.
+type RecoveryStatus struct {
+	// SnapshotLSN is the WAL position of the snapshot recovery loaded;
+	// 0 means no snapshot existed and the whole log was replayed.
+	SnapshotLSN uint64 `json:"snapshot_lsn"`
+	// RecordsReplayed is how many WAL records were applied on top.
+	RecordsReplayed int `json:"records_replayed"`
+	// TornBytesTruncated is how many trailing bytes of the newest WAL
+	// segment were dropped as a torn (crash-interrupted) record.
+	TornBytesTruncated int64 `json:"torn_bytes_truncated"`
+	// WorkersRestored and SessionsRestored count the recovered state.
+	WorkersRestored  int `json:"workers_restored"`
+	SessionsRestored int `json:"sessions_restored"`
+}
+
 // ErrorResponse is the JSON body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`

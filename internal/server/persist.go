@@ -1,0 +1,357 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/online"
+	"repro/internal/wal"
+)
+
+// Durability. With Config.DataDir set, every registry and session
+// mutation is journaled to a write-ahead log (internal/wal) before it is
+// applied in memory — validation runs first, then the record is appended
+// under the same lock that orders the mutation, then the mutation is
+// applied, so the WAL order and the in-memory order are identical and a
+// failed append changes nothing. Recovery (Open) loads the newest
+// snapshot, replays the WAL tail through the same Apply code paths the
+// snapshot state was built from, and resumes journaling; because replay
+// is deterministic, a recovered registry carries bit-identical posteriors
+// and therefore produces bit-identical pool signatures — the selection
+// cache (which starts empty after a restart) refills under exactly the
+// keys the pre-crash process was using.
+
+// RecordType tags one WAL record.
+type RecordType string
+
+// The journaled mutation types.
+const (
+	RecRegister      RecordType = "register"
+	RecUpdate        RecordType = "update"
+	RecRemove        RecordType = "remove"
+	RecIngest        RecordType = "ingest"
+	RecSessionOpen   RecordType = "session-open"
+	RecSessionVote   RecordType = "session-vote"
+	RecSessionBudget RecordType = "session-budget"
+	RecSessionClose  RecordType = "session-close"
+	RecSessionReap   RecordType = "session-reap"
+)
+
+// Record is one durable mutation, the unit of WAL replay. Every input a
+// mutation depends on is captured in the record itself (the resolved
+// prior strength, the voting worker's quality at ingest time, the session
+// id counter), so replay needs no environment and reconstructs state
+// bit-identically regardless of configuration or clock.
+type Record struct {
+	T RecordType `json:"t"`
+	// Specs carries the registered (RecRegister) or replacement
+	// (RecUpdate, single element) worker specs.
+	Specs []WorkerSpec `json:"specs,omitempty"`
+	// Strength is the resolved default prior strength behind Specs.
+	Strength float64 `json:"strength,omitempty"`
+	// WorkerID names the removed worker (RecRemove).
+	WorkerID string `json:"worker_id,omitempty"`
+	// Events carries an ingested vote batch (RecIngest).
+	Events []VoteEvent `json:"events,omitempty"`
+	// Session carries the session-record payload (RecSession*).
+	Session *SessionRecord `json:"session,omitempty"`
+}
+
+// SessionRecord is the session-mutation payload of a Record.
+type SessionRecord struct {
+	// ID is the session acted on (all types but reap).
+	ID string `json:"id,omitempty"`
+	// Next is the id counter value the open consumed (RecSessionOpen).
+	Next uint64 `json:"next,omitempty"`
+	// Config is the opened session's stopping rule (RecSessionOpen).
+	Config *online.Config `json:"config,omitempty"`
+	// Quality and Cost are the voting worker's registry state at ingest
+	// time and Vote the answer (RecSessionVote) — captured in the record
+	// so replay does not depend on the registry's replay position.
+	Quality float64 `json:"quality,omitempty"`
+	Cost    float64 `json:"cost,omitempty"`
+	Vote    int     `json:"vote,omitempty"`
+	// Reaped lists the sessions dropped by one reap pass (RecSessionReap).
+	Reaped []string `json:"reaped,omitempty"`
+}
+
+// serverState is the JSON snapshot document: the full durable state of a
+// Server as of one WAL position.
+type serverState struct {
+	Registry registryState `json:"registry"`
+	Sessions sessionsState `json:"sessions"`
+}
+
+// registryState serializes the worker registry in registration order.
+type registryState struct {
+	Gen     uint64          `json:"gen"`
+	Workers []workerPersist `json:"workers"`
+}
+
+// workerPersist is one worker's full posterior state. Go's JSON encoder
+// emits float64s with round-trip precision, so A/B/Quality/Cost survive
+// the snapshot bit-identically.
+type workerPersist struct {
+	ID      string  `json:"id"`
+	Quality float64 `json:"quality"`
+	Cost    float64 `json:"cost"`
+	A       float64 `json:"a"`
+	B       float64 `json:"b"`
+	Votes   int     `json:"votes"`
+	Correct int     `json:"correct"`
+	Version int64   `json:"version"`
+}
+
+// sessionsState serializes the live sessions, ordered by id.
+type sessionsState struct {
+	Next     uint64           `json:"next"`
+	Sessions []sessionPersist `json:"sessions,omitempty"`
+}
+
+type sessionPersist struct {
+	ID    string                 `json:"id"`
+	State online.SessionSnapshot `json:"state"`
+}
+
+// Persistence binds a Server to its WAL and snapshot files.
+type Persistence struct {
+	dir string
+	log *wal.Log
+	// freeze orders mutations against snapshot capture: every mutating
+	// request path holds it shared for the whole journal-then-apply
+	// critical section (Server.mutationGuard), and snapshot capture holds
+	// it exclusively, so a snapshot sees either all or none of each
+	// mutation and its LSN watermark is exact.
+	freeze sync.RWMutex
+
+	mu           sync.Mutex // guards the fields below
+	fsync        bool
+	haveSnapshot bool
+	lastSnapshot wal.LSN
+	snapshots    uint64
+	recovery     RecoveryStatus
+	recoveredAt  time.Time
+}
+
+// Open builds a Server like New and, when cfg.DataDir is set, makes it
+// durable: recover state from the newest snapshot plus the WAL tail
+// (truncating a torn trailing record), then journal every subsequent
+// mutation. With an empty DataDir it is exactly New.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if cfg.DataDir == "" {
+		return s, nil
+	}
+	p := &Persistence{dir: cfg.DataDir, fsync: cfg.Fsync}
+	lsn, payload, found, err := wal.LatestSnapshot(cfg.DataDir)
+	if err != nil {
+		return nil, fmt.Errorf("server: load snapshot: %w", err)
+	}
+	from := wal.LSN(0)
+	if found {
+		var st serverState
+		if err := json.Unmarshal(payload, &st); err != nil {
+			return nil, fmt.Errorf("server: snapshot at lsn %d: %w", lsn, err)
+		}
+		if err := s.registry.load(st.Registry); err != nil {
+			return nil, fmt.Errorf("server: snapshot at lsn %d: %w", lsn, err)
+		}
+		if err := s.sessions.load(st.Sessions); err != nil {
+			return nil, fmt.Errorf("server: snapshot at lsn %d: %w", lsn, err)
+		}
+		from = lsn
+		p.haveSnapshot = true
+		p.lastSnapshot = lsn
+		p.recovery.SnapshotLSN = uint64(lsn)
+	}
+	log, info, err := wal.Open(cfg.DataDir, wal.Options{
+		SegmentBytes: cfg.SegmentBytes,
+		Fsync:        cfg.Fsync,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: open wal: %w", err)
+	}
+	if info.NextLSN < from+1 {
+		log.Close()
+		return nil, fmt.Errorf("%w: snapshot covers lsn %d but the log ends at %d",
+			wal.ErrCorrupt, from, info.NextLSN-1)
+	}
+	p.recovery.TornBytesTruncated = info.TornBytes
+	replayErr := log.Replay(from+1, func(l wal.LSN, payload []byte) error {
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("record at lsn %d: %w", l, err)
+		}
+		if err := s.applyRecord(&rec); err != nil {
+			return fmt.Errorf("record at lsn %d: %w", l, err)
+		}
+		p.recovery.RecordsReplayed++
+		return nil
+	})
+	if replayErr != nil {
+		log.Close()
+		return nil, fmt.Errorf("server: replay: %w", replayErr)
+	}
+	p.log = log
+	p.recovery.WorkersRestored = s.registry.Len()
+	p.recovery.SessionsRestored = s.sessions.Len()
+	p.recoveredAt = time.Now()
+	journal := func(rec *Record) error {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("server: journal encode: %w", err)
+		}
+		if _, err := log.Append(payload); err != nil {
+			return fmt.Errorf("server: journal append: %w", err)
+		}
+		return nil
+	}
+	s.registry.journal = journal
+	s.sessions.journal = journal
+	s.persist = p
+	return s, nil
+}
+
+// applyRecord replays one journaled record — the recovery path shared by
+// WAL replay and (via the walltest harness) reference replays.
+func (s *Server) applyRecord(rec *Record) error {
+	switch rec.T {
+	case RecRegister, RecUpdate, RecRemove, RecIngest:
+		return s.registry.Apply(rec)
+	case RecSessionOpen, RecSessionVote, RecSessionBudget, RecSessionClose, RecSessionReap:
+		return s.sessions.Apply(rec)
+	default:
+		return fmt.Errorf("server: unknown record type %q", rec.T)
+	}
+}
+
+// mutationGuard blocks snapshot capture for the duration of one mutation
+// (journal append plus in-memory apply). Mutating request paths call it
+// before touching the registry or sessions and release afterward; with
+// persistence disabled it is free.
+func (s *Server) mutationGuard() func() {
+	if s.persist == nil {
+		return func() {}
+	}
+	s.persist.freeze.RLock()
+	return s.persist.freeze.RUnlock
+}
+
+// SnapshotNow captures a consistent snapshot of the full server state,
+// installs it atomically, and truncates WAL segments the snapshot covers.
+// It is a no-op without persistence or when nothing changed since the
+// last snapshot.
+func (s *Server) SnapshotNow() error {
+	p := s.persist
+	if p == nil {
+		return nil
+	}
+	p.freeze.Lock()
+	state := serverState{
+		Registry: s.registry.persistState(),
+		Sessions: s.sessions.persistState(),
+	}
+	upTo := p.log.NextLSN() - 1
+	p.freeze.Unlock()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.haveSnapshot && upTo == p.lastSnapshot {
+		return nil
+	}
+	if !p.haveSnapshot && upTo == 0 {
+		return nil // nothing ever journaled: the empty state needs no file
+	}
+	payload, err := json.Marshal(state)
+	if err != nil {
+		return fmt.Errorf("server: snapshot encode: %w", err)
+	}
+	if err := wal.WriteSnapshot(p.dir, upTo, payload); err != nil {
+		return fmt.Errorf("server: snapshot write: %w", err)
+	}
+	p.haveSnapshot = true
+	p.lastSnapshot = upTo
+	p.snapshots++
+	if _, err := p.log.TruncateBefore(upTo + 1); err != nil {
+		return fmt.Errorf("server: wal truncate: %w", err)
+	}
+	return nil
+}
+
+// ClosePersistence syncs and closes the WAL. Mutations after it fail;
+// call it only on shutdown (after a final SnapshotNow, if desired).
+func (s *Server) ClosePersistence() error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.log.Close()
+}
+
+// PersistenceStatus reports the durability state for /debug/persistence.
+func (s *Server) PersistenceStatus() PersistenceStatus {
+	p := s.persist
+	if p == nil {
+		return PersistenceStatus{Enabled: false}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec := p.recovery
+	return PersistenceStatus{
+		Enabled:          true,
+		DataDir:          p.dir,
+		Fsync:            p.fsync,
+		NextLSN:          uint64(p.log.NextLSN()),
+		Segments:         p.log.Segments(),
+		LastSnapshotLSN:  uint64(p.lastSnapshot),
+		SnapshotsWritten: p.snapshots,
+		RecoveredAt:      p.recoveredAt.UTC().Format(time.RFC3339Nano),
+		Recovery:         &rec,
+	}
+}
+
+// DebugState marshals the full durable state (the snapshot document) of
+// the server, persistence enabled or not — the bit-exact comparison
+// surface used by the crash-recovery harness and /debug tooling.
+func (s *Server) DebugState() ([]byte, error) {
+	state := serverState{
+		Registry: s.registry.persistState(),
+		Sessions: s.sessions.persistState(),
+	}
+	return json.Marshal(state)
+}
+
+// sessionOrdinal extracts the numeric part of a session id ("s17" -> 17)
+// for stable persist ordering; non-conforming ids sort last, lexically.
+func sessionOrdinal(id string) (uint64, bool) {
+	if !strings.HasPrefix(id, "s") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// sessionIDLess orders session ids numerically (s2 before s10).
+func sessionIDLess(a, b string) bool {
+	na, oka := sessionOrdinal(a)
+	nb, okb := sessionOrdinal(b)
+	if oka && okb {
+		return na < nb
+	}
+	if oka != okb {
+		return oka
+	}
+	return a < b
+}
+
+// sortSessionIDs orders ids numerically (s2 before s10).
+func sortSessionIDs(ids []string) {
+	sort.Slice(ids, func(i, j int) bool { return sessionIDLess(ids[i], ids[j]) })
+}

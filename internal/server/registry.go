@@ -71,6 +71,19 @@ type Registry struct {
 	// mutating method under the write lock, so the hot read paths
 	// (selection cache lookups, listings) never re-hash the pool.
 	fullSig string
+	// journal, when set, receives every mutation as a WAL record under
+	// the write lock after validation but before the mutation is applied:
+	// a failed append aborts the mutation with memory untouched, and the
+	// log order always matches the lock (application) order.
+	journal func(*Record) error
+}
+
+// logLocked journals rec if a journal is attached. Callers hold r.mu.
+func (r *Registry) logLocked(rec *Record) error {
+	if r.journal == nil {
+		return nil
+	}
+	return r.journal(rec)
 }
 
 // NewRegistry returns an empty registry.
@@ -131,12 +144,21 @@ func (r *Registry) Register(specs []WorkerSpec, defaultStrength float64) (string
 			return "", fmt.Errorf("%w: %q", ErrWorkerExists, spec.ID)
 		}
 	}
+	if err := r.logLocked(&Record{T: RecRegister, Specs: specs, Strength: defaultStrength}); err != nil {
+		return "", err
+	}
+	return r.applyRegisterLocked(specs, defaultStrength), nil
+}
+
+// applyRegisterLocked performs a validated registration; shared by the
+// live path and WAL replay. Callers hold r.mu.
+func (r *Registry) applyRegisterLocked(specs []WorkerSpec, defaultStrength float64) string {
 	for _, spec := range specs {
 		r.workers[spec.ID] = newState(spec, defaultStrength)
 		r.order = append(r.order, spec.ID)
 	}
 	r.gen++
-	return r.refreshFullSigLocked(), nil
+	return r.refreshFullSigLocked()
 }
 
 // refreshFullSigLocked recomputes the memoized full-pool signature; every
@@ -162,16 +184,25 @@ func (r *Registry) Update(spec WorkerSpec, defaultStrength float64) (WorkerInfo,
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	w, ok := r.workers[spec.ID]
-	if !ok {
+	if _, ok := r.workers[spec.ID]; !ok {
 		return WorkerInfo{}, fmt.Errorf("%w: %q", ErrWorkerUnknown, spec.ID)
 	}
+	if err := r.logLocked(&Record{T: RecUpdate, Specs: []WorkerSpec{spec}, Strength: defaultStrength}); err != nil {
+		return WorkerInfo{}, err
+	}
+	return r.applyUpdateLocked(spec, defaultStrength), nil
+}
+
+// applyUpdateLocked performs a validated update; shared by the live path
+// and WAL replay. Callers hold r.mu and have checked existence.
+func (r *Registry) applyUpdateLocked(spec WorkerSpec, defaultStrength float64) WorkerInfo {
+	w := r.workers[spec.ID]
 	fresh := newState(spec, defaultStrength)
 	fresh.version = w.version + 1
 	*w = *fresh
 	r.gen++
 	r.refreshFullSigLocked()
-	return w.info(), nil
+	return w.info()
 }
 
 // Remove deletes a worker.
@@ -181,6 +212,16 @@ func (r *Registry) Remove(id string) error {
 	if _, ok := r.workers[id]; !ok {
 		return fmt.Errorf("%w: %q", ErrWorkerUnknown, id)
 	}
+	if err := r.logLocked(&Record{T: RecRemove, WorkerID: id}); err != nil {
+		return err
+	}
+	r.applyRemoveLocked(id)
+	return nil
+}
+
+// applyRemoveLocked deletes a known worker; shared by the live path and
+// WAL replay. Callers hold r.mu and have checked existence.
+func (r *Registry) applyRemoveLocked(id string) {
 	delete(r.workers, id)
 	for i, oid := range r.order {
 		if oid == id {
@@ -190,7 +231,6 @@ func (r *Registry) Remove(id string) error {
 	}
 	r.gen++
 	r.refreshFullSigLocked()
-	return nil
 }
 
 // Get returns one worker's state.
@@ -247,6 +287,23 @@ func (r *Registry) Ingest(events []VoteEvent) ([]WorkerInfo, string, error) {
 			return nil, "", fmt.Errorf("%w: %q", ErrWorkerUnknown, ev.WorkerID)
 		}
 	}
+	if len(events) > 0 {
+		if err := r.logLocked(&Record{T: RecIngest, Events: events}); err != nil {
+			return nil, "", err
+		}
+	}
+	touchOrder := r.applyIngestLocked(events)
+	out := make([]WorkerInfo, len(touchOrder))
+	for i, id := range touchOrder {
+		out[i] = r.workers[id].info()
+	}
+	return out, r.fullSig, nil
+}
+
+// applyIngestLocked performs a validated ingest and returns the touched
+// worker ids in first-touch order; shared by the live path and WAL
+// replay. Callers hold r.mu and have checked that every worker exists.
+func (r *Registry) applyIngestLocked(events []VoteEvent) []string {
 	touched := make(map[string]bool, len(events))
 	var touchOrder []string
 	for _, ev := range events {
@@ -269,11 +326,122 @@ func (r *Registry) Ingest(events []VoteEvent) ([]WorkerInfo, string, error) {
 		r.gen++
 		r.refreshFullSigLocked()
 	}
-	out := make([]WorkerInfo, len(touchOrder))
-	for i, id := range touchOrder {
-		out[i] = r.workers[id].info()
+	return touchOrder
+}
+
+// Apply replays one journaled registry record without re-journaling it —
+// the recovery path. It revalidates like the live mutators so a
+// logically corrupt log fails recovery instead of silently diverging.
+func (r *Registry) Apply(rec *Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch rec.T {
+	case RecRegister:
+		seen := make(map[string]bool, len(rec.Specs))
+		for _, spec := range rec.Specs {
+			if err := validateSpec(spec); err != nil {
+				return err
+			}
+			if seen[spec.ID] {
+				return fmt.Errorf("%w: %q", ErrDuplicateBatch, spec.ID)
+			}
+			seen[spec.ID] = true
+			if _, ok := r.workers[spec.ID]; ok {
+				return fmt.Errorf("%w: %q", ErrWorkerExists, spec.ID)
+			}
+		}
+		strength := rec.Strength
+		if strength <= 0 {
+			strength = DefaultPriorStrength
+		}
+		r.applyRegisterLocked(rec.Specs, strength)
+	case RecUpdate:
+		if len(rec.Specs) != 1 {
+			return fmt.Errorf("server: update record carries %d specs", len(rec.Specs))
+		}
+		spec := rec.Specs[0]
+		if err := validateSpec(spec); err != nil {
+			return err
+		}
+		if _, ok := r.workers[spec.ID]; !ok {
+			return fmt.Errorf("%w: %q", ErrWorkerUnknown, spec.ID)
+		}
+		strength := rec.Strength
+		if strength <= 0 {
+			strength = DefaultPriorStrength
+		}
+		r.applyUpdateLocked(spec, strength)
+	case RecRemove:
+		if _, ok := r.workers[rec.WorkerID]; !ok {
+			return fmt.Errorf("%w: %q", ErrWorkerUnknown, rec.WorkerID)
+		}
+		r.applyRemoveLocked(rec.WorkerID)
+	case RecIngest:
+		for _, ev := range rec.Events {
+			if _, ok := r.workers[ev.WorkerID]; !ok {
+				return fmt.Errorf("%w: %q", ErrWorkerUnknown, ev.WorkerID)
+			}
+		}
+		r.applyIngestLocked(rec.Events)
+	default:
+		return fmt.Errorf("server: record type %q is not a registry record", rec.T)
 	}
-	return out, r.fullSig, nil
+	return nil
+}
+
+// persistState serializes the full registry (posteriors included) for a
+// snapshot, in registration order.
+func (r *Registry) persistState() registryState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := registryState{Gen: r.gen, Workers: make([]workerPersist, len(r.order))}
+	for i, id := range r.order {
+		w := r.workers[id]
+		st.Workers[i] = workerPersist{
+			ID:      w.id,
+			Quality: w.quality,
+			Cost:    w.cost,
+			A:       w.a,
+			B:       w.b,
+			Votes:   w.votes,
+			Correct: w.correct,
+			Version: w.version,
+		}
+	}
+	return st
+}
+
+// load replaces the registry contents with a snapshot's state — the
+// recovery path, called before the server starts serving.
+func (r *Registry) load(st registryState) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	workers := make(map[string]*workerState, len(st.Workers))
+	order := make([]string, 0, len(st.Workers))
+	for _, wp := range st.Workers {
+		if wp.ID == "" {
+			return ErrEmptyID
+		}
+		if _, ok := workers[wp.ID]; ok {
+			return fmt.Errorf("%w: %q", ErrDuplicateBatch, wp.ID)
+		}
+		workers[wp.ID] = &workerState{
+			id:      wp.ID,
+			quality: wp.Quality,
+			cost:    wp.Cost,
+			a:       wp.A,
+			b:       wp.B,
+			votes:   wp.Votes,
+			correct: wp.Correct,
+			version: wp.Version,
+		}
+		order = append(order, wp.ID)
+	}
+	r.workers = workers
+	r.order = order
+	r.gen = st.Gen
+	r.refreshFullSigLocked()
+	return nil
 }
 
 // AnyAffordable reports whether some registered worker costs at most

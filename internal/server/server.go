@@ -48,6 +48,18 @@ type Config struct {
 	// PriorStrength is the default pseudo-count weight behind registered
 	// qualities; 0 selects DefaultPriorStrength.
 	PriorStrength float64
+	// DataDir, when non-empty, makes the server durable (see Open): every
+	// mutation is journaled to a write-ahead log under this directory and
+	// state is recovered from snapshot+log on boot. New ignores it.
+	DataDir string
+	// Fsync flushes the WAL to stable storage after every record —
+	// durable against power loss, at the price of one disk flush per
+	// mutation. Without it, mutations survive a process crash (kill -9)
+	// but not necessarily a machine crash.
+	Fsync bool
+	// SegmentBytes is the WAL segment rotation threshold; 0 selects
+	// wal.DefaultSegmentBytes.
+	SegmentBytes int64
 }
 
 // NewConfig returns the production defaults: uniform prior, seed 1.
@@ -55,7 +67,8 @@ func NewConfig() Config {
 	return Config{Alpha: 0.5, Seed: 1}
 }
 
-// Server is the juryd HTTP service. Create with New, mount via Handler.
+// Server is the juryd HTTP service. Create with New (in-memory) or Open
+// (durable), mount via Handler.
 type Server struct {
 	cfg      Config
 	registry *Registry
@@ -63,6 +76,7 @@ type Server struct {
 	sessions *sessionStore
 	metrics  *Metrics
 	mux      *http.ServeMux
+	persist  *Persistence // nil without a data dir
 }
 
 // New builds a Server from the config.
@@ -86,6 +100,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.route("GET /healthz", s.handleHealth)
 	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /debug/persistence", s.handleDebugPersistence)
 	s.route("POST /v1/workers", s.handleRegister)
 	s.route("GET /v1/workers", s.handleListWorkers)
 	s.route("GET /v1/workers/{id}", s.handleGetWorker)
@@ -185,6 +200,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.WriteText(w, s.cache.Stats(), s.registry.Len(), s.registry.Generation())
 }
 
+func (s *Server) handleDebugPersistence(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.PersistenceStatus())
+}
+
 // ---------------------------------------------------------------------------
 // Worker registry.
 
@@ -198,6 +217,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errors.New("server: no workers in request"))
 		return
 	}
+	defer s.mutationGuard()()
 	sig, err := s.registry.Register(req.Workers, s.cfg.PriorStrength)
 	if err != nil {
 		writeError(w, err)
@@ -236,6 +256,7 @@ func (s *Server) handleUpdateWorker(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec.ID = id
+	defer s.mutationGuard()()
 	info, err := s.registry.Update(spec, s.cfg.PriorStrength)
 	if err != nil {
 		writeError(w, err)
@@ -245,6 +266,7 @@ func (s *Server) handleUpdateWorker(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
+	defer s.mutationGuard()()
 	if err := s.registry.Remove(r.PathValue("id")); err != nil {
 		writeError(w, err)
 		return
@@ -278,6 +300,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) ingest(w http.ResponseWriter, events []VoteEvent) {
+	defer s.mutationGuard()()
 	updated, sig, err := s.registry.Ingest(events)
 	if err != nil {
 		writeError(w, err)
@@ -432,6 +455,7 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	if req.Alpha != nil {
 		alpha = *req.Alpha
 	}
+	defer s.mutationGuard()()
 	state, err := s.sessions.Open(online.Config{
 		Alpha:      alpha,
 		Confidence: req.Confidence,
@@ -471,6 +495,7 @@ func (s *Server) handleSessionVote(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
+	defer s.mutationGuard()()
 	state, err := s.sessions.Observe(id, info.Quality, info.Cost, req.Vote)
 	if errors.Is(err, online.ErrOverBudget) {
 		// The vote does not fit. If no registered worker fits the
@@ -498,6 +523,7 @@ func (s *Server) handleSessionVote(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	defer s.mutationGuard()()
 	if err := s.sessions.Close(r.PathValue("id")); err != nil {
 		writeError(w, err)
 		return
@@ -506,10 +532,14 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 }
 
 // Preload registers an initial worker pool, for daemon startup (-pool).
+// On a durable server the registration is journaled like any other, so a
+// preloaded pool also survives restarts (re-preloading the same file into
+// a recovered registry fails with ErrWorkerExists).
 func (s *Server) Preload(specs []WorkerSpec) error {
 	if len(specs) == 0 {
 		return nil
 	}
+	defer s.mutationGuard()()
 	_, err := s.registry.Register(specs, s.cfg.PriorStrength)
 	return err
 }

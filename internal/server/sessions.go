@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -32,6 +33,10 @@ type sessionStore struct {
 	cap  int
 	now  func() time.Time // injectable clock for tests
 	live map[string]*liveSession
+	// journal, when set, receives every session mutation as a WAL record
+	// under the lock that orders it, after validation but before the
+	// mutation is applied (see Registry.journal for the contract).
+	journal func(*Record) error
 }
 
 type liveSession struct {
@@ -39,6 +44,14 @@ type liveSession struct {
 	id        string
 	sess      *online.Session
 	lastTouch time.Time
+	// closed marks a session whose close/reap record is already in the
+	// journal. It is set under mu in the same critical section that
+	// journals the deletion, and every per-session mutator checks it
+	// after locking mu: a voter that looked the session up just before
+	// it was closed must not journal a vote *after* the close record —
+	// replay would apply the close first and fail on the orphaned vote,
+	// poisoning the log.
+	closed bool
 }
 
 func newSessionStore() *sessionStore {
@@ -58,13 +71,25 @@ func (st *sessionStore) Open(cfg online.Config) (SessionState, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.live) >= st.cap {
-		st.reapLocked()
+		if err := st.reapLocked(); err != nil {
+			return SessionState{}, err
+		}
 	}
 	if len(st.live) >= st.cap {
 		return SessionState{}, fmt.Errorf("server: session limit (%d) reached", st.cap)
 	}
-	st.next++
-	id := "s" + strconv.FormatUint(st.next, 10)
+	n := st.next + 1
+	id := "s" + strconv.FormatUint(n, 10)
+	if st.journal != nil {
+		cfgCopy := cfg
+		err := st.journal(&Record{T: RecSessionOpen, Session: &SessionRecord{
+			ID: id, Next: n, Config: &cfgCopy,
+		}})
+		if err != nil {
+			return SessionState{}, err
+		}
+	}
+	st.next = n
 	ls := &liveSession{id: id, sess: sess, lastTouch: st.now()}
 	st.live[id] = ls
 	return sessionState(id, sess.State()), nil
@@ -72,17 +97,48 @@ func (st *sessionStore) Open(cfg online.Config) (SessionState, error) {
 
 // reapLocked drops sessions that are Done (their result has been
 // delivered to the caller that finished them) or idle past
-// sessionIdleTTL (abandoned by their client). Callers hold st.mu.
-func (st *sessionStore) reapLocked() {
+// sessionIdleTTL (abandoned by their client). The dropped ids are
+// journaled as one reap record — reaping depends on the wall clock, so
+// replay must take the decision from the log, not remake it. Every dead
+// session's lock is held from the liveness check through the journal
+// append and the closed-mark, so no concurrent voter can slip a vote
+// record behind the reap record (see liveSession.closed). Callers hold
+// st.mu; holding several ls.mu at once is safe because reap and Close
+// (the only deletion paths) are serialized by st.mu, and voters never
+// hold more than one.
+func (st *sessionStore) reapLocked() error {
 	cutoff := st.now().Add(-sessionIdleTTL)
-	for id, ls := range st.live {
+	var dead []*liveSession
+	for _, ls := range st.live {
 		ls.mu.Lock()
-		dead := ls.sess.State().Done || ls.lastTouch.Before(cutoff)
-		ls.mu.Unlock()
-		if dead {
-			delete(st.live, id)
+		if ls.sess.State().Done || ls.lastTouch.Before(cutoff) {
+			dead = append(dead, ls) // keep locked until deletion commits
+		} else {
+			ls.mu.Unlock()
 		}
 	}
+	if len(dead) == 0 {
+		return nil
+	}
+	sort.Slice(dead, func(i, j int) bool { return sessionIDLess(dead[i].id, dead[j].id) })
+	ids := make([]string, len(dead))
+	for i, ls := range dead {
+		ids[i] = ls.id
+	}
+	if st.journal != nil {
+		if err := st.journal(&Record{T: RecSessionReap, Session: &SessionRecord{Reaped: ids}}); err != nil {
+			for _, ls := range dead {
+				ls.mu.Unlock()
+			}
+			return err
+		}
+	}
+	for _, ls := range dead {
+		ls.closed = true
+		ls.mu.Unlock()
+		delete(st.live, ls.id)
+	}
+	return nil
 }
 
 // Get returns a session's current state.
@@ -93,6 +149,9 @@ func (st *sessionStore) Get(id string) (SessionState, error) {
 	}
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
+	if ls.closed {
+		return SessionState{}, fmt.Errorf("%w: %q", ErrSessionUnknown, id)
+	}
 	ls.lastTouch = st.now()
 	return sessionState(id, ls.sess.State()), nil
 }
@@ -106,7 +165,24 @@ func (st *sessionStore) Observe(id string, quality, cost float64, v voting.Vote)
 	}
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
+	if ls.closed {
+		return SessionState{}, fmt.Errorf("%w: %q", ErrSessionUnknown, id)
+	}
 	ls.lastTouch = st.now()
+	if err := ls.sess.Check(quality, cost); err != nil {
+		return sessionState(id, ls.sess.State()), err
+	}
+	if st.journal != nil {
+		// The worker's quality and cost at ingest time travel in the
+		// record, so replaying the vote is exact whatever the registry
+		// looked like.
+		err := st.journal(&Record{T: RecSessionVote, Session: &SessionRecord{
+			ID: id, Quality: quality, Cost: cost, Vote: int(v),
+		}})
+		if err != nil {
+			return sessionState(id, ls.sess.State()), err
+		}
+	}
 	state, err := ls.sess.Observe(quality, cost, v)
 	return sessionState(id, state), err
 }
@@ -120,6 +196,9 @@ func (st *sessionStore) BudgetRemaining(id string) (float64, bool, error) {
 	}
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
+	if ls.closed {
+		return 0, false, fmt.Errorf("%w: %q", ErrSessionUnknown, id)
+	}
 	cfg := ls.sess.Config()
 	if cfg.Budget == 0 {
 		return 0, false, nil
@@ -135,16 +214,38 @@ func (st *sessionStore) MarkBudgetExhausted(id string) (SessionState, error) {
 	}
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
+	if ls.closed {
+		return SessionState{}, fmt.Errorf("%w: %q", ErrSessionUnknown, id)
+	}
+	if !ls.sess.State().Done && st.journal != nil {
+		err := st.journal(&Record{T: RecSessionBudget, Session: &SessionRecord{ID: id}})
+		if err != nil {
+			return sessionState(id, ls.sess.State()), err
+		}
+	}
 	return sessionState(id, ls.sess.MarkBudgetExhausted()), nil
 }
 
-// Close removes a session.
+// Close removes a session. The close record is journaled while holding
+// the session's own lock, so a voter racing the close either lands its
+// vote record before the close record (and replay applies both, in
+// order) or observes the closed mark and journals nothing.
 func (st *sessionStore) Close(id string) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if _, ok := st.live[id]; !ok {
+	ls, ok := st.live[id]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrSessionUnknown, id)
 	}
+	ls.mu.Lock()
+	if st.journal != nil {
+		if err := st.journal(&Record{T: RecSessionClose, Session: &SessionRecord{ID: id}}); err != nil {
+			ls.mu.Unlock()
+			return err
+		}
+	}
+	ls.closed = true
+	ls.mu.Unlock()
 	delete(st.live, id)
 	return nil
 }
@@ -164,6 +265,118 @@ func (st *sessionStore) lookup(id string) (*liveSession, error) {
 		return nil, fmt.Errorf("%w: %q", ErrSessionUnknown, id)
 	}
 	return ls, nil
+}
+
+// Apply replays one journaled session record without re-journaling it —
+// the recovery path. Replay bypasses the session cap and the reaper:
+// which sessions exist is decided by the log, not remade from the clock.
+func (st *sessionStore) Apply(rec *Record) error {
+	sr := rec.Session
+	if sr == nil {
+		return fmt.Errorf("server: %s record without session payload", rec.T)
+	}
+	switch rec.T {
+	case RecSessionOpen:
+		if sr.Config == nil {
+			return fmt.Errorf("server: session-open record without config")
+		}
+		sess, err := online.NewSession(*sr.Config)
+		if err != nil {
+			return err
+		}
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if _, ok := st.live[sr.ID]; ok {
+			return fmt.Errorf("server: replayed duplicate session %q", sr.ID)
+		}
+		if sr.Next > st.next {
+			st.next = sr.Next
+		}
+		st.live[sr.ID] = &liveSession{id: sr.ID, sess: sess, lastTouch: st.now()}
+	case RecSessionVote:
+		ls, err := st.lookup(sr.ID)
+		if err != nil {
+			return err
+		}
+		ls.mu.Lock()
+		defer ls.mu.Unlock()
+		if _, err := ls.sess.Observe(sr.Quality, sr.Cost, voting.Vote(sr.Vote)); err != nil {
+			return fmt.Errorf("server: replay vote on %q: %w", sr.ID, err)
+		}
+	case RecSessionBudget:
+		ls, err := st.lookup(sr.ID)
+		if err != nil {
+			return err
+		}
+		ls.mu.Lock()
+		defer ls.mu.Unlock()
+		ls.sess.MarkBudgetExhausted()
+	case RecSessionClose:
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if _, ok := st.live[sr.ID]; !ok {
+			return fmt.Errorf("%w: %q", ErrSessionUnknown, sr.ID)
+		}
+		delete(st.live, sr.ID)
+	case RecSessionReap:
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		for _, id := range sr.Reaped {
+			if _, ok := st.live[id]; !ok {
+				return fmt.Errorf("%w: reaped %q", ErrSessionUnknown, id)
+			}
+			delete(st.live, id)
+		}
+	default:
+		return fmt.Errorf("server: record type %q is not a session record", rec.T)
+	}
+	return nil
+}
+
+// persistState serializes the live sessions for a snapshot, ordered by
+// session id so the document is deterministic.
+func (st *sessionStore) persistState() sessionsState {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ids := make([]string, 0, len(st.live))
+	for id := range st.live {
+		ids = append(ids, id)
+	}
+	sortSessionIDs(ids)
+	out := sessionsState{Next: st.next}
+	for _, id := range ids {
+		ls := st.live[id]
+		ls.mu.Lock()
+		out.Sessions = append(out.Sessions, sessionPersist{ID: id, State: ls.sess.Snapshot()})
+		ls.mu.Unlock()
+	}
+	return out
+}
+
+// load replaces the store contents with a snapshot's state — the
+// recovery path, called before the server starts serving. Idle clocks
+// restart at recovery time: a session that survived a crash should not be
+// reaped for pre-crash idleness.
+func (st *sessionStore) load(state sessionsState) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	live := make(map[string]*liveSession, len(state.Sessions))
+	for _, sp := range state.Sessions {
+		if sp.ID == "" {
+			return errors.New("server: session snapshot with empty id")
+		}
+		if _, ok := live[sp.ID]; ok {
+			return fmt.Errorf("server: duplicate session %q in snapshot", sp.ID)
+		}
+		sess, err := online.RestoreSession(sp.State)
+		if err != nil {
+			return fmt.Errorf("server: restore session %q: %w", sp.ID, err)
+		}
+		live[sp.ID] = &liveSession{id: sp.ID, sess: sess, lastTouch: st.now()}
+	}
+	st.live = live
+	st.next = state.Next
+	return nil
 }
 
 func sessionState(id string, s online.State) SessionState {

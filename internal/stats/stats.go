@@ -51,13 +51,25 @@ func clamp(x, lo, hi float64) float64 {
 func Clamp(x, lo, hi float64) float64 { return clamp(x, lo, hi) }
 
 // Summary holds basic descriptive statistics of a sample.
+//
+// Variance convention: Std is the population standard deviation (the
+// sum of squared deviations divided by N) — the experiment harness
+// reports the spread of the exact set of repeats it ran, matching how
+// the paper's tables describe their own measurements. SampleVariance is
+// the Bessel-corrected estimator (divided by N−1, zero when N < 2) for
+// callers treating the repeats as a sample of a larger population, e.g.
+// confidence intervals. Std*Std therefore does NOT equal SampleVariance;
+// pick the field matching the inference you are making.
 type Summary struct {
-	N              int
-	Mean, Std      float64
-	Min, Max       float64
-	Median         float64
-	P90, P99       float64
-	Sum            float64
+	N int
+	// Mean is the arithmetic mean; Std the population (÷N) standard
+	// deviation.
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+	P90, P99  float64
+	Sum       float64
+	// SampleVariance is the unbiased (÷(N−1)) variance estimator.
 	SampleVariance float64
 }
 

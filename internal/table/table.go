@@ -40,6 +40,19 @@ func (t *Table) AddFloats(values ...float64) {
 	t.AddRow(cells...)
 }
 
+// normRow clamps a row to the header width: short rows are padded with
+// empty cells, long rows truncated. AddRow already normalizes, but Rows
+// built as struct literals can carry any number of cells, and the
+// renderers must not index out of range on them.
+func (t *Table) normRow(row []string) []string {
+	if len(row) == len(t.Headers) {
+		return row
+	}
+	out := make([]string, len(t.Headers))
+	copy(out, row)
+	return out
+}
+
 // String renders the aligned table.
 func (t *Table) String() string {
 	widths := make([]int, len(t.Headers))
@@ -47,7 +60,7 @@ func (t *Table) String() string {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
-		for i, cell := range row {
+		for i, cell := range t.normRow(row) {
 			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
@@ -75,7 +88,7 @@ func (t *Table) String() string {
 	}
 	writeRow(sep)
 	for _, row := range t.Rows {
-		writeRow(row)
+		writeRow(t.normRow(row))
 	}
 	return b.String()
 }
@@ -95,7 +108,7 @@ func (t *Table) CSV() string {
 	}
 	writeLine(t.Headers)
 	for _, row := range t.Rows {
-		writeLine(row)
+		writeLine(t.normRow(row))
 	}
 	return b.String()
 }

@@ -68,6 +68,40 @@ func TestFormatters(t *testing.T) {
 	}
 }
 
+// TestStructLiteralRowsClamped is the regression test for the
+// index-out-of-range panic: Rows constructed directly (bypassing
+// AddRow's normalization) with more cells than Headers must render
+// clamped, and short rows must pad.
+func TestStructLiteralRowsClamped(t *testing.T) {
+	tb := &Table{
+		Headers: []string{"a", "b"},
+		Rows: [][]string{
+			{"1", "2", "EXTRA"},
+			{"only"},
+			{},
+		},
+	}
+	got := tb.String()
+	if strings.Contains(got, "EXTRA") {
+		t.Fatalf("overlong row not truncated:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 5 { // header, separator, 3 rows
+		t.Fatalf("String rendered %d lines, want 5:\n%s", len(lines), got)
+	}
+	csv := tb.CSV()
+	if strings.Contains(csv, "EXTRA") {
+		t.Fatalf("overlong row not truncated in CSV:\n%s", csv)
+	}
+	if want := "a,b\n1,2\nonly,\n,\n"; csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+	// Degenerate: a header-less table must not panic either.
+	empty := &Table{Rows: [][]string{{"x"}}}
+	_ = empty.String()
+	_ = empty.CSV()
+}
+
 func TestNoTitle(t *testing.T) {
 	tb := New("", "a")
 	tb.AddRow("x")

@@ -1,0 +1,116 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Snapshots are whole-state JSON documents named snapshot-<lsn>.json,
+// where <lsn> (16 hex digits) is the last WAL record the state includes:
+// recovery loads the newest snapshot and replays records lsn+1... on top.
+// A snapshot is written to a temp file and renamed into place, so a crash
+// mid-write leaves the previous snapshot intact; once the rename lands,
+// older snapshots (and, via Log.TruncateBefore, fully-covered WAL
+// segments) are garbage and are removed.
+
+// snapshotName renders the file name of the snapshot covering lsn.
+func snapshotName(lsn LSN) string {
+	return fmt.Sprintf("snapshot-%016x.json", uint64(lsn))
+}
+
+// parseSnapshotName extracts the covered LSN from a snapshot file name.
+func parseSnapshotName(name string) (LSN, bool) {
+	if !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, ".json") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), ".json")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return LSN(n), true
+}
+
+// WriteSnapshot atomically installs payload as the snapshot covering
+// records 1..lsn and removes older snapshot files. The temp file is
+// fsynced before the rename and the directory after it — a snapshot
+// whose data or directory entry could evaporate on power loss would be
+// worse than none, because installing it deletes its predecessor (and
+// lets the caller truncate the WAL the predecessor needed).
+func WriteSnapshot(dir string, lsn LSN, payload []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, snapshotName(lsn))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if old, ok := parseSnapshotName(e.Name()); ok && old < lsn {
+			// Best-effort: a leftover older snapshot is shadowed by the
+			// newer one either way.
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return nil
+}
+
+// LatestSnapshot loads the newest snapshot in dir. found is false when
+// the directory holds no snapshot (or does not exist yet).
+func LatestSnapshot(dir string) (lsn LSN, payload []byte, found bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return 0, nil, false, nil
+	}
+	if err != nil {
+		return 0, nil, false, err
+	}
+	best := LSN(0)
+	bestName := ""
+	for _, e := range entries {
+		if l, ok := parseSnapshotName(e.Name()); ok && (bestName == "" || l > best) {
+			best, bestName = l, e.Name()
+		}
+	}
+	if bestName == "" {
+		return 0, nil, false, nil
+	}
+	payload, err = os.ReadFile(filepath.Join(dir, bestName))
+	if err != nil {
+		return 0, nil, false, err
+	}
+	return best, payload, true, nil
+}

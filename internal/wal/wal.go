@@ -1,0 +1,466 @@
+// Package wal implements the write-ahead log behind the durable juryd
+// daemon: an append-only sequence of length-prefixed, CRC32-checksummed
+// records split across rotating segment files, plus atomically-replaced
+// JSON snapshots that bound replay time (snapshot.go).
+//
+// Format. A segment file is named wal-<first>.log, where <first> is the
+// 16-hex-digit LSN of its first record; a record is
+//
+//	[4-byte little-endian payload length][4-byte CRC32-C of payload][payload]
+//
+// Records are numbered by position: the i-th record of a segment has LSN
+// first+i, so the log needs no index — the file names and record counts
+// are the index. Appends go to the newest segment and rotate to a fresh
+// one when the configured size is exceeded.
+//
+// Crash semantics. Only the tail of the newest segment can be torn by a
+// crash (appends are sequential); Open scans that segment, truncates
+// anything after the last record whose length and checksum verify, and
+// reports how many bytes were dropped. A record that fails verification
+// anywhere else is corruption, and Replay fails with ErrCorrupt rather
+// than silently skipping it. Decoding never panics on arbitrary bytes
+// (fuzzed in fuzz_test.go).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// LSN is a log sequence number: records are numbered 1, 2, 3, ... across
+// segment boundaries. 0 means "before the first record".
+type LSN uint64
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is zero.
+const DefaultSegmentBytes = 4 << 20
+
+// MaxRecordBytes bounds one record's payload; a decoded length above it is
+// treated as a torn/corrupt record, which keeps arbitrary bytes from
+// provoking huge allocations.
+const MaxRecordBytes = 16 << 20
+
+// headerSize is the per-record framing overhead: 4 length + 4 CRC bytes.
+const headerSize = 8
+
+// castagnoli is the CRC32-C table used for record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors returned by the log.
+var (
+	ErrClosed   = errors.New("wal: log closed")
+	ErrCorrupt  = errors.New("wal: corrupt log")
+	ErrTooLarge = errors.New("wal: record exceeds MaxRecordBytes")
+)
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes is the rotation threshold; 0 selects
+	// DefaultSegmentBytes. A record larger than the threshold still goes
+	// into a single (oversized) segment.
+	SegmentBytes int64
+	// Fsync syncs the segment file after every append: durable against
+	// power loss at the price of one disk flush per record. Without it,
+	// appends survive a process crash (the page cache persists) but not a
+	// machine crash.
+	Fsync bool
+}
+
+// OpenInfo reports what Open found on disk.
+type OpenInfo struct {
+	// Segments is the number of segment files.
+	Segments int
+	// NextLSN is the LSN the next append will get.
+	NextLSN LSN
+	// TornBytes is how many trailing bytes of the newest segment were
+	// dropped because they did not form a complete, checksummed record.
+	TornBytes int64
+}
+
+// segment is one on-disk segment file.
+type segment struct {
+	first LSN
+	path  string
+}
+
+// Log is an append-only write-ahead log rooted at one directory. It is
+// safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	dir    string
+	opts   Options
+	segs   []segment
+	f      *os.File // newest segment, opened for append
+	size   int64    // bytes in the newest segment
+	next   LSN
+	failed error // sticky: set on a write error, fails every later append
+}
+
+// segmentName renders the file name of the segment whose first record has
+// the given LSN.
+func segmentName(first LSN) string {
+	return fmt.Sprintf("wal-%016x.log", uint64(first))
+}
+
+// parseSegmentName extracts the first LSN from a segment file name.
+func parseSegmentName(name string) (LSN, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return LSN(n), true
+}
+
+// listSegments returns dir's segment files sorted by first LSN.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segment{first: first, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// Open opens (creating if needed) the log in dir, truncating any torn
+// record off the tail of the newest segment so the log ends on a clean
+// record boundary.
+func Open(dir string, opts Options) (*Log, OpenInfo, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, OpenInfo{}, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, OpenInfo{}, err
+	}
+	l := &Log{dir: dir, opts: opts, segs: segs}
+	var info OpenInfo
+	if len(segs) == 0 {
+		l.next = 1
+		if err := l.createSegmentLocked(1); err != nil {
+			return nil, OpenInfo{}, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		f, err := os.Open(last.path)
+		if err != nil {
+			return nil, OpenInfo{}, err
+		}
+		records := 0
+		valid, _, scanErr := ScanSegment(f, func([]byte) error { records++; return nil })
+		closeErr := f.Close()
+		if scanErr != nil {
+			return nil, OpenInfo{}, scanErr
+		}
+		if closeErr != nil {
+			return nil, OpenInfo{}, closeErr
+		}
+		st, err := os.Stat(last.path)
+		if err != nil {
+			return nil, OpenInfo{}, err
+		}
+		if st.Size() > valid {
+			info.TornBytes = st.Size() - valid
+			if err := os.Truncate(last.path, valid); err != nil {
+				return nil, OpenInfo{}, err
+			}
+		}
+		l.f, err = os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, OpenInfo{}, err
+		}
+		l.size = valid
+		l.next = last.first + LSN(records)
+	}
+	info.Segments = len(l.segs)
+	info.NextLSN = l.next
+	return l, info, nil
+}
+
+// createSegmentLocked starts a fresh segment whose first record will be
+// LSN first. Under Fsync the parent directory is synced too: a record
+// is only durable if the directory entry of the segment holding it is —
+// otherwise power loss right after a rotation could drop the whole new
+// segment, acknowledged records included. Callers hold l.mu (or own the
+// log exclusively).
+func (l *Log) createSegmentLocked(first LSN) error {
+	path := filepath.Join(l.dir, segmentName(first))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if l.opts.Fsync {
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	l.segs = append(l.segs, segment{first: first, path: path})
+	l.f = f
+	l.size = 0
+	return nil
+}
+
+// syncDir flushes a directory's entries (file creations, renames) to
+// stable storage.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// rotateLocked closes the current segment and starts the next one.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	return l.createSegmentLocked(l.next)
+}
+
+// Append writes one record and returns its LSN. The write is a single
+// syscall, so a crash leaves at most one torn record at the tail; with
+// Options.Fsync the record is flushed to stable storage before Append
+// returns. A write error poisons the log: every later Append fails.
+func (l *Log) Append(payload []byte) (LSN, error) {
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, ErrClosed
+	}
+	if l.failed != nil {
+		return 0, fmt.Errorf("wal: log failed: %w", l.failed)
+	}
+	rec := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
+	copy(rec[headerSize:], payload)
+	if l.size > 0 && l.size+int64(len(rec)) > l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.failed = err
+			return 0, err
+		}
+	}
+	if _, err := l.f.Write(rec); err != nil {
+		l.failed = err
+		return 0, err
+	}
+	l.size += int64(len(rec))
+	if l.opts.Fsync {
+		if err := l.f.Sync(); err != nil {
+			l.failed = err
+			return 0, err
+		}
+	}
+	lsn := l.next
+	l.next++
+	return lsn, nil
+}
+
+// Sync flushes the newest segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return ErrClosed
+	}
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log. Further appends fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	l.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// NextLSN returns the LSN the next append will get; NextLSN()-1 is the
+// LSN of the last appended record.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Segments returns the number of segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Replay calls fn for every record with LSN >= from, in order. It fails
+// with ErrCorrupt on a record that does not verify (outside the tail Open
+// already truncated) or on a gap between segments.
+func (l *Log) Replay(from LSN, fn func(lsn LSN, payload []byte) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+	for i, seg := range segs {
+		if i+1 < len(segs) && segs[i+1].first <= from {
+			continue // every record of this segment is below from
+		}
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return err
+		}
+		lsn := seg.first
+		_, torn, err := ScanSegment(f, func(payload []byte) error {
+			this := lsn
+			lsn++
+			if this < from {
+				return nil
+			}
+			return fn(this, payload)
+		})
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		if torn {
+			return fmt.Errorf("%w: unverifiable record after lsn %d in %s",
+				ErrCorrupt, lsn-1, filepath.Base(seg.path))
+		}
+		if i+1 < len(segs) && segs[i+1].first != lsn {
+			return fmt.Errorf("%w: segment %s ends at lsn %d but %s starts at %d",
+				ErrCorrupt, filepath.Base(seg.path), lsn-1,
+				filepath.Base(segs[i+1].path), segs[i+1].first)
+		}
+	}
+	return nil
+}
+
+// TruncateBefore deletes segments every record of which has LSN < lsn —
+// the log-truncation step after a snapshot covering lsn-1. The newest
+// segment is always kept (it carries the next-LSN position even when
+// empty). It returns how many segment files were removed.
+func (l *Log) TruncateBefore(lsn LSN) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	kept := l.segs[:0]
+	for i, seg := range l.segs {
+		if i+1 < len(l.segs) && l.segs[i+1].first <= lsn {
+			if err := os.Remove(seg.path); err != nil {
+				kept = append(kept, l.segs[i:]...)
+				l.segs = kept
+				return removed, err
+			}
+			removed++
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = kept
+	return removed, nil
+}
+
+// ScanSegment reads framed records from r until end of input or the first
+// record that does not verify, calling fn with each valid payload (the
+// slice is reused; fn must not retain it). It returns the byte offset
+// just past the last valid record and whether the input ended mid-record
+// or on an unverifiable one (torn). err carries fn failures and reader
+// errors other than running out of bytes; arbitrary input never panics.
+func ScanSegment(r io.Reader, fn func(payload []byte) error) (valid int64, torn bool, err error) {
+	var header [headerSize]byte
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return valid, false, nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return valid, true, nil
+			}
+			return valid, false, err
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		if length > MaxRecordBytes {
+			return valid, true, nil
+		}
+		if cap(buf) < int(length) {
+			// Grow in bounded chunks so a corrupt length claim cannot
+			// force a huge allocation before the short read is noticed.
+			buf = make([]byte, 0, min(int(length), 64<<10))
+		}
+		buf = buf[:0]
+		remaining := int(length)
+		short := false
+		for remaining > 0 {
+			chunk := min(remaining, 64<<10)
+			start := len(buf)
+			buf = append(buf, make([]byte, chunk)...)
+			n, err := io.ReadFull(r, buf[start:])
+			buf = buf[:start+n]
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+					short = true
+					break
+				}
+				return valid, false, err
+			}
+			remaining -= chunk
+		}
+		if short {
+			return valid, true, nil
+		}
+		if crc32.Checksum(buf, castagnoli) != binary.LittleEndian.Uint32(header[4:8]) {
+			return valid, true, nil
+		}
+		if err := fn(buf); err != nil {
+			return valid, false, err
+		}
+		valid += headerSize + int64(length)
+	}
+}

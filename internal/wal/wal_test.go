@@ -1,0 +1,355 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// appendAll appends every payload, returning the assigned LSNs.
+func appendAll(t *testing.T, l *Log, payloads ...string) []LSN {
+	t.Helper()
+	lsns := make([]LSN, len(payloads))
+	for i, p := range payloads {
+		lsn, err := l.Append([]byte(p))
+		if err != nil {
+			t.Fatalf("Append(%q): %v", p, err)
+		}
+		lsns[i] = lsn
+	}
+	return lsns
+}
+
+// replayAll replays from the given LSN into a slice of payload strings.
+func replayAll(t *testing.T, l *Log, from LSN) []string {
+	t.Helper()
+	var out []string
+	if err := l.Replay(from, func(lsn LSN, payload []byte) error {
+		if want := from + LSN(len(out)); lsn != want {
+			t.Fatalf("replay lsn = %d, want %d", lsn, want)
+		}
+		out = append(out, string(payload))
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NextLSN != 1 || info.Segments != 1 {
+		t.Fatalf("fresh OpenInfo = %+v, want NextLSN 1, Segments 1", info)
+	}
+	want := []string{"alpha", "", "gamma with a longer payload"}
+	lsns := appendAll(t, l, want...)
+	for i, lsn := range lsns {
+		if lsn != LSN(i+1) {
+			t.Fatalf("lsn[%d] = %d, want %d", i, lsn, i+1)
+		}
+	}
+	got := replayAll(t, l, 1)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replay = %q, want %q", got, want)
+	}
+	if got := replayAll(t, l, 3); len(got) != 1 || got[0] != want[2] {
+		t.Fatalf("replay from 3 = %q, want [%q]", got, want[2])
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestReopenContinuesLSN(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "one", "two")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.NextLSN != 3 || info.TornBytes != 0 {
+		t.Fatalf("reopen OpenInfo = %+v, want NextLSN 3, TornBytes 0", info)
+	}
+	appendAll(t, l2, "three")
+	if got := replayAll(t, l2, 1); fmt.Sprint(got) != fmt.Sprint([]string{"one", "two", "three"}) {
+		t.Fatalf("replay after reopen = %q", got)
+	}
+}
+
+func TestRotationAndTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny threshold: every record after the first in a segment rotates.
+	l, _, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, "r1", "r2", "r3", "r4")
+	if got := l.Segments(); got != 4 {
+		t.Fatalf("segments = %d, want 4", got)
+	}
+	if got := replayAll(t, l, 1); len(got) != 4 {
+		t.Fatalf("replay across segments = %q", got)
+	}
+	// A snapshot covering LSN 3 makes segments 1..3 garbage.
+	removed, err := l.TruncateBefore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("TruncateBefore removed %d segments, want 3", removed)
+	}
+	if got := replayAll(t, l, 4); len(got) != 1 || got[0] != "r4" {
+		t.Fatalf("replay after truncate = %q, want [r4]", got)
+	}
+	// The newest segment survives even when fully covered.
+	if _, err := l.TruncateBefore(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Segments(); got != 1 {
+		t.Fatalf("segments after full truncate = %d, want 1", got)
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	for _, tear := range []int64{1, 4, 8, 9} {
+		t.Run(fmt.Sprintf("tear%d", tear), func(t *testing.T) {
+			dir := t.TempDir()
+			l, _, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendAll(t, l, "keep-me", "torn-record")
+			l.Close()
+			path := filepath.Join(dir, segmentName(1))
+			st, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, st.Size()-tear); err != nil {
+				t.Fatal(err)
+			}
+			l2, info, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if info.NextLSN != 2 {
+				t.Fatalf("NextLSN after torn tail = %d, want 2", info.NextLSN)
+			}
+			if info.TornBytes == 0 {
+				t.Fatal("TornBytes = 0, want the torn record's remnant counted")
+			}
+			if got := replayAll(t, l2, 1); len(got) != 1 || got[0] != "keep-me" {
+				t.Fatalf("replay = %q, want [keep-me]", got)
+			}
+			// The freed LSN is reused by the next append.
+			if lsn, err := l2.Append([]byte("replacement")); err != nil || lsn != 2 {
+				t.Fatalf("append after recovery = (%d, %v), want (2, nil)", lsn, err)
+			}
+		})
+	}
+}
+
+func TestCorruptedTailCRCTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "good", "flipped")
+	l.Close()
+	path := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // corrupt the last record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.NextLSN != 2 || info.TornBytes == 0 {
+		t.Fatalf("OpenInfo = %+v, want NextLSN 2 with torn bytes", info)
+	}
+	if got := replayAll(t, l2, 1); len(got) != 1 || got[0] != "good" {
+		t.Fatalf("replay = %q, want [good]", got)
+	}
+}
+
+func TestEmptyTrailingSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "a", "b")
+	l.Close()
+	// Simulate a crash right after rotation created the next segment but
+	// before any record landed in it.
+	empty := filepath.Join(dir, segmentName(3))
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.NextLSN != 3 || info.Segments != 2 {
+		t.Fatalf("OpenInfo = %+v, want NextLSN 3, Segments 2", info)
+	}
+	if got := replayAll(t, l2, 1); fmt.Sprint(got) != fmt.Sprint([]string{"a", "b"}) {
+		t.Fatalf("replay = %q", got)
+	}
+	appendAll(t, l2, "c")
+	if got := replayAll(t, l2, 3); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("replay from 3 = %q, want [c]", got)
+	}
+}
+
+func TestReplayDetectsMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "seg1", "seg2", "seg3")
+	l.Close()
+	// Corrupt the middle segment: replay must fail loudly, not skip.
+	path := filepath.Join(dir, segmentName(2))
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	err = l2.Replay(1, func(LSN, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay over corrupt middle segment: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestScanSegmentRejectsOversizedLength(t *testing.T) {
+	var header [headerSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], MaxRecordBytes+1)
+	valid, torn, err := ScanSegment(bytes.NewReader(header[:]), func([]byte) error {
+		t.Fatal("fn called for an invalid record")
+		return nil
+	})
+	if err != nil || !torn || valid != 0 {
+		t.Fatalf("ScanSegment = (%d, %v, %v), want (0, true, nil)", valid, torn, err)
+	}
+}
+
+func TestOversizedAppendRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(make([]byte, MaxRecordBytes+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append: %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSnapshotWriteAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, found, err := LatestSnapshot(dir); err != nil || found {
+		t.Fatalf("LatestSnapshot(empty) = found %v, err %v", found, err)
+	}
+	if err := WriteSnapshot(dir, 5, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(dir, 9, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	lsn, payload, found, err := LatestSnapshot(dir)
+	if err != nil || !found {
+		t.Fatalf("LatestSnapshot: found %v, err %v", found, err)
+	}
+	if lsn != 9 || string(payload) != `{"v":2}` {
+		t.Fatalf("LatestSnapshot = (%d, %s), want (9, {\"v\":2})", lsn, payload)
+	}
+	// The older snapshot file is gone.
+	if _, err := os.Stat(filepath.Join(dir, snapshotName(5))); !os.IsNotExist(err) {
+		t.Fatalf("old snapshot still present: %v", err)
+	}
+}
+
+func TestFsyncOptionSmoke(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, "durable")
+	if got := replayAll(t, l, 1); len(got) != 1 || got[0] != "durable" {
+		t.Fatalf("replay = %q", got)
+	}
+}
+
+// TestScanSegmentValidPrefixProperty pins the invariant the fuzz target
+// relies on: rescanning the reported valid prefix yields the same records
+// with no torn tail.
+func TestScanSegmentValidPrefixProperty(t *testing.T) {
+	var stream bytes.Buffer
+	for _, p := range []string{"aa", "bbbb", "c"} {
+		var header [headerSize]byte
+		binary.LittleEndian.PutUint32(header[0:4], uint32(len(p)))
+		binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum([]byte(p), castagnoli))
+		stream.Write(header[:])
+		stream.WriteString(p)
+	}
+	stream.WriteString("\x03\x00") // torn header
+	data := stream.Bytes()
+	var first []string
+	valid, torn, err := ScanSegment(bytes.NewReader(data), func(p []byte) error {
+		first = append(first, string(p))
+		return nil
+	})
+	if err != nil || !torn {
+		t.Fatalf("scan = (torn %v, err %v), want torn", torn, err)
+	}
+	var second []string
+	valid2, torn2, err := ScanSegment(bytes.NewReader(data[:valid]), func(p []byte) error {
+		second = append(second, string(p))
+		return nil
+	})
+	if err != nil || torn2 || valid2 != valid {
+		t.Fatalf("rescan = (%d, %v, %v), want (%d, false, nil)", valid2, torn2, err, valid)
+	}
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("rescan records %q != first scan %q", second, first)
+	}
+}

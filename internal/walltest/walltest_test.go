@@ -1,0 +1,269 @@
+package walltest
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/jury/serve"
+)
+
+func w(id string, quality, cost float64) serve.WorkerSpec {
+	return serve.WorkerSpec{ID: id, Quality: quality, Cost: cost}
+}
+
+func ev(id string, correct bool) serve.VoteEvent {
+	return serve.VoteEvent{WorkerID: id, Correct: correct}
+}
+
+// baseScript is the standard mutate phase: a registration, posterior
+// drift from two ingest batches, and a session with votes.
+func baseScript() []Step {
+	return []Step{
+		Register(w("ann", 0.8, 3), w("bob", 0.7, 2), w("cy", 0.6, 1)),
+		Ingest(ev("ann", true), ev("bob", false), ev("cy", true)),
+		OpenSession(serve.SessionRequest{Confidence: 0.95, Budget: 40}),
+		SessionVote("s1", "ann", 0),
+		Ingest(ev("cy", true), ev("cy", true), ev("ann", false)),
+	}
+}
+
+// TestCrashRecoveryTornWrite kills the WAL mid-record at several byte
+// offsets inside the final record: recovery must drop exactly the torn
+// record and land bit-identical to a reference that never saw it.
+func TestCrashRecoveryTornWrite(t *testing.T) {
+	script := baseScript()
+	dir := t.TempDir()
+	env := Start(t, BaseConfig(dir))
+	offsets := env.Drive(script)
+	env.Crash()
+	n := len(script)
+	prev, last := offsets[n-2], offsets[n-1]
+	if last <= prev {
+		t.Fatalf("final step appended nothing: offsets %v", offsets)
+	}
+	cuts := []struct {
+		name string
+		size int64
+		torn bool
+	}{
+		{"clean-boundary", prev, false},
+		{"mid-header", prev + 4, true},
+		{"start-of-payload", prev + 8, true},
+		{"one-byte-short", last - 1, true},
+	}
+	for _, cut := range cuts {
+		t.Run(cut.name, func(t *testing.T) {
+			torn := CopyDir(t, dir)
+			Tear(t, torn, cut.size)
+			recovered := Start(t, BaseConfig(torn))
+			reference := Reference(t, BaseConfig(""), script, n-1)
+			AssertSameState(t, reference, recovered)
+			status := recovered.Srv.PersistenceStatus()
+			if !status.Enabled || status.Recovery == nil {
+				t.Fatalf("recovered server reports no persistence: %+v", status)
+			}
+			if gotTorn := status.Recovery.TornBytesTruncated > 0; gotTorn != cut.torn {
+				t.Errorf("TornBytesTruncated = %d, want torn=%v",
+					status.Recovery.TornBytesTruncated, cut.torn)
+			}
+			if status.Recovery.RecordsReplayed != n-1 {
+				t.Errorf("RecordsReplayed = %d, want %d", status.Recovery.RecordsReplayed, n-1)
+			}
+		})
+	}
+}
+
+// TestCrashRecoveryEmptySegment covers the crash window right after
+// segment rotation: a trailing zero-byte segment must recover to the
+// full pre-crash state and stay appendable.
+func TestCrashRecoveryEmptySegment(t *testing.T) {
+	script := baseScript()
+	dir := t.TempDir()
+	cfg := BaseConfig(dir)
+	cfg.SegmentBytes = 1 // every record rotates into its own segment
+	env := Start(t, cfg)
+	env.Drive(script)
+	next := env.Srv.PersistenceStatus().NextLSN
+	env.Crash()
+
+	// The rotation had created the next segment file but no record
+	// reached it. (Name format must match internal/wal's wal-%016x.log.)
+	empty := filepath.Join(dir, fmt.Sprintf("wal-%016x.log", next))
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recovered := Start(t, cfg)
+	reference := Reference(t, BaseConfig(""), script, len(script))
+	AssertSameState(t, reference, recovered)
+
+	// The empty segment is live: post-recovery mutations append to it
+	// and the two servers stay in lockstep.
+	extra := []Step{Ingest(ev("bob", true), ev("ann", true))}
+	recovered.Drive(extra)
+	reference.Drive(extra)
+	AssertSameState(t, reference, recovered)
+}
+
+// TestCrashRecoveryTruncatedSegment tears a whole trailing segment down
+// to zero bytes (crash before any of its record hit the disk).
+func TestCrashRecoveryTruncatedSegment(t *testing.T) {
+	script := baseScript()
+	dir := t.TempDir()
+	cfg := BaseConfig(dir)
+	cfg.SegmentBytes = 1
+	env := Start(t, cfg)
+	env.Drive(script)
+	env.Crash()
+	Tear(t, dir, 0)
+	recovered := Start(t, cfg)
+	reference := Reference(t, BaseConfig(""), script, len(script)-1)
+	AssertSameState(t, reference, recovered)
+}
+
+// TestCrashRecoverySnapshotPlusTail snapshots mid-script: recovery =
+// snapshot + tail replay must equal the full-script reference, the WAL
+// must have been truncated behind the snapshot, and only the tail may be
+// replayed on boot.
+func TestCrashRecoverySnapshotPlusTail(t *testing.T) {
+	head := baseScript()
+	tail := []Step{
+		Ingest(ev("ann", true), ev("cy", false)),
+		Update(w("bob", 0.75, 2.5)),
+		SessionVote("s1", "cy", 1),
+	}
+	script := append(append(append([]Step{}, head...), Snapshot()), tail...)
+	dir := t.TempDir()
+	cfg := BaseConfig(dir)
+	cfg.SegmentBytes = 1
+	env := Start(t, cfg)
+	env.Drive(script)
+	env.Crash()
+
+	recovered := Start(t, cfg)
+	reference := Reference(t, BaseConfig(""), script, len(script))
+	AssertSameState(t, reference, recovered)
+	status := recovered.Srv.PersistenceStatus()
+	if status.Recovery.SnapshotLSN != uint64(len(head)) {
+		t.Errorf("SnapshotLSN = %d, want %d", status.Recovery.SnapshotLSN, len(head))
+	}
+	if status.Recovery.RecordsReplayed != len(tail) {
+		t.Errorf("RecordsReplayed = %d, want %d (the tail only)",
+			status.Recovery.RecordsReplayed, len(tail))
+	}
+	if status.Segments > len(tail)+1 {
+		t.Errorf("%d segments survived the snapshot truncation, want <= %d",
+			status.Segments, len(tail)+1)
+	}
+}
+
+// TestCrashRecoveryRepeated chains two crash/recover cycles with
+// mutations in between: recovery must compose.
+func TestCrashRecoveryRepeated(t *testing.T) {
+	partA := baseScript()
+	partB := []Step{
+		Ingest(ev("cy", false)),
+		Register(w("dee", 0.65, 4)),
+		Ingest(ev("dee", true), ev("dee", true)),
+	}
+	dir := t.TempDir()
+	env := Start(t, BaseConfig(dir))
+	env.Drive(partA)
+	env.Crash()
+	second := Start(t, BaseConfig(dir))
+	second.Drive(partB)
+	second.Crash()
+	recovered := Start(t, BaseConfig(dir))
+	reference := Reference(t, BaseConfig(""), append(append([]Step{}, partA...), partB...), len(partA)+len(partB))
+	AssertSameState(t, reference, recovered)
+}
+
+// TestPropertySnapshotPlusReplayEqualsFullReplay is the durability
+// property test: for random mutation scripts with a snapshot injected at
+// a random position, crash-recovery (snapshot + WAL tail) must be
+// bit-identical to replaying the whole script from scratch.
+func TestPropertySnapshotPlusReplayEqualsFullReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			script := randomScript(rng, 24)
+			pos := rng.Intn(len(script) + 1)
+			withSnap := make([]Step, 0, len(script)+1)
+			withSnap = append(withSnap, script[:pos]...)
+			withSnap = append(withSnap, Snapshot())
+			withSnap = append(withSnap, script[pos:]...)
+
+			dir := t.TempDir()
+			env := Start(t, BaseConfig(dir))
+			env.Drive(withSnap)
+			env.Crash()
+			recovered := Start(t, BaseConfig(dir))
+			reference := Reference(t, BaseConfig(""), withSnap, len(withSnap))
+			AssertSameState(t, reference, recovered)
+		})
+	}
+}
+
+// randomScript generates a valid mutation script: every referenced
+// worker exists, sessions are only voted on while open, ids never
+// collide. Session votes may still hit deterministic conflicts (done
+// sessions), which SessionVote tolerates identically on every replay.
+func randomScript(rng *rand.Rand, n int) []Step {
+	var steps []Step
+	var workers []string
+	var sessions []string
+	nextWorker, nextSession := 0, 0
+	addWorker := func() Step {
+		id := fmt.Sprintf("w%d", nextWorker)
+		nextWorker++
+		workers = append(workers, id)
+		return Register(w(id, 0.5+0.45*rng.Float64(), 1+float64(rng.Intn(9))))
+	}
+	steps = append(steps, addWorker(), addWorker())
+	for len(steps) < n {
+		switch rng.Intn(10) {
+		case 0, 1:
+			steps = append(steps, addWorker())
+		case 2, 3, 4:
+			events := make([]serve.VoteEvent, 1+rng.Intn(3))
+			for i := range events {
+				events[i] = ev(workers[rng.Intn(len(workers))], rng.Intn(2) == 0)
+			}
+			steps = append(steps, Ingest(events...))
+		case 5:
+			id := workers[rng.Intn(len(workers))]
+			steps = append(steps, Update(w(id, 0.5+0.45*rng.Float64(), 1+float64(rng.Intn(9)))))
+		case 6:
+			if len(workers) > 2 {
+				i := rng.Intn(len(workers))
+				id := workers[i]
+				workers = append(workers[:i], workers[i+1:]...)
+				steps = append(steps, Remove(id))
+			}
+		case 7:
+			nextSession++
+			sessions = append(sessions, fmt.Sprintf("s%d", nextSession))
+			steps = append(steps, OpenSession(serve.SessionRequest{Confidence: 0.9, Budget: 40}))
+		case 8:
+			if len(sessions) > 0 {
+				sid := sessions[rng.Intn(len(sessions))]
+				wid := workers[rng.Intn(len(workers))]
+				steps = append(steps, SessionVote(sid, wid, rng.Intn(2)))
+			}
+		case 9:
+			if len(sessions) > 0 {
+				i := rng.Intn(len(sessions))
+				sid := sessions[i]
+				sessions = append(sessions[:i], sessions[i+1:]...)
+				steps = append(steps, CloseSession(sid))
+			}
+		}
+	}
+	return steps
+}

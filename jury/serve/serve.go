@@ -56,6 +56,10 @@ type (
 	IngestResponse = server.IngestResponse
 	// ListResponse lists the registry.
 	ListResponse = server.ListResponse
+	// PersistenceStatus reports the daemon's durability/recovery state.
+	PersistenceStatus = server.PersistenceStatus
+	// RecoveryStatus describes what boot-time recovery reconstructed.
+	RecoveryStatus = server.RecoveryStatus
 )
 
 // Client talks to one juryd daemon. The zero value is not usable; create
@@ -218,6 +222,15 @@ func (c *Client) CloseSession(ctx context.Context, id string) error {
 // Health checks daemon liveness.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Persistence reports the daemon's durability state: whether it runs
+// with a WAL, the recovery summary of its last boot (snapshot LSN,
+// records replayed, torn bytes truncated), and the current log position.
+func (c *Client) Persistence(ctx context.Context) (PersistenceStatus, error) {
+	var out PersistenceStatus
+	err := c.do(ctx, http.MethodGet, "/debug/persistence", nil, &out)
+	return out, err
 }
 
 // Metrics returns the raw Prometheus-style metrics text.

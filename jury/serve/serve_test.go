@@ -18,6 +18,59 @@ func newClient(t *testing.T) *Client {
 	return NewClient(ts.URL + "/") // trailing slash is trimmed
 }
 
+// TestPersistenceStatus covers the /debug/persistence surface: disabled
+// on an in-memory daemon, and carrying recovery counters on a durable
+// one that rebooted.
+func TestPersistenceStatus(t *testing.T) {
+	ctx := context.Background()
+	c := newClient(t)
+	st, err := c.Persistence(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Enabled {
+		t.Fatalf("in-memory daemon reports persistence: %+v", st)
+	}
+
+	cfg := server.Config{Alpha: 0.5, Seed: 1, DataDir: t.TempDir()}
+	s, err := server.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	dc := NewClient(ts.URL)
+	if err := dc.RegisterWorkers(ctx, []WorkerSpec{{ID: "ann", Quality: 0.8, Cost: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.IngestVote(ctx, VoteEvent{WorkerID: "ann", Correct: true}); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if err := s.ClosePersistence(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := server.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	st, err = NewClient(ts2.URL).Persistence(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Enabled || st.Recovery == nil {
+		t.Fatalf("durable daemon status = %+v, want enabled with recovery", st)
+	}
+	if st.Recovery.RecordsReplayed != 2 || st.Recovery.WorkersRestored != 1 {
+		t.Fatalf("recovery = %+v, want 2 records replayed, 1 worker restored", st.Recovery)
+	}
+	if st.NextLSN != 3 {
+		t.Fatalf("NextLSN = %d, want 3", st.NextLSN)
+	}
+}
+
 func TestClientEndToEnd(t *testing.T) {
 	ctx := context.Background()
 	c := newClient(t)
