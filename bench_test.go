@@ -397,3 +397,44 @@ func BenchmarkServerSelect(b *testing.B) {
 	b.Run("cached", func(b *testing.B) { run(b, 0) })
 	b.Run("uncached", func(b *testing.B) { run(b, -1) })
 }
+
+// BenchmarkServerMultiSelect measures the multi-choice serving path end
+// to end (request decode → pool snapshot → annealing over the bucketed
+// multi-label JQ estimate → response encode) with the selection cache on
+// and off. The multi-choice search is markedly costlier than the binary
+// one (the bucket DP runs over (ℓ−1)-tuples of margins), so the cache's
+// amortization matters even more here.
+func BenchmarkServerMultiSelect(b *testing.B) {
+	run := func(b *testing.B, cacheSize int) {
+		srv := server.New(server.Config{Alpha: 0.5, Seed: 1, CacheSize: cacheSize})
+		rng := rand.New(rand.NewSource(42))
+		specs := make([]server.MultiWorkerSpec, 20)
+		for i := range specs {
+			q := 0.45 + 0.5*rng.Float64()
+			specs[i] = server.MultiWorkerSpec{
+				ID:      "m" + strconv.Itoa(i),
+				Quality: &q,
+				Cost:    1 + 9*rng.Float64(),
+			}
+		}
+		if err := srv.PreloadMulti(server.MultiCreateRequest{
+			Name: "bench", Labels: 3, Workers: specs,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		h := srv.Handler()
+		body := []byte(`{"budget":15}`)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/multi/pools/bench/select", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("multi select: %d %s", w.Code, w.Body)
+			}
+		}
+	}
+	b.Run("cached", func(b *testing.B) { run(b, 0) })
+	b.Run("uncached", func(b *testing.B) { run(b, -1) })
+}

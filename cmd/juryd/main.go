@@ -7,11 +7,21 @@
 //
 //	juryd [-addr :8700] [-alpha 0.5] [-seed 1] [-cache 4096]
 //	      [-workers 0] [-prior-strength 8] [-pool pool.json]
+//	      [-multi-pool mpool.json] [-labels 0]
 //	      [-data-dir dir] [-snapshot-interval 1m] [-fsync]
 //
 // The optional -pool file preloads the registry:
 //
 //	{"workers": [{"id": "w0", "quality": 0.8, "cost": 2}, ...]}
+//
+// The optional -multi-pool file preloads one multi-choice (confusion-
+// matrix) pool; workers give either a full row-stochastic "confusion"
+// matrix or a scalar "quality" (symmetric matrix, needs a label count
+// from the file's "labels" or the -labels flag):
+//
+//	{"name": "colors", "labels": 3, "workers": [
+//	  {"id": "m0", "quality": 0.8, "cost": 2},
+//	  {"id": "m1", "confusion": [[0.9,0.05,0.05],[0.1,0.8,0.1],[0.2,0.2,0.6]], "cost": 3}]}
 //
 // With -data-dir the daemon is durable: every mutation is journaled to a
 // write-ahead log before it is acknowledged, snapshots are taken every
@@ -37,6 +47,17 @@
 //	POST /v1/sessions/{id}/votes  feed a session one vote
 //	GET  /v1/sessions/{id}        session state
 //	DELETE /v1/sessions/{id}      close a session
+//	POST /v1/multi/pools                  create a multi-choice pool
+//	GET  /v1/multi/pools[/{pool}]         inspect the multi-choice pools
+//	DELETE /v1/multi/pools/{pool}         drop a pool
+//	POST /v1/multi/pools/{pool}/workers   register confusion-matrix workers
+//	POST /v1/multi/pools/{pool}/votes     ingest graded multi-label votes
+//	POST /v1/multi/pools/{pool}/select    solve the multi-choice JSP (cached)
+//	POST /v1/multi/pools/{pool}/jq        Jury Quality of an explicit jury
+//
+// See API.md at the repository root for the full route-by-route wire
+// reference (request/response fields, error codes, consistency and
+// durability notes).
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
@@ -53,6 +74,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -79,6 +101,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	priorStrength := fs.Float64("prior-strength", server.DefaultPriorStrength,
 		"pseudo-count weight of registered qualities")
 	poolFile := fs.String("pool", "", "JSON file preloading the worker registry")
+	multiPoolFile := fs.String("multi-pool", "", "JSON file preloading one multi-choice pool")
+	labels := fs.Int("labels", 0,
+		"default label count for a -multi-pool file that omits \"labels\" (0 = take from the file)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
 	dataDir := fs.String("data-dir", "", "WAL+snapshot directory; empty = in-memory only")
 	snapshotInterval := fs.Duration("snapshot-interval", time.Minute,
@@ -103,19 +128,53 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *dataDir != "" {
 		st := srv.PersistenceStatus()
-		fmt.Fprintf(out, "juryd: recovered %d workers, %d sessions from %s (snapshot lsn %d, %d records replayed, %d torn bytes truncated)\n",
-			st.Recovery.WorkersRestored, st.Recovery.SessionsRestored, *dataDir,
+		fmt.Fprintf(out, "juryd: recovered %d workers, %d sessions, %d multi pools from %s (snapshot lsn %d, %d records replayed, %d torn bytes truncated)\n",
+			st.Recovery.WorkersRestored, st.Recovery.SessionsRestored,
+			st.Recovery.MultiPoolsRestored, *dataDir,
 			st.Recovery.SnapshotLSN, st.Recovery.RecordsReplayed, st.Recovery.TornBytesTruncated)
 	}
+	// Preloads tolerate already-registered state on a durable restart: a
+	// supervisor restarting the daemon with a fixed argv must not crash-
+	// loop because the journaled first preload was recovered from the WAL.
 	if *poolFile != "" {
 		specs, err := loadPool(*poolFile)
 		if err != nil {
 			return err
 		}
-		if err := srv.Preload(specs); err != nil {
+		switch err := srv.Preload(specs); {
+		case err == nil:
+			fmt.Fprintf(out, "juryd: preloaded %d workers from %s\n", len(specs), *poolFile)
+		case *dataDir != "" && errors.Is(err, server.ErrWorkerExists):
+			fmt.Fprintf(out, "juryd: pool file %s already registered (recovered state); skipping preload\n", *poolFile)
+			// Registration is atomic, so a skip can also hide a file that
+			// was edited between restarts: surface any ids the recovered
+			// registry lacks instead of silently dropping them.
+			if missing := missingPreloadWorkers(srv, specs); len(missing) > 0 {
+				fmt.Fprintf(out, "juryd: warning: %s has %d workers absent from the recovered registry (%s); register them via POST /v1/workers\n",
+					*poolFile, len(missing), strings.Join(missing, ", "))
+			}
+		default:
 			return err
 		}
-		fmt.Fprintf(out, "juryd: preloaded %d workers from %s\n", len(specs), *poolFile)
+	}
+	if *multiPoolFile != "" {
+		req, err := loadMultiPool(*multiPoolFile, *labels)
+		if err != nil {
+			return err
+		}
+		switch err := srv.PreloadMulti(req); {
+		case err == nil:
+			fmt.Fprintf(out, "juryd: preloaded multi-choice pool %q (%d labels, %d workers) from %s\n",
+				req.Name, req.Labels, len(req.Workers), *multiPoolFile)
+		case *dataDir != "" && errors.Is(err, server.ErrPoolExists):
+			fmt.Fprintf(out, "juryd: multi-choice pool %q already exists (recovered state); skipping preload\n", req.Name)
+			if missing := missingMultiPreloadWorkers(srv, req); len(missing) > 0 {
+				fmt.Fprintf(out, "juryd: warning: %s has %d workers absent from recovered pool %q (%s); register them via POST /v1/multi/pools/%s/workers\n",
+					*multiPoolFile, len(missing), req.Name, strings.Join(missing, ", "), req.Name)
+			}
+		default:
+			return err
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -194,4 +253,57 @@ func loadPool(path string) ([]server.WorkerSpec, error) {
 		return nil, fmt.Errorf("pool file %s: no workers", path)
 	}
 	return req.Workers, nil
+}
+
+// missingPreloadWorkers lists the pool-file worker ids the recovered
+// registry does not hold — evidence the file changed between restarts.
+func missingPreloadWorkers(srv *server.Server, specs []server.WorkerSpec) []string {
+	var missing []string
+	for _, spec := range specs {
+		if _, err := srv.Registry().Get(spec.ID); err != nil {
+			missing = append(missing, spec.ID)
+		}
+	}
+	return missing
+}
+
+// missingMultiPreloadWorkers lists the multi-pool-file worker ids the
+// recovered pool does not hold.
+func missingMultiPreloadWorkers(srv *server.Server, req server.MultiCreateRequest) []string {
+	info, err := srv.MultiRegistry().Get(req.Name)
+	if err != nil {
+		return nil // pool vanished between the conflict and this check
+	}
+	have := make(map[string]bool, len(info.Workers))
+	for _, w := range info.Workers {
+		have[w.ID] = true
+	}
+	var missing []string
+	for _, spec := range req.Workers {
+		if !have[spec.ID] {
+			missing = append(missing, spec.ID)
+		}
+	}
+	return missing
+}
+
+// loadMultiPool reads a MultiCreateRequest-shaped JSON file. A file
+// without a "labels" field takes the -labels flag value; the server
+// rejects the request if neither resolves a label count.
+func loadMultiPool(path string, defaultLabels int) (server.MultiCreateRequest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return server.MultiCreateRequest{}, err
+	}
+	var req server.MultiCreateRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return server.MultiCreateRequest{}, fmt.Errorf("multi-pool file %s: %w", path, err)
+	}
+	if req.Name == "" {
+		return server.MultiCreateRequest{}, fmt.Errorf("multi-pool file %s: no pool name", path)
+	}
+	if req.Labels == 0 {
+		req.Labels = defaultLabels
+	}
+	return req, nil
 }

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/server"
 )
 
 // lineWriter hands each written line to a channel, so the test can watch
@@ -197,5 +199,147 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-pool", "/does/not/exist.json"}, io.Discard); err == nil {
 		t.Fatal("missing pool file accepted")
+	}
+}
+
+// TestDaemonPreloadsMultiPoolFile boots with -multi-pool (labels coming
+// from the -labels flag, not the file) and selects over the preloaded
+// confusion-matrix pool end to end.
+func TestDaemonPreloadsMultiPoolFile(t *testing.T) {
+	dir := t.TempDir()
+	pool := filepath.Join(dir, "mpool.json")
+	data := `{"name":"colors","workers":[
+		{"id":"m0","quality":0.8,"cost":2},
+		{"id":"m1","confusion":[[0.9,0.05,0.05],[0.1,0.8,0.1],[0.2,0.2,0.6]],"cost":3},
+		{"id":"m2","quality":0.65,"cost":1}]}`
+	if err := os.WriteFile(pool, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base, cancel, done := startDaemon(t, "-multi-pool", pool, "-labels", "3")
+	defer func() { cancel(); <-done }()
+
+	resp, err := http.Get(base + "/v1/multi/pools/colors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.Count(string(body), `"id"`) != 3 {
+		t.Fatalf("preloaded pool: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"labels":3`) {
+		t.Fatalf("label count missing: %s", body)
+	}
+	resp, err = http.Post(base+"/v1/multi/pools/colors/select", "application/json",
+		strings.NewReader(`{"budget":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"jq"`) {
+		t.Fatalf("multi select: %d %s", resp.StatusCode, body)
+	}
+
+	// A multi-pool file that resolves no label count must refuse to boot.
+	noLabels := filepath.Join(dir, "nolabels.json")
+	if err := os.WriteFile(noLabels, []byte(`{"name":"x","workers":[{"id":"a","quality":0.7,"cost":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-multi-pool", noLabels}, io.Discard); err == nil {
+		t.Fatal("multi-pool file without labels accepted")
+	}
+}
+
+// TestDaemonDurableRestartWithPreloadFlags: a supervisor restarts the
+// daemon with the same argv (-pool/-multi-pool plus -data-dir); the
+// journaled first preload is recovered from the WAL, so the second boot
+// must skip the redundant preload instead of crash-looping on
+// ErrWorkerExists/ErrPoolExists.
+func TestDaemonDurableRestartWithPreloadFlags(t *testing.T) {
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "data")
+	pool := filepath.Join(dir, "pool.json")
+	mpool := filepath.Join(dir, "mpool.json")
+	if err := os.WriteFile(pool, []byte(`{"workers":[{"id":"a","quality":0.8,"cost":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpool, []byte(`{"name":"colors","labels":3,"workers":[{"id":"m0","quality":0.7,"cost":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-data-dir", dataDir, "-pool", pool, "-multi-pool", mpool}
+
+	base, cancel, done := startDaemon(t, args...)
+	resp, err := http.Post(base+"/v1/multi/pools/colors/votes", "application/json",
+		strings.NewReader(`{"events":[{"worker_id":"m0","truth":0,"vote":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first daemon shutdown: %v", err)
+	}
+
+	// Same argv again: must boot (skipping both preloads) and keep the
+	// recovered Dirichlet drift.
+	base, cancel, done = startDaemon(t, args...)
+	defer func() { cancel(); <-done }()
+	resp, err = http.Get(base + "/v1/multi/pools/colors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"votes":1`) {
+		t.Fatalf("recovered multi pool: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Count(string(body), `"id"`) != 1 {
+		t.Fatalf("recovered binary pool: %s", body)
+	}
+}
+
+// TestPreloadDriftDetection: the restart-skip path must surface workers
+// a preload file gained since the recovered registration, rather than
+// silently dropping them (the atomic preload aborts on the first
+// already-registered id).
+func TestPreloadDriftDetection(t *testing.T) {
+	s := server.New(server.NewConfig())
+	if err := s.Preload([]server.WorkerSpec{{ID: "a", Quality: 0.8, Cost: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	q := 0.7
+	if err := s.PreloadMulti(server.MultiCreateRequest{
+		Name: "colors", Labels: 3,
+		Workers: []server.MultiWorkerSpec{{ID: "m0", Quality: &q, Cost: 1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	missing := missingPreloadWorkers(s, []server.WorkerSpec{
+		{ID: "a", Quality: 0.8, Cost: 1},
+		{ID: "b", Quality: 0.6, Cost: 2}, // added to the file post-recovery
+	})
+	if len(missing) != 1 || missing[0] != "b" {
+		t.Fatalf("missing = %v, want [b]", missing)
+	}
+	missingMulti := missingMultiPreloadWorkers(s, server.MultiCreateRequest{
+		Name: "colors",
+		Workers: []server.MultiWorkerSpec{
+			{ID: "m0", Quality: &q, Cost: 1},
+			{ID: "m1", Quality: &q, Cost: 2}, // added post-recovery
+		},
+	})
+	if len(missingMulti) != 1 || missingMulti[0] != "m1" {
+		t.Fatalf("missing multi = %v, want [m1]", missingMulti)
+	}
+	if got := missingMultiPreloadWorkers(s, server.MultiCreateRequest{Name: "ghost"}); got != nil {
+		t.Fatalf("vanished pool should report nothing, got %v", got)
 	}
 }

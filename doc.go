@@ -102,8 +102,53 @@
 // was optimal for the snapshot it was asked about, tagged with that
 // snapshot's signature. Batch budget sweeps fan out over the bounded
 // internal/conc pool. BenchmarkServerSelect records the cached-versus-
-// uncached throughput gap; /metrics exposes request counts, cache hit
-// rate, and cumulative selection latency at runtime.
+// uncached throughput gap; /metrics exposes request counts, per-route
+// latency histograms (juryd_request_duration_seconds), cache hit rate,
+// and cumulative selection latency at runtime. API.md at the repository
+// root is the route-by-route wire reference, kept honest by a test that
+// diffs it against the server's registered route table.
+//
+// # Multi-choice serving
+//
+// The Section 7 extension — ℓ-ary tasks with confusion-matrix workers
+// (jury/multi, internal/multichoice) — is served over HTTP alongside the
+// binary routes. Multi-choice workers live in named pools
+// (server.MultiRegistry); each pool fixes one label count, so one daemon
+// can serve 3-label sentiment and 5-label rating workloads side by side:
+//
+//   - Dirichlet posteriors: where a binary worker carries one Beta
+//     posterior, a multi-choice worker carries one Dirichlet posterior
+//     per confusion row, seeded from the registered matrix scaled by the
+//     prior strength. A graded multi-label vote event (worker, truth,
+//     vote) adds one pseudo-count to the (truth, vote) cell and row
+//     `truth` becomes its new posterior mean — rows without evidence
+//     never drift.
+//   - Full-matrix signatures: the pool signature hashes the label count
+//     and every worker's id, cost, and complete ℓ×ℓ matrix, so drift in
+//     any row invalidates cached selections structurally, exactly like
+//     the binary arm. Multi-choice selections share the binary LRU
+//     (disjoint key spaces); their keys also carry the full prior
+//     vector, the bucket resolution, and — for the seeded annealing
+//     strategy — the seed.
+//   - Strategies: "anneal" (simulated annealing over the Section 7
+//     bucketed JQ estimate, the default), "greedy" (informativeness-
+//     ranked), "exhaustive" (exact enumeration for small pools), plus a
+//     JQ endpoint that scores an explicit jury (estimate or exact).
+//     The bucketed DP iterates its state maps in sorted-key order, so
+//     multi-choice JQ is a pure function of its inputs — map iteration
+//     order would otherwise leak into the last ULPs and break both
+//     cache determinism and bit-exact WAL replay.
+//   - Durability: multi-pool mutations (create, register, ingest, drop)
+//     journal through the same WAL and snapshot codecs as the binary
+//     registry; records carry the resolved prior strength, and both the
+//     pseudo-counts and the derived confusion matrices travel in
+//     snapshots, so a recovered pool is bit-identical — signatures,
+//     cache keys, and selection outputs carry over restarts (asserted
+//     by the multi-pool crash scripts in internal/walltest).
+//
+// BenchmarkServerMultiSelect records the cached-versus-uncached gap for
+// the multi arm; cmd/juryd preloads a pool at boot via -multi-pool (with
+// -labels as the fallback label count).
 //
 // # Durability
 //
@@ -120,8 +165,9 @@
 //     truncates it; a bad checksum anywhere else fails loudly as
 //     corruption rather than silently skipping records.
 //   - Journal-then-apply: every mutation (worker register/update/remove,
-//     graded vote ingests, session open/vote/finalize/close, and even
-//     the session reaper's evictions) is validated, appended to the WAL
+//     graded vote ingests, session open/vote/finalize/close, multi-pool
+//     create/register/ingest/drop, and even the session reaper's
+//     evictions) is validated, appended to the WAL
 //     under the same lock that orders it, and only then applied in
 //     memory. Log order therefore equals application order, a failed
 //     append aborts with memory untouched, and a record carries every

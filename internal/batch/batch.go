@@ -222,13 +222,24 @@ func (g GreedyMarginal) Allocate(tasks []Task, budget float64, seed int64) (Resu
 		}
 		if bestGain <= 1e-12 {
 			// One increment moved no frontier (it is smaller than any
-			// task's next affordable worker). Bank it on the task with
-			// the most room to improve, so its budget accumulates until
-			// the next worker becomes affordable.
-			for i := range tasks {
+			// task's next affordable worker). Bank it on the lowest-JQ
+			// task whose frontier can still move — one whose budget does
+			// not yet afford its whole pool — so the banked budget
+			// accumulates until the next worker becomes affordable. A
+			// saturated task's selection can never change, so banking
+			// there would sink the rest of the purse for nothing; if
+			// every task is saturated, stop spending entirely.
+			bestTask = -1
+			for i, t := range tasks {
+				if budgets[i] >= t.Pool.TotalCost() {
+					continue
+				}
 				if bestTask == -1 || current[i].JQ < current[bestTask].JQ {
 					bestTask = i
 				}
+			}
+			if bestTask == -1 {
+				break
 			}
 		}
 		budgets[bestTask] += increment

@@ -191,3 +191,73 @@ func TestAllocatorNames(t *testing.T) {
 		}
 	}
 }
+
+// TestGreedyMarginalSkipsSaturatedTasks is the regression test for the
+// zero-gain fallback (ROADMAP triage): when no single increment moves
+// any frontier, the banked budget must go to a task that can still
+// improve — not to the lowest-JQ task whose whole pool is already
+// affordable. Task "small" saturates at cost 1 with a low JQ; task
+// "big" needs ten banked increments before its second worker becomes
+// affordable. The old fallback banked everything on "small" (lowest JQ,
+// saturated, unimprovable) and never unlocked "big".
+func TestGreedyMarginalSkipsSaturatedTasks(t *testing.T) {
+	small := Task{Name: "small", Alpha: 0.5, Pool: worker.Pool{
+		{ID: "s0", Quality: 0.55, Cost: 1},
+	}}
+	big := Task{Name: "big", Alpha: 0.5, Pool: worker.Pool{
+		{ID: "b0", Quality: 0.8, Cost: 1},
+		{ID: "b1", Quality: 0.8, Cost: 5},
+		{ID: "b2", Quality: 0.8, Cost: 5},
+	}}
+	// 13 increments of 1: one saturates "small", one buys b0, and the
+	// banked remainder must accumulate on "big" until the full 3-worker
+	// majority (cost 11, JQ 0.896 > 0.8) becomes affordable.
+	res, err := GreedyMarginal{Steps: 13}.Allocate([]Task{small, big}, 13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Allocation{}
+	for _, a := range res.Allocations {
+		byName[a.Task.Name] = a
+	}
+	if got := byName["small"].Budget; got > 1+1e-9 {
+		t.Fatalf("saturated task banked budget %v, want <= 1", got)
+	}
+	if got := byName["big"].Budget; got < 11-1e-9 {
+		t.Fatalf("improvable task got budget %v, want >= 11", got)
+	}
+	if got := len(byName["big"].Selection.Jury); got != 3 {
+		t.Fatalf("big task selected %d workers, want all 3 (budget banked to 11)", got)
+	}
+	if jq := byName["big"].Selection.JQ; jq <= 0.8+1e-9 {
+		t.Fatalf("big task JQ = %v, want > 0.8 with the full majority", jq)
+	}
+}
+
+// TestGreedyMarginalStopsWhenAllSaturated: once every task's budget
+// covers its whole pool, further increments cannot change any selection
+// and the allocator must stop instead of banking budget forever.
+func TestGreedyMarginalStopsWhenAllSaturated(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", Alpha: 0.5, Pool: worker.Pool{{ID: "a0", Quality: 0.7, Cost: 1}}},
+		{Name: "b", Alpha: 0.5, Pool: worker.Pool{{ID: "b0", Quality: 0.8, Cost: 2}}},
+	}
+	res, err := GreedyMarginal{Steps: 100}.Allocate(tasks, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var banked float64
+	for _, a := range res.Allocations {
+		banked += a.Budget
+		if a.Budget > a.Task.Pool.TotalCost()+1+1e-9 {
+			t.Fatalf("task %q over-banked: budget %v for pool cost %v",
+				a.Task.Name, a.Budget, a.Task.Pool.TotalCost())
+		}
+	}
+	if banked > 6+1e-9 { // a saturates at >=1, b at >=2, plus one increment slack each
+		t.Fatalf("allocator kept banking after saturation: %v total", banked)
+	}
+	if math.Abs(res.SpentBudget-3) > 1e-9 {
+		t.Fatalf("spent %v, want 3 (both pools fully hired)", res.SpentBudget)
+	}
+}

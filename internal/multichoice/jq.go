@@ -105,6 +105,10 @@ func checkExactSize(l, n int) error {
 // DP: probabilities are clamped to this floor before taking logs.
 const logFloor = 1e-12
 
+// DefaultEstimateBuckets is the margin resolution EstimateBV uses when
+// numBuckets is 0.
+const DefaultEstimateBuckets = 50
+
 // EstimateBV approximates JQ(J, BV, prior) with the Section 7 bucketed
 // dynamic program. For each candidate label t' it accumulates
 //
@@ -124,7 +128,7 @@ func EstimateBV(pool Pool, prior Prior, numBuckets int) (float64, error) {
 		return 0, err
 	}
 	if numBuckets == 0 {
-		numBuckets = 50
+		numBuckets = DefaultEstimateBuckets
 	}
 	if numBuckets < 1 {
 		return 0, fmt.Errorf("multichoice: numBuckets must be positive, got %d", numBuckets)
@@ -181,10 +185,16 @@ func EstimateBV(pool Pool, prior Prior, numBuckets int) (float64, error) {
 			base[d] = bucket(math.Log(math.Max(prior[tPrime], logFloor)) -
 				math.Log(math.Max(prior[j], logFloor)))
 		}
+		// The expansion and the final accumulation walk the state maps in
+		// sorted key order: float addition is not associative, so map
+		// iteration order would otherwise leak into the result's last
+		// ULPs. The serving layer (selection cache, bit-exact WAL replay)
+		// requires JQ to be a pure function of its inputs.
 		states := map[string]float64{encodeKey(base): 1}
 		for i := 0; i < n; i++ {
 			next := make(map[string]float64, len(states)*l)
-			for key, prob := range states {
+			for _, key := range sortedKeys(states) {
+				prob := states[key]
 				margins := decodeKey(key, len(others))
 				for v := 0; v < l; v++ {
 					newMargins := make([]int32, len(others))
@@ -197,7 +207,8 @@ func EstimateBV(pool Pool, prior Prior, numBuckets int) (float64, error) {
 			states = next
 		}
 		var h float64
-		for key, prob := range states {
+		for _, key := range sortedKeys(states) {
+			prob := states[key]
 			margins := decodeKey(key, len(others))
 			wins := true
 			for d, j := range others {
@@ -218,6 +229,17 @@ func EstimateBV(pool Pool, prior Prior, numBuckets int) (float64, error) {
 		jq += prior[tPrime] * h
 	}
 	return jq, nil
+}
+
+// sortedKeys returns the map's keys in sorted order, the deterministic
+// iteration order of the bucket DP.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // encodeKey packs a margin tuple into a map key.

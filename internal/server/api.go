@@ -205,9 +205,11 @@ type RecoveryStatus struct {
 	// TornBytesTruncated is how many trailing bytes of the newest WAL
 	// segment were dropped as a torn (crash-interrupted) record.
 	TornBytesTruncated int64 `json:"torn_bytes_truncated"`
-	// WorkersRestored and SessionsRestored count the recovered state.
-	WorkersRestored  int `json:"workers_restored"`
-	SessionsRestored int `json:"sessions_restored"`
+	// WorkersRestored, SessionsRestored and MultiPoolsRestored count the
+	// recovered state.
+	WorkersRestored    int `json:"workers_restored"`
+	SessionsRestored   int `json:"sessions_restored"`
+	MultiPoolsRestored int `json:"multi_pools_restored"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx reply.

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// routeHeading matches the API.md route headings, e.g. "### `POST
+// /v1/workers`". The heading format is part of the documentation
+// contract: every registered route must appear as exactly one such
+// heading.
+var routeHeading = regexp.MustCompile("(?m)^### `(GET|POST|PUT|DELETE) (/[^`]*)`")
+
+// TestAPIReferenceCoversRoutes diffs API.md against the server's live
+// route table: the reference must document every registered route
+// (method and pattern, verbatim) and must not document routes that do
+// not exist, so the API documentation cannot silently rot.
+func TestAPIReferenceCoversRoutes(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "API.md"))
+	if err != nil {
+		t.Fatalf("API.md is missing (it documents the HTTP surface this package serves): %v", err)
+	}
+	documented := make(map[string]bool)
+	for _, m := range routeHeading.FindAllStringSubmatch(string(data), -1) {
+		route := m[1] + " " + m[2]
+		if documented[route] {
+			t.Errorf("API.md documents %q twice", route)
+		}
+		documented[route] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("API.md contains no route headings of the form \"### `METHOD /path`\"")
+	}
+
+	registered := New(NewConfig()).Routes()
+	sort.Strings(registered)
+	for _, route := range registered {
+		if !documented[route] {
+			t.Errorf("route %q is served but undocumented in API.md", route)
+		}
+		delete(documented, route)
+	}
+	for route := range documented {
+		t.Errorf("API.md documents %q, which the server does not register", route)
+	}
+}

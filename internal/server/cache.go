@@ -46,11 +46,13 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// SelectionCache is a bounded LRU cache of completed selections. Keys
-// embed the pool signature, so entries computed against superseded worker
-// states become unreachable the moment a vote ingest (or any registry
-// mutation) changes a quality or cost; LRU eviction reclaims them. The
-// cache is safe for concurrent use.
+// SelectionCache is a bounded LRU cache of completed selections — both
+// binary (SelectResponse) and multi-choice (MultiSelectResponse), whose
+// key spaces are disjoint by construction. Keys embed the pool
+// signature, so entries computed against superseded worker states become
+// unreachable the moment a vote ingest (or any registry mutation)
+// changes a quality, cost, or confusion-matrix entry; LRU eviction
+// reclaims them. The cache is safe for concurrent use.
 type SelectionCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -61,7 +63,7 @@ type SelectionCache struct {
 
 type cacheEntry struct {
 	key string
-	res SelectResponse
+	res any // SelectResponse or MultiSelectResponse
 }
 
 // NewSelectionCache builds a cache holding up to capacity entries;
@@ -78,29 +80,55 @@ func NewSelectionCache(capacity int) *SelectionCache {
 	}
 }
 
-// Get looks up a selection, promoting the entry on hit.
+// Get looks up a binary selection, promoting the entry on hit.
 func (c *SelectionCache) Get(key SelectionKey) (SelectResponse, bool) {
-	k := key.String()
+	v, ok := c.lookup(key.String())
+	if !ok {
+		return SelectResponse{}, false
+	}
+	return v.(SelectResponse), true
+}
+
+// Put stores a completed binary selection.
+func (c *SelectionCache) Put(key SelectionKey, res SelectResponse) {
+	c.store(key.String(), res)
+}
+
+// GetMulti looks up a multi-choice selection, promoting the entry on hit.
+func (c *SelectionCache) GetMulti(key multiSelectionKey) (MultiSelectResponse, bool) {
+	v, ok := c.lookup(key.String())
+	if !ok {
+		return MultiSelectResponse{}, false
+	}
+	return v.(MultiSelectResponse), true
+}
+
+// PutMulti stores a completed multi-choice selection.
+func (c *SelectionCache) PutMulti(key multiSelectionKey, res MultiSelectResponse) {
+	c.store(key.String(), res)
+}
+
+// lookup finds an entry by canonical key string, promoting it on hit.
+func (c *SelectionCache) lookup(k string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
 	if !ok {
 		c.stats.Misses++
-		return SelectResponse{}, false
+		return nil, false
 	}
 	c.stats.Hits++
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).res, true
 }
 
-// Put stores a completed selection, evicting the least recently used
+// store inserts a completed selection, evicting the least recently used
 // entry when full. Storing under an existing key overwrites it (the
 // result is deterministic given the key, so both writers agree).
-func (c *SelectionCache) Put(key SelectionKey, res SelectResponse) {
+func (c *SelectionCache) store(k string, res any) {
 	if c.cap < 0 {
 		return
 	}
-	k := key.String()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {

@@ -4,18 +4,29 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
+// LatencyBuckets are the upper bounds (seconds) of the per-route request
+// latency histogram, log-spaced from 100µs to 2.5s; observations above
+// the last bound land in the implicit +Inf bucket. The range covers the
+// serving spectrum from cache hits (~sub-millisecond) to cold annealing
+// searches on large pools.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
 // Metrics collects the daemon's operational counters. All methods are safe
 // for concurrent use; rendering is Prometheus-style text exposition so the
 // /metrics endpoint can be scraped or eyeballed with curl.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[string]uint64 // per-route completed request counts
-	errors   uint64            // non-2xx replies
+	mu     sync.Mutex
+	routes map[string]*routeMetrics // per-route counters and histograms
+	errors uint64                   // non-2xx replies
 
 	votesIngested    atomic.Uint64
 	selections       atomic.Uint64 // selections computed (cache misses)
@@ -24,15 +35,42 @@ type Metrics struct {
 	sessionsFinished atomic.Uint64
 }
 
-// NewMetrics returns zeroed metrics.
-func NewMetrics() *Metrics {
-	return &Metrics{requests: make(map[string]uint64)}
+// routeMetrics is one route's completed-request count plus its latency
+// histogram: buckets holds non-cumulative counts per LatencyBuckets
+// bound, with the final element the +Inf overflow; sum is total observed
+// seconds.
+type routeMetrics struct {
+	requests uint64
+	buckets  []uint64
+	sum      float64
 }
 
-// Request records one completed request for a route pattern.
-func (m *Metrics) Request(route string, status int) {
+// NewMetrics returns zeroed metrics.
+func NewMetrics() *Metrics {
+	return &Metrics{routes: make(map[string]*routeMetrics)}
+}
+
+// Request records one completed request for a route pattern: the
+// counter, the error counter for non-2xx statuses, and the latency
+// histogram observation.
+func (m *Metrics) Request(route string, status int, d time.Duration) {
+	secs := d.Seconds()
 	m.mu.Lock()
-	m.requests[route]++
+	rm := m.routes[route]
+	if rm == nil {
+		rm = &routeMetrics{buckets: make([]uint64, len(LatencyBuckets)+1)}
+		m.routes[route] = rm
+	}
+	rm.requests++
+	rm.sum += secs
+	idx := len(LatencyBuckets) // +Inf
+	for i, le := range LatencyBuckets {
+		if secs <= le {
+			idx = i
+			break
+		}
+	}
+	rm.buckets[idx]++
 	if status >= 400 {
 		m.errors++
 	}
@@ -53,23 +91,41 @@ func (m *Metrics) SessionOpened()   { m.sessionsOpened.Add(1) }
 func (m *Metrics) SessionFinished() { m.sessionsFinished.Add(1) }
 
 // WriteText renders the metrics (plus the given cache and registry state)
-// in Prometheus text exposition format.
-func (m *Metrics) WriteText(w io.Writer, cache CacheStats, poolSize int, generation uint64) {
+// in Prometheus text exposition format, including one
+// juryd_request_duration_seconds histogram per route.
+func (m *Metrics) WriteText(w io.Writer, cache CacheStats, poolSize int, generation uint64, multiPools int) {
 	m.mu.Lock()
-	routes := make([]string, 0, len(m.requests))
-	for r := range m.requests {
+	routes := make([]string, 0, len(m.routes))
+	for r := range m.routes {
 		routes = append(routes, r)
 	}
 	sort.Strings(routes)
-	counts := make([]uint64, len(routes))
+	stats := make([]routeMetrics, len(routes))
 	for i, r := range routes {
-		counts[i] = m.requests[r]
+		rm := m.routes[r]
+		stats[i] = routeMetrics{
+			requests: rm.requests,
+			buckets:  append([]uint64(nil), rm.buckets...),
+			sum:      rm.sum,
+		}
 	}
 	errs := m.errors
 	m.mu.Unlock()
 
 	for i, r := range routes {
-		fmt.Fprintf(w, "juryd_requests_total{route=%q} %d\n", r, counts[i])
+		fmt.Fprintf(w, "juryd_requests_total{route=%q} %d\n", r, stats[i].requests)
+	}
+	for i, r := range routes {
+		var cum uint64
+		for b, le := range LatencyBuckets {
+			cum += stats[i].buckets[b]
+			fmt.Fprintf(w, "juryd_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
+				r, strconv.FormatFloat(le, 'g', -1, 64), cum)
+		}
+		cum += stats[i].buckets[len(LatencyBuckets)]
+		fmt.Fprintf(w, "juryd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, cum)
+		fmt.Fprintf(w, "juryd_request_duration_seconds_sum{route=%q} %g\n", r, stats[i].sum)
+		fmt.Fprintf(w, "juryd_request_duration_seconds_count{route=%q} %d\n", r, cum)
 	}
 	fmt.Fprintf(w, "juryd_request_errors_total %d\n", errs)
 	fmt.Fprintf(w, "juryd_votes_ingested_total %d\n", m.votesIngested.Load())
@@ -85,14 +141,15 @@ func (m *Metrics) WriteText(w io.Writer, cache CacheStats, poolSize int, generat
 	fmt.Fprintf(w, "juryd_cache_hit_rate %g\n", cache.HitRate())
 	fmt.Fprintf(w, "juryd_pool_size %d\n", poolSize)
 	fmt.Fprintf(w, "juryd_pool_generation %d\n", generation)
+	fmt.Fprintf(w, "juryd_multi_pools %d\n", multiPools)
 }
 
 // Snapshot returns the counters used by tests.
 func (m *Metrics) Snapshot() (requests map[string]uint64, errors, votes, selections uint64) {
 	m.mu.Lock()
-	requests = make(map[string]uint64, len(m.requests))
-	for r, c := range m.requests {
-		requests[r] = c
+	requests = make(map[string]uint64, len(m.routes))
+	for r, rm := range m.routes {
+		requests[r] = rm.requests
 	}
 	errors = m.errors
 	m.mu.Unlock()

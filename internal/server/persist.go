@@ -40,6 +40,10 @@ const (
 	RecSessionBudget RecordType = "session-budget"
 	RecSessionClose  RecordType = "session-close"
 	RecSessionReap   RecordType = "session-reap"
+	RecMultiCreate   RecordType = "multi-create"
+	RecMultiRegister RecordType = "multi-register"
+	RecMultiIngest   RecordType = "multi-ingest"
+	RecMultiDrop     RecordType = "multi-drop"
 )
 
 // Record is one durable mutation, the unit of WAL replay. Every input a
@@ -60,6 +64,23 @@ type Record struct {
 	Events []VoteEvent `json:"events,omitempty"`
 	// Session carries the session-record payload (RecSession*).
 	Session *SessionRecord `json:"session,omitempty"`
+	// Multi carries the multi-choice registry payload (RecMulti*).
+	Multi *MultiRecord `json:"multi,omitempty"`
+}
+
+// MultiRecord is the multi-choice-mutation payload of a Record.
+type MultiRecord struct {
+	// Pool names the pool acted on (all types).
+	Pool string `json:"pool"`
+	// Labels is the created pool's resolved label count (RecMultiCreate).
+	Labels int `json:"labels,omitempty"`
+	// Specs carries the registered worker specs (RecMultiCreate,
+	// RecMultiRegister) and Strength the resolved default prior strength
+	// behind them, so replay needs no configuration.
+	Specs    []MultiWorkerSpec `json:"specs,omitempty"`
+	Strength float64           `json:"strength,omitempty"`
+	// Events carries an ingested multi-label vote batch (RecMultiIngest).
+	Events []MultiVoteEvent `json:"events,omitempty"`
 }
 
 // SessionRecord is the session-mutation payload of a Record.
@@ -83,8 +104,36 @@ type SessionRecord struct {
 // serverState is the JSON snapshot document: the full durable state of a
 // Server as of one WAL position.
 type serverState struct {
-	Registry registryState `json:"registry"`
-	Sessions sessionsState `json:"sessions"`
+	Registry registryState      `json:"registry"`
+	Sessions sessionsState      `json:"sessions"`
+	Multi    multiRegistryState `json:"multi"`
+}
+
+// multiRegistryState serializes the multi-choice registry, pools in
+// creation order.
+type multiRegistryState struct {
+	Gen   uint64             `json:"gen"`
+	Pools []multiPoolPersist `json:"pools,omitempty"`
+}
+
+// multiPoolPersist is one pool's full state.
+type multiPoolPersist struct {
+	Name    string               `json:"name"`
+	Labels  int                  `json:"labels"`
+	Workers []multiWorkerPersist `json:"workers"`
+}
+
+// multiWorkerPersist is one multi-choice worker's full Dirichlet state.
+// Both the pseudo-counts and the derived confusion matrix travel in the
+// snapshot (Go's JSON encoder round-trips float64s exactly), so recovery
+// is bit-identical without re-deriving rows.
+type multiWorkerPersist struct {
+	ID        string      `json:"id"`
+	Cost      float64     `json:"cost"`
+	Counts    [][]float64 `json:"counts"`
+	Confusion [][]float64 `json:"confusion"`
+	Votes     int         `json:"votes"`
+	Version   int64       `json:"version"`
 }
 
 // registryState serializes the worker registry in registration order.
@@ -164,6 +213,9 @@ func Open(cfg Config) (*Server, error) {
 		if err := s.sessions.load(st.Sessions); err != nil {
 			return nil, fmt.Errorf("server: snapshot at lsn %d: %w", lsn, err)
 		}
+		if err := s.multi.load(st.Multi); err != nil {
+			return nil, fmt.Errorf("server: snapshot at lsn %d: %w", lsn, err)
+		}
 		from = lsn
 		p.haveSnapshot = true
 		p.lastSnapshot = lsn
@@ -200,6 +252,7 @@ func Open(cfg Config) (*Server, error) {
 	p.log = log
 	p.recovery.WorkersRestored = s.registry.Len()
 	p.recovery.SessionsRestored = s.sessions.Len()
+	p.recovery.MultiPoolsRestored = s.multi.Len()
 	p.recoveredAt = time.Now()
 	journal := func(rec *Record) error {
 		payload, err := json.Marshal(rec)
@@ -213,6 +266,7 @@ func Open(cfg Config) (*Server, error) {
 	}
 	s.registry.journal = journal
 	s.sessions.journal = journal
+	s.multi.journal = journal
 	s.persist = p
 	return s, nil
 }
@@ -225,6 +279,8 @@ func (s *Server) applyRecord(rec *Record) error {
 		return s.registry.Apply(rec)
 	case RecSessionOpen, RecSessionVote, RecSessionBudget, RecSessionClose, RecSessionReap:
 		return s.sessions.Apply(rec)
+	case RecMultiCreate, RecMultiRegister, RecMultiIngest, RecMultiDrop:
+		return s.multi.Apply(rec)
 	default:
 		return fmt.Errorf("server: unknown record type %q", rec.T)
 	}
@@ -255,6 +311,7 @@ func (s *Server) SnapshotNow() error {
 	state := serverState{
 		Registry: s.registry.persistState(),
 		Sessions: s.sessions.persistState(),
+		Multi:    s.multi.persistState(),
 	}
 	upTo := p.log.NextLSN() - 1
 	p.freeze.Unlock()
@@ -321,6 +378,7 @@ func (s *Server) DebugState() ([]byte, error) {
 	state := serverState{
 		Registry: s.registry.persistState(),
 		Sessions: s.sessions.persistState(),
+		Multi:    s.multi.persistState(),
 	}
 	return json.Marshal(state)
 }

@@ -72,10 +72,12 @@ func NewConfig() Config {
 type Server struct {
 	cfg      Config
 	registry *Registry
+	multi    *MultiRegistry
 	cache    *SelectionCache
 	sessions *sessionStore
 	metrics  *Metrics
 	mux      *http.ServeMux
+	routes   []string     // registered patterns, for /metrics and the API reference test
 	persist  *Persistence // nil without a data dir
 }
 
@@ -93,6 +95,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		registry: NewRegistry(),
+		multi:    NewMultiRegistry(),
 		cache:    NewSelectionCache(cfg.CacheSize),
 		sessions: newSessionStore(),
 		metrics:  NewMetrics(),
@@ -114,7 +117,21 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/sessions/{id}", s.handleGetSession)
 	s.route("POST /v1/sessions/{id}/votes", s.handleSessionVote)
 	s.route("DELETE /v1/sessions/{id}", s.handleCloseSession)
+	s.route("POST /v1/multi/pools", s.handleMultiCreate)
+	s.route("GET /v1/multi/pools", s.handleMultiListPools)
+	s.route("GET /v1/multi/pools/{pool}", s.handleMultiGetPool)
+	s.route("DELETE /v1/multi/pools/{pool}", s.handleMultiDropPool)
+	s.route("POST /v1/multi/pools/{pool}/workers", s.handleMultiRegister)
+	s.route("POST /v1/multi/pools/{pool}/votes", s.handleMultiIngest)
+	s.route("POST /v1/multi/pools/{pool}/select", s.handleMultiSelect)
+	s.route("POST /v1/multi/pools/{pool}/jq", s.handleMultiJQ)
 	return s
+}
+
+// Routes returns every registered route pattern ("METHOD /path"), in
+// registration order. The API reference test diffs this against API.md.
+func (s *Server) Routes() []string {
+	return append([]string(nil), s.routes...)
 }
 
 // Handler returns the service's HTTP handler.
@@ -130,12 +147,15 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 // Metrics exposes the operational counters.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// route registers a handler wrapped with per-route metrics.
+// route registers a handler wrapped with per-route metrics: a request
+// counter and a latency histogram, both labeled by the route pattern.
 func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	s.routes = append(s.routes, pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
-		s.metrics.Request(pattern, sw.status)
+		s.metrics.Request(pattern, sw.status, time.Since(start))
 	})
 }
 
@@ -172,9 +192,11 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
-	case errors.Is(err, ErrWorkerUnknown), errors.Is(err, ErrSessionUnknown):
+	case errors.Is(err, ErrWorkerUnknown), errors.Is(err, ErrSessionUnknown),
+		errors.Is(err, ErrPoolUnknown):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrWorkerExists), errors.Is(err, ErrDuplicateBatch):
+	case errors.Is(err, ErrWorkerExists), errors.Is(err, ErrDuplicateBatch),
+		errors.Is(err, ErrPoolExists):
 		status = http.StatusConflict
 	case errors.Is(err, online.ErrSessionDone), errors.Is(err, online.ErrOverBudget):
 		status = http.StatusConflict
@@ -189,15 +211,16 @@ func writeError(w http.ResponseWriter, err error) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"pool":     s.registry.Len(),
-		"sessions": s.sessions.Len(),
+		"status":      "ok",
+		"pool":        s.registry.Len(),
+		"sessions":    s.sessions.Len(),
+		"multi_pools": s.multi.Len(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WriteText(w, s.cache.Stats(), s.registry.Len(), s.registry.Generation())
+	s.metrics.WriteText(w, s.cache.Stats(), s.registry.Len(), s.registry.Generation(), s.multi.Len())
 }
 
 func (s *Server) handleDebugPersistence(w http.ResponseWriter, r *http.Request) {
@@ -533,8 +556,9 @@ func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 
 // Preload registers an initial worker pool, for daemon startup (-pool).
 // On a durable server the registration is journaled like any other, so a
-// preloaded pool also survives restarts (re-preloading the same file into
-// a recovered registry fails with ErrWorkerExists).
+// preloaded pool also survives restarts; re-preloading the same file into
+// a recovered registry fails with ErrWorkerExists, which the daemon
+// treats as "already recovered" and skips.
 func (s *Server) Preload(specs []WorkerSpec) error {
 	if len(specs) == 0 {
 		return nil

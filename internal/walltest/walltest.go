@@ -180,6 +180,7 @@ func AssertSameState(t testing.TB, want, got *Env) {
 		t.Fatalf("walltest: pool signatures differ: reference %q, recovered %q",
 			lw.Signature, lg.Signature)
 	}
+	assertSameMultiState(t, want, got)
 	if len(lw.Workers) == 0 {
 		return // nothing to select over
 	}
@@ -202,6 +203,55 @@ func AssertSameState(t testing.TB, want, got *Env) {
 		}
 		if fmt.Sprint(rw.Jury) != fmt.Sprint(rg.Jury) {
 			t.Fatalf("walltest: select(budget %v) juries differ:\n%v\n%v", budget, rw.Jury, rg.Jury)
+		}
+	}
+}
+
+// assertSameMultiState compares the multi-choice pools of two servers:
+// pool inventory and signatures (which hash the full confusion-matrix
+// state), plus a multi-select probe per pool so the recovered server
+// constructs exactly the reference's cache keys and juries.
+func assertSameMultiState(t testing.TB, want, got *Env) {
+	t.Helper()
+	ctx := context.Background()
+	pw, err := want.Client.MultiPools(ctx)
+	if err != nil {
+		t.Fatalf("walltest: reference MultiPools: %v", err)
+	}
+	pg, err := got.Client.MultiPools(ctx)
+	if err != nil {
+		t.Fatalf("walltest: recovered MultiPools: %v", err)
+	}
+	if fmt.Sprint(pw) != fmt.Sprint(pg) {
+		t.Fatalf("walltest: multi pools differ:\nreference: %v\nrecovered: %v", pw, pg)
+	}
+	for _, pool := range pw {
+		if pool.Workers == 0 {
+			continue
+		}
+		for _, budget := range []float64{0, 4, 1e9} {
+			rw, errW := want.Client.MultiSelect(ctx, pool.Name, serve.MultiSelectRequest{Budget: budget})
+			rg, errG := got.Client.MultiSelect(ctx, pool.Name, serve.MultiSelectRequest{Budget: budget})
+			if (errW == nil) != (errG == nil) {
+				t.Fatalf("walltest: multi select(%s, budget %v) errors differ: %v vs %v",
+					pool.Name, budget, errW, errG)
+			}
+			if errW != nil {
+				continue
+			}
+			rw.Cached, rg.Cached = false, false
+			if rw.Signature != rg.Signature {
+				t.Fatalf("walltest: multi select(%s, budget %v) signatures differ: %q vs %q",
+					pool.Name, budget, rw.Signature, rg.Signature)
+			}
+			if math.Float64bits(rw.JQ) != math.Float64bits(rg.JQ) {
+				t.Fatalf("walltest: multi select(%s, budget %v) JQ differs: %v vs %v",
+					pool.Name, budget, rw.JQ, rg.JQ)
+			}
+			if fmt.Sprint(rw.Jury) != fmt.Sprint(rg.Jury) {
+				t.Fatalf("walltest: multi select(%s, budget %v) juries differ:\n%v\n%v",
+					pool.Name, budget, rw.Jury, rg.Jury)
+			}
 		}
 	}
 }
@@ -275,5 +325,36 @@ func CloseSession(id string) Step {
 func Snapshot() Step {
 	return func(e *Env) error {
 		return e.Srv.SnapshotNow()
+	}
+}
+
+// CreateMultiPool creates a multi-choice pool.
+func CreateMultiPool(req serve.MultiCreateRequest) Step {
+	return func(e *Env) error {
+		_, err := e.Client.CreateMultiPool(context.Background(), req)
+		return err
+	}
+}
+
+// RegisterMulti adds confusion-matrix workers to an existing pool.
+func RegisterMulti(pool string, specs ...serve.MultiWorkerSpec) Step {
+	return func(e *Env) error {
+		_, err := e.Client.RegisterMultiWorkers(context.Background(), pool, specs)
+		return err
+	}
+}
+
+// MultiIngest feeds one batch of graded multi-label vote events.
+func MultiIngest(pool string, events ...serve.MultiVoteEvent) Step {
+	return func(e *Env) error {
+		_, err := e.Client.IngestMultiVotes(context.Background(), pool, events)
+		return err
+	}
+}
+
+// DropMultiPool deletes a pool.
+func DropMultiPool(name string) Step {
+	return func(e *Env) error {
+		return e.Client.DropMultiPool(context.Background(), name)
 	}
 }

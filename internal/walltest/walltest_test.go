@@ -267,3 +267,105 @@ func randomScript(rng *rand.Rand, n int) []Step {
 	}
 	return steps
 }
+
+// ---------------------------------------------------------------------------
+// Multi-choice pool crash recovery.
+
+func q(v float64) *float64 { return &v }
+
+// multiScript is the multi-pool mutate phase: a pool created with mixed
+// symmetric/explicit confusion matrices, Dirichlet drift from graded
+// multi-label ingests, late registration, a second pool that is dropped
+// again, and interleaved binary mutations (both arms share one WAL).
+func multiScript() []Step {
+	return []Step{
+		Register(w("ann", 0.8, 3), w("bob", 0.7, 2)),
+		CreateMultiPool(serve.MultiCreateRequest{
+			Name:   "colors",
+			Labels: 3,
+			Workers: []serve.MultiWorkerSpec{
+				{ID: "m0", Quality: q(0.8), Cost: 2},
+				{ID: "m1", Confusion: [][]float64{
+					{0.9, 0.05, 0.05}, {0.1, 0.8, 0.1}, {0.2, 0.2, 0.6},
+				}, Cost: 3},
+			},
+		}),
+		MultiIngest("colors",
+			serve.MultiVoteEvent{WorkerID: "m0", Truth: 0, Vote: 0},
+			serve.MultiVoteEvent{WorkerID: "m1", Truth: 1, Vote: 2}),
+		RegisterMulti("colors", serve.MultiWorkerSpec{ID: "m2", Quality: q(0.65), Cost: 1}),
+		CreateMultiPool(serve.MultiCreateRequest{
+			Name: "shapes", Labels: 2,
+			Workers: []serve.MultiWorkerSpec{{ID: "s0", Quality: q(0.7), Cost: 1}},
+		}),
+		Ingest(ev("ann", true), ev("bob", false)),
+		DropMultiPool("shapes"),
+		MultiIngest("colors",
+			serve.MultiVoteEvent{WorkerID: "m2", Truth: 2, Vote: 2},
+			serve.MultiVoteEvent{WorkerID: "m0", Truth: 1, Vote: 0}),
+	}
+}
+
+// TestCrashRecoveryMultiPool kills the WAL mid-record inside the final
+// multi-ingest record at several byte offsets: recovery must drop
+// exactly the torn record and land bit-identical — full state dump
+// (Dirichlet counts and posterior-mean matrices included), pool
+// signatures, and multi-select probes — to a reference that never saw
+// the torn mutation.
+func TestCrashRecoveryMultiPool(t *testing.T) {
+	script := multiScript()
+	dir := t.TempDir()
+	env := Start(t, BaseConfig(dir))
+	offsets := env.Drive(script)
+	env.Crash()
+	n := len(script)
+	prev, last := offsets[n-2], offsets[n-1]
+	if last <= prev {
+		t.Fatalf("final step appended nothing: offsets %v", offsets)
+	}
+	cuts := []struct {
+		name string
+		size int64
+		want int // surviving script steps
+	}{
+		{"clean-boundary", last, n},
+		{"mid-record", prev + (last-prev)/2, n - 1},
+		{"one-byte-short", last - 1, n - 1},
+	}
+	for _, cut := range cuts {
+		t.Run(cut.name, func(t *testing.T) {
+			torn := CopyDir(t, dir)
+			Tear(t, torn, cut.size)
+			recovered := Start(t, BaseConfig(torn))
+			reference := Reference(t, BaseConfig(""), script, cut.want)
+			AssertSameState(t, reference, recovered)
+		})
+	}
+}
+
+// TestCrashRecoveryMultiSnapshotPlusTail checkpoints mid-script so the
+// multi-pool state crosses the snapshot codec, then replays multi WAL
+// records on top: the composition must equal the full-script reference.
+func TestCrashRecoveryMultiSnapshotPlusTail(t *testing.T) {
+	full := multiScript()
+	head, tail := full[:4], full[4:]
+	script := append(append(append([]Step{}, head...), Snapshot()), tail...)
+	dir := t.TempDir()
+	env := Start(t, BaseConfig(dir))
+	env.Drive(script)
+	env.Crash()
+	recovered := Start(t, BaseConfig(dir))
+	reference := Reference(t, BaseConfig(""), script, len(script))
+	AssertSameState(t, reference, recovered)
+	status := recovered.Srv.PersistenceStatus()
+	if status.Recovery.SnapshotLSN != uint64(len(head)) {
+		t.Errorf("SnapshotLSN = %d, want %d", status.Recovery.SnapshotLSN, len(head))
+	}
+	if status.Recovery.RecordsReplayed != len(tail) {
+		t.Errorf("RecordsReplayed = %d, want %d (the tail only)",
+			status.Recovery.RecordsReplayed, len(tail))
+	}
+	if status.Recovery.MultiPoolsRestored != 1 {
+		t.Errorf("MultiPoolsRestored = %d, want 1", status.Recovery.MultiPoolsRestored)
+	}
+}

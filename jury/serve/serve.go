@@ -60,6 +60,30 @@ type (
 	PersistenceStatus = server.PersistenceStatus
 	// RecoveryStatus describes what boot-time recovery reconstructed.
 	RecoveryStatus = server.RecoveryStatus
+	// MultiWorkerSpec registers one confusion-matrix worker.
+	MultiWorkerSpec = server.MultiWorkerSpec
+	// MultiWorkerInfo is one multi-choice worker's current state.
+	MultiWorkerInfo = server.MultiWorkerInfo
+	// MultiCreateRequest creates a multi-choice pool.
+	MultiCreateRequest = server.MultiCreateRequest
+	// MultiPoolInfo is one multi-choice pool's full state.
+	MultiPoolInfo = server.MultiPoolInfo
+	// MultiPoolSummary is one pool in a listing.
+	MultiPoolSummary = server.MultiPoolSummary
+	// MultiVoteEvent is one graded multi-label vote (worker, truth, vote).
+	MultiVoteEvent = server.MultiVoteEvent
+	// MultiIngestResponse reports a multi-label vote-ingestion outcome.
+	MultiIngestResponse = server.MultiIngestResponse
+	// MultiRegisterResponse confirms a multi-choice registration.
+	MultiRegisterResponse = server.MultiRegisterResponse
+	// MultiSelectRequest asks for the best multi-choice jury in a budget.
+	MultiSelectRequest = server.MultiSelectRequest
+	// MultiSelectResponse is the selected multi-choice jury.
+	MultiSelectResponse = server.MultiSelectResponse
+	// MultiJQRequest asks for the Jury Quality of an explicit jury.
+	MultiJQRequest = server.MultiJQRequest
+	// MultiJQResponse reports the computed Jury Quality.
+	MultiJQResponse = server.MultiJQResponse
 )
 
 // Client talks to one juryd daemon. The zero value is not usable; create
@@ -217,6 +241,67 @@ func (c *Client) Session(ctx context.Context, id string) (SessionState, error) {
 // CloseSession removes a session.
 func (c *Client) CloseSession(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// CreateMultiPool creates a named multi-choice pool of confusion-matrix
+// workers.
+func (c *Client) CreateMultiPool(ctx context.Context, req MultiCreateRequest) (MultiRegisterResponse, error) {
+	var out MultiRegisterResponse
+	err := c.do(ctx, http.MethodPost, "/v1/multi/pools", req, &out)
+	return out, err
+}
+
+// MultiPools lists the multi-choice pools in creation order.
+func (c *Client) MultiPools(ctx context.Context) ([]MultiPoolSummary, error) {
+	var out server.MultiPoolsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/multi/pools", nil, &out)
+	return out.Pools, err
+}
+
+// MultiPool fetches one pool's full state.
+func (c *Client) MultiPool(ctx context.Context, name string) (MultiPoolInfo, error) {
+	var out MultiPoolInfo
+	err := c.do(ctx, http.MethodGet, "/v1/multi/pools/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// DropMultiPool deletes a pool and all its workers.
+func (c *Client) DropMultiPool(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/multi/pools/"+url.PathEscape(name), nil, nil)
+}
+
+// RegisterMultiWorkers adds workers to an existing multi-choice pool.
+func (c *Client) RegisterMultiWorkers(ctx context.Context, pool string, specs []MultiWorkerSpec) (MultiRegisterResponse, error) {
+	var out MultiRegisterResponse
+	err := c.do(ctx, http.MethodPost, "/v1/multi/pools/"+url.PathEscape(pool)+"/workers",
+		server.MultiRegisterRequest{Workers: specs}, &out)
+	return out, err
+}
+
+// IngestMultiVotes feeds a batch of graded multi-label vote events
+// atomically; each is one Dirichlet posterior step on the voting
+// worker's confusion matrix.
+func (c *Client) IngestMultiVotes(ctx context.Context, pool string, events []MultiVoteEvent) (MultiIngestResponse, error) {
+	var out MultiIngestResponse
+	err := c.do(ctx, http.MethodPost, "/v1/multi/pools/"+url.PathEscape(pool)+"/votes",
+		server.MultiIngestRequest{Events: events}, &out)
+	return out, err
+}
+
+// MultiSelect solves the multi-choice Jury Selection Problem on one
+// pool's current state.
+func (c *Client) MultiSelect(ctx context.Context, pool string, req MultiSelectRequest) (MultiSelectResponse, error) {
+	var out MultiSelectResponse
+	err := c.do(ctx, http.MethodPost, "/v1/multi/pools/"+url.PathEscape(pool)+"/select", req, &out)
+	return out, err
+}
+
+// MultiJQ computes the Jury Quality of an explicit jury drawn from a
+// pool, under the optimal (Bayesian) strategy.
+func (c *Client) MultiJQ(ctx context.Context, pool string, req MultiJQRequest) (MultiJQResponse, error) {
+	var out MultiJQResponse
+	err := c.do(ctx, http.MethodPost, "/v1/multi/pools/"+url.PathEscape(pool)+"/jq", req, &out)
+	return out, err
 }
 
 // Health checks daemon liveness.

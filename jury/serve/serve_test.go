@@ -219,3 +219,80 @@ func TestClientAPIError(t *testing.T) {
 		t.Fatal("select on empty registry succeeded")
 	}
 }
+
+// TestClientMultiPool drives the whole multi-choice surface through the
+// client: pool creation, listing, graded ingestion (Dirichlet drift),
+// late registration, cached selection, JQ estimation, and drop.
+func TestClientMultiPool(t *testing.T) {
+	ctx := context.Background()
+	c := newClient(t)
+	q := func(v float64) *float64 { return &v }
+
+	created, err := c.CreateMultiPool(ctx, MultiCreateRequest{
+		Name:   "colors",
+		Labels: 3,
+		Workers: []MultiWorkerSpec{
+			{ID: "m0", Quality: q(0.8), Cost: 2},
+			{ID: "m1", Confusion: [][]float64{
+				{0.9, 0.05, 0.05}, {0.1, 0.8, 0.1}, {0.2, 0.2, 0.6},
+			}, Cost: 3},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.PoolSize != 2 || created.Signature == "" {
+		t.Fatalf("create = %+v", created)
+	}
+
+	pools, err := c.MultiPools(ctx)
+	if err != nil || len(pools) != 1 || pools[0].Labels != 3 {
+		t.Fatalf("pools = %+v, err %v", pools, err)
+	}
+
+	if _, err := c.RegisterMultiWorkers(ctx, "colors",
+		[]MultiWorkerSpec{{ID: "m2", Quality: q(0.65), Cost: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := c.MultiSelect(ctx, "colors", MultiSelectRequest{Budget: 5})
+	if err != nil || first.Cached || len(first.Jury) == 0 {
+		t.Fatalf("first select = %+v, err %v", first, err)
+	}
+	second, err := c.MultiSelect(ctx, "colors", MultiSelectRequest{Budget: 5})
+	if err != nil || !second.Cached {
+		t.Fatalf("second select = %+v, err %v", second, err)
+	}
+
+	ing, err := c.IngestMultiVotes(ctx, "colors", []MultiVoteEvent{
+		{WorkerID: "m0", Truth: 0, Vote: 0},
+		{WorkerID: "m2", Truth: 2, Vote: 1},
+	})
+	if err != nil || ing.Ingested != 2 || len(ing.Updated) != 2 {
+		t.Fatalf("ingest = %+v, err %v", ing, err)
+	}
+	if ing.Signature == first.Signature {
+		t.Fatal("signature unchanged after drift")
+	}
+	third, err := c.MultiSelect(ctx, "colors", MultiSelectRequest{Budget: 5})
+	if err != nil || third.Cached || third.Signature != ing.Signature {
+		t.Fatalf("post-drift select = %+v, err %v", third, err)
+	}
+
+	jq, err := c.MultiJQ(ctx, "colors", MultiJQRequest{WorkerIDs: []string{"m0", "m1"}})
+	if err != nil || jq.JQ <= 0 || jq.JQ > 1 || jq.Method != "estimate" {
+		t.Fatalf("jq = %+v, err %v", jq, err)
+	}
+
+	info, err := c.MultiPool(ctx, "colors")
+	if err != nil || len(info.Workers) != 3 {
+		t.Fatalf("pool info = %+v, err %v", info, err)
+	}
+	if err := c.DropMultiPool(ctx, "colors"); err != nil {
+		t.Fatal(err)
+	}
+	var apiErr *APIError
+	if _, err := c.MultiPool(ctx, "colors"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("dropped pool fetch = %v", err)
+	}
+}
