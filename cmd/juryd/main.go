@@ -9,6 +9,7 @@
 //	      [-workers 0] [-prior-strength 8] [-pool pool.json]
 //	      [-multi-pool mpool.json] [-labels 0]
 //	      [-data-dir dir] [-snapshot-interval 1m] [-fsync]
+//	      [-max-inflight 0] [-request-timeout 0]
 //
 // The optional -pool file preloads the registry:
 //
@@ -59,8 +60,23 @@
 // reference (request/response fields, error codes, consistency and
 // durability notes).
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests before exiting.
+// Failure domains: a WAL write or fsync failure moves the daemon into
+// degraded read-only mode — reads and selections keep serving from
+// memory, mutations answer 503 with Retry-After, /readyz turns 503 (take
+// it out of rotation) while /healthz stays 200 (do not kill it), and the
+// juryd_degraded gauge flips to 1. -max-inflight bounds concurrent
+// non-system requests (excess answers 429); -request-timeout bounds each
+// request's wall time (503 on expiry). Failed periodic snapshots are
+// logged, counted in juryd_snapshot_errors_total, and do not interrupt
+// serving — the WAL still holds everything. A boot-time recovery failure
+// exits non-zero with a one-line diagnosis naming the bad segment and
+// record. The hidden -chaos-fsync-after flag injects a WAL fsync fault
+// after N records (dropping the unsynced tail) for fault-injection
+// smoke tests; it is not for production use.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: mutations are
+// refused with 503 while in-flight requests drain, then a final
+// checkpoint lands before exit.
 package main
 
 import (
@@ -79,6 +95,8 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wal"
+	"repro/internal/wal/errfs"
 )
 
 func main() {
@@ -110,20 +128,40 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"how often to checkpoint state and truncate the WAL (0 disables periodic snapshots)")
 	fsync := fs.Bool("fsync", false,
 		"fsync the WAL after every record (survives power loss; slower)")
+	maxInflight := fs.Int("max-inflight", 0,
+		"max concurrent non-system requests before shedding with 429 (0 = unlimited)")
+	requestTimeout := fs.Duration("request-timeout", 0,
+		"per-request deadline; expired requests answer 503 (0 = none)")
+	chaosFsyncAfter := fs.Int("chaos-fsync-after", 0,
+		"TESTING ONLY: fail every WAL fsync after N successful ones, dropping the unsynced tail")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var fsys wal.FS
+	if *chaosFsyncAfter > 0 {
+		fsys = errfs.New(wal.OSFS(), errfs.Fault{
+			Op: errfs.OpSync, Path: "wal-", After: *chaosFsyncAfter, DropUnsynced: true,
+		})
+	}
 	srv, err := server.Open(server.Config{
-		Alpha:         *alpha,
-		Seed:          *seed,
-		Workers:       *workers,
-		CacheSize:     *cacheSize,
-		PriorStrength: *priorStrength,
-		DataDir:       *dataDir,
-		Fsync:         *fsync,
+		Alpha:          *alpha,
+		Seed:           *seed,
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		PriorStrength:  *priorStrength,
+		DataDir:        *dataDir,
+		Fsync:          *fsync,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *requestTimeout,
+		FS:             fsys,
 	})
 	if err != nil {
+		if *dataDir != "" {
+			// One line that names the failing segment/record, so the operator
+			// knows which file to inspect before the supervisor retries.
+			return fmt.Errorf("boot recovery from %s failed: %w", *dataDir, err)
+		}
 		return err
 	}
 	if *dataDir != "" {
@@ -217,6 +255,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Refuse new mutations up front (503 + Retry-After) while in-flight
+	// requests drain; reads keep answering until Shutdown closes their
+	// connections. Drain is active before the banner, so anyone watching
+	// the log can rely on it.
+	srv.BeginDrain()
 	fmt.Fprintln(out, "juryd: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -228,6 +271,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	<-snapDone
 	if *dataDir != "" {
+		if degraded, cause := srv.DegradedState(); degraded {
+			// The journal is poisoned; acked state is already on disk and a
+			// snapshot would add nothing recovery cannot rebuild. Close errors
+			// are the same dead disk talking.
+			fmt.Fprintf(out, "juryd: degraded at shutdown (%v); skipping final snapshot\n", cause)
+			srv.ClosePersistence()
+			return nil
+		}
 		// A final checkpoint makes the next boot replay an empty tail.
 		if err := srv.SnapshotNow(); err != nil {
 			fmt.Fprintln(out, "juryd: final snapshot:", err)

@@ -46,6 +46,14 @@ func (w *lineWriter) Write(p []byte) (int, error) {
 // and a cancel that triggers graceful shutdown.
 func startDaemon(t *testing.T, args ...string) (string, context.CancelFunc, chan error) {
 	t.Helper()
+	base, cancel, done, _ := startDaemonWatch(t, args...)
+	return base, cancel, done
+}
+
+// startDaemonWatch is startDaemon plus the daemon's log writer, for
+// tests that synchronize on later log lines (e.g. the shutdown banner).
+func startDaemonWatch(t *testing.T, args ...string) (string, context.CancelFunc, chan error, *lineWriter) {
+	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	out := &lineWriter{lines: make(chan string, 16)}
 	done := make(chan error, 1)
@@ -56,12 +64,28 @@ func startDaemon(t *testing.T, args ...string) (string, context.CancelFunc, chan
 		select {
 		case line := <-out.lines:
 			if addr, ok := strings.CutPrefix(line, "juryd: listening on "); ok {
-				return "http://" + addr, cancel, done
+				return "http://" + addr, cancel, done, out
 			}
 		case err := <-done:
 			t.Fatalf("daemon exited early: %v", err)
 		case <-deadline:
 			t.Fatal("daemon never announced its address")
+		}
+	}
+}
+
+// waitForLine blocks until the daemon logs a line with the prefix.
+func waitForLine(t *testing.T, w *lineWriter, prefix string) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case line := <-w.lines:
+			if strings.HasPrefix(line, prefix) {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("never saw log line %q", prefix)
 		}
 	}
 }
@@ -341,5 +365,225 @@ func TestPreloadDriftDetection(t *testing.T) {
 	}
 	if got := missingMultiPreloadWorkers(s, server.MultiCreateRequest{Name: "ghost"}); got != nil {
 		t.Fatalf("vanished pool should report nothing, got %v", got)
+	}
+}
+
+// TestDaemonShutdownUnderLoad triggers graceful shutdown while selection
+// requests are in flight: every in-flight select must complete 200, no
+// mutation may be acked after the drain banner, run() must return nil,
+// and the final checkpoint must land so the reboot replays nothing.
+func TestDaemonShutdownUnderLoad(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "data")
+	base, cancel, done, out := startDaemonWatch(t, "-data-dir", dataDir)
+
+	var b strings.Builder
+	b.WriteString(`{"workers":[`)
+	for i := 0; i < 40; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"id":"w%d","quality":%g,"cost":%d}`, i, 0.55+float64(i%40)*0.01, 1+i%3)
+	}
+	b.WriteString(`]}`)
+	resp, err := http.Post(base+"/v1/workers", "application/json", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/votes", "application/json",
+		strings.NewReader(`{"worker_id":"w0","correct":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-shutdown ingest: %d", resp.StatusCode)
+	}
+
+	// Load: distinct budgets, so every select is a cache-missing compute.
+	results := make(chan int, 16)
+	for i := 0; i < cap(results); i++ {
+		go func(budget int) {
+			resp, err := http.Post(base+"/v1/select", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"budget":%d}`, budget)))
+			if err != nil {
+				results <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results <- resp.StatusCode
+		}(5 + i)
+	}
+	time.Sleep(20 * time.Millisecond) // let the load get in flight
+	cancel()
+
+	// Drain is active once the banner prints; from here on no mutation
+	// may be acknowledged (503 while draining, connection errors after).
+	waitForLine(t, out, "juryd: shutting down")
+	for i := 0; i < 20; i++ {
+		resp, err := http.Post(base+"/v1/votes", "application/json",
+			strings.NewReader(`{"worker_id":"w0","correct":true}`))
+		if err != nil {
+			break
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusOK {
+			t.Fatal("mutation acked after drain began")
+		}
+	}
+
+	for i := 0; i < cap(results); i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("in-flight select finished with %d, want 200", code)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown under load: %v", err)
+	}
+
+	// The final checkpoint landed despite the load, and only the acked
+	// ingest survived.
+	base, cancel, done = startDaemon(t, "-data-dir", dataDir)
+	defer func() { cancel(); <-done }()
+	resp, err = http.Get(base + "/debug/persistence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"records_replayed":0`) {
+		t.Fatalf("expected snapshot-only recovery, got %s", body)
+	}
+	resp, err = http.Get(base + "/v1/workers/w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"votes":1`) {
+		t.Fatalf("w0 after reboot = %s, want exactly the 1 acked vote", body)
+	}
+}
+
+// TestDaemonChaosFsyncDegrades boots with the fault-injection flag: the
+// scripted fsync failure degrades the daemon to read-only, readiness
+// flips while liveness and reads hold, shutdown still exits cleanly, and
+// a clean reboot recovers exactly the acked mutations.
+func TestDaemonChaosFsyncDegrades(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "data")
+	// Sync budget 3: the registration plus two ingests are acked, the
+	// third ingest trips the fault.
+	base, cancel, done, out := startDaemonWatch(t,
+		"-data-dir", dataDir, "-fsync", "-chaos-fsync-after", "3")
+
+	resp, err := http.Post(base+"/v1/workers", "application/json",
+		strings.NewReader(`{"workers":[{"id":"a","quality":0.8,"cost":1},{"id":"b","quality":0.7,"cost":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+	acked := 0
+	for i := 0; i < 10; i++ {
+		resp, err := http.Post(base+"/v1/votes", "application/json",
+			strings.NewReader(`{"worker_id":"a","correct":true}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if code != http.StatusOK {
+			t.Fatalf("ingest %d: %d", i, code)
+		}
+		acked++
+	}
+	if acked != 2 {
+		t.Fatalf("acked %d ingests before the injected fault, want 2", acked)
+	}
+
+	// Degraded contract over the daemon's own endpoints.
+	resp, err = http.Get(base + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz: %v %d, want 503", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %d, want 200", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(base + "/v1/workers")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded read: %v %d, want 200", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	cancel()
+	waitForLine(t, out, "juryd: degraded at shutdown")
+	if err := <-done; err != nil {
+		t.Fatalf("degraded shutdown: %v", err)
+	}
+
+	// Clean reboot (no fault): exactly the acked mutations recovered.
+	base, cancel, done = startDaemon(t, "-data-dir", dataDir)
+	defer func() { cancel(); <-done }()
+	resp, err = http.Get(base + "/v1/workers/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"votes":2`) {
+		t.Fatalf("worker a after reboot = %s, want the 2 acked votes", body)
+	}
+}
+
+// TestDaemonBootRecoveryFailureDiagnosis makes recovery impossible (a
+// snapshot pointing past a vanished WAL) and checks the daemon refuses
+// to boot with a single diagnostic line instead of serving bad state.
+func TestDaemonBootRecoveryFailureDiagnosis(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "data")
+	base, cancel, done := startDaemon(t, "-data-dir", dataDir)
+	resp, err := http.Post(base+"/v1/workers", "application/json",
+		strings.NewReader(`{"workers":[{"id":"a","quality":0.8,"cost":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dataDir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments to remove (%v)", err)
+	}
+	for _, seg := range segs {
+		if err := os.Remove(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	err = run(context.Background(), []string{"-addr", "127.0.0.1:0", "-data-dir", dataDir}, io.Discard)
+	if err == nil {
+		t.Fatal("boot with unrecoverable state must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "boot recovery from") || !strings.Contains(msg, "snapshot covers lsn") {
+		t.Fatalf("diagnosis %q does not name the failure", msg)
+	}
+	if strings.Contains(msg, "\n") {
+		t.Fatalf("diagnosis is not one line: %q", msg)
 	}
 }

@@ -74,6 +74,10 @@ type IngestResponse struct {
 	Updated []WorkerInfo `json:"updated"`
 	// Signature is the pool signature after ingestion.
 	Signature string `json:"signature"`
+	// Duplicate reports that the request's Idempotency-Key was already
+	// applied: nothing changed (Ingested is 0) and the original
+	// application stands — the retry succeeded by finding its work done.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // SelectRequest asks for the best jury within a budget.

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Failure-domain errors: both map to 503 with a Retry-After header.
+var (
+	// ErrDegraded marks a server whose write-ahead log failed: recovered
+	// state is intact and reads keep serving, but no mutation can be made
+	// durable, so all are refused until the process is restarted against
+	// a healthy disk.
+	ErrDegraded = errors.New("server: degraded read-only mode: write-ahead log failed")
+	// ErrDraining marks a server in shutdown drain: in-flight reads
+	// complete, new mutations are refused so the final checkpoint is the
+	// last word.
+	ErrDraining = errors.New("server: draining for shutdown")
+)
+
+// enterDegraded transitions the server into degraded read-only mode,
+// remembering the first cause. The transition is terminal for the
+// process lifetime: the WAL poison is sticky (wal.ErrFailed), so a
+// "recovered" disk would still leave an un-journaled gap — only a
+// restart, which replays the log from a known-good prefix, exits the
+// mode.
+func (s *Server) enterDegraded(cause error) {
+	s.degradedMu.Lock()
+	if s.degradedCause == nil {
+		s.degradedCause = cause
+	}
+	s.degradedMu.Unlock()
+	s.degraded.Store(true)
+}
+
+// DegradedState reports whether the server is degraded and the first
+// disk error that caused it.
+func (s *Server) DegradedState() (bool, error) {
+	if !s.degraded.Load() {
+		return false, nil
+	}
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	return true, s.degradedCause
+}
+
+// BeginDrain refuses mutations from now on (503 + Retry-After) while
+// reads keep serving. Call it before http.Server.Shutdown so nothing
+// mutates state between the final checkpoint and process exit.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// mutable is the fast-path admission check for mutation routes: it
+// fails when the server is degraded or draining, before the request
+// body is even decoded.
+func (s *Server) mutable() error {
+	if degraded, cause := s.DegradedState(); degraded {
+		return fmt.Errorf("%w (%v)", ErrDegraded, cause)
+	}
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	return nil
+}
+
+// handleReady is GET /readyz: readiness as a load balancer or orchestra-
+// tor sees it. Unlike /healthz (liveness: the process is up and can
+// answer), readiness goes false — 503 — when the server should stop
+// receiving writes: degraded read-only mode or shutdown drain.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if degraded, cause := s.DegradedState(); degraded {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready":    false,
+			"degraded": true,
+			"cause":    cause.Error(),
+		})
+		return
+	}
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready":    false,
+			"draining": true,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}

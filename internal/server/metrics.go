@@ -33,6 +33,11 @@ type Metrics struct {
 	selectionLatency atomic.Int64  // cumulative compute time, nanoseconds
 	sessionsOpened   atomic.Uint64
 	sessionsFinished atomic.Uint64
+
+	walErrors        atomic.Uint64 // WAL append/fsync failures (each one degrades)
+	snapshotErrors   atomic.Uint64 // failed snapshot attempts (non-degrading)
+	loadShed         atomic.Uint64 // requests shed with 429 by admission control
+	ingestDuplicates atomic.Uint64 // keyed ingests answered from the dedup table
 }
 
 // routeMetrics is one route's completed-request count plus its latency
@@ -90,10 +95,27 @@ func (m *Metrics) SelectionComputed(d time.Duration) {
 func (m *Metrics) SessionOpened()   { m.sessionsOpened.Add(1) }
 func (m *Metrics) SessionFinished() { m.sessionsFinished.Add(1) }
 
+// WALError records one WAL disk failure (the append that degraded the
+// server, or would have if it were not already degraded).
+func (m *Metrics) WALError() { m.walErrors.Add(1) }
+
+// SnapshotError records one failed snapshot attempt.
+func (m *Metrics) SnapshotError() { m.snapshotErrors.Add(1) }
+
+// LoadShed records one request refused with 429 by admission control.
+func (m *Metrics) LoadShed() { m.loadShed.Add(1) }
+
+// IngestDuplicate records one keyed ingest deduplicated server-side.
+func (m *Metrics) IngestDuplicate() { m.ingestDuplicates.Add(1) }
+
+// SnapshotErrors exposes the failed-snapshot counter (for tests and the
+// daemon's shutdown log).
+func (m *Metrics) SnapshotErrors() uint64 { return m.snapshotErrors.Load() }
+
 // WriteText renders the metrics (plus the given cache and registry state)
 // in Prometheus text exposition format, including one
 // juryd_request_duration_seconds histogram per route.
-func (m *Metrics) WriteText(w io.Writer, cache CacheStats, poolSize int, generation uint64, multiPools int) {
+func (m *Metrics) WriteText(w io.Writer, cache CacheStats, poolSize int, generation uint64, multiPools int, degraded bool) {
 	m.mu.Lock()
 	routes := make([]string, 0, len(m.routes))
 	for r := range m.routes {
@@ -142,6 +164,15 @@ func (m *Metrics) WriteText(w io.Writer, cache CacheStats, poolSize int, generat
 	fmt.Fprintf(w, "juryd_pool_size %d\n", poolSize)
 	fmt.Fprintf(w, "juryd_pool_generation %d\n", generation)
 	fmt.Fprintf(w, "juryd_multi_pools %d\n", multiPools)
+	deg := 0
+	if degraded {
+		deg = 1
+	}
+	fmt.Fprintf(w, "juryd_degraded %d\n", deg)
+	fmt.Fprintf(w, "juryd_wal_errors_total %d\n", m.walErrors.Load())
+	fmt.Fprintf(w, "juryd_snapshot_errors_total %d\n", m.snapshotErrors.Load())
+	fmt.Fprintf(w, "juryd_load_shed_total %d\n", m.loadShed.Load())
+	fmt.Fprintf(w, "juryd_ingest_duplicates_total %d\n", m.ingestDuplicates.Load())
 }
 
 // Snapshot returns the counters used by tests.

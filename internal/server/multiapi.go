@@ -109,6 +109,9 @@ type MultiIngestResponse struct {
 	Updated []MultiWorkerInfo `json:"updated"`
 	// Signature is the pool signature after ingestion.
 	Signature string `json:"signature"`
+	// Duplicate reports that the request's Idempotency-Key was already
+	// applied; see IngestResponse.Duplicate.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // MultiSelectRequest asks for the best multi-choice jury within a

@@ -83,9 +83,14 @@ func (s *Server) handleMultiIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.mutationGuard()()
-	updated, sig, err := s.multi.Ingest(r.PathValue("pool"), req.Events)
+	updated, sig, dup, err := s.multi.IngestKeyed(r.PathValue("pool"), req.Events, idempotencyKey(r))
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if dup {
+		s.metrics.IngestDuplicate()
+		writeJSON(w, http.StatusOK, MultiIngestResponse{Signature: sig, Duplicate: true})
 		return
 	}
 	s.metrics.VotesIngested(len(req.Events))

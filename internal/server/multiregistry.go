@@ -92,11 +92,16 @@ type MultiRegistry struct {
 	// appended under the write lock after validation, before it is
 	// applied in memory.
 	journal func(*Record) error
+	// idem remembers applied ingest idempotency keys registry-wide (one
+	// table across pools; keys are client-unique regardless of target).
+	// Guarded by mu, like the binary Registry's — see that field's note
+	// on replay bit-exactness.
+	idem *idemTable
 }
 
 // NewMultiRegistry returns an empty multi-choice registry.
 func NewMultiRegistry() *MultiRegistry {
-	return &MultiRegistry{pools: make(map[string]*multiPool)}
+	return &MultiRegistry{pools: make(map[string]*multiPool), idem: newIdemTable()}
 }
 
 func (r *MultiRegistry) logLocked(rec *Record) error {
@@ -358,27 +363,46 @@ func validateEvents(p *multiPool, events []MultiVoteEvent) error {
 // returns the updated states of the touched workers, in first-touch
 // order, and the post-ingest pool signature.
 func (r *MultiRegistry) Ingest(pool string, events []MultiVoteEvent) ([]MultiWorkerInfo, string, error) {
+	out, sig, _, err := r.IngestKeyed(pool, events, "")
+	return out, sig, err
+}
+
+// IngestKeyed is Ingest with a client-generated idempotency key,
+// following Registry.IngestKeyed's contract: a repeated key applies
+// nothing, journals nothing, and reports duplicate (with the pool's
+// current signature when the pool still exists).
+func (r *MultiRegistry) IngestKeyed(pool string, events []MultiVoteEvent, key string) (updated []MultiWorkerInfo, sig string, duplicate bool, err error) {
 	if len(events) == 0 {
-		return nil, "", fmt.Errorf("%w: no events in request", ErrBadEvent)
+		return nil, "", false, fmt.Errorf("%w: no events in request", ErrBadEvent)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if key != "" && r.idem.has(key) {
+		if p, ok := r.pools[pool]; ok {
+			sig = p.sig
+		}
+		return nil, sig, true, nil
+	}
 	p, ok := r.pools[pool]
 	if !ok {
-		return nil, "", fmt.Errorf("%w: %q", ErrPoolUnknown, pool)
+		return nil, "", false, fmt.Errorf("%w: %q", ErrPoolUnknown, pool)
 	}
 	if err := validateEvents(p, events); err != nil {
-		return nil, "", err
+		return nil, "", false, err
 	}
-	if err := r.logLocked(&Record{T: RecMultiIngest, Multi: &MultiRecord{Pool: pool, Events: events}}); err != nil {
-		return nil, "", err
+	rec := &Record{T: RecMultiIngest, Key: key, Multi: &MultiRecord{Pool: pool, Events: events}}
+	if err := r.logLocked(rec); err != nil {
+		return nil, "", false, err
+	}
+	if key != "" {
+		r.idem.add(key)
 	}
 	touchOrder := r.applyIngestLocked(p, events)
 	out := make([]MultiWorkerInfo, len(touchOrder))
 	for i, id := range touchOrder {
 		out[i] = p.workers[id].info()
 	}
-	return out, p.sig, nil
+	return out, p.sig, false, nil
 }
 
 // applyIngestLocked performs a validated ingest and returns the touched
@@ -543,6 +567,9 @@ func (r *MultiRegistry) Apply(rec *Record) error {
 		if err := validateEvents(p, mr.Events); err != nil {
 			return err
 		}
+		if rec.Key != "" {
+			r.idem.add(rec.Key)
+		}
 		r.applyIngestLocked(p, mr.Events)
 	case RecMultiDrop:
 		if _, ok := r.pools[mr.Pool]; !ok {
@@ -585,6 +612,7 @@ func (r *MultiRegistry) persistState() multiRegistryState {
 		}
 		st.Pools = append(st.Pools, pp)
 	}
+	st.Idem = r.idem.snapshot()
 	return st
 }
 
@@ -660,6 +688,7 @@ func (r *MultiRegistry) load(st multiRegistryState) error {
 	r.pools = pools
 	r.order = order
 	r.gen = st.Gen
+	r.idem.load(st.Idem)
 	return nil
 }
 

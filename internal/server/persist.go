@@ -53,6 +53,12 @@ const (
 // bit-identically regardless of configuration or clock.
 type Record struct {
 	T RecordType `json:"t"`
+	// Key is the client-generated idempotency key of a keyed ingest
+	// (RecIngest, RecMultiIngest); "" for unkeyed mutations. Dedup runs
+	// before journaling, so a key appears in the log at most once; replay
+	// re-adds it to the dedup table, which is what makes exactly-once
+	// survive crash recovery.
+	Key string `json:"key,omitempty"`
 	// Specs carries the registered (RecRegister) or replacement
 	// (RecUpdate, single element) worker specs.
 	Specs []WorkerSpec `json:"specs,omitempty"`
@@ -114,6 +120,8 @@ type serverState struct {
 type multiRegistryState struct {
 	Gen   uint64             `json:"gen"`
 	Pools []multiPoolPersist `json:"pools,omitempty"`
+	// Idem is the ingest idempotency-key table in insertion order.
+	Idem []string `json:"idem,omitempty"`
 }
 
 // multiPoolPersist is one pool's full state.
@@ -140,6 +148,8 @@ type multiWorkerPersist struct {
 type registryState struct {
 	Gen     uint64          `json:"gen"`
 	Workers []workerPersist `json:"workers"`
+	// Idem is the ingest idempotency-key table in insertion order.
+	Idem []string `json:"idem,omitempty"`
 }
 
 // workerPersist is one worker's full posterior state. Go's JSON encoder
@@ -170,6 +180,7 @@ type sessionPersist struct {
 // Persistence binds a Server to its WAL and snapshot files.
 type Persistence struct {
 	dir string
+	fs  wal.FS
 	log *wal.Log
 	// freeze orders mutations against snapshot capture: every mutating
 	// request path holds it shared for the whole journal-then-apply
@@ -196,8 +207,12 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.DataDir == "" {
 		return s, nil
 	}
-	p := &Persistence{dir: cfg.DataDir, fsync: cfg.Fsync}
-	lsn, payload, found, err := wal.LatestSnapshot(cfg.DataDir)
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = wal.OSFS()
+	}
+	p := &Persistence{dir: cfg.DataDir, fs: fsys, fsync: cfg.Fsync}
+	lsn, payload, found, err := wal.LatestSnapshotFS(fsys, cfg.DataDir)
 	if err != nil {
 		return nil, fmt.Errorf("server: load snapshot: %w", err)
 	}
@@ -224,6 +239,7 @@ func Open(cfg Config) (*Server, error) {
 	log, info, err := wal.Open(cfg.DataDir, wal.Options{
 		SegmentBytes: cfg.SegmentBytes,
 		Fsync:        cfg.Fsync,
+		FS:           cfg.FS,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: open wal: %w", err)
@@ -260,7 +276,13 @@ func Open(cfg Config) (*Server, error) {
 			return fmt.Errorf("server: journal encode: %w", err)
 		}
 		if _, err := log.Append(payload); err != nil {
-			return fmt.Errorf("server: journal append: %w", err)
+			// The record is not durable and the mutation was not applied;
+			// the log is now poisoned (wal.ErrFailed is sticky), so the
+			// server transitions to degraded read-only mode: this and every
+			// later mutation answers 503 while reads keep serving.
+			s.metrics.WALError()
+			s.enterDegraded(err)
+			return fmt.Errorf("%w: %w", ErrDegraded, err)
 		}
 		return nil
 	}
@@ -301,8 +323,19 @@ func (s *Server) mutationGuard() func() {
 // SnapshotNow captures a consistent snapshot of the full server state,
 // installs it atomically, and truncates WAL segments the snapshot covers.
 // It is a no-op without persistence or when nothing changed since the
-// last snapshot.
+// last snapshot. A failure is counted in juryd_snapshot_errors_total
+// but is NOT degrading: the WAL still holds every mutation, the
+// previous snapshot (if any) is still installed, and a later attempt
+// can succeed — the caller should log and keep serving.
 func (s *Server) SnapshotNow() error {
+	err := s.snapshotNow()
+	if err != nil {
+		s.metrics.SnapshotError()
+	}
+	return err
+}
+
+func (s *Server) snapshotNow() error {
 	p := s.persist
 	if p == nil {
 		return nil
@@ -328,7 +361,7 @@ func (s *Server) SnapshotNow() error {
 	if err != nil {
 		return fmt.Errorf("server: snapshot encode: %w", err)
 	}
-	if err := wal.WriteSnapshot(p.dir, upTo, payload); err != nil {
+	if err := wal.WriteSnapshotFS(p.fs, p.dir, upTo, payload); err != nil {
 		return fmt.Errorf("server: snapshot write: %w", err)
 	}
 	p.haveSnapshot = true

@@ -76,6 +76,11 @@ type Registry struct {
 	// a failed append aborts the mutation with memory untouched, and the
 	// log order always matches the lock (application) order.
 	journal func(*Record) error
+	// idem remembers applied ingest idempotency keys. Guarded by mu, so
+	// its insertion order is the WAL order and replay rebuilds it
+	// bit-exactly; dedup runs BEFORE journaling, so the log itself never
+	// carries a duplicate key.
+	idem *idemTable
 }
 
 // logLocked journals rec if a journal is attached. Callers hold r.mu.
@@ -88,7 +93,7 @@ func (r *Registry) logLocked(rec *Record) error {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{workers: make(map[string]*workerState)}
+	return &Registry{workers: make(map[string]*workerState), idem: newIdemTable()}
 }
 
 // validateSpec checks one registration spec.
@@ -280,16 +285,33 @@ func (r *Registry) Generation() uint64 {
 // signature (computed under the same lock, so it matches the returned
 // states exactly).
 func (r *Registry) Ingest(events []VoteEvent) ([]WorkerInfo, string, error) {
+	out, sig, _, err := r.IngestKeyed(events, "")
+	return out, sig, err
+}
+
+// IngestKeyed is Ingest with a client-generated idempotency key: when
+// key is non-empty and an earlier ingest already carried it, nothing is
+// applied (or journaled) and duplicate is true. The key travels in the
+// WAL record and the dedup table in snapshots, so exactly-once holds
+// through crash recovery: a retry that lands after a replayed restart
+// still deduplicates.
+func (r *Registry) IngestKeyed(events []VoteEvent, key string) (updated []WorkerInfo, sig string, duplicate bool, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if key != "" && r.idem.has(key) {
+		return nil, r.fullSig, true, nil
+	}
 	for _, ev := range events {
 		if _, ok := r.workers[ev.WorkerID]; !ok {
-			return nil, "", fmt.Errorf("%w: %q", ErrWorkerUnknown, ev.WorkerID)
+			return nil, "", false, fmt.Errorf("%w: %q", ErrWorkerUnknown, ev.WorkerID)
 		}
 	}
 	if len(events) > 0 {
-		if err := r.logLocked(&Record{T: RecIngest, Events: events}); err != nil {
-			return nil, "", err
+		if err := r.logLocked(&Record{T: RecIngest, Events: events, Key: key}); err != nil {
+			return nil, "", false, err
+		}
+		if key != "" {
+			r.idem.add(key)
 		}
 	}
 	touchOrder := r.applyIngestLocked(events)
@@ -297,7 +319,7 @@ func (r *Registry) Ingest(events []VoteEvent) ([]WorkerInfo, string, error) {
 	for i, id := range touchOrder {
 		out[i] = r.workers[id].info()
 	}
-	return out, r.fullSig, nil
+	return out, r.fullSig, false, nil
 }
 
 // applyIngestLocked performs a validated ingest and returns the touched
@@ -382,6 +404,9 @@ func (r *Registry) Apply(rec *Record) error {
 				return fmt.Errorf("%w: %q", ErrWorkerUnknown, ev.WorkerID)
 			}
 		}
+		if rec.Key != "" {
+			r.idem.add(rec.Key)
+		}
 		r.applyIngestLocked(rec.Events)
 	default:
 		return fmt.Errorf("server: record type %q is not a registry record", rec.T)
@@ -408,6 +433,7 @@ func (r *Registry) persistState() registryState {
 			Version: w.version,
 		}
 	}
+	st.Idem = r.idem.snapshot()
 	return st
 }
 
@@ -440,6 +466,7 @@ func (r *Registry) load(st registryState) error {
 	r.workers = workers
 	r.order = order
 	r.gen = st.Gen
+	r.idem.load(st.Idem)
 	r.refreshFullSigLocked()
 	return nil
 }

@@ -20,12 +20,15 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/conc"
 	"repro/internal/online"
 	"repro/internal/selection"
 	"repro/internal/voting"
+	"repro/internal/wal"
 )
 
 // Config configures a Server.
@@ -60,6 +63,19 @@ type Config struct {
 	// SegmentBytes is the WAL segment rotation threshold; 0 selects
 	// wal.DefaultSegmentBytes.
 	SegmentBytes int64
+	// MaxInFlight bounds concurrently served requests; excess requests
+	// are shed immediately with 429 rather than queued (system routes —
+	// health, readiness, metrics, debug — are exempt so the server stays
+	// observable under overload). 0 disables admission control.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline on non-system routes: it
+	// bounds handler execution and propagates as the request context's
+	// deadline; an overrun answers 503. 0 disables.
+	RequestTimeout time.Duration
+	// FS is the filesystem persistence (WAL and snapshots) lives on; nil
+	// selects the real one. Chaos tests substitute a fault injector
+	// (internal/wal/errfs) here.
+	FS wal.FS
 }
 
 // NewConfig returns the production defaults: uniform prior, seed 1.
@@ -79,6 +95,19 @@ type Server struct {
 	mux      *http.ServeMux
 	routes   []string     // registered patterns, for /metrics and the API reference test
 	persist  *Persistence // nil without a data dir
+
+	// degraded flips (once, terminally) when the WAL fails underneath a
+	// mutation: reads keep serving, mutations answer 503. degradedCause
+	// keeps the first disk error for /readyz and error bodies.
+	degraded      atomic.Bool
+	degradedMu    sync.Mutex
+	degradedCause error
+	// draining refuses new mutations during shutdown while in-flight
+	// reads complete (BeginDrain).
+	draining atomic.Bool
+	// inflight is the admission-control token bucket (nil when
+	// MaxInFlight is 0); a request that cannot take a token is shed.
+	inflight chan struct{}
 }
 
 // New builds a Server from the config.
@@ -100,31 +129,35 @@ func New(cfg Config) *Server {
 		sessions: newSessionStore(),
 		metrics:  NewMetrics(),
 	}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
 	s.mux = http.NewServeMux()
-	s.route("GET /healthz", s.handleHealth)
-	s.route("GET /metrics", s.handleMetrics)
-	s.route("GET /debug/persistence", s.handleDebugPersistence)
-	s.route("POST /v1/workers", s.handleRegister)
-	s.route("GET /v1/workers", s.handleListWorkers)
-	s.route("GET /v1/workers/{id}", s.handleGetWorker)
-	s.route("PUT /v1/workers/{id}", s.handleUpdateWorker)
-	s.route("DELETE /v1/workers/{id}", s.handleRemoveWorker)
-	s.route("POST /v1/votes", s.handleIngestOne)
-	s.route("POST /v1/votes/batch", s.handleIngestBatch)
-	s.route("POST /v1/select", s.handleSelect)
-	s.route("POST /v1/select/batch", s.handleSelectBatch)
-	s.route("POST /v1/sessions", s.handleOpenSession)
-	s.route("GET /v1/sessions/{id}", s.handleGetSession)
-	s.route("POST /v1/sessions/{id}/votes", s.handleSessionVote)
-	s.route("DELETE /v1/sessions/{id}", s.handleCloseSession)
-	s.route("POST /v1/multi/pools", s.handleMultiCreate)
-	s.route("GET /v1/multi/pools", s.handleMultiListPools)
-	s.route("GET /v1/multi/pools/{pool}", s.handleMultiGetPool)
-	s.route("DELETE /v1/multi/pools/{pool}", s.handleMultiDropPool)
-	s.route("POST /v1/multi/pools/{pool}/workers", s.handleMultiRegister)
-	s.route("POST /v1/multi/pools/{pool}/votes", s.handleMultiIngest)
-	s.route("POST /v1/multi/pools/{pool}/select", s.handleMultiSelect)
-	s.route("POST /v1/multi/pools/{pool}/jq", s.handleMultiJQ)
+	s.route("GET /healthz", routeSys, s.handleHealth)
+	s.route("GET /readyz", routeSys, s.handleReady)
+	s.route("GET /metrics", routeSys, s.handleMetrics)
+	s.route("GET /debug/persistence", routeSys, s.handleDebugPersistence)
+	s.route("POST /v1/workers", routeMut, s.handleRegister)
+	s.route("GET /v1/workers", routeRead, s.handleListWorkers)
+	s.route("GET /v1/workers/{id}", routeRead, s.handleGetWorker)
+	s.route("PUT /v1/workers/{id}", routeMut, s.handleUpdateWorker)
+	s.route("DELETE /v1/workers/{id}", routeMut, s.handleRemoveWorker)
+	s.route("POST /v1/votes", routeMut, s.handleIngestOne)
+	s.route("POST /v1/votes/batch", routeMut, s.handleIngestBatch)
+	s.route("POST /v1/select", routeRead, s.handleSelect)
+	s.route("POST /v1/select/batch", routeRead, s.handleSelectBatch)
+	s.route("POST /v1/sessions", routeMut, s.handleOpenSession)
+	s.route("GET /v1/sessions/{id}", routeRead, s.handleGetSession)
+	s.route("POST /v1/sessions/{id}/votes", routeMut, s.handleSessionVote)
+	s.route("DELETE /v1/sessions/{id}", routeMut, s.handleCloseSession)
+	s.route("POST /v1/multi/pools", routeMut, s.handleMultiCreate)
+	s.route("GET /v1/multi/pools", routeRead, s.handleMultiListPools)
+	s.route("GET /v1/multi/pools/{pool}", routeRead, s.handleMultiGetPool)
+	s.route("DELETE /v1/multi/pools/{pool}", routeMut, s.handleMultiDropPool)
+	s.route("POST /v1/multi/pools/{pool}/workers", routeMut, s.handleMultiRegister)
+	s.route("POST /v1/multi/pools/{pool}/votes", routeMut, s.handleMultiIngest)
+	s.route("POST /v1/multi/pools/{pool}/select", routeRead, s.handleMultiSelect)
+	s.route("POST /v1/multi/pools/{pool}/jq", routeRead, s.handleMultiJQ)
 	return s
 }
 
@@ -147,14 +180,65 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 // Metrics exposes the operational counters.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// route registers a handler wrapped with per-route metrics: a request
-// counter and a latency histogram, both labeled by the route pattern.
-func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request)) {
+// routeKind classifies a route for the failure-domain wrappers.
+type routeKind int
+
+const (
+	// routeSys is the observability plane: health, readiness, metrics,
+	// debug. Exempt from admission control and deadlines — an overloaded
+	// or degraded server must stay inspectable.
+	routeSys routeKind = iota
+	// routeRead serves from recovered state and the selection cache;
+	// available in degraded mode and during drain.
+	routeRead
+	// routeMut journals to the WAL; refused (503) when degraded or
+	// draining, before the body is decoded.
+	routeMut
+)
+
+// timeoutBody is the JSON answer http.TimeoutHandler writes on a
+// request-deadline overrun (it serves 503 with this literal body).
+const timeoutBody = `{"error":"server: request deadline exceeded"}`
+
+// route registers a handler wrapped by kind-dependent failure-domain
+// middleware (degraded/drain refusal for mutations, per-request
+// deadline and admission control for everything but system routes) and,
+// outermost, per-route metrics: a request counter and a latency
+// histogram, both labeled by the route pattern, with shed and refused
+// requests counted like any other response.
+func (s *Server) route(pattern string, kind routeKind, h func(http.ResponseWriter, *http.Request)) {
 	s.routes = append(s.routes, pattern)
+	inner := h
+	if kind == routeMut {
+		inner = func(w http.ResponseWriter, r *http.Request) {
+			if err := s.mutable(); err != nil {
+				writeError(w, err)
+				return
+			}
+			h(w, r)
+		}
+	}
+	var handler http.Handler = http.HandlerFunc(inner)
+	if kind != routeSys && s.cfg.RequestTimeout > 0 {
+		handler = http.TimeoutHandler(handler, s.cfg.RequestTimeout, timeoutBody)
+	}
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		h(sw, r)
+		if kind != routeSys && s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.metrics.LoadShed()
+				sw.Header().Set("Retry-After", "1")
+				writeJSON(sw, http.StatusTooManyRequests,
+					ErrorResponse{Error: "server: overloaded: in-flight request limit reached"})
+				s.metrics.Request(pattern, sw.status, time.Since(start))
+				return
+			}
+		}
+		handler.ServeHTTP(sw, r)
 		s.metrics.Request(pattern, sw.status, time.Since(start))
 	})
 }
@@ -202,6 +286,15 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, ErrEmptyRegistry):
 		status = http.StatusUnprocessableEntity
+	case errors.Is(err, ErrDegraded):
+		// Degraded is terminal for this process: the retry only helps once
+		// an operator restarts it, so advertise a long backoff.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "30")
+	case errors.Is(err, ErrDraining):
+		// A drain resolves in seconds (restart, or a peer takes over).
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "2")
 	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
@@ -210,8 +303,13 @@ func writeError(w http.ResponseWriter, err error) {
 // Health and metrics.
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Liveness stays 200 even degraded — the process is up and serving
+	// reads; readiness (/readyz) is what goes 503.
+	degraded, _ := s.DegradedState()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
+		"degraded":    degraded,
+		"draining":    s.Draining(),
 		"pool":        s.registry.Len(),
 		"sessions":    s.sessions.Len(),
 		"multi_pools": s.multi.Len(),
@@ -220,7 +318,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WriteText(w, s.cache.Stats(), s.registry.Len(), s.registry.Generation(), s.multi.Len())
+	s.metrics.WriteText(w, s.cache.Stats(), s.registry.Len(), s.registry.Generation(),
+		s.multi.Len(), s.degraded.Load())
 }
 
 func (s *Server) handleDebugPersistence(w http.ResponseWriter, r *http.Request) {
@@ -306,7 +405,7 @@ func (s *Server) handleIngestOne(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	s.ingest(w, []VoteEvent{ev})
+	s.ingest(w, []VoteEvent{ev}, idempotencyKey(r))
 }
 
 func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
@@ -319,14 +418,26 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errors.New("server: no events in request"))
 		return
 	}
-	s.ingest(w, req.Events)
+	s.ingest(w, req.Events, idempotencyKey(r))
 }
 
-func (s *Server) ingest(w http.ResponseWriter, events []VoteEvent) {
+// idempotencyKey extracts the client-generated Idempotency-Key header
+// ("" when absent): a retried ingest carrying the same key is applied
+// exactly once and answered with Duplicate set.
+func idempotencyKey(r *http.Request) string {
+	return r.Header.Get("Idempotency-Key")
+}
+
+func (s *Server) ingest(w http.ResponseWriter, events []VoteEvent, key string) {
 	defer s.mutationGuard()()
-	updated, sig, err := s.registry.Ingest(events)
+	updated, sig, dup, err := s.registry.IngestKeyed(events, key)
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if dup {
+		s.metrics.IngestDuplicate()
+		writeJSON(w, http.StatusOK, IngestResponse{Signature: sig, Duplicate: true})
 		return
 	}
 	s.metrics.VotesIngested(len(events))

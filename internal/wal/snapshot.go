@@ -44,37 +44,45 @@ func parseSnapshotName(name string) (LSN, bool) {
 // worse than none, because installing it deletes its predecessor (and
 // lets the caller truncate the WAL the predecessor needed).
 func WriteSnapshot(dir string, lsn LSN, payload []byte) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return WriteSnapshotFS(OSFS(), dir, lsn, payload)
+}
+
+// WriteSnapshotFS is WriteSnapshot on an explicit filesystem. Failures
+// surface as *IOError naming the stage that broke (write, fsync, the
+// installing rename, the directory sync); on any failure before the
+// rename lands the previous snapshot is untouched.
+func WriteSnapshotFS(fsys FS, dir string, lsn LSN, payload []byte) error {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	path := filepath.Join(dir, snapshotName(lsn))
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return &IOError{Op: "create", Path: tmp, Err: err}
 	}
 	if _, err := f.Write(payload); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return err
+		fsys.Remove(tmp)
+		return &IOError{Op: "write", Path: tmp, Err: err}
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return err
+		fsys.Remove(tmp)
+		return &IOError{Op: "fsync", Path: tmp, Err: err}
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
+		fsys.Remove(tmp)
+		return &IOError{Op: "close", Path: tmp, Err: err}
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return &IOError{Op: "rename", Path: path, Err: err}
 	}
-	if err := syncDir(dir); err != nil {
-		return err
+	if err := syncDir(fsys, dir); err != nil {
+		return &IOError{Op: "dirsync", Path: dir, Err: err}
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return err
 	}
@@ -82,7 +90,7 @@ func WriteSnapshot(dir string, lsn LSN, payload []byte) error {
 		if old, ok := parseSnapshotName(e.Name()); ok && old < lsn {
 			// Best-effort: a leftover older snapshot is shadowed by the
 			// newer one either way.
-			os.Remove(filepath.Join(dir, e.Name()))
+			fsys.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 	return nil
@@ -91,7 +99,12 @@ func WriteSnapshot(dir string, lsn LSN, payload []byte) error {
 // LatestSnapshot loads the newest snapshot in dir. found is false when
 // the directory holds no snapshot (or does not exist yet).
 func LatestSnapshot(dir string) (lsn LSN, payload []byte, found bool, err error) {
-	entries, err := os.ReadDir(dir)
+	return LatestSnapshotFS(OSFS(), dir)
+}
+
+// LatestSnapshotFS is LatestSnapshot on an explicit filesystem.
+func LatestSnapshotFS(fsys FS, dir string) (lsn LSN, payload []byte, found bool, err error) {
+	entries, err := fsys.ReadDir(dir)
 	if os.IsNotExist(err) {
 		return 0, nil, false, nil
 	}
@@ -108,7 +121,7 @@ func LatestSnapshot(dir string) (lsn LSN, payload []byte, found bool, err error)
 	if bestName == "" {
 		return 0, nil, false, nil
 	}
-	payload, err = os.ReadFile(filepath.Join(dir, bestName))
+	payload, err = fsys.ReadFile(filepath.Join(dir, bestName))
 	if err != nil {
 		return 0, nil, false, err
 	}

@@ -60,7 +60,33 @@ var (
 	ErrClosed   = errors.New("wal: log closed")
 	ErrCorrupt  = errors.New("wal: corrupt log")
 	ErrTooLarge = errors.New("wal: record exceeds MaxRecordBytes")
+	// ErrFailed marks a log poisoned by an earlier disk error: the first
+	// failing append returns the *IOError itself, every later one returns
+	// an error wrapping both ErrFailed and that original cause.
+	ErrFailed = errors.New("wal: log failed")
 )
+
+// IOError is a disk operation that failed underneath the log. Append and
+// rotation surface every write, fsync, create, rename and directory-sync
+// failure as one of these — callers can switch on Op to report which
+// stage of durability broke, and errors.Is/As through Err to the root
+// cause (e.g. syscall.ENOSPC). An IOError from Append means the record
+// is NOT durable and the mutation it journals must not be acknowledged.
+type IOError struct {
+	// Op names the failed operation: "write", "fsync", "create",
+	// "rename", "dirsync" or "close".
+	Op string
+	// Path is the file the operation targeted.
+	Path string
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *IOError) Error() string {
+	return fmt.Sprintf("wal: %s %s: %v", e.Op, filepath.Base(e.Path), e.Err)
+}
+
+func (e *IOError) Unwrap() error { return e.Err }
 
 // Options configures a Log.
 type Options struct {
@@ -73,6 +99,9 @@ type Options struct {
 	// appends survive a process crash (the page cache persists) but not a
 	// machine crash.
 	Fsync bool
+	// FS is the filesystem the log lives on; nil selects the real one.
+	// Tests substitute a fault injector (internal/wal/errfs) here.
+	FS FS
 }
 
 // OpenInfo reports what Open found on disk.
@@ -98,9 +127,10 @@ type Log struct {
 	mu     sync.Mutex
 	dir    string
 	opts   Options
+	fs     FS
 	segs   []segment
-	f      *os.File // newest segment, opened for append
-	size   int64    // bytes in the newest segment
+	f      File  // newest segment, opened for append
+	size   int64 // bytes in the newest segment
 	next   LSN
 	failed error // sticky: set on a write error, fails every later append
 }
@@ -128,8 +158,8 @@ func parseSegmentName(name string) (LSN, bool) {
 }
 
 // listSegments returns dir's segment files sorted by first LSN.
-func listSegments(dir string) ([]segment, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys FS, dir string) ([]segment, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -153,14 +183,18 @@ func Open(dir string, opts Options) (*Log, OpenInfo, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = OSFS()
+	}
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, OpenInfo{}, err
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, OpenInfo{}, err
 	}
-	l := &Log{dir: dir, opts: opts, segs: segs}
+	l := &Log{dir: dir, opts: opts, fs: fsys, segs: segs}
 	var info OpenInfo
 	if len(segs) == 0 {
 		l.next = 1
@@ -169,7 +203,7 @@ func Open(dir string, opts Options) (*Log, OpenInfo, error) {
 		}
 	} else {
 		last := segs[len(segs)-1]
-		f, err := os.Open(last.path)
+		f, err := fsys.Open(last.path)
 		if err != nil {
 			return nil, OpenInfo{}, err
 		}
@@ -182,17 +216,17 @@ func Open(dir string, opts Options) (*Log, OpenInfo, error) {
 		if closeErr != nil {
 			return nil, OpenInfo{}, closeErr
 		}
-		st, err := os.Stat(last.path)
+		st, err := fsys.Stat(last.path)
 		if err != nil {
 			return nil, OpenInfo{}, err
 		}
 		if st.Size() > valid {
 			info.TornBytes = st.Size() - valid
-			if err := os.Truncate(last.path, valid); err != nil {
+			if err := fsys.Truncate(last.path, valid); err != nil {
 				return nil, OpenInfo{}, err
 			}
 		}
-		l.f, err = os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		l.f, err = fsys.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, OpenInfo{}, err
 		}
@@ -212,14 +246,14 @@ func Open(dir string, opts Options) (*Log, OpenInfo, error) {
 // log exclusively).
 func (l *Log) createSegmentLocked(first LSN) error {
 	path := filepath.Join(l.dir, segmentName(first))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
-		return err
+		return &IOError{Op: "create", Path: path, Err: err}
 	}
 	if l.opts.Fsync {
-		if err := syncDir(l.dir); err != nil {
+		if err := syncDir(l.fs, l.dir); err != nil {
 			f.Close()
-			return err
+			return &IOError{Op: "dirsync", Path: l.dir, Err: err}
 		}
 	}
 	l.segs = append(l.segs, segment{first: first, path: path})
@@ -230,8 +264,8 @@ func (l *Log) createSegmentLocked(first LSN) error {
 
 // syncDir flushes a directory's entries (file creations, renames) to
 // stable storage.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -245,11 +279,12 @@ func syncDir(dir string) error {
 
 // rotateLocked closes the current segment and starts the next one.
 func (l *Log) rotateLocked() error {
+	path := l.segs[len(l.segs)-1].path
 	if err := l.f.Sync(); err != nil {
-		return err
+		return &IOError{Op: "fsync", Path: path, Err: err}
 	}
 	if err := l.f.Close(); err != nil {
-		return err
+		return &IOError{Op: "close", Path: path, Err: err}
 	}
 	return l.createSegmentLocked(l.next)
 }
@@ -257,7 +292,10 @@ func (l *Log) rotateLocked() error {
 // Append writes one record and returns its LSN. The write is a single
 // syscall, so a crash leaves at most one torn record at the tail; with
 // Options.Fsync the record is flushed to stable storage before Append
-// returns. A write error poisons the log: every later Append fails.
+// returns. Disk failures surface as *IOError (never a panic) and poison
+// the log: the failing append reports the IOError itself, every later
+// one fails with an error wrapping ErrFailed and the original cause.
+// Callers must treat any append error as "this record is not durable".
 func (l *Log) Append(payload []byte) (LSN, error) {
 	if len(payload) > MaxRecordBytes {
 		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
@@ -268,7 +306,7 @@ func (l *Log) Append(payload []byte) (LSN, error) {
 		return 0, ErrClosed
 	}
 	if l.failed != nil {
-		return 0, fmt.Errorf("wal: log failed: %w", l.failed)
+		return 0, fmt.Errorf("%w: %w", ErrFailed, l.failed)
 	}
 	rec := make([]byte, headerSize+len(payload))
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
@@ -280,20 +318,28 @@ func (l *Log) Append(payload []byte) (LSN, error) {
 			return 0, err
 		}
 	}
+	path := l.segs[len(l.segs)-1].path
 	if _, err := l.f.Write(rec); err != nil {
-		l.failed = err
-		return 0, err
+		l.failed = &IOError{Op: "write", Path: path, Err: err}
+		return 0, l.failed
 	}
 	l.size += int64(len(rec))
 	if l.opts.Fsync {
 		if err := l.f.Sync(); err != nil {
-			l.failed = err
-			return 0, err
+			l.failed = &IOError{Op: "fsync", Path: path, Err: err}
+			return 0, l.failed
 		}
 	}
 	lsn := l.next
 	l.next++
 	return lsn, nil
+}
+
+// Failed reports the sticky disk error that poisoned the log, or nil.
+func (l *Log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
 }
 
 // Sync flushes the newest segment to stable storage.
@@ -348,7 +394,7 @@ func (l *Log) Replay(from LSN, fn func(lsn LSN, payload []byte) error) error {
 		if i+1 < len(segs) && segs[i+1].first <= from {
 			continue // every record of this segment is below from
 		}
-		f, err := os.Open(seg.path)
+		f, err := l.fs.Open(seg.path)
 		if err != nil {
 			return err
 		}
@@ -363,7 +409,9 @@ func (l *Log) Replay(from LSN, fn func(lsn LSN, payload []byte) error) error {
 		})
 		closeErr := f.Close()
 		if err != nil {
-			return err
+			// Name the segment so a failed replay diagnoses which file to
+			// inspect, not just which LSN.
+			return fmt.Errorf("segment %s: %w", filepath.Base(seg.path), err)
 		}
 		if closeErr != nil {
 			return closeErr
@@ -392,7 +440,7 @@ func (l *Log) TruncateBefore(lsn LSN) (int, error) {
 	kept := l.segs[:0]
 	for i, seg := range l.segs {
 		if i+1 < len(l.segs) && l.segs[i+1].first <= lsn {
-			if err := os.Remove(seg.path); err != nil {
+			if err := l.fs.Remove(seg.path); err != nil {
 				kept = append(kept, l.segs[i:]...)
 				l.segs = kept
 				return removed, err

@@ -266,10 +266,14 @@ func Register(specs ...serve.WorkerSpec) Step {
 	}
 }
 
-// Ingest feeds one batch of graded vote events.
+// Ingest feeds one batch of graded vote events. The Idempotency-Key is
+// drawn once at construction, so driving the same Step into the durable
+// run and the in-memory reference journals identical records — the
+// dedup-key state is part of the bit-exact recovery contract.
 func Ingest(events ...serve.VoteEvent) Step {
+	key := serve.NewIdempotencyKey()
 	return func(e *Env) error {
-		_, err := e.Client.IngestVotes(context.Background(), events)
+		_, err := e.Client.IngestVotesKeyed(context.Background(), events, key)
 		return err
 	}
 }
@@ -344,10 +348,12 @@ func RegisterMulti(pool string, specs ...serve.MultiWorkerSpec) Step {
 	}
 }
 
-// MultiIngest feeds one batch of graded multi-label vote events.
+// MultiIngest feeds one batch of graded multi-label vote events, under
+// one construction-time Idempotency-Key (see Ingest).
 func MultiIngest(pool string, events ...serve.MultiVoteEvent) Step {
+	key := serve.NewIdempotencyKey()
 	return func(e *Env) error {
-		_, err := e.Client.IngestMultiVotes(context.Background(), pool, events)
+		_, err := e.Client.IngestMultiVotesKeyed(context.Background(), pool, events, key)
 		return err
 	}
 }

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	mrand "math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/server"
+)
+
+// RetryPolicy governs how the client retries failed requests.
+//
+// Two failure classes retry:
+//
+//   - Retryable statuses (429 overload shed, 503 degraded/draining/deadline)
+//     retry for every request: a non-2xx reply proves the mutation was not
+//     applied, so replaying it is always safe.
+//   - Transport errors (connection refused, reset, timeout) mean the reply
+//     was lost and the server may or may not have applied the request.
+//     These retry only for idempotent requests: reads, selections (cached,
+//     side-effect-free), and keyed ingests — the server deduplicates an
+//     Idempotency-Key, so a blind replay applies exactly once.
+//
+// Delays are exponential with full jitter: attempt n sleeps a uniform
+// random duration in (0, min(BaseDelay·2ⁿ, MaxDelay)]. A Retry-After
+// header on a 429/503 overrides the backoff, capped at MaxDelay.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (first attempt included); values
+	// below 1 mean a single attempt, i.e. retries off.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff.
+	BaseDelay time.Duration
+	// MaxDelay caps each backoff sleep (and any honored Retry-After).
+	MaxDelay time.Duration
+	// PerTryTimeout bounds each individual attempt; 0 leaves attempts
+	// governed only by the caller's context.
+	PerTryTimeout time.Duration
+}
+
+// DefaultRetryPolicy is the policy NewClient starts with: 4 attempts,
+// 50ms base delay, 2s cap, no per-try timeout.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// WithRetry replaces the client's retry policy and returns c. Use
+// RetryPolicy{MaxAttempts: 1} to disable retries entirely.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = p
+	return c
+}
+
+// NewIdempotencyKey returns a fresh random key for the Idempotency-Key
+// header (128 bits, hex). The keyed ingest methods call it automatically;
+// it is exported for callers that persist keys across process restarts to
+// make their own retries exact-once.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("serve: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// callOpts classifies one request for the retry loop.
+type callOpts struct {
+	// idempotent marks the request safe to replay after a lost reply.
+	idempotent bool
+	// key is sent as the Idempotency-Key header; a non-empty key makes
+	// the request idempotent by server-side deduplication.
+	key string
+}
+
+// attempts returns the bounded try count.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the sleep before retry number attempt (0-based): the
+// server's Retry-After when it gave one, else full-jitter exponential
+// backoff. Both are capped at MaxDelay.
+func (p RetryPolicy) delay(attempt int, retryAfter time.Duration) time.Duration {
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	if retryAfter > 0 {
+		return min(retryAfter, maxd)
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << attempt
+	if d <= 0 || d > maxd { // overflow or past the cap
+		d = maxd
+	}
+	return time.Duration(mrand.Int64N(int64(d))) + 1
+}
+
+// retryableStatus reports whether a non-2xx status is worth retrying:
+// 429 (admission control shed) and 503 (degraded, draining, or deadline
+// exceeded) are transient by contract; everything else is the caller's
+// bug or a permanent condition.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// shouldRetry classifies one attempt's error.
+func shouldRetry(err error, opts callOpts) (retry bool, retryAfter time.Duration) {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return retryableStatus(apiErr.Status), apiErr.RetryAfter
+	}
+	// Transport error, or a per-try timeout: the reply was lost, so the
+	// server may have applied the request — replay only when that is safe.
+	return opts.idempotent || opts.key != "", 0
+}
+
+// call runs one JSON request through the retry loop. in may be nil (no
+// body); out may be nil (discard body).
+func (c *Client) call(ctx context.Context, method, path string, in, out any, opts callOpts) error {
+	var data []byte
+	if in != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.retry.attempts(); attempt++ {
+		if attempt > 0 {
+			var after time.Duration
+			if retry, ra := shouldRetry(lastErr, opts); retry {
+				after = ra
+			}
+			t := time.NewTimer(c.retry.delay(attempt-1, after))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return lastErr
+			case <-t.C:
+			}
+		}
+		err := c.once(ctx, method, path, data, out, opts)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if retry, _ := shouldRetry(err, opts); !retry {
+			return err
+		}
+		if ctx.Err() != nil {
+			// The caller's deadline is spent; further attempts would only
+			// fail the same way.
+			return err
+		}
+	}
+	return lastErr
+}
+
+// once runs a single HTTP attempt.
+func (c *Client) once(ctx context.Context, method, path string, data []byte, out any, opts callOpts) error {
+	if c.retry.PerTryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.retry.PerTryTimeout)
+		defer cancel()
+	}
+	var body io.Reader
+	if data != nil {
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if data != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if opts.key != "" {
+		req.Header.Set("Idempotency-Key", opts.key)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr server.ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{
+			Status:     resp.StatusCode,
+			Message:    msg,
+			RetryAfter: retryAfterOf(resp.Header),
+		}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// retryAfterOf parses a Retry-After header given in seconds; HTTP-date
+// values and garbage yield 0 (use backoff).
+func retryAfterOf(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

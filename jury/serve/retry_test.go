@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// fastRetry is a test policy with negligible backoff.
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+	}
+}
+
+func TestRetryOn503ThenSuccess(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "draining"})
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(server.RegisterResponse{Registered: 1, PoolSize: 1})
+	}))
+	t.Cleanup(ts.Close)
+
+	// A plain POST mutation: 503 proves it was not applied, so even
+	// non-idempotent requests retry through it.
+	c := NewClient(ts.URL).WithRetry(fastRetry(4))
+	if err := c.RegisterWorkers(context.Background(), []WorkerSpec{{ID: "a", Quality: 0.8, Cost: 1}}); err != nil {
+		t.Fatalf("register through 503s: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+func TestRetryExhaustionSurfacesAPIError(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "overloaded"})
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL).WithRetry(fastRetry(3))
+	_, err := c.Select(context.Background(), SelectRequest{Budget: 5})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want APIError 429", err)
+	}
+	if apiErr.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", apiErr.RetryAfter)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want MaxAttempts=3", got)
+	}
+}
+
+func TestNonRetryableStatusFailsFast(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "no such worker"})
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL).WithRetry(fastRetry(4))
+	if _, err := c.Worker(context.Background(), "ghost"); err == nil {
+		t.Fatal("want error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for a 404, want 1", got)
+	}
+}
+
+// TestLostReplyRetriesOnlyIdempotent drops the first connection of each
+// request without a reply — the case where the client cannot know
+// whether the server applied the mutation.
+func TestLostReplyRetriesOnlyIdempotent(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("response writer is not a hijacker")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Errorf("hijack: %v", err)
+				return
+			}
+			conn.Close() // client sees EOF / connection reset
+			return
+		}
+		json.NewEncoder(w).Encode(server.IngestResponse{Ingested: 1})
+	}))
+	t.Cleanup(ts.Close)
+	// Keep each attempt on a fresh connection so the hijacked close is
+	// observed as this request's failure.
+	transport := &http.Transport{DisableKeepAlives: true}
+	t.Cleanup(transport.CloseIdleConnections)
+
+	// Keyed ingest: idempotent, so the lost reply is retried and the
+	// second attempt lands.
+	c := NewClient(ts.URL).WithRetry(fastRetry(4)).WithHTTPClient(&http.Client{Transport: transport})
+	if _, err := c.IngestVote(context.Background(), VoteEvent{WorkerID: "a", Correct: true}); err != nil {
+		t.Fatalf("keyed ingest through lost reply: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+
+	// An unkeyed POST mutation (session vote) must NOT be replayed: the
+	// transport error surfaces to the caller on the first attempt.
+	calls.Store(0)
+	_, err := c.SessionVote(context.Background(), "s1", "a", 1)
+	if err == nil {
+		t.Fatal("unkeyed mutation with lost reply should fail")
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		t.Fatalf("want transport error, got API error %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts for unkeyed mutation, want 1", got)
+	}
+}
+
+func TestIngestGeneratesIdempotencyKeys(t *testing.T) {
+	keys := make(chan string, 2)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		keys <- r.Header.Get("Idempotency-Key")
+		json.NewEncoder(w).Encode(server.IngestResponse{Ingested: 1})
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+	if _, err := c.IngestVote(ctx, VoteEvent{WorkerID: "a", Correct: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.IngestVotes(ctx, []VoteEvent{{WorkerID: "a", Correct: true}}); err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := <-keys, <-keys
+	if len(k1) != 32 || len(k2) != 32 {
+		t.Fatalf("keys %q, %q: want 32 hex chars", k1, k2)
+	}
+	if k1 == k2 {
+		t.Fatalf("two ingests shared key %q", k1)
+	}
+}
+
+// TestKeyedRetryAgainstRealServer replays the same keyed batch into a
+// live daemon and checks the second reply is flagged Duplicate with the
+// vote applied exactly once.
+func TestKeyedRetryAgainstRealServer(t *testing.T) {
+	ctx := context.Background()
+	c := newClient(t)
+	if err := c.RegisterWorkers(ctx, []WorkerSpec{{ID: "ann", Quality: 0.8, Cost: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	key := NewIdempotencyKey()
+	first, err := c.IngestVoteKeyed(ctx, VoteEvent{WorkerID: "ann", Correct: true}, key)
+	if err != nil || first.Ingested != 1 || first.Duplicate {
+		t.Fatalf("first keyed ingest = %+v, %v", first, err)
+	}
+	second, err := c.IngestVoteKeyed(ctx, VoteEvent{WorkerID: "ann", Correct: true}, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Duplicate || second.Ingested != 0 {
+		t.Fatalf("replay = %+v, want Duplicate with 0 ingested", second)
+	}
+	w, err := c.Worker(ctx, "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Votes != 1 {
+		t.Fatalf("ann has %d votes after replayed ingest, want 1", w.Votes)
+	}
+}
+
+func TestPerTryTimeout(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			select {
+			case <-release:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		json.NewEncoder(w).Encode(server.ListResponse{})
+	}))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { close(release) })
+
+	p := fastRetry(2)
+	p.PerTryTimeout = 50 * time.Millisecond
+	c := NewClient(ts.URL).WithRetry(p)
+	start := time.Now()
+	if _, err := c.Workers(context.Background()); err != nil {
+		t.Fatalf("list through stalled first try: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("took %v; per-try timeout did not fire", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+}

@@ -15,14 +15,13 @@
 package serve
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"repro/internal/server"
 	"repro/internal/voting"
@@ -88,16 +87,29 @@ type (
 
 // Client talks to one juryd daemon. The zero value is not usable; create
 // with NewClient.
+//
+// The client is retry-safe by construction: transient failures (429
+// shed, 503 degraded/draining, lost replies on idempotent requests)
+// retry automatically under the client's RetryPolicy, and every vote
+// ingest carries a generated Idempotency-Key so a replay the server
+// already applied is deduplicated rather than double-counted. See
+// RetryPolicy for the exact classification.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // NewClient returns a client for the daemon at baseURL (e.g.
-// "http://localhost:8700"). The default http.Client is used; use
-// WithHTTPClient for custom transports or timeouts.
+// "http://localhost:8700"). The default http.Client and retry policy
+// are used; use WithHTTPClient for custom transports or timeouts and
+// WithRetry to tune or disable retries.
 func NewClient(baseURL string) *Client {
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: http.DefaultClient}
+	return &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		http:  http.DefaultClient,
+		retry: DefaultRetryPolicy(),
+	}
 }
 
 // WithHTTPClient substitutes the underlying HTTP client and returns c.
@@ -110,6 +122,9 @@ func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's Retry-After hint, when it gave one
+	// (overload sheds and degraded/draining 503s do).
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -117,42 +132,19 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("juryd: %d: %s", e.Status, e.Message)
 }
 
-// do runs one JSON request. in may be nil (no body); out may be nil
-// (discard body).
+// do runs one JSON request through the retry loop. in may be nil (no
+// body); out may be nil (discard body). GET, PUT and DELETE are
+// idempotent by HTTP semantics; a POST must opt in via doIdem (read-only
+// selections) or a keyed call (deduplicated ingests).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
-	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
-			return err
-		}
-		body = bytes.NewReader(data)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		var apiErr server.ErrorResponse
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			msg = apiErr.Error
-		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
-	}
-	if out == nil {
-		io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return c.call(ctx, method, path, in, out, callOpts{idempotent: method != http.MethodPost})
+}
+
+// doIdem runs one JSON request that is idempotent regardless of method —
+// POST routes that only read (selections, JQ evaluations), which the
+// daemon answers from pure registry state and its selection cache.
+func (c *Client) doIdem(ctx context.Context, method, path string, in, out any) error {
+	return c.call(ctx, method, path, in, out, callOpts{idempotent: true})
 }
 
 // RegisterWorkers registers a batch of new workers.
@@ -186,24 +178,42 @@ func (c *Client) RemoveWorker(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/workers/"+url.PathEscape(id), nil, nil)
 }
 
-// IngestVote feeds one graded vote event into the daemon.
+// IngestVote feeds one graded vote event into the daemon, under a fresh
+// Idempotency-Key so retries (the client's own or the caller's) apply it
+// exactly once.
 func (c *Client) IngestVote(ctx context.Context, ev VoteEvent) (IngestResponse, error) {
+	return c.IngestVoteKeyed(ctx, ev, NewIdempotencyKey())
+}
+
+// IngestVoteKeyed feeds one graded vote event under a caller-chosen
+// Idempotency-Key (see NewIdempotencyKey). Response.Duplicate reports a
+// replay the server had already applied.
+func (c *Client) IngestVoteKeyed(ctx context.Context, ev VoteEvent, key string) (IngestResponse, error) {
 	var out IngestResponse
-	err := c.do(ctx, http.MethodPost, "/v1/votes", ev, &out)
+	err := c.call(ctx, http.MethodPost, "/v1/votes", ev, &out, callOpts{key: key})
 	return out, err
 }
 
-// IngestVotes feeds a batch of graded vote events atomically.
+// IngestVotes feeds a batch of graded vote events atomically, under a
+// fresh Idempotency-Key so retries apply the batch exactly once.
 func (c *Client) IngestVotes(ctx context.Context, events []VoteEvent) (IngestResponse, error) {
+	return c.IngestVotesKeyed(ctx, events, NewIdempotencyKey())
+}
+
+// IngestVotesKeyed feeds a batch atomically under a caller-chosen
+// Idempotency-Key.
+func (c *Client) IngestVotesKeyed(ctx context.Context, events []VoteEvent, key string) (IngestResponse, error) {
 	var out IngestResponse
-	err := c.do(ctx, http.MethodPost, "/v1/votes/batch", server.IngestRequest{Events: events}, &out)
+	err := c.call(ctx, http.MethodPost, "/v1/votes/batch",
+		server.IngestRequest{Events: events}, &out, callOpts{key: key})
 	return out, err
 }
 
 // Select solves the Jury Selection Problem on the daemon's current pool.
+// Selections are read-only, so lost replies retry transparently.
 func (c *Client) Select(ctx context.Context, req SelectRequest) (SelectResponse, error) {
 	var out SelectResponse
-	err := c.do(ctx, http.MethodPost, "/v1/select", req, &out)
+	err := c.doIdem(ctx, http.MethodPost, "/v1/select", req, &out)
 	return out, err
 }
 
@@ -211,7 +221,7 @@ func (c *Client) Select(ctx context.Context, req SelectRequest) (SelectResponse,
 // req.Budgets[i].
 func (c *Client) SelectBatch(ctx context.Context, req BatchSelectRequest) ([]SelectResponse, error) {
 	var out server.BatchSelectResponse
-	err := c.do(ctx, http.MethodPost, "/v1/select/batch", req, &out)
+	err := c.doIdem(ctx, http.MethodPost, "/v1/select/batch", req, &out)
 	return out.Selections, err
 }
 
@@ -280,11 +290,18 @@ func (c *Client) RegisterMultiWorkers(ctx context.Context, pool string, specs []
 
 // IngestMultiVotes feeds a batch of graded multi-label vote events
 // atomically; each is one Dirichlet posterior step on the voting
-// worker's confusion matrix.
+// worker's confusion matrix. The batch carries a fresh Idempotency-Key
+// so retries apply it exactly once.
 func (c *Client) IngestMultiVotes(ctx context.Context, pool string, events []MultiVoteEvent) (MultiIngestResponse, error) {
+	return c.IngestMultiVotesKeyed(ctx, pool, events, NewIdempotencyKey())
+}
+
+// IngestMultiVotesKeyed feeds a multi-label batch under a caller-chosen
+// Idempotency-Key.
+func (c *Client) IngestMultiVotesKeyed(ctx context.Context, pool string, events []MultiVoteEvent, key string) (MultiIngestResponse, error) {
 	var out MultiIngestResponse
-	err := c.do(ctx, http.MethodPost, "/v1/multi/pools/"+url.PathEscape(pool)+"/votes",
-		server.MultiIngestRequest{Events: events}, &out)
+	err := c.call(ctx, http.MethodPost, "/v1/multi/pools/"+url.PathEscape(pool)+"/votes",
+		server.MultiIngestRequest{Events: events}, &out, callOpts{key: key})
 	return out, err
 }
 
@@ -292,7 +309,7 @@ func (c *Client) IngestMultiVotes(ctx context.Context, pool string, events []Mul
 // pool's current state.
 func (c *Client) MultiSelect(ctx context.Context, pool string, req MultiSelectRequest) (MultiSelectResponse, error) {
 	var out MultiSelectResponse
-	err := c.do(ctx, http.MethodPost, "/v1/multi/pools/"+url.PathEscape(pool)+"/select", req, &out)
+	err := c.doIdem(ctx, http.MethodPost, "/v1/multi/pools/"+url.PathEscape(pool)+"/select", req, &out)
 	return out, err
 }
 
@@ -300,7 +317,7 @@ func (c *Client) MultiSelect(ctx context.Context, pool string, req MultiSelectRe
 // pool, under the optimal (Bayesian) strategy.
 func (c *Client) MultiJQ(ctx context.Context, pool string, req MultiJQRequest) (MultiJQResponse, error) {
 	var out MultiJQResponse
-	err := c.do(ctx, http.MethodPost, "/v1/multi/pools/"+url.PathEscape(pool)+"/jq", req, &out)
+	err := c.doIdem(ctx, http.MethodPost, "/v1/multi/pools/"+url.PathEscape(pool)+"/jq", req, &out)
 	return out, err
 }
 
