@@ -10,6 +10,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -365,10 +366,12 @@ func BenchmarkAblationSweepParallel(b *testing.B) {
 // the selection cache on and off. The cached variant answers every
 // repeated request from the signature-keyed cache; the uncached variant
 // re-runs the annealing search per request — the gap is the amortization
-// the serving subsystem exists to provide.
+// the serving subsystem exists to provide. The cached-untraced variant
+// disables request tracing (TraceBuffer: -1); comparing it against
+// cached bounds the span recorder's overhead on the hottest path.
 func BenchmarkServerSelect(b *testing.B) {
-	run := func(b *testing.B, cacheSize int) {
-		srv := server.New(server.Config{Alpha: 0.5, Seed: 1, CacheSize: cacheSize})
+	run := func(b *testing.B, cacheSize, traceBuffer int) {
+		srv := server.New(server.Config{Alpha: 0.5, Seed: 1, CacheSize: cacheSize, TraceBuffer: traceBuffer})
 		rng := rand.New(rand.NewSource(42))
 		specs := make([]server.WorkerSpec, 60)
 		for i := range specs {
@@ -378,7 +381,7 @@ func BenchmarkServerSelect(b *testing.B) {
 				Cost:    1 + 9*rng.Float64(),
 			}
 		}
-		if _, err := srv.Registry().Register(specs, 0); err != nil {
+		if _, err := srv.Registry().Register(context.Background(), specs, 0); err != nil {
 			b.Fatal(err)
 		}
 		h := srv.Handler()
@@ -394,8 +397,9 @@ func BenchmarkServerSelect(b *testing.B) {
 			}
 		}
 	}
-	b.Run("cached", func(b *testing.B) { run(b, 0) })
-	b.Run("uncached", func(b *testing.B) { run(b, -1) })
+	b.Run("cached", func(b *testing.B) { run(b, 0, 0) })
+	b.Run("cached-untraced", func(b *testing.B) { run(b, 0, -1) })
+	b.Run("uncached", func(b *testing.B) { run(b, -1, 0) })
 }
 
 // BenchmarkServerMultiSelect measures the multi-choice serving path end

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/amt"
+	"repro/jury/serve"
+
+	"context"
+)
+
+// benchSchema names the BENCH JSON layout; CI validates against it so a
+// drifting writer fails loudly instead of producing an artifact nobody
+// can compare.
+const benchSchema = "juryd-bench/1"
+
+// BenchRouteStats is one route's latency profile from a load run.
+type BenchRouteStats struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// BenchReport is the BENCH_baseline.json document: a recorded perf
+// baseline from a closed-loop crowdsim run against a live juryd.
+type BenchReport struct {
+	Schema          string                     `json:"schema"`
+	Timestamp       string                     `json:"timestamp"`
+	Target          string                     `json:"target"`
+	DurationSeconds float64                    `json:"duration_seconds"`
+	Concurrency     int                        `json:"concurrency"`
+	PoolSize        int                        `json:"pool_size"`
+	Routes          map[string]BenchRouteStats `json:"routes"`
+	SelectsPerSec   float64                    `json:"selects_per_sec"`
+	IngestsPerSec   float64                    `json:"ingests_per_sec"`
+	CacheHitRate    float64                    `json:"cache_hit_rate"`
+	// WALFsyncP99Ms is estimated from the daemon's juryd_wal_fsync_seconds
+	// histogram; -1 when the daemon runs without -fsync (no fsync spans).
+	WALFsyncP99Ms float64 `json:"wal_fsync_p99_ms"`
+}
+
+// loadConfig parameterizes one closed-loop load run.
+type loadConfig struct {
+	target      string
+	duration    time.Duration
+	concurrency int
+	workers     int
+	seed        int64
+	benchOut    string
+}
+
+// runLoad registers a simulated worker pool on the target daemon, then
+// drives a closed loop — each goroutine alternates cached selects,
+// uncached selects (budget changes after ingests), and vote-batch
+// ingests — and writes the measured baseline as JSON.
+func runLoad(cfg loadConfig, out io.Writer) error {
+	cli := serve.NewClient(cfg.target)
+	ctx := context.Background()
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	specs := make([]serve.WorkerSpec, cfg.workers)
+	for i := range specs {
+		specs[i] = serve.WorkerSpec{
+			ID:      fmt.Sprintf("sim-%03d", i),
+			Quality: 0.55 + 0.4*rng.Float64(),
+			Cost:    float64(1 + rng.Intn(5)),
+		}
+	}
+	if err := cli.RegisterWorkers(ctx, specs); err != nil {
+		return fmt.Errorf("register pool: %w", err)
+	}
+
+	before, err := cacheCounters(ctx, cli)
+	if err != nil {
+		return fmt.Errorf("read metrics before run: %w", err)
+	}
+
+	type sample struct {
+		route string
+		d     time.Duration
+		err   bool
+	}
+	var mu sync.Mutex
+	var samples []sample
+	budgets := []float64{5, 10, 15, 20}
+
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lrng := rand.New(rand.NewSource(cfg.seed + int64(g) + 1))
+			local := make([]sample, 0, 1024)
+			for i := 0; time.Now().Before(deadline); i++ {
+				// Mostly selects (the serving hot path); every 8th
+				// iteration ingests a vote batch, which both exercises
+				// the WAL path and invalidates the selection cache.
+				if i%8 == 7 {
+					events := []serve.VoteEvent{{
+						WorkerID: specs[lrng.Intn(len(specs))].ID,
+						Correct:  lrng.Float64() < 0.7,
+					}}
+					start := time.Now()
+					_, err := cli.IngestVotes(ctx, events)
+					local = append(local, sample{"POST /v1/votes/batch", time.Since(start), err != nil})
+					continue
+				}
+				req := serve.SelectRequest{Budget: budgets[lrng.Intn(len(budgets))]}
+				start := time.Now()
+				_, err := cli.Select(ctx, req)
+				local = append(local, sample{"POST /v1/select", time.Since(start), err != nil})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+
+	after, err := cacheCounters(ctx, cli)
+	if err != nil {
+		return fmt.Errorf("read metrics after run: %w", err)
+	}
+
+	report := BenchReport{
+		Schema:          benchSchema,
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		Target:          cfg.target,
+		DurationSeconds: cfg.duration.Seconds(),
+		Concurrency:     cfg.concurrency,
+		PoolSize:        cfg.workers,
+		Routes:          map[string]BenchRouteStats{},
+		WALFsyncP99Ms:   -1,
+	}
+	byRoute := map[string][]time.Duration{}
+	errs := map[string]int{}
+	for _, s := range samples {
+		if s.err {
+			errs[s.route]++
+			continue
+		}
+		byRoute[s.route] = append(byRoute[s.route], s.d)
+	}
+	for route, ds := range byRoute {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		report.Routes[route] = BenchRouteStats{
+			Count:  len(ds),
+			Errors: errs[route],
+			P50Ms:  quantileMs(ds, 0.50),
+			P95Ms:  quantileMs(ds, 0.95),
+			P99Ms:  quantileMs(ds, 0.99),
+		}
+	}
+	secs := cfg.duration.Seconds()
+	report.SelectsPerSec = float64(len(byRoute["POST /v1/select"])) / secs
+	report.IngestsPerSec = float64(len(byRoute["POST /v1/votes/batch"])) / secs
+	if hits, misses := after.hits-before.hits, after.misses-before.misses; hits+misses > 0 {
+		report.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	if p99, ok := fsyncP99(after.metrics); ok {
+		report.WALFsyncP99Ms = p99 * 1000
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if cfg.benchOut != "" {
+		if err := os.WriteFile(cfg.benchOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "crowdsim: wrote baseline to %s (%d selects, %d ingests)\n",
+			cfg.benchOut, len(byRoute["POST /v1/select"]), len(byRoute["POST /v1/votes/batch"]))
+	} else {
+		out.Write(data)
+	}
+	return validateBench(data)
+}
+
+// quantileMs returns the q-quantile of sorted durations, in milliseconds.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// counterState is a snapshot of the cache counters plus the raw metrics
+// text for histogram digging.
+type counterState struct {
+	hits, misses int64
+	metrics      string
+}
+
+var counterLine = regexp.MustCompile(`(?m)^(juryd_cache_hits_total|juryd_cache_misses_total) (\d+)$`)
+
+// cacheCounters scrapes the daemon's cache hit/miss counters.
+func cacheCounters(ctx context.Context, cli *serve.Client) (counterState, error) {
+	text, err := cli.Metrics(ctx)
+	if err != nil {
+		return counterState{}, err
+	}
+	st := counterState{metrics: text}
+	for _, m := range counterLine.FindAllStringSubmatch(text, -1) {
+		v, _ := strconv.ParseInt(m[2], 10, 64)
+		switch m[1] {
+		case "juryd_cache_hits_total":
+			st.hits = v
+		case "juryd_cache_misses_total":
+			st.misses = v
+		}
+	}
+	return st, nil
+}
+
+var fsyncBucketLine = regexp.MustCompile(`(?m)^juryd_wal_fsync_seconds_bucket\{le="([^"]+)"\} (\d+)$`)
+
+// fsyncP99 estimates the 99th-percentile WAL fsync latency (seconds)
+// from the daemon's cumulative histogram: the smallest bucket bound
+// whose cumulative count covers 99% of observations.
+func fsyncP99(metrics string) (float64, bool) {
+	type bucket struct {
+		le    float64
+		count int64
+	}
+	var buckets []bucket
+	var total int64
+	for _, m := range fsyncBucketLine.FindAllStringSubmatch(metrics, -1) {
+		c, _ := strconv.ParseInt(m[2], 10, 64)
+		if m[1] == "+Inf" {
+			total = c
+			continue
+		}
+		le, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			continue
+		}
+		buckets = append(buckets, bucket{le, c})
+	}
+	if total == 0 {
+		return 0, false
+	}
+	need := int64(float64(total) * 0.99)
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	for _, b := range buckets {
+		if b.count >= need {
+			return b.le, true
+		}
+	}
+	// Everything above the largest finite bound; report that bound.
+	if len(buckets) > 0 {
+		return buckets[len(buckets)-1].le, true
+	}
+	return 0, false
+}
+
+// validateBench checks a BENCH document against the juryd-bench/1
+// contract: right schema tag, at least one route with sane ordered
+// percentiles, and a positive select rate. CI runs this over the
+// artifact so a malformed baseline fails the job instead of landing.
+func validateBench(data []byte) error {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("bench document is not JSON: %w", err)
+	}
+	if r.Schema != benchSchema {
+		return fmt.Errorf("bench schema is %q, want %q", r.Schema, benchSchema)
+	}
+	if r.Timestamp == "" {
+		return fmt.Errorf("bench document has no timestamp")
+	}
+	if len(r.Routes) == 0 {
+		return fmt.Errorf("bench document has no routes")
+	}
+	sel, ok := r.Routes["POST /v1/select"]
+	if !ok {
+		return fmt.Errorf("bench document is missing the POST /v1/select route")
+	}
+	for route, st := range r.Routes {
+		if st.Count <= 0 {
+			return fmt.Errorf("route %s: count %d, want > 0", route, st.Count)
+		}
+		if st.P50Ms < 0 || st.P50Ms > st.P95Ms || st.P95Ms > st.P99Ms {
+			return fmt.Errorf("route %s: percentiles not ordered (p50 %g, p95 %g, p99 %g)",
+				route, st.P50Ms, st.P95Ms, st.P99Ms)
+		}
+	}
+	if sel.Count > 0 && r.SelectsPerSec <= 0 {
+		return fmt.Errorf("selects_per_sec %g with %d selects recorded", r.SelectsPerSec, sel.Count)
+	}
+	if r.CacheHitRate < 0 || r.CacheHitRate > 1 {
+		return fmt.Errorf("cache_hit_rate %g outside [0,1]", r.CacheHitRate)
+	}
+	return nil
+}
+
+// validateBenchFile runs validateBench over a file, for the CI artifact
+// gate.
+func validateBenchFile(path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := validateBench(data); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Fprintf(out, "crowdsim: %s is a valid %s document\n", path, benchSchema)
+	return nil
+}
+
+// defaultLoadWorkers sizes the registered pool for load runs: big enough
+// to make selection non-trivial, small enough to register instantly.
+const defaultLoadWorkers = amt.DefaultNumWorkers

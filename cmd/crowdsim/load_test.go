@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestLoadPhaseProducesValidBaseline boots an in-process juryd, runs a
+// short closed loop against it, and checks the emitted document parses,
+// validates, and carries real measurements.
+func TestLoadPhaseProducesValidBaseline(t *testing.T) {
+	srv := server.New(server.NewConfig())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := runLoad(loadConfig{
+		target:      ts.URL,
+		duration:    300 * time.Millisecond,
+		concurrency: 4,
+		workers:     32,
+		seed:        1,
+		benchOut:    outPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validateBench(data); err != nil {
+		t.Fatalf("emitted baseline fails validation: %v", err)
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	sel := r.Routes["POST /v1/select"]
+	if sel.Count == 0 || sel.P99Ms <= 0 {
+		t.Errorf("select route not measured: %+v", sel)
+	}
+	if _, ok := r.Routes["POST /v1/votes/batch"]; !ok {
+		t.Errorf("ingest route not measured: %v", r.Routes)
+	}
+	// Repeated same-budget selections on a pool mutated only every 8th
+	// request must hit the cache often.
+	if r.CacheHitRate <= 0 {
+		t.Errorf("cache hit rate %g, want > 0", r.CacheHitRate)
+	}
+	// No -fsync on the in-memory server: fsync p99 must report absent.
+	if r.WALFsyncP99Ms != -1 {
+		t.Errorf("wal_fsync_p99_ms = %g on a non-durable server, want -1", r.WALFsyncP99Ms)
+	}
+
+	// The -validate entry point accepts the same file.
+	out.Reset()
+	if err := run([]string{"-validate", outPath}, &out); err != nil {
+		t.Fatalf("crowdsim -validate: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid") {
+		t.Errorf("-validate output = %q", out.String())
+	}
+}
+
+func TestValidateBenchRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"wrong schema":    `{"schema":"other/9","timestamp":"t","routes":{"POST /v1/select":{"count":1}}}`,
+		"no timestamp":    `{"schema":"juryd-bench/1","routes":{"POST /v1/select":{"count":1}}}`,
+		"no routes":       `{"schema":"juryd-bench/1","timestamp":"t","routes":{}}`,
+		"missing select":  `{"schema":"juryd-bench/1","timestamp":"t","routes":{"POST /v1/votes/batch":{"count":1}}}`,
+		"zero count":      `{"schema":"juryd-bench/1","timestamp":"t","routes":{"POST /v1/select":{"count":0}}}`,
+		"bad percentiles": `{"schema":"juryd-bench/1","timestamp":"t","selects_per_sec":1,"routes":{"POST /v1/select":{"count":1,"p50_ms":9,"p95_ms":2,"p99_ms":3}}}`,
+		"bad hit rate":    `{"schema":"juryd-bench/1","timestamp":"t","selects_per_sec":1,"cache_hit_rate":1.5,"routes":{"POST /v1/select":{"count":1,"p50_ms":1,"p95_ms":2,"p99_ms":3}}}`,
+	}
+	for name, doc := range cases {
+		if err := validateBench([]byte(doc)); err == nil {
+			t.Errorf("%s: validateBench accepted %s", name, doc)
+		}
+	}
+}
+
+func TestValidateBenchFileMissing(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-validate", filepath.Join(t.TempDir(), "absent.json")}, &out); err == nil {
+		t.Fatal("validating a missing file succeeded")
+	}
+}

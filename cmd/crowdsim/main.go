@@ -9,6 +9,15 @@
 //	crowdsim -stats
 //	crowdsim -estimate -seed 7
 //	crowdsim -export answers.csv
+//	crowdsim -load http://127.0.0.1:8700 -load-duration 10s -bench-out BENCH_baseline.json
+//	crowdsim -validate BENCH_baseline.json
+//
+// The -load mode registers a simulated worker pool on a live juryd and
+// drives a closed loop of selections and vote ingests against it,
+// recording per-route latency percentiles, throughput, cache hit rate,
+// and the daemon-side WAL fsync p99 into a juryd-bench/1 JSON document
+// (the committed BENCH_baseline.json). -validate checks such a document
+// and exits non-zero if it is malformed; CI gates the artifact on it.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/amt"
 	"repro/internal/quality"
@@ -40,12 +50,34 @@ func run(args []string, out io.Writer) error {
 		exportPath = fs.String("export", "", "write the answer matrix to this CSV file")
 		workers    = fs.Int("workers", amt.DefaultNumWorkers, "number of simulated workers")
 		tasks      = fs.Int("tasks", amt.DefaultNumTasks, "number of simulated tasks")
+
+		loadTarget = fs.String("load", "",
+			"run a closed-loop load phase against the juryd at this base URL (e.g. http://127.0.0.1:8700)")
+		loadDuration = fs.Duration("load-duration", 5*time.Second, "how long the load phase runs")
+		loadConc     = fs.Int("load-concurrency", 8, "closed-loop client goroutines for the load phase")
+		benchOut     = fs.String("bench-out", "",
+			"write the load phase's baseline report to this JSON file (empty = stdout)")
+		validate = fs.String("validate", "",
+			"validate an existing juryd-bench JSON document and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *validate != "" {
+		return validateBenchFile(*validate, out)
+	}
+	if *loadTarget != "" {
+		return runLoad(loadConfig{
+			target:      *loadTarget,
+			duration:    *loadDuration,
+			concurrency: *loadConc,
+			workers:     min(*workers, defaultLoadWorkers),
+			seed:        *seed,
+			benchOut:    *benchOut,
+		}, out)
+	}
 	if !*showStats && !*estimate && *exportPath == "" {
-		return fmt.Errorf("nothing to do: pass -stats, -estimate, and/or -export <file>")
+		return fmt.Errorf("nothing to do: pass -stats, -estimate, -export <file>, -load <url>, or -validate <file>")
 	}
 
 	cfg := amt.DefaultConfig()

@@ -10,6 +10,7 @@
 //	      [-multi-pool mpool.json] [-labels 0]
 //	      [-data-dir dir] [-snapshot-interval 1m] [-fsync]
 //	      [-max-inflight 0] [-request-timeout 0]
+//	      [-debug-addr 127.0.0.1:0] [-log-level info] [-trace-buffer 0]
 //
 // The optional -pool file preloads the registry:
 //
@@ -37,6 +38,7 @@
 //	GET  /healthz                 liveness + pool/session counts
 //	GET  /metrics                 Prometheus-style counters
 //	GET  /debug/persistence       durability/recovery status and LSNs
+//	GET  /debug/traces            recent + slowest request traces with stage timings
 //	POST /v1/workers              register workers
 //	GET  /v1/workers[/{id}]       inspect the registry
 //	PUT  /v1/workers/{id}         operator override of quality/cost
@@ -59,6 +61,14 @@
 // See API.md at the repository root for the full route-by-route wire
 // reference (request/response fields, error codes, consistency and
 // durability notes).
+//
+// Observability: every request carries an X-Request-Id (client-supplied
+// or generated) that is echoed in the response, attached to the request
+// log line, and keys the stage-level trace visible at GET /debug/traces;
+// per-stage latency histograms land on /metrics. -trace-buffer sizes the
+// trace ring (negative disables tracing), -log-level tunes the request
+// log, and -debug-addr serves net/http/pprof on a separate listener
+// (bind it to loopback).
 //
 // Failure domains: a WAL write or fsync failure moves the daemon into
 // degraded read-only mode — reads and selections keep serving from
@@ -86,6 +96,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -134,7 +145,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"per-request deadline; expired requests answer 503 (0 = none)")
 	chaosFsyncAfter := fs.Int("chaos-fsync-after", 0,
 		"TESTING ONLY: fail every WAL fsync after N successful ones, dropping the unsynced tail")
+	debugAddr := fs.String("debug-addr", "",
+		"serve net/http/pprof on this address (keep it loopback-only; empty = disabled)")
+	logLevel := fs.String("log-level", "info",
+		"request log verbosity: debug logs every request, info logs errors only, warn logs 5xx only, off disables")
+	traceBuffer := fs.Int("trace-buffer", 0,
+		"request trace ring size for /debug/traces (0 = default 256, negative = tracing disabled)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger, err := buildLogger(*logLevel, os.Stderr)
+	if err != nil {
 		return err
 	}
 
@@ -154,6 +176,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Fsync:          *fsync,
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
+		TraceBuffer:    *traceBuffer,
+		Logger:         logger,
 		FS:             fsys,
 	})
 	if err != nil {
@@ -222,6 +246,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	fmt.Fprintf(out, "juryd: listening on %s\n", ln.Addr())
 
+	// Profiling lives on its own listener so a held-open CPU profile or
+	// execution trace can never occupy a public-API connection, and so
+	// the operator can bind it loopback-only.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{Handler: server.DebugHandler()}
+		fmt.Fprintf(out, "juryd: pprof on %s\n", dln.Addr())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug server", "error", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)
@@ -263,6 +305,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintln(out, "juryd: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutdownCtx)
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
@@ -288,6 +333,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// buildLogger maps -log-level onto the server's request-log levels:
+// request lines are emitted at Debug (2xx/3xx), Info (4xx), and Warn
+// (5xx), so "info" surfaces only client and server errors while
+// "debug" logs every request.
+func buildLogger(level string, w io.Writer) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "off":
+		return slog.New(slog.DiscardHandler), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lv})), nil
 }
 
 // loadPool reads a RegisterRequest-shaped JSON file.

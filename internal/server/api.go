@@ -1,6 +1,9 @@
 package server
 
-import "repro/internal/voting"
+import (
+	"repro/internal/obs"
+	"repro/internal/voting"
+)
 
 // The JSON wire types of the juryd HTTP API, shared with the public client
 // in repro/jury/serve. All endpoints speak JSON; errors are returned as
@@ -219,4 +222,19 @@ type RecoveryStatus struct {
 // ErrorResponse is the JSON body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// DebugTracesResponse is the body of GET /debug/traces: the most recent
+// finished request traces and the slowest seen since boot, each with its
+// stage-level spans.
+type DebugTracesResponse struct {
+	// Enabled reports whether tracing is on (Config.TraceBuffer >= 0).
+	Enabled bool `json:"enabled"`
+	// Count is how many traces have been recorded since boot (the ring
+	// only retains the newest Config.TraceBuffer of them).
+	Count uint64 `json:"count"`
+	// Recent holds the newest finished traces, newest first.
+	Recent []obs.TraceSnapshot `json:"recent"`
+	// Slowest holds the slowest finished traces, slowest first.
+	Slowest []obs.TraceSnapshot `json:"slowest"`
 }

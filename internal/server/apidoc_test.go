@@ -35,7 +35,9 @@ func TestAPIReferenceCoversRoutes(t *testing.T) {
 		t.Fatal("API.md contains no route headings of the form \"### `METHOD /path`\"")
 	}
 
-	registered := New(NewConfig()).Routes()
+	// The documented surface is the public API plus the pprof routes
+	// juryd serves on its separate -debug-addr listener.
+	registered := append(New(NewConfig()).Routes(), DebugRoutes()...)
 	sort.Strings(registered)
 	for _, route := range registered {
 		if !documented[route] {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -84,19 +85,19 @@ func TestCacheDisabled(t *testing.T) {
 // the drifted pool).
 func TestServerCacheInvalidationOnDrift(t *testing.T) {
 	s := New(Config{Alpha: 0.5, Seed: 1})
-	if _, err := s.registry.Register(specs3(), 0); err != nil {
+	if _, err := s.registry.Register(context.Background(), specs3(), 0); err != nil {
 		t.Fatal(err)
 	}
 	req := SelectRequest{Budget: 6}
 
-	first, err := s.selectOne(req)
+	first, err := s.selectOne(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.Cached {
 		t.Fatal("first selection claims to be cached")
 	}
-	second, err := s.selectOne(req)
+	second, err := s.selectOne(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,10 +113,10 @@ func TestServerCacheInvalidationOnDrift(t *testing.T) {
 
 	// Quality-changing ingest: the pool signature drifts, so the cached
 	// jury is unreachable and the next selection recomputes.
-	if _, _, err := s.registry.Ingest([]VoteEvent{{WorkerID: "a", Correct: false}}); err != nil {
+	if _, _, err := s.registry.Ingest(context.Background(), []VoteEvent{{WorkerID: "a", Correct: false}}); err != nil {
 		t.Fatal(err)
 	}
-	third, err := s.selectOne(req)
+	third, err := s.selectOne(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestConcurrentIngestAndSelect(t *testing.T) {
 			Cost:    1 + float64(i%4),
 		}
 	}
-	if _, err := s.registry.Register(specs, 0); err != nil {
+	if _, err := s.registry.Register(context.Background(), specs, 0); err != nil {
 		t.Fatal(err)
 	}
 	const perWorker = 30
@@ -155,7 +156,7 @@ func TestConcurrentIngestAndSelect(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				ev := VoteEvent{WorkerID: fmt.Sprintf("w%d", (g*7+i)%len(specs)), Correct: i%3 != 0}
-				if _, _, err := s.registry.Ingest([]VoteEvent{ev}); err != nil {
+				if _, _, err := s.registry.Ingest(context.Background(), []VoteEvent{ev}); err != nil {
 					errs <- err
 				}
 			}
@@ -163,7 +164,7 @@ func TestConcurrentIngestAndSelect(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				if _, err := s.selectOne(SelectRequest{Budget: float64(3 + (g+i)%5)}); err != nil {
+				if _, err := s.selectOne(context.Background(), SelectRequest{Budget: float64(3 + (g+i)%5)}); err != nil {
 					errs <- err
 				}
 			}

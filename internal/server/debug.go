@@ -1,0 +1,34 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugRoutes lists the routes served by DebugHandler, in the same
+// "METHOD /path" shape as Server.Routes so the API-reference coverage
+// test can hold API.md to them too.
+func DebugRoutes() []string {
+	return []string{
+		"GET /debug/pprof/",
+		"GET /debug/pprof/cmdline",
+		"GET /debug/pprof/profile",
+		"GET /debug/pprof/symbol",
+		"GET /debug/pprof/trace",
+	}
+}
+
+// DebugHandler serves net/http/pprof on a mux of its own. juryd binds it
+// to a separate -debug-addr listener (typically loopback-only) so
+// profiling endpoints never share a port with the public API: pprof's
+// CPU profile and execution trace handlers can hold a request open for
+// tens of seconds and expose internals no client should see.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -72,7 +72,7 @@ func (s *Server) mutable() error {
 // receiving writes: degraded read-only mode or shutdown drain.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if degraded, cause := s.DegradedState(); degraded {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		writeJSON(w, r, http.StatusServiceUnavailable, map[string]any{
 			"ready":    false,
 			"degraded": true,
 			"cause":    cause.Error(),
@@ -80,11 +80,11 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		writeJSON(w, r, http.StatusServiceUnavailable, map[string]any{
 			"ready":    false,
 			"draining": true,
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	writeJSON(w, r, http.StatusOK, map[string]any{"ready": true})
 }

@@ -202,7 +202,7 @@ func TestRequestTimeout(t *testing.T) {
 		case <-r.Context().Done():
 		case <-time.After(5 * time.Second):
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"slept": true})
+		writeJSON(w, r, http.StatusOK, map[string]any{"slept": true})
 	})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)

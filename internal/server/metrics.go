@@ -3,6 +3,8 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -40,12 +42,13 @@ type Metrics struct {
 	ingestDuplicates atomic.Uint64 // keyed ingests answered from the dedup table
 }
 
-// routeMetrics is one route's completed-request count plus its latency
-// histogram: buckets holds non-cumulative counts per LatencyBuckets
-// bound, with the final element the +Inf overflow; sum is total observed
-// seconds.
+// routeMetrics is one route's completed-request count, its non-2xx
+// count, and its latency histogram: buckets holds non-cumulative counts
+// per LatencyBuckets bound, with the final element the +Inf overflow;
+// sum is total observed seconds.
 type routeMetrics struct {
 	requests uint64
+	errors   uint64
 	buckets  []uint64
 	sum      float64
 }
@@ -77,6 +80,7 @@ func (m *Metrics) Request(route string, status int, d time.Duration) {
 	}
 	rm.buckets[idx]++
 	if status >= 400 {
+		rm.errors++
 		m.errors++
 	}
 	m.mu.Unlock()
@@ -127,6 +131,7 @@ func (m *Metrics) WriteText(w io.Writer, cache CacheStats, poolSize int, generat
 		rm := m.routes[r]
 		stats[i] = routeMetrics{
 			requests: rm.requests,
+			errors:   rm.errors,
 			buckets:  append([]uint64(nil), rm.buckets...),
 			sum:      rm.sum,
 		}
@@ -148,6 +153,14 @@ func (m *Metrics) WriteText(w io.Writer, cache CacheStats, poolSize int, generat
 		fmt.Fprintf(w, "juryd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, cum)
 		fmt.Fprintf(w, "juryd_request_duration_seconds_sum{route=%q} %g\n", r, stats[i].sum)
 		fmt.Fprintf(w, "juryd_request_duration_seconds_count{route=%q} %d\n", r, cum)
+	}
+	// Per-route error series first, then the pre-existing global line —
+	// the same family, so scrapes that only knew the unlabeled series
+	// keep working.
+	for i, r := range routes {
+		if stats[i].errors > 0 {
+			fmt.Fprintf(w, "juryd_request_errors_total{route=%q} %d\n", r, stats[i].errors)
+		}
 	}
 	fmt.Fprintf(w, "juryd_request_errors_total %d\n", errs)
 	fmt.Fprintf(w, "juryd_votes_ingested_total %d\n", m.votesIngested.Load())
@@ -185,4 +198,22 @@ func (m *Metrics) Snapshot() (requests map[string]uint64, errors, votes, selecti
 	errors = m.errors
 	m.mu.Unlock()
 	return requests, errors, m.votesIngested.Load(), m.selections.Load()
+}
+
+// writeRuntimeMetrics renders process-level gauges: build identity,
+// uptime, and the Go runtime state an operator checks first when a
+// daemon misbehaves (goroutine count, live heap, cumulative GC pauses).
+func writeRuntimeMetrics(w io.Writer, started time.Time) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	fmt.Fprintf(w, "juryd_build_info{version=%q,go_version=%q} 1\n", version, runtime.Version())
+	fmt.Fprintf(w, "juryd_uptime_seconds %g\n", time.Since(started).Seconds())
+	fmt.Fprintf(w, "juryd_goroutines %d\n", runtime.NumGoroutine())
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "juryd_heap_inuse_bytes %d\n", ms.HeapInuse)
+	fmt.Fprintf(w, "juryd_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+	fmt.Fprintf(w, "juryd_gc_runs_total %d\n", ms.NumGC)
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"net/http"
@@ -151,12 +152,12 @@ func readBody(t *testing.T, resp *http.Response) []byte {
 // untouched.
 func TestMultiIngestDirichletPosterior(t *testing.T) {
 	r := NewMultiRegistry()
-	if _, err := r.CreatePool("p", 3, []MultiWorkerSpec{
+	if _, err := r.CreatePool(context.Background(), "p", 3, []MultiWorkerSpec{
 		{ID: "w", Quality: fp(0.8), Cost: 1},
 	}, 8); err != nil {
 		t.Fatal(err)
 	}
-	updated, sig, err := r.Ingest("p", []MultiVoteEvent{{WorkerID: "w", Truth: 0, Vote: 1}})
+	updated, sig, err := r.Ingest(context.Background(), "p", []MultiVoteEvent{{WorkerID: "w", Truth: 0, Vote: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,10 +189,10 @@ func TestMultiIngestDirichletPosterior(t *testing.T) {
 	}
 	// Ingest with out-of-range labels or unknown workers is rejected
 	// whole, leaving the version untouched.
-	if _, _, err := r.Ingest("p", []MultiVoteEvent{{WorkerID: "w", Truth: 3, Vote: 0}}); err == nil {
+	if _, _, err := r.Ingest(context.Background(), "p", []MultiVoteEvent{{WorkerID: "w", Truth: 3, Vote: 0}}); err == nil {
 		t.Fatal("out-of-range truth accepted")
 	}
-	if _, _, err := r.Ingest("p", []MultiVoteEvent{{WorkerID: "ghost", Truth: 0, Vote: 0}}); err == nil {
+	if _, _, err := r.Ingest(context.Background(), "p", []MultiVoteEvent{{WorkerID: "ghost", Truth: 0, Vote: 0}}); err == nil {
 		t.Fatal("unknown worker accepted")
 	}
 	info, _ := r.Get("p")
@@ -413,7 +414,7 @@ func TestMultiDurableReplayBitExact(t *testing.T) {
 	if err := s.PreloadMulti(req); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.multi.Ingest("colors", []MultiVoteEvent{
+	if _, _, err := s.multi.Ingest(context.Background(), "colors", []MultiVoteEvent{
 		{WorkerID: "m0", Truth: 0, Vote: 2},
 		{WorkerID: "m1", Truth: 2, Vote: 2},
 	}); err != nil {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/multichoice"
+	"repro/internal/obs"
 )
 
 // The multi-choice (confusion-matrix) arm of the HTTP surface: named
@@ -19,16 +21,16 @@ import (
 func (s *Server) handleMultiCreate(w http.ResponseWriter, r *http.Request) {
 	var req MultiCreateRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	defer s.mutationGuard()()
-	sig, err := s.multi.CreatePool(req.Name, req.Labels, req.Workers, s.cfg.PriorStrength)
+	sig, err := s.multi.CreatePool(r.Context(), req.Name, req.Labels, req.Workers, s.cfg.PriorStrength)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, MultiRegisterResponse{
+	writeJSON(w, r, http.StatusCreated, MultiRegisterResponse{
 		Registered: len(req.Workers),
 		PoolSize:   len(req.Workers),
 		Signature:  sig,
@@ -36,40 +38,40 @@ func (s *Server) handleMultiCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMultiListPools(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, MultiPoolsResponse{Pools: s.multi.List()})
+	writeJSON(w, r, http.StatusOK, MultiPoolsResponse{Pools: s.multi.List()})
 }
 
 func (s *Server) handleMultiGetPool(w http.ResponseWriter, r *http.Request) {
 	info, err := s.multi.Get(r.PathValue("pool"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	writeJSON(w, r, http.StatusOK, info)
 }
 
 func (s *Server) handleMultiDropPool(w http.ResponseWriter, r *http.Request) {
 	defer s.mutationGuard()()
-	if err := s.multi.DropPool(r.PathValue("pool")); err != nil {
-		writeError(w, err)
+	if err := s.multi.DropPool(r.Context(), r.PathValue("pool")); err != nil {
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"dropped": true})
+	writeJSON(w, r, http.StatusOK, map[string]any{"dropped": true})
 }
 
 func (s *Server) handleMultiRegister(w http.ResponseWriter, r *http.Request) {
 	var req MultiRegisterRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	defer s.mutationGuard()()
-	sig, size, err := s.multi.Register(r.PathValue("pool"), req.Workers, s.cfg.PriorStrength)
+	sig, size, err := s.multi.Register(r.Context(), r.PathValue("pool"), req.Workers, s.cfg.PriorStrength)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, MultiRegisterResponse{
+	writeJSON(w, r, http.StatusCreated, MultiRegisterResponse{
 		Registered: len(req.Workers),
 		PoolSize:   size,
 		Signature:  sig,
@@ -79,22 +81,22 @@ func (s *Server) handleMultiRegister(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMultiIngest(w http.ResponseWriter, r *http.Request) {
 	var req MultiIngestRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	defer s.mutationGuard()()
-	updated, sig, dup, err := s.multi.IngestKeyed(r.PathValue("pool"), req.Events, idempotencyKey(r))
+	updated, sig, dup, err := s.multi.IngestKeyed(r.Context(), r.PathValue("pool"), req.Events, idempotencyKey(r))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if dup {
 		s.metrics.IngestDuplicate()
-		writeJSON(w, http.StatusOK, MultiIngestResponse{Signature: sig, Duplicate: true})
+		writeJSON(w, r, http.StatusOK, MultiIngestResponse{Signature: sig, Duplicate: true})
 		return
 	}
 	s.metrics.VotesIngested(len(req.Events))
-	writeJSON(w, http.StatusOK, MultiIngestResponse{
+	writeJSON(w, r, http.StatusOK, MultiIngestResponse{
 		Ingested:  len(req.Events),
 		Updated:   updated,
 		Signature: sig,
@@ -175,7 +177,7 @@ func multiStrategy(strategy string) (name string, seeded bool, err error) {
 // selectMulti serves one multi-choice selection: cache lookup on the
 // snapshot signature, then compute-and-fill on miss. The selection runs
 // on the immutable snapshot, outside any lock.
-func (s *Server) selectMulti(poolName string, req MultiSelectRequest) (MultiSelectResponse, error) {
+func (s *Server) selectMulti(ctx context.Context, poolName string, req MultiSelectRequest) (MultiSelectResponse, error) {
 	if req.Budget < 0 || req.Budget != req.Budget {
 		return MultiSelectResponse{}, fmt.Errorf("server: bad budget %v", req.Budget)
 	}
@@ -212,7 +214,11 @@ func (s *Server) selectMulti(poolName string, req MultiSelectRequest) (MultiSele
 		Pool: poolName, Signature: sig, Strategy: strategyName,
 		Budget: req.Budget, Buckets: req.Buckets, Seed: keySeed, Prior: prior,
 	}
-	if res, ok := s.cache.GetMulti(key); ok {
+	tr := obs.TraceFrom(ctx)
+	cacheSpan := tr.Begin(obs.StageCache)
+	res, hit := s.cache.GetMulti(key)
+	cacheSpan.End()
+	if hit {
 		res.Cached = true
 		return res, nil
 	}
@@ -230,8 +236,9 @@ func (s *Server) selectMulti(poolName string, req MultiSelectRequest) (MultiSele
 	if err != nil {
 		return MultiSelectResponse{}, err
 	}
+	tr.Add(obs.StageEval, start, time.Since(start))
 	s.metrics.SelectionComputed(time.Since(start))
-	res := MultiSelectResponse{
+	res = MultiSelectResponse{
 		Pool:        poolName,
 		Labels:      labels,
 		Jury:        make([]MultiJuryMember, len(result.Indices)),
@@ -257,15 +264,15 @@ func (s *Server) selectMulti(poolName string, req MultiSelectRequest) (MultiSele
 func (s *Server) handleMultiSelect(w http.ResponseWriter, r *http.Request) {
 	var req MultiSelectRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	res, err := s.selectMulti(r.PathValue("pool"), req)
+	res, err := s.selectMulti(r.Context(), r.PathValue("pool"), req)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	writeJSON(w, r, http.StatusOK, res)
 }
 
 // handleMultiJQ computes the Jury Quality of an explicit jury under the
@@ -274,26 +281,26 @@ func (s *Server) handleMultiSelect(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMultiJQ(w http.ResponseWriter, r *http.Request) {
 	var req MultiJQRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if len(req.WorkerIDs) == 0 {
-		writeError(w, errors.New("server: no worker ids in request"))
+		writeError(w, r, errors.New("server: no worker ids in request"))
 		return
 	}
 	if req.Buckets < 0 {
-		writeError(w, fmt.Errorf("server: negative buckets %d", req.Buckets))
+		writeError(w, r, fmt.Errorf("server: negative buckets %d", req.Buckets))
 		return
 	}
 	poolName := r.PathValue("pool")
 	pool, ids, sig, labels, err := s.multi.Snapshot(poolName, req.WorkerIDs)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	prior, err := resolvePrior(req.Prior, labels)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	method := "estimate"
@@ -305,10 +312,10 @@ func (s *Server) handleMultiJQ(w http.ResponseWriter, r *http.Request) {
 		jq, err = multichoice.EstimateBV(pool, prior, req.Buckets)
 	}
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, MultiJQResponse{
+	writeJSON(w, r, http.StatusOK, MultiJQResponse{
 		Pool:      poolName,
 		Labels:    labels,
 		WorkerIDs: ids,
@@ -327,7 +334,7 @@ func (s *Server) handleMultiJQ(w http.ResponseWriter, r *http.Request) {
 // skips.
 func (s *Server) PreloadMulti(req MultiCreateRequest) error {
 	defer s.mutationGuard()()
-	_, err := s.multi.CreatePool(req.Name, req.Labels, req.Workers, s.cfg.PriorStrength)
+	_, err := s.multi.CreatePool(context.Background(), req.Name, req.Labels, req.Workers, s.cfg.PriorStrength)
 	return err
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -11,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/multichoice"
+	"repro/internal/obs"
 )
 
 // MaxLabels bounds a pool's label count. Confusion matrices are dense
@@ -90,8 +92,8 @@ type MultiRegistry struct {
 	gen   uint64
 	// journal follows the binary Registry's contract: every mutation is
 	// appended under the write lock after validation, before it is
-	// applied in memory.
-	journal func(*Record) error
+	// applied in memory (the context carries the request trace).
+	journal func(context.Context, *Record) error
 	// idem remembers applied ingest idempotency keys registry-wide (one
 	// table across pools; keys are client-unique regardless of target).
 	// Guarded by mu, like the binary Registry's — see that field's note
@@ -104,11 +106,11 @@ func NewMultiRegistry() *MultiRegistry {
 	return &MultiRegistry{pools: make(map[string]*multiPool), idem: newIdemTable()}
 }
 
-func (r *MultiRegistry) logLocked(rec *Record) error {
+func (r *MultiRegistry) logLocked(ctx context.Context, rec *Record) error {
 	if r.journal == nil {
 		return nil
 	}
-	return r.journal(rec)
+	return r.journal(ctx, rec)
 }
 
 // resolveLabels determines the pool's label count from the request:
@@ -225,7 +227,7 @@ func newMultiState(spec MultiWorkerSpec, m multichoice.ConfusionMatrix, defaultS
 // CreatePool creates a new pool atomically with its initial workers (the
 // worker list may be empty when labels is explicit). It returns the new
 // pool's signature.
-func (r *MultiRegistry) CreatePool(name string, labels int, specs []MultiWorkerSpec, defaultStrength float64) (string, error) {
+func (r *MultiRegistry) CreatePool(ctx context.Context, name string, labels int, specs []MultiWorkerSpec, defaultStrength float64) (string, error) {
 	if name == "" {
 		return "", ErrEmptyPoolName
 	}
@@ -248,9 +250,10 @@ func (r *MultiRegistry) CreatePool(name string, labels int, specs []MultiWorkerS
 	rec := &Record{T: RecMultiCreate, Multi: &MultiRecord{
 		Pool: name, Labels: l, Specs: specs, Strength: defaultStrength,
 	}}
-	if err := r.logLocked(rec); err != nil {
+	if err := r.logLocked(ctx, rec); err != nil {
 		return "", err
 	}
+	defer obs.TraceFrom(ctx).Begin(obs.StageApply).End()
 	return r.applyCreateLocked(name, l, specs, matrices, defaultStrength), nil
 }
 
@@ -271,7 +274,7 @@ func (r *MultiRegistry) applyCreateLocked(name string, labels int, specs []Multi
 }
 
 // Register adds new workers to an existing pool atomically.
-func (r *MultiRegistry) Register(pool string, specs []MultiWorkerSpec, defaultStrength float64) (string, int, error) {
+func (r *MultiRegistry) Register(ctx context.Context, pool string, specs []MultiWorkerSpec, defaultStrength float64) (string, int, error) {
 	if len(specs) == 0 {
 		return "", 0, fmt.Errorf("%w: no workers in request", ErrBadSpec)
 	}
@@ -296,10 +299,12 @@ func (r *MultiRegistry) Register(pool string, specs []MultiWorkerSpec, defaultSt
 	rec := &Record{T: RecMultiRegister, Multi: &MultiRecord{
 		Pool: pool, Specs: specs, Strength: defaultStrength,
 	}}
-	if err := r.logLocked(rec); err != nil {
+	if err := r.logLocked(ctx, rec); err != nil {
 		return "", 0, err
 	}
+	applySpan := obs.TraceFrom(ctx).Begin(obs.StageApply)
 	r.applyRegisterLocked(p, specs, matrices, defaultStrength)
+	applySpan.End()
 	return p.sig, len(p.order), nil
 }
 
@@ -316,13 +321,13 @@ func (r *MultiRegistry) applyRegisterLocked(p *multiPool, specs []MultiWorkerSpe
 }
 
 // DropPool deletes a pool and all its workers.
-func (r *MultiRegistry) DropPool(name string) error {
+func (r *MultiRegistry) DropPool(ctx context.Context, name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.pools[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrPoolUnknown, name)
 	}
-	if err := r.logLocked(&Record{T: RecMultiDrop, Multi: &MultiRecord{Pool: name}}); err != nil {
+	if err := r.logLocked(ctx, &Record{T: RecMultiDrop, Multi: &MultiRecord{Pool: name}}); err != nil {
 		return err
 	}
 	r.applyDropLocked(name)
@@ -362,8 +367,8 @@ func validateEvents(p *multiPool, events []MultiVoteEvent) error {
 // the confusion matrix becomes that row's new posterior mean. It
 // returns the updated states of the touched workers, in first-touch
 // order, and the post-ingest pool signature.
-func (r *MultiRegistry) Ingest(pool string, events []MultiVoteEvent) ([]MultiWorkerInfo, string, error) {
-	out, sig, _, err := r.IngestKeyed(pool, events, "")
+func (r *MultiRegistry) Ingest(ctx context.Context, pool string, events []MultiVoteEvent) ([]MultiWorkerInfo, string, error) {
+	out, sig, _, err := r.IngestKeyed(ctx, pool, events, "")
 	return out, sig, err
 }
 
@@ -371,17 +376,23 @@ func (r *MultiRegistry) Ingest(pool string, events []MultiVoteEvent) ([]MultiWor
 // following Registry.IngestKeyed's contract: a repeated key applies
 // nothing, journals nothing, and reports duplicate (with the pool's
 // current signature when the pool still exists).
-func (r *MultiRegistry) IngestKeyed(pool string, events []MultiVoteEvent, key string) (updated []MultiWorkerInfo, sig string, duplicate bool, err error) {
+func (r *MultiRegistry) IngestKeyed(ctx context.Context, pool string, events []MultiVoteEvent, key string) (updated []MultiWorkerInfo, sig string, duplicate bool, err error) {
 	if len(events) == 0 {
 		return nil, "", false, fmt.Errorf("%w: no events in request", ErrBadEvent)
 	}
+	tr := obs.TraceFrom(ctx)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if key != "" && r.idem.has(key) {
-		if p, ok := r.pools[pool]; ok {
-			sig = p.sig
+	if key != "" {
+		idemSpan := tr.Begin(obs.StageIdem)
+		dup := r.idem.has(key)
+		idemSpan.End()
+		if dup {
+			if p, ok := r.pools[pool]; ok {
+				sig = p.sig
+			}
+			return nil, sig, true, nil
 		}
-		return nil, sig, true, nil
 	}
 	p, ok := r.pools[pool]
 	if !ok {
@@ -391,13 +402,15 @@ func (r *MultiRegistry) IngestKeyed(pool string, events []MultiVoteEvent, key st
 		return nil, "", false, err
 	}
 	rec := &Record{T: RecMultiIngest, Key: key, Multi: &MultiRecord{Pool: pool, Events: events}}
-	if err := r.logLocked(rec); err != nil {
+	if err := r.logLocked(ctx, rec); err != nil {
 		return nil, "", false, err
 	}
 	if key != "" {
 		r.idem.add(key)
 	}
+	applySpan := tr.Begin(obs.StageApply)
 	touchOrder := r.applyIngestLocked(p, events)
+	applySpan.End()
 	out := make([]MultiWorkerInfo, len(touchOrder))
 	for i, id := range touchOrder {
 		out[i] = p.workers[id].info()

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/wal"
 )
@@ -270,12 +272,17 @@ func Open(cfg Config) (*Server, error) {
 	p.recovery.SessionsRestored = s.sessions.Len()
 	p.recovery.MultiPoolsRestored = s.multi.Len()
 	p.recoveredAt = time.Now()
-	journal := func(rec *Record) error {
+	journal := func(ctx context.Context, rec *Record) error {
+		tr := obs.TraceFrom(ctx)
+		encSpan := tr.Begin(obs.StageWALEncode)
 		payload, err := json.Marshal(rec)
+		encSpan.End()
 		if err != nil {
 			return fmt.Errorf("server: journal encode: %w", err)
 		}
-		if _, err := log.Append(payload); err != nil {
+		appendStart := time.Now()
+		_, timing, err := log.AppendTimed(payload)
+		if err != nil {
 			// The record is not durable and the mutation was not applied;
 			// the log is now poisoned (wal.ErrFailed is sticky), so the
 			// server transitions to degraded read-only mode: this and every
@@ -283,6 +290,12 @@ func Open(cfg Config) (*Server, error) {
 			s.metrics.WALError()
 			s.enterDegraded(err)
 			return fmt.Errorf("%w: %w", ErrDegraded, err)
+		}
+		// The fsync runs at the tail of the append interval, so its span
+		// starts where the write portion ends.
+		tr.Add(obs.StageWALAppend, appendStart, timing.Total-timing.Fsync)
+		if timing.Fsync > 0 {
+			tr.Add(obs.StageWALFsync, appendStart.Add(timing.Total-timing.Fsync), timing.Fsync)
 		}
 		return nil
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -55,15 +56,15 @@ func TestOpenWithoutDataDirIsInMemory(t *testing.T) {
 // in-memory registry untouched (write-ahead, not write-behind).
 func TestJournalFailureAbortsMutation(t *testing.T) {
 	s, _ := durable(t)
-	if _, err := s.registry.Register([]WorkerSpec{{ID: "ok", Quality: 0.8, Cost: 1}}, 0); err != nil {
+	if _, err := s.registry.Register(context.Background(), []WorkerSpec{{ID: "ok", Quality: 0.8, Cost: 1}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	boom := errors.New("disk full")
-	s.registry.journal = func(*Record) error { return boom }
-	if _, err := s.registry.Register([]WorkerSpec{{ID: "lost", Quality: 0.7, Cost: 1}}, 0); !errors.Is(err, boom) {
+	s.registry.journal = func(context.Context, *Record) error { return boom }
+	if _, err := s.registry.Register(context.Background(), []WorkerSpec{{ID: "lost", Quality: 0.7, Cost: 1}}, 0); !errors.Is(err, boom) {
 		t.Fatalf("Register with failing journal: %v, want %v", err, boom)
 	}
-	if _, _, err := s.registry.Ingest([]VoteEvent{{WorkerID: "ok", Correct: true}}); !errors.Is(err, boom) {
+	if _, _, err := s.registry.Ingest(context.Background(), []VoteEvent{{WorkerID: "ok", Correct: true}}); !errors.Is(err, boom) {
 		t.Fatalf("Ingest with failing journal: %v, want %v", err, boom)
 	}
 	if got := s.registry.Len(); got != 1 {
@@ -80,13 +81,13 @@ func TestJournalFailureAbortsMutation(t *testing.T) {
 // matches.
 func TestRecoveryRoundTrip(t *testing.T) {
 	s, cfg := durable(t)
-	if _, err := s.registry.Register([]WorkerSpec{
+	if _, err := s.registry.Register(context.Background(), []WorkerSpec{
 		{ID: "a", Quality: 0.8, Cost: 3},
 		{ID: "b", Quality: 0.7, Cost: 2},
 	}, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.registry.Ingest([]VoteEvent{
+	if _, _, err := s.registry.Ingest(context.Background(), []VoteEvent{
 		{WorkerID: "a", Correct: true},
 		{WorkerID: "b", Correct: false},
 		{WorkerID: "a", Correct: true},
@@ -123,7 +124,7 @@ func TestConcurrentIngestRecovery(t *testing.T) {
 	for i := range specs {
 		specs[i] = WorkerSpec{ID: string(rune('a' + i)), Quality: 0.6, Cost: 1}
 	}
-	if _, err := s.registry.Register(specs, 0); err != nil {
+	if _, err := s.registry.Register(context.Background(), specs, 0); err != nil {
 		t.Fatal(err)
 	}
 	var wg sync.WaitGroup
@@ -133,7 +134,7 @@ func TestConcurrentIngestRecovery(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 40; i++ {
 				ev := VoteEvent{WorkerID: specs[(g+i)%len(specs)].ID, Correct: i%3 != 0}
-				if _, _, err := s.registry.Ingest([]VoteEvent{ev}); err != nil {
+				if _, _, err := s.registry.Ingest(context.Background(), []VoteEvent{ev}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -167,7 +168,7 @@ func TestConcurrentIngestRecovery(t *testing.T) {
 func TestVoteCloseRaceKeepsLogReplayable(t *testing.T) {
 	for iter := 0; iter < 15; iter++ {
 		s, cfg := durable(t)
-		st, err := s.sessions.Open(online.Config{Alpha: 0.5, Confidence: 0.999})
+		st, err := s.sessions.Open(context.Background(), online.Config{Alpha: 0.5, Confidence: 0.999})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func TestVoteCloseRaceKeepsLogReplayable(t *testing.T) {
 				<-start
 				for i := 0; i < 10; i++ {
 					// Unknown/done conflicts are expected mid-race.
-					s.sessions.Observe(st.ID, 0.6, 1, voting.Yes)
+					s.sessions.Observe(context.Background(), st.ID, 0.6, 1, voting.Yes)
 				}
 			}()
 		}
@@ -188,7 +189,7 @@ func TestVoteCloseRaceKeepsLogReplayable(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			s.sessions.Close(st.ID)
+			s.sessions.Close(context.Background(), st.ID)
 		}()
 		close(start)
 		wg.Wait()
@@ -213,13 +214,13 @@ func TestReapIsJournaled(t *testing.T) {
 	// are born Done and thus reapable.
 	done := online.Config{Alpha: 0.5, Confidence: 0.5}
 	for i := 0; i < 2; i++ {
-		if _, err := s.sessions.Open(done); err != nil {
+		if _, err := s.sessions.Open(context.Background(), done); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// The third open trips the cap, reaps s1 and s2, and must journal it.
 	live := online.Config{Alpha: 0.5, Confidence: 0.99}
-	if _, err := s.sessions.Open(live); err != nil {
+	if _, err := s.sessions.Open(context.Background(), live); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.sessions.Len(); got != 1 {
@@ -240,11 +241,11 @@ func TestReapIsJournaled(t *testing.T) {
 // it must survive a crash via its own record type.
 func TestBudgetExhaustedStopPersists(t *testing.T) {
 	s, cfg := durable(t)
-	st, err := s.sessions.Open(online.Config{Alpha: 0.5, Confidence: 0.99, Budget: 5})
+	st, err := s.sessions.Open(context.Background(), online.Config{Alpha: 0.5, Confidence: 0.99, Budget: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.sessions.MarkBudgetExhausted(st.ID); err != nil {
+	if _, err := s.sessions.MarkBudgetExhausted(context.Background(), st.ID); err != nil {
 		t.Fatal(err)
 	}
 	s2 := reopen(t, s, cfg)
@@ -262,7 +263,7 @@ func TestBudgetExhaustedStopPersists(t *testing.T) {
 // bit-pattern encoding must round-trip it through snapshot + recovery.
 func TestSessionWithInfiniteLogOddsSurvives(t *testing.T) {
 	s, cfg := durable(t)
-	st, err := s.sessions.Open(online.Config{Alpha: 1, Confidence: 0.9})
+	st, err := s.sessions.Open(context.Background(), online.Config{Alpha: 1, Confidence: 0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestSnapshotSkipsWhenUnchanged(t *testing.T) {
 	if got := s.PersistenceStatus().SnapshotsWritten; got != 0 {
 		t.Fatalf("snapshot of a never-mutated server written (%d), want skipped", got)
 	}
-	if _, err := s.registry.Register([]WorkerSpec{{ID: "a", Quality: 0.8, Cost: 1}}, 0); err != nil {
+	if _, err := s.registry.Register(context.Background(), []WorkerSpec{{ID: "a", Quality: 0.8, Cost: 1}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.SnapshotNow(); err != nil {
@@ -308,7 +309,7 @@ func TestSnapshotSkipsWhenUnchanged(t *testing.T) {
 // payload after a recovery.
 func TestPersistenceStatusFields(t *testing.T) {
 	s, cfg := durable(t)
-	if _, err := s.registry.Register([]WorkerSpec{{ID: "a", Quality: 0.8, Cost: 1}}, 0); err != nil {
+	if _, err := s.registry.Register(context.Background(), []WorkerSpec{{ID: "a", Quality: 0.8, Cost: 1}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	s2 := reopen(t, s, cfg)

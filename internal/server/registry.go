@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -10,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/worker"
 )
 
@@ -74,8 +76,10 @@ type Registry struct {
 	// journal, when set, receives every mutation as a WAL record under
 	// the write lock after validation but before the mutation is applied:
 	// a failed append aborts the mutation with memory untouched, and the
-	// log order always matches the lock (application) order.
-	journal func(*Record) error
+	// log order always matches the lock (application) order. The context
+	// carries the request trace, so the journal can attribute its encode,
+	// append, and fsync time to the request that paid for it.
+	journal func(context.Context, *Record) error
 	// idem remembers applied ingest idempotency keys. Guarded by mu, so
 	// its insertion order is the WAL order and replay rebuilds it
 	// bit-exactly; dedup runs BEFORE journaling, so the log itself never
@@ -84,11 +88,11 @@ type Registry struct {
 }
 
 // logLocked journals rec if a journal is attached. Callers hold r.mu.
-func (r *Registry) logLocked(rec *Record) error {
+func (r *Registry) logLocked(ctx context.Context, rec *Record) error {
 	if r.journal == nil {
 		return nil
 	}
-	return r.journal(rec)
+	return r.journal(ctx, rec)
 }
 
 // NewRegistry returns an empty registry.
@@ -128,7 +132,7 @@ func newState(spec WorkerSpec, defaultStrength float64) *workerState {
 // registered or none is. defaultStrength seeds the posterior of specs
 // without an explicit PriorStrength. The returned signature identifies
 // the pool state after registration, computed under the same lock.
-func (r *Registry) Register(specs []WorkerSpec, defaultStrength float64) (string, error) {
+func (r *Registry) Register(ctx context.Context, specs []WorkerSpec, defaultStrength float64) (string, error) {
 	if defaultStrength <= 0 {
 		defaultStrength = DefaultPriorStrength
 	}
@@ -149,9 +153,10 @@ func (r *Registry) Register(specs []WorkerSpec, defaultStrength float64) (string
 			return "", fmt.Errorf("%w: %q", ErrWorkerExists, spec.ID)
 		}
 	}
-	if err := r.logLocked(&Record{T: RecRegister, Specs: specs, Strength: defaultStrength}); err != nil {
+	if err := r.logLocked(ctx, &Record{T: RecRegister, Specs: specs, Strength: defaultStrength}); err != nil {
 		return "", err
 	}
+	defer obs.TraceFrom(ctx).Begin(obs.StageApply).End()
 	return r.applyRegisterLocked(specs, defaultStrength), nil
 }
 
@@ -180,7 +185,7 @@ func (r *Registry) refreshFullSigLocked() string {
 // Update replaces a worker's quality and cost, re-seeding its posterior
 // from the new quality (an operator override discards accumulated vote
 // evidence by design).
-func (r *Registry) Update(spec WorkerSpec, defaultStrength float64) (WorkerInfo, error) {
+func (r *Registry) Update(ctx context.Context, spec WorkerSpec, defaultStrength float64) (WorkerInfo, error) {
 	if defaultStrength <= 0 {
 		defaultStrength = DefaultPriorStrength
 	}
@@ -192,9 +197,10 @@ func (r *Registry) Update(spec WorkerSpec, defaultStrength float64) (WorkerInfo,
 	if _, ok := r.workers[spec.ID]; !ok {
 		return WorkerInfo{}, fmt.Errorf("%w: %q", ErrWorkerUnknown, spec.ID)
 	}
-	if err := r.logLocked(&Record{T: RecUpdate, Specs: []WorkerSpec{spec}, Strength: defaultStrength}); err != nil {
+	if err := r.logLocked(ctx, &Record{T: RecUpdate, Specs: []WorkerSpec{spec}, Strength: defaultStrength}); err != nil {
 		return WorkerInfo{}, err
 	}
+	defer obs.TraceFrom(ctx).Begin(obs.StageApply).End()
 	return r.applyUpdateLocked(spec, defaultStrength), nil
 }
 
@@ -211,15 +217,16 @@ func (r *Registry) applyUpdateLocked(spec WorkerSpec, defaultStrength float64) W
 }
 
 // Remove deletes a worker.
-func (r *Registry) Remove(id string) error {
+func (r *Registry) Remove(ctx context.Context, id string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.workers[id]; !ok {
 		return fmt.Errorf("%w: %q", ErrWorkerUnknown, id)
 	}
-	if err := r.logLocked(&Record{T: RecRemove, WorkerID: id}); err != nil {
+	if err := r.logLocked(ctx, &Record{T: RecRemove, WorkerID: id}); err != nil {
 		return err
 	}
+	defer obs.TraceFrom(ctx).Begin(obs.StageApply).End()
 	r.applyRemoveLocked(id)
 	return nil
 }
@@ -284,8 +291,8 @@ func (r *Registry) Generation() uint64 {
 // touched workers, in first-touch order, and the post-ingest pool
 // signature (computed under the same lock, so it matches the returned
 // states exactly).
-func (r *Registry) Ingest(events []VoteEvent) ([]WorkerInfo, string, error) {
-	out, sig, _, err := r.IngestKeyed(events, "")
+func (r *Registry) Ingest(ctx context.Context, events []VoteEvent) ([]WorkerInfo, string, error) {
+	out, sig, _, err := r.IngestKeyed(ctx, events, "")
 	return out, sig, err
 }
 
@@ -295,11 +302,17 @@ func (r *Registry) Ingest(events []VoteEvent) ([]WorkerInfo, string, error) {
 // WAL record and the dedup table in snapshots, so exactly-once holds
 // through crash recovery: a retry that lands after a replayed restart
 // still deduplicates.
-func (r *Registry) IngestKeyed(events []VoteEvent, key string) (updated []WorkerInfo, sig string, duplicate bool, err error) {
+func (r *Registry) IngestKeyed(ctx context.Context, events []VoteEvent, key string) (updated []WorkerInfo, sig string, duplicate bool, err error) {
+	tr := obs.TraceFrom(ctx)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if key != "" && r.idem.has(key) {
-		return nil, r.fullSig, true, nil
+	if key != "" {
+		idemSpan := tr.Begin(obs.StageIdem)
+		dup := r.idem.has(key)
+		idemSpan.End()
+		if dup {
+			return nil, r.fullSig, true, nil
+		}
 	}
 	for _, ev := range events {
 		if _, ok := r.workers[ev.WorkerID]; !ok {
@@ -307,14 +320,16 @@ func (r *Registry) IngestKeyed(events []VoteEvent, key string) (updated []Worker
 		}
 	}
 	if len(events) > 0 {
-		if err := r.logLocked(&Record{T: RecIngest, Events: events, Key: key}); err != nil {
+		if err := r.logLocked(ctx, &Record{T: RecIngest, Events: events, Key: key}); err != nil {
 			return nil, "", false, err
 		}
 		if key != "" {
 			r.idem.add(key)
 		}
 	}
+	applySpan := tr.Begin(obs.StageApply)
 	touchOrder := r.applyIngestLocked(events)
+	applySpan.End()
 	out := make([]WorkerInfo, len(touchOrder))
 	for i, id := range touchOrder {
 		out[i] = r.workers[id].info()

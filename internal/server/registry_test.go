@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"math"
@@ -17,7 +18,7 @@ func specs3() []WorkerSpec {
 
 func TestRegistryRegisterListGet(t *testing.T) {
 	r := NewRegistry()
-	if _, err := r.Register(specs3(), 0); err != nil {
+	if _, err := r.Register(context.Background(), specs3(), 0); err != nil {
 		t.Fatal(err)
 	}
 	if r.Len() != 3 {
@@ -41,22 +42,22 @@ func TestRegistryRegisterListGet(t *testing.T) {
 
 func TestRegistryRegisterErrors(t *testing.T) {
 	r := NewRegistry()
-	if _, err := r.Register([]WorkerSpec{{ID: "", Quality: 0.5, Cost: 1}}, 0); !errors.Is(err, ErrEmptyID) {
+	if _, err := r.Register(context.Background(), []WorkerSpec{{ID: "", Quality: 0.5, Cost: 1}}, 0); !errors.Is(err, ErrEmptyID) {
 		t.Fatalf("empty id: %v", err)
 	}
-	if _, err := r.Register([]WorkerSpec{{ID: "x", Quality: 1.5, Cost: 1}}, 0); err == nil {
+	if _, err := r.Register(context.Background(), []WorkerSpec{{ID: "x", Quality: 1.5, Cost: 1}}, 0); err == nil {
 		t.Fatal("quality out of range accepted")
 	}
 	dup := []WorkerSpec{{ID: "x", Quality: 0.5, Cost: 1}, {ID: "x", Quality: 0.6, Cost: 1}}
-	if _, err := r.Register(dup, 0); !errors.Is(err, ErrDuplicateBatch) {
+	if _, err := r.Register(context.Background(), dup, 0); !errors.Is(err, ErrDuplicateBatch) {
 		t.Fatalf("duplicate batch: %v", err)
 	}
-	if _, err := r.Register(specs3(), 0); err != nil {
+	if _, err := r.Register(context.Background(), specs3(), 0); err != nil {
 		t.Fatal(err)
 	}
 	// Atomicity: a batch with one existing id registers nothing.
 	batch := []WorkerSpec{{ID: "new", Quality: 0.5, Cost: 1}, {ID: "a", Quality: 0.5, Cost: 1}}
-	if _, err := r.Register(batch, 0); !errors.Is(err, ErrWorkerExists) {
+	if _, err := r.Register(context.Background(), batch, 0); !errors.Is(err, ErrWorkerExists) {
 		t.Fatalf("existing id: %v", err)
 	}
 	if _, err := r.Get("new"); !errors.Is(err, ErrWorkerUnknown) {
@@ -67,10 +68,10 @@ func TestRegistryRegisterErrors(t *testing.T) {
 func TestRegistryIngestPosterior(t *testing.T) {
 	r := NewRegistry()
 	// Prior strength 8 at quality 0.8: Beta(6.4, 1.6).
-	if _, err := r.Register([]WorkerSpec{{ID: "a", Quality: 0.8, Cost: 1}}, 8); err != nil {
+	if _, err := r.Register(context.Background(), []WorkerSpec{{ID: "a", Quality: 0.8, Cost: 1}}, 8); err != nil {
 		t.Fatal(err)
 	}
-	updated, _, err := r.Ingest([]VoteEvent{{WorkerID: "a", Correct: false}})
+	updated, _, err := r.Ingest(context.Background(), []VoteEvent{{WorkerID: "a", Correct: false}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestRegistryIngestPosterior(t *testing.T) {
 	for i := range events {
 		events[i] = VoteEvent{WorkerID: "a", Correct: true}
 	}
-	updated, _, err = r.Ingest(events)
+	updated, _, err = r.Ingest(context.Background(), events)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,11 +98,11 @@ func TestRegistryIngestPosterior(t *testing.T) {
 
 func TestRegistryIngestAtomicity(t *testing.T) {
 	r := NewRegistry()
-	if _, err := r.Register(specs3(), 0); err != nil {
+	if _, err := r.Register(context.Background(), specs3(), 0); err != nil {
 		t.Fatal(err)
 	}
 	events := []VoteEvent{{WorkerID: "a", Correct: true}, {WorkerID: "ghost", Correct: true}}
-	if _, _, err := r.Ingest(events); !errors.Is(err, ErrWorkerUnknown) {
+	if _, _, err := r.Ingest(context.Background(), events); !errors.Is(err, ErrWorkerUnknown) {
 		t.Fatalf("unknown worker: %v", err)
 	}
 	got, _ := r.Get("a")
@@ -112,7 +113,7 @@ func TestRegistryIngestAtomicity(t *testing.T) {
 
 func TestSnapshotSignatureDriftsWithQuality(t *testing.T) {
 	r := NewRegistry()
-	if _, err := r.Register(specs3(), 0); err != nil {
+	if _, err := r.Register(context.Background(), specs3(), 0); err != nil {
 		t.Fatal(err)
 	}
 	_, _, sig1, err := r.Snapshot(nil)
@@ -123,7 +124,7 @@ func TestSnapshotSignatureDriftsWithQuality(t *testing.T) {
 	if sig1 != sig2 {
 		t.Fatalf("signature not stable: %s vs %s", sig1, sig2)
 	}
-	if _, _, err := r.Ingest([]VoteEvent{{WorkerID: "b", Correct: true}}); err != nil {
+	if _, _, err := r.Ingest(context.Background(), []VoteEvent{{WorkerID: "b", Correct: true}}); err != nil {
 		t.Fatal(err)
 	}
 	_, _, sig3, _ := r.Snapshot(nil)
@@ -134,7 +135,7 @@ func TestSnapshotSignatureDriftsWithQuality(t *testing.T) {
 
 func TestSnapshotSubsetCanonicalization(t *testing.T) {
 	r := NewRegistry()
-	if _, err := r.Register(specs3(), 0); err != nil {
+	if _, err := r.Register(context.Background(), specs3(), 0); err != nil {
 		t.Fatal(err)
 	}
 	pool1, ids1, sig1, err := r.Snapshot([]string{"c", "a", "c"})
@@ -175,11 +176,11 @@ func TestSignatureUnambiguousWithCraftedIDs(t *testing.T) {
 	crafted = append(crafted, 'y')
 
 	r1 := NewRegistry()
-	if _, err := r1.Register([]WorkerSpec{{ID: string(crafted), Quality: 0.7, Cost: 2}}, 0); err != nil {
+	if _, err := r1.Register(context.Background(), []WorkerSpec{{ID: string(crafted), Quality: 0.7, Cost: 2}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	r2 := NewRegistry()
-	if _, err := r2.Register([]WorkerSpec{
+	if _, err := r2.Register(context.Background(), []WorkerSpec{
 		{ID: "x", Quality: q1, Cost: c1},
 		{ID: "y", Quality: 0.7, Cost: 2},
 	}, 0); err != nil {
@@ -200,13 +201,13 @@ func TestSignatureUnambiguousWithCraftedIDs(t *testing.T) {
 
 func TestRegistryUpdateRemove(t *testing.T) {
 	r := NewRegistry()
-	if _, err := r.Register(specs3(), 0); err != nil {
+	if _, err := r.Register(context.Background(), specs3(), 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := r.Ingest([]VoteEvent{{WorkerID: "a", Correct: false}}); err != nil {
+	if _, _, err := r.Ingest(context.Background(), []VoteEvent{{WorkerID: "a", Correct: false}}); err != nil {
 		t.Fatal(err)
 	}
-	info, err := r.Update(WorkerSpec{ID: "a", Quality: 0.9, Cost: 5}, 0)
+	info, err := r.Update(context.Background(), WorkerSpec{ID: "a", Quality: 0.9, Cost: 5}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,13 +217,13 @@ func TestRegistryUpdateRemove(t *testing.T) {
 	if info.Version < 2 {
 		t.Fatalf("version not bumped: %+v", info)
 	}
-	if err := r.Remove("b"); err != nil {
+	if err := r.Remove(context.Background(), "b"); err != nil {
 		t.Fatal(err)
 	}
 	if r.Len() != 2 {
 		t.Fatalf("Len after remove = %d", r.Len())
 	}
-	if err := r.Remove("b"); !errors.Is(err, ErrWorkerUnknown) {
+	if err := r.Remove(context.Background(), "b"); !errors.Is(err, ErrWorkerUnknown) {
 		t.Fatalf("double remove: %v", err)
 	}
 	list, _ := r.List()

@@ -14,17 +14,21 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/conc"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/selection"
 	"repro/internal/voting"
@@ -76,6 +80,15 @@ type Config struct {
 	// selects the real one. Chaos tests substitute a fault injector
 	// (internal/wal/errfs) here.
 	FS wal.FS
+	// TraceBuffer sizes the request-trace ring buffer behind
+	// GET /debug/traces; 0 selects obs.DefaultRingSize, negative disables
+	// tracing entirely (requests carry no trace, the debug endpoint
+	// serves empty lists).
+	TraceBuffer int
+	// Logger receives structured request and lifecycle logs, each line
+	// carrying the request's trace ID. nil discards them (tests, and
+	// embedders that only want the HTTP surface).
+	Logger *slog.Logger
 }
 
 // NewConfig returns the production defaults: uniform prior, seed 1.
@@ -92,6 +105,9 @@ type Server struct {
 	cache    *SelectionCache
 	sessions *sessionStore
 	metrics  *Metrics
+	recorder *obs.Recorder // nil when cfg.TraceBuffer < 0
+	logger   *slog.Logger
+	started  time.Time // process-visible start, for juryd_uptime_seconds
 	mux      *http.ServeMux
 	routes   []string     // registered patterns, for /metrics and the API reference test
 	persist  *Persistence // nil without a data dir
@@ -128,6 +144,14 @@ func New(cfg Config) *Server {
 		cache:    NewSelectionCache(cfg.CacheSize),
 		sessions: newSessionStore(),
 		metrics:  NewMetrics(),
+		logger:   cfg.Logger,
+		started:  time.Now(),
+	}
+	if cfg.TraceBuffer >= 0 {
+		s.recorder = obs.NewRecorder(cfg.TraceBuffer)
+	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.DiscardHandler)
 	}
 	if cfg.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, cfg.MaxInFlight)
@@ -137,6 +161,7 @@ func New(cfg Config) *Server {
 	s.route("GET /readyz", routeSys, s.handleReady)
 	s.route("GET /metrics", routeSys, s.handleMetrics)
 	s.route("GET /debug/persistence", routeSys, s.handleDebugPersistence)
+	s.route("GET /debug/traces", routeSys, s.handleDebugTraces)
 	s.route("POST /v1/workers", routeMut, s.handleRegister)
 	s.route("GET /v1/workers", routeRead, s.handleListWorkers)
 	s.route("GET /v1/workers/{id}", routeRead, s.handleGetWorker)
@@ -180,6 +205,10 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 // Metrics exposes the operational counters.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// Recorder exposes the trace recorder (nil when tracing is disabled);
+// used by tests and benchmarks.
+func (s *Server) Recorder() *obs.Recorder { return s.recorder }
+
 // routeKind classifies a route for the failure-domain wrappers.
 type routeKind int
 
@@ -203,16 +232,19 @@ const timeoutBody = `{"error":"server: request deadline exceeded"}`
 // route registers a handler wrapped by kind-dependent failure-domain
 // middleware (degraded/drain refusal for mutations, per-request
 // deadline and admission control for everything but system routes) and,
-// outermost, per-route metrics: a request counter and a latency
-// histogram, both labeled by the route pattern, with shed and refused
-// requests counted like any other response.
+// outermost, per-route metrics and request tracing: every request gets
+// a trace ID (the client's X-Request-Id when sane, a fresh one
+// otherwise), echoed on the response, carried in the request context
+// for stage spans and structured logs, and — with tracing enabled —
+// recorded into the trace ring with per-stage latency histograms. Shed
+// and refused requests are counted like any other response.
 func (s *Server) route(pattern string, kind routeKind, h func(http.ResponseWriter, *http.Request)) {
 	s.routes = append(s.routes, pattern)
 	inner := h
 	if kind == routeMut {
 		inner = func(w http.ResponseWriter, r *http.Request) {
 			if err := s.mutable(); err != nil {
-				writeError(w, err)
+				writeError(w, r, err)
 				return
 			}
 			h(w, r)
@@ -224,23 +256,55 @@ func (s *Server) route(pattern string, kind routeKind, h func(http.ResponseWrite
 	}
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := obs.CleanID(r.Header.Get(obs.RequestIDHeader))
+		var tr *obs.Trace
+		if s.recorder != nil {
+			tr = obs.NewTrace(id, pattern)
+			r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		// RequestIDHeader is already canonical; direct assignment skips
+		// Set's per-request canonicalization on the hot path.
+		sw.Header()[obs.RequestIDHeader] = []string{id}
 		if kind != routeSys && s.inflight != nil {
+			admSpan := tr.Begin(obs.StageAdmission)
 			select {
 			case s.inflight <- struct{}{}:
+				admSpan.End()
 				defer func() { <-s.inflight }()
 			default:
+				admSpan.End()
 				s.metrics.LoadShed()
 				sw.Header().Set("Retry-After", "1")
-				writeJSON(sw, http.StatusTooManyRequests,
+				writeJSON(sw, r, http.StatusTooManyRequests,
 					ErrorResponse{Error: "server: overloaded: in-flight request limit reached"})
-				s.metrics.Request(pattern, sw.status, time.Since(start))
+				s.finishRequest(pattern, id, tr, sw.status, start)
 				return
 			}
 		}
 		handler.ServeHTTP(sw, r)
-		s.metrics.Request(pattern, sw.status, time.Since(start))
+		s.finishRequest(pattern, id, tr, sw.status, start)
 	})
+}
+
+// finishRequest settles one request's observability: the per-route
+// metrics, the trace (published to the ring and the stage histograms),
+// and a structured log line carrying the trace ID.
+func (s *Server) finishRequest(pattern, id string, tr *obs.Trace, status int, start time.Time) {
+	d := time.Since(start)
+	s.metrics.Request(pattern, status, d)
+	s.recorder.Finish(tr, status)
+	level := slog.LevelDebug
+	if status >= 500 {
+		level = slog.LevelWarn
+	} else if status >= 400 {
+		level = slog.LevelInfo
+	}
+	s.logger.LogAttrs(context.Background(), level, "request",
+		slog.String("request_id", id),
+		slog.String("route", pattern),
+		slog.Int("status", status),
+		slog.Duration("duration", d))
 }
 
 // statusWriter captures the response status for metrics.
@@ -266,14 +330,21 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
 	return nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, body any) {
+// writeJSON encodes the response body; the request provides the trace
+// the encode time is attributed to (nil-safe for callers without one).
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, body any) {
+	var encSpan obs.SpanTimer
+	if r != nil {
+		encSpan = obs.TraceFrom(r.Context()).Begin(obs.StageEncode)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body)
+	encSpan.End()
 }
 
 // writeError maps a service error onto an HTTP status and JSON body.
-func writeError(w http.ResponseWriter, err error) {
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusBadRequest
 	switch {
 	case errors.Is(err, ErrWorkerUnknown), errors.Is(err, ErrSessionUnknown),
@@ -296,7 +367,7 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "2")
 	}
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	writeJSON(w, r, status, ErrorResponse{Error: err.Error()})
 }
 
 // ---------------------------------------------------------------------------
@@ -306,7 +377,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	// Liveness stays 200 even degraded — the process is up and serving
 	// reads; readiness (/readyz) is what goes 503.
 	degraded, _ := s.DegradedState()
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, r, http.StatusOK, map[string]any{
 		"status":      "ok",
 		"degraded":    degraded,
 		"draining":    s.Draining(),
@@ -320,10 +391,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteText(w, s.cache.Stats(), s.registry.Len(), s.registry.Generation(),
 		s.multi.Len(), s.degraded.Load())
+	s.recorder.WriteMetrics(w)
+	writeRuntimeMetrics(w, s.started)
 }
 
 func (s *Server) handleDebugPersistence(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.PersistenceStatus())
+	writeJSON(w, r, http.StatusOK, s.PersistenceStatus())
+}
+
+// handleDebugTraces serves the trace ring: the most recent finished
+// traces (?n= bounds the count, default 32) and the slowest seen since
+// boot, each with its stage spans. With tracing disabled both lists are
+// empty.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, r, fmt.Errorf("server: bad trace count %q", q))
+			return
+		}
+		n = v
+	}
+	writeJSON(w, r, http.StatusOK, DebugTracesResponse{
+		Enabled: s.recorder != nil,
+		Count:   s.recorder.Count(),
+		Recent:  s.recorder.Recent(n),
+		Slowest: s.recorder.Slowest(),
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -332,20 +427,20 @@ func (s *Server) handleDebugPersistence(w http.ResponseWriter, r *http.Request) 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if len(req.Workers) == 0 {
-		writeError(w, errors.New("server: no workers in request"))
+		writeError(w, r, errors.New("server: no workers in request"))
 		return
 	}
 	defer s.mutationGuard()()
-	sig, err := s.registry.Register(req.Workers, s.cfg.PriorStrength)
+	sig, err := s.registry.Register(r.Context(), req.Workers, s.cfg.PriorStrength)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, RegisterResponse{
+	writeJSON(w, r, http.StatusCreated, RegisterResponse{
 		Registered: len(req.Workers),
 		PoolSize:   s.registry.Len(),
 		Signature:  sig,
@@ -354,46 +449,46 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleListWorkers(w http.ResponseWriter, r *http.Request) {
 	list, sig := s.registry.List()
-	writeJSON(w, http.StatusOK, ListResponse{Workers: list, Signature: sig})
+	writeJSON(w, r, http.StatusOK, ListResponse{Workers: list, Signature: sig})
 }
 
 func (s *Server) handleGetWorker(w http.ResponseWriter, r *http.Request) {
 	info, err := s.registry.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	writeJSON(w, r, http.StatusOK, info)
 }
 
 func (s *Server) handleUpdateWorker(w http.ResponseWriter, r *http.Request) {
 	var spec WorkerSpec
 	if err := decodeJSON(w, r, &spec); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	id := r.PathValue("id")
 	if spec.ID != "" && spec.ID != id {
-		writeError(w, fmt.Errorf("server: body id %q does not match path id %q", spec.ID, id))
+		writeError(w, r, fmt.Errorf("server: body id %q does not match path id %q", spec.ID, id))
 		return
 	}
 	spec.ID = id
 	defer s.mutationGuard()()
-	info, err := s.registry.Update(spec, s.cfg.PriorStrength)
+	info, err := s.registry.Update(r.Context(), spec, s.cfg.PriorStrength)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, info)
+	writeJSON(w, r, http.StatusOK, info)
 }
 
 func (s *Server) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
 	defer s.mutationGuard()()
-	if err := s.registry.Remove(r.PathValue("id")); err != nil {
-		writeError(w, err)
+	if err := s.registry.Remove(r.Context(), r.PathValue("id")); err != nil {
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"removed": true})
+	writeJSON(w, r, http.StatusOK, map[string]any{"removed": true})
 }
 
 // ---------------------------------------------------------------------------
@@ -402,23 +497,23 @@ func (s *Server) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleIngestOne(w http.ResponseWriter, r *http.Request) {
 	var ev VoteEvent
 	if err := decodeJSON(w, r, &ev); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	s.ingest(w, []VoteEvent{ev}, idempotencyKey(r))
+	s.ingest(w, r, []VoteEvent{ev}, idempotencyKey(r))
 }
 
 func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if len(req.Events) == 0 {
-		writeError(w, errors.New("server: no events in request"))
+		writeError(w, r, errors.New("server: no events in request"))
 		return
 	}
-	s.ingest(w, req.Events, idempotencyKey(r))
+	s.ingest(w, r, req.Events, idempotencyKey(r))
 }
 
 // idempotencyKey extracts the client-generated Idempotency-Key header
@@ -428,20 +523,20 @@ func idempotencyKey(r *http.Request) string {
 	return r.Header.Get("Idempotency-Key")
 }
 
-func (s *Server) ingest(w http.ResponseWriter, events []VoteEvent, key string) {
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request, events []VoteEvent, key string) {
 	defer s.mutationGuard()()
-	updated, sig, dup, err := s.registry.IngestKeyed(events, key)
+	updated, sig, dup, err := s.registry.IngestKeyed(r.Context(), events, key)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if dup {
 		s.metrics.IngestDuplicate()
-		writeJSON(w, http.StatusOK, IngestResponse{Signature: sig, Duplicate: true})
+		writeJSON(w, r, http.StatusOK, IngestResponse{Signature: sig, Duplicate: true})
 		return
 	}
 	s.metrics.VotesIngested(len(events))
-	writeJSON(w, http.StatusOK, IngestResponse{
+	writeJSON(w, r, http.StatusOK, IngestResponse{
 		Ingested:  len(events),
 		Updated:   updated,
 		Signature: sig,
@@ -474,7 +569,7 @@ func strategySelector(strategy string, seed int64) (sel selection.Selector, name
 // selectOne serves one selection request: cache lookup on the snapshot
 // signature, then compute-and-fill on miss. The selection itself runs on
 // the immutable snapshot, outside any lock.
-func (s *Server) selectOne(req SelectRequest) (SelectResponse, error) {
+func (s *Server) selectOne(ctx context.Context, req SelectRequest) (SelectResponse, error) {
 	if req.Budget < 0 || req.Budget != req.Budget {
 		return SelectResponse{}, fmt.Errorf("server: bad budget %v", req.Budget)
 	}
@@ -501,8 +596,12 @@ func (s *Server) selectOne(req SelectRequest) (SelectResponse, error) {
 	if !seeded {
 		keySeed = 0
 	}
+	tr := obs.TraceFrom(ctx)
 	key := SelectionKey{Signature: sig, Strategy: strategyName, Budget: req.Budget, Alpha: alpha, Seed: keySeed}
-	if res, ok := s.cache.Get(key); ok {
+	cacheSpan := tr.Begin(obs.StageCache)
+	res, hit := s.cache.Get(key)
+	cacheSpan.End()
+	if hit {
 		res.Cached = true
 		return res, nil
 	}
@@ -511,8 +610,9 @@ func (s *Server) selectOne(req SelectRequest) (SelectResponse, error) {
 	if err != nil {
 		return SelectResponse{}, err
 	}
+	tr.Add(obs.StageEval, start, time.Since(start))
 	s.metrics.SelectionComputed(time.Since(start))
-	res := SelectResponse{
+	res = SelectResponse{
 		Jury:        make([]JuryMember, len(result.Indices)),
 		JQ:          result.JQ,
 		Cost:        result.Cost,
@@ -532,15 +632,15 @@ func (s *Server) selectOne(req SelectRequest) (SelectResponse, error) {
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req SelectRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	res, err := s.selectOne(req)
+	res, err := s.selectOne(r.Context(), req)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	writeJSON(w, r, http.StatusOK, res)
 }
 
 // handleSelectBatch answers one selection per budget, fanning the budgets
@@ -549,17 +649,17 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchSelectRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if len(req.Budgets) == 0 {
-		writeError(w, errors.New("server: no budgets in request"))
+		writeError(w, r, errors.New("server: no budgets in request"))
 		return
 	}
 	results := make([]SelectResponse, len(req.Budgets))
 	errs := make([]error, len(req.Budgets))
 	conc.ForEach(s.cfg.Workers, len(req.Budgets), func(i int) {
-		results[i], errs[i] = s.selectOne(SelectRequest{
+		results[i], errs[i] = s.selectOne(r.Context(), SelectRequest{
 			Budget:    req.Budgets[i],
 			Alpha:     req.Alpha,
 			Strategy:  req.Strategy,
@@ -569,11 +669,11 @@ func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
 	})
 	for _, err := range errs {
 		if err != nil {
-			writeError(w, err)
+			writeError(w, r, err)
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, BatchSelectResponse{Selections: results})
+	writeJSON(w, r, http.StatusOK, BatchSelectResponse{Selections: results})
 }
 
 // ---------------------------------------------------------------------------
@@ -582,7 +682,7 @@ func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	var req SessionRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	alpha := s.cfg.Alpha
@@ -590,47 +690,47 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 		alpha = *req.Alpha
 	}
 	defer s.mutationGuard()()
-	state, err := s.sessions.Open(online.Config{
+	state, err := s.sessions.Open(r.Context(), online.Config{
 		Alpha:      alpha,
 		Confidence: req.Confidence,
 		Budget:     req.Budget,
 		MaxVotes:   req.MaxVotes,
 	})
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	s.metrics.SessionOpened()
-	writeJSON(w, http.StatusCreated, state)
+	writeJSON(w, r, http.StatusCreated, state)
 }
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	state, err := s.sessions.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, state)
+	writeJSON(w, r, http.StatusOK, state)
 }
 
 func (s *Server) handleSessionVote(w http.ResponseWriter, r *http.Request) {
 	var req SessionVoteRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if req.Vote != voting.No && req.Vote != voting.Yes {
-		writeError(w, fmt.Errorf("server: bad vote %d (want 0 or 1)", req.Vote))
+		writeError(w, r, fmt.Errorf("server: bad vote %d (want 0 or 1)", req.Vote))
 		return
 	}
 	info, err := s.registry.Get(req.WorkerID)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	id := r.PathValue("id")
 	defer s.mutationGuard()()
-	state, err := s.sessions.Observe(id, info.Quality, info.Cost, req.Vote)
+	state, err := s.sessions.Observe(r.Context(), id, info.Quality, info.Cost, req.Vote)
 	if errors.Is(err, online.ErrOverBudget) {
 		// The vote does not fit. If no registered worker fits the
 		// remaining budget either, collection cannot continue at all:
@@ -638,31 +738,31 @@ func (s *Server) handleSessionVote(w http.ResponseWriter, r *http.Request) {
 		// rejected vote is not folded in) instead of erroring.
 		if remaining, bounded, rerr := s.sessions.BudgetRemaining(id); rerr == nil &&
 			bounded && !s.registry.AnyAffordable(remaining) {
-			state, err = s.sessions.MarkBudgetExhausted(id)
+			state, err = s.sessions.MarkBudgetExhausted(r.Context(), id)
 			if err == nil {
 				s.metrics.SessionFinished()
-				writeJSON(w, http.StatusOK, state)
+				writeJSON(w, r, http.StatusOK, state)
 				return
 			}
 		}
 	}
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if state.Done {
 		s.metrics.SessionFinished()
 	}
-	writeJSON(w, http.StatusOK, state)
+	writeJSON(w, r, http.StatusOK, state)
 }
 
 func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 	defer s.mutationGuard()()
-	if err := s.sessions.Close(r.PathValue("id")); err != nil {
-		writeError(w, err)
+	if err := s.sessions.Close(r.Context(), r.PathValue("id")); err != nil {
+		writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"closed": true})
+	writeJSON(w, r, http.StatusOK, map[string]any{"closed": true})
 }
 
 // Preload registers an initial worker pool, for daemon startup (-pool).
@@ -675,6 +775,6 @@ func (s *Server) Preload(specs []WorkerSpec) error {
 		return nil
 	}
 	defer s.mutationGuard()()
-	_, err := s.registry.Register(specs, s.cfg.PriorStrength)
+	_, err := s.registry.Register(context.Background(), specs, s.cfg.PriorStrength)
 	return err
 }

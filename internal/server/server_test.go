@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -444,15 +445,15 @@ func TestHTTPUpdateWorkerIDMismatch(t *testing.T) {
 // the seed, so requests differing only in seed must share one cache entry.
 func TestUnseededStrategiesShareCacheAcrossSeeds(t *testing.T) {
 	s := New(Config{Alpha: 0.5, Seed: 1})
-	if _, err := s.registry.Register(specs3(), 0); err != nil {
+	if _, err := s.registry.Register(context.Background(), specs3(), 0); err != nil {
 		t.Fatal(err)
 	}
 	seed1, seed2 := int64(1), int64(2)
-	first, err := s.selectOne(SelectRequest{Budget: 6, Strategy: "greedy", Seed: &seed1})
+	first, err := s.selectOne(context.Background(), SelectRequest{Budget: 6, Strategy: "greedy", Seed: &seed1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := s.selectOne(SelectRequest{Budget: 6, Strategy: "greedy", Seed: &seed2})
+	second, err := s.selectOne(context.Background(), SelectRequest{Budget: 6, Strategy: "greedy", Seed: &seed2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -460,11 +461,11 @@ func TestUnseededStrategiesShareCacheAcrossSeeds(t *testing.T) {
 		t.Fatalf("greedy did not share cache across seeds: %v / %v", first.Cached, second.Cached)
 	}
 	// The seeded search must still discriminate.
-	third, err := s.selectOne(SelectRequest{Budget: 6, Strategy: "bv", Seed: &seed1})
+	third, err := s.selectOne(context.Background(), SelectRequest{Budget: 6, Strategy: "bv", Seed: &seed1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	fourth, err := s.selectOne(SelectRequest{Budget: 6, Strategy: "bv", Seed: &seed2})
+	fourth, err := s.selectOne(context.Background(), SelectRequest{Budget: 6, Strategy: "bv", Seed: &seed2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/voting"
 )
@@ -35,8 +37,9 @@ type sessionStore struct {
 	live map[string]*liveSession
 	// journal, when set, receives every session mutation as a WAL record
 	// under the lock that orders it, after validation but before the
-	// mutation is applied (see Registry.journal for the contract).
-	journal func(*Record) error
+	// mutation is applied (see Registry.journal for the contract; the
+	// context carries the request trace).
+	journal func(context.Context, *Record) error
 }
 
 type liveSession struct {
@@ -63,7 +66,7 @@ func newSessionStore() *sessionStore {
 }
 
 // Open starts a session and returns its id and initial state.
-func (st *sessionStore) Open(cfg online.Config) (SessionState, error) {
+func (st *sessionStore) Open(ctx context.Context, cfg online.Config) (SessionState, error) {
 	sess, err := online.NewSession(cfg)
 	if err != nil {
 		return SessionState{}, err
@@ -71,7 +74,7 @@ func (st *sessionStore) Open(cfg online.Config) (SessionState, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if len(st.live) >= st.cap {
-		if err := st.reapLocked(); err != nil {
+		if err := st.reapLocked(ctx); err != nil {
 			return SessionState{}, err
 		}
 	}
@@ -82,7 +85,7 @@ func (st *sessionStore) Open(cfg online.Config) (SessionState, error) {
 	id := "s" + strconv.FormatUint(n, 10)
 	if st.journal != nil {
 		cfgCopy := cfg
-		err := st.journal(&Record{T: RecSessionOpen, Session: &SessionRecord{
+		err := st.journal(ctx, &Record{T: RecSessionOpen, Session: &SessionRecord{
 			ID: id, Next: n, Config: &cfgCopy,
 		}})
 		if err != nil {
@@ -106,7 +109,7 @@ func (st *sessionStore) Open(cfg online.Config) (SessionState, error) {
 // st.mu; holding several ls.mu at once is safe because reap and Close
 // (the only deletion paths) are serialized by st.mu, and voters never
 // hold more than one.
-func (st *sessionStore) reapLocked() error {
+func (st *sessionStore) reapLocked(ctx context.Context) error {
 	cutoff := st.now().Add(-sessionIdleTTL)
 	var dead []*liveSession
 	for _, ls := range st.live {
@@ -126,7 +129,7 @@ func (st *sessionStore) reapLocked() error {
 		ids[i] = ls.id
 	}
 	if st.journal != nil {
-		if err := st.journal(&Record{T: RecSessionReap, Session: &SessionRecord{Reaped: ids}}); err != nil {
+		if err := st.journal(ctx, &Record{T: RecSessionReap, Session: &SessionRecord{Reaped: ids}}); err != nil {
 			for _, ls := range dead {
 				ls.mu.Unlock()
 			}
@@ -158,7 +161,7 @@ func (st *sessionStore) Get(id string) (SessionState, error) {
 
 // Observe feeds one vote (weighted by the worker's quality and cost) into
 // a session.
-func (st *sessionStore) Observe(id string, quality, cost float64, v voting.Vote) (SessionState, error) {
+func (st *sessionStore) Observe(ctx context.Context, id string, quality, cost float64, v voting.Vote) (SessionState, error) {
 	ls, err := st.lookup(id)
 	if err != nil {
 		return SessionState{}, err
@@ -176,14 +179,16 @@ func (st *sessionStore) Observe(id string, quality, cost float64, v voting.Vote)
 		// The worker's quality and cost at ingest time travel in the
 		// record, so replaying the vote is exact whatever the registry
 		// looked like.
-		err := st.journal(&Record{T: RecSessionVote, Session: &SessionRecord{
+		err := st.journal(ctx, &Record{T: RecSessionVote, Session: &SessionRecord{
 			ID: id, Quality: quality, Cost: cost, Vote: int(v),
 		}})
 		if err != nil {
 			return sessionState(id, ls.sess.State()), err
 		}
 	}
+	applySpan := obs.TraceFrom(ctx).Begin(obs.StageApply)
 	state, err := ls.sess.Observe(quality, cost, v)
+	applySpan.End()
 	return sessionState(id, state), err
 }
 
@@ -207,7 +212,7 @@ func (st *sessionStore) BudgetRemaining(id string) (float64, bool, error) {
 }
 
 // MarkBudgetExhausted finalizes a session with the "budget" stop reason.
-func (st *sessionStore) MarkBudgetExhausted(id string) (SessionState, error) {
+func (st *sessionStore) MarkBudgetExhausted(ctx context.Context, id string) (SessionState, error) {
 	ls, err := st.lookup(id)
 	if err != nil {
 		return SessionState{}, err
@@ -218,7 +223,7 @@ func (st *sessionStore) MarkBudgetExhausted(id string) (SessionState, error) {
 		return SessionState{}, fmt.Errorf("%w: %q", ErrSessionUnknown, id)
 	}
 	if !ls.sess.State().Done && st.journal != nil {
-		err := st.journal(&Record{T: RecSessionBudget, Session: &SessionRecord{ID: id}})
+		err := st.journal(ctx, &Record{T: RecSessionBudget, Session: &SessionRecord{ID: id}})
 		if err != nil {
 			return sessionState(id, ls.sess.State()), err
 		}
@@ -230,7 +235,7 @@ func (st *sessionStore) MarkBudgetExhausted(id string) (SessionState, error) {
 // the session's own lock, so a voter racing the close either lands its
 // vote record before the close record (and replay applies both, in
 // order) or observes the closed mark and journals nothing.
-func (st *sessionStore) Close(id string) error {
+func (st *sessionStore) Close(ctx context.Context, id string) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	ls, ok := st.live[id]
@@ -239,7 +244,7 @@ func (st *sessionStore) Close(id string) error {
 	}
 	ls.mu.Lock()
 	if st.journal != nil {
-		if err := st.journal(&Record{T: RecSessionClose, Session: &SessionRecord{ID: id}}); err != nil {
+		if err := st.journal(ctx, &Record{T: RecSessionClose, Session: &SessionRecord{ID: id}}); err != nil {
 			ls.mu.Unlock()
 			return err
 		}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -16,22 +17,22 @@ func TestSessionStoreReapsUnderCapPressure(t *testing.T) {
 	st.now = func() time.Time { return now }
 	cfg := online.Config{Alpha: 0.5, Confidence: 0.95}
 
-	s1, err := st.Open(cfg)
+	s1, err := st.Open(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.Open(cfg); err != nil {
+	if _, err := st.Open(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.Open(cfg); err == nil {
+	if _, err := st.Open(context.Background(), cfg); err == nil {
 		t.Fatal("cap not enforced with two live sessions")
 	}
 
 	// Finishing s1 makes it reapable: the next Open succeeds.
-	if state, err := st.Observe(s1.ID, 0.99, 0, voting.No); err != nil || !state.Done {
+	if state, err := st.Observe(context.Background(), s1.ID, 0.99, 0, voting.No); err != nil || !state.Done {
 		t.Fatalf("observe: %+v, %v", state, err)
 	}
-	s3, err := st.Open(cfg)
+	s3, err := st.Open(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("open after finishing a session: %v", err)
 	}
@@ -41,7 +42,7 @@ func TestSessionStoreReapsUnderCapPressure(t *testing.T) {
 
 	// Sessions idle past the TTL are reapable too.
 	now = now.Add(sessionIdleTTL + time.Minute)
-	if _, err := st.Open(cfg); err != nil {
+	if _, err := st.Open(context.Background(), cfg); err != nil {
 		t.Fatalf("open after idle TTL: %v", err)
 	}
 	if _, err := st.Get(s3.ID); !errors.Is(err, ErrSessionUnknown) {
@@ -51,18 +52,18 @@ func TestSessionStoreReapsUnderCapPressure(t *testing.T) {
 
 func TestSessionStoreBudgetRemaining(t *testing.T) {
 	st := newSessionStore()
-	unbounded, err := st.Open(online.Config{Alpha: 0.5, Confidence: 0.95})
+	unbounded, err := st.Open(context.Background(), online.Config{Alpha: 0.5, Confidence: 0.95})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, bounded, err := st.BudgetRemaining(unbounded.ID); err != nil || bounded {
 		t.Fatalf("unbounded session reported a budget: %v, %v", bounded, err)
 	}
-	s, err := st.Open(online.Config{Alpha: 0.5, Confidence: 0.999999, Budget: 10})
+	s, err := st.Open(context.Background(), online.Config{Alpha: 0.5, Confidence: 0.999999, Budget: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.Observe(s.ID, 0.6, 4, voting.No); err != nil {
+	if _, err := st.Observe(context.Background(), s.ID, 0.6, 4, voting.No); err != nil {
 		t.Fatal(err)
 	}
 	remaining, bounded, err := st.BudgetRemaining(s.ID)

@@ -34,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // LSN is a log sequence number: records are numbered 1, 2, 3, ... across
@@ -297,16 +298,37 @@ func (l *Log) rotateLocked() error {
 // one fails with an error wrapping ErrFailed and the original cause.
 // Callers must treat any append error as "this record is not durable".
 func (l *Log) Append(payload []byte) (LSN, error) {
+	lsn, _, err := l.AppendTimed(payload)
+	return lsn, err
+}
+
+// AppendTiming breaks one append's latency into its durability phases.
+// The fsync is the dominant (and tunable: Options.Fsync, future group
+// commit) cost, so it is reported separately from the framing + write.
+type AppendTiming struct {
+	// Total is the whole append under the log's lock: framing, rotation
+	// if due, the segment write, and the fsync.
+	Total time.Duration
+	// Fsync is the portion spent in the post-write flush to stable
+	// storage; zero when Options.Fsync is off.
+	Fsync time.Duration
+}
+
+// AppendTimed is Append, also reporting where the time went — the
+// instrumentation point behind the juryd_wal_fsync_seconds histogram.
+func (l *Log) AppendTimed(payload []byte) (lsn LSN, timing AppendTiming, err error) {
 	if len(payload) > MaxRecordBytes {
-		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+		return 0, timing, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
+	start := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	defer func() { timing.Total = time.Since(start) }()
 	if l.f == nil {
-		return 0, ErrClosed
+		return 0, timing, ErrClosed
 	}
 	if l.failed != nil {
-		return 0, fmt.Errorf("%w: %w", ErrFailed, l.failed)
+		return 0, timing, fmt.Errorf("%w: %w", ErrFailed, l.failed)
 	}
 	rec := make([]byte, headerSize+len(payload))
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
@@ -315,24 +337,27 @@ func (l *Log) Append(payload []byte) (LSN, error) {
 	if l.size > 0 && l.size+int64(len(rec)) > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			l.failed = err
-			return 0, err
+			return 0, timing, err
 		}
 	}
 	path := l.segs[len(l.segs)-1].path
 	if _, err := l.f.Write(rec); err != nil {
 		l.failed = &IOError{Op: "write", Path: path, Err: err}
-		return 0, l.failed
+		return 0, timing, l.failed
 	}
 	l.size += int64(len(rec))
 	if l.opts.Fsync {
-		if err := l.f.Sync(); err != nil {
-			l.failed = &IOError{Op: "fsync", Path: path, Err: err}
-			return 0, l.failed
+		syncStart := time.Now()
+		serr := l.f.Sync()
+		timing.Fsync = time.Since(syncStart)
+		if serr != nil {
+			l.failed = &IOError{Op: "fsync", Path: path, Err: serr}
+			return 0, timing, l.failed
 		}
 	}
-	lsn := l.next
+	lsn = l.next
 	l.next++
-	return lsn, nil
+	return lsn, timing, nil
 }
 
 // Failed reports the sticky disk error that poisoned the log, or nil.

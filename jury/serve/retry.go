@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -77,6 +78,31 @@ type callOpts struct {
 	// key is sent as the Idempotency-Key header; a non-empty key makes
 	// the request idempotent by server-side deduplication.
 	key string
+	// requestID is sent as the X-Request-Id header on every attempt of
+	// one logical call, so the daemon's traces and logs stitch retries
+	// of the same operation together under one ID.
+	requestID string
+}
+
+// requestIDKey carries a caller-chosen request ID through a context.
+type requestIDKey struct{}
+
+// WithRequestID returns a context that makes the client send id as the
+// X-Request-Id header for calls under it, instead of generating one.
+// Use it to stitch daemon-side traces and logs to an ID the caller
+// already logs (e.g. an upstream request ID).
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// requestIDFrom resolves the request ID for one logical call: the
+// caller's, or a fresh random one. Generated once per call — retries
+// reuse it.
+func requestIDFrom(ctx context.Context) string {
+	if id, ok := ctx.Value(requestIDKey{}).(string); ok && id != "" {
+		return id
+	}
+	return obs.NewID()
 }
 
 // attempts returns the bounded try count.
@@ -138,6 +164,7 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, opt
 			return err
 		}
 	}
+	opts.requestID = requestIDFrom(ctx)
 	var lastErr error
 	for attempt := 0; attempt < c.retry.attempts(); attempt++ {
 		if attempt > 0 {
@@ -190,6 +217,9 @@ func (c *Client) once(ctx context.Context, method, path string, data []byte, out
 	}
 	if opts.key != "" {
 		req.Header.Set("Idempotency-Key", opts.key)
+	}
+	if opts.requestID != "" {
+		req.Header.Set(obs.RequestIDHeader, opts.requestID)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

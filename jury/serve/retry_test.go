@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -226,5 +227,69 @@ func TestPerTryTimeout(t *testing.T) {
 	}
 	if got := calls.Load(); got != 2 {
 		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+}
+
+func TestRequestIDStableAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var ids []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ids = append(ids, r.Header.Get("X-Request-Id"))
+		n := len(ids)
+		mu.Unlock()
+		if n <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "draining"})
+			return
+		}
+		json.NewEncoder(w).Encode(server.SelectResponse{})
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL).WithRetry(fastRetry(4))
+	if _, err := c.Select(context.Background(), SelectRequest{Budget: 1}); err != nil {
+		t.Fatalf("select through 503s: %v", err)
+	}
+	mu.Lock()
+	first := append([]string(nil), ids...)
+	mu.Unlock()
+	if len(first) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(first))
+	}
+	if first[0] == "" {
+		t.Fatal("client sent no X-Request-Id")
+	}
+	if first[1] != first[0] || first[2] != first[0] {
+		t.Fatalf("request id changed across retries: %v", first)
+	}
+
+	// A second logical call must get a different ID.
+	if _, err := c.Select(context.Background(), SelectRequest{Budget: 1}); err != nil {
+		t.Fatalf("second select: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ids[3] == first[0] {
+		t.Fatalf("distinct logical calls share request id %q", ids[3])
+	}
+}
+
+func TestRequestIDFromContext(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("X-Request-Id"))
+		json.NewEncoder(w).Encode(server.SelectResponse{})
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL).WithRetry(fastRetry(1))
+	ctx := WithRequestID(context.Background(), "upstream-777")
+	if _, err := c.Select(ctx, SelectRequest{Budget: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := got.Load().(string); id != "upstream-777" {
+		t.Fatalf("server saw request id %q, want upstream-777", id)
 	}
 }
