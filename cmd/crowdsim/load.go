@@ -48,6 +48,10 @@ type BenchReport struct {
 	// WALFsyncP99Ms is estimated from the daemon's juryd_wal_fsync_seconds
 	// histogram; -1 when the daemon runs without -fsync (no fsync spans).
 	WALFsyncP99Ms float64 `json:"wal_fsync_p99_ms"`
+	// WALBatchMeanRecords is the mean group-commit batch size from the
+	// daemon's juryd_wal_batch_records histogram (records per shared
+	// fsync); omitted when the daemon runs without -group-commit.
+	WALBatchMeanRecords float64 `json:"wal_batch_mean_records,omitempty"`
 }
 
 // loadConfig parameterizes one closed-loop load run.
@@ -58,6 +62,9 @@ type loadConfig struct {
 	workers     int
 	seed        int64
 	benchOut    string
+	// ingestEvery makes every Nth iteration of each goroutine an ingest
+	// (the rest are selects); 0 selects the historical default of 8.
+	ingestEvery int
 }
 
 // runLoad registers a simulated worker pool on the target daemon, then
@@ -95,6 +102,11 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 	var samples []sample
 	budgets := []float64{5, 10, 15, 20}
 
+	ingestEvery := cfg.ingestEvery
+	if ingestEvery <= 0 {
+		ingestEvery = 8
+	}
+
 	deadline := time.Now().Add(cfg.duration)
 	var wg sync.WaitGroup
 	for g := 0; g < cfg.concurrency; g++ {
@@ -104,10 +116,10 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 			lrng := rand.New(rand.NewSource(cfg.seed + int64(g) + 1))
 			local := make([]sample, 0, 1024)
 			for i := 0; time.Now().Before(deadline); i++ {
-				// Mostly selects (the serving hot path); every 8th
+				// Mostly selects (the serving hot path); every Nth
 				// iteration ingests a vote batch, which both exercises
 				// the WAL path and invalidates the selection cache.
-				if i%8 == 7 {
+				if i%ingestEvery == ingestEvery-1 {
 					events := []serve.VoteEvent{{
 						WorkerID: specs[lrng.Intn(len(specs))].ID,
 						Correct:  lrng.Float64() < 0.7,
@@ -172,6 +184,9 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 	if p99, ok := fsyncP99(after.metrics); ok {
 		report.WALFsyncP99Ms = p99 * 1000
 	}
+	if mean, ok := walBatchMean(after.metrics); ok {
+		report.WALBatchMeanRecords = mean
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -225,6 +240,28 @@ func cacheCounters(ctx context.Context, cli *serve.Client) (counterState, error)
 		}
 	}
 	return st, nil
+}
+
+var walBatchLine = regexp.MustCompile(`(?m)^juryd_wal_batch_records_(sum|count) (\d+)$`)
+
+// walBatchMean reads the mean group-commit batch size (records per
+// flush) from the daemon's batch histogram; false when the daemon has
+// not flushed any batches (group commit off, or no writes yet).
+func walBatchMean(metrics string) (float64, bool) {
+	var sum, count int64
+	for _, m := range walBatchLine.FindAllStringSubmatch(metrics, -1) {
+		v, _ := strconv.ParseInt(m[2], 10, 64)
+		switch m[1] {
+		case "sum":
+			sum = v
+		case "count":
+			count = v
+		}
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return float64(sum) / float64(count), true
 }
 
 var fsyncBucketLine = regexp.MustCompile(`(?m)^juryd_wal_fsync_seconds_bucket\{le="([^"]+)"\} (\d+)$`)

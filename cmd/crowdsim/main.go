@@ -13,7 +13,8 @@
 //	crowdsim -validate BENCH_baseline.json
 //
 // The -load mode registers a simulated worker pool on a live juryd and
-// drives a closed loop of selections and vote ingests against it,
+// drives a closed loop of selections and vote ingests against it
+// (-load-ingest-every tunes the mix: every Nth iteration ingests),
 // recording per-route latency percentiles, throughput, cache hit rate,
 // and the daemon-side WAL fsync p99 into a juryd-bench/1 JSON document
 // (the committed BENCH_baseline.json). -validate checks such a document
@@ -55,6 +56,8 @@ func run(args []string, out io.Writer) error {
 			"run a closed-loop load phase against the juryd at this base URL (e.g. http://127.0.0.1:8700)")
 		loadDuration = fs.Duration("load-duration", 5*time.Second, "how long the load phase runs")
 		loadConc     = fs.Int("load-concurrency", 8, "closed-loop client goroutines for the load phase")
+		loadIngest   = fs.Int("load-ingest-every", 8,
+			"ingest a vote batch every Nth iteration of each load goroutine (the rest are selects; min 2)")
 		benchOut     = fs.String("bench-out", "",
 			"write the load phase's baseline report to this JSON file (empty = stdout)")
 		validate = fs.String("validate", "",
@@ -67,6 +70,9 @@ func run(args []string, out io.Writer) error {
 		return validateBenchFile(*validate, out)
 	}
 	if *loadTarget != "" {
+		if *loadIngest < 2 {
+			return fmt.Errorf("-load-ingest-every %d: need at least 2 (the select route must stay exercised)", *loadIngest)
+		}
 		return runLoad(loadConfig{
 			target:      *loadTarget,
 			duration:    *loadDuration,
@@ -74,6 +80,7 @@ func run(args []string, out io.Writer) error {
 			workers:     min(*workers, defaultLoadWorkers),
 			seed:        *seed,
 			benchOut:    *benchOut,
+			ingestEvery: *loadIngest,
 		}, out)
 	}
 	if !*showStats && !*estimate && *exportPath == "" {

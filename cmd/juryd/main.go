@@ -9,6 +9,7 @@
 //	      [-workers 0] [-prior-strength 8] [-pool pool.json]
 //	      [-multi-pool mpool.json] [-labels 0]
 //	      [-data-dir dir] [-snapshot-interval 1m] [-fsync]
+//	      [-group-commit] [-max-batch-bytes 0]
 //	      [-max-inflight 0] [-request-timeout 0]
 //	      [-debug-addr 127.0.0.1:0] [-log-level info] [-trace-buffer 0]
 //
@@ -31,7 +32,13 @@
 // latest snapshot plus the WAL tail, truncating a torn trailing record
 // left by a crash. -fsync flushes the WAL per record (survives power
 // loss, slower); without it writes survive a process kill but ride the
-// OS page cache. GET /debug/persistence reports recovery and LSN state.
+// OS page cache. -group-commit (with -fsync) batches concurrent
+// mutations into shared fsyncs: each request still blocks until its
+// record is on stable storage, but one disk flush can retire many
+// requests, so durable ingest throughput scales with concurrency
+// instead of with the disk's flush rate. -max-batch-bytes caps the
+// staging buffer. GET /debug/persistence reports recovery and LSN
+// state, including whether group commit is active.
 //
 // Endpoints (all JSON):
 //
@@ -86,7 +93,11 @@
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: mutations are
 // refused with 503 while in-flight requests drain, then a final
-// checkpoint lands before exit.
+// checkpoint lands before exit. A shutdown whose WAL close cannot
+// confirm the tail reached stable storage (a dirty close — the log was
+// poisoned by an earlier sync failure, or the final flush itself
+// failed) is logged and exits non-zero so supervisors can tell it from
+// a clean stop.
 package main
 
 import (
@@ -139,6 +150,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"how often to checkpoint state and truncate the WAL (0 disables periodic snapshots)")
 	fsync := fs.Bool("fsync", false,
 		"fsync the WAL after every record (survives power loss; slower)")
+	groupCommit := fs.Bool("group-commit", false,
+		"batch concurrent WAL appends into shared fsyncs (needs -fsync; same durability, higher throughput)")
+	maxBatchBytes := fs.Int64("max-batch-bytes", 0,
+		"group-commit staging cap in bytes before appenders are backpressured (0 = default)")
 	maxInflight := fs.Int("max-inflight", 0,
 		"max concurrent non-system requests before shedding with 429 (0 = unlimited)")
 	requestTimeout := fs.Duration("request-timeout", 0,
@@ -174,6 +189,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		PriorStrength:  *priorStrength,
 		DataDir:        *dataDir,
 		Fsync:          *fsync,
+		GroupCommit:    *groupCommit,
+		MaxBatchBytes:  *maxBatchBytes,
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
 		TraceBuffer:    *traceBuffer,
@@ -318,10 +335,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *dataDir != "" {
 		if degraded, cause := srv.DegradedState(); degraded {
 			// The journal is poisoned; acked state is already on disk and a
-			// snapshot would add nothing recovery cannot rebuild. Close errors
-			// are the same dead disk talking.
+			// snapshot would add nothing recovery cannot rebuild. A dirty
+			// close still has to exit non-zero: it means the tail of the log
+			// never reached stable storage, and the supervisor must know this
+			// shutdown was not clean.
 			fmt.Fprintf(out, "juryd: degraded at shutdown (%v); skipping final snapshot\n", cause)
-			srv.ClosePersistence()
+			if err := srv.ClosePersistence(); err != nil {
+				return fmt.Errorf("dirty close: %w", err)
+			}
 			return nil
 		}
 		// A final checkpoint makes the next boot replay an empty tail.

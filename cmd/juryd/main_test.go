@@ -472,8 +472,10 @@ func TestDaemonShutdownUnderLoad(t *testing.T) {
 
 // TestDaemonChaosFsyncDegrades boots with the fault-injection flag: the
 // scripted fsync failure degrades the daemon to read-only, readiness
-// flips while liveness and reads hold, shutdown still exits cleanly, and
-// a clean reboot recovers exactly the acked mutations.
+// flips while liveness and reads hold, shutdown reports the dirty close
+// as an error (the poisoned log cannot be synced, so the process must
+// exit non-zero), and a clean reboot recovers exactly the acked
+// mutations.
 func TestDaemonChaosFsyncDegrades(t *testing.T) {
 	dataDir := filepath.Join(t.TempDir(), "data")
 	// Sync budget 3: the registration plus two ingests are acked, the
@@ -530,8 +532,12 @@ func TestDaemonChaosFsyncDegrades(t *testing.T) {
 
 	cancel()
 	waitForLine(t, out, "juryd: degraded at shutdown")
-	if err := <-done; err != nil {
-		t.Fatalf("degraded shutdown: %v", err)
+	err = <-done
+	if err == nil {
+		t.Fatal("degraded shutdown returned nil, want a dirty-close error (the log was poisoned)")
+	}
+	if !strings.Contains(err.Error(), "dirty close") {
+		t.Fatalf("degraded shutdown = %v, want a dirty-close error", err)
 	}
 
 	// Clean reboot (no fault): exactly the acked mutations recovered.

@@ -186,6 +186,22 @@
 //     survive kill -9 but not power loss; -fsync flushes per record,
 //     trading one disk flush per mutation for full durability. This is
 //     the standard WAL tradeoff; pick per deployment.
+//   - Group commit: -group-commit (with -fsync) amortizes the flush
+//     across concurrent mutations. Each mutation reserves its LSN and
+//     stages its framed record under the ordering lock, applies in
+//     memory, and is acked only after a shared fsync covers its LSN:
+//     the first waiter writes and syncs the whole staged batch with one
+//     Write and one Sync, then releases every waiter at or below the
+//     synced watermark. The ack contract is unchanged — 2xx still means
+//     on stable storage — and the on-disk layout is byte-identical to
+//     per-record mode. A failed shared flush refuses the whole batch
+//     with 503 and degrades the daemon; nothing unacked survives
+//     recovery.
+//   - Failure contract: the first WAL failure (append, flush, or fsync)
+//     poisons the log — every later operation, Sync and Close included,
+//     refuses with the original typed IOError — and the daemon serves
+//     reads only. A shutdown that cannot cleanly sync the log is a
+//     dirty close: juryd logs it and exits non-zero.
 //
 // Because replay is deterministic, a recovered registry is bit-identical
 // to the pre-crash one — including its pool signatures, so the selection

@@ -24,10 +24,12 @@
 //
 // The stage taxonomy (Stage) names the phases of one juryd request:
 // admission control, the ingest idempotency check, selection-cache
-// lookup, evaluator compute, WAL encode/append/fsync, in-memory apply,
-// and response encode. The WAL fsync stage is additionally rendered as
-// the dedicated juryd_wal_fsync_seconds histogram — the number group
-// commit must later move.
+// lookup, evaluator compute, WAL encode/append/flush/fsync, in-memory
+// apply, and response encode. The WAL fsync stage is additionally
+// rendered as the dedicated juryd_wal_fsync_seconds histogram — the
+// number group commit exists to amortize (wal_flush is the wait on the
+// shared flush; wal_fsync the disk time of the flush that covered the
+// request).
 package obs
 
 import (
@@ -63,10 +65,15 @@ const (
 	// StageWALEncode is the JSON encoding of a WAL record.
 	StageWALEncode
 	// StageWALAppend is the WAL record write (framing + file write),
-	// excluding the fsync.
+	// excluding the fsync; under group commit, the LSN reservation and
+	// batch staging.
 	StageWALAppend
+	// StageWALFlush is the group-commit durability wait: from releasing
+	// the registry lock to the shared flush covering the record's LSN.
+	StageWALFlush
 	// StageWALFsync is the WAL flush to stable storage (only under
-	// -fsync).
+	// -fsync); under group commit, the disk time of the shared sync that
+	// covered this request's record.
 	StageWALFsync
 	// StageApply is the in-memory application of a journaled mutation.
 	StageApply
@@ -78,7 +85,7 @@ const (
 
 var stageNames = [numStages]string{
 	"admission", "idempotency", "cache_lookup", "evaluate",
-	"wal_encode", "wal_append", "wal_fsync", "apply", "encode",
+	"wal_encode", "wal_append", "wal_flush", "wal_fsync", "apply", "encode",
 }
 
 // String returns the stage's wire name (used in span JSON and in the
@@ -128,6 +135,7 @@ type Span struct {
 	Stage  Stage
 	Offset time.Duration // start, relative to the trace's start
 	Dur    time.Duration
+	Err    bool // the stage failed (e.g. the WAL append that poisoned the log)
 }
 
 // Trace is one request's trace: identity, route, and span timings. A
@@ -199,6 +207,17 @@ func (st SpanTimer) End() {
 // reported separately). Safe on a nil trace. Spans added after the
 // trace finished (a timed-out handler still running) are dropped.
 func (t *Trace) Add(stage Stage, start time.Time, d time.Duration) {
+	t.add(stage, start, d, false)
+}
+
+// AddErr records a span for a stage that failed, so the exact request
+// that hit (or caused) the failure is visible in /debug/traces with an
+// error tag rather than silently missing its span.
+func (t *Trace) AddErr(stage Stage, start time.Time, d time.Duration) {
+	t.add(stage, start, d, true)
+}
+
+func (t *Trace) add(stage Stage, start time.Time, d time.Duration, errTag bool) {
 	if t == nil {
 		return
 	}
@@ -206,7 +225,7 @@ func (t *Trace) Add(stage Stage, start time.Time, d time.Duration) {
 	if t.done || len(t.spans) >= maxSpans {
 		t.dropped++
 	} else {
-		t.spans = append(t.spans, Span{Stage: stage, Offset: start.Sub(t.begin), Dur: d})
+		t.spans = append(t.spans, Span{Stage: stage, Offset: start.Sub(t.begin), Dur: d, Err: errTag})
 	}
 	t.mu.Unlock()
 }
@@ -216,6 +235,7 @@ type SpanSnapshot struct {
 	Stage           string  `json:"stage"`
 	OffsetSeconds   float64 `json:"offset_seconds"`
 	DurationSeconds float64 `json:"duration_seconds"`
+	Error           bool    `json:"error,omitempty"`
 }
 
 // TraceSnapshot is one finished trace as served by /debug/traces.
@@ -239,6 +259,7 @@ func (t *Trace) snapshot() TraceSnapshot {
 			Stage:           sp.Stage.String(),
 			OffsetSeconds:   sp.Offset.Seconds(),
 			DurationSeconds: sp.Dur.Seconds(),
+			Error:           sp.Err,
 		}
 	}
 	out := TraceSnapshot{

@@ -187,6 +187,8 @@ type PersistenceStatus struct {
 	DataDir string `json:"data_dir,omitempty"`
 	// Fsync reports whether the WAL flushes to stable storage per record.
 	Fsync bool `json:"fsync,omitempty"`
+	// GroupCommit reports whether concurrent mutations share fsyncs.
+	GroupCommit bool `json:"group_commit,omitempty"`
 	// NextLSN is the log sequence number the next mutation will get;
 	// NextLSN-1 identifies the last journaled mutation.
 	NextLSN uint64 `json:"next_lsn,omitempty"`

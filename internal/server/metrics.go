@@ -40,7 +40,18 @@ type Metrics struct {
 	snapshotErrors   atomic.Uint64 // failed snapshot attempts (non-degrading)
 	loadShed         atomic.Uint64 // requests shed with 429 by admission control
 	ingestDuplicates atomic.Uint64 // keyed ingests answered from the dedup table
+
+	// walBatch is a histogram of records-per-flush under group commit:
+	// bucket i counts flushes with at most walBatchBuckets[i] records,
+	// the last element the overflow; walBatchSum totals the records.
+	walBatch    [len(walBatchBuckets) + 1]atomic.Uint64
+	walBatchSum atomic.Uint64
 }
+
+// walBatchBuckets are the upper bounds of the juryd_wal_batch_records
+// histogram: how many journal records one fsync absorbed. Powers of two
+// up to 256 cover everything a sane MaxBatchBytes allows.
+var walBatchBuckets = [...]uint64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // routeMetrics is one route's completed-request count, its non-2xx
 // count, and its latency histogram: buckets holds non-cumulative counts
@@ -111,6 +122,23 @@ func (m *Metrics) LoadShed() { m.loadShed.Add(1) }
 
 // IngestDuplicate records one keyed ingest deduplicated server-side.
 func (m *Metrics) IngestDuplicate() { m.ingestDuplicates.Add(1) }
+
+// WALBatch records one group-commit flush that made n records durable
+// with a single fsync.
+func (m *Metrics) WALBatch(n int) {
+	if n <= 0 {
+		return
+	}
+	idx := len(walBatchBuckets) // +Inf
+	for i, le := range walBatchBuckets {
+		if uint64(n) <= le {
+			idx = i
+			break
+		}
+	}
+	m.walBatch[idx].Add(1)
+	m.walBatchSum.Add(uint64(n))
+}
 
 // SnapshotErrors exposes the failed-snapshot counter (for tests and the
 // daemon's shutdown log).
@@ -183,6 +211,22 @@ func (m *Metrics) WriteText(w io.Writer, cache CacheStats, poolSize int, generat
 	}
 	fmt.Fprintf(w, "juryd_degraded %d\n", deg)
 	fmt.Fprintf(w, "juryd_wal_errors_total %d\n", m.walErrors.Load())
+	// The batch histogram only appears once group commit has flushed
+	// something, so per-record deployments keep their scrape unchanged.
+	var batchFlushes uint64
+	for i := range m.walBatch {
+		batchFlushes += m.walBatch[i].Load()
+	}
+	if batchFlushes > 0 {
+		var cum uint64
+		for i, le := range walBatchBuckets {
+			cum += m.walBatch[i].Load()
+			fmt.Fprintf(w, "juryd_wal_batch_records_bucket{le=\"%d\"} %d\n", le, cum)
+		}
+		fmt.Fprintf(w, "juryd_wal_batch_records_bucket{le=\"+Inf\"} %d\n", batchFlushes)
+		fmt.Fprintf(w, "juryd_wal_batch_records_sum %d\n", m.walBatchSum.Load())
+		fmt.Fprintf(w, "juryd_wal_batch_records_count %d\n", batchFlushes)
+	}
 	fmt.Fprintf(w, "juryd_snapshot_errors_total %d\n", m.snapshotErrors.Load())
 	fmt.Fprintf(w, "juryd_load_shed_total %d\n", m.loadShed.Load())
 	fmt.Fprintf(w, "juryd_ingest_duplicates_total %d\n", m.ingestDuplicates.Load())

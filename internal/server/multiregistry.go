@@ -91,9 +91,14 @@ type MultiRegistry struct {
 	order []string // creation order, for deterministic listings/snapshots
 	gen   uint64
 	// journal follows the binary Registry's contract: every mutation is
-	// appended under the write lock after validation, before it is
-	// applied in memory (the context carries the request trace).
-	journal func(context.Context, *Record) error
+	// reserved under the write lock after validation, before it is
+	// applied in memory, and the returned commit — which blocks until the
+	// record is durable — runs after the lock is released (the context
+	// carries the request trace).
+	journal func(context.Context, *Record) (func() error, error)
+	// barrier follows Registry.barrier: the duplicate-ack durability
+	// wait, called without r.mu held.
+	barrier func() error
 	// idem remembers applied ingest idempotency keys registry-wide (one
 	// table across pools; keys are client-unique regardless of target).
 	// Guarded by mu, like the binary Registry's — see that field's note
@@ -106,9 +111,9 @@ func NewMultiRegistry() *MultiRegistry {
 	return &MultiRegistry{pools: make(map[string]*multiPool), idem: newIdemTable()}
 }
 
-func (r *MultiRegistry) logLocked(ctx context.Context, rec *Record) error {
+func (r *MultiRegistry) logLocked(ctx context.Context, rec *Record) (func() error, error) {
 	if r.journal == nil {
-		return nil
+		return commitNoop, nil
 	}
 	return r.journal(ctx, rec)
 }
@@ -242,19 +247,29 @@ func (r *MultiRegistry) CreatePool(ctx context.Context, name string, labels int,
 	if err != nil {
 		return "", err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.pools[name]; ok {
-		return "", fmt.Errorf("%w: %q", ErrPoolExists, name)
-	}
-	rec := &Record{T: RecMultiCreate, Multi: &MultiRecord{
-		Pool: name, Labels: l, Specs: specs, Strength: defaultStrength,
-	}}
-	if err := r.logLocked(ctx, rec); err != nil {
+	sig, commit, err := func() (string, func() error, error) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if _, ok := r.pools[name]; ok {
+			return "", nil, fmt.Errorf("%w: %q", ErrPoolExists, name)
+		}
+		rec := &Record{T: RecMultiCreate, Multi: &MultiRecord{
+			Pool: name, Labels: l, Specs: specs, Strength: defaultStrength,
+		}}
+		commit, err := r.logLocked(ctx, rec)
+		if err != nil {
+			return "", nil, err
+		}
+		defer obs.TraceFrom(ctx).Begin(obs.StageApply).End()
+		return r.applyCreateLocked(name, l, specs, matrices, defaultStrength), commit, nil
+	}()
+	if err != nil {
 		return "", err
 	}
-	defer obs.TraceFrom(ctx).Begin(obs.StageApply).End()
-	return r.applyCreateLocked(name, l, specs, matrices, defaultStrength), nil
+	if err := commit(); err != nil {
+		return "", err
+	}
+	return sig, nil
 }
 
 // applyCreateLocked performs a validated pool creation; shared by the
@@ -281,31 +296,41 @@ func (r *MultiRegistry) Register(ctx context.Context, pool string, specs []Multi
 	if defaultStrength <= 0 {
 		defaultStrength = DefaultPriorStrength
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	p, ok := r.pools[pool]
-	if !ok {
-		return "", 0, fmt.Errorf("%w: %q", ErrPoolUnknown, pool)
-	}
-	matrices, err := validateMultiSpecs(specs, p.labels)
+	sig, workers, commit, err := func() (string, int, func() error, error) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		p, ok := r.pools[pool]
+		if !ok {
+			return "", 0, nil, fmt.Errorf("%w: %q", ErrPoolUnknown, pool)
+		}
+		matrices, err := validateMultiSpecs(specs, p.labels)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		for _, spec := range specs {
+			if _, ok := p.workers[spec.ID]; ok {
+				return "", 0, nil, fmt.Errorf("%w: %q", ErrWorkerExists, spec.ID)
+			}
+		}
+		rec := &Record{T: RecMultiRegister, Multi: &MultiRecord{
+			Pool: pool, Specs: specs, Strength: defaultStrength,
+		}}
+		commit, err := r.logLocked(ctx, rec)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		applySpan := obs.TraceFrom(ctx).Begin(obs.StageApply)
+		r.applyRegisterLocked(p, specs, matrices, defaultStrength)
+		applySpan.End()
+		return p.sig, len(p.order), commit, nil
+	}()
 	if err != nil {
 		return "", 0, err
 	}
-	for _, spec := range specs {
-		if _, ok := p.workers[spec.ID]; ok {
-			return "", 0, fmt.Errorf("%w: %q", ErrWorkerExists, spec.ID)
-		}
-	}
-	rec := &Record{T: RecMultiRegister, Multi: &MultiRecord{
-		Pool: pool, Specs: specs, Strength: defaultStrength,
-	}}
-	if err := r.logLocked(ctx, rec); err != nil {
+	if err := commit(); err != nil {
 		return "", 0, err
 	}
-	applySpan := obs.TraceFrom(ctx).Begin(obs.StageApply)
-	r.applyRegisterLocked(p, specs, matrices, defaultStrength)
-	applySpan.End()
-	return p.sig, len(p.order), nil
+	return sig, workers, nil
 }
 
 // applyRegisterLocked performs a validated registration into an existing
@@ -322,16 +347,23 @@ func (r *MultiRegistry) applyRegisterLocked(p *multiPool, specs []MultiWorkerSpe
 
 // DropPool deletes a pool and all its workers.
 func (r *MultiRegistry) DropPool(ctx context.Context, name string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.pools[name]; !ok {
-		return fmt.Errorf("%w: %q", ErrPoolUnknown, name)
-	}
-	if err := r.logLocked(ctx, &Record{T: RecMultiDrop, Multi: &MultiRecord{Pool: name}}); err != nil {
+	commit, err := func() (func() error, error) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if _, ok := r.pools[name]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrPoolUnknown, name)
+		}
+		commit, err := r.logLocked(ctx, &Record{T: RecMultiDrop, Multi: &MultiRecord{Pool: name}})
+		if err != nil {
+			return nil, err
+		}
+		r.applyDropLocked(name)
+		return commit, nil
+	}()
+	if err != nil {
 		return err
 	}
-	r.applyDropLocked(name)
-	return nil
+	return commit()
 }
 
 // applyDropLocked deletes a known pool; shared by the live path and WAL
@@ -381,41 +413,63 @@ func (r *MultiRegistry) IngestKeyed(ctx context.Context, pool string, events []M
 		return nil, "", false, fmt.Errorf("%w: no events in request", ErrBadEvent)
 	}
 	tr := obs.TraceFrom(ctx)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if key != "" {
-		idemSpan := tr.Begin(obs.StageIdem)
-		dup := r.idem.has(key)
-		idemSpan.End()
-		if dup {
-			if p, ok := r.pools[pool]; ok {
-				sig = p.sig
+	updated, sig, duplicate, commit, err := func() ([]MultiWorkerInfo, string, bool, func() error, error) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if key != "" {
+			idemSpan := tr.Begin(obs.StageIdem)
+			dup := r.idem.has(key)
+			idemSpan.End()
+			if dup {
+				sig := ""
+				if p, ok := r.pools[pool]; ok {
+					sig = p.sig
+				}
+				return nil, sig, true, commitNoop, nil
 			}
-			return nil, sig, true, nil
 		}
-	}
-	p, ok := r.pools[pool]
-	if !ok {
-		return nil, "", false, fmt.Errorf("%w: %q", ErrPoolUnknown, pool)
-	}
-	if err := validateEvents(p, events); err != nil {
+		p, ok := r.pools[pool]
+		if !ok {
+			return nil, "", false, nil, fmt.Errorf("%w: %q", ErrPoolUnknown, pool)
+		}
+		if err := validateEvents(p, events); err != nil {
+			return nil, "", false, nil, err
+		}
+		rec := &Record{T: RecMultiIngest, Key: key, Multi: &MultiRecord{Pool: pool, Events: events}}
+		commit, err := r.logLocked(ctx, rec)
+		if err != nil {
+			return nil, "", false, nil, err
+		}
+		if key != "" {
+			r.idem.add(key)
+		}
+		applySpan := tr.Begin(obs.StageApply)
+		touchOrder := r.applyIngestLocked(p, events)
+		applySpan.End()
+		out := make([]MultiWorkerInfo, len(touchOrder))
+		for i, id := range touchOrder {
+			out[i] = p.workers[id].info()
+		}
+		return out, p.sig, false, commit, nil
+	}()
+	if err != nil {
 		return nil, "", false, err
 	}
-	rec := &Record{T: RecMultiIngest, Key: key, Multi: &MultiRecord{Pool: pool, Events: events}}
-	if err := r.logLocked(ctx, rec); err != nil {
+	if duplicate {
+		// Same duplicate-ack rule as the binary registry: the original
+		// record may still be in an unflushed batch, so wait out the
+		// durability watermark before re-acknowledging it.
+		if r.barrier != nil {
+			if err := r.barrier(); err != nil {
+				return nil, "", false, err
+			}
+		}
+		return nil, sig, true, nil
+	}
+	if err := commit(); err != nil {
 		return nil, "", false, err
 	}
-	if key != "" {
-		r.idem.add(key)
-	}
-	applySpan := tr.Begin(obs.StageApply)
-	touchOrder := r.applyIngestLocked(p, events)
-	applySpan.End()
-	out := make([]MultiWorkerInfo, len(touchOrder))
-	for i, id := range touchOrder {
-		out[i] = p.workers[id].info()
-	}
-	return out, p.sig, false, nil
+	return updated, sig, false, nil
 }
 
 // applyIngestLocked performs a validated ingest and returns the touched

@@ -17,16 +17,24 @@ import (
 
 // Durability. With Config.DataDir set, every registry and session
 // mutation is journaled to a write-ahead log (internal/wal) before it is
-// applied in memory — validation runs first, then the record is appended
-// under the same lock that orders the mutation, then the mutation is
-// applied, so the WAL order and the in-memory order are identical and a
-// failed append changes nothing. Recovery (Open) loads the newest
-// snapshot, replays the WAL tail through the same Apply code paths the
-// snapshot state was built from, and resumes journaling; because replay
-// is deterministic, a recovered registry carries bit-identical posteriors
-// and therefore produces bit-identical pool signatures — the selection
-// cache (which starts empty after a restart) refills under exactly the
-// keys the pre-crash process was using.
+// applied in memory — validation runs first, then the record reserves its
+// LSN under the same lock that orders the mutation, then the mutation is
+// applied, so the WAL order and the in-memory order are identical. The
+// journal is two-phase: the append (LSN reservation) happens under the
+// registry lock and returns a commit, and the handler acknowledges only
+// after the commit reports the record durable — under group commit the
+// commit waits on the shared flush watermark with the registry lock
+// released, so independent registries, sessions and pools share one
+// fsync. A failed reservation changes nothing; a failed commit leaves the
+// mutation applied but unacknowledged and flips the server into degraded
+// read-only mode (the record never reached stable storage, so a restart
+// recovers exactly the acknowledged prefix). Recovery (Open) loads the
+// newest snapshot, replays the WAL tail through the same Apply code paths
+// the snapshot state was built from, and resumes journaling; because
+// replay is deterministic, a recovered registry carries bit-identical
+// posteriors and therefore produces bit-identical pool signatures — the
+// selection cache (which starts empty after a restart) refills under
+// exactly the keys the pre-crash process was using.
 
 // RecordType tags one WAL record.
 type RecordType string
@@ -193,6 +201,7 @@ type Persistence struct {
 
 	mu           sync.Mutex // guards the fields below
 	fsync        bool
+	group        bool
 	haveSnapshot bool
 	lastSnapshot wal.LSN
 	snapshots    uint64
@@ -213,7 +222,7 @@ func Open(cfg Config) (*Server, error) {
 	if fsys == nil {
 		fsys = wal.OSFS()
 	}
-	p := &Persistence{dir: cfg.DataDir, fs: fsys, fsync: cfg.Fsync}
+	p := &Persistence{dir: cfg.DataDir, fs: fsys, fsync: cfg.Fsync, group: cfg.Fsync && cfg.GroupCommit}
 	lsn, payload, found, err := wal.LatestSnapshotFS(fsys, cfg.DataDir)
 	if err != nil {
 		return nil, fmt.Errorf("server: load snapshot: %w", err)
@@ -241,7 +250,13 @@ func Open(cfg Config) (*Server, error) {
 	log, info, err := wal.Open(cfg.DataDir, wal.Options{
 		SegmentBytes: cfg.SegmentBytes,
 		Fsync:        cfg.Fsync,
-		FS:           cfg.FS,
+		// The resolved fsys, not the raw cfg.FS: snapshots already fall
+		// back to OSFS, and the log must never land on a different
+		// filesystem than them.
+		FS:            fsys,
+		GroupCommit:   cfg.GroupCommit,
+		MaxBatchBytes: cfg.MaxBatchBytes,
+		OnFlush:       func(records int) { s.metrics.WALBatch(records) },
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: open wal: %w", err)
@@ -272,39 +287,88 @@ func Open(cfg Config) (*Server, error) {
 	p.recovery.SessionsRestored = s.sessions.Len()
 	p.recovery.MultiPoolsRestored = s.multi.Len()
 	p.recoveredAt = time.Now()
-	journal := func(ctx context.Context, rec *Record) error {
+	journal := func(ctx context.Context, rec *Record) (func() error, error) {
 		tr := obs.TraceFrom(ctx)
 		encSpan := tr.Begin(obs.StageWALEncode)
 		payload, err := json.Marshal(rec)
 		encSpan.End()
 		if err != nil {
-			return fmt.Errorf("server: journal encode: %w", err)
+			return nil, fmt.Errorf("server: journal encode: %w", err)
 		}
 		appendStart := time.Now()
-		_, timing, err := log.AppendTimed(payload)
+		pend, err := log.Begin(payload)
+		appendDur := time.Since(appendStart)
 		if err != nil {
-			// The record is not durable and the mutation was not applied;
-			// the log is now poisoned (wal.ErrFailed is sticky), so the
-			// server transitions to degraded read-only mode: this and every
-			// later mutation answers 503 while reads keep serving.
+			// The record is not durable and the mutation must not be
+			// applied; the log is now poisoned (wal.ErrFailed is sticky),
+			// so the server transitions to degraded read-only mode: this
+			// and every later mutation answers 503 while reads keep
+			// serving. The span is error-tagged so the exact request that
+			// poisoned the log stays visible in /debug/traces.
+			tr.AddErr(obs.StageWALAppend, appendStart, appendDur)
+			s.metrics.WALError()
+			s.enterDegraded(err)
+			return nil, fmt.Errorf("%w: %w", ErrDegraded, err)
+		}
+		if pend.Done() {
+			// Per-record path: the append (and under -fsync, its flush)
+			// completed inside Begin. The fsync runs at the tail of the
+			// append interval, so its span starts where the write ends.
+			fsync := pend.FsyncDuration()
+			tr.Add(obs.StageWALAppend, appendStart, appendDur-fsync)
+			if fsync > 0 {
+				tr.Add(obs.StageWALFsync, appendStart.Add(appendDur-fsync), fsync)
+			}
+			return commitNoop, nil
+		}
+		// Group commit: the LSN is reserved and the record staged. The
+		// commit — run by the mutator after it releases its ordering lock —
+		// blocks until the shared flush watermark covers the record.
+		tr.Add(obs.StageWALAppend, appendStart, appendDur)
+		commit := func() error {
+			flushStart := time.Now()
+			err := pend.Wait()
+			flushDur := time.Since(flushStart)
+			if err != nil {
+				// Applied in memory but not durable: degrade. The record
+				// never reached stable storage, so recovery serves exactly
+				// the acknowledged prefix.
+				tr.AddErr(obs.StageWALFlush, flushStart, flushDur)
+				s.metrics.WALError()
+				s.enterDegraded(err)
+				return fmt.Errorf("%w: %w", ErrDegraded, err)
+			}
+			tr.Add(obs.StageWALFlush, flushStart, flushDur)
+			if fsync := pend.FsyncDuration(); fsync > 0 {
+				tr.Add(obs.StageWALFsync, flushStart, fsync)
+			}
+			return nil
+		}
+		return commit, nil
+	}
+	// barrier is the duplicate-ack durability wait: a keyed-ingest retry
+	// may only re-acknowledge once the original record it dedups against
+	// is itself on stable storage.
+	barrier := func() error {
+		if err := log.WaitDurable(); err != nil {
 			s.metrics.WALError()
 			s.enterDegraded(err)
 			return fmt.Errorf("%w: %w", ErrDegraded, err)
 		}
-		// The fsync runs at the tail of the append interval, so its span
-		// starts where the write portion ends.
-		tr.Add(obs.StageWALAppend, appendStart, timing.Total-timing.Fsync)
-		if timing.Fsync > 0 {
-			tr.Add(obs.StageWALFsync, appendStart.Add(timing.Total-timing.Fsync), timing.Fsync)
-		}
 		return nil
 	}
 	s.registry.journal = journal
+	s.registry.barrier = barrier
 	s.sessions.journal = journal
 	s.multi.journal = journal
+	s.multi.barrier = barrier
 	s.persist = p
 	return s, nil
 }
+
+// commitNoop is the commit of a journaled mutation that is already
+// durable when its reservation returns (the per-record WAL path).
+func commitNoop() error { return nil }
 
 // applyRecord replays one journaled record — the recovery path shared by
 // WAL replay and (via the walltest harness) reference replays.
@@ -387,7 +451,10 @@ func (s *Server) snapshotNow() error {
 }
 
 // ClosePersistence syncs and closes the WAL. Mutations after it fail;
-// call it only on shutdown (after a final SnapshotNow, if desired).
+// call it only on shutdown (after a final SnapshotNow, if desired). A
+// non-nil error means the close was dirty — the log was poisoned or the
+// final flush failed, so an unsynced tail may not have reached stable
+// storage — and the process should exit non-zero after reporting it.
 func (s *Server) ClosePersistence() error {
 	if s.persist == nil {
 		return nil
@@ -408,6 +475,7 @@ func (s *Server) PersistenceStatus() PersistenceStatus {
 		Enabled:          true,
 		DataDir:          p.dir,
 		Fsync:            p.fsync,
+		GroupCommit:      p.group,
 		NextLSN:          uint64(p.log.NextLSN()),
 		Segments:         p.log.Segments(),
 		LastSnapshotLSN:  uint64(p.lastSnapshot),

@@ -60,7 +60,7 @@ func TestJournalFailureAbortsMutation(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("disk full")
-	s.registry.journal = func(context.Context, *Record) error { return boom }
+	s.registry.journal = func(context.Context, *Record) (func() error, error) { return nil, boom }
 	if _, err := s.registry.Register(context.Background(), []WorkerSpec{{ID: "lost", Quality: 0.7, Cost: 1}}, 0); !errors.Is(err, boom) {
 		t.Fatalf("Register with failing journal: %v, want %v", err, boom)
 	}

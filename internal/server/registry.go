@@ -73,13 +73,22 @@ type Registry struct {
 	// mutating method under the write lock, so the hot read paths
 	// (selection cache lookups, listings) never re-hash the pool.
 	fullSig string
-	// journal, when set, receives every mutation as a WAL record under
+	// journal, when set, reserves a WAL record for every mutation under
 	// the write lock after validation but before the mutation is applied:
-	// a failed append aborts the mutation with memory untouched, and the
-	// log order always matches the lock (application) order. The context
-	// carries the request trace, so the journal can attribute its encode,
-	// append, and fsync time to the request that paid for it.
-	journal func(context.Context, *Record) error
+	// a failed reservation aborts the mutation with memory untouched, and
+	// the log order always matches the lock (application) order. The
+	// returned commit blocks until the record is durable and MUST be
+	// called after the write lock is released — under group commit that
+	// is what lets independent mutations share one fsync — and the
+	// mutation acknowledged only if it returns nil. The context carries
+	// the request trace, so the journal can attribute its encode, append,
+	// flush and fsync time to the request that paid for it.
+	journal func(context.Context, *Record) (func() error, error)
+	// barrier, when set, blocks until every WAL record reserved so far is
+	// durable — the duplicate-ack wait: a keyed-ingest retry may only be
+	// re-acknowledged once the original record it dedups against is
+	// itself on stable storage. Called without r.mu held.
+	barrier func() error
 	// idem remembers applied ingest idempotency keys. Guarded by mu, so
 	// its insertion order is the WAL order and replay rebuilds it
 	// bit-exactly; dedup runs BEFORE journaling, so the log itself never
@@ -87,10 +96,11 @@ type Registry struct {
 	idem *idemTable
 }
 
-// logLocked journals rec if a journal is attached. Callers hold r.mu.
-func (r *Registry) logLocked(ctx context.Context, rec *Record) error {
+// logLocked reserves a WAL record for rec if a journal is attached,
+// returning the commit to run once r.mu is released. Callers hold r.mu.
+func (r *Registry) logLocked(ctx context.Context, rec *Record) (func() error, error) {
 	if r.journal == nil {
-		return nil
+		return commitNoop, nil
 	}
 	return r.journal(ctx, rec)
 }
@@ -146,18 +156,28 @@ func (r *Registry) Register(ctx context.Context, specs []WorkerSpec, defaultStre
 		}
 		seen[spec.ID] = true
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, spec := range specs {
-		if _, ok := r.workers[spec.ID]; ok {
-			return "", fmt.Errorf("%w: %q", ErrWorkerExists, spec.ID)
+	sig, commit, err := func() (string, func() error, error) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		for _, spec := range specs {
+			if _, ok := r.workers[spec.ID]; ok {
+				return "", nil, fmt.Errorf("%w: %q", ErrWorkerExists, spec.ID)
+			}
 		}
-	}
-	if err := r.logLocked(ctx, &Record{T: RecRegister, Specs: specs, Strength: defaultStrength}); err != nil {
+		commit, err := r.logLocked(ctx, &Record{T: RecRegister, Specs: specs, Strength: defaultStrength})
+		if err != nil {
+			return "", nil, err
+		}
+		defer obs.TraceFrom(ctx).Begin(obs.StageApply).End()
+		return r.applyRegisterLocked(specs, defaultStrength), commit, nil
+	}()
+	if err != nil {
 		return "", err
 	}
-	defer obs.TraceFrom(ctx).Begin(obs.StageApply).End()
-	return r.applyRegisterLocked(specs, defaultStrength), nil
+	if err := commit(); err != nil {
+		return "", err
+	}
+	return sig, nil
 }
 
 // applyRegisterLocked performs a validated registration; shared by the
@@ -192,16 +212,26 @@ func (r *Registry) Update(ctx context.Context, spec WorkerSpec, defaultStrength 
 	if err := validateSpec(spec); err != nil {
 		return WorkerInfo{}, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.workers[spec.ID]; !ok {
-		return WorkerInfo{}, fmt.Errorf("%w: %q", ErrWorkerUnknown, spec.ID)
-	}
-	if err := r.logLocked(ctx, &Record{T: RecUpdate, Specs: []WorkerSpec{spec}, Strength: defaultStrength}); err != nil {
+	info, commit, err := func() (WorkerInfo, func() error, error) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if _, ok := r.workers[spec.ID]; !ok {
+			return WorkerInfo{}, nil, fmt.Errorf("%w: %q", ErrWorkerUnknown, spec.ID)
+		}
+		commit, err := r.logLocked(ctx, &Record{T: RecUpdate, Specs: []WorkerSpec{spec}, Strength: defaultStrength})
+		if err != nil {
+			return WorkerInfo{}, nil, err
+		}
+		defer obs.TraceFrom(ctx).Begin(obs.StageApply).End()
+		return r.applyUpdateLocked(spec, defaultStrength), commit, nil
+	}()
+	if err != nil {
 		return WorkerInfo{}, err
 	}
-	defer obs.TraceFrom(ctx).Begin(obs.StageApply).End()
-	return r.applyUpdateLocked(spec, defaultStrength), nil
+	if err := commit(); err != nil {
+		return WorkerInfo{}, err
+	}
+	return info, nil
 }
 
 // applyUpdateLocked performs a validated update; shared by the live path
@@ -218,17 +248,24 @@ func (r *Registry) applyUpdateLocked(spec WorkerSpec, defaultStrength float64) W
 
 // Remove deletes a worker.
 func (r *Registry) Remove(ctx context.Context, id string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.workers[id]; !ok {
-		return fmt.Errorf("%w: %q", ErrWorkerUnknown, id)
-	}
-	if err := r.logLocked(ctx, &Record{T: RecRemove, WorkerID: id}); err != nil {
+	commit, err := func() (func() error, error) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if _, ok := r.workers[id]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrWorkerUnknown, id)
+		}
+		commit, err := r.logLocked(ctx, &Record{T: RecRemove, WorkerID: id})
+		if err != nil {
+			return nil, err
+		}
+		defer obs.TraceFrom(ctx).Begin(obs.StageApply).End()
+		r.applyRemoveLocked(id)
+		return commit, nil
+	}()
+	if err != nil {
 		return err
 	}
-	defer obs.TraceFrom(ctx).Begin(obs.StageApply).End()
-	r.applyRemoveLocked(id)
-	return nil
+	return commit()
 }
 
 // applyRemoveLocked deletes a known worker; shared by the live path and
@@ -304,37 +341,62 @@ func (r *Registry) Ingest(ctx context.Context, events []VoteEvent) ([]WorkerInfo
 // still deduplicates.
 func (r *Registry) IngestKeyed(ctx context.Context, events []VoteEvent, key string) (updated []WorkerInfo, sig string, duplicate bool, err error) {
 	tr := obs.TraceFrom(ctx)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if key != "" {
-		idemSpan := tr.Begin(obs.StageIdem)
-		dup := r.idem.has(key)
-		idemSpan.End()
-		if dup {
-			return nil, r.fullSig, true, nil
-		}
-	}
-	for _, ev := range events {
-		if _, ok := r.workers[ev.WorkerID]; !ok {
-			return nil, "", false, fmt.Errorf("%w: %q", ErrWorkerUnknown, ev.WorkerID)
-		}
-	}
-	if len(events) > 0 {
-		if err := r.logLocked(ctx, &Record{T: RecIngest, Events: events, Key: key}); err != nil {
-			return nil, "", false, err
-		}
+	updated, sig, duplicate, commit, err := func() ([]WorkerInfo, string, bool, func() error, error) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
 		if key != "" {
-			r.idem.add(key)
+			idemSpan := tr.Begin(obs.StageIdem)
+			dup := r.idem.has(key)
+			idemSpan.End()
+			if dup {
+				return nil, r.fullSig, true, commitNoop, nil
+			}
 		}
+		for _, ev := range events {
+			if _, ok := r.workers[ev.WorkerID]; !ok {
+				return nil, "", false, nil, fmt.Errorf("%w: %q", ErrWorkerUnknown, ev.WorkerID)
+			}
+		}
+		commit := commitNoop
+		if len(events) > 0 {
+			var err error
+			commit, err = r.logLocked(ctx, &Record{T: RecIngest, Events: events, Key: key})
+			if err != nil {
+				return nil, "", false, nil, err
+			}
+			if key != "" {
+				r.idem.add(key)
+			}
+		}
+		applySpan := tr.Begin(obs.StageApply)
+		touchOrder := r.applyIngestLocked(events)
+		applySpan.End()
+		out := make([]WorkerInfo, len(touchOrder))
+		for i, id := range touchOrder {
+			out[i] = r.workers[id].info()
+		}
+		return out, r.fullSig, false, commit, nil
+	}()
+	if err != nil {
+		return nil, "", false, err
 	}
-	applySpan := tr.Begin(obs.StageApply)
-	touchOrder := r.applyIngestLocked(events)
-	applySpan.End()
-	out := make([]WorkerInfo, len(touchOrder))
-	for i, id := range touchOrder {
-		out[i] = r.workers[id].info()
+	if duplicate {
+		// A duplicate ack promises the original ingest is durable. The
+		// original's record is already in the WAL (dedup runs after
+		// replay-visible state), but under group commit it may still be
+		// waiting for its fsync — hold this retry until the watermark
+		// passes so a crash cannot eat a mutation the retry acked.
+		if r.barrier != nil {
+			if err := r.barrier(); err != nil {
+				return nil, "", false, err
+			}
+		}
+		return nil, sig, true, nil
 	}
-	return out, r.fullSig, false, nil
+	if err := commit(); err != nil {
+		return nil, "", false, err
+	}
+	return updated, sig, false, nil
 }
 
 // applyIngestLocked performs a validated ingest and returns the touched

@@ -64,6 +64,16 @@ type Config struct {
 	// mutation. Without it, mutations survive a process crash (kill -9)
 	// but not necessarily a machine crash.
 	Fsync bool
+	// GroupCommit batches concurrent WAL appends into one fsync: each
+	// mutation still blocks until its record is on stable storage, but
+	// mutations that arrive while a flush is in flight share the next
+	// one. Only meaningful with Fsync; without Fsync it is ignored and
+	// the WAL behaves exactly as before.
+	GroupCommit bool
+	// MaxBatchBytes caps how many staged record bytes one group-commit
+	// flush may carry before appenders are backpressured; 0 selects
+	// wal.DefaultMaxBatchBytes.
+	MaxBatchBytes int64
 	// SegmentBytes is the WAL segment rotation threshold; 0 selects
 	// wal.DefaultSegmentBytes.
 	SegmentBytes int64

@@ -35,11 +35,13 @@ type sessionStore struct {
 	cap  int
 	now  func() time.Time // injectable clock for tests
 	live map[string]*liveSession
-	// journal, when set, receives every session mutation as a WAL record
+	// journal, when set, reserves a WAL record for every session mutation
 	// under the lock that orders it, after validation but before the
-	// mutation is applied (see Registry.journal for the contract; the
-	// context carries the request trace).
-	journal func(context.Context, *Record) error
+	// mutation is applied; the returned commit blocks until the record is
+	// durable and must run after that lock is released (see
+	// Registry.journal for the contract; the context carries the request
+	// trace).
+	journal func(context.Context, *Record) (func() error, error)
 }
 
 type liveSession struct {
@@ -71,31 +73,49 @@ func (st *sessionStore) Open(ctx context.Context, cfg online.Config) (SessionSta
 	if err != nil {
 		return SessionState{}, err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if len(st.live) >= st.cap {
-		if err := st.reapLocked(ctx); err != nil {
-			return SessionState{}, err
+	state, commits, err := func() (SessionState, []func() error, error) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		var commits []func() error
+		if len(st.live) >= st.cap {
+			reapCommit, err := st.reapLocked(ctx)
+			if err != nil {
+				return SessionState{}, nil, err
+			}
+			commits = append(commits, reapCommit)
+		}
+		if len(st.live) >= st.cap {
+			// The reap (if any) is already journaled; its commit still
+			// runs below even though the open itself fails.
+			return SessionState{}, commits, fmt.Errorf("server: session limit (%d) reached", st.cap)
+		}
+		n := st.next + 1
+		id := "s" + strconv.FormatUint(n, 10)
+		commit := commitNoop
+		if st.journal != nil {
+			cfgCopy := cfg
+			var err error
+			commit, err = st.journal(ctx, &Record{T: RecSessionOpen, Session: &SessionRecord{
+				ID: id, Next: n, Config: &cfgCopy,
+			}})
+			if err != nil {
+				return SessionState{}, commits, err
+			}
+		}
+		st.next = n
+		ls := &liveSession{id: id, sess: sess, lastTouch: st.now()}
+		st.live[id] = ls
+		return sessionState(id, sess.State()), append(commits, commit), nil
+	}()
+	for _, commit := range commits {
+		if cerr := commit(); cerr != nil {
+			return SessionState{}, cerr
 		}
 	}
-	if len(st.live) >= st.cap {
-		return SessionState{}, fmt.Errorf("server: session limit (%d) reached", st.cap)
+	if err != nil {
+		return SessionState{}, err
 	}
-	n := st.next + 1
-	id := "s" + strconv.FormatUint(n, 10)
-	if st.journal != nil {
-		cfgCopy := cfg
-		err := st.journal(ctx, &Record{T: RecSessionOpen, Session: &SessionRecord{
-			ID: id, Next: n, Config: &cfgCopy,
-		}})
-		if err != nil {
-			return SessionState{}, err
-		}
-	}
-	st.next = n
-	ls := &liveSession{id: id, sess: sess, lastTouch: st.now()}
-	st.live[id] = ls
-	return sessionState(id, sess.State()), nil
+	return state, nil
 }
 
 // reapLocked drops sessions that are Done (their result has been
@@ -104,12 +124,13 @@ func (st *sessionStore) Open(ctx context.Context, cfg online.Config) (SessionSta
 // journaled as one reap record — reaping depends on the wall clock, so
 // replay must take the decision from the log, not remake it. Every dead
 // session's lock is held from the liveness check through the journal
-// append and the closed-mark, so no concurrent voter can slip a vote
-// record behind the reap record (see liveSession.closed). Callers hold
-// st.mu; holding several ls.mu at once is safe because reap and Close
-// (the only deletion paths) are serialized by st.mu, and voters never
-// hold more than one.
-func (st *sessionStore) reapLocked(ctx context.Context) error {
+// reservation and the closed-mark, so no concurrent voter can slip a
+// vote record behind the reap record (see liveSession.closed). Callers
+// hold st.mu, run the returned commit after releasing it, and hold
+// several ls.mu at once safely because reap and Close (the only
+// deletion paths) are serialized by st.mu, and voters never hold more
+// than one.
+func (st *sessionStore) reapLocked(ctx context.Context) (func() error, error) {
 	cutoff := st.now().Add(-sessionIdleTTL)
 	var dead []*liveSession
 	for _, ls := range st.live {
@@ -121,19 +142,22 @@ func (st *sessionStore) reapLocked(ctx context.Context) error {
 		}
 	}
 	if len(dead) == 0 {
-		return nil
+		return commitNoop, nil
 	}
 	sort.Slice(dead, func(i, j int) bool { return sessionIDLess(dead[i].id, dead[j].id) })
 	ids := make([]string, len(dead))
 	for i, ls := range dead {
 		ids[i] = ls.id
 	}
+	commit := commitNoop
 	if st.journal != nil {
-		if err := st.journal(ctx, &Record{T: RecSessionReap, Session: &SessionRecord{Reaped: ids}}); err != nil {
+		var err error
+		commit, err = st.journal(ctx, &Record{T: RecSessionReap, Session: &SessionRecord{Reaped: ids}})
+		if err != nil {
 			for _, ls := range dead {
 				ls.mu.Unlock()
 			}
-			return err
+			return nil, err
 		}
 	}
 	for _, ls := range dead {
@@ -141,7 +165,7 @@ func (st *sessionStore) reapLocked(ctx context.Context) error {
 		ls.mu.Unlock()
 		delete(st.live, ls.id)
 	}
-	return nil
+	return commit, nil
 }
 
 // Get returns a session's current state.
@@ -166,30 +190,41 @@ func (st *sessionStore) Observe(ctx context.Context, id string, quality, cost fl
 	if err != nil {
 		return SessionState{}, err
 	}
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	if ls.closed {
-		return SessionState{}, fmt.Errorf("%w: %q", ErrSessionUnknown, id)
-	}
-	ls.lastTouch = st.now()
-	if err := ls.sess.Check(quality, cost); err != nil {
-		return sessionState(id, ls.sess.State()), err
-	}
-	if st.journal != nil {
-		// The worker's quality and cost at ingest time travel in the
-		// record, so replaying the vote is exact whatever the registry
-		// looked like.
-		err := st.journal(ctx, &Record{T: RecSessionVote, Session: &SessionRecord{
-			ID: id, Quality: quality, Cost: cost, Vote: int(v),
-		}})
-		if err != nil {
-			return sessionState(id, ls.sess.State()), err
+	state, commit, err := func() (SessionState, func() error, error) {
+		ls.mu.Lock()
+		defer ls.mu.Unlock()
+		if ls.closed {
+			return SessionState{}, nil, fmt.Errorf("%w: %q", ErrSessionUnknown, id)
 		}
+		ls.lastTouch = st.now()
+		if err := ls.sess.Check(quality, cost); err != nil {
+			return sessionState(id, ls.sess.State()), nil, err
+		}
+		commit := commitNoop
+		if st.journal != nil {
+			// The worker's quality and cost at ingest time travel in the
+			// record, so replaying the vote is exact whatever the registry
+			// looked like.
+			var err error
+			commit, err = st.journal(ctx, &Record{T: RecSessionVote, Session: &SessionRecord{
+				ID: id, Quality: quality, Cost: cost, Vote: int(v),
+			}})
+			if err != nil {
+				return sessionState(id, ls.sess.State()), nil, err
+			}
+		}
+		applySpan := obs.TraceFrom(ctx).Begin(obs.StageApply)
+		state, err := ls.sess.Observe(quality, cost, v)
+		applySpan.End()
+		return sessionState(id, state), commit, err
+	}()
+	if err != nil {
+		return state, err
 	}
-	applySpan := obs.TraceFrom(ctx).Begin(obs.StageApply)
-	state, err := ls.sess.Observe(quality, cost, v)
-	applySpan.End()
-	return sessionState(id, state), err
+	if err := commit(); err != nil {
+		return state, err
+	}
+	return state, nil
 }
 
 // BudgetRemaining returns how much of the session's budget is unspent,
@@ -217,18 +252,29 @@ func (st *sessionStore) MarkBudgetExhausted(ctx context.Context, id string) (Ses
 	if err != nil {
 		return SessionState{}, err
 	}
-	ls.mu.Lock()
-	defer ls.mu.Unlock()
-	if ls.closed {
-		return SessionState{}, fmt.Errorf("%w: %q", ErrSessionUnknown, id)
-	}
-	if !ls.sess.State().Done && st.journal != nil {
-		err := st.journal(ctx, &Record{T: RecSessionBudget, Session: &SessionRecord{ID: id}})
-		if err != nil {
-			return sessionState(id, ls.sess.State()), err
+	state, commit, err := func() (SessionState, func() error, error) {
+		ls.mu.Lock()
+		defer ls.mu.Unlock()
+		if ls.closed {
+			return SessionState{}, nil, fmt.Errorf("%w: %q", ErrSessionUnknown, id)
 		}
+		commit := commitNoop
+		if !ls.sess.State().Done && st.journal != nil {
+			var err error
+			commit, err = st.journal(ctx, &Record{T: RecSessionBudget, Session: &SessionRecord{ID: id}})
+			if err != nil {
+				return sessionState(id, ls.sess.State()), nil, err
+			}
+		}
+		return sessionState(id, ls.sess.MarkBudgetExhausted()), commit, nil
+	}()
+	if err != nil {
+		return state, err
 	}
-	return sessionState(id, ls.sess.MarkBudgetExhausted()), nil
+	if err := commit(); err != nil {
+		return state, err
+	}
+	return state, nil
 }
 
 // Close removes a session. The close record is journaled while holding
@@ -236,23 +282,32 @@ func (st *sessionStore) MarkBudgetExhausted(ctx context.Context, id string) (Ses
 // vote record before the close record (and replay applies both, in
 // order) or observes the closed mark and journals nothing.
 func (st *sessionStore) Close(ctx context.Context, id string) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	ls, ok := st.live[id]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrSessionUnknown, id)
-	}
-	ls.mu.Lock()
-	if st.journal != nil {
-		if err := st.journal(ctx, &Record{T: RecSessionClose, Session: &SessionRecord{ID: id}}); err != nil {
-			ls.mu.Unlock()
-			return err
+	commit, err := func() (func() error, error) {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		ls, ok := st.live[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrSessionUnknown, id)
 		}
+		ls.mu.Lock()
+		commit := commitNoop
+		if st.journal != nil {
+			var err error
+			commit, err = st.journal(ctx, &Record{T: RecSessionClose, Session: &SessionRecord{ID: id}})
+			if err != nil {
+				ls.mu.Unlock()
+				return nil, err
+			}
+		}
+		ls.closed = true
+		ls.mu.Unlock()
+		delete(st.live, id)
+		return commit, nil
+	}()
+	if err != nil {
+		return err
 	}
-	ls.closed = true
-	ls.mu.Unlock()
-	delete(st.live, id)
-	return nil
+	return commit()
 }
 
 // Len returns the number of live sessions.

@@ -60,6 +60,12 @@ type Fault struct {
 	// last-synced size when the fault fires: the unsynced tail behaves
 	// as if it never left the page cache and the machine lost power.
 	DropUnsynced bool
+	// Gate, for OpSync, blocks the matched sync until the channel is
+	// closed — a deterministic way to hold a group-commit leader inside
+	// its flush while other appenders pile into the next batch. With a
+	// nil Err (and no DropUnsynced) the gated sync then proceeds for
+	// real; with either set it fails as usual once released.
+	Gate <-chan struct{}
 }
 
 type faultState struct {
@@ -234,13 +240,19 @@ func (f *errFile) Write(p []byte) (int, error) {
 
 func (f *errFile) Sync() error {
 	if ft := f.fs.match(OpSync, f.path); ft != nil {
-		if ft.DropUnsynced {
-			f.mu.Lock()
-			f.fs.real.Truncate(f.path, f.synced)
-			f.size = f.synced
-			f.mu.Unlock()
+		if ft.Gate != nil {
+			<-ft.Gate
 		}
-		return faultErr(ft)
+		if ft.Gate == nil || ft.Err != nil || ft.DropUnsynced {
+			if ft.DropUnsynced {
+				f.mu.Lock()
+				f.fs.real.Truncate(f.path, f.synced)
+				f.size = f.synced
+				f.mu.Unlock()
+			}
+			return faultErr(ft)
+		}
+		// Gated success: the sync was only delayed, not failed.
 	}
 	if err := f.real.Sync(); err != nil {
 		return err

@@ -1,0 +1,468 @@
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+	"repro/internal/wal/errfs"
+)
+
+// batchRecorder collects OnFlush batch sizes; the callback runs with the
+// log's lock held, so it only appends under its own mutex.
+type batchRecorder struct {
+	mu      sync.Mutex
+	batches []int
+}
+
+func (b *batchRecorder) record(n int) {
+	b.mu.Lock()
+	b.batches = append(b.batches, n)
+	b.mu.Unlock()
+}
+
+func (b *batchRecorder) snapshot() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]int(nil), b.batches...)
+}
+
+func replayPayloads(t *testing.T, l *wal.Log) [][]byte {
+	t.Helper()
+	var out [][]byte
+	err := l.Replay(1, func(lsn wal.LSN, payload []byte) error {
+		if lsn != wal.LSN(len(out)+1) {
+			return fmt.Errorf("lsn %d out of order (want %d)", lsn, len(out)+1)
+		}
+		out = append(out, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+// waitInjected polls until the injector has fired n faults — the only
+// cross-goroutine signal that a gated leader has entered its sync.
+func waitInjected(t *testing.T, fs *errfs.FS, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for fs.Injected() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("injector never reached %d fired faults (at %d)", n, fs.Injected())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGroupCommitSharesFsync holds the first flush's fsync at a gate,
+// piles more appends into the staging buffer, and proves the whole pile
+// retires with one more sync: 1+N records, exactly two flushes.
+func TestGroupCommitSharesFsync(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	fs := errfs.New(wal.OSFS(), errfs.Fault{Op: errfs.OpSync, Path: "wal-", Times: 1, Gate: gate})
+	rec := &batchRecorder{}
+	l, _, err := wal.Open(dir, wal.Options{Fsync: true, GroupCommit: true, FS: fs, OnFlush: rec.record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	p1, err := l.Begin([]byte("r1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead := make(chan error, 1)
+	go func() { lead <- p1.Wait() }()
+	waitInjected(t, fs, 1) // the leader is inside its gated fsync
+
+	const followers = 8
+	pending := make([]*wal.Pending, followers)
+	for i := range pending {
+		p, err := l.Begin([]byte(fmt.Sprintf("r%d", i+2)))
+		if err != nil {
+			t.Fatalf("Begin follower %d: %v", i, err)
+		}
+		pending[i] = p
+	}
+	close(gate)
+	if err := <-lead; err != nil {
+		t.Fatalf("leader Wait: %v", err)
+	}
+	if !p1.Leader() || p1.Records() != 1 {
+		t.Fatalf("first waiter: leader=%v records=%d, want leader of 1", p1.Leader(), p1.Records())
+	}
+	for i, p := range pending {
+		if err := p.Wait(); err != nil {
+			t.Fatalf("follower %d Wait: %v", i, err)
+		}
+	}
+
+	batches := rec.snapshot()
+	if len(batches) != 2 || batches[0] != 1 || batches[1] != followers {
+		t.Fatalf("flush batches = %v, want [1 %d]", batches, followers)
+	}
+	got := replayPayloads(t, l)
+	if len(got) != followers+1 {
+		t.Fatalf("replayed %d records, want %d", len(got), followers+1)
+	}
+	for i, payload := range got {
+		if want := fmt.Sprintf("r%d", i+1); string(payload) != want {
+			t.Fatalf("record %d = %q, want %q", i+1, payload, want)
+		}
+	}
+}
+
+// TestGroupCommitLeaderFailureDegradesWaiters gates the leader's fsync
+// and makes it fail on release: the leader surfaces the *IOError itself,
+// every staged waiter fails with the wrapped sticky poison, and the log
+// refuses further appends.
+func TestGroupCommitLeaderFailureDegradesWaiters(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	fs := errfs.New(wal.OSFS(), errfs.Fault{
+		Op: errfs.OpSync, Path: "wal-", Times: 1, Gate: gate, Err: errfs.ErrInjected,
+	})
+	l, _, err := wal.Open(dir, wal.Options{Fsync: true, GroupCommit: true, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	p1, err := l.Begin([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead := make(chan error, 1)
+	go func() { lead <- p1.Wait() }()
+	waitInjected(t, fs, 1)
+
+	const followers = 4
+	pending := make([]*wal.Pending, followers)
+	for i := range pending {
+		p, err := l.Begin([]byte("staged"))
+		if err != nil {
+			t.Fatalf("Begin follower %d: %v", i, err)
+		}
+		pending[i] = p
+	}
+	close(gate)
+
+	leadErr := <-lead
+	var ioErr *wal.IOError
+	if !errors.As(leadErr, &ioErr) || ioErr.Op != "fsync" {
+		t.Fatalf("leader error = %v, want fsync *IOError", leadErr)
+	}
+	if errors.Is(leadErr, wal.ErrFailed) {
+		t.Fatalf("leader error %v wraps ErrFailed; the first failure must surface the IOError itself", leadErr)
+	}
+	for i, p := range pending {
+		err := p.Wait()
+		if !errors.Is(err, wal.ErrFailed) {
+			t.Fatalf("follower %d error = %v, want ErrFailed wrap", i, err)
+		}
+		if !errors.As(err, &ioErr) {
+			t.Fatalf("follower %d error %v does not expose the IOError cause", i, err)
+		}
+	}
+	if _, err := l.Begin([]byte("after")); !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("Begin on poisoned log = %v, want ErrFailed", err)
+	}
+}
+
+// TestGroupCommitLayoutMatchesPerRecord drives the same sequential record
+// stream through a per-record log and a group-commit one, rotating often,
+// and demands bit-identical segment files: with no concurrency the group
+// path must degenerate to exactly today's on-disk behavior.
+func TestGroupCommitLayoutMatchesPerRecord(t *testing.T) {
+	payloads := make([][]byte, 60)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte('a' + i%26)}, 5+i%40)
+	}
+	write := func(dir string, group bool) {
+		t.Helper()
+		l, _, err := wal.Open(dir, wal.Options{Fsync: true, GroupCommit: group, SegmentBytes: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range payloads {
+			if _, err := l.Append(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain, grouped := t.TempDir(), t.TempDir()
+	write(plain, false)
+	write(grouped, true)
+
+	plainSegs, err := filepath.Glob(filepath.Join(plain, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupSegs, err := filepath.Glob(filepath.Join(grouped, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plainSegs) != len(groupSegs) || len(plainSegs) < 2 {
+		t.Fatalf("segment counts differ (or no rotation): per-record %d, group %d", len(plainSegs), len(groupSegs))
+	}
+	for i := range plainSegs {
+		if filepath.Base(plainSegs[i]) != filepath.Base(groupSegs[i]) {
+			t.Fatalf("segment %d named %s vs %s", i, filepath.Base(plainSegs[i]), filepath.Base(groupSegs[i]))
+		}
+		a, err := os.ReadFile(plainSegs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(groupSegs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("segment %s differs between per-record and group-commit layouts", filepath.Base(plainSegs[i]))
+		}
+	}
+}
+
+// TestGroupCommitConcurrentReplayComplete hammers a group log from many
+// goroutines across rotations and checks replay returns every acked
+// record exactly once, in LSN order.
+func TestGroupCommitConcurrentReplayComplete(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := wal.Open(dir, wal.Options{Fsync: true, GroupCommit: true, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	got := replayPayloads(t, l)
+	if len(got) != writers*perWriter {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*perWriter)
+	}
+	seen := make(map[string]bool, len(got))
+	for _, p := range got {
+		if seen[string(p)] {
+			t.Fatalf("record %q replayed twice", p)
+		}
+		seen[string(p)] = true
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncFailurePoisonsLog pins the Sync half of the poison contract:
+// the failing Sync surfaces the *IOError itself, and afterwards both
+// Sync and Append refuse with the ErrFailed wrap instead of pretending
+// a later retry could make the lost pages durable.
+func TestSyncFailurePoisonsLog(t *testing.T) {
+	dir := t.TempDir()
+	fs := errfs.New(wal.OSFS(), errfs.Fault{Op: errfs.OpSync, Path: "wal-"})
+	l, _, err := wal.Open(dir, wal.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("one")); err != nil {
+		t.Fatal(err) // no Fsync option: the append itself does not sync
+	}
+	err = l.Sync()
+	var ioErr *wal.IOError
+	if !errors.As(err, &ioErr) || ioErr.Op != "fsync" {
+		t.Fatalf("Sync error = %v, want fsync *IOError", err)
+	}
+	if errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("first Sync failure %v wraps ErrFailed; it must surface the IOError itself", err)
+	}
+	if err := l.Sync(); !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("Sync on poisoned log = %v, want ErrFailed wrap", err)
+	}
+	if _, err := l.Append([]byte("two")); !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("Append on poisoned log = %v, want ErrFailed wrap", err)
+	}
+	if l.Failed() == nil {
+		t.Fatal("Failed() = nil after a Sync failure")
+	}
+}
+
+// TestSyncOnPoisonedLogRefuses: a log poisoned by a write failure must
+// never let a later Sync report success.
+func TestSyncOnPoisonedLogRefuses(t *testing.T) {
+	dir := t.TempDir()
+	fs := errfs.New(wal.OSFS(), errfs.Fault{Op: errfs.OpWrite, Path: "wal-"})
+	l, _, err := wal.Open(dir, wal.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("boom")); err == nil {
+		t.Fatal("Append with write fault succeeded")
+	}
+	if err := l.Sync(); !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("Sync after poisoned write = %v, want ErrFailed wrap", err)
+	}
+}
+
+// TestCloseReportsDirtyShutdown pins the Close half of the contract: a
+// final flush that fails is reported (not swallowed), recorded as the
+// sticky poison, and re-reported by a second Close.
+func TestCloseReportsDirtyShutdown(t *testing.T) {
+	dir := t.TempDir()
+	fs := errfs.New(wal.OSFS(), errfs.Fault{Op: errfs.OpSync, Path: "wal-"})
+	l, _, err := wal.Open(dir, wal.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	err = l.Close()
+	var ioErr *wal.IOError
+	if !errors.As(err, &ioErr) || ioErr.Op != "fsync" {
+		t.Fatalf("Close with failing final sync = %v, want fsync *IOError", err)
+	}
+	if again := l.Close(); !errors.Is(again, wal.ErrFailed) {
+		t.Fatalf("second Close = %v, want the sticky dirty report (ErrFailed wrap)", again)
+	}
+}
+
+// TestCloseOnPoisonedLogStaysDirty: closing a log that already failed
+// reports the original poison instead of a clean shutdown, and skips the
+// final sync (a post-failure fsync reporting success would be a lie).
+func TestCloseOnPoisonedLogStaysDirty(t *testing.T) {
+	dir := t.TempDir()
+	fs := errfs.New(wal.OSFS(), errfs.Fault{Op: errfs.OpWrite, Path: "wal-"})
+	l, _, err := wal.Open(dir, wal.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("boom")); err == nil {
+		t.Fatal("Append with write fault succeeded")
+	}
+	err = l.Close()
+	if !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("Close on poisoned log = %v, want ErrFailed wrap", err)
+	}
+	var ioErr *wal.IOError
+	if !errors.As(err, &ioErr) || ioErr.Op != "write" {
+		t.Fatalf("Close on poisoned log = %v, want the original write IOError as cause", err)
+	}
+}
+
+// TestCloseCleanReturnsNil: the healthy path still closes silently.
+func TestCloseCleanReturnsNil(t *testing.T) {
+	for _, group := range []bool{false, true} {
+		dir := t.TempDir()
+		l, _, err := wal.Open(dir, wal.Options{Fsync: true, GroupCommit: group})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Append([]byte("fine")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("clean Close (group=%v) = %v, want nil", group, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("double Close of a clean log (group=%v) = %v, want nil", group, err)
+		}
+	}
+}
+
+// TestWaitDurableBarrier: WaitDurable returns only after every record
+// accepted before the call is on stable storage, and surfaces the poison
+// when the flush that should have covered them failed.
+func TestWaitDurableBarrier(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := wal.Open(dir, wal.Options{Fsync: true, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	p, err := l.Begin([]byte("staged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(); err != nil {
+		t.Fatalf("WaitDurable: %v", err)
+	}
+	// The barrier itself must have led the flush that covered the record.
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait after barrier: %v", err)
+	}
+	got := replayPayloads(t, l)
+	if len(got) != 1 || string(got[0]) != "staged" {
+		t.Fatalf("replay after barrier = %q, want [staged]", got)
+	}
+}
+
+// TestGroupCommitDropUnsyncedRecoversAckedPrefix is the power-loss story
+// under batching: a batch whose fsync fails with the unsynced tail
+// dropped must leave exactly the previously-acked records on disk.
+func TestGroupCommitDropUnsyncedRecoversAckedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	// Sequential group commit flushes once per record, so "fail sync 4
+	// with the tail dropped" means records 1..3 were acked durable and
+	// record 4 was never acknowledged.
+	fs := errfs.New(wal.OSFS(), errfs.Fault{Op: errfs.OpSync, Path: "wal-", After: 3, DropUnsynced: true})
+	l, _, err := wal.Open(dir, wal.Options{Fsync: true, GroupCommit: true, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []string
+	for i := 1; i <= 6; i++ {
+		payload := fmt.Sprintf("r%d", i)
+		if _, err := l.Append([]byte(payload)); err != nil {
+			break
+		}
+		acked = append(acked, payload)
+	}
+	if len(acked) != 3 {
+		t.Fatalf("acked %d records before the injected power loss, want 3", len(acked))
+	}
+	l.Close() // dirty; the tail is already gone
+
+	reopened, info, err := wal.Open(dir, wal.Options{Fsync: true, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	got := replayPayloads(t, reopened)
+	if len(got) != len(acked) {
+		t.Fatalf("recovered %d records, want the %d acked ones (torn bytes %d)", len(got), len(acked), info.TornBytes)
+	}
+	for i, payload := range got {
+		if string(payload) != acked[i] {
+			t.Fatalf("recovered record %d = %q, want %q", i+1, payload, acked[i])
+		}
+	}
+}

@@ -45,6 +45,10 @@ type LSN uint64
 // is zero.
 const DefaultSegmentBytes = 4 << 20
 
+// DefaultMaxBatchBytes bounds the framed bytes staged for one group-commit
+// flush when Options.MaxBatchBytes is zero.
+const DefaultMaxBatchBytes = 1 << 20
+
 // MaxRecordBytes bounds one record's payload; a decoded length above it is
 // treated as a torn/corrupt record, which keeps arbitrary bytes from
 // provoking huge allocations.
@@ -103,6 +107,22 @@ type Options struct {
 	// FS is the filesystem the log lives on; nil selects the real one.
 	// Tests substitute a fault injector (internal/wal/errfs) here.
 	FS FS
+	// GroupCommit batches concurrent appends into shared flushes: Begin
+	// stages framed records and reserves their LSNs, and the first waiter
+	// becomes the leader that writes the whole batch with one Write and
+	// one Sync, releasing every waiter at or below the synced watermark.
+	// Only meaningful with Fsync — without it there is no flush to share,
+	// and the log keeps the per-record path bit-for-bit.
+	GroupCommit bool
+	// MaxBatchBytes caps the framed bytes staged for one group-commit
+	// flush; 0 selects DefaultMaxBatchBytes. Appenders block (backpressure)
+	// while the buffer is full until a leader drains it.
+	MaxBatchBytes int64
+	// OnFlush, if set, is called after every successful group-commit flush
+	// with the number of records it made durable — the feed for batch-size
+	// observability. It runs with the log's internal lock held, so it must
+	// be fast and must not call back into the Log.
+	OnFlush func(records int)
 }
 
 // OpenInfo reports what Open found on disk.
@@ -126,14 +146,30 @@ type segment struct {
 // safe for concurrent use.
 type Log struct {
 	mu     sync.Mutex
+	cond   *sync.Cond // broadcast on watermark, poison, flush-state and close transitions
 	dir    string
 	opts   Options
 	fs     FS
+	group  bool // opts.Fsync && opts.GroupCommit: batched shared flushes
 	segs   []segment
 	f      File  // newest segment, opened for append
-	size   int64 // bytes in the newest segment
+	size   int64 // flushed bytes in the newest segment (staged batch excluded)
 	next   LSN
 	failed error // sticky: set on a write error, fails every later append
+
+	// Group-commit state. Begin frames records into buf under mu and
+	// reserves their LSNs; the first waiter to find records staged and no
+	// flush running becomes the leader, swaps buf out, and writes + syncs
+	// it with mu released. synced is the durability watermark: every
+	// record at or below it is on stable storage. Invariant: a record
+	// above the watermark is either in buf or in the batch an in-flight
+	// leader is flushing, so a leader's batch always covers its own LSN.
+	buf        []byte
+	bufRecords int
+	spare      []byte // recycled batch buffer
+	flushing   bool   // a leader is writing/syncing outside mu
+	synced     LSN
+	lastFsync  time.Duration // duration of the most recent flush's sync
 }
 
 // segmentName renders the file name of the segment whose first record has
@@ -184,6 +220,9 @@ func Open(dir string, opts Options) (*Log, OpenInfo, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
+	if opts.MaxBatchBytes <= 0 {
+		opts.MaxBatchBytes = DefaultMaxBatchBytes
+	}
 	if opts.FS == nil {
 		opts.FS = OSFS()
 	}
@@ -196,6 +235,8 @@ func Open(dir string, opts Options) (*Log, OpenInfo, error) {
 		return nil, OpenInfo{}, err
 	}
 	l := &Log{dir: dir, opts: opts, fs: fsys, segs: segs}
+	l.cond = sync.NewCond(&l.mu)
+	l.group = opts.Fsync && opts.GroupCommit
 	var info OpenInfo
 	if len(segs) == 0 {
 		l.next = 1
@@ -234,6 +275,7 @@ func Open(dir string, opts Options) (*Log, OpenInfo, error) {
 		l.size = valid
 		l.next = last.first + LSN(records)
 	}
+	l.synced = l.next - 1 // everything on disk at Open is the durable prefix
 	info.Segments = len(l.segs)
 	info.NextLSN = l.next
 	return l, info, nil
@@ -316,48 +358,319 @@ type AppendTiming struct {
 
 // AppendTimed is Append, also reporting where the time went — the
 // instrumentation point behind the juryd_wal_fsync_seconds histogram.
+// It is Begin followed by Wait, so in group-commit mode sequential
+// callers still flush once per record while concurrent ones share.
 func (l *Log) AppendTimed(payload []byte) (lsn LSN, timing AppendTiming, err error) {
-	if len(payload) > MaxRecordBytes {
-		return 0, timing, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
-	}
 	start := time.Now()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	defer func() { timing.Total = time.Since(start) }()
-	if l.f == nil {
-		return 0, timing, ErrClosed
+	p, err := l.Begin(payload)
+	if err != nil {
+		timing.Total = time.Since(start)
+		return 0, timing, err
 	}
-	if l.failed != nil {
-		return 0, timing, fmt.Errorf("%w: %w", ErrFailed, l.failed)
+	err = p.Wait()
+	timing.Total = time.Since(start)
+	timing.Fsync = p.FsyncDuration()
+	if err != nil {
+		return 0, timing, err
+	}
+	return p.lsn, timing, nil
+}
+
+// Pending is one record accepted by Begin: an LSN reservation awaiting
+// durability. It is intended for a single goroutine; Wait may be called
+// more than once and keeps returning the same outcome.
+type Pending struct {
+	l   *Log
+	lsn LSN
+
+	done    bool // the outcome below is final
+	err     error
+	fsync   time.Duration
+	leader  bool
+	records int
+}
+
+// LSN returns the reserved log sequence number.
+func (p *Pending) LSN() LSN { return p.lsn }
+
+// Done reports whether the record's fate was already decided when Begin
+// returned — true on the per-record path, where Begin performs the write
+// and flush itself and Wait just replays the stored outcome.
+func (p *Pending) Done() bool { return p.done }
+
+// FsyncDuration is the time spent in the flush that made this record
+// durable, valid after Wait: the record's own fsync on the per-record
+// path, the shared batch sync in group-commit mode.
+func (p *Pending) FsyncDuration() time.Duration { return p.fsync }
+
+// Leader reports whether this waiter led the flush that covered it.
+func (p *Pending) Leader() bool { return p.leader }
+
+// Records is the size of the batch this waiter flushed as leader
+// (0 for followers and on the per-record path).
+func (p *Pending) Records() int { return p.records }
+
+// Begin reserves the next LSN for payload and stages the framed record
+// for durability, returning a Pending whose Wait blocks until the record
+// is on stable storage. In group-commit mode (Options.Fsync with
+// Options.GroupCommit) Begin only frames and buffers — the batched write
+// and the shared fsync happen under Wait, led by the first waiter — so a
+// caller can reserve its LSN under its own ordering lock and wait for
+// the flush outside it. In every other mode Begin performs the full
+// per-record append itself.
+func (l *Log) Begin(payload []byte) (*Pending, error) {
+	if len(payload) > MaxRecordBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
 	rec := make([]byte, headerSize+len(payload))
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
 	copy(rec[headerSize:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil, ErrClosed
+	}
+	if l.failed != nil {
+		return nil, fmt.Errorf("%w: %w", ErrFailed, l.failed)
+	}
+	if !l.group {
+		lsn, fsyncDur, err := l.appendLocked(rec)
+		if err != nil {
+			return nil, err
+		}
+		return &Pending{l: l, lsn: lsn, done: true, fsync: fsyncDur}, nil
+	}
+	// Backpressure: a full batch buffer means flushes are behind; park
+	// until a leader drains it.
+	for int64(len(l.buf)) >= l.opts.MaxBatchBytes && l.bufRecords > 0 {
+		l.cond.Wait()
+		if l.f == nil {
+			return nil, ErrClosed
+		}
+		if l.failed != nil {
+			return nil, fmt.Errorf("%w: %w", ErrFailed, l.failed)
+		}
+	}
+	// Rotation happens on the same cumulative-bytes boundary as the
+	// per-record path (l.size counts flushed bytes, the buffer staged
+	// ones), so batched and unbatched logs lay out identical segments.
+	// The staged records must drain into the old segment first: the
+	// LSN-to-segment mapping is positional.
+	for {
+		staged := l.size + int64(len(l.buf))
+		if staged == 0 || staged+int64(len(rec)) <= l.opts.SegmentBytes {
+			break
+		}
+		if l.flushing || l.bufRecords > 0 {
+			if err := l.drainLocked(); err != nil {
+				return nil, err
+			}
+			if l.f == nil {
+				return nil, ErrClosed
+			}
+			continue // the drain dropped mu for the I/O; re-evaluate
+		}
+		if err := l.rotateLocked(); err != nil {
+			l.failed = err
+			l.cond.Broadcast()
+			return nil, err
+		}
+		break
+	}
+	l.buf = append(l.buf, rec...)
+	l.bufRecords++
+	lsn := l.next
+	l.next++
+	return &Pending{l: l, lsn: lsn}, nil
+}
+
+// Wait blocks until the record is durable, leading the batch flush if no
+// one else is. It returns nil once the durability watermark covers the
+// record's LSN; on a flush failure the leader surfaces the *IOError
+// itself and every other waiter gets an error wrapping ErrFailed and the
+// cause, matching Append's poison contract.
+func (p *Pending) Wait() error {
+	if p.done {
+		return p.err
+	}
+	l := p.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.synced >= p.lsn {
+			p.done = true
+			p.fsync = l.lastFsync
+			return nil
+		}
+		if l.failed != nil {
+			p.done = true
+			p.err = fmt.Errorf("%w: %w", ErrFailed, l.failed)
+			return p.err
+		}
+		if l.f == nil {
+			p.done = true
+			p.err = ErrClosed
+			return p.err
+		}
+		if !l.flushing && l.bufRecords > 0 {
+			if err := l.flushLocked(p); err != nil {
+				p.done = true
+				p.err = err
+				return p.err
+			}
+			continue
+		}
+		l.cond.Wait()
+	}
+}
+
+// WaitDurable blocks until every record accepted before the call is on
+// stable storage — the durability barrier behind duplicate-ack paths,
+// where a retried mutation may only be acknowledged once the original it
+// dedups against is itself durable. On the per-record path every
+// accepted append is already flushed, so it returns immediately.
+func (l *Log) WaitDurable() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return ErrClosed
+	}
+	if !l.group {
+		return nil
+	}
+	target := l.next - 1
+	for {
+		if l.synced >= target {
+			return nil
+		}
+		if l.failed != nil {
+			return fmt.Errorf("%w: %w", ErrFailed, l.failed)
+		}
+		if l.f == nil {
+			return ErrClosed
+		}
+		if !l.flushing && l.bufRecords > 0 {
+			if err := l.flushLocked(nil); err != nil {
+				return err
+			}
+			continue
+		}
+		l.cond.Wait()
+	}
+}
+
+// appendLocked writes one framed record through the per-record path:
+// rotate if due, one write, and under Options.Fsync one flush. Callers
+// hold l.mu and have checked the closed and poisoned states.
+func (l *Log) appendLocked(rec []byte) (lsn LSN, fsyncDur time.Duration, err error) {
 	if l.size > 0 && l.size+int64(len(rec)) > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			l.failed = err
-			return 0, timing, err
+			return 0, 0, err
 		}
 	}
 	path := l.segs[len(l.segs)-1].path
 	if _, err := l.f.Write(rec); err != nil {
 		l.failed = &IOError{Op: "write", Path: path, Err: err}
-		return 0, timing, l.failed
+		return 0, 0, l.failed
 	}
 	l.size += int64(len(rec))
 	if l.opts.Fsync {
 		syncStart := time.Now()
 		serr := l.f.Sync()
-		timing.Fsync = time.Since(syncStart)
+		fsyncDur = time.Since(syncStart)
 		if serr != nil {
 			l.failed = &IOError{Op: "fsync", Path: path, Err: serr}
-			return 0, timing, l.failed
+			return 0, fsyncDur, l.failed
 		}
 	}
 	lsn = l.next
 	l.next++
-	return lsn, timing, nil
+	l.synced = lsn // the watermark stays true on the per-record path too
+	return lsn, fsyncDur, nil
+}
+
+// flushLocked writes the staged batch with one Write and one Sync, then
+// advances the durability watermark and wakes every waiter. The caller
+// holds l.mu and has checked that no flush is running; the lock is
+// released for the disk I/O and reacquired before returning. p, when
+// non-nil, is the leading waiter: on success its flush stats are filled
+// in, and on failure the returned *IOError is the leader's to surface
+// while the sticky poison fails every other waiter with ErrFailed.
+func (l *Log) flushLocked(p *Pending) error {
+	batch := l.buf
+	records := l.bufRecords
+	upTo := l.next - 1
+	l.buf = l.spare[:0]
+	l.spare = nil
+	l.bufRecords = 0
+	l.flushing = true
+	f := l.f
+	path := l.segs[len(l.segs)-1].path
+	l.mu.Unlock()
+
+	var ioErr *IOError
+	var syncDur time.Duration
+	if _, err := f.Write(batch); err != nil {
+		ioErr = &IOError{Op: "write", Path: path, Err: err}
+	} else {
+		syncStart := time.Now()
+		serr := f.Sync()
+		syncDur = time.Since(syncStart)
+		if serr != nil {
+			ioErr = &IOError{Op: "fsync", Path: path, Err: serr}
+		}
+	}
+
+	l.mu.Lock()
+	l.flushing = false
+	if cap(batch) > cap(l.spare) {
+		l.spare = batch[:0]
+	}
+	if ioErr != nil {
+		if l.failed == nil {
+			l.failed = ioErr
+		}
+		l.cond.Broadcast()
+		return ioErr
+	}
+	l.size += int64(len(batch))
+	l.synced = upTo
+	l.lastFsync = syncDur
+	if p != nil {
+		p.leader = true
+		p.records = records
+	}
+	l.cond.Broadcast()
+	if l.opts.OnFlush != nil {
+		l.opts.OnFlush(records)
+	}
+	return nil
+}
+
+// drainLocked makes every staged record durable before returning: it
+// waits out an in-flight flush, then leads a flush of whatever is still
+// buffered. Callers hold l.mu; the lock may be dropped while waiting or
+// flushing. Returns the wrapped sticky poison if the log had already
+// failed, or the flush's own *IOError if this drain broke it.
+func (l *Log) drainLocked() error {
+	for l.flushing {
+		l.cond.Wait()
+	}
+	if l.f == nil {
+		return ErrClosed
+	}
+	if l.failed != nil {
+		return fmt.Errorf("%w: %w", ErrFailed, l.failed)
+	}
+	if l.bufRecords > 0 {
+		if err := l.flushLocked(nil); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Failed reports the sticky disk error that poisoned the log, or nil.
@@ -367,30 +680,91 @@ func (l *Log) Failed() error {
 	return l.failed
 }
 
-// Sync flushes the newest segment to stable storage.
+// Sync makes every record accepted so far durable: it drains any staged
+// group-commit batch, then flushes the newest segment to stable storage.
+// It honors the poison contract Append does: a poisoned log refuses with
+// an error wrapping ErrFailed and the original cause (a Sync on a failed
+// log must never report success), and a Sync that itself fails records
+// the poison — so every later append fails fast — and surfaces the
+// *IOError.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return ErrClosed
 	}
-	return l.f.Sync()
+	if l.failed != nil {
+		return fmt.Errorf("%w: %w", ErrFailed, l.failed)
+	}
+	if err := l.drainLocked(); err != nil {
+		return err
+	}
+	if l.f == nil {
+		return ErrClosed
+	}
+	path := l.segs[len(l.segs)-1].path
+	if err := l.f.Sync(); err != nil {
+		l.failed = &IOError{Op: "fsync", Path: path, Err: err}
+		l.cond.Broadcast()
+		return l.failed
+	}
+	return nil
 }
 
-// Close syncs and closes the log. Further appends fail with ErrClosed.
+// Close makes the log durable and closes it: staged group-commit records
+// are flushed, the newest segment synced, and the file closed. Further
+// appends fail with ErrClosed. A dirty close — the log was already
+// poisoned, or the final flush, sync or close itself fails — is recorded
+// in the sticky poison and returned as an error, so shutdown paths can
+// distinguish "closed clean" from "closed with an unsynced tail"; closing
+// an already-closed dirty log keeps reporting it. A poisoned log's final
+// sync is skipped rather than retried: after a failed fsync the kernel
+// may have dropped the dirty pages, and a retry reporting success would
+// be a lie.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for l.flushing {
+		l.cond.Wait()
+	}
 	if l.f == nil {
+		if l.failed != nil {
+			return fmt.Errorf("%w: %w", ErrFailed, l.failed)
+		}
 		return nil
 	}
-	syncErr := l.f.Sync()
+	path := l.segs[len(l.segs)-1].path
+	var dirty error
+	if l.failed != nil {
+		dirty = fmt.Errorf("%w: %w", ErrFailed, l.failed)
+	} else {
+		if l.bufRecords > 0 {
+			if err := l.flushLocked(nil); err != nil {
+				dirty = err
+			}
+		}
+		if dirty == nil && l.f != nil {
+			if err := l.f.Sync(); err != nil {
+				l.failed = &IOError{Op: "fsync", Path: path, Err: err}
+				dirty = l.failed
+			}
+		}
+	}
+	if l.f == nil { // a concurrent Close slipped in while we flushed
+		l.cond.Broadcast()
+		return dirty
+	}
 	closeErr := l.f.Close()
 	l.f = nil
-	if syncErr != nil {
-		return syncErr
+	l.cond.Broadcast()
+	if dirty != nil {
+		return dirty
 	}
-	return closeErr
+	if closeErr != nil {
+		l.failed = &IOError{Op: "close", Path: path, Err: closeErr}
+		return l.failed
+	}
+	return nil
 }
 
 // NextLSN returns the LSN the next append will get; NextLSN()-1 is the
