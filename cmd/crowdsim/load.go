@@ -35,9 +35,12 @@ type BenchRouteStats struct {
 // BenchReport is the BENCH_baseline.json document: a recorded perf
 // baseline from a closed-loop crowdsim run against a live juryd.
 type BenchReport struct {
-	Schema          string                     `json:"schema"`
-	Timestamp       string                     `json:"timestamp"`
-	Target          string                     `json:"target"`
+	Schema    string `json:"schema"`
+	Timestamp string `json:"timestamp"`
+	Target    string `json:"target"`
+	// Primary is set when the run split roles: mutations went to this
+	// URL while Target (a read-only follower) served the measured reads.
+	Primary         string                     `json:"primary,omitempty"`
 	DurationSeconds float64                    `json:"duration_seconds"`
 	Concurrency     int                        `json:"concurrency"`
 	PoolSize        int                        `json:"pool_size"`
@@ -62,6 +65,10 @@ type loadConfig struct {
 	workers     int
 	seed        int64
 	benchOut    string
+	// primary, when non-empty, receives all mutations (pool registration,
+	// vote ingests) while target — a read-only follower replicating it —
+	// serves the measured selects and metrics.
+	primary string
 	// ingestEvery makes every Nth iteration of each goroutine an ingest
 	// (the rest are selects); 0 selects the historical default of 8.
 	ingestEvery int
@@ -73,6 +80,10 @@ type loadConfig struct {
 // ingests — and writes the measured baseline as JSON.
 func runLoad(cfg loadConfig, out io.Writer) error {
 	cli := serve.NewClient(cfg.target)
+	writeCli := cli
+	if cfg.primary != "" {
+		writeCli = serve.NewClient(cfg.primary)
+	}
 	ctx := context.Background()
 
 	rng := rand.New(rand.NewSource(cfg.seed))
@@ -84,8 +95,16 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 			Cost:    float64(1 + rng.Intn(5)),
 		}
 	}
-	if err := cli.RegisterWorkers(ctx, specs); err != nil {
+	if err := writeCli.RegisterWorkers(ctx, specs); err != nil {
 		return fmt.Errorf("register pool: %w", err)
+	}
+	if cfg.primary != "" {
+		// The pool was registered on the primary; selects against the
+		// follower fail until replication ships it, so wait for that
+		// instead of burning the first samples on "no workers" errors.
+		if err := waitForPool(ctx, cli, len(specs)); err != nil {
+			return fmt.Errorf("follower %s never replicated the pool: %w", cfg.target, err)
+		}
 	}
 
 	before, err := cacheCounters(ctx, cli)
@@ -125,7 +144,7 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 						Correct:  lrng.Float64() < 0.7,
 					}}
 					start := time.Now()
-					_, err := cli.IngestVotes(ctx, events)
+					_, err := writeCli.IngestVotes(ctx, events)
 					local = append(local, sample{"POST /v1/votes/batch", time.Since(start), err != nil})
 					continue
 				}
@@ -150,6 +169,7 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 		Schema:          benchSchema,
 		Timestamp:       time.Now().UTC().Format(time.RFC3339),
 		Target:          cfg.target,
+		Primary:         cfg.primary,
 		DurationSeconds: cfg.duration.Seconds(),
 		Concurrency:     cfg.concurrency,
 		PoolSize:        cfg.workers,
@@ -203,6 +223,25 @@ func runLoad(cfg loadConfig, out io.Writer) error {
 		out.Write(data)
 	}
 	return validateBench(data)
+}
+
+// waitForPool polls the target until its registry holds at least n
+// workers (replication caught up) or a deadline passes.
+func waitForPool(ctx context.Context, cli *serve.Client, n int) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		list, err := cli.Workers(ctx)
+		if err == nil && len(list.Workers) >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("have %d of %d workers after 15s", len(list.Workers), n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // quantileMs returns the q-quantile of sorted durations, in milliseconds.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -70,6 +72,76 @@ func TestLoadPhaseProducesValidBaseline(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "valid") {
 		t.Errorf("-validate output = %q", out.String())
+	}
+}
+
+// TestLoadPhaseAgainstFollower splits the roles: a durable primary
+// takes the mutations while a live replicating follower serves the
+// measured selects — the replica-serving benchmark path.
+func TestLoadPhaseAgainstFollower(t *testing.T) {
+	p, err := server.Open(server.Config{Alpha: 0.5, Seed: 1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsP := httptest.NewServer(p.Handler())
+	t.Cleanup(tsP.Close)
+	f, err := server.Open(server.Config{Alpha: 0.5, Seed: 1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetFollower(tsP.URL)
+	tsF := httptest.NewServer(f.Handler())
+	t.Cleanup(tsF.Close)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		repl.NewFollower(f, tsP.URL, repl.Options{Wait: 100 * time.Millisecond}).Run(ctx)
+	}()
+	t.Cleanup(func() { cancel(); <-done })
+
+	outPath := filepath.Join(t.TempDir(), "bench_replica.json")
+	var out bytes.Buffer
+	err = runLoad(loadConfig{
+		target:      tsF.URL,
+		primary:     tsP.URL,
+		duration:    300 * time.Millisecond,
+		concurrency: 4,
+		workers:     32,
+		seed:        1,
+		benchOut:    outPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("runLoad against follower: %v", err)
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validateBench(data); err != nil {
+		t.Fatalf("replica baseline fails validation: %v", err)
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Primary != tsP.URL || r.Target != tsF.URL {
+		t.Errorf("report roles = target %q primary %q, want %q / %q", r.Target, r.Primary, tsF.URL, tsP.URL)
+	}
+	// Selects were measured on the follower and never bounced: a 421
+	// would count as an error.
+	sel := r.Routes["POST /v1/select"]
+	if sel.Count == 0 || sel.Errors != 0 {
+		t.Errorf("select route on follower: %+v, want samples and no errors", sel)
+	}
+	ing := r.Routes["POST /v1/votes/batch"]
+	if ing.Count == 0 || ing.Errors != 0 {
+		t.Errorf("ingest route on primary: %+v, want samples and no errors", ing)
+	}
+	// The mutations all landed on the primary and replicated over.
+	if f.AppliedLSN() == 0 {
+		t.Error("follower applied nothing during the run")
 	}
 }
 

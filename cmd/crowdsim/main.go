@@ -10,6 +10,7 @@
 //	crowdsim -estimate -seed 7
 //	crowdsim -export answers.csv
 //	crowdsim -load http://127.0.0.1:8700 -load-duration 10s -bench-out BENCH_baseline.json
+//	crowdsim -load http://follower:8701 -load-primary http://primary:8700 -bench-out BENCH_replica.json
 //	crowdsim -validate BENCH_baseline.json
 //
 // The -load mode registers a simulated worker pool on a live juryd and
@@ -17,8 +18,11 @@
 // (-load-ingest-every tunes the mix: every Nth iteration ingests),
 // recording per-route latency percentiles, throughput, cache hit rate,
 // and the daemon-side WAL fsync p99 into a juryd-bench/1 JSON document
-// (the committed BENCH_baseline.json). -validate checks such a document
-// and exits non-zero if it is malformed; CI gates the artifact on it.
+// (the committed BENCH_baseline.json). With -load-primary the roles
+// split for benchmarking a replica: all mutations go to the primary
+// URL while -load names a read-only follower that serves the measured
+// selects and metrics. -validate checks such a document and exits
+// non-zero if it is malformed; CI gates the artifact on it.
 package main
 
 import (
@@ -58,6 +62,8 @@ func run(args []string, out io.Writer) error {
 		loadConc     = fs.Int("load-concurrency", 8, "closed-loop client goroutines for the load phase")
 		loadIngest   = fs.Int("load-ingest-every", 8,
 			"ingest a vote batch every Nth iteration of each load goroutine (the rest are selects; min 2)")
+		loadPrimary = fs.String("load-primary", "",
+			"send mutations (pool registration, vote ingests) to this primary URL while -load names a read-only follower serving the measured selects")
 		benchOut     = fs.String("bench-out", "",
 			"write the load phase's baseline report to this JSON file (empty = stdout)")
 		validate = fs.String("validate", "",
@@ -81,6 +87,7 @@ func run(args []string, out io.Writer) error {
 			seed:        *seed,
 			benchOut:    *benchOut,
 			ingestEvery: *loadIngest,
+			primary:     *loadPrimary,
 		}, out)
 	}
 	if !*showStats && !*estimate && *exportPath == "" {

@@ -10,6 +10,7 @@
 //	      [-multi-pool mpool.json] [-labels 0]
 //	      [-data-dir dir] [-snapshot-interval 1m] [-fsync]
 //	      [-group-commit] [-max-batch-bytes 0]
+//	      [-follow http://primary:8700] [-max-lag 0]
 //	      [-max-inflight 0] [-request-timeout 0]
 //	      [-debug-addr 127.0.0.1:0] [-log-level info] [-trace-buffer 0]
 //
@@ -40,6 +41,25 @@
 // staging buffer. GET /debug/persistence reports recovery and LSN
 // state, including whether group commit is active.
 //
+// With -follow the daemon is a read-only replica of another durable
+// juryd: on first boot it bootstraps from the primary's snapshot, then
+// streams the primary's committed WAL records over GET /v1/repl/stream,
+// journaling each to its own -data-dir (required) before applying, so
+// a restarted follower resumes from its local log. Only records the
+// primary has made durable are ever shipped — a follower never holds a
+// record the primary could lose. The follower serves every read and
+// selection route from its own state and answers mutations with 421
+// Misdirected Request plus an X-Juryd-Primary header naming the
+// primary; -pool/-multi-pool are refused (preloads would journal
+// locally and diverge). -max-lag bounds acceptable staleness: /readyz
+// turns 503 when the follower has been behind the primary's durable
+// watermark for longer than that (0 keeps lag out of readiness).
+// Replication lag and connection state land on /metrics and
+// /debug/persistence. A follower that falls behind the primary's
+// snapshot truncation horizon exits non-zero — wipe its data dir and
+// restart to re-bootstrap; a follower whose own WAL fails stops
+// replicating but keeps serving reads at its last applied state.
+//
 // Endpoints (all JSON):
 //
 //	GET  /healthz                 liveness + pool/session counts
@@ -64,6 +84,8 @@
 //	POST /v1/multi/pools/{pool}/votes     ingest graded multi-label votes
 //	POST /v1/multi/pools/{pool}/select    solve the multi-choice JSP (cached)
 //	POST /v1/multi/pools/{pool}/jq        Jury Quality of an explicit jury
+//	GET  /v1/repl/stream                  committed WAL records for followers (long-poll)
+//	GET  /v1/repl/snapshot                state snapshot for follower bootstrap
 //
 // See API.md at the repository root for the full route-by-route wire
 // reference (request/response fields, error codes, consistency and
@@ -116,6 +138,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/wal"
 	"repro/internal/wal/errfs"
@@ -154,6 +177,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"batch concurrent WAL appends into shared fsyncs (needs -fsync; same durability, higher throughput)")
 	maxBatchBytes := fs.Int64("max-batch-bytes", 0,
 		"group-commit staging cap in bytes before appenders are backpressured (0 = default)")
+	follow := fs.String("follow", "",
+		"primary juryd base URL; run as a read-only follower replicating its WAL (needs -data-dir)")
+	maxLag := fs.Duration("max-lag", 0,
+		"follower staleness bound: /readyz answers 503 after lagging the primary's durable watermark this long (0 = lag never fails readiness)")
 	maxInflight := fs.Int("max-inflight", 0,
 		"max concurrent non-system requests before shedding with 429 (0 = unlimited)")
 	requestTimeout := fs.Duration("request-timeout", 0,
@@ -175,6 +202,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
+	primary := strings.TrimRight(*follow, "/")
+	if primary != "" {
+		if *dataDir == "" {
+			return errors.New("-follow needs -data-dir: a follower journals the shipped log locally")
+		}
+		if *poolFile != "" || *multiPoolFile != "" {
+			return errors.New("-follow excludes -pool/-multi-pool: preloads would journal locally and diverge from the primary; load pools on the primary instead")
+		}
+		has, err := repl.DirHasState(*dataDir)
+		if err != nil {
+			return err
+		}
+		if !has {
+			lsn, err := repl.Bootstrap(ctx, nil, primary, *dataDir)
+			if err != nil {
+				return fmt.Errorf("bootstrap from %s: %w", primary, err)
+			}
+			fmt.Fprintf(out, "juryd: bootstrapped follower state from %s (snapshot lsn %d)\n", primary, lsn)
+		}
+	}
+
 	var fsys wal.FS
 	if *chaosFsyncAfter > 0 {
 		fsys = errfs.New(wal.OSFS(), errfs.Fault{
@@ -193,6 +241,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxBatchBytes:  *maxBatchBytes,
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
+		MaxLag:         *maxLag,
 		TraceBuffer:    *traceBuffer,
 		Logger:         logger,
 		FS:             fsys,
@@ -211,6 +260,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			st.Recovery.WorkersRestored, st.Recovery.SessionsRestored,
 			st.Recovery.MultiPoolsRestored, *dataDir,
 			st.Recovery.SnapshotLSN, st.Recovery.RecordsReplayed, st.Recovery.TornBytesTruncated)
+	}
+	// Follower mode flips on before the listener opens, so no mutation can
+	// ever slip into the local journal outside the replication stream.
+	if primary != "" {
+		srv.SetFollower(primary)
+		fmt.Fprintf(out, "juryd: following %s (read-only replica)\n", primary)
 	}
 	// Preloads tolerate already-registered state on a durable restart: a
 	// supervisor restarting the daemon with a fixed argv must not crash-
@@ -286,6 +341,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// The replication stream runs until shutdown (nil), a terminal
+	// condition (handled in the wait loop below), or a degraded local WAL.
+	replErr := make(chan error, 1)
+	if primary != "" {
+		f := repl.NewFollower(srv, primary, repl.Options{
+			Logf: func(format string, args ...any) { logger.Warn(fmt.Sprintf(format, args...)) },
+		})
+		go func() { replErr <- f.Run(ctx) }()
+	}
+
 	// Periodic checkpoint: snapshot the state and truncate the WAL
 	// behind it, bounding both recovery time and disk usage.
 	snapDone := make(chan struct{})
@@ -309,10 +374,29 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		close(snapDone)
 	}
 
-	select {
-	case err := <-serveErr:
-		return err
-	case <-ctx.Done():
+	for running := true; running; {
+		select {
+		case err := <-serveErr:
+			return err
+		case err := <-replErr:
+			switch {
+			case err == nil:
+				running = false // ctx canceled: graceful shutdown below
+			case errors.Is(err, repl.ErrSnapshotNeeded), errors.Is(err, repl.ErrDiverged):
+				// The local log can never catch up (or must not): staying up
+				// would serve state that silently stops converging.
+				return fmt.Errorf("replication: %w (wipe %s and restart to re-bootstrap)", err, *dataDir)
+			default:
+				// Degraded local WAL: the stream is stopped for good, but the
+				// replica still serves reads at its last applied state. Stay
+				// up — /readyz, /metrics, and /debug/persistence advertise it.
+				logger.Error("replication stopped", "error", err)
+				fmt.Fprintln(out, "juryd: replication stopped:", err)
+				replErr = nil // nothing more will arrive; stop selecting on it
+			}
+		case <-ctx.Done():
+			running = false
+		}
 	}
 	// Refuse new mutations up front (503 + Retry-After) while in-flight
 	// requests drain; reads keep answering until Shutdown closes their

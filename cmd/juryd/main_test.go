@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -557,6 +558,121 @@ func TestDaemonChaosFsyncDegrades(t *testing.T) {
 // TestDaemonBootRecoveryFailureDiagnosis makes recovery impossible (a
 // snapshot pointing past a vanished WAL) and checks the daemon refuses
 // to boot with a single diagnostic line instead of serving bad state.
+// persistenceDoc fetches and decodes /debug/persistence.
+func persistenceDoc(t *testing.T, base string) server.PersistenceStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/persistence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.PersistenceStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode persistence: %v", err)
+	}
+	return st
+}
+
+// TestDaemonFollowerReplicates boots a durable primary and a -follow
+// replica end to end: the follower bootstraps, converges to the
+// primary's state fingerprint, serves reads, and bounces mutations to
+// the primary with a 421.
+func TestDaemonFollowerReplicates(t *testing.T) {
+	pDir, fDir := t.TempDir(), t.TempDir()
+	pBase, pCancel, pDone := startDaemon(t, "-data-dir", pDir)
+	defer pCancel()
+
+	resp, err := http.Post(pBase+"/v1/workers", "application/json",
+		strings.NewReader(`{"workers":[{"id":"a","quality":0.8,"cost":1},{"id":"b","quality":0.7,"cost":1},{"id":"c","quality":0.6,"cost":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d", resp.StatusCode)
+	}
+	for i := 0; i < 10; i++ {
+		resp, err := http.Post(pBase+"/v1/votes/batch", "application/json",
+			strings.NewReader(`{"events":[{"worker_id":"a","correct":true},{"worker_id":"b","correct":false}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	fBase, fCancel, fDone := startDaemon(t, "-data-dir", fDir, "-follow", pBase)
+	defer fCancel()
+
+	// Convergence: the follower's state fingerprint matches the primary's.
+	want := persistenceDoc(t, pBase)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got := persistenceDoc(t, fBase)
+		if got.StateSHA256 == want.StateSHA256 && got.NextLSN == want.NextLSN {
+			if got.Repl == nil || got.Repl.Primary == "" {
+				t.Fatalf("converged follower reports no repl status: %+v", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged: follower %+v, primary %+v", got, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Reads serve locally; mutations answer 421 naming the primary.
+	resp, err = http.Get(fBase + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"a"`) {
+		t.Fatalf("follower read: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Post(fBase+"/v1/workers", "application/json",
+		strings.NewReader(`{"workers":[{"id":"z","quality":0.5,"cost":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("follower mutation: %d, want 421", resp.StatusCode)
+	}
+	if got := resp.Header.Get(server.PrimaryHeader); got != pBase {
+		t.Fatalf("%s = %q, want %q", server.PrimaryHeader, got, pBase)
+	}
+
+	// Both shut down cleanly, follower first (its stream drops with the
+	// primary either way, but this order keeps the exit quiet).
+	fCancel()
+	if err := <-fDone; err != nil {
+		t.Fatalf("follower shutdown: %v", err)
+	}
+	pCancel()
+	if err := <-pDone; err != nil {
+		t.Fatalf("primary shutdown: %v", err)
+	}
+}
+
+// TestDaemonFollowerFlagValidation: -follow without a data dir or with
+// preload flags must refuse to boot instead of diverging later.
+func TestDaemonFollowerFlagValidation(t *testing.T) {
+	err := run(context.Background(), []string{"-follow", "http://127.0.0.1:1"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-data-dir") {
+		t.Fatalf("follow without data dir: %v, want a -data-dir error", err)
+	}
+	err = run(context.Background(), []string{
+		"-follow", "http://127.0.0.1:1", "-data-dir", t.TempDir(), "-pool", "pool.json",
+	}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-pool") {
+		t.Fatalf("follow with preload: %v, want a preload refusal", err)
+	}
+}
+
 func TestDaemonBootRecoveryFailureDiagnosis(t *testing.T) {
 	dataDir := filepath.Join(t.TempDir(), "data")
 	base, cancel, done := startDaemon(t, "-data-dir", dataDir)

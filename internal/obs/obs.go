@@ -77,6 +77,10 @@ const (
 	StageWALFsync
 	// StageApply is the in-memory application of a journaled mutation.
 	StageApply
+	// StageReplRead is the committed-prefix WAL read serving one
+	// replication-stream request on a primary (excluding the long-poll
+	// wait for new records, which is idle time, not work).
+	StageReplRead
 	// StageEncode is the response JSON encoding.
 	StageEncode
 
@@ -85,7 +89,8 @@ const (
 
 var stageNames = [numStages]string{
 	"admission", "idempotency", "cache_lookup", "evaluate",
-	"wal_encode", "wal_append", "wal_flush", "wal_fsync", "apply", "encode",
+	"wal_encode", "wal_append", "wal_flush", "wal_fsync", "apply",
+	"repl_read", "encode",
 }
 
 // String returns the stage's wire name (used in span JSON and in the

@@ -1,0 +1,328 @@
+// Package repl drives the follower side of juryd's primary → follower
+// WAL log shipping. A Follower long-polls the primary's
+// GET /v1/repl/stream endpoint from its local applied LSN, verifies and
+// applies the shipped frames through Server.ApplyReplicated (journal to
+// the local log, then the same Apply paths crash recovery uses — so the
+// replica's state is bit-identical to the primary's at every LSN), and
+// reconnects with jittered exponential backoff on stream loss. Bootstrap
+// installs a primary's snapshot into an empty data directory so a brand
+// new (or truncation-stranded) follower can join without replaying the
+// primary's full history.
+package repl
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// Terminal follower errors: Run returns them when continuing is either
+// impossible or unsafe, and the operator (or boot path) must intervene.
+var (
+	// ErrSnapshotNeeded means the follower's applied position is behind
+	// the primary's truncation horizon: the records it needs no longer
+	// exist as a log. Recover by wiping the local data dir and
+	// re-bootstrapping from the primary's snapshot.
+	ErrSnapshotNeeded = errors.New("repl: follower is behind the primary's truncation horizon; re-bootstrap from its snapshot")
+	// ErrDiverged means the follower's log is ahead of the primary's —
+	// the follower was fed by a different history (e.g. it used to be a
+	// primary itself). Continuing would silently fork state.
+	ErrDiverged = errors.New("repl: follower log diverged from primary")
+)
+
+// Options tunes a Follower. The zero value is production-ready.
+type Options struct {
+	// Client performs the HTTP requests; nil selects a client with no
+	// overall timeout (the stream long-poll outlives any sane default).
+	Client *http.Client
+	// Wait is the long-poll duration the primary should hold an empty
+	// stream request open; 0 selects 10s.
+	Wait time.Duration
+	// MaxBytes bounds one stream response; 0 selects the server default.
+	MaxBytes int
+	// MinBackoff and MaxBackoff bound the jittered exponential reconnect
+	// backoff after a failed stream request; 0 selects 100ms and 5s.
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// Logf, when set, receives connection-lifecycle lines ("connected",
+	// "stream error ..., retrying"). nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Follower replicates one primary into one local Server. Create with
+// NewFollower, drive with Run.
+type Follower struct {
+	srv     *server.Server
+	primary string
+	opts    Options
+	rng     *rand.Rand
+}
+
+// NewFollower binds a local server (opened on its own data dir, with
+// SetFollower already called) to a primary's base URL.
+func NewFollower(srv *server.Server, primary string, opts Options) *Follower {
+	if opts.Client == nil {
+		// A private transport (not http.DefaultTransport): the follower's
+		// keep-alive connections to the primary must not mingle with the
+		// process-wide pool, so Run can drop them all when it exits.
+		opts.Client = &http.Client{Transport: &http.Transport{}}
+	}
+	if opts.Wait <= 0 {
+		opts.Wait = 10 * time.Second
+	}
+	if opts.MinBackoff <= 0 {
+		opts.MinBackoff = 100 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Follower{
+		srv:     srv,
+		primary: strings.TrimRight(primary, "/"),
+		opts:    opts,
+		// Math/rand with a time seed is fine here: the jitter only spreads
+		// reconnects, it carries no replayed state.
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Run streams and applies records until ctx is canceled (returns nil), a
+// terminal condition is hit (ErrSnapshotNeeded, ErrDiverged), or the
+// local server can no longer apply (degraded local WAL — the returned
+// error wraps the cause; the server keeps serving reads at its last
+// applied state). Transport errors and 5xx answers are retried forever
+// with backoff: a primary restart must not kill its followers.
+func (f *Follower) Run(ctx context.Context) error {
+	// Leave no keep-alive connections behind: a dialed-but-never-used conn
+	// sits in http.Server's StateNew, which graceful Shutdown on the
+	// primary waits out forever.
+	defer f.opts.Client.CloseIdleConnections()
+	failures := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		advanced, err := f.poll(ctx)
+		switch {
+		case err == nil:
+			failures = 0
+			if !advanced {
+				continue // empty long poll: re-request immediately
+			}
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			if ctx.Err() != nil {
+				return nil
+			}
+			failures++
+		case errors.Is(err, ErrSnapshotNeeded), errors.Is(err, ErrDiverged):
+			return err
+		case errors.Is(err, server.ErrDegraded):
+			return fmt.Errorf("repl: local apply failed, replication stopped: %w", err)
+		default:
+			failures++
+			f.srv.ReplObserve(0, false)
+			f.opts.Logf("repl: stream error (attempt %d): %v", failures, err)
+			if !f.sleep(ctx, f.backoff(failures)) {
+				return nil
+			}
+		}
+	}
+}
+
+// backoff is the jittered exponential reconnect delay after n straight
+// failures.
+func (f *Follower) backoff(n int) time.Duration {
+	d := f.opts.MinBackoff << uint(min(n-1, 16))
+	if d <= 0 || d > f.opts.MaxBackoff {
+		d = f.opts.MaxBackoff
+	}
+	return time.Duration(f.rng.Int63n(int64(d)) + 1)
+}
+
+// sleep waits d or until ctx cancels; false means canceled.
+func (f *Follower) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// poll performs one stream request from the local applied LSN and
+// applies whatever it ships. advanced reports whether any record was
+// applied (false on an empty long poll).
+func (f *Follower) poll(ctx context.Context) (advanced bool, err error) {
+	from := f.srv.AppliedLSN()
+	u := fmt.Sprintf("%s/v1/repl/stream?from=%d&wait_ms=%d",
+		f.primary, uint64(from), f.opts.Wait.Milliseconds())
+	if f.opts.MaxBytes > 0 {
+		u += "&max_bytes=" + strconv.Itoa(f.opts.MaxBytes)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+
+	durable := headerLSN(resp.Header, server.ReplDurableLSNHeader)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// fall through to the body below
+	case http.StatusNoContent:
+		f.srv.ReplObserve(durable, true)
+		return false, nil
+	case http.StatusGone:
+		return false, fmt.Errorf("%w (primary's oldest retained lsn: %d, local applied: %d)",
+			ErrSnapshotNeeded, uint64(headerLSN(resp.Header, server.ReplOldestLSNHeader)), uint64(from))
+	case http.StatusConflict:
+		return false, fmt.Errorf("%w: %s", ErrDiverged, readErrorBody(resp.Body))
+	default:
+		return false, fmt.Errorf("repl: stream %s: %s: %s", u, resp.Status, readErrorBody(resp.Body))
+	}
+
+	first := headerLSN(resp.Header, server.ReplFirstLSNHeader)
+	if first != from+1 {
+		return false, fmt.Errorf("repl: stream answered lsn %d, asked for %d", uint64(first), uint64(from+1))
+	}
+	// Record the primary's watermark before applying: if the local apply
+	// fails mid-batch, lag must still report how far ahead the primary is.
+	f.srv.ReplObserve(durable, true)
+	// The body is raw WAL framing: ScanSegment verifies each record's
+	// CRC and hands over the payloads in order. A torn tail (the
+	// connection died mid-frame) is not an error — the delivered prefix
+	// is applied and the next poll re-requests the rest.
+	body, err := io.ReadAll(resp.Body)
+	if err != nil && len(body) == 0 {
+		return false, fmt.Errorf("repl: stream read: %w", err)
+	}
+	lsn := first
+	_, _, scanErr := wal.ScanSegment(bytes.NewReader(body), func(payload []byte) error {
+		if err := f.srv.ApplyReplicated(lsn, payload); err != nil {
+			return err
+		}
+		lsn++
+		return nil
+	})
+	if scanErr != nil {
+		return lsn > first, scanErr
+	}
+	f.srv.ReplObserve(durable, true)
+	return lsn > first, nil
+}
+
+// headerLSN parses an LSN response header; absent or malformed is 0.
+func headerLSN(h http.Header, key string) wal.LSN {
+	n, err := strconv.ParseUint(h.Get(key), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return wal.LSN(n)
+}
+
+// readErrorBody extracts a short diagnostic from an error response.
+func readErrorBody(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 512))
+	return strings.TrimSpace(string(b))
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap.
+
+// DirHasState reports whether dir already holds WAL segments or a
+// snapshot — i.e. whether a follower booting on it should recover
+// normally instead of bootstrapping from the primary. A missing dir is
+// simply empty. The probe is a pure directory listing: it must not
+// create files, or a later bootstrap into the "empty" dir would refuse.
+func DirHasState(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log") {
+			return true, nil
+		}
+		if strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".json") {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Bootstrap fetches the primary's snapshot and installs it into dir so a
+// subsequent server.Open recovers the snapshot state and appends shipped
+// records from exactly the right LSN. dir must not already hold log
+// state (it may be freshly created). Returns the LSN the snapshot
+// covers; 0 means the primary had nothing journaled and the follower
+// starts empty.
+func Bootstrap(ctx context.Context, client *http.Client, primary, dir string) (wal.LSN, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	base := strings.TrimRight(primary, "/")
+	u, err := url.Parse(base + "/v1/repl/snapshot")
+	if err != nil {
+		return 0, fmt.Errorf("repl: bad primary url %q: %w", primary, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("repl: bootstrap: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return 0, nil // primary has no journaled history: start empty
+	case http.StatusOK:
+		// fall through
+	default:
+		return 0, fmt.Errorf("repl: bootstrap %s: %s: %s", u, resp.Status, readErrorBody(resp.Body))
+	}
+	lsn := headerLSN(resp.Header, server.ReplSnapshotLSNHeader)
+	if lsn == 0 {
+		return 0, fmt.Errorf("repl: bootstrap: primary sent a snapshot without %s", server.ReplSnapshotLSNHeader)
+	}
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, fmt.Errorf("repl: bootstrap read: %w", err)
+	}
+	if err := wal.WriteSnapshotFS(wal.OSFS(), dir, lsn, payload); err != nil {
+		return 0, fmt.Errorf("repl: bootstrap install: %w", err)
+	}
+	if err := wal.InitAtFS(wal.OSFS(), dir, lsn+1); err != nil {
+		return 0, fmt.Errorf("repl: bootstrap init log: %w", err)
+	}
+	return lsn, nil
+}

@@ -190,8 +190,13 @@ type PersistenceStatus struct {
 	// GroupCommit reports whether concurrent mutations share fsyncs.
 	GroupCommit bool `json:"group_commit,omitempty"`
 	// NextLSN is the log sequence number the next mutation will get;
-	// NextLSN-1 identifies the last journaled mutation.
+	// NextLSN-1 identifies the last journaled mutation (on a follower:
+	// the last replicated record applied).
 	NextLSN uint64 `json:"next_lsn,omitempty"`
+	// DurableLSN is the durability watermark: every record at or below
+	// it is on stable storage. Only records at or below it are shipped
+	// to followers.
+	DurableLSN uint64 `json:"durable_lsn,omitempty"`
 	// Segments is the number of live WAL segment files.
 	Segments int `json:"segments,omitempty"`
 	// LastSnapshotLSN is the WAL position the newest snapshot covers.
@@ -202,6 +207,36 @@ type PersistenceStatus struct {
 	RecoveredAt string `json:"recovered_at,omitempty"`
 	// Recovery describes what boot-time recovery found.
 	Recovery *RecoveryStatus `json:"recovery,omitempty"`
+	// StateSHA256 is the hex SHA-256 of the canonical state document —
+	// the cross-node convergence check: two nodes with equal NextLSN and
+	// equal StateSHA256 hold bit-identical state.
+	StateSHA256 string `json:"state_sha256,omitempty"`
+	// Repl reports the replication position of a follower; nil on a
+	// primary.
+	Repl *ReplStatus `json:"repl,omitempty"`
+}
+
+// ReplStatus reports a follower's replication position and lag (part of
+// GET /debug/persistence on a follower; nil on a primary).
+type ReplStatus struct {
+	// Primary is the primary's base URL (the -follow flag).
+	Primary string `json:"primary"`
+	// Connected reports whether the replication stream is currently
+	// healthy (the last contact succeeded).
+	Connected bool `json:"connected"`
+	// AppliedLSN is the last replicated record applied locally.
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// PrimaryDurableLSN is the primary's durability watermark as of the
+	// last stream contact.
+	PrimaryDurableLSN uint64 `json:"primary_durable_lsn"`
+	// LagRecords is PrimaryDurableLSN - AppliedLSN (0 when caught up).
+	LagRecords uint64 `json:"lag_records"`
+	// LagSeconds is how long the follower has gone without being provably
+	// caught up to the primary's durable watermark; 0 when caught up now.
+	LagSeconds float64 `json:"lag_seconds"`
+	// LastContact is when the primary last answered a stream request
+	// (RFC 3339); empty before the first contact.
+	LastContact string `json:"last_contact,omitempty"`
 }
 
 // RecoveryStatus reports what boot-time recovery reconstructed.

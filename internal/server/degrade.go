@@ -54,9 +54,12 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // mutable is the fast-path admission check for mutation routes: it
-// fails when the server is degraded or draining, before the request
-// body is even decoded.
+// fails when the server is a read-only replica, degraded, or draining,
+// before the request body is even decoded.
 func (s *Server) mutable() error {
+	if rs := s.repl.Load(); rs != nil {
+		return &FollowerError{Primary: rs.primary}
+	}
 	if degraded, cause := s.DegradedState(); degraded {
 		return fmt.Errorf("%w (%v)", ErrDegraded, cause)
 	}
@@ -83,6 +86,27 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, r, http.StatusServiceUnavailable, map[string]any{
 			"ready":    false,
 			"draining": true,
+		})
+		return
+	}
+	if st := s.ReplStatus(); st != nil {
+		// A follower is ready while it is fresh enough: past the -max-lag
+		// staleness bound it goes 503 so load balancers stop routing
+		// reads that need recency to it. MaxLag 0 means "any lag is fine".
+		if s.cfg.MaxLag > 0 && st.LagSeconds > s.cfg.MaxLag.Seconds() {
+			writeJSON(w, r, http.StatusServiceUnavailable, map[string]any{
+				"ready":       false,
+				"follower":    true,
+				"stale":       true,
+				"lag_records": st.LagRecords,
+				"lag_seconds": st.LagSeconds,
+			})
+			return
+		}
+		writeJSON(w, r, http.StatusOK, map[string]any{
+			"ready":       true,
+			"follower":    true,
+			"lag_records": st.LagRecords,
 		})
 		return
 	}

@@ -418,11 +418,7 @@ func (s *Server) snapshotNow() error {
 		return nil
 	}
 	p.freeze.Lock()
-	state := serverState{
-		Registry: s.registry.persistState(),
-		Sessions: s.sessions.persistState(),
-		Multi:    s.multi.persistState(),
-	}
+	state := s.captureState()
 	upTo := p.log.NextLSN() - 1
 	p.freeze.Unlock()
 
@@ -477,24 +473,34 @@ func (s *Server) PersistenceStatus() PersistenceStatus {
 		Fsync:            p.fsync,
 		GroupCommit:      p.group,
 		NextLSN:          uint64(p.log.NextLSN()),
+		DurableLSN:       uint64(p.log.Synced()),
 		Segments:         p.log.Segments(),
 		LastSnapshotLSN:  uint64(p.lastSnapshot),
 		SnapshotsWritten: p.snapshots,
 		RecoveredAt:      p.recoveredAt.UTC().Format(time.RFC3339Nano),
 		Recovery:         &rec,
+		StateSHA256:      s.stateSHA(),
+		Repl:             s.ReplStatus(),
+	}
+}
+
+// captureState assembles the full durable state (the snapshot document).
+// Callers that need an exact LSN watermark hold p.freeze exclusively
+// around it; read-only diagnostics may call it bare.
+func (s *Server) captureState() serverState {
+	return serverState{
+		Registry: s.registry.persistState(),
+		Sessions: s.sessions.persistState(),
+		Multi:    s.multi.persistState(),
 	}
 }
 
 // DebugState marshals the full durable state (the snapshot document) of
 // the server, persistence enabled or not — the bit-exact comparison
-// surface used by the crash-recovery harness and /debug tooling.
+// surface used by the crash-recovery harness, the replication harness,
+// and /debug tooling.
 func (s *Server) DebugState() ([]byte, error) {
-	state := serverState{
-		Registry: s.registry.persistState(),
-		Sessions: s.sessions.persistState(),
-		Multi:    s.multi.persistState(),
-	}
-	return json.Marshal(state)
+	return json.Marshal(s.captureState())
 }
 
 // sessionOrdinal extracts the numeric part of a session id ("s17" -> 17)

@@ -86,6 +86,12 @@ type Config struct {
 	// bounds handler execution and propagates as the request context's
 	// deadline; an overrun answers 503. 0 disables.
 	RequestTimeout time.Duration
+	// MaxLag is the staleness bound of a follower's readiness: /readyz
+	// answers 503 once the follower has not been caught up to the
+	// primary's durable watermark for longer than this. 0 disables the
+	// gate (a follower is ready whenever it is serving). Ignored on a
+	// primary.
+	MaxLag time.Duration
 	// FS is the filesystem persistence (WAL and snapshots) lives on; nil
 	// selects the real one. Chaos tests substitute a fault injector
 	// (internal/wal/errfs) here.
@@ -134,6 +140,10 @@ type Server struct {
 	// inflight is the admission-control token bucket (nil when
 	// MaxInFlight is 0); a request that cannot take a token is shed.
 	inflight chan struct{}
+	// repl is non-nil in follower (read-only replica) mode: mutations
+	// answer 421 with the primary's address, state advances only through
+	// ApplyReplicated (see repl.go).
+	repl atomic.Pointer[replState]
 }
 
 // New builds a Server from the config.
@@ -172,6 +182,11 @@ func New(cfg Config) *Server {
 	s.route("GET /metrics", routeSys, s.handleMetrics)
 	s.route("GET /debug/persistence", routeSys, s.handleDebugPersistence)
 	s.route("GET /debug/traces", routeSys, s.handleDebugTraces)
+	// Replication routes are system-plane: exempt from admission control
+	// and the request deadline (the stream is a long poll, and a degraded
+	// or overloaded primary must keep feeding its followers).
+	s.route("GET /v1/repl/stream", routeSys, s.handleReplStream)
+	s.route("GET /v1/repl/snapshot", routeSys, s.handleReplSnapshot)
 	s.route("POST /v1/workers", routeMut, s.handleRegister)
 	s.route("GET /v1/workers", routeRead, s.handleListWorkers)
 	s.route("GET /v1/workers/{id}", routeRead, s.handleGetWorker)
@@ -356,7 +371,15 @@ func writeJSON(w http.ResponseWriter, r *http.Request, status int, body any) {
 // writeError maps a service error onto an HTTP status and JSON body.
 func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusBadRequest
+	var follower *FollowerError
 	switch {
+	case errors.As(err, &follower):
+		// Read-only replica: the mutation belongs on the primary, whose
+		// address rides along so clients can redirect without config.
+		status = http.StatusMisdirectedRequest
+		if follower.Primary != "" {
+			w.Header().Set(PrimaryHeader, follower.Primary)
+		}
 	case errors.Is(err, ErrWorkerUnknown), errors.Is(err, ErrSessionUnknown),
 		errors.Is(err, ErrPoolUnknown):
 		status = http.StatusNotFound
@@ -401,6 +424,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteText(w, s.cache.Stats(), s.registry.Len(), s.registry.Generation(),
 		s.multi.Len(), s.degraded.Load())
+	s.writeReplMetrics(w)
 	s.recorder.WriteMetrics(w)
 	writeRuntimeMetrics(w, s.started)
 }

@@ -1,0 +1,232 @@
+// Log shipping: the committed-prefix reader API behind the replication
+// stream. A primary serves its durable record prefix as raw framed bytes
+// (ReadCommitted), long-polls on the durability watermark (WaitSynced),
+// and reports the truncation horizon (OldestLSN); a follower bootstraps
+// an empty data directory positioned after a shipped snapshot (InitAtFS)
+// and appends the shipped frames to its own log, so the two logs are
+// byte-identical over the shipped range.
+
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ErrTruncated reports that requested records were removed by snapshot
+// truncation (TruncateBefore): the reader is behind the log's retained
+// horizon and must restart from a snapshot instead.
+var ErrTruncated = errors.New("wal: records truncated")
+
+// errStopScan stops a ScanSegment early once a reader has all it needs.
+var errStopScan = errors.New("wal: stop scan")
+
+// appendFrame appends one record in the exact on-disk framing
+// ([length][CRC32-C][payload]) to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var header [headerSize]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, header[:]...)
+	return append(dst, payload...)
+}
+
+// Synced returns the durability watermark: every record at or below it is
+// on stable storage (the page cache without Options.Fsync). Only records
+// at or below the watermark may be shipped to followers — anything above
+// it could still be revoked by a failed flush or power loss.
+func (l *Log) Synced() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+// WaitSynced blocks until the durability watermark passes after, the
+// timeout elapses, or the log closes or fails, and returns the watermark
+// at that moment. It is the long-poll primitive behind the replication
+// stream: a follower that has applied through `after` parks here until
+// the primary commits something newer. A non-positive timeout returns the
+// current watermark immediately.
+func (l *Log) WaitSynced(after LSN, timeout time.Duration) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.synced > after || timeout <= 0 {
+		return l.synced, l.stateErrLocked()
+	}
+	expired := false
+	timer := time.AfterFunc(timeout, func() {
+		l.mu.Lock()
+		expired = true
+		l.mu.Unlock()
+		l.cond.Broadcast()
+	})
+	defer timer.Stop()
+	for l.synced <= after && !expired {
+		if err := l.stateErrLocked(); err != nil {
+			return l.synced, err
+		}
+		l.cond.Wait()
+	}
+	return l.synced, nil
+}
+
+// stateErrLocked reports the closed or poisoned state, if any. Callers
+// hold l.mu.
+func (l *Log) stateErrLocked() error {
+	if l.failed != nil {
+		return fmt.Errorf("%w: %w", ErrFailed, l.failed)
+	}
+	if l.f == nil {
+		return ErrClosed
+	}
+	return nil
+}
+
+// OldestLSN returns the first LSN still present in the retained segments
+// — the replication stream's truncation horizon. On a fresh or fully
+// truncated log it equals the next LSN to be written.
+func (l *Log) OldestLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return l.next
+	}
+	return l.segs[0].first
+}
+
+// ReadCommitted returns framed record bytes for LSNs from..Synced(),
+// bounded by maxBytes (at least one record is returned whenever any is
+// available, so a single oversized record cannot wedge the stream; 0
+// selects DefaultMaxBatchBytes). The bytes use the exact on-disk framing,
+// so a reader can ScanSegment them, verify each CRC for free, and append
+// them verbatim to its own log. count is the number of records returned;
+// the record LSNs are from, from+1, ..., from+count-1.
+//
+// It returns ErrTruncated when from precedes the oldest retained segment
+// (including losing a race with snapshot truncation mid-read — the caller
+// must bootstrap from a snapshot instead) and ErrCorrupt if the durable
+// prefix itself fails verification. A from beyond the watermark returns
+// (nil, 0, nil).
+func (l *Log) ReadCommitted(from LSN, maxBytes int) ([]byte, int, error) {
+	if from == 0 {
+		from = 1
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBatchBytes
+	}
+	l.mu.Lock()
+	synced := l.synced
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+	if from > synced {
+		return nil, 0, nil
+	}
+	if len(segs) == 0 || from < segs[0].first {
+		return nil, 0, fmt.Errorf("%w: lsn %d predates the oldest retained segment", ErrTruncated, from)
+	}
+	var out []byte
+	count := 0
+	for i, seg := range segs {
+		if i+1 < len(segs) && segs[i+1].first <= from {
+			continue // every record of this segment is below from
+		}
+		if seg.first > synced {
+			break
+		}
+		f, err := l.fs.Open(seg.path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				// Lost a race with TruncateBefore between the segment
+				// snapshot above and this open.
+				return nil, 0, fmt.Errorf("%w: segment %s removed mid-read", ErrTruncated, filepath.Base(seg.path))
+			}
+			return nil, 0, err
+		}
+		lsn := seg.first
+		stopped := false
+		_, _, scanErr := ScanSegment(f, func(payload []byte) error {
+			this := lsn
+			lsn++
+			if this > synced {
+				stopped = true
+				return errStopScan
+			}
+			if this < from {
+				return nil
+			}
+			if count > 0 && len(out)+headerSize+len(payload) > maxBytes {
+				stopped = true
+				return errStopScan
+			}
+			out = appendFrame(out, payload)
+			count++
+			return nil
+		})
+		closeErr := f.Close()
+		if scanErr != nil && !errors.Is(scanErr, errStopScan) {
+			return nil, 0, fmt.Errorf("segment %s: %w", filepath.Base(seg.path), scanErr)
+		}
+		if closeErr != nil {
+			return nil, 0, closeErr
+		}
+		if stopped || (count > 0 && len(out) >= maxBytes) {
+			break
+		}
+		// Records at or below the watermark are always fully on disk, so
+		// a non-final segment that ends short of the next one's first LSN
+		// means the durable prefix itself is damaged.
+		if i+1 < len(segs) && lsn <= synced && segs[i+1].first != lsn {
+			return nil, 0, fmt.Errorf("%w: segment %s ends at lsn %d but %s starts at %d",
+				ErrCorrupt, filepath.Base(seg.path), lsn-1,
+				filepath.Base(segs[i+1].path), segs[i+1].first)
+		}
+	}
+	if count == 0 {
+		// The range was durable when we looked but the files no longer
+		// hold it — only truncation removes durable records.
+		return nil, 0, fmt.Errorf("%w: lsn %d no longer on disk", ErrTruncated, from)
+	}
+	return out, count, nil
+}
+
+// InitAtFS prepares dir as an empty log positioned so the next append
+// gets LSN next — the follower-bootstrap primitive: after installing a
+// snapshot covering next-1 (WriteSnapshotFS), InitAtFS makes a later Open
+// resume exactly where the snapshot left off instead of restarting at
+// LSN 1. It refuses a directory that already holds segments. nil fsys
+// selects the real filesystem.
+func InitAtFS(fsys FS, dir string, next LSN) error {
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	if next == 0 {
+		return fmt.Errorf("wal: init at lsn 0")
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	segs, err := listSegments(fsys, dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) > 0 {
+		return fmt.Errorf("wal: init: %s already holds %d segment(s)", dir, len(segs))
+	}
+	path := filepath.Join(dir, segmentName(next))
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return &IOError{Op: "create", Path: path, Err: err}
+	}
+	if err := f.Close(); err != nil {
+		return &IOError{Op: "close", Path: path, Err: err}
+	}
+	if err := syncDir(fsys, dir); err != nil {
+		return &IOError{Op: "dirsync", Path: dir, Err: err}
+	}
+	return nil
+}

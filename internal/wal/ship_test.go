@@ -1,0 +1,255 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// scanFrames decodes a ReadCommitted byte stream back into payloads,
+// failing the test on a torn or unverifiable frame.
+func scanFrames(t *testing.T, frames []byte) []string {
+	t.Helper()
+	var out []string
+	valid, torn, err := ScanSegment(bytes.NewReader(frames), func(p []byte) error {
+		out = append(out, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scan shipped frames: %v", err)
+	}
+	if torn || valid != int64(len(frames)) {
+		t.Fatalf("shipped frames torn: valid %d of %d bytes", valid, len(frames))
+	}
+	return out
+}
+
+func TestReadCommittedRoundTripAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var want []string
+	for i := 0; i < 20; i++ {
+		want = append(want, fmt.Sprintf("record-%02d-padding-to-force-rotation", i))
+	}
+	appendAll(t, l, want...)
+	if l.Segments() < 3 {
+		t.Fatalf("expected multiple segments, got %d", l.Segments())
+	}
+	frames, count, err := l.ReadCommitted(1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(want) {
+		t.Fatalf("count = %d, want %d", count, len(want))
+	}
+	got := scanFrames(t, frames)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("shipped = %q, want %q", got, want)
+	}
+
+	// Mid-log start: from 7 ships records 7..20.
+	frames, count, err = l.ReadCommitted(7, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(want)-6 {
+		t.Fatalf("count from 7 = %d, want %d", count, len(want)-6)
+	}
+	if got := scanFrames(t, frames); got[0] != want[6] {
+		t.Fatalf("first shipped from 7 = %q, want %q", got[0], want[6])
+	}
+}
+
+func TestReadCommittedBoundedByMaxBytes(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var want []string
+	for i := 0; i < 10; i++ {
+		want = append(want, fmt.Sprintf("payload-%d-0123456789", i))
+	}
+	appendAll(t, l, want...)
+
+	// Tiny budget: always at least one record per call; sequential calls
+	// reassemble the exact stream.
+	var got []string
+	from := LSN(1)
+	for from <= l.Synced() {
+		frames, count, err := l.ReadCommitted(from, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != 1 {
+			t.Fatalf("count under tiny budget = %d, want 1", count)
+		}
+		got = append(got, scanFrames(t, frames)...)
+		from += LSN(count)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("reassembled = %q, want %q", got, want)
+	}
+
+	// A budget for ~3 records returns several but not all.
+	rec := headerSize + len(want[0])
+	_, count, err := l.ReadCommitted(1, 3*rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count < 2 || count >= len(want) {
+		t.Fatalf("count under 3-record budget = %d, want in [2, %d)", count, len(want))
+	}
+}
+
+func TestReadCommittedBeyondWatermark(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, "a", "b")
+	frames, count, err := l.ReadCommitted(3, 1<<20)
+	if err != nil || count != 0 || frames != nil {
+		t.Fatalf("read beyond watermark = (%v, %d, %v), want (nil, 0, nil)", frames, count, err)
+	}
+}
+
+func TestReadCommittedTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{SegmentBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, "aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb", "cccccccccccccccc", "d")
+	if _, err := l.TruncateBefore(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.ReadCommitted(1, 1<<20); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("read below horizon: %v, want ErrTruncated", err)
+	}
+	if oldest := l.OldestLSN(); oldest != 3 {
+		t.Fatalf("OldestLSN = %d, want 3", oldest)
+	}
+	frames, count, err := l.ReadCommitted(3, 1<<20)
+	if err != nil || count != 2 {
+		t.Fatalf("read from horizon = (%d, %v), want 2 records", count, err)
+	}
+	if got := scanFrames(t, frames); got[0] != "cccccccccccccccc" || got[1] != "d" {
+		t.Fatalf("shipped after truncation = %q", got)
+	}
+}
+
+func TestReadCommittedGroupCommitServesOnlySynced(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Fsync: true, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Begin stages without flushing: nothing is shipped until a Wait
+	// leads the flush and advances the watermark.
+	p, err := l.Begin([]byte("staged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, count, err := l.ReadCommitted(1, 1<<20); err != nil || count != 0 {
+		t.Fatalf("staged-but-unflushed shipped: count %d, err %v", count, err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	frames, count, err := l.ReadCommitted(1, 1<<20)
+	if err != nil || count != 1 {
+		t.Fatalf("after flush: count %d, err %v", count, err)
+	}
+	if got := scanFrames(t, frames); got[0] != "staged" {
+		t.Fatalf("shipped = %q", got)
+	}
+}
+
+func TestWaitSyncedWakesOnAppendAndTimesOut(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, "a")
+
+	// Already past: returns immediately.
+	if got, err := l.WaitSynced(0, time.Minute); err != nil || got != 1 {
+		t.Fatalf("WaitSynced(0) = (%d, %v), want (1, nil)", got, err)
+	}
+	// Timeout: nothing new arrives; must return promptly, not hang.
+	start := time.Now()
+	if got, err := l.WaitSynced(1, 30*time.Millisecond); err != nil || got != 1 {
+		t.Fatalf("WaitSynced timeout = (%d, %v), want (1, nil)", got, err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("WaitSynced did not respect its timeout")
+	}
+	// Wakes on a concurrent append.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		l.Append([]byte("b"))
+	}()
+	if got, err := l.WaitSynced(1, 10*time.Second); err != nil || got != 2 {
+		t.Fatalf("WaitSynced wake = (%d, %v), want (2, nil)", got, err)
+	}
+}
+
+func TestWaitSyncedClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, "a")
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		l.Close()
+	}()
+	if _, err := l.WaitSynced(1, 10*time.Second); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WaitSynced on closing log: %v, want ErrClosed", err)
+	}
+}
+
+func TestInitAtFSPositionsNextLSN(t *testing.T) {
+	dir := t.TempDir()
+	if err := InitAtFS(nil, dir, 42); err != nil {
+		t.Fatal(err)
+	}
+	// Re-init must refuse: the directory already holds a segment.
+	if err := InitAtFS(nil, dir, 42); err == nil {
+		t.Fatal("InitAtFS on a non-empty log did not refuse")
+	}
+	l, info, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if info.NextLSN != 42 {
+		t.Fatalf("NextLSN after InitAt(42) = %d, want 42", info.NextLSN)
+	}
+	lsn, err := l.Append([]byte("first-after-bootstrap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 42 {
+		t.Fatalf("first append = lsn %d, want 42", lsn)
+	}
+	// Records below the bootstrap point are truncated by construction.
+	if _, _, err := l.ReadCommitted(1, 1<<20); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("read below bootstrap: %v, want ErrTruncated", err)
+	}
+}

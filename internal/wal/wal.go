@@ -422,10 +422,7 @@ func (l *Log) Begin(payload []byte) (*Pending, error) {
 	if len(payload) > MaxRecordBytes {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
-	rec := make([]byte, headerSize+len(payload))
-	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
-	copy(rec[headerSize:], payload)
+	rec := appendFrame(make([]byte, 0, headerSize+len(payload)), payload)
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -568,12 +565,14 @@ func (l *Log) appendLocked(rec []byte) (lsn LSN, fsyncDur time.Duration, err err
 	if l.size > 0 && l.size+int64(len(rec)) > l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			l.failed = err
+			l.cond.Broadcast()
 			return 0, 0, err
 		}
 	}
 	path := l.segs[len(l.segs)-1].path
 	if _, err := l.f.Write(rec); err != nil {
 		l.failed = &IOError{Op: "write", Path: path, Err: err}
+		l.cond.Broadcast()
 		return 0, 0, l.failed
 	}
 	l.size += int64(len(rec))
@@ -583,12 +582,14 @@ func (l *Log) appendLocked(rec []byte) (lsn LSN, fsyncDur time.Duration, err err
 		fsyncDur = time.Since(syncStart)
 		if serr != nil {
 			l.failed = &IOError{Op: "fsync", Path: path, Err: serr}
+			l.cond.Broadcast()
 			return 0, fsyncDur, l.failed
 		}
 	}
 	lsn = l.next
 	l.next++
 	l.synced = lsn // the watermark stays true on the per-record path too
+	l.cond.Broadcast() // wake WaitSynced long-pollers (replication stream)
 	return lsn, fsyncDur, nil
 }
 

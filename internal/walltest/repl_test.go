@@ -1,0 +1,297 @@
+package walltest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/wal"
+	"repro/internal/wal/errfs"
+	"repro/jury/serve"
+)
+
+// replScript is a mutation mix spanning both WAL arms — binary registry,
+// multi-choice pools, and a session — so convergence checks cover every
+// replicated record type.
+func replScript() []Step {
+	return append(multiScript(),
+		OpenSession(serve.SessionRequest{Confidence: 0.95, Budget: 40}),
+		SessionVote("s1", "ann", 0),
+		SessionVote("s1", "bob", 1),
+		Ingest(ev("ann", true), ev("bob", true)),
+	)
+}
+
+// TestReplFollowersConverge is the basic shipping contract: one follower
+// streaming live while the primary mutates, another joining afterwards
+// and replaying the full history from LSN 0 — both must end bit-identical
+// to the primary (state dump, pool signatures, selection probes).
+func TestReplFollowersConverge(t *testing.T) {
+	primary := Start(t, BaseConfig(t.TempDir()))
+	live := StartFollower(t, BaseConfig(t.TempDir()), primary.HTTP.URL)
+
+	primary.Drive(replScript())
+	late := StartFollower(t, BaseConfig(t.TempDir()), primary.HTTP.URL)
+	AssertConverged(t, primary, live, late)
+
+	// The follower knows and reports what it is.
+	st := live.Srv.ReplStatus()
+	if st == nil || st.Primary != primary.HTTP.URL || !st.Connected || st.LagRecords != 0 {
+		t.Fatalf("follower ReplStatus = %+v, want connected to %s with zero lag", st, primary.HTTP.URL)
+	}
+	if ps := primary.Srv.ReplStatus(); ps != nil {
+		t.Fatalf("primary reports a ReplStatus: %+v", ps)
+	}
+	resp, err := http.Get(live.HTTP.URL + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower readyz: %v %d, want 200", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestReplFollowerRejectsMutations asserts the write-path fence: a
+// mutation sent to a follower is refused with 421 and the primary's
+// address in X-Juryd-Primary, before any body processing could journal.
+func TestReplFollowerRejectsMutations(t *testing.T) {
+	primary := Start(t, BaseConfig(t.TempDir()))
+	primary.Drive([]Step{Register(w("ann", 0.8, 3))})
+	f := StartFollower(t, BaseConfig(t.TempDir()), primary.HTTP.URL)
+	WaitCaughtUp(t, primary, f)
+
+	resp, err := http.Post(f.HTTP.URL+"/v1/votes/batch", "application/json",
+		strings.NewReader(`{"events":[{"worker_id":"ann","correct":true}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("follower mutation status = %d, want 421", resp.StatusCode)
+	}
+	if got := resp.Header.Get(server.PrimaryHeader); got != primary.HTTP.URL {
+		t.Fatalf("%s = %q, want %q", server.PrimaryHeader, got, primary.HTTP.URL)
+	}
+	// Nothing was journaled by the refused write.
+	if applied := f.Srv.AppliedLSN(); uint64(applied) != primary.Srv.PersistenceStatus().DurableLSN {
+		t.Fatalf("refused mutation moved the follower: applied %d", applied)
+	}
+}
+
+// TestReplFollowerKillRestartMidStream kills a follower with the stream
+// in flight, tears its WAL tail mid-record (the write the kill cut
+// short), and restarts it: recovery drops the torn record, the stream
+// re-ships it, and the follower converges bit-exactly.
+func TestReplFollowerKillRestartMidStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	script := randomScript(rng, 60)
+	primary := Start(t, BaseConfig(t.TempDir()))
+	fDir := t.TempDir()
+	f := StartFollower(t, BaseConfig(fDir), primary.HTTP.URL)
+
+	primary.Drive(script[:20])
+	WaitCaughtUp(t, primary, f)
+	primary.Drive(script[20:40])
+	f.Kill() // mid-stream: chunk 2 may be partially applied
+	_, size := TailSegment(t, fDir)
+	Tear(t, fDir, size-3) // the kill also cut the last local write short
+
+	primary.Drive(script[40:])
+	restarted := f.Restart(t)
+	AssertConverged(t, primary, restarted)
+}
+
+// TestReplRotationTruncationMidStream runs the primary with tiny segments
+// (constant rotation) and snapshot-truncates its log mid-stream. A
+// caught-up follower sails through; a fresh follower that tries to
+// stream the truncated history from LSN 0 is told 410 (terminal
+// ErrSnapshotNeeded); bootstrapping from the snapshot joins it cleanly.
+func TestReplRotationTruncationMidStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	script := randomScript(rng, 40)
+	cfgP := BaseConfig(t.TempDir())
+	cfgP.SegmentBytes = 256
+	primary := Start(t, cfgP)
+	live := StartFollower(t, BaseConfig(t.TempDir()), primary.HTTP.URL)
+
+	primary.Drive(script[:25])
+	WaitCaughtUp(t, primary, live)
+	primary.Drive([]Step{Snapshot()}) // checkpoints and truncates the log
+	primary.Drive(script[25:])
+
+	stranded := StartFollower(t, BaseConfig(t.TempDir()), primary.HTTP.URL)
+	if err := stranded.WaitDone(10 * time.Second); !errors.Is(err, repl.ErrSnapshotNeeded) {
+		t.Fatalf("fresh follower against a truncated log: %v, want ErrSnapshotNeeded", err)
+	}
+	stranded.CrashDirty()
+
+	joined := BootstrapFollower(t, BaseConfig(t.TempDir()), primary.HTTP.URL)
+	AssertConverged(t, primary, live, joined)
+}
+
+// TestReplPropertyBootstrapEqualsFullStream is the satellite property
+// test: for random mutation scripts, a follower built from
+// snapshot-bootstrap plus the streamed tail must equal a follower that
+// streamed the entire history from LSN 0 — and both must equal the
+// primary, byte-exact in registry, session and multi state.
+func TestReplPropertyBootstrapEqualsFullStream(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			script := randomScript(rng, 50)
+			primary := Start(t, BaseConfig(t.TempDir()))
+			full := StartFollower(t, BaseConfig(t.TempDir()), primary.HTTP.URL)
+
+			primary.Drive(script[:30])
+			WaitCaughtUp(t, primary, full)
+			primary.Drive([]Step{Snapshot()}) // late joiners must bootstrap now
+			primary.Drive(script[30:])
+
+			boot := BootstrapFollower(t, BaseConfig(t.TempDir()), primary.HTTP.URL)
+			AssertConverged(t, primary, full, boot)
+
+			// The convergence fingerprint agrees everywhere.
+			want := primary.Srv.PersistenceStatus()
+			for _, fe := range []*FollowerEnv{full, boot} {
+				got := fe.Srv.PersistenceStatus()
+				if got.StateSHA256 == "" || got.StateSHA256 != want.StateSHA256 {
+					t.Fatalf("state_sha256 = %q, want %q", got.StateSHA256, want.StateSHA256)
+				}
+				if got.NextLSN != want.NextLSN {
+					t.Fatalf("next_lsn = %d, want %d", got.NextLSN, want.NextLSN)
+				}
+			}
+		})
+	}
+}
+
+// TestReplStreamSevering cuts stream response bodies at random byte
+// boundaries — including mid-frame — on every other poll. The follower
+// must apply each delivered prefix, re-request the rest, and converge.
+func TestReplStreamSevering(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	primary := Start(t, BaseConfig(t.TempDir()))
+	var mu sync.Mutex
+	cutRng := rand.New(rand.NewSource(7))
+	polls := 0
+	proxy := StartSeveringProxy(t, primary.HTTP.URL, func(bodyLen int) int {
+		mu.Lock()
+		defer mu.Unlock()
+		polls++
+		if polls%2 == 0 {
+			return bodyLen // alternate full deliveries guarantee progress
+		}
+		return cutRng.Intn(bodyLen + 1)
+	})
+	f := StartFollower(t, BaseConfig(t.TempDir()), proxy.URL)
+
+	primary.Drive(randomScript(rng, 60))
+	AssertConverged(t, primary, f)
+	mu.Lock()
+	defer mu.Unlock()
+	if polls == 0 {
+		t.Fatal("proxy saw no stream traffic")
+	}
+}
+
+// TestReplFollowerLocalWALFault fails the follower's own journal mid-
+// replication: the follower must degrade (stop advancing), keep serving
+// reads at its last applied state, report the primary's lead as lag, and
+// — restarted against a healthy disk — recover its local prefix and
+// converge.
+func TestReplFollowerLocalWALFault(t *testing.T) {
+	primary := Start(t, BaseConfig(t.TempDir()))
+	script := []Step{
+		Register(w("ann", 0.8, 3), w("bob", 0.7, 2)),
+		Ingest(ev("ann", true)),
+		Ingest(ev("bob", false)),
+		Ingest(ev("ann", true)),
+		Ingest(ev("bob", true)),
+		Ingest(ev("ann", false)),
+		Ingest(ev("bob", true)),
+		Ingest(ev("ann", true)),
+	}
+	primary.Drive(script)
+
+	fDir := t.TempDir()
+	cfgF := BaseConfig(fDir)
+	cfgF.FS = errfs.New(wal.OSFS(), errfs.Fault{Op: errfs.OpWrite, Path: "wal-", After: 4})
+	f := StartFollower(t, cfgF, primary.HTTP.URL)
+	if err := f.WaitDone(10 * time.Second); !errors.Is(err, server.ErrDegraded) {
+		t.Fatalf("follower with failing WAL exited with %v, want ErrDegraded", err)
+	}
+	if applied := uint64(f.Srv.AppliedLSN()); applied != 4 {
+		t.Fatalf("follower applied %d records through a WAL that fails at the 5th, want 4", applied)
+	}
+	if degraded, _ := f.Srv.DegradedState(); !degraded {
+		t.Fatal("follower did not degrade on local WAL failure")
+	}
+	st := f.Srv.ReplStatus()
+	if st == nil || st.LagRecords != uint64(len(script))-4 {
+		t.Fatalf("follower lag = %+v, want %d records behind", st, len(script)-4)
+	}
+	// Reads keep serving the last applied state; readiness flags the node.
+	if _, err := f.Client.Workers(t.Context()); err != nil {
+		t.Fatalf("degraded follower list: %v", err)
+	}
+	if _, err := f.Client.Select(t.Context(), serve.SelectRequest{Budget: 10}); err != nil {
+		t.Fatalf("degraded follower select: %v", err)
+	}
+	resp, err := http.Get(f.HTTP.URL + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded follower readyz: %v %d, want 503", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Restart on a healthy disk: local recovery replays the 4 journaled
+	// records, the stream ships the rest, and the follower converges.
+	f.Kill()
+	restarted := StartFollower(t, BaseConfig(fDir), primary.HTTP.URL)
+	AssertConverged(t, primary, restarted)
+}
+
+// TestReplPrimaryDegradesFollowerHoldsDurable is the power-loss chaos
+// satellite: the primary's fsync fails mid-script with the unsynced tail
+// dropped. Because only records at or below the durability watermark are
+// ever shipped, the follower must hold at exactly the primary's durable
+// LSN — never applying the record a power loss would revoke — while both
+// nodes keep serving reads.
+func TestReplPrimaryDegradesFollowerHoldsDurable(t *testing.T) {
+	script := chaosScript()
+	primary, _ := StartFaulty(t, BaseConfig(t.TempDir()),
+		errfs.Fault{Op: errfs.OpSync, Path: "wal-", After: 3, DropUnsynced: true})
+	f := StartFollower(t, BaseConfig(t.TempDir()), primary.HTTP.URL)
+
+	acked := primary.DriveToFailure(script)
+	if acked != 3 {
+		t.Fatalf("acked %d steps, want 3", acked)
+	}
+	AssertDegradedReads(t, primary)
+
+	WaitCaughtUp(t, primary, f)
+	durable := primary.Srv.PersistenceStatus().DurableLSN
+	if durable != 3 {
+		t.Fatalf("primary durable LSN = %d, want 3", durable)
+	}
+	// Give the stream a few more polls: the follower must hold, not creep
+	// past the watermark toward the primary's revocable in-memory record.
+	time.Sleep(50 * time.Millisecond)
+	if applied := uint64(f.Srv.AppliedLSN()); applied != durable {
+		t.Fatalf("follower applied %d, want to hold at durable %d", applied, durable)
+	}
+	// The follower's state is exactly the acked prefix — bit-identical to
+	// a reference that never saw the revoked mutation.
+	reference := Reference(t, BaseConfig(""), script, acked)
+	AssertSameState(t, reference, f.Env)
+	// The stream still answers (a poisoned log serves its committed
+	// prefix), so the follower reports itself connected and caught up.
+	st := f.Srv.ReplStatus()
+	if st == nil || !st.Connected || st.LagRecords != 0 {
+		t.Fatalf("follower ReplStatus = %+v, want connected at zero lag", st)
+	}
+}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// fakeNode is a scripted juryd stand-in that records which requests it
+// received and answers with a fixed handler.
+func fakeNode(t *testing.T, handler http.HandlerFunc) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		handler(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func okWorkers(w http.ResponseWriter, _ *http.Request) {
+	json.NewEncoder(w).Encode(server.ListResponse{Signature: "sig"})
+}
+
+func okSelect(w http.ResponseWriter, _ *http.Request) {
+	json.NewEncoder(w).Encode(server.SelectResponse{Signature: "sig", Strategy: "bv"})
+}
+
+// TestReadsPreferReplicas: with replicas configured, GETs and read-only
+// POSTs (selections) land on the replica list, not the primary.
+func TestReadsPreferReplicas(t *testing.T) {
+	primary, pHits := fakeNode(t, okWorkers)
+	replica, rHits := fakeNode(t, func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/workers":
+			okWorkers(w, r)
+		case "/v1/select":
+			okSelect(w, r)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	})
+
+	c := NewClient(primary.URL).WithReplicas(replica.URL).WithRetry(fastRetry(3))
+	if _, err := c.Workers(context.Background()); err != nil {
+		t.Fatalf("list via replica: %v", err)
+	}
+	if _, err := c.Select(context.Background(), SelectRequest{Budget: 10}); err != nil {
+		t.Fatalf("select via replica: %v", err)
+	}
+	if got := rHits.Load(); got != 2 {
+		t.Fatalf("replica saw %d reads, want 2", got)
+	}
+	if got := pHits.Load(); got != 0 {
+		t.Fatalf("primary saw %d reads, want 0 (replicas configured)", got)
+	}
+}
+
+// TestReadFailoverAcrossReplicaList: a dead replica's reads fail over to
+// the next base (ultimately the primary) on subsequent attempts.
+func TestReadFailoverAcrossReplicaList(t *testing.T) {
+	primary, pHits := fakeNode(t, okWorkers)
+	dead := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	dead.Close() // connection refused from now on
+
+	c := NewClient(primary.URL).WithReplicas(dead.URL).WithRetry(fastRetry(3))
+	if _, err := c.Workers(context.Background()); err != nil {
+		t.Fatalf("list with a dead replica: %v", err)
+	}
+	if got := pHits.Load(); got != 1 {
+		t.Fatalf("primary saw %d requests, want the failed-over read", got)
+	}
+}
+
+// TestWritesRetryOnlyAgainstPrimary: mutations never touch the replica
+// list, even across retries.
+func TestWritesRetryOnlyAgainstPrimary(t *testing.T) {
+	var calls atomic.Int32
+	primary, pHits := fakeNode(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "draining"})
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(server.RegisterResponse{Registered: 1})
+	})
+	replica, rHits := fakeNode(t, okWorkers)
+
+	c := NewClient(primary.URL).WithReplicas(replica.URL).WithRetry(fastRetry(3))
+	if err := c.RegisterWorkers(context.Background(), []WorkerSpec{{ID: "a", Quality: 0.8, Cost: 1}}); err != nil {
+		t.Fatalf("register through a 503: %v", err)
+	}
+	if got := pHits.Load(); got != 2 {
+		t.Fatalf("primary saw %d write attempts, want 2", got)
+	}
+	if got := rHits.Load(); got != 0 {
+		t.Fatalf("replica saw %d write attempts, want 0", got)
+	}
+}
+
+// replica421 answers every request as a read-only replica pointing at
+// primaryURL.
+func replica421(primaryURL string) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set(server.PrimaryHeader, primaryURL)
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "read-only replica"})
+	}
+}
+
+// TestMutation421RedirectsToPrimaryOnce: a client (mis)configured with a
+// follower as its base gets a 421 and lands the write on the advertised
+// primary — with exactly one redirect.
+func TestMutation421RedirectsToPrimaryOnce(t *testing.T) {
+	primary, pHits := fakeNode(t, func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(server.RegisterResponse{Registered: 1})
+	})
+	follower, fHits := fakeNode(t, replica421(primary.URL))
+
+	c := NewClient(follower.URL).WithRetry(fastRetry(3))
+	if err := c.RegisterWorkers(context.Background(), []WorkerSpec{{ID: "a", Quality: 0.8, Cost: 1}}); err != nil {
+		t.Fatalf("register via 421 redirect: %v", err)
+	}
+	if got := fHits.Load(); got != 1 {
+		t.Fatalf("follower saw %d attempts, want 1", got)
+	}
+	if got := pHits.Load(); got != 1 {
+		t.Fatalf("primary saw %d attempts, want the redirected write", got)
+	}
+}
+
+// TestMutation421LoopFailsAfterOneRedirect: a "primary" that itself
+// answers 421 must surface the error after a single redirect instead of
+// bouncing between replicas.
+func TestMutation421LoopFailsAfterOneRedirect(t *testing.T) {
+	var loopHits atomic.Int32
+	loop := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		loopHits.Add(1)
+		w.Header().Set(server.PrimaryHeader, "http://unreachable.example")
+		w.WriteHeader(http.StatusMisdirectedRequest)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "read-only replica"})
+	}))
+	t.Cleanup(loop.Close)
+	follower, fHits := fakeNode(t, replica421(loop.URL))
+
+	c := NewClient(follower.URL).WithRetry(fastRetry(4))
+	err := c.RegisterWorkers(context.Background(), []WorkerSpec{{ID: "a", Quality: 0.8, Cost: 1}})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusMisdirectedRequest {
+		t.Fatalf("register into a 421 loop: %v, want the second 421 surfaced", err)
+	}
+	if apiErr.Primary == "" {
+		t.Fatalf("surfaced 421 lost the advertised primary: %+v", apiErr)
+	}
+	if fHits.Load() != 1 || loopHits.Load() != 1 {
+		t.Fatalf("follower/loop saw %d/%d attempts, want exactly one each", fHits.Load(), loopHits.Load())
+	}
+}
+
+// TestRead421IsTerminal: a read should never get a 421, but if a broken
+// proxy produces one, the client must not redirect reads (the replica
+// list is the failover path) — the error surfaces.
+func TestRead421IsTerminal(t *testing.T) {
+	primary, _ := fakeNode(t, okWorkers)
+	weird, hits := fakeNode(t, replica421(primary.URL))
+
+	c := NewClient(weird.URL).WithRetry(fastRetry(3))
+	_, err := c.Workers(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusMisdirectedRequest {
+		t.Fatalf("read 421 = %v, want it surfaced", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d read attempts, want 1 (no retry on 421)", got)
+	}
+}
+
+// TestEndToEndFollowerRouting runs the real stack: a durable primary, a
+// real follower in SetFollower mode, and a client pointed at the
+// follower with the primary unknown to it — the 421 metadata alone must
+// route the write.
+func TestEndToEndFollowerRouting(t *testing.T) {
+	p, err := server.Open(server.Config{Alpha: 0.5, Seed: 1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsP := httptest.NewServer(p.Handler())
+	t.Cleanup(tsP.Close)
+	f, err := server.Open(server.Config{Alpha: 0.5, Seed: 1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetFollower(tsP.URL)
+	tsF := httptest.NewServer(f.Handler())
+	t.Cleanup(tsF.Close)
+
+	c := NewClient(tsF.URL).WithRetry(fastRetry(3))
+	if err := c.RegisterWorkers(context.Background(), []WorkerSpec{{ID: "ann", Quality: 0.8, Cost: 3}}); err != nil {
+		t.Fatalf("register via follower: %v", err)
+	}
+	// The write landed on the primary, not the follower.
+	list, err := NewClient(tsP.URL).Workers(context.Background())
+	if err != nil || len(list.Workers) != 1 {
+		t.Fatalf("primary pool = %+v (%v), want the redirected worker", list, err)
+	}
+	if applied := f.AppliedLSN(); applied != 0 {
+		t.Fatalf("follower journaled %d records from a redirected write, want 0", applied)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	mrand "math/rand/v2"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -75,6 +76,10 @@ func NewIdempotencyKey() string {
 type callOpts struct {
 	// idempotent marks the request safe to replay after a lost reply.
 	idempotent bool
+	// read marks a request that only reads state: with WithReplicas
+	// configured, it is served from the replica list (failing over to the
+	// primary) instead of the primary alone.
+	read bool
 	// key is sent as the Idempotency-Key header; a non-empty key makes
 	// the request idempotent by server-side deduplication.
 	key string
@@ -165,6 +170,15 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, opt
 		}
 	}
 	opts.requestID = requestIDFrom(ctx)
+	// Reads spread over the replica list (primary last, as the fallback);
+	// writes address the primary alone, or — after a 421 — the primary a
+	// replica advertised.
+	bases := []string{c.base}
+	if opts.read && len(c.replicas) > 0 {
+		bases = append(append([]string{}, c.replicas...), c.base)
+	}
+	writeBase := c.base
+	redirected := false
 	var lastErr error
 	for attempt := 0; attempt < c.retry.attempts(); attempt++ {
 		if attempt > 0 {
@@ -180,11 +194,29 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, opt
 			case <-t.C:
 			}
 		}
-		err := c.once(ctx, method, path, data, out, opts)
+		base := writeBase
+		if opts.read {
+			base = bases[attempt%len(bases)]
+		}
+		err := c.once(ctx, base, method, path, data, out, opts)
 		if err == nil {
 			return nil
 		}
 		lastErr = err
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusMisdirectedRequest {
+			// A read-only replica bounced a mutation. Follow the advertised
+			// primary exactly once per call: the redirect replays immediately
+			// (a 421 proves nothing was applied) and a second 421 — a replica
+			// pointing at a replica — is a configuration error, not a loop.
+			if !opts.read && !redirected && apiErr.Primary != "" {
+				redirected = true
+				writeBase = strings.TrimRight(apiErr.Primary, "/")
+				attempt--
+				continue
+			}
+			return err
+		}
 		if retry, _ := shouldRetry(err, opts); !retry {
 			return err
 		}
@@ -197,8 +229,8 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, opt
 	return lastErr
 }
 
-// once runs a single HTTP attempt.
-func (c *Client) once(ctx context.Context, method, path string, data []byte, out any, opts callOpts) error {
+// once runs a single HTTP attempt against base.
+func (c *Client) once(ctx context.Context, base, method, path string, data []byte, out any, opts callOpts) error {
 	if c.retry.PerTryTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.retry.PerTryTimeout)
@@ -208,7 +240,7 @@ func (c *Client) once(ctx context.Context, method, path string, data []byte, out
 	if data != nil {
 		body = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, body)
 	if err != nil {
 		return err
 	}
@@ -236,6 +268,7 @@ func (c *Client) once(ctx context.Context, method, path string, data []byte, out
 			Status:     resp.StatusCode,
 			Message:    msg,
 			RetryAfter: retryAfterOf(resp.Header),
+			Primary:    resp.Header.Get(server.PrimaryHeader),
 		}
 	}
 	if out == nil {

@@ -95,9 +95,10 @@ type (
 // already applied is deduplicated rather than double-counted. See
 // RetryPolicy for the exact classification.
 type Client struct {
-	base  string
-	http  *http.Client
-	retry RetryPolicy
+	base     string
+	replicas []string
+	http     *http.Client
+	retry    RetryPolicy
 }
 
 // NewClient returns a client for the daemon at baseURL (e.g.
@@ -118,6 +119,22 @@ func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 	return c
 }
 
+// WithReplicas registers read-only replica addresses (juryd followers)
+// and returns c. Read requests — GETs and the read-only POST routes
+// (selections, JQ evaluations) — are served from the replicas, failing
+// over across the list and finally the primary as retry attempts
+// progress. Mutations always go to the primary: a follower answers them
+// with 421 and the primary's address, which the client follows exactly
+// once per call (so a stale replica list still lands writes correctly,
+// while a misconfigured loop cannot bounce forever).
+func (c *Client) WithReplicas(urls ...string) *Client {
+	c.replicas = c.replicas[:0]
+	for _, u := range urls {
+		c.replicas = append(c.replicas, strings.TrimRight(u, "/"))
+	}
+	return c
+}
+
 // APIError is a non-2xx reply from the daemon.
 type APIError struct {
 	Status  int
@@ -125,6 +142,9 @@ type APIError struct {
 	// RetryAfter is the server's Retry-After hint, when it gave one
 	// (overload sheds and degraded/draining 503s do).
 	RetryAfter time.Duration
+	// Primary is the primary's address from X-Juryd-Primary, set on a
+	// 421 — the daemon is a read-only replica and mutations belong there.
+	Primary string
 }
 
 // Error implements error.
@@ -137,14 +157,17 @@ func (e *APIError) Error() string {
 // idempotent by HTTP semantics; a POST must opt in via doIdem (read-only
 // selections) or a keyed call (deduplicated ingests).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	return c.call(ctx, method, path, in, out, callOpts{idempotent: method != http.MethodPost})
+	return c.call(ctx, method, path, in, out, callOpts{
+		idempotent: method != http.MethodPost,
+		read:       method == http.MethodGet,
+	})
 }
 
 // doIdem runs one JSON request that is idempotent regardless of method —
 // POST routes that only read (selections, JQ evaluations), which the
 // daemon answers from pure registry state and its selection cache.
 func (c *Client) doIdem(ctx context.Context, method, path string, in, out any) error {
-	return c.call(ctx, method, path, in, out, callOpts{idempotent: true})
+	return c.call(ctx, method, path, in, out, callOpts{idempotent: true, read: true})
 }
 
 // RegisterWorkers registers a batch of new workers.
