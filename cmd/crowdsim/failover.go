@@ -1,0 +1,292 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/jury/serve"
+)
+
+// BenchFailoverStats is the failover section of a juryd-bench/1 document:
+// client-observed recovery from a primary crash in a self-hosted
+// three-node cluster.
+type BenchFailoverStats struct {
+	// Nodes is the cluster size (primary + followers).
+	Nodes int `json:"nodes"`
+	// KilledAfterSeconds is when into the run the primary was killed.
+	KilledAfterSeconds float64 `json:"killed_after_seconds"`
+	// PromoteMs is how long the promote call itself took.
+	PromoteMs float64 `json:"promote_ms"`
+	// RecoveryMs is the headline number: kill to the first acknowledged
+	// write on the new primary, as observed by a retrying client.
+	RecoveryMs float64 `json:"recovery_ms"`
+	// NewEpoch is the epoch the promoted node writes under.
+	NewEpoch uint64 `json:"new_epoch"`
+	// AckedBeforeKill / AckedAfterKill count acknowledged writes on
+	// either side of the crash; AckedLost is how many acknowledged writes
+	// the new primary is missing — anything but 0 is a durability bug.
+	AckedBeforeKill int `json:"acked_before_kill"`
+	AckedAfterKill  int `json:"acked_after_kill"`
+	AckedLost       int `json:"acked_lost"`
+}
+
+// chaosNode is one in-process juryd: a durable server on a real TCP
+// listener, so crashing it severs clients mid-request exactly like a
+// killed process.
+type chaosNode struct {
+	srv  *server.Server
+	http *http.Server
+	url  string
+}
+
+func startChaosNode(cfg server.Config) (*chaosNode, error) {
+	s, err := server.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return &chaosNode{srv: s, http: hs, url: "http://" + ln.Addr().String()}, nil
+}
+
+// kill is the crash: close the listener and sever every open connection.
+// No snapshot, no drain — the data dir holds exactly what the WAL held.
+func (n *chaosNode) kill() { n.http.Close() }
+
+// runChaosFailover self-hosts a quorum-2 primary plus two replicating
+// followers, drives keyed writes through a failover-aware client, kills
+// the primary partway through, promotes the most-caught-up follower
+// (which quorum acks make safe: every acknowledged write is on at least
+// one follower, and prefix shipping puts all of them on the most
+// caught-up one), repoints the survivor, and reports the client-observed
+// recovery time (plus an acked-write reconciliation) as a juryd-bench/1
+// document with a failover section.
+func runChaosFailover(cfg loadConfig, out io.Writer) error {
+	ctx := context.Background()
+	root, err := os.MkdirTemp("", "crowdsim-failover-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	nodeCfg := func(name string) server.Config {
+		return server.Config{Alpha: 0.5, Seed: cfg.seed, DataDir: root + "/" + name}
+	}
+	// Quorum 2 on the node that will be killed: an ack then vouches for
+	// two log copies, so a write acknowledged an instant before the kill
+	// is guaranteed to be on at least one follower — that is what makes
+	// acked_lost == 0 an invariant rather than a race the kill usually
+	// loses by luck. The promoted follower acks locally (same topology
+	// as the CI failover smoke), so recovery_ms measures promotion, not
+	// the surviving follower's reconnect backoff.
+	primaryCfg := nodeCfg("primary")
+	primaryCfg.Quorum = 2
+	primaryCfg.QuorumTimeout = 2 * time.Second
+	primary, err := startChaosNode(primaryCfg)
+	if err != nil {
+		return fmt.Errorf("start primary: %w", err)
+	}
+	defer primary.kill()
+
+	const followerCount = 2
+	followers := make([]*chaosNode, followerCount)
+	replDone := make([]chan error, followerCount)
+	replCtx, stopRepl := context.WithCancel(ctx)
+	defer stopRepl()
+	for i := range followers {
+		f, err := startChaosNode(nodeCfg(fmt.Sprintf("follower-%d", i)))
+		if err != nil {
+			return fmt.Errorf("start follower %d: %w", i, err)
+		}
+		defer f.kill()
+		f.srv.SetFollower(primary.url)
+		followers[i] = f
+		done := make(chan error, 1)
+		replDone[i] = done
+		loop := repl.NewFollower(f.srv, primary.url, repl.Options{Wait: 250 * time.Millisecond})
+		go func() { done <- loop.Run(replCtx) }()
+	}
+
+	// A small pool: the run measures failover, not selection.
+	workers := min(cfg.workers, 8)
+	specs := make([]serve.WorkerSpec, workers)
+	for i := range specs {
+		specs[i] = serve.WorkerSpec{ID: fmt.Sprintf("sim-%03d", i), Quality: 0.7, Cost: 1}
+	}
+	if err := serve.NewClient(primary.url).RegisterWorkers(ctx, specs); err != nil {
+		return fmt.Errorf("register pool: %w", err)
+	}
+
+	// The measured client: primary as base, followers as replicas, with
+	// enough retry headroom to ride through the outage. Every write is
+	// keyed, so the retries (and the rotation they drive) are replay-safe.
+	policy := serve.RetryPolicy{MaxAttempts: 10, BaseDelay: 20 * time.Millisecond, MaxDelay: 200 * time.Millisecond}
+	var mu sync.Mutex
+	var latencies []time.Duration
+	var errCount int
+	acked := make(map[string]int) // worker id -> acknowledged votes
+	ackedTotal := func() int {
+		n := 0
+		for _, v := range acked {
+			n += v
+		}
+		return n
+	}
+
+	killAt := cfg.duration / 2
+	start := time.Now()
+	var tKill, tFirstAfterKill time.Time
+	deadline := start.Add(cfg.duration)
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cli := serve.NewClient(primary.url).
+				WithReplicas(followers[0].url, followers[1].url).
+				WithRetry(policy)
+			for i := 0; time.Now().Before(deadline); i++ {
+				id := specs[(g+i)%len(specs)].ID
+				opCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+				t0 := time.Now()
+				_, err := cli.IngestVoteKeyed(opCtx,
+					serve.VoteEvent{WorkerID: id, Correct: (g+i)%3 != 0}, serve.NewIdempotencyKey())
+				cancel()
+				mu.Lock()
+				if err != nil {
+					errCount++
+				} else {
+					acked[id]++
+					latencies = append(latencies, time.Since(t0))
+					// Recovery counts only ops begun after the kill: an op
+					// in flight across it was acked by the old primary.
+					if !tKill.IsZero() && t0.After(tKill) && tFirstAfterKill.IsZero() {
+						tFirstAfterKill = time.Now()
+					}
+				}
+				mu.Unlock()
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(g)
+	}
+
+	// The chaos script: kill, promote the most-caught-up follower,
+	// repoint the survivor.
+	time.Sleep(killAt)
+	primary.kill()
+	mu.Lock()
+	ackedBefore := ackedTotal()
+	tKill = time.Now()
+	mu.Unlock()
+
+	best := 0
+	for i, f := range followers {
+		if f.srv.AppliedLSN() > followers[best].srv.AppliedLSN() {
+			best = i
+		}
+	}
+	promoteStart := time.Now()
+	resp, err := serve.NewClient(followers[best].url).Promote(ctx,
+		serve.PromoteRequest{Advertise: followers[best].url})
+	if err != nil {
+		return fmt.Errorf("promote follower %d: %w", best, err)
+	}
+	promoteMs := float64(time.Since(promoteStart)) / float64(time.Millisecond)
+	for i, f := range followers {
+		if i == best {
+			continue
+		}
+		if _, err := serve.NewClient(f.url).Repoint(ctx, serve.RepointRequest{Primary: followers[best].url}); err != nil {
+			return fmt.Errorf("repoint follower %d: %w", i, err)
+		}
+	}
+
+	wg.Wait()
+	if err := <-replDone[best]; err != repl.ErrPromoted {
+		return fmt.Errorf("promoted follower's stream loop returned %v, want ErrPromoted", err)
+	}
+
+	// Reconcile: every acknowledged vote must be on the new primary.
+	// Keyed dedup means each acked op applied exactly once, so a worker's
+	// vote count can only fall short of its acked count by losing writes.
+	list, err := serve.NewClient(followers[best].url).Workers(ctx)
+	if err != nil {
+		return fmt.Errorf("read new primary pool: %w", err)
+	}
+	votes := make(map[string]int, len(list.Workers))
+	for _, w := range list.Workers {
+		votes[w.ID] = w.Votes
+	}
+	lost := 0
+	mu.Lock()
+	for id, n := range acked {
+		if votes[id] < n {
+			lost += n - votes[id]
+		}
+	}
+	ackedAfter := ackedTotal() - ackedBefore
+	recoveryMs := -1.0
+	if !tFirstAfterKill.IsZero() {
+		recoveryMs = float64(tFirstAfterKill.Sub(tKill)) / float64(time.Millisecond)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	routeStats := BenchRouteStats{
+		Count:  len(latencies),
+		Errors: errCount,
+		P50Ms:  quantileMs(latencies, 0.50),
+		P95Ms:  quantileMs(latencies, 0.95),
+		P99Ms:  quantileMs(latencies, 0.99),
+	}
+	mu.Unlock()
+
+	report := BenchReport{
+		Schema:          benchSchema,
+		Timestamp:       time.Now().UTC().Format(time.RFC3339),
+		Target:          "self-hosted chaos cluster",
+		DurationSeconds: cfg.duration.Seconds(),
+		Concurrency:     cfg.concurrency,
+		PoolSize:        workers,
+		Routes:          map[string]BenchRouteStats{"POST /v1/votes": routeStats},
+		IngestsPerSec:   float64(routeStats.Count) / cfg.duration.Seconds(),
+		WALFsyncP99Ms:   -1,
+		Failover: &BenchFailoverStats{
+			Nodes:              1 + followerCount,
+			KilledAfterSeconds: killAt.Seconds(),
+			PromoteMs:          promoteMs,
+			RecoveryMs:         recoveryMs,
+			NewEpoch:           resp.Epoch,
+			AckedBeforeKill:    ackedBefore,
+			AckedAfterKill:     ackedAfter,
+			AckedLost:          lost,
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if cfg.benchOut != "" {
+		if err := os.WriteFile(cfg.benchOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "crowdsim: wrote failover report to %s (recovery %.0fms, %d acked, %d lost)\n",
+			cfg.benchOut, recoveryMs, ackedBefore+ackedAfter, lost)
+	} else {
+		out.Write(data)
+	}
+	return validateBench(data)
+}

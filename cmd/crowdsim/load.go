@@ -55,6 +55,9 @@ type BenchReport struct {
 	// daemon's juryd_wal_batch_records histogram (records per shared
 	// fsync); omitted when the daemon runs without -group-commit.
 	WALBatchMeanRecords float64 `json:"wal_batch_mean_records,omitempty"`
+	// Failover is present only for -chaos-failover runs: the measured
+	// kill/promote/recover cycle (see BenchFailoverStats).
+	Failover *BenchFailoverStats `json:"failover,omitempty"`
 }
 
 // loadConfig parameterizes one closed-loop load run.
@@ -362,8 +365,10 @@ func validateBench(data []byte) error {
 	if len(r.Routes) == 0 {
 		return fmt.Errorf("bench document has no routes")
 	}
+	// Failover runs measure the write path only; every other run must
+	// exercise the select hot path.
 	sel, ok := r.Routes["POST /v1/select"]
-	if !ok {
+	if !ok && r.Failover == nil {
 		return fmt.Errorf("bench document is missing the POST /v1/select route")
 	}
 	for route, st := range r.Routes {
@@ -380,6 +385,21 @@ func validateBench(data []byte) error {
 	}
 	if r.CacheHitRate < 0 || r.CacheHitRate > 1 {
 		return fmt.Errorf("cache_hit_rate %g outside [0,1]", r.CacheHitRate)
+	}
+	if f := r.Failover; f != nil {
+		if f.AckedLost != 0 {
+			return fmt.Errorf("failover run lost %d acknowledged write(s)", f.AckedLost)
+		}
+		if f.NewEpoch < 2 {
+			return fmt.Errorf("failover run's new epoch is %d, want >= 2 (a real promotion)", f.NewEpoch)
+		}
+		if f.RecoveryMs <= 0 {
+			return fmt.Errorf("failover run recorded no post-kill acknowledged write (recovery_ms %g)", f.RecoveryMs)
+		}
+		if f.AckedBeforeKill <= 0 || f.AckedAfterKill <= 0 {
+			return fmt.Errorf("failover run needs acked writes on both sides of the kill (before %d, after %d)",
+				f.AckedBeforeKill, f.AckedAfterKill)
+		}
 	}
 	return nil
 }

@@ -11,6 +11,7 @@
 //	crowdsim -export answers.csv
 //	crowdsim -load http://127.0.0.1:8700 -load-duration 10s -bench-out BENCH_baseline.json
 //	crowdsim -load http://follower:8701 -load-primary http://primary:8700 -bench-out BENCH_replica.json
+//	crowdsim -chaos-failover -load-duration 6s -bench-out BENCH_failover.json
 //	crowdsim -validate BENCH_baseline.json
 //
 // The -load mode registers a simulated worker pool on a live juryd and
@@ -64,6 +65,8 @@ func run(args []string, out io.Writer) error {
 			"ingest a vote batch every Nth iteration of each load goroutine (the rest are selects; min 2)")
 		loadPrimary = fs.String("load-primary", "",
 			"send mutations (pool registration, vote ingests) to this primary URL while -load names a read-only follower serving the measured selects")
+		chaosFailover = fs.Bool("chaos-failover", false,
+			"self-host a primary plus two followers, kill the primary mid-run, promote a follower, and report the client-observed recovery time")
 		benchOut     = fs.String("bench-out", "",
 			"write the load phase's baseline report to this JSON file (empty = stdout)")
 		validate = fs.String("validate", "",
@@ -74,6 +77,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if *validate != "" {
 		return validateBenchFile(*validate, out)
+	}
+	if *chaosFailover {
+		return runChaosFailover(loadConfig{
+			duration:    *loadDuration,
+			concurrency: *loadConc,
+			workers:     *workers,
+			seed:        *seed,
+			benchOut:    *benchOut,
+		}, out)
 	}
 	if *loadTarget != "" {
 		if *loadIngest < 2 {

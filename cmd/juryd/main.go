@@ -11,8 +11,10 @@
 //	      [-data-dir dir] [-snapshot-interval 1m] [-fsync]
 //	      [-group-commit] [-max-batch-bytes 0]
 //	      [-follow http://primary:8700] [-max-lag 0]
+//	      [-quorum 0] [-quorum-timeout 0]
 //	      [-max-inflight 0] [-request-timeout 0]
 //	      [-debug-addr 127.0.0.1:0] [-log-level info] [-trace-buffer 0]
+//	juryd -promote http://follower:8701 [-advertise http://follower:8701]
 //
 // The optional -pool file preloads the registry:
 //
@@ -60,6 +62,22 @@
 // restart to re-bootstrap; a follower whose own WAL fails stops
 // replicating but keeps serving reads at its last applied state.
 //
+// Failover: every primary writes under a monotonically increasing epoch
+// journaled in the WAL (X-Juryd-Epoch rides on every response). When a
+// primary dies, promote its most-caught-up follower with `juryd -promote
+// <follower-url>` (or POST /v1/repl/promote): the follower journals an
+// epoch record, switches to writable primary, and best-effort fences the
+// old primary — which flips to read-only (421 with the new primary's
+// address) and persists the fence across restarts. If the old primary
+// was unreachable during promotion the fence did not land: deliver it
+// before that node serves again (POST /v1/repl/fence) or wipe and
+// re-bootstrap it as a follower. Remaining followers are retargeted with
+// POST /v1/repl/repoint. -quorum N makes each mutation ack wait until
+// N-1 followers confirm its LSN on the stream (503 with Retry-After on
+// timeout; the mutation is durable locally and a keyed retry dedups), so
+// promoting the max-applied follower provably preserves every acked
+// mutation.
+//
 // Endpoints (all JSON):
 //
 //	GET  /healthz                 liveness + pool/session counts
@@ -86,6 +104,9 @@
 //	POST /v1/multi/pools/{pool}/jq        Jury Quality of an explicit jury
 //	GET  /v1/repl/stream                  committed WAL records for followers (long-poll)
 //	GET  /v1/repl/snapshot                state snapshot for follower bootstrap
+//	POST /v1/repl/promote                 switch this follower to writable primary (new epoch)
+//	POST /v1/repl/fence                   fence this node: a newer primary exists, refuse writes
+//	POST /v1/repl/repoint                 retarget this follower at a new primary
 //
 // See API.md at the repository root for the full route-by-route wire
 // reference (request/response fields, error codes, consistency and
@@ -179,6 +200,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		"group-commit staging cap in bytes before appenders are backpressured (0 = default)")
 	follow := fs.String("follow", "",
 		"primary juryd base URL; run as a read-only follower replicating its WAL (needs -data-dir)")
+	promote := fs.String("promote", "",
+		"one-shot admin mode: promote the follower juryd at this base URL to primary and exit (no daemon is started)")
+	advertise := fs.String("advertise", "",
+		"with -promote: the base URL clients should reach the promoted node at (rides on the fence to the old primary)")
+	quorum := fs.Int("quorum", 0,
+		"total log copies each mutation ack vouches for: ack only after quorum-1 followers confirm the LSN (0 or 1 = local durability only)")
+	quorumTimeout := fs.Duration("quorum-timeout", 0,
+		"how long a mutation ack waits for the follower quorum before answering 503 (0 = 5s default)")
 	maxLag := fs.Duration("max-lag", 0,
 		"follower staleness bound: /readyz answers 503 after lagging the primary's durable watermark this long (0 = lag never fails readiness)")
 	maxInflight := fs.Int("max-inflight", 0,
@@ -200,6 +229,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	logger, err := buildLogger(*logLevel, os.Stderr)
 	if err != nil {
 		return err
+	}
+
+	if *promote != "" {
+		return runPromote(ctx, *promote, *advertise, out)
 	}
 
 	primary := strings.TrimRight(*follow, "/")
@@ -242,6 +275,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *requestTimeout,
 		MaxLag:         *maxLag,
+		Quorum:         *quorum,
+		QuorumTimeout:  *quorumTimeout,
 		TraceBuffer:    *traceBuffer,
 		Logger:         logger,
 		FS:             fsys,
@@ -382,6 +417,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			switch {
 			case err == nil:
 				running = false // ctx canceled: graceful shutdown below
+			case errors.Is(err, repl.ErrPromoted):
+				// This node was promoted to primary (POST /v1/repl/promote or
+				// juryd -promote): replication stopped because it now writes
+				// its own log. Keep serving — as the primary.
+				fmt.Fprintln(out, "juryd: promoted to primary; replication stopped")
+				replErr = nil
 			case errors.Is(err, repl.ErrSnapshotNeeded), errors.Is(err, repl.ErrDiverged):
 				// The local log can never catch up (or must not): staying up
 				// would serve state that silently stops converging.
@@ -436,6 +477,47 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err := srv.ClosePersistence(); err != nil {
 			return fmt.Errorf("close wal: %w", err)
 		}
+	}
+	return nil
+}
+
+// runPromote is the -promote one-shot: ask the follower at base to
+// promote itself (POST /v1/repl/promote) and report the outcome.
+func runPromote(ctx context.Context, base, advertise string, out io.Writer) error {
+	base = strings.TrimRight(base, "/")
+	body, err := json.Marshal(server.PromoteRequest{Advertise: advertise})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/v1/repl/promote", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("promote %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("promote %s: %s: %s", base, resp.Status, strings.TrimSpace(string(payload)))
+	}
+	var res server.PromoteResponse
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return fmt.Errorf("promote %s: bad response: %w", base, err)
+	}
+	switch {
+	case res.AlreadyPrimary:
+		fmt.Fprintf(out, "juryd: %s is already primary (epoch %d, applied lsn %d)\n", base, res.Epoch, res.AppliedLSN)
+	case res.OldPrimary != "" && !res.OldPrimaryFenced:
+		fmt.Fprintf(out, "juryd: promoted %s to primary (epoch %d, lsn %d); WARNING: old primary %s unreachable — fence it before it serves again (POST /v1/repl/fence) or wipe and re-bootstrap it\n",
+			base, res.Epoch, res.AppliedLSN, res.OldPrimary)
+	default:
+		fmt.Fprintf(out, "juryd: promoted %s to primary (epoch %d, lsn %d); old primary %s fenced\n",
+			base, res.Epoch, res.AppliedLSN, res.OldPrimary)
 	}
 	return nil
 }

@@ -36,10 +36,16 @@ var (
 	// exist as a log. Recover by wiping the local data dir and
 	// re-bootstrapping from the primary's snapshot.
 	ErrSnapshotNeeded = errors.New("repl: follower is behind the primary's truncation horizon; re-bootstrap from its snapshot")
-	// ErrDiverged means the follower's log is ahead of the primary's —
-	// the follower was fed by a different history (e.g. it used to be a
-	// primary itself). Continuing would silently fork state.
+	// ErrDiverged means the follower's log is ahead of the primary's, or
+	// was written under a different epoch at the same LSN — the follower
+	// was fed by a different history (e.g. it used to be a primary
+	// itself, with acked-but-never-shipped records). Continuing would
+	// silently fork state; recover by wiping and re-bootstrapping.
 	ErrDiverged = errors.New("repl: follower log diverged from primary")
+	// ErrPromoted means this node was promoted to primary while the
+	// stream loop ran: replication stopped because the node now writes
+	// its own log. Not a failure — the caller should keep serving.
+	ErrPromoted = errors.New("repl: this node was promoted to primary; replication stopped")
 )
 
 // Options tunes a Follower. The zero value is production-ready.
@@ -59,6 +65,11 @@ type Options struct {
 	// Logf, when set, receives connection-lifecycle lines ("connected",
 	// "stream error ..., retrying"). nil discards them.
 	Logf func(format string, args ...any)
+	// ID identifies this follower on the primary's quorum-ack table
+	// (sent as follower_id on every stream request). Empty selects a
+	// random per-process id — safe, since a restarted follower's stale
+	// entry can only under-confirm, never over-confirm.
+	ID string
 }
 
 // Follower replicates one primary into one local Server. Create with
@@ -90,6 +101,9 @@ func NewFollower(srv *server.Server, primary string, opts Options) *Follower {
 	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
+	}
+	if opts.ID == "" {
+		opts.ID = fmt.Sprintf("follower-%08x", rand.Uint32())
 	}
 	return &Follower{
 		srv:     srv,
@@ -131,6 +145,10 @@ func (f *Follower) Run(ctx context.Context) error {
 			failures++
 		case errors.Is(err, ErrSnapshotNeeded), errors.Is(err, ErrDiverged):
 			return err
+		case errors.Is(err, server.ErrNotFollower), !f.srv.IsFollower():
+			// Promoted out from under the loop: the node now writes its
+			// own log. A clean stop, not a failure.
+			return ErrPromoted
 		case errors.Is(err, server.ErrDegraded):
 			return fmt.Errorf("repl: local apply failed, replication stopped: %w", err)
 		default:
@@ -170,9 +188,20 @@ func (f *Follower) sleep(ctx context.Context, d time.Duration) bool {
 // applies whatever it ships. advanced reports whether any record was
 // applied (false on an empty long poll).
 func (f *Follower) poll(ctx context.Context) (advanced bool, err error) {
+	// The target is re-read every poll so a Repoint (after a promotion
+	// elsewhere) takes effect without restarting the loop.
+	primary := f.srv.PrimaryURL()
+	if primary == "" {
+		primary = f.primary
+	}
+	primary = strings.TrimRight(primary, "/")
 	from := f.srv.AppliedLSN()
-	u := fmt.Sprintf("%s/v1/repl/stream?from=%d&wait_ms=%d",
-		f.primary, uint64(from), f.opts.Wait.Milliseconds())
+	// epoch names the epoch the follower applied `from` under, so the
+	// primary can run its log-matching check; follower_id keys this
+	// node's row in the primary's quorum-ack table.
+	u := fmt.Sprintf("%s/v1/repl/stream?from=%d&wait_ms=%d&epoch=%d&follower_id=%s",
+		primary, uint64(from), f.opts.Wait.Milliseconds(),
+		f.srv.EpochAt(from), url.QueryEscape(f.opts.ID))
 	if f.opts.MaxBytes > 0 {
 		u += "&max_bytes=" + strconv.Itoa(f.opts.MaxBytes)
 	}
@@ -197,9 +226,21 @@ func (f *Follower) poll(ctx context.Context) (advanced bool, err error) {
 		f.srv.ReplObserve(durable, true)
 		return false, nil
 	case http.StatusGone:
-		return false, fmt.Errorf("%w (primary's oldest retained lsn: %d, local applied: %d)",
-			ErrSnapshotNeeded, uint64(headerLSN(resp.Header, server.ReplOldestLSNHeader)), uint64(from))
+		// The diagnosis names the primary the poll actually hit — after a
+		// repoint, the *new* one — so the operator (or harness) re-
+		// bootstraps from a live node, not the dead address it booted with.
+		return false, fmt.Errorf("%w (primary %s, its oldest retained lsn: %d, local applied: %d)",
+			ErrSnapshotNeeded, primary, uint64(headerLSN(resp.Header, server.ReplOldestLSNHeader)), uint64(from))
 	case http.StatusConflict:
+		// Two very different 409s: a genuinely forked log (terminal), or
+		// a deposed primary that has not caught up to our epoch yet (its
+		// X-Repl-Epoch is behind ours) — retryable, a repoint or the old
+		// primary's own recovery resolves it.
+		if he, perr := strconv.ParseUint(resp.Header.Get(server.ReplEpochHeader), 10, 64); perr == nil &&
+			he < f.srv.EpochAt(from) {
+			return false, fmt.Errorf("repl: primary %s is stale (its epoch %d, ours %d); awaiting repoint",
+				primary, he, f.srv.EpochAt(from))
+		}
 		return false, fmt.Errorf("%w: %s", ErrDiverged, readErrorBody(resp.Body))
 	default:
 		return false, fmt.Errorf("repl: stream %s: %s: %s", u, resp.Status, readErrorBody(resp.Body))

@@ -214,6 +214,19 @@ type PersistenceStatus struct {
 	// Repl reports the replication position of a follower; nil on a
 	// primary.
 	Repl *ReplStatus `json:"repl,omitempty"`
+	// Epoch is the node's current promotion epoch (1 on a never-promoted
+	// cluster; every promotion increments it).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Quorum is the configured total-copies requirement behind each
+	// mutation ack (0 or 1: local durability only).
+	Quorum int `json:"quorum,omitempty"`
+	// Fenced reports that a newer primary holds FenceEpoch and this node
+	// refuses all writes (421) until it rejoins as a follower.
+	Fenced bool `json:"fenced,omitempty"`
+	// FenceEpoch is the epoch that fenced this node; FencePrimary the new
+	// primary's base URL when the fence carried one.
+	FenceEpoch   uint64 `json:"fence_epoch,omitempty"`
+	FencePrimary string `json:"fence_primary,omitempty"`
 }
 
 // ReplStatus reports a follower's replication position and lag (part of
@@ -237,6 +250,66 @@ type ReplStatus struct {
 	// LastContact is when the primary last answered a stream request
 	// (RFC 3339); empty before the first contact.
 	LastContact string `json:"last_contact,omitempty"`
+	// Epoch is the epoch of the last applied promotion record (1 before
+	// any promotion reached this follower).
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// PromoteRequest is the body of POST /v1/repl/promote (may be empty).
+type PromoteRequest struct {
+	// Advertise is the base URL the promoted node should be reached at;
+	// it rides along on the fence call to the old primary so clients
+	// bounced there with 421 land on the new primary.
+	Advertise string `json:"advertise,omitempty"`
+}
+
+// PromoteResponse reports a promotion's outcome.
+type PromoteResponse struct {
+	// Promoted is true when this call performed the follower→primary
+	// switch; AlreadyPrimary when the node needed no promotion.
+	Promoted       bool `json:"promoted"`
+	AlreadyPrimary bool `json:"already_primary,omitempty"`
+	// Epoch is the epoch the node now writes under; AppliedLSN the LSN
+	// of the promotion record that opened it.
+	Epoch      uint64 `json:"epoch"`
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// OldPrimary is the primary this node was following; OldPrimaryFenced
+	// whether the best-effort fence call landed there. When false the old
+	// primary was unreachable (usually: dead) — deliver the fence before
+	// letting it serve again, or wipe and re-bootstrap it.
+	OldPrimary       string `json:"old_primary,omitempty"`
+	OldPrimaryFenced bool   `json:"old_primary_fenced,omitempty"`
+}
+
+// FenceRequest is the body of POST /v1/repl/fence: a newer primary
+// (epoch Epoch, reachable at Primary) exists; the receiving node must
+// stop acknowledging writes.
+type FenceRequest struct {
+	Epoch   uint64 `json:"epoch"`
+	Primary string `json:"primary,omitempty"`
+}
+
+// FenceResponse confirms a fence call.
+type FenceResponse struct {
+	// Fenced reports whether the node is now refusing writes (false only
+	// if it has itself already advanced past the fencing epoch).
+	Fenced bool `json:"fenced"`
+	// Epoch and Primary echo the effective fence.
+	Epoch   uint64 `json:"epoch"`
+	Primary string `json:"primary,omitempty"`
+	// CurrentEpoch is the node's own epoch.
+	CurrentEpoch uint64 `json:"current_epoch"`
+}
+
+// RepointRequest is the body of POST /v1/repl/repoint: retarget this
+// follower's replication stream at a new primary after a promotion.
+type RepointRequest struct {
+	Primary string `json:"primary"`
+}
+
+// RepointResponse confirms a repoint.
+type RepointResponse struct {
+	Primary string `json:"primary"`
 }
 
 // RecoveryStatus reports what boot-time recovery reconstructed.

@@ -58,7 +58,13 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // before the request body is even decoded.
 func (s *Server) mutable() error {
 	if rs := s.repl.Load(); rs != nil {
-		return &FollowerError{Primary: rs.primary}
+		return &FollowerError{Primary: rs.primaryURL()}
+	}
+	if fenced, epoch, primary := s.FencedState(); fenced {
+		// A fenced ex-primary must never acknowledge another write: a
+		// newer primary holds a higher epoch. 421 like a follower, with
+		// the new primary's address when the fence carried one.
+		return &FencedError{Epoch: epoch, Primary: primary}
 	}
 	if degraded, cause := s.DegradedState(); degraded {
 		return fmt.Errorf("%w (%v)", ErrDegraded, cause)
@@ -86,6 +92,17 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, r, http.StatusServiceUnavailable, map[string]any{
 			"ready":    false,
 			"draining": true,
+		})
+		return
+	}
+	if fenced, epoch, primary := s.FencedState(); fenced {
+		// A fenced ex-primary serves reads but must receive no writes:
+		// not ready, and the body names where writes belong now.
+		writeJSON(w, r, http.StatusServiceUnavailable, map[string]any{
+			"ready":   false,
+			"fenced":  true,
+			"epoch":   epoch,
+			"primary": primary,
 		})
 		return
 	}

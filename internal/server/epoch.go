@@ -1,0 +1,605 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// Promotion and fencing. Every primary writes under a monotonically
+// increasing epoch. Epoch 1 is implicit (a freshly initialized log needs
+// no boot record); each promotion journals a RecEpoch record carrying the
+// new epoch number and its own LSN, so the epoch history replays from the
+// WAL like any other state and every node that has applied the same
+// prefix agrees on which epoch governs every LSN. The stream handler uses
+// that agreement as a Raft-style log-matching check: a follower's request
+// names the epoch of its last applied record, and a mismatch against the
+// primary's own epoch-at-that-LSN is divergence, caught before a single
+// forked record ships.
+//
+// Fencing is how a deposed primary is kept from accepting writes it can
+// no longer replicate: an explicit POST /v1/repl/fence (or a stream
+// request from a higher epoch) records "a newer primary holds epoch E".
+// The fence is in effect while the fence epoch exceeds the node's own
+// current epoch — so it clears itself if the node later rejoins as a
+// follower and replays the RecEpoch record that outranks it — and it is
+// persisted to fence.json so a fenced primary stays fenced across a
+// restart.
+
+// EpochHeader is stamped on every HTTP response: the epoch of the serving
+// node, so clients and operators can spot a stale primary at a glance.
+const EpochHeader = "X-Juryd-Epoch"
+
+// ReplEpochHeader carries the answering node's current epoch on every
+// replication stream response. A follower that sees a LOWER epoch than
+// its own in a stream 409 knows the primary is stale (retry/repoint, not
+// divergence).
+const ReplEpochHeader = "X-Repl-Epoch"
+
+// fenceFile is the durable fence marker in the data dir. It is not log
+// state (DirHasState ignores it): a wiped-and-rebootstrapped node starts
+// unfenced by construction.
+const fenceFile = "fence.json"
+
+// defaultQuorumTimeout bounds the ack wait for quorum-gated mutations
+// when Config.QuorumTimeout is zero.
+const defaultQuorumTimeout = 5 * time.Second
+
+var (
+	// ErrQuorumTimeout marks a mutation that is durable on the primary but
+	// was not confirmed by enough followers within the timeout. The
+	// mutation may still replicate; a keyed retry resolves either way
+	// (dedup answers it once the quorum recovers).
+	ErrQuorumTimeout = errors.New("server: quorum not reached: mutation durable locally but unconfirmed by followers")
+	// ErrNotFollower is returned by follower-only operations (repoint,
+	// replicated applies) on a node serving as primary.
+	ErrNotFollower = errors.New("server: not a follower")
+	// ErrPromoting is returned when a promotion is already in flight.
+	ErrPromoting = errors.New("server: promotion already in progress")
+	// ErrFenceStale rejects a fence request whose epoch does not outrank
+	// the node's current epoch — fencing the legitimate holder of an epoch
+	// with its own (or an older) epoch would be a correctness bug, not an
+	// operation.
+	ErrFenceStale = errors.New("server: fence epoch is not newer than the current epoch")
+)
+
+// FencedError is the mutation-rejection error of a fenced ex-primary: a
+// newer primary holds a higher epoch, so this node must never acknowledge
+// another write. Maps to 421 with the new primary's address (when known)
+// in X-Juryd-Primary, exactly like a follower's rejection — to a client,
+// "fenced primary" and "replica" mean the same thing: write elsewhere.
+type FencedError struct {
+	// Epoch is the fencing (newer) epoch.
+	Epoch uint64
+	// Primary is the new primary's base URL; may be empty when the fence
+	// arrived without one (e.g. via a stream request from a higher epoch).
+	Primary string
+}
+
+func (e *FencedError) Error() string {
+	if e.Primary == "" {
+		return fmt.Sprintf("server: fenced: a newer primary holds epoch %d; this node is read-only", e.Epoch)
+	}
+	return fmt.Sprintf("server: fenced: a newer primary at %s holds epoch %d; this node is read-only", e.Primary, e.Epoch)
+}
+
+// ---------------------------------------------------------------------------
+// Epoch table.
+
+// EpochEntry records that Epoch governs records from StartLSN onward
+// (until a later entry's StartLSN). The table replays from RecEpoch
+// records and travels in snapshots, so it is part of the bit-exact state.
+type EpochEntry struct {
+	Epoch    uint64 `json:"epoch"`
+	StartLSN uint64 `json:"start_lsn"`
+}
+
+// epochTable is the replayed promotion history. The zero value is epoch 1
+// with no recorded entries.
+type epochTable struct {
+	mu      sync.RWMutex
+	entries []EpochEntry
+}
+
+// current is the newest epoch; 1 when no promotion was ever recorded.
+func (t *epochTable) current() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.entries) == 0 {
+		return 1
+	}
+	return t.entries[len(t.entries)-1].Epoch
+}
+
+// at is the epoch governing lsn: the newest entry with StartLSN <= lsn,
+// or 1 before any recorded promotion.
+func (t *epochTable) at(lsn wal.LSN) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// First entry with StartLSN > lsn; the one before it governs.
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return t.entries[i].StartLSN > uint64(lsn)
+	})
+	if i == 0 {
+		return 1
+	}
+	return t.entries[i-1].Epoch
+}
+
+// add appends one promotion. Epochs and start LSNs must be strictly
+// increasing — a violation means the log being replayed was forked.
+func (t *epochTable) add(epoch uint64, start wal.LSN) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.entries) > 0 {
+		last := t.entries[len(t.entries)-1]
+		if epoch <= last.Epoch || uint64(start) <= last.StartLSN {
+			return fmt.Errorf("server: epoch record (%d @ lsn %d) does not advance (%d @ lsn %d)",
+				epoch, start, last.Epoch, last.StartLSN)
+		}
+	} else if epoch <= 1 {
+		return fmt.Errorf("server: epoch record %d does not advance the implicit epoch 1", epoch)
+	}
+	t.entries = append(t.entries, EpochEntry{Epoch: epoch, StartLSN: uint64(start)})
+	return nil
+}
+
+// snapshot copies the table for the snapshot document.
+func (t *epochTable) snapshot() []EpochEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if len(t.entries) == 0 {
+		return nil
+	}
+	return append([]EpochEntry(nil), t.entries...)
+}
+
+// load replaces the table from a snapshot document.
+func (t *epochTable) load(entries []EpochEntry) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Epoch <= entries[i-1].Epoch || entries[i].StartLSN <= entries[i-1].StartLSN {
+			return fmt.Errorf("server: epoch table not increasing at entry %d", i)
+		}
+	}
+	if len(entries) > 0 && entries[0].Epoch <= 1 {
+		return fmt.Errorf("server: epoch table starts at %d (epoch 1 is implicit)", entries[0].Epoch)
+	}
+	t.entries = append(t.entries[:0], entries...)
+	return nil
+}
+
+// CurrentEpoch is the epoch this node believes is newest — on a primary,
+// the epoch it writes under.
+func (s *Server) CurrentEpoch() uint64 { return s.epochs.current() }
+
+// EpochAt is the epoch governing lsn in this node's replayed history
+// (what a follower reports on its stream requests for log matching).
+func (s *Server) EpochAt(lsn wal.LSN) uint64 { return s.epochs.at(lsn) }
+
+// ---------------------------------------------------------------------------
+// Fencing.
+
+// fenceDoc is the fence.json document.
+type fenceDoc struct {
+	Epoch   uint64 `json:"epoch"`
+	Primary string `json:"primary,omitempty"`
+}
+
+// loadFence reads the durable fence marker; ok is false when none exists.
+func loadFence(fsys wal.FS, dir string) (fenceDoc, bool, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, fenceFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return fenceDoc{}, false, nil
+	}
+	if err != nil {
+		return fenceDoc{}, false, err
+	}
+	var doc fenceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fenceDoc{}, false, fmt.Errorf("server: %s: %w", fenceFile, err)
+	}
+	return doc, true, nil
+}
+
+// saveFence atomically installs the fence marker (write temp, sync,
+// rename) so a crash mid-write leaves either the old fence or the new.
+func saveFence(fsys wal.FS, dir string, doc fenceDoc) error {
+	payload, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fenceFile)
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.Rename(tmp, path)
+}
+
+// FencedState reports whether the node is currently fenced, and by which
+// epoch and primary. The fence is live only while its epoch exceeds the
+// node's own: a node that catches up past the fencing epoch (by replaying
+// the promotion as a follower, or by being promoted itself) is no longer
+// the stale primary the fence was guarding against.
+func (s *Server) FencedState() (fenced bool, epoch uint64, primary string) {
+	s.fenceMu.Lock()
+	epoch, primary = s.fenceEpoch, s.fencePrimary
+	s.fenceMu.Unlock()
+	if epoch == 0 {
+		return false, 0, ""
+	}
+	return epoch > s.epochs.current(), epoch, primary
+}
+
+// Fence records that a newer primary holds epoch (with its base URL, when
+// known): this node must not acknowledge writes under any older epoch.
+// Idempotent: re-fencing at or below an existing fence epoch keeps the
+// higher fence (and fills in a missing primary URL). epoch must outrank
+// the node's current epoch (ErrFenceStale otherwise). The fence takes
+// effect in memory before the durable marker is written; a marker write
+// failure is returned but does NOT lift the in-memory fence.
+func (s *Server) Fence(epoch uint64, primary string) error {
+	if epoch <= s.epochs.current() {
+		return fmt.Errorf("%w: fence epoch %d, current epoch %d", ErrFenceStale, epoch, s.epochs.current())
+	}
+	s.fenceMu.Lock()
+	if epoch > s.fenceEpoch {
+		s.fenceEpoch = epoch
+		s.fencePrimary = primary
+	} else if epoch == s.fenceEpoch && s.fencePrimary == "" && primary != "" {
+		s.fencePrimary = primary
+	}
+	doc := fenceDoc{Epoch: s.fenceEpoch, Primary: s.fencePrimary}
+	s.fenceMu.Unlock()
+	if p := s.persist; p != nil {
+		if err := saveFence(p.fs, p.dir, doc); err != nil {
+			return fmt.Errorf("server: fenced in memory, but persisting %s failed: %w", fenceFile, err)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Quorum acks.
+
+// quorumAcks tracks, per follower, the highest applied LSN it has
+// confirmed (piggybacked on the stream long-poll's from parameter). With
+// Config.Quorum = N, a mutation is acknowledged only once N-1 distinct
+// followers have confirmed its LSN — which is what makes "promote the
+// most-caught-up follower" provably preserve every acknowledged mutation.
+type quorumAcks struct {
+	mu      sync.Mutex
+	acks    map[string]uint64
+	waiters map[*quorumWaiter]struct{}
+}
+
+type quorumWaiter struct {
+	lsn  uint64
+	need int
+	ch   chan struct{}
+}
+
+// observe records follower id's confirmed applied LSN and releases any
+// waiter the new watermark satisfies.
+func (q *quorumAcks) observe(id string, lsn uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.acks == nil {
+		q.acks = make(map[string]uint64)
+	}
+	if lsn <= q.acks[id] {
+		return
+	}
+	q.acks[id] = lsn
+	for w := range q.waiters {
+		if q.confirmedLocked(w.lsn) >= w.need {
+			close(w.ch)
+			delete(q.waiters, w)
+		}
+	}
+}
+
+// confirmedLocked counts followers whose confirmed LSN covers lsn.
+func (q *quorumAcks) confirmedLocked(lsn uint64) int {
+	n := 0
+	for _, v := range q.acks {
+		if v >= lsn {
+			n++
+		}
+	}
+	return n
+}
+
+// wait blocks until need followers confirm lsn, or the timeout expires.
+func (q *quorumAcks) wait(lsn uint64, need int, timeout time.Duration) error {
+	q.mu.Lock()
+	if q.confirmedLocked(lsn) >= need {
+		q.mu.Unlock()
+		return nil
+	}
+	w := &quorumWaiter{lsn: lsn, need: need, ch: make(chan struct{})}
+	if q.waiters == nil {
+		q.waiters = make(map[*quorumWaiter]struct{})
+	}
+	q.waiters[w] = struct{}{}
+	q.mu.Unlock()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-w.ch:
+		return nil
+	case <-t.C:
+		q.mu.Lock()
+		delete(q.waiters, w)
+		q.mu.Unlock()
+		// Raced with a late observe: the waiter may have been satisfied
+		// between the timer firing and the delete.
+		select {
+		case <-w.ch:
+			return nil
+		default:
+		}
+		return fmt.Errorf("timeout after %s", timeout)
+	}
+}
+
+// snapshot copies the ack table (for status/debug).
+func (q *quorumAcks) snapshot() map[string]uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.acks) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(q.acks))
+	for k, v := range q.acks {
+		out[k] = v
+	}
+	return out
+}
+
+// quorumWait gates one mutation ack on the follower quorum; a no-op
+// unless Config.Quorum > 1.
+func (s *Server) quorumWait(lsn wal.LSN) error {
+	need := s.cfg.Quorum - 1
+	if need <= 0 {
+		return nil
+	}
+	timeout := s.cfg.QuorumTimeout
+	if timeout <= 0 {
+		timeout = defaultQuorumTimeout
+	}
+	if err := s.quorum.wait(uint64(lsn), need, timeout); err != nil {
+		s.metrics.QuorumTimeout()
+		return fmt.Errorf("%w: lsn %d needs %d follower confirmation(s): %v", ErrQuorumTimeout, lsn, need, err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Promotion and repointing.
+
+// fenceClient delivers the best-effort fence call to the old primary
+// during a promotion; short timeout — a dead primary must not stall the
+// failover it caused.
+var fenceClient = &http.Client{Timeout: 2 * time.Second}
+
+// Promote turns this follower into a writable primary under a new epoch:
+// it stops accepting replicated frames, drains in-flight applies (the
+// snapshot freeze doubles as the barrier), journals the RecEpoch record
+// opening epoch N+1 at the next LSN, switches out of follower mode, and
+// best-effort fences the old primary (advertise is the base URL the
+// promoted node should be reached at; it rides along on the fence so
+// clients bounced by the old primary land here). Promoting an
+// already-primary node is an idempotent no-op (AlreadyPrimary).
+func (s *Server) Promote(ctx context.Context, advertise string) (PromoteResponse, error) {
+	rs := s.repl.Load()
+	if rs == nil {
+		return PromoteResponse{
+			AlreadyPrimary: true,
+			Epoch:          s.epochs.current(),
+			AppliedLSN:     uint64(s.AppliedLSN()),
+		}, nil
+	}
+	if degraded, cause := s.DegradedState(); degraded {
+		return PromoteResponse{}, fmt.Errorf("server: cannot promote a degraded follower: %w (%v)", ErrDegraded, cause)
+	}
+	if s.draining.Load() {
+		return PromoteResponse{}, fmt.Errorf("server: cannot promote: %w", ErrDraining)
+	}
+	p := s.persist
+	if p == nil {
+		return PromoteResponse{}, errors.New("server: promotion requires persistence (-data-dir)")
+	}
+	if !s.promoting.CompareAndSwap(false, true) {
+		return PromoteResponse{}, ErrPromoting
+	}
+	defer s.promoting.Store(false)
+	// The exclusive freeze drains every in-flight ApplyReplicated (each
+	// holds the freeze shared for its whole journal-then-apply section),
+	// so the epoch record lands directly after the last applied frame.
+	p.freeze.Lock()
+	newEpoch := s.epochs.current() + 1
+	start := p.log.NextLSN()
+	rec := &Record{T: RecEpoch, Epoch: newEpoch, StartLSN: uint64(start)}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		p.freeze.Unlock()
+		return PromoteResponse{}, fmt.Errorf("server: promote encode: %w", err)
+	}
+	pend, err := p.log.Begin(payload)
+	if err != nil {
+		p.freeze.Unlock()
+		s.metrics.WALError()
+		s.enterDegraded(err)
+		return PromoteResponse{}, fmt.Errorf("server: promote journal: %w: %w", ErrDegraded, err)
+	}
+	if err := pend.Wait(); err != nil {
+		p.freeze.Unlock()
+		s.metrics.WALError()
+		s.enterDegraded(err)
+		return PromoteResponse{}, fmt.Errorf("server: promote flush: %w: %w", ErrDegraded, err)
+	}
+	if err := s.epochs.add(newEpoch, start); err != nil {
+		p.freeze.Unlock()
+		return PromoteResponse{}, err
+	}
+	p.freeze.Unlock()
+	oldPrimary := rs.primaryURL()
+	// Order matters: the epoch record is durable before the node starts
+	// acknowledging writes under it.
+	s.repl.Store(nil)
+	s.logger.Info("promoted to primary", "epoch", newEpoch, "epoch_record_lsn", uint64(start), "old_primary", oldPrimary)
+	res := PromoteResponse{Promoted: true, Epoch: newEpoch, AppliedLSN: uint64(start), OldPrimary: oldPrimary}
+	if oldPrimary != "" {
+		res.OldPrimaryFenced = fenceRemote(ctx, oldPrimary, newEpoch, advertise)
+	}
+	return res, nil
+}
+
+// fenceRemote posts the fence call to base; false means it did not land
+// (dead primary — deliver the fence when it resurrects, or wipe it).
+func fenceRemote(ctx context.Context, base string, epoch uint64, advertise string) bool {
+	body, err := json.Marshal(FenceRequest{Epoch: epoch, Primary: advertise})
+	if err != nil {
+		return false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		base+"/v1/repl/fence", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := fenceClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode < 300
+}
+
+// Repoint retargets a follower's replication at a new primary base URL
+// (after a promotion elsewhere). The stream loop picks the new target up
+// on its next poll. ErrNotFollower on a primary.
+func (s *Server) Repoint(primary string) error {
+	rs := s.repl.Load()
+	if rs == nil {
+		return ErrNotFollower
+	}
+	rs.setPrimary(primary)
+	return nil
+}
+
+// PrimaryURL is the primary this follower currently replicates from; ""
+// on a primary. The follower stream loop re-reads it every poll, so a
+// Repoint takes effect without restarting the loop.
+func (s *Server) PrimaryURL() string {
+	rs := s.repl.Load()
+	if rs == nil {
+		return ""
+	}
+	return rs.primaryURL()
+}
+
+// ---------------------------------------------------------------------------
+// HTTP handlers.
+
+// decodeJSONOptional is decodeJSON tolerating an absent/empty body (the
+// promote call commonly needs no parameters).
+func decodeJSONOptional(r *http.Request, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(dst)
+	if err == nil || errors.Is(err, io.EOF) {
+		return nil
+	}
+	return fmt.Errorf("server: bad request body: %w", err)
+}
+
+// handlePromote is POST /v1/repl/promote: fence-and-switch this follower
+// into a writable primary under the next epoch (see Promote).
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req PromoteRequest
+	if err := decodeJSONOptional(r, &req); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	res, err := s.Promote(r.Context(), req.Advertise)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, r, http.StatusOK, res)
+}
+
+// handleFence is POST /v1/repl/fence: record that a newer primary holds
+// the given epoch; this node stops acknowledging writes (421) until it
+// catches up past that epoch as a follower.
+func (s *Server) handleFence(w http.ResponseWriter, r *http.Request) {
+	var req FenceRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	if req.Epoch == 0 {
+		writeError(w, r, errors.New("server: fence needs an epoch"))
+		return
+	}
+	if err := s.Fence(req.Epoch, req.Primary); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	fenced, epoch, primary := s.FencedState()
+	writeJSON(w, r, http.StatusOK, FenceResponse{
+		Fenced:       fenced,
+		Epoch:        epoch,
+		Primary:      primary,
+		CurrentEpoch: s.epochs.current(),
+	})
+}
+
+// handleRepoint is POST /v1/repl/repoint: retarget this follower's
+// replication stream at a new primary (after a promotion elsewhere).
+func (s *Server) handleRepoint(w http.ResponseWriter, r *http.Request) {
+	var req RepointRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	if req.Primary == "" {
+		writeError(w, r, errors.New("server: repoint needs a primary url"))
+		return
+	}
+	if err := s.Repoint(req.Primary); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, r, http.StatusOK, RepointResponse{Primary: req.Primary})
+}

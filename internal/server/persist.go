@@ -54,6 +54,10 @@ const (
 	RecMultiRegister RecordType = "multi-register"
 	RecMultiIngest   RecordType = "multi-ingest"
 	RecMultiDrop     RecordType = "multi-drop"
+	// RecEpoch opens a new primary epoch: the first record a promoted
+	// follower writes. It carries its own LSN (StartLSN) so the epoch
+	// table replays self-contained from any snapshot+tail combination.
+	RecEpoch RecordType = "epoch"
 )
 
 // Record is one durable mutation, the unit of WAL replay. Every input a
@@ -82,6 +86,10 @@ type Record struct {
 	Session *SessionRecord `json:"session,omitempty"`
 	// Multi carries the multi-choice registry payload (RecMulti*).
 	Multi *MultiRecord `json:"multi,omitempty"`
+	// Epoch and StartLSN carry a promotion (RecEpoch): the new epoch
+	// number and the LSN of this record itself.
+	Epoch    uint64 `json:"epoch,omitempty"`
+	StartLSN uint64 `json:"start_lsn,omitempty"`
 }
 
 // MultiRecord is the multi-choice-mutation payload of a Record.
@@ -123,6 +131,9 @@ type serverState struct {
 	Registry registryState      `json:"registry"`
 	Sessions sessionsState      `json:"sessions"`
 	Multi    multiRegistryState `json:"multi"`
+	// Epochs is the promotion history (empty on a never-promoted
+	// cluster; omitted then, so pre-failover snapshots replay unchanged).
+	Epochs []EpochEntry `json:"epochs,omitempty"`
 }
 
 // multiRegistryState serializes the multi-choice registry, pools in
@@ -242,6 +253,9 @@ func Open(cfg Config) (*Server, error) {
 		if err := s.multi.load(st.Multi); err != nil {
 			return nil, fmt.Errorf("server: snapshot at lsn %d: %w", lsn, err)
 		}
+		if err := s.epochs.load(st.Epochs); err != nil {
+			return nil, fmt.Errorf("server: snapshot at lsn %d: %w", lsn, err)
+		}
 		from = lsn
 		p.haveSnapshot = true
 		p.lastSnapshot = lsn
@@ -310,6 +324,10 @@ func Open(cfg Config) (*Server, error) {
 			s.enterDegraded(err)
 			return nil, fmt.Errorf("%w: %w", ErrDegraded, err)
 		}
+		// Quorum gating rides on the commit: it runs after the mutator
+		// releases its ordering lock, so waiting for follower
+		// confirmations there blocks only the acknowledging request.
+		lsn := pend.LSN()
 		if pend.Done() {
 			// Per-record path: the append (and under -fsync, its flush)
 			// completed inside Begin. The fsync runs at the tail of the
@@ -318,6 +336,9 @@ func Open(cfg Config) (*Server, error) {
 			tr.Add(obs.StageWALAppend, appendStart, appendDur-fsync)
 			if fsync > 0 {
 				tr.Add(obs.StageWALFsync, appendStart.Add(appendDur-fsync), fsync)
+			}
+			if cfg.Quorum > 1 {
+				return func() error { return s.quorumWait(lsn) }, nil
 			}
 			return commitNoop, nil
 		}
@@ -342,6 +363,9 @@ func Open(cfg Config) (*Server, error) {
 			if fsync := pend.FsyncDuration(); fsync > 0 {
 				tr.Add(obs.StageWALFsync, flushStart, fsync)
 			}
+			if cfg.Quorum > 1 {
+				return s.quorumWait(lsn)
+			}
 			return nil
 		}
 		return commit, nil
@@ -355,6 +379,12 @@ func Open(cfg Config) (*Server, error) {
 			s.enterDegraded(err)
 			return fmt.Errorf("%w: %w", ErrDegraded, err)
 		}
+		if cfg.Quorum > 1 {
+			// A duplicate re-ack vouches for the original record, so it too
+			// must be quorum-confirmed. The whole-log watermark is a
+			// conservative stand-in for the original's LSN.
+			return s.quorumWait(log.NextLSN() - 1)
+		}
 		return nil
 	}
 	s.registry.journal = journal
@@ -362,6 +392,18 @@ func Open(cfg Config) (*Server, error) {
 	s.sessions.journal = journal
 	s.multi.journal = journal
 	s.multi.barrier = barrier
+	// A durable fence outlives the process: a fenced ex-primary that
+	// restarts is still fenced until it rejoins and replays the epoch
+	// that outranks the fence.
+	if doc, ok, err := loadFence(fsys, cfg.DataDir); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("server: load fence: %w", err)
+	} else if ok {
+		s.fenceMu.Lock()
+		s.fenceEpoch = doc.Epoch
+		s.fencePrimary = doc.Primary
+		s.fenceMu.Unlock()
+	}
 	s.persist = p
 	return s, nil
 }
@@ -380,6 +422,8 @@ func (s *Server) applyRecord(rec *Record) error {
 		return s.sessions.Apply(rec)
 	case RecMultiCreate, RecMultiRegister, RecMultiIngest, RecMultiDrop:
 		return s.multi.Apply(rec)
+	case RecEpoch:
+		return s.epochs.add(rec.Epoch, wal.LSN(rec.StartLSN))
 	default:
 		return fmt.Errorf("server: unknown record type %q", rec.T)
 	}
@@ -467,6 +511,7 @@ func (s *Server) PersistenceStatus() PersistenceStatus {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	rec := p.recovery
+	fenced, fenceEpoch, fencePrimary := s.FencedState()
 	return PersistenceStatus{
 		Enabled:          true,
 		DataDir:          p.dir,
@@ -481,6 +526,11 @@ func (s *Server) PersistenceStatus() PersistenceStatus {
 		Recovery:         &rec,
 		StateSHA256:      s.stateSHA(),
 		Repl:             s.ReplStatus(),
+		Epoch:            s.epochs.current(),
+		Quorum:           s.cfg.Quorum,
+		Fenced:           fenced,
+		FenceEpoch:       fenceEpoch,
+		FencePrimary:     fencePrimary,
 	}
 }
 
@@ -492,6 +542,7 @@ func (s *Server) captureState() serverState {
 		Registry: s.registry.persistState(),
 		Sessions: s.sessions.persistState(),
 		Multi:    s.multi.persistState(),
+		Epochs:   s.epochs.snapshot(),
 	}
 }
 

@@ -78,14 +78,28 @@ func (e *FollowerError) Error() string {
 
 // replState is the follower-mode state of a Server.
 type replState struct {
-	primary string
-	since   time.Time
+	since time.Time
 
 	mu             sync.Mutex
+	primary        string // mutable: Repoint retargets it after a promotion
 	connected      bool
 	primaryDurable wal.LSN
 	lastContact    time.Time
 	lastCaughtUp   time.Time
+}
+
+// primaryURL reads the current primary base URL under the lock.
+func (rs *replState) primaryURL() string {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.primary
+}
+
+// setPrimary retargets the follower at a new primary (Repoint).
+func (rs *replState) setPrimary(url string) {
+	rs.mu.Lock()
+	rs.primary = url
+	rs.mu.Unlock()
 }
 
 // SetFollower puts the server in follower (read-only replica) mode:
@@ -146,6 +160,7 @@ func (s *Server) ReplStatus() *ReplStatus {
 	defer rs.mu.Unlock()
 	st := &ReplStatus{
 		Primary:           rs.primary,
+		Epoch:             s.epochs.current(),
 		Connected:         rs.connected,
 		AppliedLSN:        uint64(applied),
 		PrimaryDurableLSN: uint64(rs.primaryDurable),
@@ -176,6 +191,12 @@ func (s *Server) ReplStatus() *ReplStatus {
 // the server exactly like a primary's journal failure would: replication
 // stops advancing, reads keep serving the last applied state.
 func (s *Server) ApplyReplicated(lsn wal.LSN, payload []byte) error {
+	// A node mid-promotion (or already promoted) must not apply another
+	// shipped frame: its log now continues under its own epoch. The stream
+	// loop maps this to a clean stop, not an error.
+	if s.promoting.Load() || s.repl.Load() == nil {
+		return ErrNotFollower
+	}
 	p := s.persist
 	if p == nil {
 		return errors.New("server: replication requires persistence (-data-dir)")
@@ -296,6 +317,45 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		maxBytes = int(min(int64(n), maxStreamMaxBytes))
+	}
+	var reqEpoch uint64
+	if v := q.Get("epoch"); v != "" {
+		reqEpoch, err = strconv.ParseUint(v, 10, 64)
+		if err != nil || reqEpoch == 0 {
+			writeError(w, r, fmt.Errorf("server: bad epoch %q", v))
+			return
+		}
+	}
+	// The follower's applied LSN doubles as its durability confirmation
+	// for quorum-gated acks (piggybacked: no extra round trips).
+	if id := q.Get("follower_id"); id != "" {
+		s.quorum.observe(id, uint64(from))
+	}
+	// Every stream response names this node's epoch, so a follower of a
+	// deposed primary can tell "stale primary" (retry elsewhere) from
+	// genuine divergence.
+	cur := s.epochs.current()
+	w.Header().Set(ReplEpochHeader, strconv.FormatUint(cur, 10))
+	if reqEpoch > cur {
+		// The caller has seen a newer epoch than we ever wrote: a newer
+		// primary exists, so this node must fence itself — a poll from the
+		// future is as much proof as an explicit fence call. The persist
+		// error (if any) is secondary; the in-memory fence holds regardless.
+		s.Fence(reqEpoch, "")
+		writeJSON(w, r, http.StatusConflict, ErrorResponse{Error: fmt.Sprintf(
+			"server: stale primary: caller has seen epoch %d, this node is at epoch %d", reqEpoch, cur)})
+		return
+	}
+	// Log matching: the epoch the follower applied `from` under must be
+	// the epoch this primary wrote it under, or the logs forked there —
+	// e.g. an old primary rejoining with acked-but-never-shipped records.
+	if reqEpoch > 0 && from > 0 {
+		if have := s.epochs.at(from); have != reqEpoch {
+			writeJSON(w, r, http.StatusConflict, ErrorResponse{Error: fmt.Sprintf(
+				"server: replication divergence: follower applied lsn %d under epoch %d but this primary wrote it under epoch %d",
+				from, reqEpoch, have)})
+			return
+		}
 	}
 	if from >= p.log.NextLSN() {
 		writeJSON(w, r, http.StatusConflict, ErrorResponse{Error: fmt.Sprintf(

@@ -92,6 +92,18 @@ type Config struct {
 	// gate (a follower is ready whenever it is serving). Ignored on a
 	// primary.
 	MaxLag time.Duration
+	// Quorum is the total number of log copies a mutation ack vouches
+	// for: with Quorum=N, a primary acknowledges a mutation only after
+	// N-1 distinct followers have confirmed its LSN on the replication
+	// stream. 0 or 1 disables quorum gating (ack after local
+	// durability, as before). A mutation whose quorum does not confirm
+	// in time answers 503 (it is durable locally and may still
+	// replicate; a keyed retry resolves the ambiguity).
+	Quorum int
+	// QuorumTimeout bounds how long a mutation ack waits for the
+	// follower quorum; 0 selects a 5s default. Only meaningful with
+	// Quorum > 1.
+	QuorumTimeout time.Duration
 	// FS is the filesystem persistence (WAL and snapshots) lives on; nil
 	// selects the real one. Chaos tests substitute a fault injector
 	// (internal/wal/errfs) here.
@@ -144,6 +156,19 @@ type Server struct {
 	// answer 421 with the primary's address, state advances only through
 	// ApplyReplicated (see repl.go).
 	repl atomic.Pointer[replState]
+	// epochs is the replayed promotion history: which epoch governs which
+	// LSN range. Zero value = implicit epoch 1 (see epoch.go).
+	epochs epochTable
+	// promoting serializes Promote and makes in-flight replicated applies
+	// refuse cleanly while the switch happens.
+	promoting atomic.Bool
+	// Fence state: when fenceEpoch exceeds the node's current epoch, a
+	// newer primary exists and mutations answer 421 (see epoch.go).
+	fenceMu      sync.Mutex
+	fenceEpoch   uint64
+	fencePrimary string
+	// quorum tracks per-follower confirmed LSNs for Quorum-gated acks.
+	quorum quorumAcks
 }
 
 // New builds a Server from the config.
@@ -187,6 +212,12 @@ func New(cfg Config) *Server {
 	// or overloaded primary must keep feeding its followers).
 	s.route("GET /v1/repl/stream", routeSys, s.handleReplStream)
 	s.route("GET /v1/repl/snapshot", routeSys, s.handleReplSnapshot)
+	// Failover control plane: promotion, fencing, and follower
+	// repointing are system routes too — they must work on a node that
+	// is overloaded, fenced, or refusing ordinary mutations.
+	s.route("POST /v1/repl/promote", routeSys, s.handlePromote)
+	s.route("POST /v1/repl/fence", routeSys, s.handleFence)
+	s.route("POST /v1/repl/repoint", routeSys, s.handleRepoint)
 	s.route("POST /v1/workers", routeMut, s.handleRegister)
 	s.route("GET /v1/workers", routeRead, s.handleListWorkers)
 	s.route("GET /v1/workers/{id}", routeRead, s.handleGetWorker)
@@ -291,6 +322,9 @@ func (s *Server) route(pattern string, kind routeKind, h func(http.ResponseWrite
 		// RequestIDHeader is already canonical; direct assignment skips
 		// Set's per-request canonicalization on the hot path.
 		sw.Header()[obs.RequestIDHeader] = []string{id}
+		// Every response carries the serving node's epoch, so clients and
+		// the failover harness can spot a stale primary on any route.
+		sw.Header()[EpochHeader] = []string{strconv.FormatUint(s.epochs.current(), 10)}
 		if kind != routeSys && s.inflight != nil {
 			admSpan := tr.Begin(obs.StageAdmission)
 			select {
@@ -372,6 +406,7 @@ func writeJSON(w http.ResponseWriter, r *http.Request, status int, body any) {
 func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusBadRequest
 	var follower *FollowerError
+	var fenced *FencedError
 	switch {
 	case errors.As(err, &follower):
 		// Read-only replica: the mutation belongs on the primary, whose
@@ -380,6 +415,21 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 		if follower.Primary != "" {
 			w.Header().Set(PrimaryHeader, follower.Primary)
 		}
+	case errors.As(err, &fenced):
+		// Fenced ex-primary: to a client this is exactly a replica — the
+		// write belongs on the newer primary.
+		status = http.StatusMisdirectedRequest
+		if fenced.Primary != "" {
+			w.Header().Set(PrimaryHeader, fenced.Primary)
+		}
+	case errors.Is(err, ErrQuorumTimeout):
+		// Durable locally but unconfirmed by the follower quorum; a
+		// keyed retry resolves it once followers catch up.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrFenceStale), errors.Is(err, ErrNotFollower),
+		errors.Is(err, ErrPromoting):
+		status = http.StatusConflict
 	case errors.Is(err, ErrWorkerUnknown), errors.Is(err, ErrSessionUnknown),
 		errors.Is(err, ErrPoolUnknown):
 		status = http.StatusNotFound

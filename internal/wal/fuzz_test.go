@@ -32,6 +32,17 @@ func FuzzScanSegment(f *testing.F) {
 	corrupt[len(corrupt)-1] ^= 0x01
 	f.Add(corrupt)
 	f.Add(append(encodeRecord([]byte("good")), 0x13, 0x37))
+	// Epoch records as journaled at promotion time: alone, ahead of a
+	// mutation, torn mid-payload, and with a corrupted epoch number — the
+	// scanner must treat them like any other payload (accept whole,
+	// truncate torn, reject corrupt) with no special-casing.
+	epoch := encodeRecord([]byte(`{"t":"epoch","epoch":2,"start_lsn":7}`))
+	f.Add(epoch)
+	f.Add(append(append([]byte(nil), epoch...), encodeRecord([]byte(`{"t":"vote","worker":"ann"}`))...))
+	f.Add(epoch[:len(epoch)-5])
+	epochCorrupt := append([]byte(nil), epoch...)
+	epochCorrupt[headerSize+len(`{"t":"epoch","epoch":`)] ^= 0x01
+	f.Add(epochCorrupt)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var first [][]byte
 		valid, torn, err := ScanSegment(bytes.NewReader(data), func(p []byte) error {

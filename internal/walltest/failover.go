@@ -1,0 +1,402 @@
+// Failover extension of the harness: a full cluster (one writable
+// primary, K streaming followers) driven through concurrent mutation
+// load while the primary is killed at an arbitrary point and a follower
+// is promoted in its place. Every mutation a writer issues is recorded
+// in a Ledger with its observed outcome — acked (2xx reply seen),
+// rejected (every attempt answered with proof of non-application), or
+// unknown (some attempt's reply was lost) — and the post-failover
+// assertions check the durability contract against the new primary:
+// acked mutations all survive, rejected ones never appear, and the
+// surviving idempotency-key table dedups replays of acked operations.
+package walltest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/jury/serve"
+)
+
+// Cluster is one primary plus K followers, each on its own data dir.
+type Cluster struct {
+	t          testing.TB
+	Primary    *Env
+	PrimaryCfg server.Config
+	Followers  []*FollowerEnv
+	// OldPrimary and OldPrimaryCfg name the deposed primary after a
+	// PromoteFollower, so resurrection tests can reboot it from its
+	// surviving directory.
+	OldPrimary    *Env
+	OldPrimaryCfg server.Config
+}
+
+// ClusterConfig is the per-node config of a failover cluster: BaseConfig
+// plus the quorum-ack settings. The short quorum timeout keeps writer
+// goroutines from stalling through the whole primary-dead window.
+func ClusterConfig(dir string, quorum int) server.Config {
+	cfg := BaseConfig(dir)
+	cfg.Quorum = quorum
+	cfg.QuorumTimeout = 500 * time.Millisecond
+	return cfg
+}
+
+// StartCluster boots a primary and k followers on fresh directories.
+// With quorum > 1 every mutation ack waits for quorum-1 follower
+// confirmations — the setting failover runs need, since it is what makes
+// "acked" imply "present on the max-applied follower".
+func StartCluster(t testing.TB, k, quorum int) *Cluster {
+	t.Helper()
+	cfg := ClusterConfig(t.TempDir(), quorum)
+	c := &Cluster{t: t, Primary: Start(t, cfg), PrimaryCfg: cfg}
+	for i := 0; i < k; i++ {
+		fe := StartFollower(t, ClusterConfig(t.TempDir(), quorum), c.Primary.HTTP.URL)
+		c.Followers = append(c.Followers, fe)
+	}
+	return c
+}
+
+// NodeURLs lists every live node's base URL, primary first.
+func (c *Cluster) NodeURLs() []string {
+	urls := []string{c.Primary.HTTP.URL}
+	for _, fe := range c.Followers {
+		urls = append(urls, fe.HTTP.URL)
+	}
+	return urls
+}
+
+// Client builds a failover-aware client: primary as base, followers as
+// replicas, default retries — the configuration a production caller
+// would run with.
+func (c *Cluster) Client() *serve.Client {
+	urls := make([]string, 0, len(c.Followers))
+	for _, fe := range c.Followers {
+		urls = append(urls, fe.HTTP.URL)
+	}
+	return serve.NewClient(c.Primary.HTTP.URL).WithReplicas(urls...)
+}
+
+// MaxAppliedFollower is the index of the follower with the highest
+// applied LSN — the only safe promotion candidate: with quorum acks on,
+// every acked mutation is applied on at least one follower, and applied
+// LSNs are prefixes, so the max-applied follower holds all of them.
+func (c *Cluster) MaxAppliedFollower() int {
+	best, bestLSN := 0, c.Followers[0].Srv.AppliedLSN()
+	for i, fe := range c.Followers[1:] {
+		if lsn := fe.Srv.AppliedLSN(); lsn > bestLSN {
+			best, bestLSN = i+1, lsn
+		}
+	}
+	return best
+}
+
+// KillPrimary simulates kill -9 on the primary: in-flight mutations die
+// with their connections, the WAL keeps only what was already synced.
+func (c *Cluster) KillPrimary() {
+	c.t.Helper()
+	c.Primary.CrashDirty()
+}
+
+// PromoteFollower promotes follower i through the HTTP admin call,
+// repoints the remaining followers at it, and rewires the cluster:
+// Primary becomes the promoted node, OldPrimary keeps the deposed one
+// for resurrection tests. The promoted node's stream loop must exit
+// with ErrPromoted — anything else is a harness failure.
+func (c *Cluster) PromoteFollower(i int) serve.PromoteResponse {
+	c.t.Helper()
+	fe := c.Followers[i]
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := serve.NewClient(fe.HTTP.URL).Promote(ctx, serve.PromoteRequest{Advertise: fe.HTTP.URL})
+	if err != nil {
+		c.t.Fatalf("walltest: promote %s: %v", fe.HTTP.URL, err)
+	}
+	if !resp.Promoted {
+		c.t.Fatalf("walltest: promote %s: not promoted: %+v", fe.HTTP.URL, resp)
+	}
+	if err := fe.WaitDone(10 * time.Second); !errors.Is(err, repl.ErrPromoted) {
+		c.t.Fatalf("walltest: promoted follower's stream loop exited %v, want ErrPromoted", err)
+	}
+	rest := make([]*FollowerEnv, 0, len(c.Followers)-1)
+	for j, other := range c.Followers {
+		if j == i {
+			continue
+		}
+		if _, err := serve.NewClient(other.HTTP.URL).Repoint(ctx,
+			serve.RepointRequest{Primary: fe.HTTP.URL}); err != nil {
+			c.t.Fatalf("walltest: repoint %s: %v", other.HTTP.URL, err)
+		}
+		rest = append(rest, other)
+	}
+	c.OldPrimary, c.OldPrimaryCfg = c.Primary, c.PrimaryCfg
+	c.Primary, c.PrimaryCfg = fe.Env, fe.cfg
+	c.Followers = rest
+	return resp
+}
+
+// ---------------------------------------------------------------------------
+// The acked-operations ledger.
+
+// OpOutcome classifies what a writer observed for one mutation.
+type OpOutcome string
+
+const (
+	// OpAcked: a 2xx reply was received — the mutation is durable (and,
+	// with quorum on, replicated) by contract and MUST survive failover.
+	OpAcked OpOutcome = "acked"
+	// OpRejected: every attempt was answered with proof of
+	// non-application (a 4xx such as a 421 bounce — refused before the
+	// journal). The mutation MUST NOT appear anywhere, ever.
+	OpRejected OpOutcome = "rejected"
+	// OpUnknown: at least one attempt's reply was lost (transport error)
+	// or ambiguous (5xx — a quorum-timeout 503 is journaled locally and
+	// may still ship). The mutation MAY appear.
+	OpUnknown OpOutcome = "unknown"
+)
+
+// Op is one ledgered mutation: a keyed single-vote ingest.
+type Op struct {
+	Key     string
+	Worker  string
+	Correct bool
+	Outcome OpOutcome
+}
+
+// Ledger is the concurrent record of every mutation the writers issued.
+type Ledger struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+func (l *Ledger) add(op Op) {
+	l.mu.Lock()
+	l.ops = append(l.ops, op)
+	l.mu.Unlock()
+}
+
+// Ops returns a copy of the ledger.
+func (l *Ledger) Ops() []Op {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Op(nil), l.ops...)
+}
+
+// Count tallies ops with the given outcome.
+func (l *Ledger) Count(o OpOutcome) int {
+	n := 0
+	for _, op := range l.Ops() {
+		if op.Outcome == o {
+			n++
+		}
+	}
+	return n
+}
+
+// WriterPool is a set of goroutines driving ledgered mutations at the
+// cluster while it is being failed over.
+type WriterPool struct {
+	t      testing.TB
+	Ledger *Ledger
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// StartWriters launches n writer goroutines. Each repeatedly ingests a
+// keyed random vote for a random worker id from workers, rotating
+// across every node until the op resolves: 2xx → acked; only
+// proof-of-non-application refusals → rejected; any lost reply → at
+// best unknown. Retries reuse the op's Idempotency-Key, so a replay an
+// old primary already applied cannot double-count. Stop the pool before
+// asserting.
+func (c *Cluster) StartWriters(n int, workers []string, seed int64) *WriterPool {
+	wp := &WriterPool{t: c.t, Ledger: &Ledger{}, stop: make(chan struct{})}
+	// One client per node, retries off: the ledger needs to observe every
+	// attempt's outcome itself, which the client's internal retry loop
+	// would hide.
+	clients := make([]*serve.Client, 0, 1+len(c.Followers))
+	for _, u := range c.NodeURLs() {
+		clients = append(clients, serve.NewClient(u).WithRetry(serve.RetryPolicy{MaxAttempts: 1}))
+	}
+	for i := 0; i < n; i++ {
+		wp.wg.Add(1)
+		go func(id int) {
+			defer wp.wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(id)))
+			for {
+				select {
+				case <-wp.stop:
+					return
+				default:
+				}
+				wp.Ledger.add(runOp(clients, rng, workers, wp.stop))
+			}
+		}(i)
+	}
+	return wp
+}
+
+// Stop halts the writers and waits them out.
+func (wp *WriterPool) Stop() {
+	close(wp.stop)
+	wp.wg.Wait()
+}
+
+// runOp drives one keyed ingest to resolution, rotating across nodes.
+func runOp(clients []*serve.Client, rng *rand.Rand, workers []string, stop <-chan struct{}) Op {
+	op := Op{
+		Key:     serve.NewIdempotencyKey(),
+		Worker:  workers[rng.Intn(len(workers))],
+		Correct: rng.Intn(2) == 0,
+		Outcome: OpRejected,
+	}
+	ev := serve.VoteEvent{WorkerID: op.Worker, Correct: op.Correct}
+	ambiguous := false
+	start := rng.Intn(len(clients))
+	for attempt := 0; attempt < 4*len(clients); attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_, err := clients[(start+attempt)%len(clients)].IngestVoteKeyed(ctx, ev, op.Key)
+		cancel()
+		if err == nil {
+			op.Outcome = OpAcked
+			return op
+		}
+		var apiErr *serve.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status >= 500 {
+			// Lost reply, or a 5xx that does not prove non-application (a
+			// quorum-timeout 503 is journaled on the primary and may ship).
+			ambiguous = true
+		}
+		select {
+		case <-stop:
+			// Resolve conservatively rather than spin past shutdown.
+			if ambiguous {
+				op.Outcome = OpUnknown
+			}
+			return op
+		case <-time.After(time.Duration(1+rng.Intn(5)) * time.Millisecond):
+		}
+	}
+	if ambiguous {
+		op.Outcome = OpUnknown
+	}
+	return op
+}
+
+// ---------------------------------------------------------------------------
+// Ledger assertions.
+
+// ledgerView is the slice of the debug state dump the ledger audits:
+// the registry's idempotency-key table and per-worker vote tallies.
+type ledgerView struct {
+	Registry struct {
+		Workers []struct {
+			ID      string `json:"id"`
+			Votes   int    `json:"votes"`
+			Correct int    `json:"correct"`
+		} `json:"workers"`
+		Idem []string `json:"idem"`
+	} `json:"registry"`
+	Epochs []server.EpochEntry `json:"epochs"`
+}
+
+func ledgerViewOf(t testing.TB, e *Env) ledgerView {
+	t.Helper()
+	dump, err := e.Srv.DebugState()
+	if err != nil {
+		t.Fatalf("walltest: DebugState: %v", err)
+	}
+	var v ledgerView
+	if err := json.Unmarshal(dump, &v); err != nil {
+		t.Fatalf("walltest: parse state dump: %v", err)
+	}
+	return v
+}
+
+// AssertLedger audits a post-failover node against the ledger:
+//
+//	(a) every acked op's key is in the idempotency table — no acked
+//	    mutation was lost;
+//	(b) no rejected op's key is — nothing refused was applied; and no
+//	    key the ledger never acked-or-lost is present at all;
+//	(c) per worker, the vote and correct tallies are bounded by
+//	    acked ≤ tally ≤ acked+unknown — order-independent, so it holds
+//	    for any interleaving of the concurrent writers.
+func AssertLedger(t testing.TB, e *Env, l *Ledger) {
+	t.Helper()
+	v := ledgerViewOf(t, e)
+	idem := make(map[string]bool, len(v.Registry.Idem))
+	for _, k := range v.Registry.Idem {
+		idem[k] = true
+	}
+	byKey := make(map[string]Op)
+	ackedVotes := map[string]int{}
+	unknownVotes := map[string]int{}
+	ackedCorrect := map[string]int{}
+	unknownCorrect := map[string]int{}
+	for _, op := range l.Ops() {
+		byKey[op.Key] = op
+		switch op.Outcome {
+		case OpAcked:
+			ackedVotes[op.Worker]++
+			if op.Correct {
+				ackedCorrect[op.Worker]++
+			}
+			if !idem[op.Key] {
+				t.Fatalf("walltest: ACKED MUTATION LOST: key %s (worker %s) missing after failover", op.Key, op.Worker)
+			}
+		case OpRejected:
+			if idem[op.Key] {
+				t.Fatalf("walltest: REJECTED MUTATION APPLIED: key %s (worker %s) present after failover", op.Key, op.Worker)
+			}
+		case OpUnknown:
+			unknownVotes[op.Worker]++
+			if op.Correct {
+				unknownCorrect[op.Worker]++
+			}
+		}
+	}
+	for key := range idem {
+		op, ours := byKey[key]
+		if !ours || op.Outcome == OpRejected {
+			t.Fatalf("walltest: key %s present after failover but never acked or lost (outcome %q)", key, op.Outcome)
+		}
+	}
+	for _, w := range v.Registry.Workers {
+		lo, hi := ackedVotes[w.ID], ackedVotes[w.ID]+unknownVotes[w.ID]
+		if w.Votes < lo || w.Votes > hi {
+			t.Fatalf("walltest: worker %s has %d votes, want %d..%d (acked..acked+unknown)", w.ID, w.Votes, lo, hi)
+		}
+		lo, hi = ackedCorrect[w.ID], ackedCorrect[w.ID]+unknownCorrect[w.ID]
+		if w.Correct < lo || w.Correct > hi {
+			t.Fatalf("walltest: worker %s has %d correct, want %d..%d", w.ID, w.Correct, lo, hi)
+		}
+	}
+}
+
+// AssertDedupAcrossFailover replays every acked op — same event, same
+// Idempotency-Key — against the new primary and requires each to be
+// answered as a duplicate: the dedup table survived the failover, so a
+// client retrying into the new primary cannot double-count a vote.
+func AssertDedupAcrossFailover(t testing.TB, e *Env, l *Ledger) {
+	t.Helper()
+	ctx := context.Background()
+	for _, op := range l.Ops() {
+		if op.Outcome != OpAcked {
+			continue
+		}
+		resp, err := e.Client.IngestVoteKeyed(ctx,
+			serve.VoteEvent{WorkerID: op.Worker, Correct: op.Correct}, op.Key)
+		if err != nil {
+			t.Fatalf("walltest: replay acked key %s: %v", op.Key, err)
+		}
+		if !resp.Duplicate {
+			t.Fatalf("walltest: replay of acked key %s was not deduplicated (worker %s would double-count)", op.Key, op.Worker)
+		}
+	}
+}

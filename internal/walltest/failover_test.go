@@ -1,0 +1,486 @@
+package walltest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/jury/serve"
+)
+
+// failoverWorkers is the worker pool the ledgered writers vote on.
+var failoverWorkers = []string{"fw0", "fw1", "fw2", "fw3"}
+
+// registerFailoverWorkers installs the pool and waits for full
+// replication, so every writer's vote references a known worker on every
+// node from the first instant.
+func registerFailoverWorkers(t testing.TB, c *Cluster) {
+	t.Helper()
+	specs := make([]serve.WorkerSpec, len(failoverWorkers))
+	for i, id := range failoverWorkers {
+		specs[i] = w(id, 0.6+0.05*float64(i), 1+float64(i))
+	}
+	c.Primary.Drive([]Step{Register(specs...)})
+	WaitCaughtUp(t, c.Primary, c.Followers...)
+}
+
+// TestFailoverRandomKillPromoteScripts is the acceptance harness: across
+// 20 random scripts, concurrent ledgered writers drive a quorum-acked
+// cluster while the primary is killed -9 at an arbitrary point (mid-batch,
+// mid-stream — whatever the timing lands on) and the max-applied follower
+// is promoted. After each failover: zero acked mutations lost, zero
+// rejected mutations applied, idempotency keys dedup across the epoch
+// boundary, and the surviving nodes converge bit-exactly.
+func TestFailoverRandomKillPromoteScripts(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + seed)))
+			cluster := StartCluster(t, 2, 2)
+			registerFailoverWorkers(t, cluster)
+
+			wp := cluster.StartWriters(3, failoverWorkers, int64(seed))
+			// Kill at an arbitrary point in the concurrent write stream.
+			time.Sleep(time.Duration(20+rng.Intn(100)) * time.Millisecond)
+			cluster.KillPrimary()
+			// Sometimes promote immediately, sometimes let writers flail
+			// against a primary-less cluster first.
+			if rng.Intn(2) == 0 {
+				time.Sleep(time.Duration(rng.Intn(60)) * time.Millisecond)
+			}
+			resp := cluster.PromoteFollower(cluster.MaxAppliedFollower())
+			if resp.Epoch != 2 {
+				t.Fatalf("promoted epoch = %d, want 2", resp.Epoch)
+			}
+			// Recovery: writers must land acks on the new primary.
+			time.Sleep(time.Duration(60+rng.Intn(60)) * time.Millisecond)
+			wp.Stop()
+
+			if acked := wp.Ledger.Count(OpAcked); acked == 0 {
+				t.Fatalf("no acked operations in a %d-op run; harness drove nothing", len(wp.Ledger.Ops()))
+			}
+			if got := cluster.Primary.Srv.CurrentEpoch(); got != 2 {
+				t.Fatalf("new primary epoch = %d, want 2", got)
+			}
+			AssertConverged(t, cluster.Primary, cluster.Followers...)
+			AssertLedger(t, cluster.Primary, wp.Ledger)
+			AssertDedupAcrossFailover(t, cluster.Primary, wp.Ledger)
+		})
+	}
+}
+
+// TestFailoverResurrectedOldPrimaryFenced is contract (d): the killed
+// primary comes back from its surviving directory, gets the fence the
+// promotion could not deliver (it was dead), and from then on never
+// accepts a write — across further restarts, without re-delivery, and
+// with every refusal naming the new primary.
+func TestFailoverResurrectedOldPrimaryFenced(t *testing.T) {
+	ctx := context.Background()
+	cluster := StartCluster(t, 2, 2)
+	registerFailoverWorkers(t, cluster)
+	wp := cluster.StartWriters(2, failoverWorkers, 77)
+	time.Sleep(60 * time.Millisecond)
+	cluster.KillPrimary()
+	resp := cluster.PromoteFollower(cluster.MaxAppliedFollower())
+	if resp.OldPrimaryFenced {
+		t.Fatalf("promotion reports the fence landed on a kill -9'd primary")
+	}
+	time.Sleep(60 * time.Millisecond)
+	wp.Stop()
+	AssertConverged(t, cluster.Primary, cluster.Followers...)
+	AssertLedger(t, cluster.Primary, wp.Ledger)
+
+	// Resurrect. The promote-time fence never landed, so the reboot comes
+	// up unfenced — the operator contract says: deliver the fence before
+	// the node serves writes again.
+	old := Start(t, cluster.OldPrimaryCfg)
+	fr, err := serve.NewClient(old.HTTP.URL).Fence(ctx,
+		serve.FenceRequest{Epoch: resp.Epoch, Primary: cluster.Primary.HTTP.URL})
+	if err != nil {
+		t.Fatalf("fence resurrected primary: %v", err)
+	}
+	if !fr.Fenced || fr.Epoch != resp.Epoch {
+		t.Fatalf("fence response = %+v, want fenced at epoch %d", fr, resp.Epoch)
+	}
+	assertFencedWrite(t, old, resp.Epoch, cluster.Primary.HTTP.URL)
+
+	// The fence is durable: another kill -9 and restart, no re-delivery.
+	old.CrashDirty()
+	old2 := Start(t, cluster.OldPrimaryCfg)
+	assertFencedWrite(t, old2, resp.Epoch, cluster.Primary.HTTP.URL)
+	st := old2.Srv.PersistenceStatus()
+	if !st.Fenced || st.FenceEpoch != resp.Epoch || st.FencePrimary != cluster.Primary.HTTP.URL {
+		t.Fatalf("restarted fence state = fenced %v epoch %d primary %q, want %d %q",
+			st.Fenced, st.FenceEpoch, st.FencePrimary, resp.Epoch, cluster.Primary.HTTP.URL)
+	}
+
+	// A failover-aware client writing at the fenced node transparently
+	// follows the 421 to the new primary.
+	out, err := serve.NewClient(old2.HTTP.URL).IngestVoteKeyed(ctx,
+		serve.VoteEvent{WorkerID: failoverWorkers[0], Correct: true}, serve.NewIdempotencyKey())
+	if err != nil {
+		t.Fatalf("client write at fenced node: %v", err)
+	}
+	if out.Duplicate {
+		t.Fatalf("fresh key answered as duplicate")
+	}
+}
+
+// assertFencedWrite asserts a raw mutation at a fenced node is refused
+// with 421 + the new primary's address, and /readyz reports the fence.
+func assertFencedWrite(t testing.TB, e *Env, epoch uint64, primary string) {
+	t.Helper()
+	resp, err := http.Post(e.HTTP.URL+"/v1/votes", "application/json",
+		strings.NewReader(`{"worker_id":"fw0","correct":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("FENCED NODE ACKED A WRITE PATH: status %d, want 421", resp.StatusCode)
+	}
+	if got := resp.Header.Get(server.PrimaryHeader); got != primary {
+		t.Fatalf("fenced 421 %s = %q, want %q", server.PrimaryHeader, got, primary)
+	}
+	rz, err := http.Get(e.HTTP.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("fenced readyz = %d, want 503", rz.StatusCode)
+	}
+	var body struct {
+		Fenced bool   `json:"fenced"`
+		Epoch  uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(rz.Body).Decode(&body); err != nil || !body.Fenced || body.Epoch != epoch {
+		t.Fatalf("fenced readyz body = %+v (err %v), want fenced at epoch %d", body, err, epoch)
+	}
+}
+
+// TestFailoverOldPrimaryCleanRejoin: an old primary with no divergent
+// suffix (it was quiesced when killed) rejoins as a follower of the new
+// primary from its surviving directory, replays the epoch record — which
+// self-clears its fence — and converges bit-exactly.
+func TestFailoverOldPrimaryCleanRejoin(t *testing.T) {
+	ctx := context.Background()
+	dirP := t.TempDir()
+	primary := Start(t, BaseConfig(dirP))
+	f := StartFollower(t, BaseConfig(t.TempDir()), primary.HTTP.URL)
+	primary.Drive(replScript())
+	WaitCaughtUp(t, primary, f)
+
+	primary.CrashDirty()
+	resp, err := serve.NewClient(f.HTTP.URL).Promote(ctx, serve.PromoteRequest{Advertise: f.HTTP.URL})
+	if err != nil || !resp.Promoted {
+		t.Fatalf("promote: %v %+v", err, resp)
+	}
+	newPrimary := f.Env
+
+	old := Start(t, BaseConfig(dirP))
+	if _, err := serve.NewClient(old.HTTP.URL).Fence(ctx,
+		serve.FenceRequest{Epoch: resp.Epoch, Primary: newPrimary.HTTP.URL}); err != nil {
+		t.Fatalf("fence: %v", err)
+	}
+	if fenced, _, _ := old.Srv.FencedState(); !fenced {
+		t.Fatal("old primary not fenced after delivery")
+	}
+	old.CrashDirty()
+
+	// Rejoin: recover the old directory in follower mode, streaming from
+	// the new primary. The epoch record arrives with the tail.
+	rejoined := StartFollower(t, BaseConfig(dirP), newPrimary.HTTP.URL)
+	WaitCaughtUp(t, newPrimary, rejoined)
+	AssertSameState(t, newPrimary, rejoined.Env)
+	if got := rejoined.Srv.CurrentEpoch(); got != resp.Epoch {
+		t.Fatalf("rejoined epoch = %d, want %d", got, resp.Epoch)
+	}
+	if fenced, _, _ := rejoined.Srv.FencedState(); fenced {
+		t.Fatal("fence did not self-clear after replaying the epoch record")
+	}
+	// It now serves as an ordinary follower: reads OK, writes bounce to
+	// the new primary.
+	rz, err := http.Get(rejoined.HTTP.URL + "/readyz")
+	if err != nil || rz.StatusCode != http.StatusOK {
+		t.Fatalf("rejoined readyz: %v %d, want 200", err, rz.StatusCode)
+	}
+	rz.Body.Close()
+	vr, err := http.Post(rejoined.HTTP.URL+"/v1/votes", "application/json",
+		strings.NewReader(`{"worker_id":"ann","correct":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vr.Body.Close()
+	if vr.StatusCode != http.StatusMisdirectedRequest ||
+		vr.Header.Get(server.PrimaryHeader) != newPrimary.HTTP.URL {
+		t.Fatalf("rejoined follower write = %d (%s %q), want 421 to %q", vr.StatusCode,
+			server.PrimaryHeader, vr.Header.Get(server.PrimaryHeader), newPrimary.HTTP.URL)
+	}
+}
+
+// TestFailoverOldPrimaryDivergentSuffixRejected: an old primary that
+// journaled records the promoted follower never received cannot rejoin
+// in place — its log forked from the new epoch's history at the same
+// LSNs. The epoch log-matching check refuses it with a terminal
+// ErrDiverged, and wiping + re-bootstrapping from the new primary's
+// snapshot joins it cleanly.
+func TestFailoverOldPrimaryDivergentSuffixRejected(t *testing.T) {
+	ctx := context.Background()
+	dirP := t.TempDir()
+	primary := Start(t, BaseConfig(dirP))
+	f := StartFollower(t, BaseConfig(t.TempDir()), primary.HTTP.URL)
+	primary.Drive(replScript())
+	WaitCaughtUp(t, primary, f)
+
+	// Sever replication, then ack two more mutations only the primary
+	// ever saw: the unshipped suffix.
+	if err := f.StopStream(); err != nil {
+		t.Fatalf("stop stream: %v", err)
+	}
+	primary.Drive([]Step{
+		Ingest(ev("ann", true)),
+		Ingest(ev("bob", false)),
+	})
+	primary.CrashDirty()
+
+	resp, err := serve.NewClient(f.HTTP.URL).Promote(ctx, serve.PromoteRequest{Advertise: f.HTTP.URL})
+	if err != nil || !resp.Promoted {
+		t.Fatalf("promote: %v %+v", err, resp)
+	}
+	newPrimary := f.Env
+
+	rejoined := StartFollower(t, BaseConfig(dirP), newPrimary.HTTP.URL)
+	if err := rejoined.WaitDone(10 * time.Second); !errors.Is(err, repl.ErrDiverged) {
+		t.Fatalf("divergent rejoin exited %v, want ErrDiverged", err)
+	}
+	// Sanity: the fork is real — the old node's log runs past the LSN the
+	// new epoch opened at, so the same positions hold different records.
+	if old, fork := uint64(rejoined.Srv.AppliedLSN()), resp.AppliedLSN; old < fork {
+		t.Fatalf("no fork: old node applied %d, epoch record at %d", old, fork)
+	}
+
+	fresh := BootstrapFollower(t, BaseConfig(t.TempDir()), newPrimary.HTTP.URL)
+	AssertConverged(t, newPrimary, fresh)
+}
+
+// TestFailoverStrandedFollowerRebootstrapsFromNewPrimary is the
+// satellite regression: a follower that lagged behind the new primary's
+// truncation horizon during a promotion gets ErrSnapshotNeeded naming
+// the NEW primary's URL — the node it must re-bootstrap from — not the
+// dead address it booted with.
+func TestFailoverStrandedFollowerRebootstrapsFromNewPrimary(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+	script := randomScript(rng, 40)
+
+	cfgP := BaseConfig(t.TempDir())
+	cfgP.SegmentBytes = 256
+	primary := Start(t, cfgP)
+	cfgA := BaseConfig(t.TempDir())
+	cfgA.SegmentBytes = 256
+	a := StartFollower(t, cfgA, primary.HTTP.URL)
+	b := StartFollower(t, BaseConfig(t.TempDir()), primary.HTTP.URL)
+
+	primary.Drive(script[:8])
+	WaitCaughtUp(t, primary, a, b)
+	if err := b.StopStream(); err != nil {
+		t.Fatalf("stop b: %v", err)
+	}
+	primary.Drive(script[8:])
+	WaitCaughtUp(t, primary, a)
+
+	primary.CrashDirty()
+	resp, err := serve.NewClient(a.HTTP.URL).Promote(ctx, serve.PromoteRequest{Advertise: a.HTTP.URL})
+	if err != nil || !resp.Promoted {
+		t.Fatalf("promote: %v %+v", err, resp)
+	}
+	// The new primary checkpoints and truncates its log past b's position.
+	if err := a.Srv.SnapshotNow(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	if _, err := serve.NewClient(b.HTTP.URL).Repoint(ctx,
+		serve.RepointRequest{Primary: a.HTTP.URL}); err != nil {
+		t.Fatalf("repoint b: %v", err)
+	}
+	b.startLoop()
+	err = b.WaitDone(10 * time.Second)
+	if !errors.Is(err, repl.ErrSnapshotNeeded) {
+		t.Fatalf("stranded follower exited %v, want ErrSnapshotNeeded", err)
+	}
+	if !strings.Contains(err.Error(), a.HTTP.URL) {
+		t.Fatalf("ErrSnapshotNeeded diagnosis %q does not name the new primary %s", err, a.HTTP.URL)
+	}
+	if strings.Contains(err.Error(), primary.HTTP.URL) {
+		t.Fatalf("ErrSnapshotNeeded diagnosis %q names the dead primary %s", err, primary.HTTP.URL)
+	}
+
+	// The prescription works: re-bootstrap from the named node.
+	fresh := BootstrapFollower(t, BaseConfig(t.TempDir()), a.HTTP.URL)
+	AssertConverged(t, a.Env, fresh)
+}
+
+// TestFailoverQuorumAckGating pins the -quorum contract: acks wait for
+// the follower confirmation; with the follower severed the ack times out
+// as a 503 whose record is nonetheless journaled (an ambiguous outcome by
+// design), and the idempotency key turns the post-recovery retry into a
+// clean duplicate rather than a double-count.
+func TestFailoverQuorumAckGating(t *testing.T) {
+	ctx := context.Background()
+	cfgP := ClusterConfig(t.TempDir(), 2)
+	cfgP.QuorumTimeout = 300 * time.Millisecond
+	primary := Start(t, cfgP)
+	f := StartFollower(t, ClusterConfig(t.TempDir(), 2), primary.HTTP.URL)
+	client := serve.NewClient(primary.HTTP.URL).WithRetry(serve.RetryPolicy{MaxAttempts: 1})
+
+	if err := client.RegisterWorkers(ctx, []serve.WorkerSpec{w("ann", 0.8, 2)}); err != nil {
+		t.Fatalf("register under quorum: %v", err)
+	}
+	if _, err := client.IngestVoteKeyed(ctx,
+		serve.VoteEvent{WorkerID: "ann", Correct: true}, serve.NewIdempotencyKey()); err != nil {
+		t.Fatalf("ingest under quorum: %v", err)
+	}
+
+	if err := f.StopStream(); err != nil {
+		t.Fatalf("stop stream: %v", err)
+	}
+	before := primary.Srv.PersistenceStatus().NextLSN
+	key := serve.NewIdempotencyKey()
+	_, err := client.IngestVoteKeyed(ctx, serve.VoteEvent{WorkerID: "ann", Correct: false}, key)
+	var apiErr *serve.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("quorum-starved ingest = %v, want 503", err)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Fatalf("quorum timeout 503 has no Retry-After hint")
+	}
+	if !strings.Contains(apiErr.Message, "quorum") {
+		t.Fatalf("quorum timeout message %q does not say quorum", apiErr.Message)
+	}
+	if after := primary.Srv.PersistenceStatus().NextLSN; after != before+1 {
+		t.Fatalf("quorum-timed-out record not journaled: next lsn %d -> %d", before, after)
+	}
+	metrics, err := serve.NewClient(primary.HTTP.URL).Metrics(ctx)
+	if err != nil || !strings.Contains(metrics, "juryd_quorum_timeouts_total 1") {
+		t.Fatalf("metrics missing quorum timeout count (err %v)", err)
+	}
+
+	// Reconnect the follower; the replayed key is a duplicate — the
+	// ambiguous 503 resolved to exactly-once.
+	f.startLoop()
+	resp, err := client.IngestVoteKeyed(ctx, serve.VoteEvent{WorkerID: "ann", Correct: false}, key)
+	if err != nil {
+		t.Fatalf("replay after reconnect: %v", err)
+	}
+	if !resp.Duplicate {
+		t.Fatalf("replay after quorum timeout not deduplicated — the vote double-counted")
+	}
+	AssertConverged(t, primary, f)
+}
+
+// TestFailoverClientFollowsToNewPrimary is the client-side satellite: a
+// production-shaped client configured before the failover (dead primary
+// as base, followers as replicas) lands both writes and reads on the
+// promoted node without reconfiguration.
+func TestFailoverClientFollowsToNewPrimary(t *testing.T) {
+	ctx := context.Background()
+	cluster := StartCluster(t, 2, 2)
+	registerFailoverWorkers(t, cluster)
+	client := cluster.Client() // snapshot of the pre-failover topology
+
+	cluster.KillPrimary()
+	cluster.PromoteFollower(cluster.MaxAppliedFollower())
+
+	resp, err := client.IngestVote(ctx, serve.VoteEvent{WorkerID: failoverWorkers[1], Correct: true})
+	if err != nil {
+		t.Fatalf("write through stale-topology client: %v", err)
+	}
+	if resp.Duplicate {
+		t.Fatal("fresh write answered as duplicate")
+	}
+	list, err := client.Workers(ctx)
+	if err != nil {
+		t.Fatalf("read through stale-topology client: %v", err)
+	}
+	found := false
+	for _, wi := range list.Workers {
+		if wi.ID == failoverWorkers[1] && wi.Votes >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("vote landed nowhere visible: %+v", list.Workers)
+	}
+}
+
+// TestFailoverEpochRecordsSurviveCrashRecovery is the persistence
+// satellite at the harness level: a post-promotion node (epoch record in
+// its WAL) crashes and recovers bit-exactly — snapshot + tail, epochs
+// included — and a torn tail behind the epoch record still recovers the
+// promotion itself.
+func TestFailoverEpochRecordsSurviveCrashRecovery(t *testing.T) {
+	ctx := context.Background()
+	dirF := t.TempDir()
+	primary := Start(t, BaseConfig(t.TempDir()))
+	f := StartFollower(t, BaseConfig(dirF), primary.HTTP.URL)
+	primary.Drive(replScript())
+	WaitCaughtUp(t, primary, f)
+	primary.CrashDirty()
+	resp, err := serve.NewClient(f.HTTP.URL).Promote(ctx, serve.PromoteRequest{Advertise: f.HTTP.URL})
+	if err != nil || !resp.Promoted {
+		t.Fatalf("promote: %v %+v", err, resp)
+	}
+	// Mutate under the new epoch, checkpoint mid-history, mutate more:
+	// recovery must compose snapshot + tail across the epoch boundary.
+	f.Env.Drive([]Step{Ingest(ev("ann", true))})
+	if err := f.Srv.SnapshotNow(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	f.Env.Drive([]Step{Ingest(ev("bob", true))})
+
+	want, err := f.Srv.DebugState()
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	wantSHA := f.Srv.PersistenceStatus().StateSHA256
+	f.Env.CrashDirty()
+
+	recovered := Start(t, BaseConfig(dirF))
+	got, err := recovered.Srv.DebugState()
+	if err != nil {
+		t.Fatalf("recovered dump: %v", err)
+	}
+	if string(want) != string(got) {
+		t.Fatalf("state with epoch records did not recover bit-exactly:\nwant %s\ngot  %s", want, got)
+	}
+	if sha := recovered.Srv.PersistenceStatus().StateSHA256; sha != wantSHA {
+		t.Fatalf("state_sha256 changed across recovery: %s -> %s", wantSHA, sha)
+	}
+	if got := recovered.Srv.CurrentEpoch(); got != resp.Epoch {
+		t.Fatalf("recovered epoch = %d, want %d", got, resp.Epoch)
+	}
+
+	// Torn tail: cut the last record mid-write; the promotion (journaled
+	// earlier) must survive the truncation.
+	dir2 := CopyDir(t, dirF)
+	_, size := TailSegment(t, dir2)
+	Tear(t, dir2, size-2)
+	recovered.CrashDirty()
+	torn := Start(t, BaseConfig(dir2))
+	if got := torn.Srv.CurrentEpoch(); got != resp.Epoch {
+		t.Fatalf("torn-tail recovery lost the epoch: %d, want %d", got, resp.Epoch)
+	}
+}

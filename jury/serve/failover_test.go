@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// deadURL returns the base URL of a server that refuses every connection.
+func deadURL(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	ts.Close()
+	return ts.URL
+}
+
+// TestMutationRotatesOffDeadPrimary: a keyed mutation whose primary is
+// dead (connection refused — the reply provably never existed at the TCP
+// level, and the key makes replay safe regardless) rotates onto the
+// replica list and lands on the node that now accepts writes.
+func TestMutationRotatesOffDeadPrimary(t *testing.T) {
+	promoted, hits := fakeNode(t, func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(server.IngestResponse{Ingested: 1})
+	})
+
+	c := NewClient(deadURL(t)).WithReplicas(promoted.URL).WithRetry(fastRetry(4))
+	if _, err := c.IngestVoteKeyed(context.Background(),
+		VoteEvent{WorkerID: "ann", Correct: true}, NewIdempotencyKey()); err != nil {
+		t.Fatalf("keyed ingest with dead primary: %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("promoted node saw %d attempts, want 1", got)
+	}
+}
+
+// TestMutation421PinsThenUnpinsOnDeadAdvertisedPrimary is the failover
+// race: the base follower still advertises the dead old primary. The
+// client follows the 421 (pin), hits the corpse (transport error →
+// unpin), and resumes rotating — which finds the newly promoted node on
+// the replica list.
+func TestMutation421PinsThenUnpinsOnDeadAdvertisedPrimary(t *testing.T) {
+	dead := deadURL(t)
+	follower, fHits := fakeNode(t, replica421(dead))
+	promoted, pHits := fakeNode(t, func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(server.IngestResponse{Ingested: 1})
+	})
+
+	c := NewClient(follower.URL).WithReplicas(promoted.URL).WithRetry(fastRetry(3))
+	if _, err := c.IngestVoteKeyed(context.Background(),
+		VoteEvent{WorkerID: "ann", Correct: true}, NewIdempotencyKey()); err != nil {
+		t.Fatalf("keyed ingest across stale advertisement: %v", err)
+	}
+	if fHits.Load() != 1 || pHits.Load() != 1 {
+		t.Fatalf("follower/promoted saw %d/%d attempts, want 1/1", fHits.Load(), pHits.Load())
+	}
+}
+
+// TestMutation421ToNewlyPromotedPrimary: after a failover the follower's
+// 421 names the live new primary; one hop lands the write there.
+func TestMutation421ToNewlyPromotedPrimary(t *testing.T) {
+	promoted, pHits := fakeNode(t, func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(server.IngestResponse{Ingested: 1})
+	})
+	follower, fHits := fakeNode(t, replica421(promoted.URL))
+
+	// The dead old primary is the base; the follower is the only replica.
+	c := NewClient(deadURL(t)).WithReplicas(follower.URL).WithRetry(fastRetry(4))
+	if _, err := c.IngestVoteKeyed(context.Background(),
+		VoteEvent{WorkerID: "ann", Correct: true}, NewIdempotencyKey()); err != nil {
+		t.Fatalf("keyed ingest after promotion: %v", err)
+	}
+	if fHits.Load() != 1 || pHits.Load() != 1 {
+		t.Fatalf("follower/promoted saw %d/%d attempts, want 1/1 (dead base, one hop)", fHits.Load(), pHits.Load())
+	}
+}
+
+// TestUnkeyedMutationDoesNotRotateOnLostReply: rotation piggybacks on
+// the retry decision — a plain POST with no idempotency key must not
+// replay (and hence not rotate) after a transport error, because the
+// lost reply may have applied.
+func TestUnkeyedMutationDoesNotRotateOnLostReply(t *testing.T) {
+	replica, rHits := fakeNode(t, okWorkers)
+	c := NewClient(deadURL(t)).WithReplicas(replica.URL).WithRetry(fastRetry(4))
+	_, err := c.OpenSession(context.Background(), SessionRequest{Confidence: 0.9, Budget: 10})
+	if err == nil {
+		t.Fatal("unkeyed POST with a lost reply succeeded via rotation; must surface the transport error")
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		t.Fatalf("expected a transport error, got API error %v", apiErr)
+	}
+	if got := rHits.Load(); got != 0 {
+		t.Fatalf("replica saw %d attempts of a non-replayable mutation, want 0", got)
+	}
+}
+
+// TestAdminCallsAreSticky: Promote/Fence/Repoint address one specific
+// node. They must not rotate onto replicas and must not follow 421s —
+// "promote whoever answers" would be a different (and wrong) operation.
+func TestAdminCallsAreSticky(t *testing.T) {
+	elsewhere, eHits := fakeNode(t, func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(server.PromoteResponse{Promoted: true, Epoch: 9})
+	})
+	target, tHits := fakeNode(t, replica421(elsewhere.URL))
+
+	c := NewClient(target.URL).WithReplicas(elsewhere.URL).WithRetry(fastRetry(4))
+	ctx := context.Background()
+	_, err := c.Promote(ctx, PromoteRequest{Advertise: target.URL})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusMisdirectedRequest {
+		t.Fatalf("promote against a 421 node = %v, want the 421 surfaced", err)
+	}
+	if _, err := c.Fence(ctx, FenceRequest{Epoch: 2}); !errors.As(err, &apiErr) {
+		t.Fatalf("fence = %v, want surfaced APIError", err)
+	}
+	if _, err := c.Repoint(ctx, RepointRequest{Primary: elsewhere.URL}); !errors.As(err, &apiErr) {
+		t.Fatalf("repoint = %v, want surfaced APIError", err)
+	}
+	if got := eHits.Load(); got != 0 {
+		t.Fatalf("admin calls leaked to another node %d times, want 0", got)
+	}
+	if got := tHits.Load(); got != 3 {
+		t.Fatalf("target saw %d admin attempts, want exactly 3 (no retries, no hops)", got)
+	}
+}
+
+// TestAdminCallsReplayOnTransientFailure: sticky does not mean fragile —
+// a 503 (or lost reply) retries against the same node, since all three
+// admin calls are idempotent.
+func TestAdminCallsReplayOnTransientFailure(t *testing.T) {
+	calls := 0
+	node, hits := fakeNode(t, func(w http.ResponseWriter, _ *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "busy"})
+			return
+		}
+		json.NewEncoder(w).Encode(server.PromoteResponse{Promoted: true, Epoch: 3, AppliedLSN: 17})
+	})
+
+	c := NewClient(node.URL).WithRetry(fastRetry(3))
+	resp, err := c.Promote(context.Background(), PromoteRequest{})
+	if err != nil {
+		t.Fatalf("promote through a 503: %v", err)
+	}
+	if !resp.Promoted || resp.Epoch != 3 || resp.AppliedLSN != 17 {
+		t.Fatalf("promote response = %+v", resp)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("node saw %d attempts, want 2", got)
+	}
+}

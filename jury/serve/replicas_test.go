@@ -79,9 +79,11 @@ func TestReadFailoverAcrossReplicaList(t *testing.T) {
 	}
 }
 
-// TestWritesRetryOnlyAgainstPrimary: mutations never touch the replica
-// list, even across retries.
-func TestWritesRetryOnlyAgainstPrimary(t *testing.T) {
+// TestWriteRotationBouncesOffReplicaBackToPrimary: a retried mutation
+// rotates onto the replica list, and the replica's 421 routes it
+// straight back to the (recovered) primary — the rotation can only ever
+// land a write where a node of the current topology says writes belong.
+func TestWriteRotationBouncesOffReplicaBackToPrimary(t *testing.T) {
 	var calls atomic.Int32
 	primary, pHits := fakeNode(t, func(w http.ResponseWriter, r *http.Request) {
 		if calls.Add(1) == 1 {
@@ -93,17 +95,17 @@ func TestWritesRetryOnlyAgainstPrimary(t *testing.T) {
 		w.WriteHeader(http.StatusCreated)
 		json.NewEncoder(w).Encode(server.RegisterResponse{Registered: 1})
 	})
-	replica, rHits := fakeNode(t, okWorkers)
+	replica, rHits := fakeNode(t, replica421(primary.URL))
 
 	c := NewClient(primary.URL).WithReplicas(replica.URL).WithRetry(fastRetry(3))
 	if err := c.RegisterWorkers(context.Background(), []WorkerSpec{{ID: "a", Quality: 0.8, Cost: 1}}); err != nil {
 		t.Fatalf("register through a 503: %v", err)
 	}
 	if got := pHits.Load(); got != 2 {
-		t.Fatalf("primary saw %d write attempts, want 2", got)
+		t.Fatalf("primary saw %d write attempts, want the 503 and the redirected retry", got)
 	}
-	if got := rHits.Load(); got != 0 {
-		t.Fatalf("replica saw %d write attempts, want 0", got)
+	if got := rHits.Load(); got != 1 {
+		t.Fatalf("replica saw %d write attempts, want the one rotated attempt", got)
 	}
 }
 

@@ -80,6 +80,11 @@ type callOpts struct {
 	// configured, it is served from the replica list (failing over to the
 	// primary) instead of the primary alone.
 	read bool
+	// sticky pins every attempt to the client's base URL: no replica
+	// rotation and no 421 following. Admin calls addressed to one
+	// specific node (promote, fence, repoint) use it — rotating them
+	// onto a different node would change their meaning.
+	sticky bool
 	// key is sent as the Idempotency-Key header; a non-empty key makes
 	// the request idempotent by server-side deduplication.
 	key string
@@ -170,14 +175,24 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, opt
 		}
 	}
 	opts.requestID = requestIDFrom(ctx)
-	// Reads spread over the replica list (primary last, as the fallback);
-	// writes address the primary alone, or — after a 421 — the primary a
-	// replica advertised.
+	// Reads spread over the replica list (primary last, as the fallback).
+	// Mutations start at the configured primary but rotate across the
+	// replicas on retryable failures: after a failover the old primary is
+	// dead or fenced, and any follower's 421 names the live one. Rotation
+	// is safe exactly when retrying is — shouldRetry already guarantees
+	// the request was not applied (non-2xx) or is idempotent/keyed.
 	bases := []string{c.base}
-	if opts.read && len(c.replicas) > 0 {
-		bases = append(append([]string{}, c.replicas...), c.base)
+	if len(c.replicas) > 0 && !opts.sticky {
+		if opts.read {
+			bases = append(append([]string{}, c.replicas...), c.base)
+		} else {
+			bases = append(bases, c.replicas...)
+		}
 	}
-	writeBase := c.base
+	// redirected pins writes to the primary a 421 advertised; a transport
+	// failure there unpins, resuming rotation (the advertised primary may
+	// itself have died).
+	writeBase := ""
 	redirected := false
 	var lastErr error
 	for attempt := 0; attempt < c.retry.attempts(); attempt++ {
@@ -194,9 +209,9 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, opt
 			case <-t.C:
 			}
 		}
-		base := writeBase
-		if opts.read {
-			base = bases[attempt%len(bases)]
+		base := bases[attempt%len(bases)]
+		if redirected {
+			base = writeBase
 		}
 		err := c.once(ctx, base, method, path, data, out, opts)
 		if err == nil {
@@ -205,11 +220,13 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, opt
 		lastErr = err
 		var apiErr *APIError
 		if errors.As(err, &apiErr) && apiErr.Status == http.StatusMisdirectedRequest {
-			// A read-only replica bounced a mutation. Follow the advertised
-			// primary exactly once per call: the redirect replays immediately
-			// (a 421 proves nothing was applied) and a second 421 — a replica
-			// pointing at a replica — is a configuration error, not a loop.
-			if !opts.read && !redirected && apiErr.Primary != "" {
+			// A read-only replica (or fenced ex-primary) bounced a
+			// mutation. Follow the advertised primary at most once per
+			// attempt: the redirect replays immediately (a 421 proves
+			// nothing was applied), and a second 421 from the advertised
+			// node — a replica pointing at a replica — is a configuration
+			// error, not a loop.
+			if !opts.read && !opts.sticky && !redirected && apiErr.Primary != "" {
 				redirected = true
 				writeBase = strings.TrimRight(apiErr.Primary, "/")
 				attempt--
@@ -217,8 +234,18 @@ func (c *Client) call(ctx context.Context, method, path string, in, out any, opt
 			}
 			return err
 		}
-		if retry, _ := shouldRetry(err, opts); !retry {
-			return err
+		if errors.As(err, &apiErr) {
+			if retry, _ := shouldRetry(err, opts); !retry {
+				return err
+			}
+		} else {
+			// Transport error. If it hit a 421-advertised primary, that
+			// advertisement is stale (the node died after advertising):
+			// unpin so the next attempt resumes rotating the base list.
+			redirected = false
+			if retry, _ := shouldRetry(err, opts); !retry {
+				return err
+			}
 		}
 		if ctx.Err() != nil {
 			// The caller's deadline is spent; further attempts would only

@@ -83,6 +83,20 @@ type (
 	MultiJQRequest = server.MultiJQRequest
 	// MultiJQResponse reports the computed Jury Quality.
 	MultiJQResponse = server.MultiJQResponse
+	// ReplStatus reports a node's replication position and epoch.
+	ReplStatus = server.ReplStatus
+	// PromoteRequest asks a follower to become the writable primary.
+	PromoteRequest = server.PromoteRequest
+	// PromoteResponse reports a promotion outcome.
+	PromoteResponse = server.PromoteResponse
+	// FenceRequest forbids a stale ex-primary from accepting writes.
+	FenceRequest = server.FenceRequest
+	// FenceResponse reports a fencing outcome.
+	FenceResponse = server.FenceResponse
+	// RepointRequest re-targets a follower at a new primary.
+	RepointRequest = server.RepointRequest
+	// RepointResponse confirms a follower's new upstream.
+	RepointResponse = server.RepointResponse
 )
 
 // Client talks to one juryd daemon. The zero value is not usable; create
@@ -119,14 +133,16 @@ func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 	return c
 }
 
-// WithReplicas registers read-only replica addresses (juryd followers)
-// and returns c. Read requests — GETs and the read-only POST routes
-// (selections, JQ evaluations) — are served from the replicas, failing
-// over across the list and finally the primary as retry attempts
-// progress. Mutations always go to the primary: a follower answers them
-// with 421 and the primary's address, which the client follows exactly
-// once per call (so a stale replica list still lands writes correctly,
-// while a misconfigured loop cannot bounce forever).
+// WithReplicas registers the addresses of the other cluster nodes
+// (juryd followers) and returns c. Read requests — GETs and the
+// read-only POST routes (selections, JQ evaluations) — are served from
+// the replicas, failing over across the list and finally the primary as
+// retry attempts progress. Mutations start at the primary but rotate
+// across the replicas on retryable failures, so the client survives a
+// failover: a follower answers a misdirected write with 421 and the
+// live primary's address, which the client follows at most once per
+// attempt (so a stale replica list still lands writes correctly, while
+// a misconfigured loop cannot bounce forever).
 func (c *Client) WithReplicas(urls ...string) *Client {
 	c.replicas = c.replicas[:0]
 	for _, u := range urls {
@@ -341,6 +357,38 @@ func (c *Client) MultiSelect(ctx context.Context, pool string, req MultiSelectRe
 func (c *Client) MultiJQ(ctx context.Context, pool string, req MultiJQRequest) (MultiJQResponse, error) {
 	var out MultiJQResponse
 	err := c.doIdem(ctx, http.MethodPost, "/v1/multi/pools/"+url.PathEscape(pool)+"/jq", req, &out)
+	return out, err
+}
+
+// Promote asks the daemon at the client's base URL — normally a
+// follower — to become the writable primary under a new epoch. The call
+// is addressed to that one node: it neither rotates across replicas nor
+// follows 421 redirects, and it is safe to replay (promotion is
+// idempotent per epoch; an already-primary node answers AlreadyPrimary).
+// If the response reports OldPrimaryFenced false, the old primary was
+// unreachable and MUST be fenced (Fence, against it) or wiped before it
+// is allowed to serve again.
+func (c *Client) Promote(ctx context.Context, req PromoteRequest) (PromoteResponse, error) {
+	var out PromoteResponse
+	err := c.call(ctx, http.MethodPost, "/v1/repl/promote", req, &out, callOpts{idempotent: true, sticky: true})
+	return out, err
+}
+
+// Fence forbids the daemon at the client's base URL from accepting
+// writes under any epoch below req.Epoch, directing clients to
+// req.Primary instead. Addressed to that one node; safe to replay.
+func (c *Client) Fence(ctx context.Context, req FenceRequest) (FenceResponse, error) {
+	var out FenceResponse
+	err := c.call(ctx, http.MethodPost, "/v1/repl/fence", req, &out, callOpts{idempotent: true, sticky: true})
+	return out, err
+}
+
+// Repoint re-targets the follower at the client's base URL at a new
+// primary URL, effective from its next replication poll. Addressed to
+// that one node; safe to replay.
+func (c *Client) Repoint(ctx context.Context, req RepointRequest) (RepointResponse, error) {
+	var out RepointResponse
+	err := c.call(ctx, http.MethodPost, "/v1/repl/repoint", req, &out, callOpts{idempotent: true, sticky: true})
 	return out, err
 }
 
