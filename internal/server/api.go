@@ -279,6 +279,11 @@ type PromoteResponse struct {
 	// letting it serve again, or wipe and re-bootstrap it.
 	OldPrimary       string `json:"old_primary,omitempty"`
 	OldPrimaryFenced bool   `json:"old_primary_fenced,omitempty"`
+	// SupersededFenceEpoch is set when the node was fenced at promotion
+	// time: the new epoch was opened past the fence epoch (fence+1 rather
+	// than current+1) so the promoted primary is not outranked by its own
+	// fence marker. Zero when the node was unfenced.
+	SupersededFenceEpoch uint64 `json:"superseded_fence_epoch,omitempty"`
 }
 
 // FenceRequest is the body of POST /v1/repl/fence: a newer primary

@@ -267,10 +267,18 @@ func (s *Server) FencedState() (fenced bool, epoch uint64, primary string) {
 // effect in memory before the durable marker is written; a marker write
 // failure is returned but does NOT lift the in-memory fence.
 func (s *Server) Fence(epoch uint64, primary string) error {
-	if epoch <= s.epochs.current() {
-		return fmt.Errorf("%w: fence epoch %d, current epoch %d", ErrFenceStale, epoch, s.epochs.current())
-	}
+	// fenceMu spans the stale-check and the install, so FencedState readers
+	// see them as one atomic step. A concurrent Promote can still advance
+	// s.epochs between the check and a reader's re-evaluation — that race
+	// is benign by construction: FencedState re-compares the fence epoch
+	// against the current epoch on every call, so a fence outranked by a
+	// promotion is inert, and the worst outcome here is a spurious
+	// ErrFenceStale for a caller racing the promotion it lost to.
 	s.fenceMu.Lock()
+	if cur := s.epochs.current(); epoch <= cur {
+		s.fenceMu.Unlock()
+		return fmt.Errorf("%w: fence epoch %d, current epoch %d", ErrFenceStale, epoch, cur)
+	}
 	if epoch > s.fenceEpoch {
 		s.fenceEpoch = epoch
 		s.fencePrimary = primary
@@ -447,6 +455,19 @@ func (s *Server) Promote(ctx context.Context, advertise string) (PromoteResponse
 	// so the epoch record lands directly after the last applied frame.
 	p.freeze.Lock()
 	newEpoch := s.epochs.current() + 1
+	// A fenced follower knows a newer primary held the fence epoch; its
+	// promotion must open an epoch past that one, or the node would come
+	// up as a "primary" still outranked by its own fence marker —
+	// answering every mutation with 421 toward a possibly-dead primary.
+	// Cascaded failovers hit this: epochs.current() lags the fence when
+	// the fencing primary died before shipping its RecEpoch record.
+	var supersededFence uint64
+	s.fenceMu.Lock()
+	if s.fenceEpoch >= newEpoch {
+		supersededFence = s.fenceEpoch
+		newEpoch = s.fenceEpoch + 1
+	}
+	s.fenceMu.Unlock()
 	start := p.log.NextLSN()
 	rec := &Record{T: RecEpoch, Epoch: newEpoch, StartLSN: uint64(start)}
 	payload, err := json.Marshal(rec)
@@ -476,8 +497,15 @@ func (s *Server) Promote(ctx context.Context, advertise string) (PromoteResponse
 	// Order matters: the epoch record is durable before the node starts
 	// acknowledging writes under it.
 	s.repl.Store(nil)
-	s.logger.Info("promoted to primary", "epoch", newEpoch, "epoch_record_lsn", uint64(start), "old_primary", oldPrimary)
-	res := PromoteResponse{Promoted: true, Epoch: newEpoch, AppliedLSN: uint64(start), OldPrimary: oldPrimary}
+	s.logger.Info("promoted to primary", "epoch", newEpoch, "epoch_record_lsn", uint64(start),
+		"old_primary", oldPrimary, "superseded_fence_epoch", supersededFence)
+	res := PromoteResponse{
+		Promoted:             true,
+		Epoch:                newEpoch,
+		AppliedLSN:           uint64(start),
+		OldPrimary:           oldPrimary,
+		SupersededFenceEpoch: supersededFence,
+	}
 	if oldPrimary != "" {
 		res.OldPrimaryFenced = fenceRemote(ctx, oldPrimary, newEpoch, advertise)
 	}

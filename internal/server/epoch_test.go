@@ -189,6 +189,45 @@ func TestPromoteOnPrimaryIsIdempotentNoOp(t *testing.T) {
 	}
 }
 
+// TestPromoteFencedFollowerSupersedesFence: a fenced follower promoted
+// after cascaded failovers must come up as a real primary — the new
+// epoch opens past the fence epoch (fence+1, not current+1), so the
+// node is never left answering 421 against its own fence marker, and
+// the response reports the fence it outranked.
+func TestPromoteFencedFollowerSupersedesFence(t *testing.T) {
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	t.Cleanup(primary.Close)
+	s, err := Open(Config{Alpha: 0.5, Seed: 1, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFollower(primary.URL)
+	if err := s.Fence(7, primary.URL); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	resp, raw := postJSON(t, ts.URL+"/v1/repl/promote", PromoteRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote fenced follower: %d %s", resp.StatusCode, raw)
+	}
+	var out PromoteResponse
+	mustDecode(t, raw, &out)
+	if !out.Promoted || out.Epoch != 8 || out.SupersededFenceEpoch != 7 {
+		t.Fatalf("promote = %+v, want epoch 8 superseding fence 7", out)
+	}
+	if fenced, epoch, _ := s.FencedState(); fenced {
+		t.Fatalf("promoted node still fenced at epoch %d", epoch)
+	}
+	// And it acknowledges writes again.
+	resp, raw = postJSON(t, ts.URL+"/v1/workers", RegisterRequest{Workers: []WorkerSpec{{ID: "x", Quality: 0.7, Cost: 1}}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("mutation on promoted node: %d %s, want 201", resp.StatusCode, raw)
+	}
+}
+
 // TestPromoteRequiresPersistence: a memory-only follower cannot journal
 // the epoch record, so promotion must refuse rather than silently open an
 // epoch that would not survive a restart.

@@ -41,6 +41,7 @@ type Metrics struct {
 	loadShed         atomic.Uint64 // requests shed with 429 by admission control
 	ingestDuplicates atomic.Uint64 // keyed ingests answered from the dedup table
 	quorumTimeouts   atomic.Uint64 // mutations durable locally but unconfirmed by the follower quorum
+	fenceErrors      atomic.Uint64 // fence marker persist failures (fence held in memory only)
 
 	// walBatch is a histogram of records-per-flush under group commit:
 	// bucket i counts flushes with at most walBatchBuckets[i] records,
@@ -127,6 +128,10 @@ func (m *Metrics) IngestDuplicate() { m.ingestDuplicates.Add(1) }
 // QuorumTimeout records one mutation refused with 503 because the
 // follower quorum did not confirm its LSN in time.
 func (m *Metrics) QuorumTimeout() { m.quorumTimeouts.Add(1) }
+
+// FenceError records one failed fence.json persist: the fence holds in
+// memory but would not survive a restart until delivered again.
+func (m *Metrics) FenceError() { m.fenceErrors.Add(1) }
 
 // WALBatch records one group-commit flush that made n records durable
 // with a single fsync.
@@ -236,6 +241,7 @@ func (m *Metrics) WriteText(w io.Writer, cache CacheStats, poolSize int, generat
 	fmt.Fprintf(w, "juryd_load_shed_total %d\n", m.loadShed.Load())
 	fmt.Fprintf(w, "juryd_ingest_duplicates_total %d\n", m.ingestDuplicates.Load())
 	fmt.Fprintf(w, "juryd_quorum_timeouts_total %d\n", m.quorumTimeouts.Load())
+	fmt.Fprintf(w, "juryd_fence_errors_total %d\n", m.fenceErrors.Load())
 }
 
 // Snapshot returns the counters used by tests.

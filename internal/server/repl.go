@@ -326,11 +326,6 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// The follower's applied LSN doubles as its durability confirmation
-	// for quorum-gated acks (piggybacked: no extra round trips).
-	if id := q.Get("follower_id"); id != "" {
-		s.quorum.observe(id, uint64(from))
-	}
 	// Every stream response names this node's epoch, so a follower of a
 	// deposed primary can tell "stale primary" (retry elsewhere) from
 	// genuine divergence.
@@ -339,9 +334,15 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 	if reqEpoch > cur {
 		// The caller has seen a newer epoch than we ever wrote: a newer
 		// primary exists, so this node must fence itself — a poll from the
-		// future is as much proof as an explicit fence call. The persist
-		// error (if any) is secondary; the in-memory fence holds regardless.
-		s.Fence(reqEpoch, "")
+		// future is as much proof as an explicit fence call. The in-memory
+		// fence holds even if the durable marker fails, but a marker
+		// failure means a crash would resurrect this node unfenced — so it
+		// must not pass silently.
+		if ferr := s.Fence(reqEpoch, ""); ferr != nil {
+			s.metrics.FenceError()
+			s.logger.Error("durable fence marker failed; fence is memory-only until delivered again",
+				"fence_epoch", reqEpoch, "error", ferr)
+		}
 		writeJSON(w, r, http.StatusConflict, ErrorResponse{Error: fmt.Sprintf(
 			"server: stale primary: caller has seen epoch %d, this node is at epoch %d", reqEpoch, cur)})
 		return
@@ -362,6 +363,17 @@ func (s *Server) handleReplStream(w http.ResponseWriter, r *http.Request) {
 			"server: replication divergence: follower applied through lsn %d but this primary's log ends at %d",
 			from, p.log.NextLSN()-1)})
 		return
+	}
+	// The follower's applied LSN doubles as its durability confirmation
+	// for quorum-gated acks (piggybacked: no extra round trips). Recorded
+	// only after every divergence check above passed, and only when the
+	// caller presented its epoch so the log-matching check actually ran: a
+	// diverged caller — e.g. a resurrected ex-primary whose `from` counts
+	// journaled-but-never-shipped records under a forked epoch — must not
+	// vouch for LSNs this log never shipped, or quorum could ack writes no
+	// genuine follower holds.
+	if id := q.Get("follower_id"); id != "" && reqEpoch > 0 {
+		s.quorum.observe(id, uint64(from))
 	}
 	synced := p.log.Synced()
 	// Long poll for new commits, in slices so a disconnected follower is

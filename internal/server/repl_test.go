@@ -161,6 +161,61 @@ func TestReplStreamProtocol(t *testing.T) {
 	}
 }
 
+// TestQuorumAckRequiresLogMatch: a stream poll contributes to the
+// quorum ack table only after every divergence check passes — a
+// diverged or stale caller (e.g. a resurrected ex-primary whose `from`
+// counts journaled-but-never-shipped records under a forked history)
+// must not vouch for LSNs this log never shipped, or quorum could ack
+// writes no genuine follower holds. A poll without `epoch` never ran
+// the log-matching check, so it never vouches either.
+func TestQuorumAckRequiresLogMatch(t *testing.T) {
+	s, _ := durable(t)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	journalSome(t, ts.URL, 2) // 3 records
+
+	get := func(q string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/repl/stream?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// A log-matched poll registers the follower's applied LSN.
+	if code := get("from=2&epoch=1&follower_id=good&wait_ms=1"); code != http.StatusOK {
+		t.Fatalf("matching poll: %d, want 200", code)
+	}
+	if acks := s.quorum.snapshot(); acks["good"] != 2 {
+		t.Fatalf("acks = %v, want good=2", acks)
+	}
+
+	// Claiming records beyond the log end is divergence: 409, no ack.
+	if code := get("from=9&epoch=1&follower_id=beyond"); code != http.StatusConflict {
+		t.Fatalf("beyond-log poll: %d, want 409", code)
+	}
+	// No epoch means the log-matching check never ran: served, no ack.
+	if code := get("from=2&follower_id=unverified&wait_ms=1"); code != http.StatusOK {
+		t.Fatalf("epochless poll: %d, want 200", code)
+	}
+	// A poll from a higher epoch self-fences this node: 409, no ack.
+	if code := get("from=2&epoch=5&follower_id=future"); code != http.StatusConflict {
+		t.Fatalf("future-epoch poll: %d, want 409", code)
+	}
+	if fenced, epoch, _ := s.FencedState(); !fenced || epoch != 5 {
+		t.Fatalf("fenced state after future-epoch poll = %v/%d, want fenced at 5", fenced, epoch)
+	}
+	acks := s.quorum.snapshot()
+	for _, id := range []string{"beyond", "unverified", "future"} {
+		if _, ok := acks[id]; ok {
+			t.Errorf("unverified caller %q registered a quorum ack (%v)", id, acks)
+		}
+	}
+}
+
 func TestReplStreamLongPollWakesOnCommit(t *testing.T) {
 	s, _ := durable(t)
 	ts := httptest.NewServer(s.Handler())
